@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+The default corpus is sized to finish in a few minutes; set
+``REPRO_BENCH_FULL=1`` to run the paper-scale workload (500 commits).
+Measurements are computed once per session and shared between the
+Figure 4 and Figure 5 benchmarks, mirroring the paper's setup where both
+figures come from the same runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import run_corpus
+from repro.corpus import default_corpus
+
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+
+#: number of changed files measured (the paper: 2393 files / 500 commits)
+MAX_CHANGES = 500 if FULL else 60
+N_COMMITS = 500 if FULL else 120
+RUNS = 3  # best-of-three, as in the paper
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return default_corpus(max_changes=MAX_CHANGES, n_commits=N_COMMITS, seed=42)
+
+
+@pytest.fixture(scope="session")
+def measurements(corpus):
+    out = run_corpus(corpus, runs=RUNS)
+    # keep the raw data next to the suite (the paper released its raw
+    # measurements as well)
+    from repro.bench import measurements_to_csv
+
+    measurements_to_csv(out, os.path.join(os.path.dirname(__file__), "measurements.csv"))
+    return out
+
+
+@pytest.fixture(scope="session")
+def medium_change(corpus):
+    """A representative mid-sized changed file for per-tool timing."""
+    from repro.adapters import parse_python
+
+    sized = sorted(corpus, key=lambda c: len(c.before))
+    return sized[len(sized) // 2]

@@ -1,0 +1,201 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* preferred (literal-equivalence) candidate selection on/off — Step 3's
+  two-pass selection (Section 4.3);
+* height-first traversal on/off — subtree fragmentation avoidance;
+* compound-edit coalescing — the conciseness metric convention;
+* flat (DiffableList-style) vs cons-list sequence encoding — why the
+  artifact uses flat lists;
+* hdiff trie- vs dict-backed sharing maps;
+* lempsink (no moves) vs truediff patch sizes on mid-sized trees.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+from repro.adapters import parse_python
+from repro.baselines.hdiff import HdiffOptions, hdiff
+from repro.baselines.lempsink import lempsink_diff, script_cost
+from repro.bench.harness import _rebuild_tnode
+from repro.core import DiffOptions, Grammar, LIT_INT, LIT_STR, diff
+from repro.corpus import GeneratorConfig, generate_module, mutate_source
+
+
+def _pairs(n: int, seed: int = 7):
+    rng = random.Random(seed)
+    cfg = GeneratorConfig(n_functions=(4, 6), n_classes=(0, 1))
+    out = []
+    for i in range(n):
+        before = generate_module(seed * 100 + i, cfg)
+        after, _ = mutate_source(before, rng, n_edits=3)
+        out.append((parse_python(before), parse_python(after)))
+    return out
+
+
+def test_preferred_selection_ablation(benchmark):
+    """Without the preferred pass truediff may pick structurally equivalent
+    but literally different candidates, paying Update edits.
+
+    Commit-like workloads rarely present competing candidates, so the
+    corpus means usually coincide; the targeted workload (many
+    structurally equivalent subtrees competing for reuse) isolates the
+    mechanism."""
+    pairs = _pairs(10)
+    with_pref = [len(diff(a, b, DiffOptions(prefer_literal_matches=True))[0]) for a, b in pairs]
+    without = [len(diff(a, b, DiffOptions(prefer_literal_matches=False))[0]) for a, b in pairs]
+
+    # targeted: many structurally equivalent Mul(Num, Num) subtrees; the
+    # target (nested differently, so no preemptive assignment applies)
+    # demands a few of them.  The preferred pass reattaches exact copies;
+    # the ablated variant grabs the first available candidates and pays
+    # literal updates.
+    from tests.util import EXP
+
+    e = EXP
+
+    def nest_add(items):
+        return items[0] if len(items) == 1 else e.Add(items[0], nest_add(items[1:]))
+
+    def nest_sub(items):
+        return items[0] if len(items) == 1 else e.Sub(items[0], nest_sub(items[1:]))
+
+    muls = [e.Mul(e.Num(i), e.Num(i + 1)) for i in range(12)]
+    src = nest_add(muls)
+    dst = nest_sub([e.Mul(e.Num(i), e.Num(i + 1)) for i in (9, 4, 7)])
+    targeted_with = len(diff(src, dst, DiffOptions(prefer_literal_matches=True))[0])
+    targeted_without = len(diff(src, dst, DiffOptions(prefer_literal_matches=False))[0])
+
+    print("\n== Ablation: preferred candidate selection ==")
+    print(f"corpus mean patch size with preference:    {statistics.mean(with_pref):8.1f}")
+    print(f"corpus mean patch size without preference: {statistics.mean(without):8.1f}")
+    print(f"targeted workload with preference:         {targeted_with:8d}")
+    print(f"targeted workload without preference:      {targeted_without:8d}")
+    assert statistics.mean(with_pref) <= statistics.mean(without) * 1.05
+    assert targeted_with <= targeted_without
+    benchmark(lambda: diff(*pairs[0], DiffOptions(prefer_literal_matches=True)))
+
+
+def test_height_first_ablation(benchmark):
+    """FIFO instead of highest-first selection fragments subtree reuse:
+    when a small copy of an inner subtree is taken before the whole tree
+    containing it, the big tree can no longer be moved as one unit."""
+    pairs = _pairs(10, seed=8)
+    highest = [len(diff(a, b, DiffOptions(height_first=True))[0]) for a, b in pairs]
+    fifo = [len(diff(a, b, DiffOptions(height_first=False))[0]) for a, b in pairs]
+
+    # targeted: the target needs both a big subtree T and, elsewhere and
+    # *earlier in FIFO order*, a copy of T's inner fragment
+    from tests.util import EXP
+
+    e = EXP
+    frag = lambda: e.Mul(e.Num(1), e.Num(2))
+    big = lambda: e.Sub(frag(), e.Var("q"))
+    src = e.Add(big(), e.Num(0))
+    dst = e.Add(e.Neg(frag()), e.Neg(e.Neg(big())))
+    t_high = len(diff(src, dst, DiffOptions(height_first=True))[0])
+    t_fifo = len(diff(src, dst, DiffOptions(height_first=False))[0])
+
+    print("\n== Ablation: height-first candidate selection ==")
+    print(f"corpus mean patch size highest-first: {statistics.mean(highest):8.1f}")
+    print(f"corpus mean patch size FIFO:          {statistics.mean(fifo):8.1f}")
+    print(f"targeted workload highest-first:      {t_high:8d}")
+    print(f"targeted workload FIFO:               {t_fifo:8d}")
+    print(
+        "note: our take_tree defensively undoes *any* conflicting inner\n"
+        "assignment (not only Step-2 preemptive ones), so FIFO yields the\n"
+        "same patches at the cost of wasted takes; height-first ordering is\n"
+        "what entitles the original algorithm to only ever undo preemptive\n"
+        "assignments (an ancestor can never be acquired after a descendant)."
+    )
+    benchmark(lambda: diff(*pairs[0], DiffOptions(height_first=True)))
+
+
+def test_coalescing_ablation(benchmark):
+    """Compound edits merge Load+Attach / Detach+Unload for the metric."""
+    pairs = _pairs(6, seed=9)
+    merged = [len(diff(a, b, DiffOptions(coalesce=True))[0]) for a, b in pairs]
+    raw = [len(diff(a, b, DiffOptions(coalesce=False))[0]) for a, b in pairs]
+    print("\n== Ablation: compound edit coalescing ==")
+    print(f"mean edits coalesced: {statistics.mean(merged):8.1f}")
+    print(f"mean edits raw:       {statistics.mean(raw):8.1f}")
+    assert all(m <= r for m, r in zip(merged, raw))
+    benchmark(lambda: diff(*pairs[0], DiffOptions(coalesce=True)))
+
+
+def _stmt_list_grammar():
+    g = Grammar()
+    Stmt = g.sort("Stmt")
+    assign = g.constructor(
+        "AssignS", Stmt, lits=[("name", LIT_STR), ("value", LIT_INT)]
+    )
+    return g, Stmt, assign
+
+
+def test_list_encoding_ablation(benchmark):
+    """Flat DiffableList nodes vs cons cells: appending one element to a
+    list of structurally equivalent statements.  The cons encoding exposes
+    every suffix as a stealable subtree, so Step 3 reuses a shifted spine
+    and pays per-element Update edits; the flat encoding replaces one list
+    node."""
+    g, Stmt, assign = _stmt_list_grammar()
+    flat = g.list_of(Stmt)
+    cons = g.cons_list_of(Stmt)
+
+    items = [assign(f"x{i}", i) for i in range(30)]
+    extra = assign("x_new", 99)
+
+    flat_a = flat.build(items)
+    flat_b = flat.build([assign(f"x{i}", i) for i in range(30)] + [assign("x_new", 99)])
+    cons_a = cons.build([assign(f"x{i}", i) for i in range(30)])
+    cons_b = cons.build([assign(f"x{i}", i) for i in range(30)] + [assign("x_new", 99)])
+
+    flat_edits = len(diff(flat_a, flat_b)[0])
+    cons_edits = len(diff(cons_a, cons_b)[0])
+    print("\n== Ablation: sequence encoding (append to 30-element list) ==")
+    print(f"flat list encoding: {flat_edits:4d} edits")
+    print(f"cons list encoding: {cons_edits:4d} edits")
+    assert flat_edits <= 6
+    assert cons_edits > flat_edits
+    benchmark(lambda: diff(flat_a, flat_b))
+
+
+def test_hdiff_trie_vs_dict(benchmark):
+    """The trie interning the original uses vs a Python dict."""
+    pairs = _pairs(4, seed=10)
+
+    def run(use_trie: bool) -> float:
+        t0 = time.perf_counter()
+        for a, b in pairs:
+            hdiff(_rebuild_tnode(a), _rebuild_tnode(b), HdiffOptions(use_trie=use_trie))
+        return (time.perf_counter() - t0) * 1000
+
+    trie_ms = min(run(True) for _ in range(3))
+    dict_ms = min(run(False) for _ in range(3))
+    print("\n== Ablation: hdiff sharing-map backend ==")
+    print(f"digest trie: {trie_ms:8.1f} ms")
+    print(f"dict:        {dict_ms:8.1f} ms")
+    print(f"trie overhead: {trie_ms / dict_ms:6.2f}x")
+    benchmark(lambda: hdiff(*pairs[0], HdiffOptions(use_trie=True)))
+
+
+def test_lempsink_vs_truediff_moves(benchmark):
+    """The Section 1 argument: without moves, patches blow up when
+    subtrees travel."""
+    from tests.util import EXP
+
+    e = EXP
+    sub = e.Sub(e.Var("a"), e.Var("b"))
+    src = e.Add(sub, e.Mul(e.Var("c"), e.Var("d")))
+    dst = e.Add(e.Var("d"), e.Mul(e.Var("c"), e.Sub(e.Var("a"), e.Var("b"))))
+
+    td_script, _ = diff(src, dst)
+    lp_ops = lempsink_diff(src, dst)
+    print("\n== Ablation: move support (Section 1 example) ==")
+    print(f"truediff edits:          {len(td_script):4d}")
+    print(f"lempsink changes (I+D):  {script_cost(lp_ops):4d}")
+    print(f"lempsink script length:  {len(lp_ops):4d}")
+    assert len(td_script) < script_cost(lp_ops)
+    benchmark(lambda: lempsink_diff(src, dst))

@@ -1,0 +1,54 @@
+"""Figure 4: edit script conciseness.
+
+Regenerates both panels of the paper's Figure 4 over the commit corpus:
+patch size *difference* (left) and patch size *ratio* (right) of hdiff
+and Gumtree against truediff.  Paper-reported values: hdiff patches are
+on average 18.8x larger than truediff's; Gumtree patches are on par
+(mean ratio 1.01x, i.e. truediff within a percent of Gumtree).
+
+Run with ``pytest benchmarks/test_fig4_conciseness.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+from repro.adapters import parse_python
+from repro.baselines.gumtree import gumtree_diff
+from repro.baselines.hdiff import hdiff, patch_size
+from repro.bench import fig4_conciseness
+from repro.core import diff
+
+
+def test_fig4_report(measurements, benchmark):
+    report = fig4_conciseness(measurements)
+    print()
+    print(report.render())
+
+    # reproduction checks: the paper's qualitative shape
+    assert report.mean_ratio_hdiff is not None
+    assert report.mean_ratio_hdiff > 2.0, "hdiff patches should be much larger"
+    assert report.mean_ratio_gumtree is not None
+    assert 0.5 <= report.mean_ratio_gumtree <= 2.0, (
+        "truediff should be on par with Gumtree"
+    )
+
+    # benchmark hook: the conciseness metric itself (cheap, but makes the
+    # figure reproducible through `--benchmark-only` runs)
+    benchmark(lambda: fig4_conciseness(measurements))
+
+
+def test_fig4_patch_sizes_on_representative_file(medium_change, benchmark):
+    """Patch sizes of all three tools on one representative change."""
+    src = parse_python(medium_change.before)
+    dst = parse_python(medium_change.after)
+
+    def sizes():
+        script, _ = diff(src, dst)
+        from repro.adapters import tnode_to_gumtree
+
+        g_ops = gumtree_diff(tnode_to_gumtree(src), tnode_to_gumtree(dst))
+        h_size = patch_size(hdiff(src, dst))
+        return len(script), len(g_ops), h_size
+
+    td, gt, hd = benchmark(sizes)
+    print(f"\npatch sizes on {medium_change.path}: truediff={td} gumtree={gt} hdiff={hd}")
+    assert hd >= td or hd >= gt or (td <= 2 and hd <= 2)

@@ -1,0 +1,80 @@
+"""Heuristic sensitivity: Gumtree's tuning knobs vs truediff's absence
+of them.
+
+The paper's introduction and related work criticize similarity-based
+approaches because "the similarity score is based on heuristics and has
+to be tuned to obtain satisfactory patches" — a whole line of research
+(Chawathe, ChangeDistiller, GumTree, ...) tuned them differently.  This
+benchmark quantifies the sensitivity on our corpus: Gumtree's patch sizes
+as min_dice and min_height vary, against truediff's single
+parameter-free result.  hdiff's extraction-mode choice (patience vs
+nonest) is measured too.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.adapters import parse_python, tnode_to_gumtree
+from repro.baselines.gumtree import ChawatheScriptGenerator, GumtreeOptions, match
+from repro.baselines.hdiff import HdiffOptions, hdiff, patch_size
+from repro.bench.harness import _rebuild_tnode
+from repro.core import diff
+
+
+def _sample_pairs(corpus, n=12):
+    sized = sorted(corpus, key=lambda c: len(c.before))
+    step = max(1, len(sized) // n)
+    picked = sized[::step][:n]
+    return [
+        (parse_python(c.before), parse_python(c.after)) for c in picked
+    ]
+
+
+def test_gumtree_parameter_sensitivity(corpus, benchmark):
+    pairs = _sample_pairs(corpus)
+    gpairs = [(tnode_to_gumtree(a), tnode_to_gumtree(b)) for a, b in pairs]
+
+    def gumtree_sizes(opts: GumtreeOptions) -> float:
+        sizes = []
+        for g1, g2 in gpairs:
+            a, b = g1.deep_copy(), g2.deep_copy()
+            ops = ChawatheScriptGenerator(a, b, match(a, b, opts)).generate()
+            sizes.append(len(ops))
+        return statistics.mean(sizes)
+
+    truediff_mean = statistics.mean(len(diff(a, b)[0]) for a, b in pairs)
+
+    print("\n== Heuristic sensitivity: Gumtree knobs vs truediff ==")
+    print(f"truediff (no knobs):                    mean patch size {truediff_mean:7.1f}")
+    results = {}
+    for min_dice in (0.1, 0.3, 0.5, 0.7):
+        m = gumtree_sizes(GumtreeOptions(min_dice=min_dice))
+        results[f"min_dice={min_dice}"] = m
+        print(f"gumtree min_dice={min_dice:<4} min_height=2:    mean patch size {m:7.1f}")
+    for min_height in (1, 3):
+        m = gumtree_sizes(GumtreeOptions(min_height=min_height))
+        results[f"min_height={min_height}"] = m
+        print(f"gumtree min_dice=0.3  min_height={min_height}:    mean patch size {m:7.1f}")
+    spread = max(results.values()) / min(results.values())
+    print(f"gumtree patch size spread across settings: {spread:.2f}x")
+
+    benchmark(lambda: gumtree_sizes(GumtreeOptions()))
+
+
+def test_hdiff_mode_sensitivity(corpus, benchmark):
+    pairs = _sample_pairs(corpus, n=8)
+
+    def hdiff_sizes(opts: HdiffOptions) -> float:
+        return statistics.mean(
+            patch_size(hdiff(_rebuild_tnode(a), _rebuild_tnode(b), opts))
+            for a, b in pairs
+        )
+
+    print("\n== hdiff extraction-mode sensitivity ==")
+    for mode in ("patience", "nonest"):
+        for mh in (1, 3):
+            m = hdiff_sizes(HdiffOptions(mode=mode, min_height=mh))
+            print(f"hdiff mode={mode:<8} min_height={mh}: mean patch size {m:8.1f}")
+
+    benchmark(lambda: hdiff_sizes(HdiffOptions()))

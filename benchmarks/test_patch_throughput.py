@@ -1,0 +1,77 @@
+"""Section 3.2: the standard semantics processes edits in constant time.
+
+"We opt for a realistic semantics that patches trees efficiently ...
+By maintaining an index from URI to MNode for all loaded nodes, we can
+access nodes by their URI in constant time."
+
+The check: applying a script to a *large* tree costs time proportional to
+the script length, not the tree size.  We patch trees of growing size
+with a fixed-size script and a fixed tree with scripts of growing size.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.adapters import parse_python
+from repro.core import diff, tnode_to_mtree
+from repro.corpus import GeneratorConfig, generate_module, mutate_source
+
+
+def _pair(n_functions: int, seed: int, edits: int):
+    cfg = GeneratorConfig(n_functions=(n_functions, n_functions), n_classes=(0, 0))
+    before = generate_module(seed, cfg)
+    after, _ = mutate_source(before, random.Random(seed), n_edits=edits)
+    return parse_python(before), parse_python(after)
+
+
+def _patch_ms(src, script, repeats: int = 20) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        mt = tnode_to_mtree(src)  # rebuild outside the timed region
+        t0 = time.perf_counter()
+        mt.patch(script)
+        best = min(best, (time.perf_counter() - t0) * 1000)
+    return best
+
+
+def test_patch_cost_independent_of_tree_size(benchmark):
+    rows = []
+    for n_funcs in (4, 16, 64):
+        src, dst = _pair(n_funcs, seed=n_funcs, edits=2)
+        script, _ = diff(src, dst)
+        ms = _patch_ms(src, script)
+        rows.append((src.size, len(script), ms))
+    print("\n== Standard semantics: patch cost vs tree size (fixed edit count) ==")
+    print(f"{'tree nodes':>12} {'edits':>6} {'patch ms':>10}")
+    for nodes, edits, ms in rows:
+        print(f"{nodes:>12} {edits:>6} {ms:>10.4f}")
+    # cost must not scale with the tree: the largest tree is ~16x bigger
+    # but patching stays within a small constant factor
+    small, large = rows[0][2], rows[-1][2]
+    edits_ratio = max(1.0, rows[-1][1] / max(rows[0][1], 1))
+    assert large < max(small, 0.01) * edits_ratio * 8, rows
+
+    src, dst = _pair(64, seed=64, edits=2)
+    script, _ = diff(src, dst)
+    mt_proto = tnode_to_mtree(src)
+    benchmark(lambda: mt_proto.copy().patch(script))
+
+
+def test_patch_cost_scales_with_script_size(benchmark):
+    rows = []
+    for edits in (1, 4, 16):
+        src, dst = _pair(32, seed=7, edits=edits)
+        script, _ = diff(src, dst)
+        ms = _patch_ms(src, script)
+        rows.append((len(list(script.primitives())), ms))
+    print("\n== Standard semantics: patch cost vs script size (fixed tree) ==")
+    print(f"{'primitive edits':>16} {'patch ms':>10}")
+    for n, ms in rows:
+        print(f"{n:>16} {ms:>10.4f}")
+
+    src, dst = _pair(32, seed=7, edits=16)
+    script, _ = diff(src, dst)
+    mt_proto = tnode_to_mtree(src)
+    benchmark(lambda: mt_proto.copy().patch(script))

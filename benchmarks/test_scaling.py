@@ -1,0 +1,74 @@
+"""Theorem 4.1: truediff runs in linear time.
+
+An empirical check of the complexity claim: diff time per node should
+stay roughly constant for truediff as trees grow, while Gumtree's
+matching degrades on the same inputs (its similarity machinery is
+super-linear).  The sweep mutates synthetic modules of growing size and
+prints the ms/knode series.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.adapters import parse_python, tnode_to_gumtree
+from repro.adapters.bridge import ast_node_count
+from repro.baselines.gumtree import ChawatheScriptGenerator, match
+from repro.bench.harness import _rebuild_tnode
+from repro.core import diff
+from repro.corpus import GeneratorConfig, generate_module, mutate_source
+
+
+def _module_of_size(target_functions: int, seed: int) -> str:
+    cfg = GeneratorConfig(
+        n_functions=(target_functions, target_functions), n_classes=(0, 0)
+    )
+    return generate_module(seed, cfg)
+
+
+def _timed_truediff(src, dst) -> float:
+    t0 = time.perf_counter()
+    a, b = _rebuild_tnode(src), _rebuild_tnode(dst)
+    diff(a, b)
+    return (time.perf_counter() - t0) * 1000
+
+
+def _timed_gumtree(gsrc, gdst) -> float:
+    t0 = time.perf_counter()
+    a, b = gsrc.deep_copy(), gdst.deep_copy()
+    mappings = match(a, b)
+    ChawatheScriptGenerator(a, b, mappings).generate()
+    return (time.perf_counter() - t0) * 1000
+
+
+def test_linear_scaling(benchmark):
+    rng = random.Random(0)
+    rows = []
+    for n_funcs in (4, 8, 16, 32, 64):
+        before = _module_of_size(n_funcs, seed=n_funcs)
+        after, _ = mutate_source(before, random.Random(n_funcs), n_edits=3)
+        src, dst = parse_python(before), parse_python(after)
+        nodes = ast_node_count(src) + ast_node_count(dst)
+        td = min(_timed_truediff(src, dst) for _ in range(3))
+        gt = min(_timed_gumtree(tnode_to_gumtree(src), tnode_to_gumtree(dst)) for _ in range(3))
+        rows.append((nodes, td, gt))
+
+    print("\n== Theorem 4.1: scaling sweep (best of 3) ==")
+    print(f"{'nodes':>8} {'truediff ms':>12} {'ms/knode':>10} {'gumtree ms':>12} {'ms/knode':>10}")
+    for nodes, td, gt in rows:
+        print(
+            f"{nodes:>8} {td:>12.2f} {td / nodes * 1000:>10.3f} "
+            f"{gt:>12.2f} {gt / nodes * 1000:>10.3f}"
+        )
+
+    # linearity check: per-node cost of the largest input is within 4x of
+    # the smallest (generous bound for noise and cache effects)
+    per_node = [td / nodes for nodes, td, _ in rows]
+    assert per_node[-1] < per_node[0] * 4, f"truediff per-node cost grew: {per_node}"
+
+    # benchmark hook: the largest pair
+    before = _module_of_size(64, seed=64)
+    after, _ = mutate_source(before, random.Random(64), n_edits=3)
+    src, dst = parse_python(before), parse_python(after)
+    benchmark(lambda: diff(_rebuild_tnode(src), _rebuild_tnode(dst)))

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Incremental program analysis driven by truediff (Section 6).
+
+The paper's motivating use case: an IncA-style incremental analysis
+framework where, after every code change, the file is re-parsed, diffed
+with truediff, and the resulting edit script updates an incrementally
+maintained Datalog database — no re-analysis of unchanged code.
+
+This example maintains a def/use analysis over an evolving Python module
+and reports, after each edit, which calls have no definition — along with
+the cost of the incremental update vs re-analyzing from scratch.
+
+Run:  python examples/incremental_analysis.py
+"""
+
+from repro.adapters import parse_python
+from repro.incremental import (
+    IncrementalDriver,
+    install_descendants,
+    install_python_defuse,
+)
+
+VERSIONS = [
+    # v0: helper() is not defined yet
+    '''
+def main():
+    data = load()
+    return helper(data)
+
+def load():
+    return [1, 2, 3]
+''',
+    # v1: helper gets defined
+    '''
+def main():
+    data = load()
+    return helper(data)
+
+def load():
+    return [1, 2, 3]
+
+def helper(items):
+    return sum(items)
+''',
+    # v2: a new undefined call appears inside helper
+    '''
+def main():
+    data = load()
+    return helper(data)
+
+def load():
+    return [1, 2, 3]
+
+def helper(items):
+    return normalize(sum(items))
+''',
+    # v3: load is renamed; its call site follows
+    '''
+def main():
+    data = load_items()
+    return helper(data)
+
+def load_items():
+    return [1, 2, 3]
+
+def helper(items):
+    return normalize(sum(items))
+''',
+]
+
+
+def main() -> None:
+    driver = IncrementalDriver(
+        parse_python(VERSIONS[0]),
+        installers=[install_descendants, install_python_defuse],
+    )
+
+    def report_state(version: int) -> None:
+        undefined = sorted(name for _, name in driver.engine.facts("undefined_call"))
+        defined = sorted(n for (n,) in driver.engine.facts("defined_name"))
+        print(f"  defined:   {', '.join(defined)}")
+        print(f"  undefined calls: {', '.join(undefined) if undefined else '(none)'}")
+
+    print("v0 (initial analysis):")
+    report_state(0)
+
+    for i, source in enumerate(VERSIONS[1:], start=1):
+        rep = driver.update(parse_python(source), measure_scratch=True)
+        print(
+            f"\nv{i}: {rep.edits} edits -> {rep.fact_inserts}+/"
+            f"{rep.fact_deletes}- facts, incremental {rep.incremental_ms:.2f} ms "
+            f"(from scratch: {rep.scratch_ms:.2f} ms, {rep.speedup:.1f}x)"
+        )
+        report_state(i)
+        assert driver.check_consistency(), "incremental == from-scratch"
+
+    print("\nall incremental states matched from-scratch evaluation \N{CHECK MARK}")
+
+
+if __name__ == "__main__":
+    main()

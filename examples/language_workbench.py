@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A language workbench session: live type checking driven by truediff.
+
+The full pipeline the paper's Section 6 describes, on a language built
+entirely inside this repository: the mini imperative language
+(:mod:`repro.langs.minilang`) with its lexer, parser, pretty-printer, and
+an incrementally maintained type checker.
+
+Every "keystroke" below re-parses the buffer; truediff computes a concise
+edit script against the previous tree; the script updates the Datalog
+fact base; and the type checker's error relations are refreshed without
+re-analyzing the unchanged functions.
+
+Run:  python examples/language_workbench.py
+"""
+
+from repro.langs.minilang import parse_mini
+from repro.langs.minilang.analysis import make_mini_driver
+
+BUFFER_STATES = [
+    # the user starts typing main
+    """
+fn main() {
+    let total = 0;
+    return total + bonus;
+}
+""",
+    # defines the missing helper value
+    """
+fn main() {
+    let bonus = 5;
+    let total = 0;
+    return total + bonus;
+}
+""",
+    # introduces a type error while refactoring
+    """
+fn main() {
+    let bonus = "five";
+    let total = 0;
+    return total + bonus;
+}
+""",
+    # fixes it and adds a second function
+    """
+fn main() {
+    let bonus = 5;
+    let total = 0;
+    return total + bonus;
+}
+
+fn clamp(v, limit) {
+    if v > limit {
+        return limit;
+    }
+    return v;
+}
+""",
+]
+
+
+def show_diagnostics(driver) -> None:
+    unbound = sorted(name for _, name in driver.engine.facts("unbound_name"))
+    ill = len(driver.engine.facts("ill_typed"))
+    conflicts = sorted(x for _, x in driver.engine.facts("bind_conflict"))
+    if not unbound and not ill and not conflicts:
+        print("   no diagnostics — program is well-typed")
+        return
+    for name in unbound:
+        print(f"   error: name {name!r} is not bound")
+    if ill:
+        print(f"   error: {ill} ill-typed expression(s)")
+    for name in conflicts:
+        print(f"   warning: {name!r} bound at conflicting types")
+
+
+def main() -> None:
+    driver = make_mini_driver(parse_mini(BUFFER_STATES[0]))
+    print("buffer v0:")
+    show_diagnostics(driver)
+
+    for i, buffer in enumerate(BUFFER_STATES[1:], start=1):
+        report = driver.update(parse_mini(buffer), measure_scratch=True)
+        print(
+            f"\nbuffer v{i}: {report.edits} tree edits, "
+            f"{report.fact_inserts}+/{report.fact_deletes}- facts, "
+            f"{report.incremental_ms:.1f} ms incremental "
+            f"(vs {report.scratch_ms:.1f} ms from scratch)"
+        )
+        show_diagnostics(driver)
+        assert driver.check_consistency()
+
+    print("\nincremental diagnostics matched from-scratch analysis throughout ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Three-way merging of structural changes.
+
+Two developers branch off the same revision of a file and edit different
+parts.  Their changes are truechange edit scripts; because the scripts
+are linearly typed and address nodes by URI, disjoint changes provably
+commute and can be merged by concatenation, while overlapping changes are
+reported as conflicts instead of silently misapplied.
+
+Run:  python examples/merge_histories.py
+"""
+
+from repro.core import diff, find_conflicts, merge_scripts, tnode_to_mtree
+from repro.langs.minilang import parse_mini, pretty
+from repro.core.patch import mtree_to_tnode
+
+BASE = """
+fn area(w, h) {
+    return w * h;
+}
+
+fn perimeter(w, h) {
+    return 2 * (w + h);
+}
+"""
+
+# developer A renames a parameter in `area`
+LEFT = """
+fn area(width, h) {
+    return width * h;
+}
+
+fn perimeter(w, h) {
+    return 2 * (w + h);
+}
+"""
+
+# developer B guards `perimeter` against negatives
+RIGHT = """
+fn area(w, h) {
+    return w * h;
+}
+
+fn perimeter(w, h) {
+    if w < 0 {
+        return 0;
+    }
+    return 2 * (w + h);
+}
+"""
+
+# developer C also edits `area` (conflicts with A)
+CONFLICTING = """
+fn area(w, h) {
+    return h * w;
+}
+
+fn perimeter(w, h) {
+    return 2 * (w + h);
+}
+"""
+
+
+def main() -> None:
+    base = parse_mini(BASE)
+    sigs = base.sigs
+
+    left_script, _ = diff(base, parse_mini(LEFT))
+    right_script, _ = diff(base, parse_mini(RIGHT))
+    print(f"developer A: {len(left_script)} edits")
+    print(f"developer B: {len(right_script)} edits")
+
+    result = merge_scripts(left_script, right_script)
+    assert result.ok
+    print(f"\nmerged cleanly into {len(result.script)} edits")
+
+    mtree = tnode_to_mtree(base)
+    mtree.patch(result.script)
+    merged = mtree_to_tnode(mtree, sigs)
+    print("\nmerged program:")
+    print(pretty(merged))
+
+    # now the conflicting pair
+    conflict_script, _ = diff(base, parse_mini(CONFLICTING))
+    conflicts = find_conflicts(left_script, conflict_script)
+    print(f"\nmerging A with C reports {len(conflicts)} conflict(s):")
+    for c in conflicts:
+        print(f"   {c}")
+    assert not merge_scripts(left_script, conflict_script).ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup entry point.
+
+The offline evaluation environment lacks the ``wheel`` package, so PEP
+517/660 builds (which ``pip install -e .`` would otherwise use) fail with
+``invalid command 'bdist_wheel'``.  Keeping a classic ``setup.py`` (and no
+``[build-system]`` table in pyproject.toml) makes ``pip install -e .`` take
+the legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "truediff/truechange: concise, type-safe, and efficient structural "
+        "diffing (PLDI 2021 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,114 @@
+"""repro — a Python reproduction of *Concise, Type-Safe, and Efficient
+Structural Diffing* (Erdweg, Szabó, Pacak; PLDI 2021).
+
+The package provides:
+
+* :mod:`repro.core` — **truechange** (linearly typed edit scripts: syntax,
+  type system, standard semantics) and **truediff** (the linear-time,
+  type-safe structural diffing algorithm).
+* :mod:`repro.adapters` — bindings that wrap foreign trees as diffable
+  trees: CPython ``ast``, s-expressions, JSON, and generic rose trees.
+* :mod:`repro.baselines` — reimplementations of the systems the paper
+  evaluates against: Gumtree (untyped, Chawathe-style), hdiff (typed tree
+  rewriting), and Lempsink-style Cpy/Ins/Del scripts.
+* :mod:`repro.incremental` — an IncA-style incremental Datalog engine
+  driven by truechange edit scripts (Section 6).
+* :mod:`repro.corpus` — synthetic Python programs and a simulated commit
+  history standing in for the paper's keras corpus.
+* :mod:`repro.bench` — the evaluation harness regenerating Figures 4-5.
+
+Quickstart::
+
+    from repro import Grammar, LIT_INT, diff
+
+    g = Grammar()
+    Exp = g.sort("Exp")
+    Num = g.constructor("Num", Exp, lits=[("n", LIT_INT)])
+    Add = g.constructor("Add", Exp, kids=[("e1", Exp), ("e2", Exp)])
+
+    src = Add(Num(1), Num(2))
+    dst = Add(Num(2), Num(1))
+    script, patched = diff(src, dst)
+    print(script)
+"""
+
+from .core import (
+    ANY,
+    Attach,
+    Detach,
+    DiffOptions,
+    DiffTrace,
+    EditScript,
+    EditTypeError,
+    Grammar,
+    Insert,
+    LIT_ANY,
+    LIT_BOOL,
+    LIT_FLOAT,
+    LIT_INT,
+    LIT_STR,
+    Load,
+    MTree,
+    Node,
+    Remove,
+    Signature,
+    SignatureRegistry,
+    TNode,
+    Unload,
+    Update,
+    TreeGenerator,
+    apply_script,
+    assert_well_typed,
+    check_script,
+    diff,
+    diff_traced,
+    diffable,
+    invert_script,
+    is_well_typed,
+    merge_scripts,
+    script_from_json,
+    script_to_json,
+    tnode_to_mtree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "Attach",
+    "Detach",
+    "DiffOptions",
+    "EditScript",
+    "EditTypeError",
+    "Grammar",
+    "Insert",
+    "LIT_ANY",
+    "LIT_BOOL",
+    "LIT_FLOAT",
+    "LIT_INT",
+    "LIT_STR",
+    "Load",
+    "MTree",
+    "Node",
+    "Remove",
+    "Signature",
+    "SignatureRegistry",
+    "TNode",
+    "Unload",
+    "Update",
+    "DiffTrace",
+    "TreeGenerator",
+    "apply_script",
+    "assert_well_typed",
+    "check_script",
+    "diff",
+    "diff_traced",
+    "diffable",
+    "invert_script",
+    "is_well_typed",
+    "merge_scripts",
+    "script_from_json",
+    "script_to_json",
+    "tnode_to_mtree",
+    "__version__",
+]

@@ -1,0 +1,137 @@
+"""Command line interface: structural diffing of Python files.
+
+Usage::
+
+    python -m repro diff before.py after.py            # print the script
+    python -m repro diff before.py after.py --json     # machine-readable
+    python -m repro diff before.py after.py --stats    # sizes & timing
+    python -m repro apply before.py script.json        # patch and unparse
+    python -m repro compare before.py after.py         # all tools side by side
+
+The CLI exercises the same public API the examples use; it exists so the
+tool is usable on real files without writing a driver script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.adapters import ast_node_count, parse_python, tnode_to_gumtree, unparse_python
+from repro.core import assert_well_typed, diff, tnode_to_mtree
+from repro.core.serialize import script_from_json, script_to_json
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf8") as fh:
+        return fh.read()
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    # canonical URIs (pre-order positions) make the script meaningful to a
+    # separate `apply` process that re-parses the before-file
+    src = parse_python(_read(args.before), args.before).with_canonical_uris()
+    dst = parse_python(_read(args.after), args.after)
+    t0 = time.perf_counter()
+    from repro.core import URIGen
+
+    script, _ = diff(src, dst, urigen=URIGen(start=src.size + 1))
+    elapsed_ms = (time.perf_counter() - t0) * 1000
+    assert_well_typed(src.sigs, script)
+    if args.json:
+        print(script_to_json(script, indent=2))
+    elif args.explain:
+        from repro.adapters.explain import explain
+
+        print(explain(src, script))
+    else:
+        for edit in script:
+            print(edit)
+    if args.stats:
+        nodes = ast_node_count(src) + ast_node_count(dst)
+        print(
+            f"-- {len(script)} edits, {nodes} nodes, {elapsed_ms:.1f} ms "
+            f"({nodes / elapsed_ms:.0f} nodes/ms)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_apply(args: argparse.Namespace) -> int:
+    src = parse_python(_read(args.before), args.before).with_canonical_uris()
+    script = script_from_json(_read(args.script))
+    mtree = tnode_to_mtree(src)
+    mtree.patch(script)
+    # rebuild a TNode from the patched MTree to unparse it
+    from repro.adapters.pyast import python_grammar
+
+    g = python_grammar()
+    rebuilt = g.grammar.parse_tuple(mtree.to_tuple())
+    print(unparse_python(rebuilt))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines.gumtree import ChawatheScriptGenerator, match
+    from repro.baselines.hdiff import hdiff, patch_size
+
+    src = parse_python(_read(args.before), args.before)
+    dst = parse_python(_read(args.after), args.after)
+    nodes = ast_node_count(src) + ast_node_count(dst)
+
+    t0 = time.perf_counter()
+    script, _ = diff(src, dst)
+    td_ms = (time.perf_counter() - t0) * 1000
+
+    g1, g2 = tnode_to_gumtree(src), tnode_to_gumtree(dst)
+    t0 = time.perf_counter()
+    ops = ChawatheScriptGenerator(g1, g2, match(g1, g2)).generate()
+    gt_ms = (time.perf_counter() - t0) * 1000
+
+    t0 = time.perf_counter()
+    patch = hdiff(src, dst)
+    hd_ms = (time.perf_counter() - t0) * 1000
+
+    print(f"{'tool':<10} {'patch size':>10} {'time ms':>9} {'nodes/ms':>9}")
+    for name, size, ms in (
+        ("truediff", len(script), td_ms),
+        ("gumtree", len(ops), gt_ms),
+        ("hdiff", patch_size(patch), hd_ms),
+    ):
+        print(f"{name:<10} {size:>10} {ms:>9.1f} {nodes / ms:>9.0f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="truediff structural diffing for Python files"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_diff = sub.add_parser("diff", help="diff two Python files")
+    p_diff.add_argument("before")
+    p_diff.add_argument("after")
+    p_diff.add_argument("--json", action="store_true", help="emit truechange JSON")
+    p_diff.add_argument(
+        "--explain", action="store_true", help="print a human-readable change summary"
+    )
+    p_diff.add_argument("--stats", action="store_true", help="print size/timing to stderr")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_apply = sub.add_parser("apply", help="apply a truechange JSON script")
+    p_apply.add_argument("before")
+    p_apply.add_argument("script")
+    p_apply.set_defaults(func=cmd_apply)
+
+    p_cmp = sub.add_parser("compare", help="compare all diff tools on a file pair")
+    p_cmp.add_argument("before")
+    p_cmp.add_argument("after")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Bindings that wrap foreign trees as diffable trees (Section 5).
+
+* :mod:`repro.adapters.pyast` — CPython ``ast`` (typed, ASDL-derived).
+* :mod:`repro.adapters.sexpr` — s-expressions.
+* :mod:`repro.adapters.jsonlike` — JSON documents.
+* :mod:`repro.adapters.generic` — untyped rose trees (the ANTLR/treesitter
+  wrapper role).
+* :mod:`repro.adapters.bridge` — conversions to the baselines' tree
+  representations so all tools diff the same inputs.
+"""
+
+from .asdl import parse_asdl
+from .bridge import ast_node_count, tnode_to_gumtree
+from .explain import ChangeSummary, explain, explain_script
+from .generic import RoseMapper, RoseTree, rose_to_tnode, tnode_to_rose
+from .jsonlike import json_grammar, json_to_tnode, parse_json, tnode_to_json
+from .pyast import (
+    from_tnode,
+    parse_python,
+    python_grammar,
+    to_tnode,
+    unparse_python,
+)
+from .sexpr import parse_sexpr, read_sexpr, sexpr_grammar, unparse_sexpr
+
+__all__ = [
+    "ChangeSummary",
+    "RoseMapper",
+    "RoseTree",
+    "ast_node_count",
+    "explain",
+    "explain_script",
+    "from_tnode",
+    "json_grammar",
+    "json_to_tnode",
+    "parse_asdl",
+    "parse_json",
+    "parse_python",
+    "parse_sexpr",
+    "python_grammar",
+    "read_sexpr",
+    "rose_to_tnode",
+    "sexpr_grammar",
+    "tnode_to_gumtree",
+    "tnode_to_json",
+    "tnode_to_rose",
+    "to_tnode",
+    "unparse_python",
+    "unparse_sexpr",
+]

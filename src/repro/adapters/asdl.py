@@ -1,0 +1,174 @@
+"""A small parser for the Zephyr ASDL dialect used by CPython.
+
+CPython defines its abstract grammar in ``Python.asdl``; the
+:mod:`repro.adapters.pyast` binding embeds that grammar (for Python 3.11)
+and derives truediff signatures from it, the same way the paper's ANTLR
+binding derives signatures from ``ruleNames``.
+
+The parser understands the subset of ASDL that CPython uses:
+
+* sum types      ``stmt = Return(expr? value) | Pass | ...``
+* product types  ``arguments = (arg* posonlyargs, arg* args, ...)``
+* field quals    ``*`` (sequence) and ``?`` (optional)
+* ``attributes (...)`` clauses (parsed and discarded — they hold source
+  locations, which are irrelevant for structural diffing)
+* ``-- ...`` end-of-line comments
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+class ASDLSyntaxError(Exception):
+    """The ASDL source is malformed."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """One constructor field: a type name, a qualifier, and a field name."""
+
+    type: str
+    name: str
+    seq: bool = False  # trailing '*'
+    opt: bool = False  # trailing '?'
+
+
+@dataclass(frozen=True)
+class ConstructorDecl:
+    name: str
+    fields: tuple[Field, ...]
+
+
+@dataclass
+class SumDecl:
+    name: str
+    constructors: list[ConstructorDecl] = field(default_factory=list)
+
+
+@dataclass
+class ProductDecl:
+    name: str
+    fields: tuple[Field, ...] = ()
+
+
+@dataclass
+class Module:
+    name: str
+    sums: dict[str, SumDecl] = field(default_factory=dict)
+    products: dict[str, ProductDecl] = field(default_factory=dict)
+
+    @property
+    def type_names(self) -> set[str]:
+        return set(self.sums) | set(self.products)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[=(),|*?{}])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("--", 1)[0]
+        pos = 0
+        while pos < len(line):
+            if line[pos].isspace():
+                pos += 1
+                continue
+            m = _TOKEN_RE.match(line, pos)
+            if not m:
+                raise ASDLSyntaxError(f"unexpected character {line[pos]!r} in {raw_line!r}")
+            tokens.append(m.group(0))
+            pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ASDLSyntaxError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise ASDLSyntaxError(f"expected {tok!r}, got {got!r}")
+
+    def parse_module(self) -> Module:
+        self.expect("module")
+        mod = Module(self.next())
+        self.expect("{")
+        while self.peek() != "}":
+            self.parse_definition(mod)
+        self.expect("}")
+        return mod
+
+    def parse_definition(self, mod: Module) -> None:
+        name = self.next()
+        self.expect("=")
+        if self.peek() == "(":
+            fields = self.parse_fields()
+            self.maybe_attributes()
+            mod.products[name] = ProductDecl(name, fields)
+        else:
+            sum_decl = SumDecl(name)
+            while True:
+                ctor = self.next()
+                fields: tuple[Field, ...] = ()
+                if self.peek() == "(":
+                    fields = self.parse_fields()
+                sum_decl.constructors.append(ConstructorDecl(ctor, fields))
+                if self.peek() == "|":
+                    self.next()
+                    continue
+                break
+            self.maybe_attributes()
+            mod.sums[name] = sum_decl
+
+    def maybe_attributes(self) -> None:
+        if self.peek() == "attributes":
+            self.next()
+            self.parse_fields()  # discard
+
+    def parse_fields(self) -> tuple[Field, ...]:
+        self.expect("(")
+        fields: list[Field] = []
+        if self.peek() != ")":
+            while True:
+                ftype = self.next()
+                seq = opt = False
+                if self.peek() == "*":
+                    self.next()
+                    seq = True
+                elif self.peek() == "?":
+                    self.next()
+                    opt = True
+                fname = self.next()
+                fields.append(Field(ftype, fname, seq=seq, opt=opt))
+                if self.peek() == ",":
+                    self.next()
+                    continue
+                break
+        self.expect(")")
+        return tuple(fields)
+
+
+def parse_asdl(text: str) -> Module:
+    """Parse ASDL source into a :class:`Module` declaration table."""
+    return _Parser(_tokenize(text)).parse_module()

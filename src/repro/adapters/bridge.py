@@ -1,0 +1,109 @@
+"""Bridges between the typed TNode representation and the baselines'
+tree representations, so every diff tool runs on *the same input trees*
+(the paper wraps Gumtree's trees as Diffable for the same reason).
+
+* :func:`tnode_to_gumtree` converts a diffable tree to the untyped
+  :class:`~repro.baselines.gumtree.tree.GTNode` rose tree.  By default
+  cons-list encodings are *flattened* back into n-ary children — the
+  natural shape Gumtree was designed for (an AST statement list becomes
+  one parent with N children).
+* :func:`ast_node_count` reports the common size denominator used by the
+  throughput benchmarks: the number of nodes in the flattened (rose)
+  view, which is the same count Gumtree sees and close to the CPython ast
+  node count.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.gumtree.tree import GTNode
+from repro.core import TNode
+
+
+def _is_list(node: TNode) -> bool:
+    return node.sig.is_variadic
+
+
+def _is_cons(tag: str) -> bool:
+    return tag.startswith("Cons[")
+
+
+def _is_nil(tag: str) -> bool:
+    return tag.startswith("Nil[")
+
+
+def _is_some(tag: str) -> bool:
+    return tag.startswith("Some[")
+
+
+def _is_none(tag: str) -> bool:
+    return tag.startswith("None[")
+
+
+def _lit_value(tree: TNode) -> str:
+    if not tree.lits:
+        return ""
+    if len(tree.lits) == 1:
+        return repr(tree.lits[0])
+    return repr(tuple(tree.lits))
+
+
+def tnode_to_gumtree(tree: TNode, flatten: bool = True) -> GTNode:
+    """Convert a diffable tree into a Gumtree rose tree.
+
+    With ``flatten=True`` (default), cons-lists become n-ary children and
+    options disappear (absent = no child), mirroring the shape a parser
+    would hand to the real GumTree tool.
+    """
+    if not flatten:
+        return GTNode(
+            tree.tag, _lit_value(tree), [tnode_to_gumtree(k, False) for k in tree.kids]
+        )
+    return _flatten_node(tree)
+
+
+def _flatten_node(tree: TNode) -> GTNode:
+    children: list[GTNode] = []
+    for link, kid in tree.kid_items:
+        children.extend(_flatten_kid(link, kid))
+    return GTNode(tree.tag, _lit_value(tree), children)
+
+
+def _flatten_kid(link: str, kid: TNode) -> list[GTNode]:
+    tag = kid.tag
+    if _is_list(kid):
+        out: list[GTNode] = []
+        for el in kid.kids:
+            out.extend(_flatten_kid(link, el))
+        return out
+    if _is_cons(tag) or _is_nil(tag):
+        out = []
+        cur = kid
+        while _is_cons(cur.tag):
+            out.extend(_flatten_kid(link, cur.kids[0]))
+            cur = cur.kids[1]
+        return out
+    if _is_some(tag):
+        return _flatten_kid(link, kid.kids[0])
+    if _is_none(tag):
+        return []
+    return [_flatten_node(kid)]
+
+
+def ast_node_count(tree: TNode) -> int:
+    """Node count in the flattened rose view (the benchmarks' common size
+    denominator for all tools)."""
+    count = 0
+    stack = [tree]
+    while stack:
+        n = stack.pop()
+        tag = n.tag
+        if _is_list(n) or _is_cons(tag) or _is_some(tag):
+            stack.extend(n.kids)
+        elif _is_nil(tag) or _is_none(tag):
+            pass
+        else:
+            count += 1
+            stack.extend(n.kids)
+    return count

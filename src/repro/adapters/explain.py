@@ -1,0 +1,198 @@
+"""Human-readable summaries of structural diffs.
+
+Edit scripts are machine-oriented (URIs, links).  For changelog-style
+output — "renamed `old_name` to `new_name` in function `f`", "added
+function `g`" — this module interprets a truechange script against the
+source tree it was computed from.
+
+Works for any grammar; Python trees (from :mod:`repro.adapters.pyast`)
+get extra polish (function/class names, identifier renames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core import (
+    Attach,
+    Detach,
+    EditScript,
+    Insert,
+    Load,
+    Remove,
+    TNode,
+    Unload,
+    Update,
+)
+from repro.core.uris import URI
+
+# tags whose literal carries a human-meaningful name
+_NAMED_TAGS = {
+    "FunctionDef": ("function", "name"),
+    "AsyncFunctionDef": ("async function", "name"),
+    "ClassDef": ("class", "name"),
+    "ml.FunC": ("function", "name"),
+}
+
+
+@dataclass(frozen=True)
+class ChangeSummary:
+    kind: str  # 'rename' | 'update' | 'add' | 'delete' | 'move'
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class _SourceIndex:
+    """URI-indexed view of the source tree, with enclosing-context lookup."""
+
+    def __init__(self, source: TNode) -> None:
+        self.by_uri: dict[URI, TNode] = {}
+        self.parent: dict[URI, TNode] = {}
+        for n in source.iter_subtree():
+            self.by_uri[n.uri] = n
+            for _, k in n.kid_items:
+                self.parent[k.uri] = n
+
+    def context_of(self, uri: URI) -> Optional[str]:
+        """The nearest enclosing named declaration."""
+        cur = self.parent.get(uri)
+        while cur is not None:
+            named = _NAMED_TAGS.get(cur.tag)
+            if named is not None:
+                what, link = named
+                return f"{what} `{cur.lit(link)}`"
+            cur = self.parent.get(cur.uri)
+        return None
+
+    def describe(self, uri: URI, tag: str) -> str:
+        node = self.by_uri.get(uri)
+        if node is not None:
+            named = _NAMED_TAGS.get(node.tag)
+            if named is not None:
+                what, link = named
+                return f"{what} `{node.lit(link)}`"
+            if node.tag == "Name":
+                return f"reference to `{node.lit('id')}`"
+        return f"`{tag}` node"
+
+
+def _in_context(index: _SourceIndex, uri: URI) -> str:
+    ctx = index.context_of(uri)
+    return f" in {ctx}" if ctx else ""
+
+
+def _lit_changes(old, new) -> list[tuple[str, object, object]]:
+    return [
+        (link, o, n)
+        for (link, o), (_, n) in zip(old, new)
+        if o != n
+    ]
+
+
+def explain_script(source: TNode, script: EditScript) -> list[ChangeSummary]:
+    """Summarize a script computed by ``diff(source, target)``."""
+    index = _SourceIndex(source)
+    out: list[ChangeSummary] = []
+    detached: dict[URI, Detach] = {}
+    loaded_tags: dict[URI, str] = {}
+
+    for edit in script.primitives():
+        if isinstance(edit, Load):
+            loaded_tags[edit.node.uri] = edit.node.tag
+
+    for edit in script:
+        if isinstance(edit, Update):
+            for link, old, new in _lit_changes(edit.old_lits, edit.new_lits):
+                node = index.by_uri.get(edit.node.uri)
+                named = _NAMED_TAGS.get(edit.node.tag)
+                if named is not None and link == named[1]:
+                    out.append(
+                        ChangeSummary(
+                            "rename",
+                            f"renamed {named[0]} `{old}` to `{new}`",
+                        )
+                    )
+                elif edit.node.tag == "Name" and link == "id":
+                    out.append(
+                        ChangeSummary(
+                            "rename",
+                            f"renamed reference `{old}` to `{new}`"
+                            f"{_in_context(index, edit.node.uri)}",
+                        )
+                    )
+                else:
+                    out.append(
+                        ChangeSummary(
+                            "update",
+                            f"changed {link} of `{edit.node.tag}` from {old!r} "
+                            f"to {new!r}{_in_context(index, edit.node.uri)}",
+                        )
+                    )
+        elif isinstance(edit, (Remove, Unload)):
+            named = _NAMED_TAGS.get(edit.node.tag)
+            if named is not None:
+                name = dict(edit.lits).get(named[1], "?")
+                out.append(ChangeSummary("delete", f"removed {named[0]} `{name}`"))
+        elif isinstance(edit, (Insert, Load)):
+            named = _NAMED_TAGS.get(edit.node.tag)
+            if named is not None:
+                name = dict(edit.lits).get(named[1], "?")
+                ctx = (
+                    _in_context(index, edit.parent.uri)
+                    if isinstance(edit, Insert)
+                    else ""
+                )
+                out.append(
+                    ChangeSummary("add", f"added {named[0]} `{name}`{ctx}")
+                )
+        elif isinstance(edit, Detach):
+            detached[edit.node.uri] = edit
+        elif isinstance(edit, Attach):
+            src_detach = detached.pop(edit.node.uri, None)
+            if src_detach is not None and edit.node.uri not in loaded_tags:
+                what = index.describe(edit.node.uri, edit.node.tag)
+                out.append(
+                    ChangeSummary(
+                        "move",
+                        f"moved {what}{_in_context(index, edit.node.uri)}",
+                    )
+                )
+
+    # summarize the residue (plain structural growth/shrinkage)
+    plain_adds = sum(
+        1
+        for e in script
+        if isinstance(e, Insert) and e.node.tag not in _NAMED_TAGS
+    )
+    plain_dels = sum(
+        1
+        for e in script
+        if isinstance(e, Remove) and e.node.tag not in _NAMED_TAGS
+    )
+    loads = sum(
+        1 for e in script if isinstance(e, Load) and e.node.tag not in _NAMED_TAGS
+    )
+    unloads = sum(
+        1 for e in script if isinstance(e, Unload) and e.node.tag not in _NAMED_TAGS
+    )
+    structural = plain_adds + plain_dels + loads + unloads
+    if structural:
+        out.append(
+            ChangeSummary(
+                "update",
+                f"{structural} further structural edit(s) "
+                f"({plain_adds + loads} additions, {plain_dels + unloads} removals)",
+            )
+        )
+    return out
+
+
+def explain(source: TNode, script: EditScript) -> str:
+    """Render the summaries as a bullet list."""
+    summaries = explain_script(source, script)
+    if not summaries:
+        return "no changes"
+    return "\n".join(f"- {s}" for s in summaries)

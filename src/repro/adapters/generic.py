@@ -1,0 +1,94 @@
+"""Generic rose-tree adapter (the paper's ANTLR/treesitter-wrapper role).
+
+Foreign parse trees are often untyped: a node has a rule/label name, an
+optional token value, and any number of children.  :class:`RoseTree` is
+that shape, and :func:`rose_to_tnode` presses it into the typed
+representation by giving every label a one-kid-list signature — exactly
+what the paper's ``RuleContextMapper`` does for ANTLR rule contexts.
+
+Because distinct labels become distinct tags, structural equivalence still
+distinguishes rule types, and the linear type system applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Optional, Sequence
+
+from repro.core import Grammar, LIT_ANY, TNode
+
+
+@dataclass
+class RoseTree:
+    """An untyped parse-tree node: label + optional token value + children."""
+
+    label: str
+    value: Any = None
+    children: list["RoseTree"] = field(default_factory=list)
+
+    def add(self, *kids: "RoseTree") -> "RoseTree":
+        self.children.extend(kids)
+        return self
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(c) for c in self.children)
+        v = f"={self.value!r}" if self.value is not None else ""
+        return f"{self.label}{v}({inner})" if inner else f"{self.label}{v}"
+
+
+class RoseMapper:
+    """Wraps rose trees of one language as diffable trees.
+
+    Tags are interned lazily: the first occurrence of a label declares a
+    constructor ``label(kids: List[Tree], value: AnyLit)``.
+    """
+
+    def __init__(self, name: str = "rose") -> None:
+        self.grammar = Grammar()
+        self.Tree = self.grammar.sort(f"{name}.Tree")
+        self.lists = self.grammar.list_of(self.Tree)
+        self._ctors: dict[str, Any] = {}
+
+    def _ctor(self, label: str):
+        ctor = self._ctors.get(label)
+        if ctor is None:
+            ctor = self.grammar.constructor(
+                label,
+                self.Tree,
+                kids=[("kids", self.lists.sort)],
+                lits=[("value", LIT_ANY)],
+            )
+            self._ctors[label] = ctor
+        return ctor
+
+    def to_tnode(self, rose: RoseTree) -> TNode:
+        kids = self.lists.build([self.to_tnode(c) for c in rose.children])
+        return self._ctor(rose.label)(kids, rose.value)
+
+    def from_tnode(self, tree: TNode) -> RoseTree:
+        if tree.tag not in self._ctors:
+            raise ValueError(f"unknown rose label {tree.tag}")
+        return RoseTree(
+            tree.tag,
+            tree.lit("value"),
+            [self.from_tnode(k) for k in self.lists.elements(tree.kid("kids"))],
+        )
+
+
+@lru_cache(maxsize=1)
+def _default_mapper() -> RoseMapper:
+    return RoseMapper()
+
+
+def rose_to_tnode(rose: RoseTree, mapper: Optional[RoseMapper] = None) -> TNode:
+    """Wrap a rose tree as a diffable tree (default shared mapper)."""
+    return (mapper or _default_mapper()).to_tnode(rose)
+
+
+def tnode_to_rose(tree: TNode, mapper: Optional[RoseMapper] = None) -> RoseTree:
+    """Unwrap a diffable tree built by :func:`rose_to_tnode`."""
+    return (mapper or _default_mapper()).from_tnode(tree)

@@ -1,0 +1,97 @@
+"""JSON adapter: diff JSON documents with truediff.
+
+JSON values map to a small typed grammar:
+
+* objects  -> ``JObject`` with a cons-list of ``JMember(key, value)``
+* arrays   -> ``JArray`` with a cons-list of values
+* scalars  -> ``JString`` / ``JNumber`` / ``JBool`` / ``JNull``
+
+Structural equivalence then means "same shape" (e.g. two objects with the
+same keys in the same order and same nested shapes) while literal
+equivalence tracks the scalar payloads — so truediff reuses whole
+subdocuments that merely changed a scalar, via a single Update edit.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from typing import Any
+
+from repro.core import Grammar, LIT_ANY, LIT_BOOL, LIT_STR, TNode
+
+
+class JsonGrammar:
+    def __init__(self) -> None:
+        self.grammar = Grammar()
+        g = self.grammar
+        self.Value = g.sort("JValue")
+        self.Member = g.sort("JMember")
+        self.members = g.list_of(self.Member)
+        self.values = g.list_of(self.Value)
+        self.obj = g.constructor("JObject", self.Value, kids=[("members", self.members.sort)])
+        self.member = g.constructor(
+            "JMemberC", self.Member, kids=[("value", self.Value)], lits=[("key", LIT_STR)]
+        )
+        self.arr = g.constructor("JArray", self.Value, kids=[("items", self.values.sort)])
+        self.string = g.constructor("JString", self.Value, lits=[("value", LIT_STR)])
+        self.number = g.constructor("JNumber", self.Value, lits=[("value", LIT_ANY)])
+        self.boolean = g.constructor("JBool", self.Value, lits=[("value", LIT_BOOL)])
+        self.null = g.constructor("JNull", self.Value)
+
+    def to_tnode(self, data: Any) -> TNode:
+        if data is None:
+            return self.null()
+        if isinstance(data, bool):
+            return self.boolean(data)
+        if isinstance(data, (int, float)):
+            return self.number(data)
+        if isinstance(data, str):
+            return self.string(data)
+        if isinstance(data, list):
+            return self.arr(self.values.build([self.to_tnode(x) for x in data]))
+        if isinstance(data, dict):
+            members = [
+                self.member(self.to_tnode(v), str(k)) for k, v in data.items()
+            ]
+            return self.obj(self.members.build(members))
+        raise TypeError(f"not a JSON value: {data!r}")
+
+    def from_tnode(self, tree: TNode) -> Any:
+        tag = tree.tag
+        if tag == "JNull":
+            return None
+        if tag == "JBool":
+            return tree.lit("value")
+        if tag == "JNumber":
+            return tree.lit("value")
+        if tag == "JString":
+            return tree.lit("value")
+        if tag == "JArray":
+            return [self.from_tnode(x) for x in self.values.elements(tree.kid("items"))]
+        if tag == "JObject":
+            return {
+                m.lit("key"): self.from_tnode(m.kid("value"))
+                for m in self.members.elements(tree.kid("members"))
+            }
+        raise TypeError(f"not a JSON tree node: {tag}")
+
+
+@lru_cache(maxsize=1)
+def json_grammar() -> JsonGrammar:
+    return JsonGrammar()
+
+
+def parse_json(text: str) -> TNode:
+    """Parse a JSON document into a diffable tree."""
+    return json_grammar().to_tnode(json.loads(text))
+
+
+def json_to_tnode(data: Any) -> TNode:
+    """Convert an in-memory JSON value into a diffable tree."""
+    return json_grammar().to_tnode(data)
+
+
+def tnode_to_json(tree: TNode) -> Any:
+    """Convert a diffable JSON tree back into a Python value."""
+    return json_grammar().from_tnode(tree)

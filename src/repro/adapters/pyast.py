@@ -1,0 +1,362 @@
+"""Typed binding for CPython's ``ast`` trees (the paper's evaluation runs
+on real-world Python documents).
+
+The binding embeds the Python 3.11 abstract grammar (``Python.asdl``) and
+derives a truediff :class:`~repro.core.adt.Grammar` from it:
+
+* every ASDL sum/product type becomes a sort;
+* every constructor becomes a tagged node signature;
+* ``T*`` fields become cons-lists (``List[T]``), ``T?`` fields become
+  options (``Option[T]``) — keeping every constructor at fixed arity so
+  the linear type system applies unchanged;
+* ``identifier`` / ``string`` / ``int`` / ``constant`` fields become
+  literals;
+* *enum* sorts whose constructors all have no fields (``expr_context``,
+  ``operator``, ``boolop``, ``unaryop``, ``cmpop``) are flattened into
+  string literals on the parent node, so an operator change is a concise
+  ``Update`` edit instead of a node replacement (the same flattening the
+  paper's ANTLR binding applies to tokens).
+
+Two fields hold *nullable* list elements in CPython (``Dict.keys`` for
+``{**d}`` and ``arguments.kw_defaults``); they are encoded as
+``List[Option[expr]]``.
+
+Public API: :func:`parse_python`, :func:`to_tnode`, :func:`from_tnode`,
+:func:`unparse_python`, and :func:`python_grammar`.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Optional, Union
+
+from repro.core import Grammar, LIT_ANY, TNode
+from repro.core.adt import ListSorts, OptionSorts
+from repro.core.types import LitType, Type
+
+from .asdl import Field, Module, parse_asdl
+
+# The abstract grammar of Python 3.11 (CPython Parser/Python.asdl, with
+# location attributes elided — they are irrelevant for structural diffing).
+PYTHON_ASDL = """
+module Python
+{
+    mod = Module(stmt* body, type_ignore* type_ignores)
+        | Interactive(stmt* body)
+        | Expression(expr body)
+        | FunctionType(expr* argtypes, expr returns)
+
+    stmt = FunctionDef(identifier name, arguments args,
+                       stmt* body, expr* decorator_list, expr? returns,
+                       string? type_comment)
+         | AsyncFunctionDef(identifier name, arguments args,
+                            stmt* body, expr* decorator_list, expr? returns,
+                            string? type_comment)
+         | ClassDef(identifier name, expr* bases, keyword* keywords,
+                    stmt* body, expr* decorator_list)
+         | Return(expr? value)
+         | Delete(expr* targets)
+         | Assign(expr* targets, expr value, string? type_comment)
+         | AugAssign(expr target, operator op, expr value)
+         | AnnAssign(expr target, expr annotation, expr? value, int simple)
+         | For(expr target, expr iter, stmt* body, stmt* orelse, string? type_comment)
+         | AsyncFor(expr target, expr iter, stmt* body, stmt* orelse, string? type_comment)
+         | While(expr test, stmt* body, stmt* orelse)
+         | If(expr test, stmt* body, stmt* orelse)
+         | With(withitem* items, stmt* body, string? type_comment)
+         | AsyncWith(withitem* items, stmt* body, string? type_comment)
+         | Match(expr subject, match_case* cases)
+         | Raise(expr? exc, expr? cause)
+         | Try(stmt* body, excepthandler* handlers, stmt* orelse, stmt* finalbody)
+         | TryStar(stmt* body, excepthandler* handlers, stmt* orelse, stmt* finalbody)
+         | Assert(expr test, expr? msg)
+         | Import(alias* names)
+         | ImportFrom(identifier? module, alias* names, int? level)
+         | Global(identifier* names)
+         | Nonlocal(identifier* names)
+         | Expr(expr value)
+         | Pass | Break | Continue
+
+    expr = BoolOp(boolop op, expr* values)
+         | NamedExpr(expr target, expr value)
+         | BinOp(expr left, operator op, expr right)
+         | UnaryOp(unaryop op, expr operand)
+         | Lambda(arguments args, expr body)
+         | IfExp(expr test, expr body, expr orelse)
+         | Dict(expr* keys, expr* values)
+         | Set(expr* elts)
+         | ListComp(expr elt, comprehension* generators)
+         | SetComp(expr elt, comprehension* generators)
+         | DictComp(expr key, expr value, comprehension* generators)
+         | GeneratorExp(expr elt, comprehension* generators)
+         | Await(expr value)
+         | Yield(expr? value)
+         | YieldFrom(expr value)
+         | Compare(expr left, cmpop* ops, expr* comparators)
+         | Call(expr func, expr* args, keyword* keywords)
+         | FormattedValue(expr value, int conversion, expr? format_spec)
+         | JoinedStr(expr* values)
+         | Constant(constant value, string? kind)
+         | Attribute(expr value, identifier attr, expr_context ctx)
+         | Subscript(expr value, expr slice, expr_context ctx)
+         | Starred(expr value, expr_context ctx)
+         | Name(identifier id, expr_context ctx)
+         | List(expr* elts, expr_context ctx)
+         | Tuple(expr* elts, expr_context ctx)
+         | Slice(expr? lower, expr? upper, expr? step)
+
+    expr_context = Load | Store | Del
+    boolop = And | Or
+    operator = Add | Sub | Mult | MatMult | Div | Mod | Pow | LShift
+             | RShift | BitOr | BitXor | BitAnd | FloorDiv
+    unaryop = Invert | Not | UAdd | USub
+    cmpop = Eq | NotEq | Lt | LtE | Gt | GtE | Is | IsNot | In | NotIn
+
+    comprehension = (expr target, expr iter, expr* ifs, int is_async)
+    excepthandler = ExceptHandler(expr? type, identifier? name, stmt* body)
+    arguments = (arg* posonlyargs, arg* args, arg? vararg, arg* kwonlyargs,
+                 expr* kw_defaults, arg? kwarg, expr* defaults)
+    arg = (identifier arg, expr? annotation, string? type_comment)
+    keyword = (identifier? arg, expr value)
+    alias = (identifier name, identifier? asname)
+    withitem = (expr context_expr, expr? optional_vars)
+    match_case = (pattern pattern, expr? guard, stmt* body)
+
+    pattern = MatchValue(expr value)
+            | MatchSingleton(constant value)
+            | MatchSequence(pattern* patterns)
+            | MatchMapping(expr* keys, pattern* patterns, identifier? rest)
+            | MatchClass(expr cls, pattern* patterns,
+                         identifier* kwd_attrs, pattern* kwd_patterns)
+            | MatchStar(identifier? name)
+            | MatchAs(pattern? pattern, identifier? name)
+            | MatchOr(pattern* patterns)
+
+    type_ignore = TypeIgnore(int lineno, string tag)
+}
+"""
+
+# Literal base types of ASDL builtins.  Optionals (identifier?, int?, ...)
+# additionally admit None.
+_LIT_BUILTINS = {"identifier", "string", "int", "constant", "object"}
+
+#: fields whose list *elements* may be None in CPython ASTs
+_NULLABLE_LISTS = {("Dict", "keys"), ("arguments", "kw_defaults")}
+
+# CPython ASTs can nest deeply (long statement lists become long cons
+# chains).  Python 3.11 no longer burns C stack on Python-to-Python calls,
+# so a generous recursion limit is safe.
+_RECURSION_LIMIT = 1_000_000
+
+
+def _ensure_recursion_limit() -> None:
+    if sys.getrecursionlimit() < _RECURSION_LIMIT:
+        sys.setrecursionlimit(_RECURSION_LIMIT)
+
+
+@dataclass(frozen=True)
+class _FieldPlan:
+    """Pre-compiled conversion plan for one constructor field."""
+
+    name: str
+    kind: str  # 'lit' | 'enum' | 'enum_list' | 'kid' | 'opt' | 'list' | 'opt_list'
+    sort_name: str = ""
+
+
+@dataclass(frozen=True)
+class _CtorPlan:
+    tag: str
+    fields: tuple[_FieldPlan, ...]
+
+
+class PythonGrammar:
+    """The derived grammar plus the ast<->TNode conversion tables."""
+
+    def __init__(self) -> None:
+        self.module: Module = parse_asdl(PYTHON_ASDL)
+        self.grammar = Grammar()
+        g = self.grammar
+        self.enum_sorts: set[str] = {
+            name
+            for name, sum_decl in self.module.sums.items()
+            if all(not c.fields for c in sum_decl.constructors)
+        }
+        self.sorts: dict[str, Type] = {}
+        for name in self.module.type_names:
+            if name not in self.enum_sorts:
+                self.sorts[name] = g.sort(name)
+        self.lists: dict[str, ListSorts] = {}
+        self.options: dict[str, OptionSorts] = {}
+        self.plans: dict[str, _CtorPlan] = {}
+        self._nullable_lit = LitType("NullableLit", lambda v: True)
+
+        for name, sum_decl in self.module.sums.items():
+            if name in self.enum_sorts:
+                continue
+            for ctor in sum_decl.constructors:
+                self._declare(ctor.name, name, ctor.fields)
+        for name, prod in self.module.products.items():
+            self._declare(name, name, prod.fields)
+
+    # -- grammar derivation -------------------------------------------------
+
+    def _list_of(self, sort: Type) -> ListSorts:
+        key = sort.name
+        if key not in self.lists:
+            self.lists[key] = self.grammar.list_of(sort)
+        return self.lists[key]
+
+    def _option_of(self, sort: Type) -> OptionSorts:
+        key = sort.name
+        if key not in self.options:
+            self.options[key] = self.grammar.option_of(sort)
+        return self.options[key]
+
+    def _declare(self, tag: str, result_sort: str, fields: tuple[Field, ...]) -> None:
+        kid_spec: list[tuple[str, Type]] = []
+        lit_spec: list[tuple[str, LitType]] = []
+        plans: list[_FieldPlan] = []
+        for f in fields:
+            if f.type in _LIT_BUILTINS:
+                lit_spec.append((f.name, self._nullable_lit if (f.opt or f.seq) else LIT_ANY))
+                plans.append(_FieldPlan(f.name, "lit"))
+            elif f.type in self.enum_sorts:
+                lit_spec.append((f.name, LIT_ANY))
+                plans.append(_FieldPlan(f.name, "enum_list" if f.seq else "enum"))
+            else:
+                sort = self.sorts[f.type]
+                if f.seq:
+                    if (tag, f.name) in _NULLABLE_LISTS:
+                        opt = self._option_of(sort)
+                        lst = self._list_of(opt.sort)
+                        kid_spec.append((f.name, lst.sort))
+                        plans.append(_FieldPlan(f.name, "opt_list", f.type))
+                    else:
+                        lst = self._list_of(sort)
+                        kid_spec.append((f.name, lst.sort))
+                        plans.append(_FieldPlan(f.name, "list", f.type))
+                elif f.opt:
+                    opt = self._option_of(sort)
+                    kid_spec.append((f.name, opt.sort))
+                    plans.append(_FieldPlan(f.name, "opt", f.type))
+                else:
+                    kid_spec.append((f.name, sort))
+                    plans.append(_FieldPlan(f.name, "kid", f.type))
+        self.grammar.constructor(tag, self.sorts[result_sort], kids=kid_spec, lits=lit_spec)
+        self.plans[tag] = _CtorPlan(tag, tuple(plans))
+
+    # -- ast -> TNode ----------------------------------------------------------
+
+    def to_tnode(self, node: ast.AST) -> TNode:
+        """Convert a CPython ast node into a diffable TNode."""
+        _ensure_recursion_limit()
+        return self._convert(node)
+
+    def _convert(self, node: ast.AST) -> TNode:
+        tag = type(node).__name__
+        plan = self.plans.get(tag)
+        if plan is None:
+            raise ValueError(f"unsupported ast node type {tag}")
+        kids: list[TNode] = []
+        lits: list[Any] = []
+        for fp in plan.fields:
+            value = getattr(node, fp.name, None)
+            if fp.kind == "lit":
+                lits.append(value)
+            elif fp.kind == "enum":
+                lits.append(type(value).__name__)
+            elif fp.kind == "enum_list":
+                lits.append(tuple(type(v).__name__ for v in value))
+            elif fp.kind == "kid":
+                kids.append(self._convert(value))
+            elif fp.kind == "opt":
+                opt = self.options[fp.sort_name]
+                kids.append(opt.build(None if value is None else self._convert(value)))
+            elif fp.kind == "list":
+                lst = self.lists[fp.sort_name]
+                kids.append(lst.build([self._convert(v) for v in value or []]))
+            else:  # opt_list
+                opt = self.options[fp.sort_name]
+                lst = self.lists[opt.sort.name]
+                kids.append(
+                    lst.build(
+                        [
+                            opt.build(None if v is None else self._convert(v))
+                            for v in value or []
+                        ]
+                    )
+                )
+        sig = self.grammar.sigs[tag]
+        return TNode(self.grammar.sigs, sig, kids, lits, self.grammar.urigen.fresh())
+
+    # -- TNode -> ast ---------------------------------------------------------
+
+    def from_tnode(self, tree: TNode) -> ast.AST:
+        """Convert a diffable TNode back into a CPython ast node."""
+        _ensure_recursion_limit()
+        return ast.fix_missing_locations(self._restore(tree))
+
+    def _restore(self, tree: TNode) -> ast.AST:
+        tag = tree.tag
+        plan = self.plans.get(tag)
+        if plan is None:
+            raise ValueError(f"not a Python ast constructor: {tag}")
+        cls = getattr(ast, tag)
+        kwargs: dict[str, Any] = {}
+        kid_iter = iter(tree.kids)
+        lit_iter = iter(tree.lits)
+        for fp in plan.fields:
+            if fp.kind == "lit":
+                kwargs[fp.name] = next(lit_iter)
+            elif fp.kind == "enum":
+                kwargs[fp.name] = getattr(ast, next(lit_iter))()
+            elif fp.kind == "enum_list":
+                kwargs[fp.name] = [getattr(ast, n)() for n in next(lit_iter)]
+            elif fp.kind == "kid":
+                kwargs[fp.name] = self._restore(next(kid_iter))
+            elif fp.kind == "opt":
+                opt = self.options[fp.sort_name]
+                inner = opt.get(next(kid_iter))
+                kwargs[fp.name] = None if inner is None else self._restore(inner)
+            elif fp.kind == "list":
+                lst = self.lists[fp.sort_name]
+                kwargs[fp.name] = [self._restore(el) for el in lst.elements(next(kid_iter))]
+            else:  # opt_list
+                opt = self.options[fp.sort_name]
+                lst = self.lists[opt.sort.name]
+                out = []
+                for el in lst.elements(next(kid_iter)):
+                    inner = opt.get(el)
+                    out.append(None if inner is None else self._restore(inner))
+                kwargs[fp.name] = out
+        return cls(**kwargs)
+
+
+@lru_cache(maxsize=1)
+def python_grammar() -> PythonGrammar:
+    """The process-wide Python grammar binding (derived once)."""
+    return PythonGrammar()
+
+
+def to_tnode(node: ast.AST) -> TNode:
+    """Convert an ``ast`` node to a diffable tree."""
+    return python_grammar().to_tnode(node)
+
+
+def from_tnode(tree: TNode) -> ast.AST:
+    """Convert a diffable tree back to an ``ast`` node."""
+    return python_grammar().from_tnode(tree)
+
+
+def parse_python(source: str, filename: str = "<string>") -> TNode:
+    """Parse Python source into a diffable tree."""
+    return to_tnode(ast.parse(source, filename=filename))
+
+
+def unparse_python(tree: TNode) -> str:
+    """Render a diffable tree back into Python source text."""
+    node = from_tnode(tree)
+    return ast.unparse(node)

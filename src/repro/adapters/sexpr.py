@@ -1,0 +1,146 @@
+"""S-expression adapter.
+
+A compact way to build diffable trees for tests, examples, and docs:
+
+    >>> from repro.adapters.sexpr import parse_sexpr
+    >>> t = parse_sexpr('(add (num 1) (num 2))')
+
+Every list ``(head arg...)`` becomes an ``snode`` whose ``head`` symbol is
+a literal and whose arguments — atoms wrapped as ``satom`` nodes and
+nested lists — form an ordered kid list, so the textual argument order is
+preserved exactly.  Since arities vary freely, kids use the flat list
+encoding of the universal sort ``SExp`` — the adapter plays the role the
+generic ANTLR/treesitter wrappers play in the paper's artifact: a
+dynamically shaped tree pressed into the typed representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, Union
+
+from repro.core import Grammar, LIT_ANY, TNode
+
+
+class SExprSyntaxError(Exception):
+    """Malformed s-expression input."""
+
+
+Atom = Union[int, float, str]
+SExpr = Union[Atom, list]
+
+
+def _tokenize(text: str) -> Iterator[str]:
+    token = ""
+    for ch in text:
+        if ch in "()":
+            if token:
+                yield token
+                token = ""
+            yield ch
+        elif ch.isspace():
+            if token:
+                yield token
+                token = ""
+        else:
+            token += ch
+    if token:
+        yield token
+
+
+def read_sexpr(text: str) -> SExpr:
+    """Parse textual s-expressions into nested Python lists/atoms."""
+    tokens = list(_tokenize(text))
+    pos = 0
+
+    def parse() -> SExpr:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise SExprSyntaxError("unexpected end of input")
+        tok = tokens[pos]
+        pos += 1
+        if tok == "(":
+            items = []
+            while pos < len(tokens) and tokens[pos] != ")":
+                items.append(parse())
+            if pos >= len(tokens):
+                raise SExprSyntaxError("missing closing parenthesis")
+            pos += 1
+            return items
+        if tok == ")":
+            raise SExprSyntaxError("unexpected closing parenthesis")
+        return _atom(tok)
+
+    result = parse()
+    if pos != len(tokens):
+        raise SExprSyntaxError(f"trailing input: {tokens[pos:]}")
+    return result
+
+
+def _atom(tok: str) -> Atom:
+    try:
+        return int(tok)
+    except ValueError:
+        pass
+    try:
+        return float(tok)
+    except ValueError:
+        pass
+    return tok
+
+
+class SExprGrammar:
+    """The two-constructor universal grammar for s-expressions."""
+
+    def __init__(self) -> None:
+        self.grammar = Grammar()
+        g = self.grammar
+        self.SExp = g.sort("SExp")
+        self.list_sorts = g.list_of(self.SExp)
+        self.node = g.constructor(
+            "snode",
+            self.SExp,
+            kids=[("kids", self.list_sorts.sort)],
+            lits=[("head", LIT_ANY)],
+        )
+        self.atom = g.constructor("satom", self.SExp, lits=[("value", LIT_ANY)])
+
+    def to_tnode(self, data: SExpr) -> TNode:
+        if isinstance(data, list):
+            if not data or not isinstance(data[0], str):
+                raise SExprSyntaxError(f"list must start with a symbol: {data!r}")
+            head = data[0]
+            kid_nodes = [self.to_tnode(x) for x in data[1:]]
+            return self.node(self.list_sorts.build(kid_nodes), head)
+        return self.atom(data)
+
+    def from_tnode(self, tree: TNode) -> SExpr:
+        if tree.tag == "satom":
+            return tree.lit("value")
+        if tree.tag == "snode":
+            head = tree.lit("head")
+            kids = [self.from_tnode(k) for k in self.list_sorts.elements(tree.kid("kids"))]
+            return [head, *kids]
+        raise SExprSyntaxError(f"not an s-expression node: {tree.tag}")
+
+
+@lru_cache(maxsize=1)
+def sexpr_grammar() -> SExprGrammar:
+    return SExprGrammar()
+
+
+def parse_sexpr(text: str) -> TNode:
+    """Parse textual s-expressions into a diffable tree."""
+    return sexpr_grammar().to_tnode(read_sexpr(text))
+
+
+def unparse_sexpr(tree: TNode) -> str:
+    """Render a diffable s-expression tree back to text."""
+
+    def render(x: SExpr) -> str:
+        if isinstance(x, list):
+            return "(" + " ".join(render(i) for i in x) + ")"
+        return str(x)
+
+    return render(sexpr_grammar().from_tnode(tree))

@@ -1,0 +1,15 @@
+"""Reimplementations of the diffing systems the paper evaluates against.
+
+* :mod:`repro.baselines.gumtree` — untyped Chawathe-style diffing
+  (Falleri et al. 2014): quadratic similarity matching, concise patches,
+  no type safety.
+* :mod:`repro.baselines.hdiff` — typed tree rewritings (Miraldo &
+  Swierstra 2019): type-safe, supports moves, but patches mention every
+  constructor on the way to a change.
+* :mod:`repro.baselines.lempsink` — typed Cpy/Ins/Del scripts (Lempsink
+  et al. 2009): type-safe but no moves and quadratic diffing.
+"""
+
+from . import gumtree, hdiff, lempsink
+
+__all__ = ["gumtree", "hdiff", "lempsink"]

@@ -1,0 +1,54 @@
+"""Gumtree baseline: untyped structural diffing (Falleri et al. 2014).
+
+Top-level entry point::
+
+    from repro.baselines.gumtree import gumtree_diff
+    ops = gumtree_diff(src, dst)          # src/dst are GTNode rose trees
+
+The patch size metric of Figure 4 is ``len(ops)``: one per
+insert/delete/move/update, matching how the paper counts Gumtree edits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .chawathe import (
+    ChawatheOp,
+    ChawatheScriptGenerator,
+    DeleteOp,
+    InsertOp,
+    MoveOp,
+    UpdateOp,
+    chawathe_script,
+)
+from .matcher import GumtreeOptions, MappingStore, bottom_up, dice, match, top_down
+from .tree import GTNode, gt
+
+
+def gumtree_diff(
+    src: GTNode, dst: GTNode, opts: Optional[GumtreeOptions] = None
+) -> list[ChawatheOp]:
+    """Match the trees and generate the Chawathe edit script."""
+    mappings = match(src, dst, opts)
+    return chawathe_script(src, dst, mappings)
+
+
+__all__ = [
+    "ChawatheOp",
+    "ChawatheScriptGenerator",
+    "DeleteOp",
+    "GTNode",
+    "GumtreeOptions",
+    "InsertOp",
+    "MappingStore",
+    "MoveOp",
+    "UpdateOp",
+    "bottom_up",
+    "chawathe_script",
+    "dice",
+    "gt",
+    "gumtree_diff",
+    "match",
+    "top_down",
+]

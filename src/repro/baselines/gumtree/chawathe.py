@@ -1,0 +1,230 @@
+"""Chawathe et al. (1996) edit script generation from a node matching.
+
+Given the Gumtree mapping, this produces the classic
+``update / insert / delete / move`` edit script by simultaneously
+traversing the target tree breadth-first and *mutating a working copy of
+the source tree* — which is precisely the behaviour the paper criticizes:
+the intermediate trees violate the source language's arities, so only an
+untyped rose-tree representation can execute the script.
+
+The implementation mirrors GumTree's ``ChawatheScriptGenerator``:
+alignment of mismatched children via a longest common subsequence, and
+``find_pos`` using the in-order marks of the original algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .matcher import MappingStore
+from .tree import GTNode
+
+
+@dataclass(frozen=True)
+class InsertOp:
+    label: str
+    value: str
+    parent_id: int
+    pos: int
+
+    def __str__(self) -> str:
+        return f"ins({self.label}={self.value!r} into {self.parent_id}@{self.pos})"
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    node_id: int
+    label: str
+
+    def __str__(self) -> str:
+        return f"del({self.label}#{self.node_id})"
+
+
+@dataclass(frozen=True)
+class MoveOp:
+    node_id: int
+    label: str
+    parent_id: int
+    pos: int
+
+    def __str__(self) -> str:
+        return f"mov({self.label}#{self.node_id} to {self.parent_id}@{self.pos})"
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    node_id: int
+    label: str
+    old: str
+    new: str
+
+    def __str__(self) -> str:
+        return f"upd({self.label}#{self.node_id}: {self.old!r}->{self.new!r})"
+
+
+ChawatheOp = Union[InsertOp, DeleteOp, MoveOp, UpdateOp]
+
+
+class ChawatheScriptGenerator:
+    """Generates (and simultaneously applies) the Chawathe edit script."""
+
+    def __init__(self, src: GTNode, dst: GTNode, mappings: MappingStore) -> None:
+        # Working copy of the source; the original trees stay untouched.
+        self.dst = dst
+        self.work = src.deep_copy()
+        copies = dict(zip((n.id for n in src.pre_order()), self.work.pre_order()))
+        # fake roots make root replacement/alignment a uniform case
+        self.fake_src = GTNode("<fake>", "", [self.work])
+        self.fake_dst = GTNode("<fake>", "")
+        self.mappings = MappingStore()
+        self.mappings.add(self.fake_src, self.fake_dst)
+        for src_id, dst_node in mappings.src_to_dst.items():
+            self.mappings.add(copies[src_id], dst_node)
+        # dst is traversed read-only; parent links come from this table so
+        # the caller's tree is never reparented
+        self._dst_parent: dict[int, Optional[GTNode]] = {
+            dst.id: self.fake_dst,
+            self.fake_dst.id: None,
+        }
+        for n in dst.pre_order():
+            for c in n.children:
+                self._dst_parent[c.id] = n
+        self._fake_dst_children = [dst]
+        self.in_order_src: set[int] = set()
+        self.in_order_dst: set[int] = set()
+        self.ops: list[ChawatheOp] = []
+
+    # dst parents via the precomputed table (dst is never mutated)
+    def dparent(self, x: GTNode) -> Optional[GTNode]:
+        return self._dst_parent.get(x.id)
+
+    def _dst_children(self, x: GTNode) -> list[GTNode]:
+        return self._fake_dst_children if x is self.fake_dst else x.children
+
+    def _bfs_with_fake(self):
+        from collections import deque
+
+        queue = deque([self.fake_dst])
+        while queue:
+            n = queue.popleft()
+            yield n
+            queue.extend(self._dst_children(n))
+
+    def generate(self) -> list[ChawatheOp]:
+        for x in self._bfs_with_fake():
+            y = self.dparent(x)
+            w = self.mappings.src_of(x)
+            if w is None:
+                z = self.mappings.src_of(y)
+                k = self.find_pos(x)
+                w = GTNode(x.label, x.value)
+                self.ops.append(InsertOp(x.label, x.value, z.id, k))
+                self.mappings.add(w, x)
+                z.add_child(w, k)
+            else:
+                if w.value != x.value:
+                    self.ops.append(UpdateOp(w.id, w.label, w.value, x.value))
+                    w.value = x.value
+                if y is not None:
+                    v = w.parent
+                    z = self.mappings.src_of(y)
+                    if z is not v:
+                        k = self.find_pos(x)
+                        self.ops.append(MoveOp(w.id, w.label, z.id, k))
+                        w.remove_from_parent()
+                        z.add_child(w, k)
+            self.in_order_src.add(w.id)
+            self.in_order_dst.add(x.id)
+            self.align_children(w, x)
+        # delete unmapped source nodes bottom-up
+        for w in list(self.fake_src.post_order()):
+            if w is self.fake_src:
+                continue
+            if not self.mappings.has_src(w):
+                self.ops.append(DeleteOp(w.id, w.label))
+                w.remove_from_parent()
+        return self.ops
+
+    def align_children(self, w: GTNode, x: GTNode) -> None:
+        for c in w.children:
+            self.in_order_src.discard(c.id)
+        for c in self._dst_children(x):
+            self.in_order_dst.discard(c.id)
+        s1 = [
+            c
+            for c in w.children
+            if self.mappings.has_src(c) and self.dparent(self.mappings.dst_of(c)) is x
+        ]
+        s2 = [
+            c
+            for c in self._dst_children(x)
+            if self.mappings.has_dst(c) and self.mappings.src_of(c).parent is w
+        ]
+        lcs_pairs = self._lcs(s1, s2)
+        lcs_src_ids = {a.id for a, _ in lcs_pairs}
+        for a, b in lcs_pairs:
+            self.in_order_src.add(a.id)
+            self.in_order_dst.add(b.id)
+        for b in s2:
+            a = self.mappings.src_of(b)
+            if a.id in lcs_src_ids:
+                continue
+            k = self.find_pos(b)
+            self.ops.append(MoveOp(a.id, a.label, w.id, k))
+            a.remove_from_parent()
+            w.add_child(a, k)
+            self.in_order_src.add(a.id)
+            self.in_order_dst.add(b.id)
+
+    def _lcs(self, s1: list[GTNode], s2: list[GTNode]) -> list[tuple[GTNode, GTNode]]:
+        m, n = len(s1), len(s2)
+        if m == 0 or n == 0:
+            return []
+        lengths = [[0] * (n + 1) for _ in range(m + 1)]
+        for i in range(m - 1, -1, -1):
+            for j in range(n - 1, -1, -1):
+                if self.mappings.dst_of(s1[i]) is s2[j]:
+                    lengths[i][j] = lengths[i + 1][j + 1] + 1
+                else:
+                    lengths[i][j] = max(lengths[i + 1][j], lengths[i][j + 1])
+        out: list[tuple[GTNode, GTNode]] = []
+        i = j = 0
+        while i < m and j < n:
+            if self.mappings.dst_of(s1[i]) is s2[j]:
+                out.append((s1[i], s2[j]))
+                i += 1
+                j += 1
+            elif lengths[i + 1][j] >= lengths[i][j + 1]:
+                i += 1
+            else:
+                j += 1
+        return out
+
+    def find_pos(self, x: GTNode) -> int:
+        y = self.dparent(x)
+        siblings = [x] if y is None else self._dst_children(y)
+        # if x is the leftmost in-order child, insert at the front
+        for c in siblings:
+            if c.id in self.in_order_dst:
+                if c is x:
+                    return 0
+                break
+        # rightmost in-order sibling left of x
+        v: Optional[GTNode] = None
+        for c in siblings[: siblings.index(x)]:
+            if c.id in self.in_order_dst:
+                v = c
+        if v is None:
+            return 0
+        u = self.mappings.src_of(v)
+        return u.position_in_parent() + 1
+
+    def result_tree(self) -> GTNode:
+        """The working copy after applying the script (should equal dst)."""
+        return self.fake_src.children[0]
+
+
+def chawathe_script(src: GTNode, dst: GTNode, mappings: MappingStore) -> list[ChawatheOp]:
+    """Generate the Chawathe edit script for a given matching."""
+    return ChawatheScriptGenerator(src, dst, mappings).generate()

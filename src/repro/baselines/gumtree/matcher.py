@@ -1,0 +1,245 @@
+"""The Gumtree matching phases (Falleri et al. 2014, Algorithms 1-2).
+
+Phase 1 (*top-down*) greedily maps the largest isomorphic subtrees found
+at equal heights; ambiguous candidates are resolved by parent dice.
+Phase 2 (*bottom-up*) maps containers whose descendants are mostly mapped
+(dice above ``min_dice``), followed by an optional *recovery* pass that
+maps remaining equal-label children of newly matched containers.
+
+The bottom-up phase is where the quadratic behaviour the paper criticizes
+lives: candidate search and dice computation compare node sets of source
+and target containers pairwise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .tree import GTNode
+
+
+class MappingStore:
+    """A bipartite one-to-one mapping between source and target nodes."""
+
+    def __init__(self) -> None:
+        self.src_to_dst: dict[int, GTNode] = {}
+        self.dst_to_src: dict[int, GTNode] = {}
+
+    def add(self, src: GTNode, dst: GTNode) -> None:
+        self.src_to_dst[src.id] = dst
+        self.dst_to_src[dst.id] = src
+
+    def add_iso_subtrees(self, src: GTNode, dst: GTNode) -> None:
+        """Map two isomorphic subtrees node by node."""
+        self.add(src, dst)
+        for a, b in zip(src.children, dst.children):
+            self.add_iso_subtrees(a, b)
+
+    def has_src(self, src: GTNode) -> bool:
+        return src.id in self.src_to_dst
+
+    def has_dst(self, dst: GTNode) -> bool:
+        return dst.id in self.dst_to_src
+
+    def dst_of(self, src: GTNode) -> Optional[GTNode]:
+        return self.src_to_dst.get(src.id)
+
+    def src_of(self, dst: GTNode) -> Optional[GTNode]:
+        return self.dst_to_src.get(dst.id)
+
+    def __len__(self) -> int:
+        return len(self.src_to_dst)
+
+    def __contains__(self, pair: tuple[GTNode, GTNode]) -> bool:
+        src, dst = pair
+        return self.src_to_dst.get(src.id) is dst
+
+
+def dice(t1: GTNode, t2: GTNode, mappings: MappingStore) -> float:
+    """Dice similarity of two containers under the current mapping."""
+    d1 = max(t1.size - 1, 0)
+    d2 = max(t2.size - 1, 0)
+    if d1 + d2 == 0:
+        return 0.0
+    common = 0
+    t2_ids = {n.id for n in t2.descendants()}
+    for a in t1.descendants():
+        b = mappings.dst_of(a)
+        if b is not None and b.id in t2_ids:
+            common += 1
+    return 2.0 * common / (d1 + d2)
+
+
+class _HeightList:
+    """Height-indexed priority list (the paper's priority queue of trees)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, GTNode]] = []
+
+    def push(self, n: GTNode) -> None:
+        heapq.heappush(self._heap, (-n.height, n.id, n))
+
+    def open(self, n: GTNode) -> None:
+        for c in n.children:
+            self.push(c)
+
+    def peek_height(self) -> int:
+        return -self._heap[0][0] if self._heap else 0
+
+    def pop_equal_height(self) -> list[GTNode]:
+        if not self._heap:
+            return []
+        h = self._heap[0][0]
+        out = []
+        while self._heap and self._heap[0][0] == h:
+            out.append(heapq.heappop(self._heap)[2])
+        return out
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass
+class GumtreeOptions:
+    """Tuning parameters (defaults follow the GumTree implementation)."""
+
+    # the defaults of Falleri et al. 2014: minHeight=2, minDice=0.3, maxSize=100
+    min_height: int = 2  # smallest isomorphic subtree mapped top-down
+    min_dice: float = 0.3  # container similarity threshold bottom-up
+    max_size: int = 100  # Zhang-Shasha recovery size bound
+
+
+def top_down(src: GTNode, dst: GTNode, opts: GumtreeOptions, mappings: MappingStore) -> None:
+    """Phase 1: greedy top-down mapping of isomorphic subtrees."""
+    l1, l2 = _HeightList(), _HeightList()
+    l1.push(src)
+    l2.push(dst)
+    candidates: list[tuple[GTNode, GTNode]] = []
+
+    while l1 and l2 and min(l1.peek_height(), l2.peek_height()) >= opts.min_height:
+        if l1.peek_height() != l2.peek_height():
+            if l1.peek_height() > l2.peek_height():
+                for t in l1.pop_equal_height():
+                    l1.open(t)
+            else:
+                for t in l2.pop_equal_height():
+                    l2.open(t)
+            continue
+        h1 = l1.pop_equal_height()
+        h2 = l2.pop_equal_height()
+        by_hash_1: dict[bytes, list[GTNode]] = {}
+        by_hash_2: dict[bytes, list[GTNode]] = {}
+        for t in h1:
+            by_hash_1.setdefault(t.iso_hash, []).append(t)
+        for t in h2:
+            by_hash_2.setdefault(t.iso_hash, []).append(t)
+        matched_here: set[int] = set()
+        for key, group1 in by_hash_1.items():
+            group2 = by_hash_2.get(key)
+            if not group2:
+                continue
+            if len(group1) == 1 and len(group2) == 1:
+                mappings.add_iso_subtrees(group1[0], group2[0])
+                matched_here.add(group1[0].id)
+                matched_here.add(group2[0].id)
+            else:
+                # ambiguous: remember all pairs, resolve by parent dice below
+                for a in group1:
+                    for b in group2:
+                        candidates.append((a, b))
+                        matched_here.add(a.id)
+                        matched_here.add(b.id)
+        for t in h1:
+            if t.id not in matched_here:
+                l1.open(t)
+        for t in h2:
+            if t.id not in matched_here:
+                l2.open(t)
+
+    # resolve ambiguous candidate pairs by descending parent dice
+    def parent_dice(pair: tuple[GTNode, GTNode]) -> float:
+        a, b = pair
+        if a.parent is None or b.parent is None:
+            return 0.0
+        return dice(a.parent, b.parent, mappings)
+
+    candidates.sort(key=parent_dice, reverse=True)
+    for a, b in candidates:
+        if not mappings.has_src(a) and not mappings.has_dst(b):
+            mappings.add_iso_subtrees(a, b)
+
+
+def bottom_up(src: GTNode, dst: GTNode, opts: GumtreeOptions, mappings: MappingStore) -> None:
+    """Phase 2: container mapping by dice similarity + recovery."""
+    for t1 in src.post_order():
+        if t1.parent is None:  # the root
+            # roots are matched last (mappings are same-label only)
+            if (
+                t1.label == dst.label
+                and not mappings.has_src(t1)
+                and not mappings.has_dst(dst)
+            ):
+                mappings.add(t1, dst)
+                if max(t1.size, dst.size) < opts.max_size:
+                    _recovery(t1, dst, opts, mappings)
+            break
+        if mappings.has_src(t1) or not t1.children:
+            continue
+        if not _has_mapped_descendant(t1, mappings):
+            continue
+        candidates = _container_candidates(t1, mappings)
+        best, best_dice = None, -1.0
+        for t2 in candidates:
+            d = dice(t1, t2, mappings)
+            if d > best_dice:
+                best, best_dice = t2, d
+        if best is not None and best_dice >= opts.min_dice:
+            mappings.add(t1, best)
+            if max(t1.size, best.size) < opts.max_size:
+                _recovery(t1, best, opts, mappings)
+
+
+def _has_mapped_descendant(t1: GTNode, mappings: MappingStore) -> bool:
+    return any(mappings.has_src(d) for d in t1.descendants())
+
+
+def _container_candidates(t1: GTNode, mappings: MappingStore) -> list[GTNode]:
+    """Unmatched target nodes with t1's label that contain a partner of
+    one of t1's mapped descendants."""
+    seeds = []
+    for d in t1.descendants():
+        partner = mappings.dst_of(d)
+        if partner is not None:
+            seeds.append(partner)
+    seen: set[int] = set()
+    out: list[GTNode] = []
+    for seed in seeds:
+        cur = seed.parent
+        while cur is not None and cur.id not in seen:
+            seen.add(cur.id)
+            if cur.label == t1.label and not mappings.has_dst(cur):
+                out.append(cur)
+            cur = cur.parent
+    return out
+
+
+def _recovery(t1: GTNode, t2: GTNode, opts: GumtreeOptions, mappings: MappingStore) -> None:
+    """GumTree's *opt* phase: run the optimal Zhang-Shasha alignment on the
+    freshly matched container pair and adopt its label-compatible,
+    still-unmatched pairs as mappings."""
+    from .zs import zs_mappings
+
+    for a, b in zs_mappings(t1, t2):
+        if a.label == b.label and not mappings.has_src(a) and not mappings.has_dst(b):
+            mappings.add(a, b)
+
+
+def match(src: GTNode, dst: GTNode, opts: Optional[GumtreeOptions] = None) -> MappingStore:
+    """Run both Gumtree phases and return the node mapping."""
+    opts = opts or GumtreeOptions()
+    mappings = MappingStore()
+    top_down(src, dst, opts, mappings)
+    bottom_up(src, dst, opts, mappings)
+    return mappings

@@ -1,0 +1,130 @@
+"""Untyped rose trees for the Gumtree baseline (Falleri et al. 2014).
+
+Gumtree operates on untyped trees: each node has a *label* (grammar rule /
+type name), an optional *value* (token text), and arbitrarily many
+children.  This module provides that representation plus the derived data
+the matcher needs: heights, sizes, isomorphism hashes, and traversals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Any, Iterator, Optional
+
+_ids = itertools.count(1)
+
+
+class GTNode:
+    """A mutable untyped tree node."""
+
+    __slots__ = (
+        "id",
+        "label",
+        "value",
+        "children",
+        "parent",
+        "height",
+        "size",
+        "iso_hash",
+    )
+
+    def __init__(self, label: str, value: str = "", children: Optional[list["GTNode"]] = None) -> None:
+        self.id = next(_ids)
+        self.label = label
+        self.value = value
+        self.children: list[GTNode] = children if children is not None else []
+        self.parent: Optional[GTNode] = None
+        for c in self.children:
+            c.parent = self
+        self.height = 0
+        self.size = 0
+        self.iso_hash = b""
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self.height = 1 + max((c.height for c in self.children), default=0)
+        self.size = 1 + sum(c.size for c in self.children)
+        d = hashlib.sha256()
+        d.update(self.label.encode("utf8"))
+        d.update(b"\x00")
+        d.update(self.value.encode("utf8"))
+        d.update(b"\x01")
+        for c in self.children:
+            d.update(c.iso_hash)
+        self.iso_hash = d.digest()
+
+    # -- structure edits (used by the Chawathe generator) --------------------
+
+    def add_child(self, child: "GTNode", pos: Optional[int] = None) -> None:
+        if pos is None:
+            pos = len(self.children)
+        self.children.insert(pos, child)
+        child.parent = self
+
+    def remove_from_parent(self) -> None:
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+
+    def position_in_parent(self) -> int:
+        if self.parent is None:
+            return 0
+        return self.parent.children.index(self)
+
+    # -- traversals ------------------------------------------------------------
+
+    def pre_order(self) -> Iterator["GTNode"]:
+        stack = [self]
+        while stack:
+            n = stack.pop()
+            yield n
+            stack.extend(reversed(n.children))
+
+    def post_order(self) -> Iterator["GTNode"]:
+        # iterative post-order to survive deep trees
+        stack: list[tuple[GTNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                for c in reversed(node.children):
+                    stack.append((c, False))
+
+    def bfs(self) -> Iterator["GTNode"]:
+        from collections import deque
+
+        queue = deque([self])
+        while queue:
+            n = queue.popleft()
+            yield n
+            queue.extend(n.children)
+
+    def descendants(self) -> Iterator["GTNode"]:
+        it = self.pre_order()
+        next(it)
+        return it
+
+    def isomorphic_to(self, other: "GTNode") -> bool:
+        return self.iso_hash == other.iso_hash
+
+    def deep_copy(self) -> "GTNode":
+        return GTNode(self.label, self.value, [c.deep_copy() for c in self.children])
+
+    def to_tuple(self) -> tuple:
+        return (self.label, self.value, tuple(c.to_tuple() for c in self.children))
+
+    def pretty(self) -> str:
+        v = f"={self.value!r}" if self.value else ""
+        inner = ", ".join(c.pretty() for c in self.children)
+        return f"{self.label}{v}({inner})" if inner else f"{self.label}{v}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GTNode({self.pretty()})"
+
+
+def gt(label: str, *children: GTNode, value: str = "") -> GTNode:
+    """Terse construction helper for tests."""
+    return GTNode(label, value, list(children))

@@ -1,0 +1,42 @@
+"""hdiff baseline: type-safe structural diffing as tree rewritings
+(Miraldo & Swierstra, ICFP 2019)."""
+
+from .diff import (
+    ExtractionMode,
+    HdiffApplyError,
+    HdiffOptions,
+    hdiff,
+    hdiff_apply,
+)
+from .patch import (
+    Chg,
+    Ctx,
+    CtxTree,
+    MetaVar,
+    Patch,
+    Spine,
+    ctx_vars,
+    is_copy,
+    patch_changes,
+    patch_size,
+)
+from .trie import DigestTrie
+
+__all__ = [
+    "Chg",
+    "Ctx",
+    "CtxTree",
+    "DigestTrie",
+    "ExtractionMode",
+    "HdiffApplyError",
+    "HdiffOptions",
+    "MetaVar",
+    "Patch",
+    "Spine",
+    "ctx_vars",
+    "hdiff",
+    "hdiff_apply",
+    "is_copy",
+    "patch_changes",
+    "patch_size",
+]

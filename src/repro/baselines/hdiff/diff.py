@@ -1,0 +1,209 @@
+"""The hdiff algorithm: extraction of tree rewritings via hash-consing
+(Miraldo & Swierstra 2019).
+
+1. **Sharing map** — every subtree of source and target is interned by
+   its digest; a digest is *shareable* if it occurs in both trees and the
+   subtree is at least ``min_height`` tall.  The *extraction mode*
+   restricts sharing further:
+
+   * ``patience`` (default, hdiff's best mode): share only subtrees that
+     occur exactly once in the source and once in the target;
+   * ``nonest``: share any common subtree (first come, first served).
+
+2. **Extraction** — the deletion context is the source with shared
+   subtrees replaced by metavariables; the insertion context likewise for
+   the target (same digest → same metavariable).
+
+3. **Closure** — push changes down a spine of copied constructors where
+   metavariable scoping permits (each resulting change must use only
+   variables its own deletion side binds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional, Union
+
+from repro.core import TNode
+
+from .patch import Chg, Ctx, CtxTree, MetaVar, Patch, Spine, ctx_vars
+from .trie import DigestTrie
+
+ExtractionMode = Literal["patience", "nonest"]
+
+
+@dataclass
+class HdiffOptions:
+    min_height: int = 1
+    mode: ExtractionMode = "patience"
+    use_trie: bool = True  # ablation: dict-based interning instead
+    close_spine: bool = True  # ablation: keep one global change
+
+
+@dataclass
+class _ShareInfo:
+    src_count: int = 0
+    dst_count: int = 0
+    var: Optional[int] = None
+
+
+class _SharingMap:
+    """Occurrence counts of every subtree digest, trie- or dict-backed."""
+
+    def __init__(self, use_trie: bool) -> None:
+        self._store: Union[DigestTrie, dict] = DigestTrie() if use_trie else {}
+
+    def info(self, digest: bytes) -> _ShareInfo:
+        if isinstance(self._store, DigestTrie):
+            found = self._store.get(digest)
+            if found is None:
+                found = _ShareInfo()
+                self._store.put(digest, found)
+            return found
+        found = self._store.get(digest)
+        if found is None:
+            found = _ShareInfo()
+            self._store[digest] = found
+        return found
+
+    def lookup(self, digest: bytes) -> Optional[_ShareInfo]:
+        if isinstance(self._store, DigestTrie):
+            return self._store.get(digest)
+        return self._store.get(digest)
+
+
+def _count(tree: TNode, sharing: _SharingMap, side: str) -> None:
+    for n in tree.iter_subtree():
+        info = sharing.info(n.identity_hash)
+        if side == "src":
+            info.src_count += 1
+        else:
+            info.dst_count += 1
+
+
+def _shareable(info: Optional[_ShareInfo], node: TNode, opts: HdiffOptions) -> bool:
+    if info is None or node.height < opts.min_height:
+        return False
+    if info.src_count == 0 or info.dst_count == 0:
+        return False
+    if opts.mode == "patience":
+        return info.src_count == 1 and info.dst_count == 1
+    return True
+
+
+class _Extractor:
+    def __init__(self, sharing: _SharingMap, opts: HdiffOptions) -> None:
+        self.sharing = sharing
+        self.opts = opts
+        self._next_var = 1
+
+    def extract(self, node: TNode, assign: bool) -> CtxTree:
+        """Extract a context.  The deletion side (``assign=True``) allocates
+        metavariables; the insertion side may only use variables the
+        deletion side actually bound — a shareable subtree can be occluded
+        under a larger shared subtree on the source side, in which case
+        inserting its variable would leave it unbound at application time.
+        """
+        info = self.sharing.lookup(node.identity_hash)
+        if _shareable(info, node, self.opts):
+            if info.var is None and assign:
+                info.var = self._next_var
+                self._next_var += 1
+            if info.var is not None:
+                return MetaVar(info.var)
+        return Ctx(
+            node.tag,
+            tuple(node.lits),
+            tuple(self.extract(k, assign) for k in node.kids),
+        )
+
+
+def _close(delete: CtxTree, insert: CtxTree) -> Patch:
+    """hdiff's closure: split a change into a spine of copies with smaller
+    changes at the leaves, where scoping permits."""
+    if (
+        isinstance(delete, Ctx)
+        and isinstance(insert, Ctx)
+        and delete.tag == insert.tag
+        and delete.lits == insert.lits
+        and len(delete.kids) == len(insert.kids)
+    ):
+        del_vars = [ctx_vars(d) for d in delete.kids]
+        ins_vars = [ctx_vars(i) for i in insert.kids]
+        # the split is well-scoped iff each kid's insertion side only uses
+        # variables bound by the same kid's deletion side, and deletion
+        # variables are not shared across kids
+        all_del: set[int] = set()
+        disjoint = True
+        for dv in del_vars:
+            if dv & all_del:
+                disjoint = False
+                break
+            all_del |= dv
+        if disjoint and all(iv <= dv for iv, dv in zip(ins_vars, del_vars)):
+            return Spine(
+                delete.tag,
+                delete.lits,
+                tuple(_close(d, i) for d, i in zip(delete.kids, insert.kids)),
+            )
+    return Chg(delete, insert)
+
+
+def hdiff(src: TNode, dst: TNode, opts: Optional[HdiffOptions] = None) -> Patch:
+    """Compute an hdiff tree rewriting transforming ``src`` into ``dst``."""
+    opts = opts or HdiffOptions()
+    sharing = _SharingMap(opts.use_trie)
+    _count(src, sharing, "src")
+    _count(dst, sharing, "dst")
+    extractor = _Extractor(sharing, opts)
+    delete = extractor.extract(src, assign=True)
+    insert = extractor.extract(dst, assign=False)
+    if opts.close_spine:
+        return _close(delete, insert)
+    return Chg(delete, insert)
+
+
+class HdiffApplyError(Exception):
+    """The deletion context does not match the tree."""
+
+
+def _match(ctx: CtxTree, tree: TNode, bindings: dict[int, TNode]) -> None:
+    if isinstance(ctx, MetaVar):
+        bound = bindings.get(ctx.n)
+        if bound is None:
+            bindings[ctx.n] = tree
+        elif not bound.tree_equal(tree):
+            raise HdiffApplyError(f"metavariable {ctx} bound to different subtrees")
+        return
+    if ctx.tag != tree.tag or ctx.lits != tuple(tree.lits):
+        raise HdiffApplyError(
+            f"deletion context {ctx.tag} does not match tree node {tree.tag}"
+        )
+    for sub, kid in zip(ctx.kids, tree.kids):
+        _match(sub, kid, bindings)
+
+
+def _instantiate(ctx: CtxTree, bindings: dict[int, TNode], sigs, urigen) -> TNode:
+    if isinstance(ctx, MetaVar):
+        try:
+            return bindings[ctx.n]
+        except KeyError:
+            raise HdiffApplyError(f"unbound metavariable {ctx}") from None
+    kids = [_instantiate(k, bindings, sigs, urigen) for k in ctx.kids]
+    return TNode(sigs, sigs[ctx.tag], kids, ctx.lits, urigen.fresh())
+
+
+def hdiff_apply(patch: Patch, tree: TNode) -> TNode:
+    """Apply a patch to a tree; raises :class:`HdiffApplyError` on mismatch."""
+    sigs = tree.sigs
+    urigen = sigs.urigen
+    if isinstance(patch, Spine):
+        if patch.tag != tree.tag or patch.lits != tuple(tree.lits):
+            raise HdiffApplyError(
+                f"spine {patch.tag} does not match tree node {tree.tag}"
+            )
+        kids = [hdiff_apply(p, k) for p, k in zip(patch.kids, tree.kids)]
+        return TNode(sigs, tree.sig, kids, tree.lits, urigen.fresh())
+    bindings: dict[int, TNode] = {}
+    _match(patch.delete, tree, bindings)
+    return _instantiate(patch.insert, bindings, sigs, urigen)

@@ -1,0 +1,133 @@
+"""Patch representation of the hdiff baseline (Miraldo & Swierstra 2019).
+
+An hdiff patch is a *tree rewriting*: a pair of contexts
+
+    (deletion context  ↝  insertion context)
+
+where contexts are trees over the source/target constructors extended
+with *metavariables* (``#1``, ``#2``, ...).  Matching the deletion
+context against the source tree binds the metavariables to subtrees; the
+insertion context is then instantiated with those bindings.  A patch may
+also carry a *spine* of copied constructors with changes at the leaves
+(hdiff's ``close`` operation pushes changes down as far as scoping
+permits).
+
+The patch size metric of Figure 4 is :func:`patch_size`: the number of
+constructors mentioned anywhere in the rewriting (spine plus both
+contexts of every change) — which is why hdiff patches grow with the
+input trees: every constructor on the path to a moved subtree is
+mentioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class MetaVar:
+    """A metavariable ``#n`` standing for a bound subtree."""
+
+    n: int
+
+    def __str__(self) -> str:
+        return f"#{self.n}"
+
+
+@dataclass(frozen=True)
+class Ctx:
+    """A constructor node in a context: tag, literals, and sub-contexts."""
+
+    tag: str
+    lits: tuple[Any, ...]
+    kids: tuple["CtxTree", ...]
+
+    def __str__(self) -> str:
+        parts = [repr(v) for v in self.lits] + [str(k) for k in self.kids]
+        inner = ", ".join(parts)
+        return f"{self.tag}({inner})" if parts else self.tag
+
+
+CtxTree = Union[MetaVar, Ctx]
+
+
+@dataclass(frozen=True)
+class Chg:
+    """A change: deletion context ↝ insertion context."""
+
+    delete: CtxTree
+    insert: CtxTree
+
+    def __str__(self) -> str:
+        return f"({self.delete} ⇝ {self.insert})"
+
+
+@dataclass(frozen=True)
+class Spine:
+    """A copied constructor with patches for the kids."""
+
+    tag: str
+    lits: tuple[Any, ...]
+    kids: tuple["Patch", ...]
+
+    def __str__(self) -> str:
+        parts = [repr(v) for v in self.lits] + [str(k) for k in self.kids]
+        return f"{self.tag}({', '.join(parts)})"
+
+
+Patch = Union[Spine, Chg]
+
+
+def ctx_vars(ctx: CtxTree) -> set[int]:
+    """All metavariables occurring in a context."""
+    out: set[int] = set()
+    stack = [ctx]
+    while stack:
+        c = stack.pop()
+        if isinstance(c, MetaVar):
+            out.add(c.n)
+        else:
+            stack.extend(c.kids)
+    return out
+
+
+def ctx_constructor_count(ctx: CtxTree) -> int:
+    """Number of constructors mentioned in a context (metavars count 0)."""
+    count = 0
+    stack = [ctx]
+    while stack:
+        c = stack.pop()
+        if isinstance(c, Ctx):
+            count += 1
+            stack.extend(c.kids)
+    return count
+
+
+def patch_size(patch: Patch) -> int:
+    """The paper's hdiff conciseness metric: constructors mentioned in the
+    whole rewriting."""
+    if isinstance(patch, Chg):
+        return ctx_constructor_count(patch.delete) + ctx_constructor_count(patch.insert)
+    return 1 + sum(patch_size(k) for k in patch.kids)
+
+
+def patch_changes(patch: Patch) -> list[Chg]:
+    """All change leaves of a patch."""
+    if isinstance(patch, Chg):
+        return [patch]
+    out: list[Chg] = []
+    for k in patch.kids:
+        out.extend(patch_changes(k))
+    return out
+
+
+def is_copy(patch: Patch) -> bool:
+    """True if the patch performs no change at all."""
+    if isinstance(patch, Chg):
+        return (
+            isinstance(patch.delete, MetaVar)
+            and isinstance(patch.insert, MetaVar)
+            and patch.delete == patch.insert
+        )
+    return all(is_copy(k) for k in patch.kids)

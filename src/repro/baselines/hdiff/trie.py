@@ -1,0 +1,82 @@
+"""The hash trie hdiff uses to intern subtree digests.
+
+Miraldo & Swierstra key their sharing map by cryptographic digests stored
+in a trie.  We reproduce that data structure faithfully: a byte-branching
+trie over 32-byte SHA-256 digests.  (A Python dict would be faster — the
+benchmark suite carries an ablation comparing both, which is part of why
+our hdiff reimplementation is not as slow as the Haskell original.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class _TrieNode:
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: dict[int, _TrieNode] = {}
+        self.value: Any = None
+        self.has_value = False
+
+
+class DigestTrie:
+    """A trie keyed by byte strings (digests)."""
+
+    __slots__ = ("_root", "_size")
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def get(self, key: bytes, default: Any = None) -> Any:
+        node = self._root
+        for b in key:
+            node = node.children.get(b)
+            if node is None:
+                return default
+        return node.value if node.has_value else default
+
+    def __contains__(self, key: bytes) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def put(self, key: bytes, value: Any) -> None:
+        node = self._root
+        for b in key:
+            nxt = node.children.get(b)
+            if nxt is None:
+                nxt = _TrieNode()
+                node.children[b] = nxt
+            node = nxt
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def setdefault(self, key: bytes, default: Any) -> Any:
+        node = self._root
+        for b in key:
+            nxt = node.children.get(b)
+            if nxt is None:
+                nxt = _TrieNode()
+                node.children[b] = nxt
+            node = nxt
+        if not node.has_value:
+            node.value = default
+            node.has_value = True
+            self._size += 1
+        return node.value
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        stack: list[tuple[_TrieNode, bytes]] = [(self._root, b"")]
+        while stack:
+            node, prefix = stack.pop()
+            if node.has_value:
+                yield prefix, node.value
+            for b, child in node.children.items():
+                stack.append((child, prefix + bytes([b])))

@@ -1,0 +1,35 @@
+"""Lempsink-style typed edit scripts (Lempsink, Leather & Löh 2009).
+
+The first type-safe diffing approach: patches are lists of ``Cpy``,
+``Ins``, and ``Del`` node operations interpreted against a pre-order
+traversal of the source tree.  There is no move operation, so a moved
+subtree is deleted and re-inserted from scratch — the verbosity the paper
+criticizes in Section 1 — and the patch mentions every copied node, so
+its length is proportional to the tree size.
+
+The optimal script is computed by dynamic programming over pre-order
+positions (O(n·m) time and space, which is why the evaluation uses this
+baseline only on the small/medium ablation workloads).
+"""
+
+from .diff import (
+    Cpy,
+    Del,
+    Ins,
+    LempsinkOp,
+    lempsink_apply,
+    lempsink_diff,
+    script_cost,
+    script_length,
+)
+
+__all__ = [
+    "Cpy",
+    "Del",
+    "Ins",
+    "LempsinkOp",
+    "lempsink_apply",
+    "lempsink_diff",
+    "script_cost",
+    "script_length",
+]

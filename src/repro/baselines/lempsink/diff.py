@@ -1,0 +1,187 @@
+"""Optimal Cpy/Ins/Del edit scripts over typed trees.
+
+A node operation acts on the *pre-order* sequence of nodes:
+
+* ``Cpy``      — source and target heads agree (same tag and literals);
+  keep the node, proceed into its children;
+* ``Del(n)``   — remove the source head, promoting its children;
+* ``Ins(n)``   — insert the target head, consuming the following target
+  children.
+
+Because every tag has a fixed arity (our grammars encode sequences as
+cons-lists), a script of these operations is a type-safe transformation:
+it can be interpreted as a total function on typed trees
+(:func:`lempsink_apply`).
+
+The optimal script minimizes the number of Ins/Del operations (Cpy is
+free).  The key classical observation makes the DP quadratic rather than
+exponential: after any of the three operations the remaining source
+(resp. target) forest is exactly the pre-order suffix starting one
+position later, so states are pairs of pre-order indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.core import TNode
+from repro.core.signature import SignatureRegistry
+
+
+@dataclass(frozen=True)
+class Cpy:
+    tag: str
+    lits: tuple[Any, ...]
+
+    def __str__(self) -> str:
+        return f"Cpy({self.tag})"
+
+
+@dataclass(frozen=True)
+class Ins:
+    tag: str
+    lits: tuple[Any, ...]
+
+    def __str__(self) -> str:
+        return f"Ins({self.tag})"
+
+
+@dataclass(frozen=True)
+class Del:
+    tag: str
+    lits: tuple[Any, ...]
+
+    def __str__(self) -> str:
+        return f"Del({self.tag})"
+
+
+LempsinkOp = Union[Cpy, Ins, Del]
+
+
+def _preorder(tree: TNode) -> list[TNode]:
+    return list(tree.iter_subtree())
+
+
+def lempsink_diff(src: TNode, dst: TNode) -> list[LempsinkOp]:
+    """Compute the optimal Cpy/Ins/Del script from ``src`` to ``dst``."""
+    xs = _preorder(src)
+    ys = _preorder(dst)
+    n, m = len(xs), len(ys)
+    # cost[i][j] = minimal Ins+Del count transforming suffix i of xs into
+    # suffix j of ys
+    INF = float("inf")
+    cost = [[0.0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        cost[i][m] = (n - i) + 0.0
+    for j in range(m - 1, -1, -1):
+        cost[n][j] = (m - j) + 0.0
+    for i in range(n - 1, -1, -1):
+        xi = xs[i]
+        row = cost[i]
+        below = cost[i + 1]
+        for j in range(m - 1, -1, -1):
+            yj = ys[j]
+            best = below[j] + 1  # Del
+            alt = row[j + 1] + 1  # Ins
+            if alt < best:
+                best = alt
+            if xi.tag == yj.tag and xi.lits == yj.lits:
+                alt = below[j + 1]  # Cpy
+                if alt < best:
+                    best = alt
+            row[j] = best
+    # reconstruct
+    ops: list[LempsinkOp] = []
+    i = j = 0
+    while i < n or j < m:
+        if i < n and j < m:
+            xi, yj = xs[i], ys[j]
+            if (
+                xi.tag == yj.tag
+                and xi.lits == yj.lits
+                and cost[i][j] == cost[i + 1][j + 1]
+            ):
+                ops.append(Cpy(xi.tag, tuple(xi.lits)))
+                i += 1
+                j += 1
+                continue
+            if cost[i][j] == cost[i + 1][j] + 1:
+                ops.append(Del(xi.tag, tuple(xi.lits)))
+                i += 1
+                continue
+            ops.append(Ins(yj.tag, tuple(yj.lits)))
+            j += 1
+            continue
+        if i < n:
+            ops.append(Del(xs[i].tag, tuple(xs[i].lits)))
+            i += 1
+        else:
+            ops.append(Ins(ys[j].tag, tuple(ys[j].lits)))
+            j += 1
+    return ops
+
+
+class LempsinkApplyError(Exception):
+    """The script does not match the source tree."""
+
+
+def lempsink_apply(ops: list[LempsinkOp], src: TNode) -> TNode:
+    """Interpret a script against the source tree, producing the target.
+
+    The interpretation is a type-safe fold: Cpy/Del consume the source
+    pre-order, Ins/Cpy produce target nodes whose children are taken from
+    the produced stream — arities always line up because tags determine
+    them.
+    """
+    sigs: SignatureRegistry = src.sigs
+    urigen = sigs.urigen
+    xs = _preorder(src)
+    pos = 0
+
+    def arity(tag: str) -> int:
+        return len(sigs[tag].kids)
+
+    # First pass: compute the produced pre-order node stream (tag, lits)
+    produced: list[tuple[str, tuple[Any, ...]]] = []
+    for op in ops:
+        if isinstance(op, Cpy):
+            if pos >= len(xs) or xs[pos].tag != op.tag or tuple(xs[pos].lits) != op.lits:
+                raise LempsinkApplyError(f"Cpy mismatch at {pos}: {op}")
+            produced.append((op.tag, op.lits))
+            pos += 1
+        elif isinstance(op, Del):
+            if pos >= len(xs) or xs[pos].tag != op.tag:
+                raise LempsinkApplyError(f"Del mismatch at {pos}: {op}")
+            pos += 1
+        else:
+            produced.append((op.tag, op.lits))
+    if pos != len(xs):
+        raise LempsinkApplyError("script does not consume the whole source")
+
+    # Second pass: rebuild the tree from the produced pre-order stream
+    idx = 0
+
+    def build() -> TNode:
+        nonlocal idx
+        if idx >= len(produced):
+            raise LempsinkApplyError("script produces a truncated tree")
+        tag, lits = produced[idx]
+        idx += 1
+        kids = [build() for _ in range(arity(tag))]
+        return TNode(sigs, sigs[tag], kids, lits, urigen.fresh())
+
+    result = build()
+    if idx != len(produced):
+        raise LempsinkApplyError("script produces a forest, not a tree")
+    return result
+
+
+def script_length(ops: list[LempsinkOp]) -> int:
+    """Total patch length (the patch mentions copied nodes too)."""
+    return len(ops)
+
+
+def script_cost(ops: list[LempsinkOp]) -> int:
+    """Number of actual changes (Ins + Del)."""
+    return sum(1 for op in ops if not isinstance(op, Cpy))

@@ -1,0 +1,31 @@
+"""The evaluation harness regenerating the paper's figures (Section 6)."""
+
+from .harness import (
+    DEFAULT_TOOLS,
+    Measurement,
+    ToolResult,
+    measure_change,
+    measurements_from_csv,
+    measurements_to_csv,
+    run_corpus,
+)
+from .report import Fig4Report, Fig5Report, fig4_conciseness, fig5_throughput
+from .stats import Summary, ascii_boxplot, quantile, summarize
+
+__all__ = [
+    "DEFAULT_TOOLS",
+    "Fig4Report",
+    "Fig5Report",
+    "Measurement",
+    "Summary",
+    "ToolResult",
+    "ascii_boxplot",
+    "fig4_conciseness",
+    "fig5_throughput",
+    "measure_change",
+    "measurements_from_csv",
+    "measurements_to_csv",
+    "quantile",
+    "run_corpus",
+    "summarize",
+]

@@ -1,0 +1,186 @@
+"""The evaluation harness: run every diff tool over a commit corpus.
+
+Measurement protocol (Section 6 "Setup"):
+
+* each changed file is diffed by each tool **three times**; the fastest
+  run is kept;
+* for truediff, the trees are *reconstructed before each invocation* so
+  the time spent computing cryptographic hashes is included; we apply the
+  same discipline to every tool (each timed run rebuilds its input trees
+  from the parsed representation);
+* parsing time is excluded;
+* the throughput denominator is the flattened (rose-view) node count of
+  source plus target — the same trees every tool sees.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.adapters.bridge import ast_node_count, tnode_to_gumtree
+from repro.adapters.pyast import parse_python
+from repro.baselines.gumtree import ChawatheScriptGenerator, GTNode, match
+from repro.baselines.hdiff import HdiffOptions, hdiff, patch_size
+from repro.core import DiffOptions, TNode, diff
+from repro.corpus import FileChange
+
+
+@dataclass(frozen=True)
+class ToolResult:
+    time_ms: float
+    size: int
+
+
+@dataclass
+class Measurement:
+    """One changed file, all tools."""
+
+    commit: int
+    path: str
+    nodes: int  # src + dst flattened node count
+    results: dict[str, ToolResult] = field(default_factory=dict)
+
+    def throughput(self, tool: str) -> float:
+        """Nodes per millisecond (Figure 5's unit)."""
+        r = self.results[tool]
+        return self.nodes / r.time_ms if r.time_ms > 0 else float("inf")
+
+
+def _rebuild_tnode(tree: TNode) -> TNode:
+    """Reconstruct the tree, recomputing all hashes (Step 1 cost)."""
+
+    def go(n: TNode) -> TNode:
+        return TNode(n.sigs, n.sig, [go(k) for k in n.kids], n.lits, n.uri, validate=False)
+
+    return go(tree)
+
+
+def _run_truediff(src: TNode, dst: TNode, options: DiffOptions) -> ToolResult:
+    t0 = time.perf_counter()
+    a = _rebuild_tnode(src)
+    b = _rebuild_tnode(dst)
+    script, _ = diff(a, b, options=options)
+    return ToolResult((time.perf_counter() - t0) * 1000, len(script))
+
+
+def _run_gumtree(gsrc: GTNode, gdst: GTNode) -> ToolResult:
+    t0 = time.perf_counter()
+    a = gsrc.deep_copy()
+    b = gdst.deep_copy()
+    mappings = match(a, b)
+    ops = ChawatheScriptGenerator(a, b, mappings).generate()
+    return ToolResult((time.perf_counter() - t0) * 1000, len(ops))
+
+
+def _run_hdiff(src: TNode, dst: TNode, options: HdiffOptions) -> ToolResult:
+    t0 = time.perf_counter()
+    a = _rebuild_tnode(src)
+    b = _rebuild_tnode(dst)
+    patch = hdiff(a, b, options)
+    return ToolResult((time.perf_counter() - t0) * 1000, patch_size(patch))
+
+
+DEFAULT_TOOLS = ("truediff", "gumtree", "hdiff")
+
+
+def measure_change(
+    change: FileChange,
+    tools: Sequence[str] = DEFAULT_TOOLS,
+    runs: int = 3,
+    truediff_options: Optional[DiffOptions] = None,
+    hdiff_options: Optional[HdiffOptions] = None,
+) -> Measurement:
+    """Diff one changed file with every tool, best of ``runs``."""
+    src = parse_python(change.before, change.path)
+    dst = parse_python(change.after, change.path)
+    nodes = ast_node_count(src) + ast_node_count(dst)
+    m = Measurement(change.commit, change.path, nodes)
+    gsrc = gdst = None
+    if "gumtree" in tools:
+        gsrc = tnode_to_gumtree(src)
+        gdst = tnode_to_gumtree(dst)
+    for tool in tools:
+        best: Optional[ToolResult] = None
+        for _ in range(runs):
+            if tool == "truediff":
+                r = _run_truediff(src, dst, truediff_options or DiffOptions())
+            elif tool == "gumtree":
+                r = _run_gumtree(gsrc, gdst)
+            elif tool == "hdiff":
+                r = _run_hdiff(src, dst, hdiff_options or HdiffOptions())
+            else:
+                raise ValueError(f"unknown tool {tool!r}")
+            if best is None or r.time_ms < best.time_ms:
+                best = ToolResult(r.time_ms, r.size)
+        m.results[tool] = best
+    return m
+
+
+def run_corpus(
+    changes: Iterable[FileChange],
+    tools: Sequence[str] = DEFAULT_TOOLS,
+    runs: int = 3,
+    progress: Optional[Callable[[int, Measurement], None]] = None,
+    **kwargs,
+) -> list[Measurement]:
+    """Measure every changed file of a corpus."""
+    out: list[Measurement] = []
+    for i, change in enumerate(changes):
+        m = measure_change(change, tools=tools, runs=runs, **kwargs)
+        out.append(m)
+        if progress is not None:
+            progress(i, m)
+    return out
+
+
+def measurements_to_csv(measurements: Sequence[Measurement], path: str) -> None:
+    """Dump raw measurements (the paper released its raw data too)."""
+    import csv
+
+    tools: list[str] = []
+    for m in measurements:
+        for t in m.results:
+            if t not in tools:
+                tools.append(t)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        header = ["commit", "path", "nodes"]
+        for t in tools:
+            header += [f"{t}_ms", f"{t}_size", f"{t}_nodes_per_ms"]
+        writer.writerow(header)
+        for m in measurements:
+            row: list = [m.commit, m.path, m.nodes]
+            for t in tools:
+                r = m.results.get(t)
+                if r is None:
+                    row += ["", "", ""]
+                else:
+                    row += [f"{r.time_ms:.4f}", r.size, f"{m.throughput(t):.2f}"]
+            writer.writerow(row)
+
+
+def measurements_from_csv(path: str) -> list[Measurement]:
+    """Reload measurements dumped by :func:`measurements_to_csv`."""
+    import csv
+
+    out: list[Measurement] = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        tools = sorted(
+            {
+                name[: -len("_ms")]
+                for name in (reader.fieldnames or [])
+                if name.endswith("_ms") and not name.endswith("_nodes_per_ms")
+            }
+        )
+        for row in reader:
+            m = Measurement(int(row["commit"]), row["path"], int(row["nodes"]))
+            for t in tools:
+                if row.get(f"{t}_ms"):
+                    m.results[t] = ToolResult(
+                        float(row[f"{t}_ms"]), int(row[f"{t}_size"])
+                    )
+            out.append(m)
+    return out

@@ -1,0 +1,139 @@
+"""Paper-style reports regenerating Figures 4 and 5.
+
+The functions take the measurements produced by
+:mod:`repro.bench.harness` and print the same series the paper plots:
+
+* Figure 4 (left):  patch size differences ``hdiff - truediff`` and
+  ``gumtree - truediff``;
+* Figure 4 (right): patch size ratios ``hdiff / truediff`` and
+  ``gumtree / truediff`` (paper: means ≈ 18.8x and ≈ 1.01x);
+* Figure 5: diffing throughput in nodes/ms per tool (paper: truediff
+  ≈ 22x hdiff, ≈ 8x Gumtree; median 6.4 ms/file, mean 12.7 ms/file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .harness import Measurement
+from .stats import Summary, ascii_boxplot, summarize
+
+
+@dataclass
+class Fig4Report:
+    diff_summaries: list[Summary]
+    ratio_summaries: list[Summary]
+    mean_ratio_hdiff: Optional[float]
+    mean_ratio_gumtree: Optional[float]
+
+    def render(self) -> str:
+        lines = ["== Figure 4 (left): patch size difference =="]
+        lines += [s.row() for s in self.diff_summaries]
+        lines.append(ascii_boxplot(self.diff_summaries))
+        lines.append("")
+        lines.append("== Figure 4 (right): patch size ratio ==")
+        lines += [s.row() for s in self.ratio_summaries]
+        lines.append(ascii_boxplot(self.ratio_summaries))
+        if self.mean_ratio_hdiff is not None:
+            lines.append(
+                f"mean hdiff/truediff patch size ratio:   {self.mean_ratio_hdiff:.2f}x"
+                "   (paper: 18.8x)"
+            )
+        if self.mean_ratio_gumtree is not None:
+            lines.append(
+                f"mean gumtree/truediff patch size ratio: {self.mean_ratio_gumtree:.2f}x"
+                "   (paper: 1.01x)"
+            )
+        return "\n".join(lines)
+
+
+def fig4_conciseness(measurements: Sequence[Measurement]) -> Fig4Report:
+    """Patch-size difference and ratio series (both Figure 4 panels)."""
+    pairs = [("hdiff", "hdiff"), ("gumtree", "gumtree")]
+    diffs: dict[str, list[float]] = {k: [] for k, _ in pairs}
+    ratios: dict[str, list[float]] = {k: [] for k, _ in pairs}
+    for m in measurements:
+        td = m.results.get("truediff")
+        if td is None:
+            continue
+        for key, tool in pairs:
+            other = m.results.get(tool)
+            if other is None:
+                continue
+            diffs[key].append(other.size - td.size)
+            if td.size > 0:
+                ratios[key].append(other.size / td.size)
+            elif other.size == 0:
+                ratios[key].append(1.0)
+            # both patches empty handled above; other>0 with td==0 is
+            # excluded like the paper excludes division by zero
+    diff_summaries = [
+        summarize(f"{k} - truediff", v) for k, v in diffs.items() if v
+    ]
+    ratio_summaries = [
+        summarize(f"{k} / truediff", v) for k, v in ratios.items() if v
+    ]
+    mean_h = (
+        sum(ratios["hdiff"]) / len(ratios["hdiff"]) if ratios["hdiff"] else None
+    )
+    mean_g = (
+        sum(ratios["gumtree"]) / len(ratios["gumtree"]) if ratios["gumtree"] else None
+    )
+    return Fig4Report(diff_summaries, ratio_summaries, mean_h, mean_g)
+
+
+@dataclass
+class Fig5Report:
+    throughput_summaries: list[Summary]
+    truediff_median_ms: Optional[float]
+    truediff_mean_ms: Optional[float]
+    speedup_vs: dict[str, float]
+
+    def render(self) -> str:
+        lines = ["== Figure 5: diffing throughput (nodes/ms) =="]
+        lines += [s.row() for s in self.throughput_summaries]
+        lines.append(ascii_boxplot(self.throughput_summaries))
+        for tool, factor in self.speedup_vs.items():
+            paper = {"hdiff": "22x", "gumtree": "8x"}.get(tool, "?")
+            lines.append(
+                f"truediff median throughput vs {tool}: {factor:.1f}x   (paper: ~{paper})"
+            )
+        if self.truediff_median_ms is not None:
+            lines.append(
+                f"truediff running time per file: median {self.truediff_median_ms:.1f} ms, "
+                f"mean {self.truediff_mean_ms:.1f} ms   (paper: 6.4 / 12.7 ms)"
+            )
+        return "\n".join(lines)
+
+
+def fig5_throughput(measurements: Sequence[Measurement]) -> Fig5Report:
+    tools: list[str] = []
+    for m in measurements:
+        for t in m.results:
+            if t not in tools:
+                tools.append(t)
+    summaries = []
+    medians: dict[str, float] = {}
+    for tool in tools:
+        values = [m.throughput(tool) for m in measurements if tool in m.results]
+        if not values:
+            continue
+        s = summarize(tool, values)
+        summaries.append(s)
+        medians[tool] = s.median
+    speedups = {}
+    if "truediff" in medians:
+        for tool, med in medians.items():
+            if tool != "truediff" and med > 0:
+                speedups[tool] = medians["truediff"] / med
+    td_times = [
+        m.results["truediff"].time_ms for m in measurements if "truediff" in m.results
+    ]
+    td_summary = summarize("truediff ms", td_times) if td_times else None
+    return Fig5Report(
+        summaries,
+        td_summary.median if td_summary else None,
+        td_summary.mean if td_summary else None,
+        speedups,
+    )

@@ -1,0 +1,93 @@
+"""Summary statistics and ASCII box plots for the evaluation harness.
+
+Figures 4 and 5 of the paper are box plots; the harness prints their
+five-number summaries (plus mean) and renders terminal box plots so the
+distribution shape is visible in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary plus mean of one distribution."""
+
+    label: str
+    n: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    def row(self) -> str:
+        return (
+            f"{self.label:<24} n={self.n:<5} min={self.minimum:>9.2f} "
+            f"q1={self.q1:>9.2f} med={self.median:>9.2f} q3={self.q3:>9.2f} "
+            f"max={self.maximum:>9.2f} mean={self.mean:>9.2f}"
+        )
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data."""
+    if not sorted_values:
+        raise ValueError("no data")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = q * (len(sorted_values) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return float(sorted_values[lo]) * (1 - frac) + float(sorted_values[hi]) * frac
+
+
+def summarize(label: str, values: Sequence[float]) -> Summary:
+    if not values:
+        raise ValueError(f"no data for {label}")
+    vs = sorted(float(v) for v in values)
+    return Summary(
+        label=label,
+        n=len(vs),
+        minimum=vs[0],
+        q1=quantile(vs, 0.25),
+        median=quantile(vs, 0.5),
+        q3=quantile(vs, 0.75),
+        maximum=vs[-1],
+        mean=sum(vs) / len(vs),
+    )
+
+
+def ascii_boxplot(summaries: Sequence[Summary], width: int = 68) -> str:
+    """Render aligned horizontal box plots (whiskers at min/max)."""
+    lo = min(s.minimum for s in summaries)
+    hi = max(s.maximum for s in summaries)
+    span = hi - lo or 1.0
+
+    def col(v: float) -> int:
+        return min(width - 1, max(0, round((v - lo) / span * (width - 1))))
+
+    lines = []
+    for s in summaries:
+        row = [" "] * width
+        c_min, c_q1, c_med, c_q3, c_max = (
+            col(s.minimum),
+            col(s.q1),
+            col(s.median),
+            col(s.q3),
+            col(s.maximum),
+        )
+        for i in range(c_min, c_max + 1):
+            row[i] = "-"
+        for i in range(c_q1, c_q3 + 1):
+            row[i] = "="
+        row[c_min] = "|"
+        row[c_max] = "|"
+        row[c_med] = "O"
+        lines.append(f"{s.label:<24} [{''.join(row)}]")
+    lines.append(f"{'':<24}  {lo:<10.2f}{'':^{max(0, width - 22)}}{hi:>10.2f}")
+    return "\n".join(lines)

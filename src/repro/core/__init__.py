@@ -1,0 +1,170 @@
+"""The paper's primary contribution: truechange + truediff.
+
+* :mod:`repro.core.edits`, :mod:`repro.core.typecheck`,
+  :mod:`repro.core.mtree` — the linearly typed edit script language
+  truechange (Section 3): syntax, linear type system, standard semantics.
+* :mod:`repro.core.tree`, :mod:`repro.core.registry`,
+  :mod:`repro.core.diff` — the truediff algorithm (Section 4).
+* :mod:`repro.core.adt` — the ``@diffable`` datatype front-end (Section 5).
+"""
+
+import sys as _sys
+
+# Real-world documents produce deep trees (a long statement list is a long
+# cons chain), and the diffing/patching recursions follow tree height.
+# CPython 3.11+ no longer burns C stack on Python-to-Python calls, so a
+# generous recursion limit is safe.
+if _sys.getrecursionlimit() < 1_000_000:
+    _sys.setrecursionlimit(1_000_000)
+
+from .adt import Constructor, ConsListSorts, Grammar, ListSorts, OptionSorts, diffable
+from .diff import DEFAULT_OPTIONS, DiffOptions, EditBuffer, diff
+from .edits import (
+    Attach,
+    Detach,
+    Edit,
+    EditScript,
+    Insert,
+    Load,
+    Remove,
+    Unload,
+    Update,
+)
+from .gen import GenerationError, TreeGenerator, random_tree
+from .invert import invert_edit, invert_script
+from .merge import MergeConflict, MergeResult, find_conflicts, merge_scripts
+from .patch import apply_script, mnode_to_tnode, mtree_to_tnode
+from .serialize import (
+    SerializationError,
+    edit_from_dict,
+    edit_to_dict,
+    script_from_json,
+    script_to_json,
+)
+from .mtree import (
+    ComplianceError,
+    MNode,
+    MTree,
+    PatchError,
+    TypingViolation,
+    check_syntactic_compliance,
+    mnode_well_typed,
+    mtree_well_typed,
+)
+from .node import Link, Node, ROOT_LINK, ROOT_NODE, ROOT_TAG, Tag
+from .registry import SubtreeRegistry, SubtreeShare
+from .signature import ROOT_SIGNATURE, Signature, SignatureError, SignatureRegistry
+from .trace import Acquisition, DiffTrace, diff_traced
+from .tree import TNode, clear_diff_state, tnode_to_mtree
+from .typecheck import (
+    CLOSED_STATE,
+    EditTypeError,
+    INITIAL_STATE,
+    LinearState,
+    assert_well_typed,
+    check_edit,
+    check_script,
+    is_well_typed,
+    is_well_typed_initializing,
+)
+from .types import (
+    ANY,
+    LIT_ANY,
+    LIT_BOOL,
+    LIT_FLOAT,
+    LIT_INT,
+    LIT_STR,
+    LitType,
+    ROOT_SORT,
+    Type,
+    lit_type,
+    sort,
+)
+from .uris import ROOT_URI, URI, URIGen
+
+__all__ = [
+    "ANY",
+    "Attach",
+    "CLOSED_STATE",
+    "ComplianceError",
+    "Constructor",
+    "DEFAULT_OPTIONS",
+    "Detach",
+    "DiffOptions",
+    "Edit",
+    "EditBuffer",
+    "EditScript",
+    "EditTypeError",
+    "Grammar",
+    "INITIAL_STATE",
+    "Insert",
+    "LIT_ANY",
+    "LIT_BOOL",
+    "LIT_FLOAT",
+    "LIT_INT",
+    "LIT_STR",
+    "LinearState",
+    "Link",
+    "ListSorts",
+    "LitType",
+    "Load",
+    "MNode",
+    "MTree",
+    "Node",
+    "OptionSorts",
+    "PatchError",
+    "ROOT_LINK",
+    "ROOT_NODE",
+    "ROOT_SIGNATURE",
+    "ROOT_SORT",
+    "ROOT_TAG",
+    "ROOT_URI",
+    "Remove",
+    "Signature",
+    "SignatureError",
+    "SignatureRegistry",
+    "SubtreeRegistry",
+    "SubtreeShare",
+    "TNode",
+    "Tag",
+    "Type",
+    "TypingViolation",
+    "URI",
+    "URIGen",
+    "Unload",
+    "Update",
+    "assert_well_typed",
+    "Acquisition",
+    "DiffTrace",
+    "check_edit",
+    "check_script",
+    "check_syntactic_compliance",
+    "clear_diff_state",
+    "diff",
+    "diff_traced",
+    "diffable",
+    "GenerationError",
+    "TreeGenerator",
+    "apply_script",
+    "edit_from_dict",
+    "edit_to_dict",
+    "invert_edit",
+    "invert_script",
+    "MergeConflict",
+    "MergeResult",
+    "find_conflicts",
+    "merge_scripts",
+    "mnode_to_tnode",
+    "mtree_to_tnode",
+    "random_tree",
+    "script_from_json",
+    "script_to_json",
+    "SerializationError",
+    "is_well_typed",
+    "is_well_typed_initializing",
+    "lit_type",
+    "mnode_well_typed",
+    "mtree_well_typed",
+    "sort",
+    "tnode_to_mtree",
+]

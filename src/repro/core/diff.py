@@ -1,0 +1,480 @@
+"""The truediff structural diffing algorithm (Section 4).
+
+truediff computes the difference between a source tree ``this`` and a
+target tree ``that`` in four steps, each linear in the tree sizes
+(Theorem 4.1):
+
+1. **Prepare subtree equivalence relations** — done at tree construction
+   time: every :class:`~repro.core.tree.TNode` carries a structural and a
+   literal SHA-256 hash (Section 4.1).
+2. **Find reuse candidates** (:func:`assign_shares`) — all structurally
+   equivalent subtrees are assigned the same
+   :class:`~repro.core.registry.SubtreeShare`; source subtrees are
+   registered as *available* resources, and identical subtrees at matching
+   positions are *preemptively assigned* to each other (Section 4.2).
+3. **Select reuse candidates** (:func:`assign_subtrees`) — traverse the
+   target tree highest-first and greedily acquire available source
+   subtrees, preferring exact (literally equivalent) copies; subtrees are
+   linear resources and are acquired at most once (Section 4.3).
+4. **Compute edit script** (:func:`compute_edits`) — simultaneous
+   traversal emitting truechange edits into an :class:`EditBuffer` that
+   orders negative edits (detach/unload) before positive ones
+   (load/attach), guaranteeing well-typedness of the result (Section 4.4).
+
+The top-level entry point is :func:`diff` (the paper's ``compareTo``),
+which returns the edit script together with the *patched tree*: a tree
+that is equal to the target but reuses nodes (and thus URIs) of the
+source, ready for subsequent diffing rounds.
+
+:class:`DiffOptions` exposes the knobs exercised by the ablation
+benchmarks; the defaults correspond to the paper's algorithm.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .edits import Attach, Detach, EditScript, Load, Unload, Update
+from .node import Link, Node, ROOT_LINK, ROOT_NODE
+from .registry import SubtreeRegistry
+from .tree import TNode, clear_diff_state
+from .uris import URIGen
+
+
+@dataclass(frozen=True)
+class DiffOptions:
+    """Configuration knobs for truediff (defaults = the paper's algorithm).
+
+    ``prefer_literal_matches``
+        Step 3 first tries to acquire an exact copy (literal equivalence)
+        before settling for any structurally equivalent candidate.
+    ``height_first``
+        Step 3 traverses target subtrees highest-first to avoid subtree
+        fragmentation.  Disabling processes the queue in FIFO order.
+    ``coalesce``
+        Merge Load+Attach / Detach+Unload pairs into compound edits for the
+        conciseness metric.
+    """
+
+    prefer_literal_matches: bool = True
+    height_first: bool = True
+    coalesce: bool = True
+
+
+DEFAULT_OPTIONS = DiffOptions()
+
+
+class EditBuffer:
+    """Collects edits, separating negative from positive edits (Section 4.4).
+
+    The final script contains all negative edits (detach, unload) before
+    all positive edits (load, attach, update), which ensures a subtree is
+    detached before it is reattached elsewhere.
+    """
+
+    __slots__ = ("negatives", "positives")
+
+    def __init__(self) -> None:
+        self.negatives: list[Any] = []
+        self.positives: list[Any] = []
+
+    def detach(self, tree: TNode, link: Link, parent: Node) -> None:
+        self.negatives.append(Detach(tree.node, link, parent))
+
+    def unload(self, tree: TNode) -> None:
+        kids = tuple((l, k.uri) for l, k in tree.kid_items)
+        self.negatives.append(Unload(tree.node, kids, tree.lit_items))
+
+    def load(self, tree: TNode) -> None:
+        kids = tuple((l, k.uri) for l, k in tree.kid_items)
+        self.positives.append(Load(tree.node, kids, tree.lit_items))
+
+    def attach(self, tree: TNode, link: Link, parent: Node) -> None:
+        self.positives.append(Attach(tree.node, link, parent))
+
+    def update(self, this: TNode, that: TNode) -> None:
+        self.positives.append(Update(this.node, this.lit_items, that.lit_items))
+
+    def to_script(self, coalesce: bool = True) -> EditScript:
+        script = EditScript(self.negatives + self.positives)
+        return script.coalesced() if coalesce else script
+
+
+def assign_tree(this: TNode, that: TNode) -> None:
+    """Record the symmetric assignment ``this <-> that`` (Section 4.3)."""
+    this.assigned = that
+    that.assigned = this
+
+
+# ---------------------------------------------------------------------------
+# Step 2: find reuse candidates
+# ---------------------------------------------------------------------------
+
+
+def assign_shares(this: TNode, that: TNode, reg: SubtreeRegistry) -> None:
+    """Assign shares to all subtrees of ``this`` and ``that``; register
+    source subtrees as available; preemptively assign identical subtrees
+    encountered at matching positions (Section 4.2)."""
+    reg.assign_share(this)
+    reg.assign_share(that)
+    if this.share is that.share:
+        # structurally equivalent trees at matching positions: preemptive
+        # assignment, stop recursing (the whole subtree is settled; Step 4
+        # patches up differing literals with Update edits)
+        assign_tree(this, that)
+    else:
+        _assign_shares_rec(this, that, reg)
+
+
+def _assign_shares_rec(this: TNode, that: TNode, reg: SubtreeRegistry) -> None:
+    if this.tag == that.tag:
+        # recurse simultaneously; this node itself may still be moved
+        this.share.register_available(this)
+        if this.sig.is_variadic:
+            # list kids are aligned by content, not position, so that an
+            # insertion does not shift every later element onto the wrong
+            # partner (the artifact's DiffableList alignment)
+            for kid_this, kid_that in _align_list(this.kids, that.kids):
+                if kid_this is None:
+                    for t in kid_that.iter_subtree():
+                        reg.assign_share(t)
+                elif kid_that is None:
+                    for t in kid_this.iter_subtree():
+                        reg.assign_share_and_register(t)
+                else:
+                    assign_shares(kid_this, kid_that, reg)
+        else:
+            for kid_this, kid_that in zip(this.kids, that.kids):
+                assign_shares(kid_this, kid_that, reg)
+    else:
+        # recurse separately: all source subtrees become available,
+        # all target subtrees merely get shares (they are required)
+        for t in this.iter_subtree():
+            reg.assign_share_and_register(t)
+        for t in that.iter_subtree():
+            reg.assign_share(t)
+
+
+def _align_list(
+    this_kids: tuple[TNode, ...], that_kids: tuple[TNode, ...]
+) -> list[tuple[Optional[TNode], Optional[TNode]]]:
+    """Align two element sequences: exact (identity-hash) matches become
+    pairs via a patience-style longest increasing subsequence; leftover
+    elements inside the gaps are paired positionally (they likely
+    correspond but were edited); the rest are unpaired."""
+    src_pos: dict[bytes, list[int]] = {}
+    for i, k in enumerate(this_kids):
+        src_pos.setdefault(k.identity_hash, []).append(i)
+    dst_pos: dict[bytes, list[int]] = {}
+    for j, k in enumerate(that_kids):
+        dst_pos.setdefault(k.identity_hash, []).append(j)
+
+    # unique-unique anchors, thinned to an increasing subsequence
+    anchors = sorted(
+        (pos[0], dst_pos[h][0])
+        for h, pos in src_pos.items()
+        if len(pos) == 1 and len(dst_pos.get(h, ())) == 1
+    )
+    kept = _longest_increasing(anchors)
+
+    # greedy in-gap matching of equal elements (handles duplicates)
+    exact: list[tuple[int, int]] = []
+    bounds = [(-1, -1)] + kept + [(len(this_kids), len(that_kids))]
+    for (pi, pj), (ni, nj) in zip(bounds, bounds[1:]):
+        i = pi + 1
+        for j in range(pj + 1, nj):
+            h = that_kids[j].identity_hash
+            scan = i
+            while scan < ni and this_kids[scan].identity_hash != h:
+                scan += 1
+            if scan < ni:
+                exact.append((scan, j))
+                i = scan + 1
+        if (ni, nj) != (len(this_kids), len(that_kids)):
+            exact.append((ni, nj))
+    exact.sort()
+
+    # emit pairs, zipping gap leftovers positionally
+    out: list[tuple[Optional[TNode], Optional[TNode]]] = []
+    prev_i = prev_j = -1
+    for ai, aj in exact + [(len(this_kids), len(that_kids))]:
+        gap_src = list(range(prev_i + 1, ai))
+        gap_dst = list(range(prev_j + 1, aj))
+        for gi, gj in zip(gap_src, gap_dst):
+            out.append((this_kids[gi], that_kids[gj]))
+        for gi in gap_src[len(gap_dst):]:
+            out.append((this_kids[gi], None))
+        for gj in gap_dst[len(gap_src):]:
+            out.append((None, that_kids[gj]))
+        if ai < len(this_kids):
+            out.append((this_kids[ai], that_kids[aj]))
+        prev_i, prev_j = ai, aj
+    return out
+
+
+def _longest_increasing(pairs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Longest subsequence of (sorted-by-i) pairs with increasing j."""
+    if not pairs:
+        return []
+    import bisect
+
+    tails: list[int] = []  # tails[k] = smallest ending j of an LIS of length k+1
+    links: list[int] = []  # predecessor indices
+    tail_idx: list[int] = []
+    for idx, (_, j) in enumerate(pairs):
+        k = bisect.bisect_left(tails, j)
+        if k == len(tails):
+            tails.append(j)
+            tail_idx.append(idx)
+        else:
+            tails[k] = j
+            tail_idx[k] = idx
+        links.append(tail_idx[k - 1] if k > 0 else -1)
+    out = []
+    cur = tail_idx[len(tails) - 1]
+    while cur != -1:
+        out.append(pairs[cur])
+        cur = links[cur]
+    out.reverse()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Step 3: select reuse candidates
+# ---------------------------------------------------------------------------
+
+
+def take_tree(reg: SubtreeRegistry, src: TNode, that: TNode) -> None:
+    """Acquire source subtree ``src`` for target subtree ``that``.
+
+    Subtrees are linear resources: the entire subtree of ``src`` is
+    deregistered so it cannot be reused elsewhere, and preemptive
+    assignments of smaller subtrees that conflict with this acquisition
+    are undone (the freed partners become available / required again).
+    """
+    # Undo preemptive pairs inside `that`: their source partners are freed
+    # and become available again for other targets.
+    for t2 in that.iter_proper_subtrees():
+        s2 = t2.assigned
+        if s2 is not None:
+            t2.assigned = None
+            s2.assigned = None
+            for s in s2.iter_subtree():
+                reg.assign_share_and_register(s)
+    # Consume src: deregister its whole subtree; preemptive pairs whose
+    # source lies inside src are undone, making the target partner
+    # required again (it will be reached by the Step-3 queue).
+    for s in src.iter_subtree():
+        if s.share is not None:
+            s.share.deregister(s)
+        tp = s.assigned
+        if tp is not None:
+            s.assigned = None
+            tp.assigned = None
+            for t in tp.iter_subtree():
+                reg.assign_share(t)
+    assign_tree(src, that)
+
+
+def assign_subtrees(
+    that: TNode,
+    reg: SubtreeRegistry,
+    options: DiffOptions = DEFAULT_OPTIONS,
+) -> None:
+    """Traverse target subtrees highest-first and greedily acquire
+    available source subtrees (Section 4.3)."""
+    counter = 0  # tie-breaker: TNodes are not ordered
+    heap: list[tuple[int, int, TNode]] = []
+
+    def push(t: TNode) -> None:
+        nonlocal counter
+        priority = -t.height if options.height_first else counter
+        heapq.heappush(heap, (priority, counter, t))
+        counter += 1
+
+    push(that)
+    while heap:
+        level = heap[0][0]
+        nexts: list[TNode] = []
+        while heap and heap[0][0] == level:
+            nexts.append(heapq.heappop(heap)[2])
+        # skip subtrees already settled by preemptive assignment
+        todo = [t for t in nexts if t.assigned is None]
+        unassigned: list[TNode] = []
+        if options.prefer_literal_matches:
+            for t in todo:
+                src = t.share.take_preferred(t)
+                if src is not None:
+                    take_tree(reg, src, t)
+                else:
+                    unassigned.append(t)
+        else:
+            unassigned = todo
+        still_unassigned: list[TNode] = []
+        for t in unassigned:
+            src = t.share.take_any()
+            if src is not None:
+                take_tree(reg, src, t)
+            else:
+                still_unassigned.append(t)
+        for t in still_unassigned:
+            for kid in t.kids:
+                push(kid)
+
+
+# ---------------------------------------------------------------------------
+# Step 4: compute edit script
+# ---------------------------------------------------------------------------
+
+
+def update_lits(this: TNode, that: TNode, buf: EditBuffer) -> TNode:
+    """Reuse the structurally equivalent subtree ``this`` for ``that``,
+    emitting Update edits where literals differ.  Returns the patched
+    subtree (same URIs as ``this``, literals of ``that``)."""
+    if this.literal_hash == that.literal_hash:
+        return this
+    if this.lits != that.lits:
+        buf.update(this, that)
+    new_kids = [update_lits(a, b, buf) for a, b in zip(this.kids, that.kids)]
+    if this.lits == that.lits and all(a is b for a, b in zip(new_kids, this.kids)):
+        return this
+    return TNode(this.sigs, this.sig, new_kids, that.lits, this.uri, validate=False)
+
+
+def unload_unassigned(this: TNode, buf: EditBuffer) -> None:
+    """Unload the source subtree ``this``, keeping assigned subtrees as
+    detached roots for later reuse."""
+    if this.assigned is not None:
+        return  # remains a detached root; it will be reattached elsewhere
+    buf.unload(this)
+    for kid in this.kids:
+        unload_unassigned(kid, buf)
+
+
+def load_unassigned(that: TNode, buf: EditBuffer, urigen: URIGen) -> TNode:
+    """Produce a tree equal to ``that``: reuse assigned source subtrees,
+    load everything else afresh (bottom-up)."""
+    src = that.assigned
+    if src is not None:
+        return update_lits(src, that, buf)
+    kids = [load_unassigned(k, buf, urigen) for k in that.kids]
+    node = TNode(that.sigs, that.sig, kids, that.lits, urigen.fresh(), validate=False)
+    buf.load(node)
+    return node
+
+
+def compute_edits(
+    this: TNode,
+    that: TNode,
+    parent: Node,
+    link: Link,
+    buf: EditBuffer,
+    urigen: URIGen,
+) -> TNode:
+    """Simultaneous traversal of source and target (Section 4.4).
+
+    Returns the patched subtree for this position.
+    """
+    if this.assigned is not None and this.assigned is that:
+        # reuse this subtree in place, only updating literals
+        return update_lits(this, that, buf)
+    if this.assigned is None and that.assigned is None:
+        t = _compute_edits_rec(this, that, buf, urigen)
+        if t is not None:
+            return t
+    # replace this subtree by that subtree
+    buf.detach(this, link, parent)
+    unload_unassigned(this, buf)
+    t = load_unassigned(that, buf, urigen)
+    buf.attach(t, link, parent)
+    return t
+
+
+def _compute_edits_rec(
+    this: TNode,
+    that: TNode,
+    buf: EditBuffer,
+    urigen: URIGen,
+) -> Optional[TNode]:
+    """Try to keep ``this`` in place and recurse into the kids; gives up
+    (returns None) when the constructors disagree.  A variadic (list) node
+    can only be kept when the arity is unchanged — growth or shrinkage
+    replaces the cheap list node itself while its elements are reused
+    through their assignments."""
+    if this.tag != that.tag:
+        return None
+    if this.sig.is_variadic and len(this.kids) != len(that.kids):
+        return None
+    new_kids = [
+        compute_edits(kid_this, kid_that, this.node, l, buf, urigen)
+        for (l, kid_this), kid_that in zip(this.kid_items, that.kids)
+    ]
+    if this.lits != that.lits:
+        buf.update(this, that)
+    if this.lits == that.lits and all(a is b for a, b in zip(new_kids, this.kids)):
+        return this
+    return TNode(this.sigs, this.sig, new_kids, that.lits, this.uri, validate=False)
+
+
+# ---------------------------------------------------------------------------
+# Main algorithm (the paper's compareTo)
+# ---------------------------------------------------------------------------
+
+
+def _dealias(that: TNode) -> TNode:
+    """Rebuild the target tree with fresh node objects (same URIs) so the
+    per-diff mutable state of source and target never aliases."""
+
+    def go(n: TNode) -> TNode:
+        return TNode(n.sigs, n.sig, [go(k) for k in n.kids], n.lits, n.uri, validate=False)
+
+    return go(that)
+
+
+def diff(
+    this: TNode,
+    that: TNode,
+    options: DiffOptions = DEFAULT_OPTIONS,
+    urigen: Optional[URIGen] = None,
+) -> tuple[EditScript, TNode]:
+    """Compute a truechange edit script transforming ``this`` into ``that``.
+
+    Returns ``(script, patched)`` where ``patched`` equals ``that`` but
+    reuses nodes of ``this`` wherever the script reuses them — suitable as
+    the source of the next diffing round (the paper's ``compareTo``).
+    """
+    if urigen is None:
+        urigen = this.sigs.urigen
+    # The source tree must be a proper tree with unique node objects: its
+    # URIs name distinct mutable positions.  (Use TNode.unshared() to
+    # normalize a structure-shared tree first.)
+    this_ids: set[int] = set()
+    for n in this.iter_subtree():
+        if id(n) in this_ids:
+            raise ValueError(
+                "source tree contains the same node object twice; "
+                "normalize it with TNode.unshared() before diffing"
+            )
+        this_ids.add(id(n))
+    # The target tree may share node objects with the source or with
+    # itself (structure sharing is natural for immutable trees); rebuild
+    # it with fresh objects in that case so per-diff state never aliases.
+    that_ids: set[int] = set()
+    aliased = False
+    for n in that.iter_subtree():
+        if id(n) in this_ids or id(n) in that_ids:
+            aliased = True
+            break
+        that_ids.add(id(n))
+    if aliased:
+        that = _dealias(that)
+
+    clear_diff_state(this, that)
+    reg = SubtreeRegistry()
+    assign_shares(this, that, reg)  # Step 2 (Step 1 ran at construction)
+    assign_subtrees(that, reg, options)  # Step 3
+    buf = EditBuffer()
+    patched = compute_edits(this, that, ROOT_NODE, ROOT_LINK, buf, urigen)  # Step 4
+    return buf.to_script(coalesce=options.coalesce), patched

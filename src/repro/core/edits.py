@@ -1,0 +1,237 @@
+"""truechange edit operations and edit scripts (Figure 1).
+
+An edit script is a sequence of five primitive edit operations:
+
+* :class:`Detach` — disconnect a child from its parent, leaving an empty
+  slot in the parent and a new detached root.
+* :class:`Attach` — connect a detached root into an empty slot.
+* :class:`Load` — create a new node (fresh URI) from detached-root kids
+  and literal values; the new node becomes a detached root.
+* :class:`Unload` — delete a detached root, turning its kids into
+  detached roots.
+* :class:`Update` — replace a node's literal values in place.
+
+For conciseness accounting (Section 6) truediff merges a ``Load`` directly
+followed by an ``Attach`` of the same node into a compound :class:`Insert`,
+and a ``Detach`` directly followed by an ``Unload`` of the same node into a
+compound :class:`Remove`.  These correspond to Gumtree's ``Ins`` and ``Del``
+edits.  Compound edits count as *one* edit; :meth:`EditScript.primitives`
+expands them back into the two primitive operations for type checking and
+patching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Union
+
+from .node import Link, Node
+from .uris import URI
+
+# kid bindings of a Load/Unload: link -> kid URI, in signature order
+Kids = tuple[tuple[Link, URI], ...]
+# literal bindings: link -> literal value, in signature order
+Lits = tuple[tuple[Link, Any], ...]
+
+
+def _fmt_kids(kids: Kids) -> str:
+    return ", ".join(f"{l}->{u}" for l, u in kids)
+
+
+def _fmt_lits(lits: Lits) -> str:
+    return ", ".join(f"{l}={v!r}" for l, v in lits)
+
+
+@dataclass(frozen=True)
+class Detach:
+    """``Detach(node, link, parent)``: unlink ``node`` from ``parent.link``."""
+
+    node: Node
+    link: Link
+    parent: Node
+
+    def __str__(self) -> str:
+        return f"detach({self.node}, {self.link!r}, {self.parent})"
+
+
+@dataclass(frozen=True)
+class Attach:
+    """``Attach(node, link, parent)``: link root ``node`` into ``parent.link``."""
+
+    node: Node
+    link: Link
+    parent: Node
+
+    def __str__(self) -> str:
+        return f"attach({self.node}, {self.link!r}, {self.parent})"
+
+
+@dataclass(frozen=True)
+class Load:
+    """``Load(node, kids, lits)``: create ``node`` with the given contents."""
+
+    node: Node
+    kids: Kids
+    lits: Lits
+
+    def __str__(self) -> str:
+        return f"load({self.node}, <{_fmt_kids(self.kids)}>, <{_fmt_lits(self.lits)}>)"
+
+
+@dataclass(frozen=True)
+class Unload:
+    """``Unload(node, kids, lits)``: delete root ``node``, freeing its kids."""
+
+    node: Node
+    kids: Kids
+    lits: Lits
+
+    def __str__(self) -> str:
+        return f"unload({self.node}, <{_fmt_kids(self.kids)}>, <{_fmt_lits(self.lits)}>)"
+
+
+@dataclass(frozen=True)
+class Update:
+    """``Update(node, old, new)``: replace the literals of ``node``."""
+
+    node: Node
+    old_lits: Lits
+    new_lits: Lits
+
+    def __str__(self) -> str:
+        return f"update({self.node}, <{_fmt_lits(self.old_lits)}>, <{_fmt_lits(self.new_lits)}>)"
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Compound ``Load`` + ``Attach`` of the same node (counts as one edit)."""
+
+    node: Node
+    kids: Kids
+    lits: Lits
+    link: Link
+    parent: Node
+
+    def expand(self) -> tuple[Load, Attach]:
+        return (
+            Load(self.node, self.kids, self.lits),
+            Attach(self.node, self.link, self.parent),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"insert({self.node}, <{_fmt_kids(self.kids)}>, <{_fmt_lits(self.lits)}>, "
+            f"{self.link!r}, {self.parent})"
+        )
+
+
+@dataclass(frozen=True)
+class Remove:
+    """Compound ``Detach`` + ``Unload`` of the same node (counts as one edit)."""
+
+    node: Node
+    link: Link
+    parent: Node
+    kids: Kids
+    lits: Lits
+
+    def expand(self) -> tuple[Detach, Unload]:
+        return (
+            Detach(self.node, self.link, self.parent),
+            Unload(self.node, self.kids, self.lits),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"remove({self.node}, {self.link!r}, {self.parent}, "
+            f"<{_fmt_kids(self.kids)}>, <{_fmt_lits(self.lits)}>)"
+        )
+
+
+PrimitiveEdit = Union[Detach, Attach, Load, Unload, Update]
+Edit = Union[PrimitiveEdit, Insert, Remove]
+
+NEGATIVE_EDITS = (Detach, Unload, Remove)
+POSITIVE_EDITS = (Attach, Load, Insert)
+
+
+class EditScript:
+    """An immutable sequence of edits.
+
+    ``len(script)`` counts compound edits as one, matching the paper's
+    conciseness metric.  Iteration yields the edits as stored; use
+    :meth:`primitives` for the fully expanded primitive sequence.
+    """
+
+    __slots__ = ("edits",)
+
+    def __init__(self, edits: Iterable[Edit] = ()) -> None:
+        self.edits: tuple[Edit, ...] = tuple(edits)
+
+    def __len__(self) -> int:
+        return len(self.edits)
+
+    def __iter__(self) -> Iterator[Edit]:
+        return iter(self.edits)
+
+    def __getitem__(self, i: int) -> Edit:
+        return self.edits[i]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EditScript) and other.edits == self.edits
+
+    def __hash__(self) -> int:
+        return hash(self.edits)
+
+    def __add__(self, other: "EditScript") -> "EditScript":
+        return EditScript(self.edits + other.edits)
+
+    def primitives(self) -> Iterator[PrimitiveEdit]:
+        """Yield the primitive edits, expanding compounds."""
+        for e in self.edits:
+            if isinstance(e, (Insert, Remove)):
+                yield from e.expand()
+            else:
+                yield e
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.edits
+
+    def coalesced(self) -> "EditScript":
+        """Merge adjacent Load/Attach and Detach/Unload pairs of the same
+        node into compound edits (the paper's conciseness counting)."""
+        out: list[Edit] = []
+        i = 0
+        edits = self.edits
+        while i < len(edits):
+            e = edits[i]
+            nxt = edits[i + 1] if i + 1 < len(edits) else None
+            if (
+                isinstance(e, Load)
+                and isinstance(nxt, Attach)
+                and nxt.node == e.node
+            ):
+                out.append(Insert(e.node, e.kids, e.lits, nxt.link, nxt.parent))
+                i += 2
+            elif (
+                isinstance(e, Detach)
+                and isinstance(nxt, Unload)
+                and nxt.node == e.node
+            ):
+                out.append(Remove(e.node, e.link, e.parent, nxt.kids, nxt.lits))
+                i += 2
+            else:
+                out.append(e)
+                i += 1
+        return EditScript(out)
+
+    def expanded(self) -> "EditScript":
+        """The fully primitive version of this script."""
+        return EditScript(self.primitives())
+
+    def __str__(self) -> str:
+        return "[\n  " + ",\n  ".join(str(e) for e in self.edits) + "\n]"
+
+    def __repr__(self) -> str:
+        return f"EditScript({list(self.edits)!r})"

@@ -1,0 +1,176 @@
+"""Three-way merging of truechange edit scripts.
+
+The paper's introduction lists version control among the applications of
+structural patches, and Section 7 discusses patch theories.  Because
+truechange scripts address nodes by URI and are linearly typed, a simple
+and *sound* merge is possible: two scripts that consume disjoint
+resources commute, so they can be concatenated; overlapping resource use
+is a conflict.
+
+Given a common ancestor tree and two scripts ∆₁, ∆₂ derived from it,
+:func:`merge_scripts` either returns a merged script (∆₁ followed by ∆₂
+with ∆₂'s freshly loaded URIs renamed away from ∆₁'s) or reports the
+conflicting resources.  The resources of a script are:
+
+* *slots* it detaches or fills: ``(parent_uri, link)`` of Detach/Attach;
+* *nodes* it consumes: updated, unloaded, or re-attached existing nodes;
+* node *tags* are irrelevant — URIs identify resources.
+
+This is deliberately conservative (edits to the same node always
+conflict, even when they would compose), which is the right default for
+a version-control merge: no silent misapplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .edits import (
+    Attach,
+    Detach,
+    EditScript,
+    Insert,
+    Load,
+    Remove,
+    Unload,
+    Update,
+)
+from .node import Link, Node
+from .uris import URI, URIGen
+
+
+@dataclass(frozen=True)
+class MergeConflict:
+    """A resource touched by both scripts."""
+
+    kind: str  # 'slot' | 'node'
+    resource: tuple
+
+    def __str__(self) -> str:
+        if self.kind == "slot":
+            parent, link = self.resource
+            return f"both scripts edit slot {parent}.{link}"
+        return f"both scripts edit node {self.resource[0]}"
+
+
+@dataclass
+class MergeResult:
+    script: Optional[EditScript]
+    conflicts: list[MergeConflict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.script is not None
+
+
+@dataclass
+class _Resources:
+    slots: set[tuple[URI, Link]] = field(default_factory=set)
+    nodes: set[URI] = field(default_factory=set)
+    loaded: set[URI] = field(default_factory=set)
+
+
+def script_resources(script: EditScript) -> _Resources:
+    """The ancestor-tree resources a script touches."""
+    res = _Resources()
+    for edit in script.primitives():
+        if isinstance(edit, Detach):
+            res.slots.add((edit.parent.uri, edit.link))
+            if edit.node.uri not in res.loaded:
+                res.nodes.add(edit.node.uri)
+        elif isinstance(edit, Attach):
+            if edit.parent.uri not in res.loaded:
+                res.slots.add((edit.parent.uri, edit.link))
+            if edit.node.uri not in res.loaded:
+                res.nodes.add(edit.node.uri)
+        elif isinstance(edit, Load):
+            res.loaded.add(edit.node.uri)
+            for _, kid in edit.kids:
+                if kid not in res.loaded:
+                    res.nodes.add(kid)
+        elif isinstance(edit, Unload):
+            if edit.node.uri not in res.loaded:
+                res.nodes.add(edit.node.uri)
+        elif isinstance(edit, Update):
+            res.nodes.add(edit.node.uri)
+    return res
+
+
+def find_conflicts(a: EditScript, b: EditScript) -> list[MergeConflict]:
+    """Resources touched by both scripts."""
+    ra, rb = script_resources(a), script_resources(b)
+    conflicts: list[MergeConflict] = []
+    for slot in sorted(ra.slots & rb.slots, key=repr):
+        conflicts.append(MergeConflict("slot", slot))
+    for node in sorted(ra.nodes & rb.nodes, key=repr):
+        conflicts.append(MergeConflict("node", (node,)))
+    return conflicts
+
+
+def _rename_loads(script: EditScript, urigen: URIGen, taken: set[URI]) -> EditScript:
+    """Rename the freshly loaded URIs of a script so they cannot collide
+    with another script's loads (both sides drew from generators that may
+    have restarted at the same point)."""
+    mapping: dict[URI, URI] = {}
+    for edit in script.primitives():
+        if isinstance(edit, Load) and edit.node.uri in taken:
+            fresh = urigen.fresh()
+            while fresh in taken:
+                fresh = urigen.fresh()
+            mapping[edit.node.uri] = fresh
+
+    if not mapping:
+        return script
+
+    def node(n: Node) -> Node:
+        return Node(n.tag, mapping.get(n.uri, n.uri))
+
+    def kids(ks):
+        return tuple((l, mapping.get(u, u)) for l, u in ks)
+
+    out = []
+    for edit in script:
+        if isinstance(edit, Detach):
+            out.append(Detach(node(edit.node), edit.link, node(edit.parent)))
+        elif isinstance(edit, Attach):
+            out.append(Attach(node(edit.node), edit.link, node(edit.parent)))
+        elif isinstance(edit, Load):
+            out.append(Load(node(edit.node), kids(edit.kids), edit.lits))
+        elif isinstance(edit, Unload):
+            out.append(Unload(node(edit.node), kids(edit.kids), edit.lits))
+        elif isinstance(edit, Update):
+            out.append(Update(node(edit.node), edit.old_lits, edit.new_lits))
+        elif isinstance(edit, Insert):
+            out.append(
+                Insert(node(edit.node), kids(edit.kids), edit.lits, edit.link, node(edit.parent))
+            )
+        elif isinstance(edit, Remove):
+            out.append(
+                Remove(node(edit.node), edit.link, node(edit.parent), kids(edit.kids), edit.lits)
+            )
+    return EditScript(out)
+
+
+def merge_scripts(
+    a: EditScript,
+    b: EditScript,
+    urigen: Optional[URIGen] = None,
+) -> MergeResult:
+    """Merge two scripts derived from the same ancestor tree.
+
+    On success the merged script is ``a`` followed by ``b`` (with ``b``'s
+    loads renamed); applying it to the ancestor produces a tree with both
+    changes.  On conflict, no script is produced.
+    """
+    conflicts = find_conflicts(a, b)
+    if conflicts:
+        return MergeResult(None, conflicts)
+    ra, rb = script_resources(a), script_resources(b)
+    if urigen is None:
+        top = max(
+            (u for u in ra.loaded | rb.loaded if isinstance(u, int)), default=0
+        )
+        urigen = URIGen(start=top + 1)
+    b_renamed = _rename_loads(b, urigen, set(ra.loaded))
+    return MergeResult(a + b_renamed, [])

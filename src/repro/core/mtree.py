@@ -1,0 +1,314 @@
+"""The standard semantics of truechange (Section 3.2, Figure 2).
+
+An :class:`MTree` is a mutable tree made of :class:`MNode` nodes together
+with an index of all loaded nodes, so that every edit operation is
+processed in constant time.  The pre-defined root node has URI ``None``
+and a single slot :data:`~repro.core.node.ROOT_LINK`.
+
+The module also provides executable versions of the paper's metatheory
+ingredients:
+
+* :func:`mnode_well_typed` — MNode typing relative to empty slots
+  (Definition 3.3),
+* :func:`mtree_well_typed` — MTree typing relative to slots and roots
+  (Definition 3.4),
+* :func:`check_syntactic_compliance` — Definition 3.5,
+
+which the test suite uses to check Theorem 3.6 / Lemmas 3.7–3.8 on
+concrete and randomly generated scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from .edits import Attach, Detach, EditScript, Load, PrimitiveEdit, Unload, Update
+from .node import Link, Node, ROOT_LINK, ROOT_NODE, ROOT_TAG
+from .signature import SignatureRegistry
+from .typecheck import Slot
+from .types import Type
+from .uris import ROOT_URI, URI
+
+
+class PatchError(Exception):
+    """Patching failed (only possible for ill-typed or non-compliant scripts)."""
+
+
+class MNode:
+    """A mutable tree node: URI + tag, kid links, literal links.
+
+    Empty slots are represented as ``None`` entries in :attr:`kids` —
+    exactly the representation the truechange type system legitimizes:
+    a link points to *at most one* subtree at any time.
+    """
+
+    __slots__ = ("node", "kids", "lits")
+
+    def __init__(
+        self,
+        node: Node,
+        kids: Optional[dict[Link, Optional["MNode"]]] = None,
+        lits: Optional[dict[Link, Any]] = None,
+    ) -> None:
+        self.node = node
+        self.kids: dict[Link, Optional[MNode]] = kids if kids is not None else {}
+        self.lits: dict[Link, Any] = lits if lits is not None else {}
+
+    @property
+    def tag(self) -> str:
+        return self.node.tag
+
+    @property
+    def uri(self) -> URI:
+        return self.node.uri
+
+    def iter_subtree(self) -> Iterator["MNode"]:
+        """Pre-order traversal of this node and all present descendants."""
+        stack = [self]
+        while stack:
+            n = stack.pop()
+            yield n
+            stack.extend(k for k in n.kids.values() if k is not None)
+
+    def to_tuple(self, with_uris: bool = False) -> tuple:
+        """A hashable snapshot for equality checks.
+
+        With ``with_uris=False`` this implements the paper's ``≃``: equality
+        of shape, tags, and literals, ignoring URIs (URIs of the target tree
+        are irrelevant, Section 1).
+        """
+        kids = tuple(
+            (l, k.to_tuple(with_uris) if k is not None else None)
+            for l, k in sorted(self.kids.items())
+        )
+        lits = tuple(sorted(self.lits.items(), key=lambda kv: kv[0]))
+        head = (self.tag, self.uri) if with_uris else self.tag
+        return (head, kids, lits)
+
+    def pretty(self) -> str:
+        parts = [f"{v!r}" for _, v in sorted(self.lits.items())]
+        parts += [
+            (k.pretty() if k is not None else "□")
+            for _, k in sorted(self.kids.items())
+        ]
+        inner = ", ".join(parts)
+        return f"{self.tag}_{self.uri}({inner})" if parts else f"{self.tag}_{self.uri}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MNode({self.pretty()})"
+
+
+class MTree:
+    """A mutable tree with an index of all loaded nodes (Figure 2)."""
+
+    __slots__ = ("root", "index")
+
+    def __init__(self) -> None:
+        self.root = MNode(ROOT_NODE, kids={ROOT_LINK: None}, lits={})
+        self.index: dict[URI, MNode] = {ROOT_URI: self.root}
+
+    # -- standard semantics ------------------------------------------------
+
+    def patch(self, script: EditScript) -> "MTree":
+        """``⟦∆⟧``: apply every edit of ``script`` to this tree in place."""
+        for edit in script.primitives():
+            self.process_edit(edit)
+        return self
+
+    def process_edit(self, edit: PrimitiveEdit) -> None:
+        """Apply a single edit, updating nodes and the index (Figure 2)."""
+        if isinstance(edit, Detach):
+            parent = self._lookup(edit.parent.uri, edit)
+            parent.kids[edit.link] = None
+        elif isinstance(edit, Attach):
+            parent = self._lookup(edit.parent.uri, edit)
+            parent.kids[edit.link] = self._lookup(edit.node.uri, edit)
+        elif isinstance(edit, Load):
+            kid_nodes: dict[Link, Optional[MNode]] = {
+                link: self._lookup(uri, edit) for link, uri in edit.kids
+            }
+            self.index[edit.node.uri] = MNode(edit.node, kid_nodes, dict(edit.lits))
+        elif isinstance(edit, Unload):
+            self.index.pop(edit.node.uri, None)
+        elif isinstance(edit, Update):
+            node = self._lookup(edit.node.uri, edit)
+            node.lits.update(dict(edit.new_lits))
+        else:  # pragma: no cover - defensive
+            raise PatchError(f"unknown edit kind {type(edit).__name__}")
+
+    def _lookup(self, uri: URI, edit: PrimitiveEdit) -> MNode:
+        try:
+            return self.index[uri]
+        except KeyError:
+            raise PatchError(f"edit {edit} refers to unknown URI {uri}") from None
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def main(self) -> Optional[MNode]:
+        """The tree hanging off the pre-defined root slot, if any."""
+        return self.root.kids[ROOT_LINK]
+
+    def to_tuple(self, with_uris: bool = False) -> tuple:
+        main = self.main
+        return ("<empty>",) if main is None else main.to_tuple(with_uris)
+
+    def structure_equals(self, other: "MTree") -> bool:
+        """The paper's ``≃`` on whole trees (ignores URIs)."""
+        return self.to_tuple(with_uris=False) == other.to_tuple(with_uris=False)
+
+    def node_count(self) -> int:
+        """Number of nodes attached under the root (excludes the root)."""
+        main = self.main
+        return 0 if main is None else sum(1 for _ in main.iter_subtree())
+
+    def pretty(self) -> str:
+        main = self.main
+        return "<empty>" if main is None else main.pretty()
+
+    def copy(self) -> "MTree":
+        """Deep-copy this tree (same URIs, fresh MNodes)."""
+        out = MTree()
+
+        def go(n: MNode) -> MNode:
+            m = MNode(n.node, {}, dict(n.lits))
+            out.index[m.uri] = m
+            for link, kid in n.kids.items():
+                m.kids[link] = None if kid is None else go(kid)
+            return m
+
+        main = self.main
+        if main is not None:
+            out.root.kids[ROOT_LINK] = go(main)
+        # detached roots (anything indexed but not reachable from the root)
+        reachable = {n.uri for n in out.root.iter_subtree()}
+        for uri, n in self.index.items():
+            if uri not in reachable and uri not in out.index:
+                out.index[uri] = go(n)
+        return out
+
+
+# -- Definitions 3.3 - 3.5 as executable checks -------------------------------
+
+
+class TypingViolation(Exception):
+    """An MNode/MTree typing invariant (Definitions 3.3/3.4) is violated."""
+
+
+def mnode_well_typed(
+    sigs: SignatureRegistry,
+    slots: dict[Slot, Type],
+    n: MNode,
+) -> Type:
+    """Definition 3.3: check ``Σ, S ⊢ n : T`` and return ``T``.
+
+    Raises :class:`TypingViolation` if any condition fails.
+    """
+    sig = sigs[n.tag]
+    if set(n.lits) != set(sig.lit_links):
+        raise TypingViolation(f"{n.node}: literal links {sorted(n.lits)} != signature")
+    for link in sig.lit_links:
+        base = sig.lit_type(link)
+        if not base.check(n.lits[link]):
+            raise TypingViolation(f"{n.node}.{link}: literal {n.lits[link]!r} not a {base}")
+    if sig.is_variadic:
+        kid_links = tuple(str(i) for i in range(len(n.kids)))
+        if set(n.kids) != set(kid_links):
+            raise TypingViolation(
+                f"{n.node}: variadic kid links {sorted(n.kids)} are not consecutive"
+            )
+    else:
+        kid_links = sig.kid_links
+        if set(n.kids) != set(kid_links):
+            raise TypingViolation(f"{n.node}: kid links {sorted(n.kids)} != signature")
+    for link in kid_links:
+        expected = sig.kid_type(link)
+        kid = n.kids[link]
+        if kid is None:
+            slot = (n.uri, link)
+            if slot not in slots:
+                raise TypingViolation(f"{n.node}.{link}: null kid but no tracked slot")
+            if not sigs.is_subtype(slots[slot], expected):
+                raise TypingViolation(
+                    f"{n.node}.{link}: slot type {slots[slot]} not <: {expected}"
+                )
+        else:
+            actual = mnode_well_typed(sigs, slots, kid)
+            if not sigs.is_subtype(actual, expected):
+                raise TypingViolation(
+                    f"{n.node}.{link}: kid type {actual} not <: {expected}"
+                )
+    return sig.result
+
+
+def mtree_well_typed(
+    sigs: SignatureRegistry,
+    slots: dict[Slot, Type],
+    roots: dict[URI, Type],
+    t: MTree,
+) -> None:
+    """Definition 3.4: check ``Σ, S, R ⊢ t``."""
+    for (p, link), _ in slots.items():
+        if p not in t.index:
+            raise TypingViolation(f"slot parent {p} not in index")
+        if link not in t.index[p].kids:
+            raise TypingViolation(f"slot parent {p} has no link {link!r}")
+    for uri, expected in roots.items():
+        if uri not in t.index:
+            raise TypingViolation(f"root {uri} not in index")
+        actual = mnode_well_typed(sigs, slots, t.index[uri])
+        if not sigs.is_subtype(actual, expected):
+            raise TypingViolation(f"root {uri} has type {actual}, expected <: {expected}")
+
+
+class ComplianceError(Exception):
+    """An edit script is not syntactically compliant (Definition 3.5)."""
+
+
+def check_syntactic_compliance(script: EditScript, t: MTree) -> None:
+    """Definition 3.5: check ``∆ ≺ t``.
+
+    The check simulates the script against a copy of ``t`` because the
+    conditions on Detach/Unload refer to the tree state at the time the
+    edit executes.
+    """
+    sim = t.copy()
+    loaded: set[URI] = set()
+    for edit in script.primitives():
+        if isinstance(edit, Detach):
+            p = sim.index.get(edit.parent.uri)
+            if p is None:
+                raise ComplianceError(f"{edit}: parent URI unknown")
+            if p.tag != edit.parent.tag:
+                raise ComplianceError(f"{edit}: parent tag mismatch ({p.tag})")
+            kid = p.kids.get(edit.link)
+            if kid is None:
+                raise ComplianceError(f"{edit}: parent slot {edit.link!r} is empty")
+            if kid.uri != edit.node.uri or kid.tag != edit.node.tag:
+                raise ComplianceError(f"{edit}: slot holds {kid.node}, not {edit.node}")
+        elif isinstance(edit, Load):
+            if edit.node.uri in sim.index or edit.node.uri in loaded:
+                raise ComplianceError(f"{edit}: URI {edit.node.uri} is not fresh")
+            loaded.add(edit.node.uri)
+        elif isinstance(edit, Unload):
+            n = sim.index.get(edit.node.uri)
+            if n is None:
+                raise ComplianceError(f"{edit}: node URI unknown")
+            if n.tag != edit.node.tag:
+                raise ComplianceError(f"{edit}: node tag mismatch ({n.tag})")
+            for link, kid_uri in edit.kids:
+                kid = n.kids.get(link)
+                if kid is None or kid.uri != kid_uri:
+                    raise ComplianceError(f"{edit}: kid {link!r} is not {kid_uri}")
+            for link, value in edit.lits:
+                if link not in n.lits or n.lits[link] != value:
+                    raise ComplianceError(f"{edit}: literal {link!r} is not {value!r}")
+        elif isinstance(edit, Update):
+            n = sim.index.get(edit.node.uri)
+            if n is None:
+                raise ComplianceError(f"{edit}: node URI unknown")
+            for link, value in edit.old_lits:
+                if link not in n.lits or n.lits[link] != value:
+                    raise ComplianceError(f"{edit}: old literal {link!r} is not {value!r}")
+        # Attach needs no extra checks (ensured by the type system already).
+        sim.process_edit(edit)

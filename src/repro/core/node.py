@@ -1,0 +1,40 @@
+"""Node references, tags, and links (Figure 1 of the paper).
+
+A :class:`Node` is a pair of a constructor symbol (:data:`Tag`) and a
+:data:`~repro.core.uris.URI`; the paper writes it ``TagURI`` with the URI as
+a subscript.  A :data:`Link` names the edge between a parent node and one of
+its children or literals — it usually corresponds to the name of the
+parent's constructor argument (``"e1"``, ``"name"``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from .uris import ROOT_URI, URI
+
+# Tags are constructor symbols; the paper writes them without quotes.
+Tag = str
+
+# Links are edge names; the paper writes them with quotes.
+Link = str
+
+#: Tag of the pre-defined root node every tree hangs off.
+ROOT_TAG: Tag = "<Root>"
+
+#: The single link of the pre-defined root node.
+ROOT_LINK: Link = "<RootLink>"
+
+
+class Node(NamedTuple):
+    """A node reference ``TagURI``: a constructor symbol plus a URI."""
+
+    tag: Tag
+    uri: URI
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.tag}_{self.uri}"
+
+
+#: The pre-defined root node reference ``RootTag_null``.
+ROOT_NODE = Node(ROOT_TAG, ROOT_URI)

@@ -1,0 +1,65 @@
+"""Functional patch application for immutable trees.
+
+``diff`` already returns the patched tree, but consumers that *receive*
+an edit script (over the wire, from a history store) need to apply it to
+a :class:`~repro.core.tree.TNode` they hold.  The standard semantics
+works on mutable :class:`~repro.core.mtree.MTree`; this module closes the
+loop:
+
+* :func:`mtree_to_tnode` — rebuild an immutable tree from a patched
+  MTree, preserving URIs;
+* :func:`apply_script` — the composition ``TNode → MTree → patch →
+  TNode``: a pure function from tree and script to tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .edits import EditScript
+from .mtree import MNode, MTree, PatchError
+from .signature import SignatureRegistry
+from .tree import TNode, tnode_to_mtree
+
+
+def mnode_to_tnode(node: MNode, sigs: SignatureRegistry) -> TNode:
+    """Rebuild an immutable tree from a (complete) mutable subtree.
+
+    Raises :class:`PatchError` if the subtree contains empty slots — only
+    closed trees have an immutable counterpart.
+    """
+    sig = sigs[node.tag]
+    kid_links = (
+        tuple(str(i) for i in range(len(node.kids)))
+        if sig.is_variadic
+        else sig.kid_links
+    )
+    kids = []
+    for link in kid_links:
+        kid = node.kids.get(link)
+        if kid is None:
+            raise PatchError(f"{node.node} has an empty slot {link!r}")
+        kids.append(mnode_to_tnode(kid, sigs))
+    lits = [node.lits[link] for link in sig.lit_links]
+    return TNode(sigs, sig, kids, lits, node.uri)
+
+
+def mtree_to_tnode(tree: MTree, sigs: SignatureRegistry) -> TNode:
+    """The immutable counterpart of the tree attached under the root."""
+    main = tree.main
+    if main is None:
+        raise PatchError("the tree is empty")
+    return mnode_to_tnode(main, sigs)
+
+
+def apply_script(
+    tree: TNode,
+    script: EditScript,
+    sigs: Optional[SignatureRegistry] = None,
+) -> TNode:
+    """Apply an edit script to an immutable tree, returning the patched
+    immutable tree.  The input tree is not modified."""
+    sigs = sigs if sigs is not None else tree.sigs
+    mtree = tnode_to_mtree(tree)
+    mtree.patch(script)
+    return mtree_to_tnode(mtree, sigs)

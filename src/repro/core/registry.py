@@ -1,0 +1,104 @@
+"""Subtree shares (Section 4.2).
+
+A :class:`SubtreeShare` is the pool of *available* source subtrees for one
+structural-equivalence class: all subtrees with the same
+:attr:`~repro.core.tree.TNode.structure_hash` are assigned the same share.
+Source subtrees registered in a share are resources that Step 3 of truediff
+may acquire at most once; target subtrees merely *point* at their share to
+find reuse candidates.
+
+The :class:`SubtreeRegistry` interns shares by structure hash — the role of
+the paper's hash trie.  Python dictionaries hash the 32-byte digest in
+constant time, giving the same O(1) share lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .tree import TNode
+from .uris import URI
+
+
+class SubtreeShare:
+    """The available source subtrees of one structural equivalence class.
+
+    Availability is tracked in insertion order so :meth:`take_any` prefers
+    the subtree encountered first (leftmost in the source tree).  A second
+    index keyed by literal hash serves :meth:`take_preferred`, which selects
+    an *exact* copy (structurally and literally equivalent, hence equal).
+    """
+
+    __slots__ = ("_available", "_by_literal")
+
+    def __init__(self) -> None:
+        # uri -> tree, insertion-ordered (dicts preserve insertion order)
+        self._available: dict[URI, TNode] = {}
+        # literal hash -> (uri -> tree)
+        self._by_literal: dict[bytes, dict[URI, TNode]] = {}
+
+    def __len__(self) -> int:
+        return len(self._available)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._available
+
+    def register_available(self, tree: TNode) -> None:
+        """Make a source subtree available for reuse."""
+        if tree.uri in self._available:
+            return
+        self._available[tree.uri] = tree
+        self._by_literal.setdefault(tree.literal_hash, {})[tree.uri] = tree
+
+    def deregister(self, tree: TNode) -> None:
+        """Withdraw a source subtree (it was acquired or consumed)."""
+        if self._available.pop(tree.uri, None) is not None:
+            bucket = self._by_literal.get(tree.literal_hash)
+            if bucket is not None:
+                bucket.pop(tree.uri, None)
+                if not bucket:
+                    del self._by_literal[tree.literal_hash]
+
+    def take_preferred(self, that: TNode) -> Optional[TNode]:
+        """Acquire an exact copy of ``that`` (literally equivalent candidate),
+        or None.  The returned tree is *not* yet deregistered — Step 3's
+        ``take_tree`` deregisters it together with all of its subtrees."""
+        bucket = self._by_literal.get(that.literal_hash)
+        if not bucket:
+            return None
+        return next(iter(bucket.values()))
+
+    def take_any(self) -> Optional[TNode]:
+        """Acquire any available candidate (first registered), or None."""
+        if not self._available:
+            return None
+        return next(iter(self._available.values()))
+
+
+class SubtreeRegistry:
+    """Interns :class:`SubtreeShare` objects by structure hash (Step 2)."""
+
+    __slots__ = ("_shares",)
+
+    def __init__(self) -> None:
+        self._shares: dict[bytes, SubtreeShare] = {}
+
+    def assign_share(self, tree: TNode) -> SubtreeShare:
+        """Set (and return) ``tree.share``; trees are assigned the same share
+        iff they are structurally equivalent."""
+        share = tree.share
+        if share is None:
+            share = self._shares.get(tree.structure_hash)
+            if share is None:
+                share = SubtreeShare()
+                self._shares[tree.structure_hash] = share
+            tree.share = share
+        return share
+
+    def assign_share_and_register(self, tree: TNode) -> None:
+        """``assignShareAndRegisterAvailable`` from the paper's Step 2."""
+        self.assign_share(tree).register_available(tree)
+
+    def __len__(self) -> int:
+        return len(self._shares)

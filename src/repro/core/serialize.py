@@ -1,0 +1,204 @@
+"""Serialization of truechange edit scripts.
+
+Edit scripts are the unit of transmission in the paper's use cases
+(version control, incremental computing across processes), so they need a
+stable wire format.  This module provides a JSON encoding that round-trips
+every edit operation, including compound edits, and preserves literal
+values of the JSON-representable types (str, int, float, bool, None) plus
+tuples (encoded as tagged lists, since Python AST literals contain
+tuples).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .edits import (
+    Attach,
+    Detach,
+    Edit,
+    EditScript,
+    Insert,
+    Kids,
+    Lits,
+    Load,
+    Remove,
+    Unload,
+    Update,
+)
+from .node import Node
+
+
+class SerializationError(Exception):
+    """The value or document cannot be (de)serialized."""
+
+
+def _encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, tuple):
+        return {"$tuple": [_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"$list": [_encode_value(v) for v in value]}
+    if isinstance(value, bytes):
+        return {"$bytes": value.hex()}
+    if isinstance(value, complex):
+        return {"$complex": [value.real, value.imag]}
+    if value is Ellipsis:
+        return {"$ellipsis": True}
+    raise SerializationError(f"unsupported literal value {value!r}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "$tuple" in value:
+            return tuple(_decode_value(v) for v in value["$tuple"])
+        if "$list" in value:
+            return [_decode_value(v) for v in value["$list"]]
+        if "$bytes" in value:
+            return bytes.fromhex(value["$bytes"])
+        if "$complex" in value:
+            real, imag = value["$complex"]
+            return complex(real, imag)
+        if "$ellipsis" in value:
+            return Ellipsis
+        raise SerializationError(f"unknown tagged value {value!r}")
+    return value
+
+
+def _encode_node(node: Node) -> list:
+    return [node.tag, node.uri]
+
+
+def _decode_node(data: Any) -> Node:
+    tag, uri = data
+    return Node(tag, uri)
+
+
+def _encode_kids(kids: Kids) -> list:
+    return [[link, uri] for link, uri in kids]
+
+
+def _decode_kids(data: Any) -> Kids:
+    return tuple((link, uri) for link, uri in data)
+
+
+def _encode_lits(lits: Lits) -> list:
+    return [[link, _encode_value(v)] for link, v in lits]
+
+
+def _decode_lits(data: Any) -> Lits:
+    return tuple((link, _decode_value(v)) for link, v in data)
+
+
+def edit_to_dict(edit: Edit) -> dict:
+    """Encode one edit as a JSON-compatible dict."""
+    if isinstance(edit, Detach):
+        return {
+            "op": "detach",
+            "node": _encode_node(edit.node),
+            "link": edit.link,
+            "parent": _encode_node(edit.parent),
+        }
+    if isinstance(edit, Attach):
+        return {
+            "op": "attach",
+            "node": _encode_node(edit.node),
+            "link": edit.link,
+            "parent": _encode_node(edit.parent),
+        }
+    if isinstance(edit, Load):
+        return {
+            "op": "load",
+            "node": _encode_node(edit.node),
+            "kids": _encode_kids(edit.kids),
+            "lits": _encode_lits(edit.lits),
+        }
+    if isinstance(edit, Unload):
+        return {
+            "op": "unload",
+            "node": _encode_node(edit.node),
+            "kids": _encode_kids(edit.kids),
+            "lits": _encode_lits(edit.lits),
+        }
+    if isinstance(edit, Update):
+        return {
+            "op": "update",
+            "node": _encode_node(edit.node),
+            "old": _encode_lits(edit.old_lits),
+            "new": _encode_lits(edit.new_lits),
+        }
+    if isinstance(edit, Insert):
+        return {
+            "op": "insert",
+            "node": _encode_node(edit.node),
+            "kids": _encode_kids(edit.kids),
+            "lits": _encode_lits(edit.lits),
+            "link": edit.link,
+            "parent": _encode_node(edit.parent),
+        }
+    if isinstance(edit, Remove):
+        return {
+            "op": "remove",
+            "node": _encode_node(edit.node),
+            "link": edit.link,
+            "parent": _encode_node(edit.parent),
+            "kids": _encode_kids(edit.kids),
+            "lits": _encode_lits(edit.lits),
+        }
+    raise SerializationError(f"unknown edit kind {type(edit).__name__}")
+
+
+def edit_from_dict(data: dict) -> Edit:
+    """Decode one edit from its dict encoding."""
+    try:
+        op = data["op"]
+        if op == "detach":
+            return Detach(_decode_node(data["node"]), data["link"], _decode_node(data["parent"]))
+        if op == "attach":
+            return Attach(_decode_node(data["node"]), data["link"], _decode_node(data["parent"]))
+        if op == "load":
+            return Load(_decode_node(data["node"]), _decode_kids(data["kids"]), _decode_lits(data["lits"]))
+        if op == "unload":
+            return Unload(_decode_node(data["node"]), _decode_kids(data["kids"]), _decode_lits(data["lits"]))
+        if op == "update":
+            return Update(_decode_node(data["node"]), _decode_lits(data["old"]), _decode_lits(data["new"]))
+        if op == "insert":
+            return Insert(
+                _decode_node(data["node"]),
+                _decode_kids(data["kids"]),
+                _decode_lits(data["lits"]),
+                data["link"],
+                _decode_node(data["parent"]),
+            )
+        if op == "remove":
+            return Remove(
+                _decode_node(data["node"]),
+                data["link"],
+                _decode_node(data["parent"]),
+                _decode_kids(data["kids"]),
+                _decode_lits(data["lits"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed edit document: {exc}") from None
+    raise SerializationError(f"unknown edit op {data.get('op')!r}")
+
+
+def script_to_json(script: EditScript, indent: int | None = None) -> str:
+    """Serialize an edit script to JSON text."""
+    return json.dumps(
+        {"format": "truechange/1", "edits": [edit_to_dict(e) for e in script]},
+        indent=indent,
+    )
+
+
+def script_from_json(text: str) -> EditScript:
+    """Deserialize an edit script from JSON text."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not JSON: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("format") != "truechange/1":
+        raise SerializationError("not a truechange/1 document")
+    return EditScript(edit_from_dict(e) for e in doc.get("edits", []))

@@ -1,0 +1,208 @@
+"""Constructor signatures Σ and the sort hierarchy (Section 3.3).
+
+A :class:`Signature` records, for one constructor tag,
+
+* the kid links ``x1:T1, ..., xm:Tm`` (ordered — the order defines the
+  canonical traversal order of subtrees),
+* the literal links ``y1:B1, ..., yn:Bn``, and
+* the result sort ``T``.
+
+The :class:`SignatureRegistry` plays the role of Σ in the typing judgment
+``Σ ⊢ e : (R • S) ▷ (R' • S')`` and additionally owns the sort hierarchy
+used to decide subtyping.  The pre-defined root signature
+``(<RootLink: Any>, <>) -> Root`` is always present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from .node import Link, ROOT_LINK, ROOT_TAG, Tag
+from .types import ANY, LitType, ROOT_SORT, Type
+from .uris import URIGen
+
+
+class SignatureError(Exception):
+    """Raised for malformed or conflicting signature declarations."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The signature of a single constructor tag.
+
+    *Variadic* signatures model the artifact's ``DiffableList``: a list
+    node has any number of kids, all of the element sort, reachable via
+    the index links ``"0"``, ``"1"``, ....  ``variadic`` holds the element
+    sort (and ``kids`` must then be empty).
+    """
+
+    tag: Tag
+    kids: tuple[tuple[Link, Type], ...]
+    lits: tuple[tuple[Link, LitType], ...]
+    result: Type
+    variadic: Optional[Type] = None
+
+    def __post_init__(self) -> None:
+        links = [l for l, _ in self.kids] + [l for l, _ in self.lits]
+        if len(set(links)) != len(links):
+            raise SignatureError(f"duplicate links in signature of {self.tag}: {links}")
+        if self.variadic is not None and self.kids:
+            raise SignatureError(f"variadic signature {self.tag} cannot declare kid links")
+
+    @property
+    def is_variadic(self) -> bool:
+        return self.variadic is not None
+
+    @property
+    def kid_links(self) -> tuple[Link, ...]:
+        if self.variadic is not None:
+            raise SignatureError(
+                f"{self.tag} is variadic; kid links depend on the node arity"
+            )
+        return tuple(l for l, _ in self.kids)
+
+    def kid_links_for(self, arity: int) -> tuple[Link, ...]:
+        """Kid links of a node with the given arity."""
+        if self.variadic is not None:
+            return tuple(str(i) for i in range(arity))
+        return tuple(l for l, _ in self.kids)
+
+    @property
+    def lit_links(self) -> tuple[Link, ...]:
+        return tuple(l for l, _ in self.lits)
+
+    def kid_type(self, link: Link) -> Type:
+        if self.variadic is not None:
+            if link.isdigit():
+                return self.variadic
+            raise SignatureError(f"variadic {self.tag} has no kid link {link!r}")
+        for l, t in self.kids:
+            if l == link:
+                return t
+        raise SignatureError(f"{self.tag} has no kid link {link!r}")
+
+    def lit_type(self, link: Link) -> LitType:
+        for l, t in self.lits:
+            if l == link:
+                return t
+        raise SignatureError(f"{self.tag} has no literal link {link!r}")
+
+    def __str__(self) -> str:
+        if self.variadic is not None:
+            ks = f"{self.variadic}..."
+        else:
+            ks = ", ".join(f"{l}:{t}" for l, t in self.kids)
+        ls = ", ".join(f"{l}:{t}" for l, t in self.lits)
+        return f"{self.tag} : (<{ks}>, <{ls}>) -> {self.result}"
+
+
+#: Pre-defined signature of the root node.
+ROOT_SIGNATURE = Signature(
+    tag=ROOT_TAG,
+    kids=((ROOT_LINK, ANY),),
+    lits=(),
+    result=ROOT_SORT,
+)
+
+
+@dataclass
+class SignatureRegistry:
+    """Σ: tag signatures plus the sort subtyping hierarchy."""
+
+    _sigs: dict[Tag, Signature] = field(default_factory=dict)
+    # direct supersorts of each declared sort
+    _supers: dict[Type, set[Type]] = field(default_factory=dict)
+    # memoized transitive supersort sets (invalidated on declaration)
+    _closure: dict[Type, frozenset[Type]] = field(default_factory=dict)
+    # fresh-URI source shared by all trees built against this registry
+    urigen: URIGen = field(default_factory=URIGen)
+
+    def __post_init__(self) -> None:
+        self._sigs.setdefault(ROOT_TAG, ROOT_SIGNATURE)
+        self._supers.setdefault(ROOT_SORT, set())
+
+    # -- sorts ------------------------------------------------------------
+
+    def declare_sort(self, s: Type, supers: Iterable[Type] = ()) -> Type:
+        """Declare a sort, optionally as a subsort of existing sorts."""
+        if s == ANY:
+            raise SignatureError("Any is predeclared and cannot be redefined")
+        entry = self._supers.setdefault(s, set())
+        for sup in supers:
+            if sup != ANY:
+                self._supers.setdefault(sup, set())
+                entry.add(sup)
+        self._closure.clear()
+        return s
+
+    def supersorts(self, s: Type) -> frozenset[Type]:
+        """All sorts ``U`` with ``s <: U`` (reflexive-transitive, plus Any)."""
+        cached = self._closure.get(s)
+        if cached is not None:
+            return cached
+        seen: set[Type] = {s, ANY}
+        stack = list(self._supers.get(s, ()))
+        while stack:
+            sup = stack.pop()
+            if sup not in seen:
+                seen.add(sup)
+                stack.extend(self._supers.get(sup, ()))
+        result = frozenset(seen)
+        self._closure[s] = result
+        return result
+
+    def is_subtype(self, t: Type, u: Type) -> bool:
+        """Decide ``t <: u``."""
+        if u == ANY or t == u:
+            return True
+        return u in self.supersorts(t)
+
+    # -- signatures -------------------------------------------------------
+
+    def declare(self, sig: Signature) -> Signature:
+        """Declare a constructor signature; tags must be unique."""
+        existing = self._sigs.get(sig.tag)
+        if existing is not None and existing != sig:
+            raise SignatureError(f"conflicting redeclaration of tag {sig.tag}")
+        self._sigs[sig.tag] = sig
+        self.declare_sort(sig.result)
+        for _, t in sig.kids:
+            if t != ANY:
+                self.declare_sort(t)
+        if sig.variadic is not None and sig.variadic != ANY:
+            self.declare_sort(sig.variadic)
+        return sig
+
+    def __contains__(self, tag: Tag) -> bool:
+        return tag in self._sigs
+
+    def __getitem__(self, tag: Tag) -> Signature:
+        try:
+            return self._sigs[tag]
+        except KeyError:
+            raise SignatureError(f"unknown tag {tag!r}") from None
+
+    def get(self, tag: Tag) -> Signature | None:
+        return self._sigs.get(tag)
+
+    @property
+    def tags(self) -> tuple[Tag, ...]:
+        return tuple(self._sigs)
+
+    def constructors_of(self, s: Type) -> list[Signature]:
+        """All declared signatures whose result sort is a subtype of ``s``."""
+        return [sig for sig in self._sigs.values() if self.is_subtype(sig.result, s)]
+
+    def check_lits(self, tag: Tag, lits: Mapping[Link, Any]) -> None:
+        """Check the T-Load/T-Update literal side conditions ``⊢ l : B``."""
+        sig = self[tag]
+        if set(lits) != set(sig.lit_links):
+            raise SignatureError(
+                f"{tag}: literal links {sorted(lits)} do not match "
+                f"signature links {sorted(sig.lit_links)}"
+            )
+        for link, value in lits.items():
+            base = sig.lit_type(link)
+            if not base.check(value):
+                raise SignatureError(f"{tag}.{link}: literal {value!r} is not a {base}")

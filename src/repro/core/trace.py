@@ -1,0 +1,182 @@
+"""Tracing instrumentation for truediff.
+
+For debugging grammars and understanding patches, :func:`diff_traced`
+runs the same four steps as :func:`~repro.core.diff.diff` but records the
+decisions along the way:
+
+* which target subtrees were *preemptively* assigned in Step 2 (equal
+  subtrees at matching positions),
+* which candidates Step 3 acquired (preferred = exact copy vs any
+  structural candidate), and which acquisitions undid earlier
+  assignments,
+* summary statistics: shares created, candidates available, reuse rate.
+
+The trace is a plain data object; ``render()`` produces a human-readable
+report (used by ``examples``/tests and handy in the REPL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .diff import (
+    DEFAULT_OPTIONS,
+    DiffOptions,
+    EditBuffer,
+    assign_shares,
+    compute_edits,
+    take_tree,
+)
+from .edits import EditScript
+from .node import ROOT_LINK, ROOT_NODE
+from .registry import SubtreeRegistry
+from .tree import TNode, clear_diff_state
+from .uris import URIGen
+
+
+@dataclass
+class Acquisition:
+    """One Step-3 take: source subtree reused for a target subtree."""
+
+    src_uri: object
+    dst_height: int
+    tag: str
+    preferred: bool  # acquired as an exact (literally equal) copy
+
+    def __str__(self) -> str:
+        kind = "exact copy" if self.preferred else "structural candidate"
+        return f"take {self.tag} (height {self.dst_height}) from {self.src_uri} [{kind}]"
+
+
+@dataclass
+class DiffTrace:
+    """Everything recorded during one traced diff."""
+
+    source_size: int = 0
+    target_size: int = 0
+    shares: int = 0
+    preemptive_pairs: int = 0
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    fresh_loads: int = 0
+    unloads: int = 0
+    updates: int = 0
+    edits: int = 0
+
+    @property
+    def reused_nodes(self) -> int:
+        return self.target_size - self.fresh_loads
+
+    @property
+    def reuse_rate(self) -> float:
+        return self.reused_nodes / self.target_size if self.target_size else 1.0
+
+    def render(self) -> str:
+        lines = [
+            f"source: {self.source_size} nodes, target: {self.target_size} nodes",
+            f"step 2: {self.shares} equivalence classes, "
+            f"{self.preemptive_pairs} subtrees preemptively reused in place",
+            f"step 3: {len(self.acquisitions)} subtrees acquired "
+            f"({sum(a.preferred for a in self.acquisitions)} exact copies)",
+        ]
+        for a in self.acquisitions[:20]:
+            lines.append(f"    {a}")
+        if len(self.acquisitions) > 20:
+            lines.append(f"    ... and {len(self.acquisitions) - 20} more")
+        lines.append(
+            f"step 4: {self.edits} edits "
+            f"({self.fresh_loads} loads, {self.unloads} unloads, {self.updates} updates); "
+            f"node reuse rate {self.reuse_rate:.1%}"
+        )
+        return "\n".join(lines)
+
+
+def diff_traced(
+    this: TNode,
+    that: TNode,
+    options: DiffOptions = DEFAULT_OPTIONS,
+    urigen: Optional[URIGen] = None,
+) -> tuple[EditScript, TNode, DiffTrace]:
+    """Like :func:`~repro.core.diff.diff` but also returns a trace."""
+    import heapq
+
+    from .diff import _dealias
+    from .edits import Insert, Load, Remove, Unload, Update
+
+    if urigen is None:
+        urigen = this.sigs.urigen
+    this_ids = {id(n) for n in this.iter_subtree()}
+    seen: set[int] = set()
+    aliased = False
+    for n in that.iter_subtree():
+        if id(n) in this_ids or id(n) in seen:
+            aliased = True
+            break
+        seen.add(id(n))
+    if aliased:
+        that = _dealias(that)
+
+    trace = DiffTrace(source_size=this.size, target_size=that.size)
+    clear_diff_state(this, that)
+    reg = SubtreeRegistry()
+    assign_shares(this, that, reg)
+    trace.shares = len(reg)
+    trace.preemptive_pairs = sum(1 for n in that.iter_subtree() if n.assigned is not None)
+
+    # Step 3 with recording (mirrors assign_subtrees)
+    counter = 0
+    heap: list[tuple[int, int, TNode]] = []
+
+    def push(t: TNode) -> None:
+        nonlocal counter
+        priority = -t.height if options.height_first else counter
+        heapq.heappush(heap, (priority, counter, t))
+        counter += 1
+
+    push(that)
+    while heap:
+        level = heap[0][0]
+        nexts: list[TNode] = []
+        while heap and heap[0][0] == level:
+            nexts.append(heapq.heappop(heap)[2])
+        todo = [t for t in nexts if t.assigned is None]
+        unassigned: list[TNode] = []
+        if options.prefer_literal_matches:
+            for t in todo:
+                src = t.share.take_preferred(t)
+                if src is not None:
+                    trace.acquisitions.append(
+                        Acquisition(src.uri, t.height, t.tag, preferred=True)
+                    )
+                    take_tree(reg, src, t)
+                else:
+                    unassigned.append(t)
+        else:
+            unassigned = todo
+        still: list[TNode] = []
+        for t in unassigned:
+            src = t.share.take_any()
+            if src is not None:
+                trace.acquisitions.append(
+                    Acquisition(src.uri, t.height, t.tag, preferred=False)
+                )
+                take_tree(reg, src, t)
+            else:
+                still.append(t)
+        for t in still:
+            for kid in t.kids:
+                push(kid)
+
+    buf = EditBuffer()
+    patched = compute_edits(this, that, ROOT_NODE, ROOT_LINK, buf, urigen)
+    script = buf.to_script(coalesce=options.coalesce)
+
+    for e in script:
+        if isinstance(e, (Load, Insert)):
+            trace.fresh_loads += 1
+        elif isinstance(e, (Unload, Remove)):
+            trace.unloads += 1
+        elif isinstance(e, Update):
+            trace.updates += 1
+    trace.edits = len(script)
+    return script, patched, trace

@@ -1,0 +1,330 @@
+"""Diffable trees (Section 4.1).
+
+:class:`TNode` is the datatype-generic tree representation truediff works
+on: an immutable node driven by a constructor :class:`~repro.core.signature.Signature`,
+carrying a URI and two cryptographic hashes.
+
+* :attr:`TNode.structure_hash` encodes *structural equivalence*: two trees
+  are structurally equivalent iff they are equal except for literal values
+  (same shape, same tags).
+* :attr:`TNode.literal_hash` encodes *literal equivalence*: equality except
+  for node tags (same literals, in the same tree positions).
+* :attr:`TNode.identity_hash` combines both — equal iff the trees are equal.
+
+The hashes are SHA-256 digests computed bottom-up at construction time, so
+every node costs O(1) amortized hashing work (Theorem 4.1, Step 1).
+
+The mutable fields :attr:`share` and :attr:`assigned` hold per-diff state
+(Steps 2-3 of truediff); :func:`clear_diff_state` resets them, which the
+top-level :func:`~repro.core.diff.diff` does before every run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterator, Optional, Sequence, TYPE_CHECKING
+
+from .node import Link, Node, Tag
+from .signature import Signature, SignatureError, SignatureRegistry
+from .uris import URI, URIGen
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .registry import SubtreeShare
+
+
+# Tag bytes are interned: hashing runs once per node, tags repeat constantly.
+_TAG_BYTES: dict[str, bytes] = {}
+
+
+def _tag_bytes(tag: Tag) -> bytes:
+    b = _TAG_BYTES.get(tag)
+    if b is None:
+        b = tag.encode("utf8") + b"\x00"
+        _TAG_BYTES[tag] = b
+    return b
+
+
+class TNode:
+    """An immutable, hashed, URI-carrying tree node.
+
+    Construct via a :class:`~repro.core.adt.Grammar` constructor or
+    :meth:`TNode.build`; kids and literals are stored in signature order.
+    """
+
+    __slots__ = (
+        "sigs",
+        "sig",
+        "uri",
+        "kids",
+        "lits",
+        "height",
+        "size",
+        "structure_hash",
+        "literal_hash",
+        "share",
+        "assigned",
+    )
+
+    def __init__(
+        self,
+        sigs: SignatureRegistry,
+        sig: Signature,
+        kids: Sequence["TNode"],
+        lits: Sequence[Any],
+        uri: URI,
+        validate: bool = True,
+    ) -> None:
+        """Build a node; Step 1 of truediff (the equivalence hashes) runs
+        here.  ``validate=False`` skips the arity/sort/literal checks for
+        trusted internal rebuilds (hashes are always computed)."""
+        kids = tuple(kids)
+        lits = tuple(lits)
+        if validate:
+            self._validate(sigs, sig, kids, lits)
+        self.sigs = sigs
+        self.sig = sig
+        self.uri = uri
+        self.kids = kids
+        self.lits = lits
+        # height/size (Step 1 metadata) and the hash payloads in one pass;
+        # one-shot hashing is measurably faster than update()-style
+        height = 0
+        size = 1
+        struct_parts = [_tag_bytes(sig.tag)]
+        lit_parts = [repr(lits).encode("utf8") if lits else b""]
+        for k in kids:
+            if k.height > height:
+                height = k.height
+            size += k.size
+            struct_parts.append(k.structure_hash)
+            lit_parts.append(k.literal_hash)
+        self.height = height + 1
+        self.size = size
+        # structural equivalence: tags + shape, ignoring literal values
+        self.structure_hash = hashlib.sha256(b"".join(struct_parts)).digest()
+        # literal equivalence: literal values, ignoring tags
+        self.literal_hash = hashlib.sha256(b"".join(lit_parts)).digest()
+        # per-diff mutable state (Steps 2-3)
+        self.share: Optional["SubtreeShare"] = None
+        self.assigned: Optional["TNode"] = None
+
+    @staticmethod
+    def _validate(
+        sigs: SignatureRegistry,
+        sig: Signature,
+        kids: tuple["TNode", ...],
+        lits: tuple[Any, ...],
+    ) -> None:
+        if sig.variadic is not None:
+            for i, kid in enumerate(kids):
+                if not sigs.is_subtype(kid.sig.result, sig.variadic):
+                    raise SignatureError(
+                        f"{sig.tag}[{i}]: kid of sort {kid.sig.result} "
+                        f"is not <: {sig.variadic}"
+                    )
+        else:
+            if len(kids) != len(sig.kids):
+                raise SignatureError(
+                    f"{sig.tag} expects {len(sig.kids)} kids, got {len(kids)}"
+                )
+            for (link, expected), kid in zip(sig.kids, kids):
+                if not sigs.is_subtype(kid.sig.result, expected):
+                    raise SignatureError(
+                        f"{sig.tag}.{link}: kid of sort {kid.sig.result} is not <: {expected}"
+                    )
+        if len(lits) != len(sig.lits):
+            raise SignatureError(
+                f"{sig.tag} expects {len(sig.lits)} literals, got {len(lits)}"
+            )
+        for (link, base), value in zip(sig.lits, lits):
+            if not base.check(value):
+                raise SignatureError(f"{sig.tag}.{link}: literal {value!r} is not a {base}")
+
+    @property
+    def identity_hash(self) -> bytes:
+        """Equal iff the trees are equal (structurally and literally)."""
+        return self.structure_hash + self.literal_hash
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def build(
+        sigs: SignatureRegistry,
+        tag: Tag,
+        kids: Sequence["TNode"],
+        lits: Sequence[Any],
+        urigen: URIGen,
+    ) -> "TNode":
+        """Build a node with a fresh URI."""
+        return TNode(sigs, sigs[tag], kids, lits, urigen.fresh())
+
+    def with_lits(self, lits: Sequence[Any]) -> "TNode":
+        """A copy of this node (same URI, same kids) with new literals."""
+        return TNode(self.sigs, self.sig, self.kids, lits, self.uri)
+
+    def with_kids(self, kids: Sequence["TNode"]) -> "TNode":
+        """A copy of this node (same URI, same literals) with new kids."""
+        return TNode(self.sigs, self.sig, kids, self.lits, self.uri)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def tag(self) -> Tag:
+        return self.sig.tag
+
+    @property
+    def node(self) -> Node:
+        """The ``TagURI`` reference of this node."""
+        return Node(self.sig.tag, self.uri)
+
+    @property
+    def kid_links(self) -> tuple[Link, ...]:
+        return self.sig.kid_links_for(len(self.kids))
+
+    @property
+    def kid_items(self) -> tuple[tuple[Link, "TNode"], ...]:
+        return tuple(zip(self.kid_links, self.kids))
+
+    @property
+    def lit_items(self) -> tuple[tuple[Link, Any], ...]:
+        return tuple(zip(self.sig.lit_links, self.lits))
+
+    def kid(self, link: Link) -> "TNode":
+        if self.sig.variadic is not None:
+            if link.isdigit() and int(link) < len(self.kids):
+                return self.kids[int(link)]
+            raise KeyError(link)
+        for l, k in zip(self.sig.kid_links, self.kids):
+            if l == link:
+                return k
+        raise KeyError(link)
+
+    def lit(self, link: Link) -> Any:
+        for l, v in zip(self.sig.lit_links, self.lits):
+            if l == link:
+                return v
+        raise KeyError(link)
+
+    def unshared(self, urigen: Optional[URIGen] = None) -> "TNode":
+        """Normalize a structure-shared tree into a proper tree.
+
+        Immutable trees make it easy to use the same node object at two
+        positions; truediff source trees, however, need unique node objects
+        (URIs name distinct mutable positions).  The first occurrence of a
+        shared node keeps its identity; later occurrences are rebuilt with
+        fresh URIs.
+        """
+        if urigen is None:
+            urigen = self.sigs.urigen
+        seen: set[int] = set()
+
+        def go(n: TNode) -> TNode:
+            dup = id(n) in seen
+            seen.add(id(n))
+            kids = [go(k) for k in n.kids]
+            if not dup and all(a is b for a, b in zip(kids, n.kids)):
+                return n
+            return TNode(
+                n.sigs, n.sig, kids, n.lits, urigen.fresh() if dup else n.uri,
+                validate=False,
+            )
+
+        return go(self)
+
+    def with_canonical_uris(self, start: int = 1) -> "TNode":
+        """Renumber all URIs in pre-order starting at ``start``.
+
+        Parsing assigns globally fresh URIs, so two parses of the same
+        document get different URIs.  For exchanging edit scripts across
+        processes (the CLI's ``diff``/``apply``), both sides canonicalize
+        the source document first; script URIs then denote pre-order
+        positions.  Fresh URIs for Load edits must start above
+        ``start + size``.
+        """
+        counter = [start]
+
+        def go(n: TNode) -> TNode:
+            uri = counter[0]
+            counter[0] += 1
+            return TNode(
+                n.sigs, n.sig, [go(k) for k in n.kids], n.lits, uri, validate=False
+            )
+
+        return go(self)
+
+    # -- traversal ------------------------------------------------------------
+
+    def iter_subtree(self) -> Iterator["TNode"]:
+        """Pre-order traversal: this node first, then all descendants."""
+        stack = [self]
+        while stack:
+            n = stack.pop()
+            yield n
+            stack.extend(reversed(n.kids))
+
+    def iter_proper_subtrees(self) -> Iterator["TNode"]:
+        """All descendants, excluding this node itself."""
+        it = self.iter_subtree()
+        next(it)
+        return it
+
+    # -- equivalences ---------------------------------------------------------
+
+    def structurally_equivalent(self, other: "TNode") -> bool:
+        """Equal except for literal values (Section 4.1)."""
+        return self.structure_hash == other.structure_hash
+
+    def literally_equivalent(self, other: "TNode") -> bool:
+        """Equal except for node tags (Section 4.1)."""
+        return self.literal_hash == other.literal_hash
+
+    def tree_equal(self, other: "TNode") -> bool:
+        """Full equality (structure and literals; URIs ignored)."""
+        return self.identity_hash == other.identity_hash
+
+    # -- conversions ------------------------------------------------------------
+
+    def to_tuple(self, with_uris: bool = False) -> tuple:
+        """The same snapshot format as :meth:`MNode.to_tuple`."""
+        kids = tuple(
+            (l, k.to_tuple(with_uris)) for l, k in self.kid_items
+        )
+        lits = tuple(sorted(self.lit_items, key=lambda kv: kv[0]))
+        head = (self.tag, self.uri) if with_uris else self.tag
+        return (head, tuple(sorted(kids, key=lambda kv: kv[0])), lits)
+
+    def pretty(self) -> str:
+        parts = [f"{v!r}" for v in self.lits]
+        parts += [k.pretty() for k in self.kids]
+        inner = ", ".join(parts)
+        return f"{self.tag}_{self.uri}({inner})" if parts else f"{self.tag}_{self.uri}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TNode({self.pretty()})"
+
+
+def clear_diff_state(*trees: TNode) -> None:
+    """Reset the per-diff mutable fields of all nodes in the given trees."""
+    for tree in trees:
+        for n in tree.iter_subtree():
+            n.share = None
+            n.assigned = None
+
+
+def tnode_to_mtree(tree: TNode) -> "MTree":
+    """Build the :class:`~repro.core.mtree.MTree` corresponding to ``tree``
+    (attached under the pre-defined root)."""
+    from .mtree import MNode, MTree
+    from .node import ROOT_LINK
+
+    out = MTree()
+
+    def go(n: TNode) -> MNode:
+        m = MNode(n.node, {}, dict(n.lit_items))
+        out.index[n.uri] = m
+        for link, kid in n.kid_items:
+            m.kids[link] = go(kid)
+        return m
+
+    out.root.kids[ROOT_LINK] = go(tree)
+    return out

@@ -1,0 +1,274 @@
+"""The linear type system of truechange (Section 3.3, Figure 3).
+
+The typing judgment is ``Σ ⊢ e : (R • S) ▷ (R' • S')`` where
+
+* ``R`` maps the URIs of *unattached subtree roots* to their sort, and
+* ``S`` maps *empty slots* ``(parent_uri, link)`` to the sort the slot
+  expects.
+
+Roots and slots are linear resources: a detach produces one of each, an
+attach consumes one of each, loads consume kid roots and produce the new
+node's root, unloads do the reverse.  A well-typed edit script (Definition
+3.1) starts and ends with exactly the pre-defined root ``null : Root`` and
+no empty slots — no subtree is leaked and no hole is left behind.
+
+The checker is purely functional over immutable snapshots of ``(R, S)``
+wrapped in :class:`LinearState`; internally it threads mutable dicts for
+speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from .edits import (
+    Attach,
+    Detach,
+    EditScript,
+    Load,
+    PrimitiveEdit,
+    Unload,
+    Update,
+)
+from .node import Link, ROOT_LINK, Node
+from .signature import SignatureRegistry
+from .types import ANY, ROOT_SORT, Type
+from .uris import ROOT_URI, URI
+
+Slot = tuple[URI, Link]
+
+
+class EditTypeError(Exception):
+    """A truechange edit script violates the linear type system."""
+
+    def __init__(self, edit: Any, message: str) -> None:
+        super().__init__(f"ill-typed edit {edit}: {message}" if edit else message)
+        self.edit = edit
+
+
+@dataclass(frozen=True)
+class LinearState:
+    """An immutable snapshot of the typing state ``(R • S)``."""
+
+    roots: tuple[tuple[URI, Type], ...]
+    slots: tuple[tuple[Slot, Type], ...]
+
+    @staticmethod
+    def of(roots: dict[URI, Type], slots: dict[Slot, Type]) -> "LinearState":
+        return LinearState(
+            tuple(sorted(roots.items(), key=lambda kv: repr(kv[0]))),
+            tuple(sorted(slots.items(), key=lambda kv: repr(kv[0]))),
+        )
+
+    def as_dicts(self) -> tuple[dict[URI, Type], dict[Slot, Type]]:
+        return dict(self.roots), dict(self.slots)
+
+    def __str__(self) -> str:
+        rs = ", ".join(f"{u}:{t}" for u, t in self.roots)
+        ss = ", ".join(f"{p}.{l}:{t}" for (p, l), t in self.slots)
+        return f"({{{rs}}} • {{{ss}}})"
+
+
+#: The state ``((null : Root) • ε)`` of Definition 3.1.
+CLOSED_STATE = LinearState.of({ROOT_URI: ROOT_SORT}, {})
+
+#: The initial state of Definition 3.2: the root with its slot still empty.
+INITIAL_STATE = LinearState.of({ROOT_URI: ROOT_SORT}, {(ROOT_URI, ROOT_LINK): ANY})
+
+
+def check_edit(
+    sigs: SignatureRegistry,
+    edit: PrimitiveEdit,
+    roots: dict[URI, Type],
+    slots: dict[Slot, Type],
+) -> None:
+    """Apply one typing rule of Figure 3, mutating ``roots``/``slots``.
+
+    Raises :class:`EditTypeError` if no rule applies.
+    """
+    if isinstance(edit, Detach):
+        _check_detach(sigs, edit, roots, slots)
+    elif isinstance(edit, Attach):
+        _check_attach(sigs, edit, roots, slots)
+    elif isinstance(edit, Load):
+        _check_load(sigs, edit, roots, slots)
+    elif isinstance(edit, Unload):
+        _check_unload(sigs, edit, roots, slots)
+    elif isinstance(edit, Update):
+        _check_update(sigs, edit)
+    else:  # pragma: no cover - defensive
+        raise EditTypeError(edit, f"unknown edit kind {type(edit).__name__}")
+
+
+def _check_detach(
+    sigs: SignatureRegistry,
+    e: Detach,
+    roots: dict[URI, Type],
+    slots: dict[Slot, Type],
+) -> None:
+    # T-Detach: node ∉ dom(R), par.x ∉ dom(S)
+    if e.node.uri in roots:
+        raise EditTypeError(e, f"node {e.node} is already a detached root")
+    slot = (e.parent.uri, e.link)
+    if slot in slots:
+        raise EditTypeError(e, f"slot {e.parent}.{e.link} is already empty")
+    node_sig = sigs[e.node.tag]
+    parent_sig = sigs[e.parent.tag]
+    slot_type = parent_sig.kid_type(e.link)  # raises if link unknown
+    roots[e.node.uri] = node_sig.result
+    slots[slot] = slot_type
+
+
+def _check_attach(
+    sigs: SignatureRegistry,
+    e: Attach,
+    roots: dict[URI, Type],
+    slots: dict[Slot, Type],
+) -> None:
+    # T-Attach: node : T ∈ R, par.x : T' ∈ S, T <: T'
+    if e.node.uri not in roots:
+        raise EditTypeError(e, f"node {e.node} is not a detached root")
+    slot = (e.parent.uri, e.link)
+    if slot not in slots:
+        raise EditTypeError(e, f"slot {e.parent}.{e.link} is not empty")
+    t = roots[e.node.uri]
+    t_slot = slots[slot]
+    if not sigs.is_subtype(t, t_slot):
+        raise EditTypeError(e, f"root type {t} is not a subtype of slot type {t_slot}")
+    del roots[e.node.uri]
+    del slots[slot]
+
+
+def _check_load(
+    sigs: SignatureRegistry,
+    e: Load,
+    roots: dict[URI, Type],
+    slots: dict[Slot, Type],
+) -> None:
+    # T-Load: kids are roots of matching types; lits well-typed; node fresh
+    sig = sigs[e.node.tag]
+    if e.node.uri in roots:
+        raise EditTypeError(e, f"loaded node URI {e.node.uri} is already a root")
+    kid_links = [l for l, _ in e.kids]
+    if kid_links != list(sig.kid_links_for(len(e.kids))):
+        raise EditTypeError(
+            e,
+            f"kid links {kid_links} do not match signature links "
+            f"{list(sig.kid_links_for(len(e.kids)))}",
+        )
+    # Validate without mutating, so a failed check leaves (R, S) intact.
+    # Each kid consumes one root linearly, so duplicates are rejected too.
+    seen: set[URI] = set()
+    for link, kid_uri in e.kids:
+        if kid_uri not in roots or kid_uri in seen:
+            raise EditTypeError(e, f"kid {link}->{kid_uri} is not a detached root")
+        t_kid = roots[kid_uri]
+        t_expected = sig.kid_type(link)
+        if not sigs.is_subtype(t_kid, t_expected):
+            raise EditTypeError(
+                e, f"kid {link}->{kid_uri} has type {t_kid}, expected <: {t_expected}"
+            )
+        seen.add(kid_uri)
+    try:
+        sigs.check_lits(e.node.tag, dict(e.lits))
+    except Exception as exc:
+        raise EditTypeError(e, str(exc)) from None
+    for _, kid_uri in e.kids:
+        del roots[kid_uri]
+    roots[e.node.uri] = sig.result
+
+
+def _check_unload(
+    sigs: SignatureRegistry,
+    e: Unload,
+    roots: dict[URI, Type],
+    slots: dict[Slot, Type],
+) -> None:
+    # T-Unload: node : T ∈ R; kids ∉ dom(R); kids become roots
+    sig = sigs[e.node.tag]
+    if e.node.uri not in roots:
+        raise EditTypeError(e, f"node {e.node} is not a detached root")
+    kid_links = [l for l, _ in e.kids]
+    if kid_links != list(sig.kid_links_for(len(e.kids))):
+        raise EditTypeError(
+            e,
+            f"kid links {kid_links} do not match signature links "
+            f"{list(sig.kid_links_for(len(e.kids)))}",
+        )
+    kid_uris = [u for _, u in e.kids]
+    if len(set(kid_uris)) != len(kid_uris):
+        raise EditTypeError(e, f"duplicate kid URIs {kid_uris}")
+    for link, kid_uri in e.kids:
+        if kid_uri in roots:
+            raise EditTypeError(e, f"kid {link}->{kid_uri} is already a detached root")
+    del roots[e.node.uri]
+    for link, kid_uri in e.kids:
+        roots[kid_uri] = sig.kid_type(link)
+
+
+def _check_update(sigs: SignatureRegistry, e: Update) -> None:
+    # T-Update: both literal lists match the signature; new values typed
+    sig = sigs[e.node.tag]
+    old_links = [l for l, _ in e.old_lits]
+    new_links = [l for l, _ in e.new_lits]
+    if old_links != list(sig.lit_links) or new_links != list(sig.lit_links):
+        raise EditTypeError(
+            e, f"literal links do not match signature links {list(sig.lit_links)}"
+        )
+    try:
+        sigs.check_lits(e.node.tag, dict(e.new_lits))
+    except Exception as exc:
+        raise EditTypeError(e, str(exc)) from None
+
+
+def check_script(
+    sigs: SignatureRegistry,
+    script: EditScript,
+    before: LinearState,
+) -> LinearState:
+    """T-EditScript: thread the typing state through all edits.
+
+    Returns the final ``(R' • S')``; raises :class:`EditTypeError` on the
+    first ill-typed edit.
+    """
+    roots, slots = before.as_dicts()
+    for edit in script.primitives():
+        check_edit(sigs, edit, roots, slots)
+    return LinearState.of(roots, slots)
+
+
+def is_well_typed(sigs: SignatureRegistry, script: EditScript) -> bool:
+    """Definition 3.1: ``Σ ⊢ ∆ : ((null:Root) • ε) ▷ ((null:Root) • ε)``."""
+    try:
+        return check_script(sigs, script, CLOSED_STATE) == CLOSED_STATE
+    except EditTypeError:
+        return False
+
+
+def assert_well_typed(sigs: SignatureRegistry, script: EditScript) -> None:
+    """Like :func:`is_well_typed` but raises with a diagnostic on failure."""
+    after = check_script(sigs, script, CLOSED_STATE)
+    if after != CLOSED_STATE:
+        raise EditTypeError(
+            None,
+            f"edit script leaks resources: final state {after} != {CLOSED_STATE}",
+        )
+
+
+def is_well_typed_initializing(sigs: SignatureRegistry, script: EditScript) -> bool:
+    """Definition 3.2: a well-typed script that fills the root slot of the
+    empty tree."""
+    try:
+        return check_script(sigs, script, INITIAL_STATE) == CLOSED_STATE
+    except EditTypeError:
+        return False
+
+
+def check_edits(
+    sigs: SignatureRegistry,
+    edits: Iterable[PrimitiveEdit],
+    before: LinearState = CLOSED_STATE,
+) -> LinearState:
+    """Convenience wrapper accepting a plain iterable of edits."""
+    return check_script(sigs, EditScript(edits), before)

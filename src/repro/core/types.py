@@ -1,0 +1,82 @@
+"""Sorts, subtyping, and literal base types (Section 3.3).
+
+The truechange type system assigns each constructor a signature
+
+    ``(<x1:T1, ..., xm:Tm>, <y1:B1, ..., yn:Bn>) -> T``
+
+where the ``Ti`` and ``T`` are *sorts* (types of subtrees) and the ``Bj``
+are *base types* of literal values.  Sorts form a user-declared hierarchy
+with :data:`ANY` at the top; the pre-defined root node has the special sort
+:data:`ROOT_SORT` and a single ``Any``-typed slot.
+
+Subtyping ``T <: U`` is the reflexive-transitive closure of the declared
+sort edges, with ``T <: Any`` for every ``T``.  The hierarchy lives in the
+:class:`~repro.core.signature.SignatureRegistry`, which exposes
+``is_subtype``; this module only defines the type *values*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Type:
+    """A subtree type (sort).  Instances are interned by name equality."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Top of the sort hierarchy; every sort is a subtype of ``Any``.
+ANY = Type("Any")
+
+#: Sort of the pre-defined root node (the paper's ``Root``).
+ROOT_SORT = Type("Root")
+
+
+def sort(name: str) -> Type:
+    """Create (or re-create) the sort with the given name."""
+    return Type(name)
+
+
+@dataclass(frozen=True)
+class LitType:
+    """A base type for literal values, with a membership predicate.
+
+    ``⊢ l : B`` from the paper's T-Load/T-Update rules is decided by
+    :meth:`check`.
+    """
+
+    name: str
+    predicate: Callable[[Any], bool]
+
+    def check(self, value: Any) -> bool:
+        """Return True if ``value`` inhabits this base type."""
+        return self.predicate(value)
+
+    def __str__(self) -> str:
+        return self.name
+
+    # dataclass(frozen) would compare/hash the predicate; compare by name,
+    # which is the identity that matters for signatures.
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LitType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("LitType", self.name))
+
+
+LIT_INT = LitType("Int", lambda v: isinstance(v, int) and not isinstance(v, bool))
+LIT_FLOAT = LitType("Float", lambda v: isinstance(v, float))
+LIT_STR = LitType("String", lambda v: isinstance(v, str))
+LIT_BOOL = LitType("Bool", lambda v: isinstance(v, bool))
+LIT_ANY = LitType("AnyLit", lambda v: True)
+
+
+def lit_type(name: str, predicate: Callable[[Any], bool]) -> LitType:
+    """Declare a custom literal base type."""
+    return LitType(name, predicate)

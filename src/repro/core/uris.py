@@ -1,0 +1,45 @@
+"""URI allocation for tree nodes.
+
+Every node of a :class:`~repro.core.tree.TNode` tree carries a unique URI
+(Section 2 of the paper).  Edit scripts refer to nodes by URI, which is what
+makes truechange patches concise: a patch only mentions the URIs of changed
+nodes instead of spelling out paths from the root.
+
+The paper writes URIs as subscripts (``Add1``, ``Sub2``, ...).  We use plain
+integers.  The pre-defined root node of every :class:`~repro.core.mtree.MTree`
+has the distinguished URI ``None`` (the paper uses ``null``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+# A URI is an integer for ordinary nodes, or None for the pre-defined root.
+URI = Optional[int]
+
+#: URI of the pre-defined root node (the paper's ``null``).
+ROOT_URI: URI = None
+
+
+class URIGen:
+    """A monotone source of fresh URIs.
+
+    Each :class:`~repro.core.adt.Grammar` owns one generator so that all
+    trees built against the same grammar have globally unique node URIs.
+    ``Load`` edits produced by truediff draw fresh URIs from the same
+    generator, preserving uniqueness across patched trees.
+    """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+
+    def fresh(self) -> int:
+        """Return a URI that has never been returned before."""
+        return next(self._counter)
+
+    def fresh_many(self, n: int) -> list[int]:
+        """Return ``n`` distinct fresh URIs."""
+        return [next(self._counter) for _ in range(n)]

@@ -1,0 +1,23 @@
+"""Benchmark corpora: synthetic Python modules, commit-like mutations,
+real stdlib sources, and a simulated commit history (the paper's keras
+corpus stand-in; see DESIGN.md for the substitution rationale)."""
+
+from .generator import GeneratorConfig, PythonGenerator, generate_module
+from .history import CommitSimulator, CorpusConfig, FileChange, default_corpus
+from .mutations import MUTATIONS, mutate_source
+from .stdlib import iter_stdlib_sources, load_stdlib_corpus, stdlib_root
+
+__all__ = [
+    "CommitSimulator",
+    "CorpusConfig",
+    "FileChange",
+    "GeneratorConfig",
+    "MUTATIONS",
+    "PythonGenerator",
+    "default_corpus",
+    "generate_module",
+    "iter_stdlib_sources",
+    "load_stdlib_corpus",
+    "mutate_source",
+    "stdlib_root",
+]

@@ -1,0 +1,101 @@
+"""A simulated repository commit history.
+
+The paper's corpus: "the last 500 commits of keras ... in total, 2393
+Python files were changed in these commits", benchmarked as (before,
+after) pairs per changed file.  :class:`CommitSimulator` reproduces that
+shape: a repository of files (synthetic and/or real stdlib sources)
+evolves through seeded commits, each mutating a few files; the stream of
+:class:`FileChange` records is the benchmark workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .generator import GeneratorConfig, generate_module
+from .mutations import mutate_source
+from .stdlib import load_stdlib_corpus
+
+
+@dataclass(frozen=True)
+class FileChange:
+    """One changed file in one commit: the paper's unit of benchmarking."""
+
+    commit: int
+    path: str
+    before: str
+    after: str
+    ops: tuple[str, ...]
+
+
+@dataclass
+class CorpusConfig:
+    n_synthetic_files: int = 12
+    n_stdlib_files: int = 8
+    n_commits: int = 500
+    files_per_commit: tuple[int, int] = (1, 5)
+    seed: int = 42
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+
+
+class CommitSimulator:
+    """Evolves a file set through seeded commits."""
+
+    def __init__(self, config: Optional[CorpusConfig] = None) -> None:
+        self.config = config or CorpusConfig()
+        rng = random.Random(self.config.seed)
+        self.files: dict[str, str] = {}
+        for i in range(self.config.n_synthetic_files):
+            self.files[f"synthetic/mod_{i:03d}.py"] = generate_module(
+                seed=self.config.seed * 1000 + i, config=self.config.generator
+            )
+        if self.config.n_stdlib_files:
+            for rel, source in load_stdlib_corpus(
+                self.config.n_stdlib_files, seed=self.config.seed
+            ):
+                self.files[f"stdlib/{rel}"] = source
+        self._rng = rng
+
+    def commits(self) -> Iterator[list[FileChange]]:
+        """Yield one list of FileChange per commit."""
+        rng = self._rng
+        paths = sorted(self.files)
+        for commit in range(self.config.n_commits):
+            lo, hi = self.config.files_per_commit
+            n_files = rng.randint(lo, hi)
+            changed = rng.sample(paths, min(n_files, len(paths)))
+            changes: list[FileChange] = []
+            for path in changed:
+                before = self.files[path]
+                after, ops = mutate_source(before, rng)
+                if after == before:
+                    continue
+                self.files[path] = after
+                changes.append(FileChange(commit, path, before, after, tuple(ops)))
+            yield changes
+
+    def changed_files(self, max_changes: Optional[int] = None) -> list[FileChange]:
+        """The flat stream of changed files (the benchmark input)."""
+        out: list[FileChange] = []
+        for changes in self.commits():
+            out.extend(changes)
+            if max_changes is not None and len(out) >= max_changes:
+                return out[:max_changes]
+        return out
+
+
+def default_corpus(
+    max_changes: int = 300,
+    n_commits: int = 500,
+    seed: int = 42,
+    with_stdlib: bool = True,
+) -> list[FileChange]:
+    """The standard benchmark corpus used by Figures 4-5."""
+    config = CorpusConfig(
+        n_commits=n_commits,
+        seed=seed,
+        n_stdlib_files=8 if with_stdlib else 0,
+    )
+    return CommitSimulator(config).changed_files(max_changes=max_changes)

@@ -1,0 +1,222 @@
+"""Commit-like mutations of Python source files.
+
+The paper diffs consecutive versions of files from real commits.  The
+mutator reproduces the *kinds* of changes commits make, applied at the
+AST level so the result always parses:
+
+* rename an identifier (all occurrences — a refactor);
+* change a literal constant;
+* insert a statement / delete a statement;
+* duplicate a function with a new name;
+* reorder two sibling statements (a move);
+* wrap a statement in an ``if`` (guard introduction);
+* add a parameter to a function definition;
+* swap the operands of a binary expression.
+
+Each mutation op is drawn from a seeded RNG; ``mutate_source`` applies a
+bundle of 1-N ops, mirroring that most commits are small and local while
+some are sweeping.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import random
+from typing import Callable, Optional
+
+
+class _Renamer(ast.NodeTransformer):
+    def __init__(self, old: str, new: str) -> None:
+        self.old = old
+        self.new = new
+        self.hits = 0
+
+    def visit_Name(self, node: ast.Name) -> ast.AST:
+        if node.id == self.old:
+            self.hits += 1
+            return ast.copy_location(ast.Name(id=self.new, ctx=node.ctx), node)
+        return node
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> ast.AST:
+        self.generic_visit(node)
+        if node.name == self.old:
+            node.name = self.new
+            self.hits += 1
+        return node
+
+    def visit_arg(self, node: ast.arg) -> ast.AST:
+        if node.arg == self.old:
+            node.arg = self.new
+            self.hits += 1
+        return node
+
+
+def _all_names(tree: ast.Module) -> list[str]:
+    names = {n.id for n in ast.walk(tree) if isinstance(n, ast.Name)}
+    names |= {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    return sorted(names)
+
+
+def _stmt_lists(tree: ast.Module) -> list[list[ast.stmt]]:
+    """All statement lists (module body, function/class/if/for bodies)."""
+    out = [tree.body]
+    for n in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(n, field, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                out.append(block)
+    return out
+
+
+def _mut_rename(tree: ast.Module, rng: random.Random) -> bool:
+    names = _all_names(tree)
+    if not names:
+        return False
+    old = rng.choice(names)
+    new = f"{old}_v{rng.randint(2, 9)}"
+    renamer = _Renamer(old, new)
+    renamer.visit(tree)
+    return renamer.hits > 0
+
+
+def _mut_change_constant(tree: ast.Module, rng: random.Random) -> bool:
+    consts = [n for n in ast.walk(tree) if isinstance(n, ast.Constant)]
+    if not consts:
+        return False
+    node = rng.choice(consts)
+    if isinstance(node.value, bool):
+        node.value = not node.value
+    elif isinstance(node.value, int):
+        node.value = node.value + rng.randint(1, 10)
+    elif isinstance(node.value, str):
+        node.value = node.value + "_x"
+    else:
+        node.value = 42
+    return True
+
+
+def _new_statement(rng: random.Random) -> ast.stmt:
+    kind = rng.randrange(3)
+    if kind == 0:
+        return ast.parse(f"extra_{rng.randint(1, 99)} = {rng.randint(0, 50)}").body[0]
+    if kind == 1:
+        return ast.parse(f"print({rng.randint(0, 9)})").body[0]
+    return ast.parse(
+        f"if check_{rng.randint(1, 9)}:\n    flag = {rng.randint(0, 1)}"
+    ).body[0]
+
+
+def _mut_insert_statement(tree: ast.Module, rng: random.Random) -> bool:
+    blocks = _stmt_lists(tree)
+    block = rng.choice(blocks)
+    block.insert(rng.randint(0, len(block)), _new_statement(rng))
+    return True
+
+
+def _mut_delete_statement(tree: ast.Module, rng: random.Random) -> bool:
+    blocks = [b for b in _stmt_lists(tree) if len(b) > 1]
+    if not blocks:
+        return False
+    block = rng.choice(blocks)
+    block.pop(rng.randrange(len(block)))
+    return True
+
+
+def _mut_duplicate_function(tree: ast.Module, rng: random.Random) -> bool:
+    funcs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if not funcs:
+        return False
+    src = rng.choice(funcs)
+    clone = copy.deepcopy(src)
+    clone.name = f"{src.name}_copy{rng.randint(2, 9)}"
+    tree.body.insert(rng.randint(0, len(tree.body)), clone)
+    return True
+
+
+def _mut_reorder_statements(tree: ast.Module, rng: random.Random) -> bool:
+    blocks = [b for b in _stmt_lists(tree) if len(b) >= 2]
+    if not blocks:
+        return False
+    block = rng.choice(blocks)
+    i = rng.randrange(len(block) - 1)
+    j = rng.randrange(i + 1, len(block))
+    block[i], block[j] = block[j], block[i]
+    return True
+
+
+def _mut_wrap_in_if(tree: ast.Module, rng: random.Random) -> bool:
+    blocks = [b for b in _stmt_lists(tree) if b]
+    if not blocks:
+        return False
+    block = rng.choice(blocks)
+    i = rng.randrange(len(block))
+    guarded = ast.parse("if enabled:\n    pass").body[0]
+    assert isinstance(guarded, ast.If)
+    guarded.body = [block[i]]
+    block[i] = guarded
+    return True
+
+
+def _mut_add_parameter(tree: ast.Module, rng: random.Random) -> bool:
+    funcs = [n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)]
+    if not funcs:
+        return False
+    f = rng.choice(funcs)
+    f.args.args.append(ast.arg(arg=f"opt_{rng.randint(1, 99)}"))
+    f.args.defaults.append(ast.Constant(value=None))
+    return True
+
+
+def _mut_swap_operands(tree: ast.Module, rng: random.Random) -> bool:
+    binops = [
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, ast.BinOp) and isinstance(n.op, (ast.Add, ast.Mult))
+    ]
+    if not binops:
+        return False
+    node = rng.choice(binops)
+    node.left, node.right = node.right, node.left
+    return True
+
+
+MUTATIONS: list[tuple[str, Callable[[ast.Module, random.Random], bool]]] = [
+    ("rename", _mut_rename),
+    ("change_constant", _mut_change_constant),
+    ("insert_statement", _mut_insert_statement),
+    ("delete_statement", _mut_delete_statement),
+    ("duplicate_function", _mut_duplicate_function),
+    ("reorder_statements", _mut_reorder_statements),
+    ("wrap_in_if", _mut_wrap_in_if),
+    ("add_parameter", _mut_add_parameter),
+    ("swap_operands", _mut_swap_operands),
+]
+
+# weights roughly matching commit behaviour: small edits dominate
+_WEIGHTS = [2, 4, 4, 3, 1, 2, 2, 2, 2]
+
+
+def mutate_source(
+    source: str,
+    rng: random.Random,
+    n_edits: Optional[int] = None,
+) -> tuple[str, list[str]]:
+    """Apply a bundle of mutations; returns (new_source, applied_op_names).
+
+    The result is guaranteed to parse.  If every drawn mutation is
+    inapplicable (e.g. deleting from an empty module), the source may
+    come back unchanged with an empty op list.
+    """
+    tree = ast.parse(source)
+    if n_edits is None:
+        # geometric-ish: most commits touch little
+        n_edits = 1 + min(rng.randrange(1, 10), rng.randrange(1, 10)) // 2
+    applied: list[str] = []
+    for _ in range(n_edits):
+        name, op = rng.choices(MUTATIONS, weights=_WEIGHTS, k=1)[0]
+        if op(tree, rng):
+            applied.append(name)
+    new_source = ast.unparse(ast.fix_missing_locations(tree))
+    ast.parse(new_source)
+    return new_source, applied

@@ -1,0 +1,73 @@
+"""Harvest real Python files from the installed standard library.
+
+The paper benchmarks on real-world Python files (keras).  Offline, the
+CPython standard library is the richest source of real Python code on
+disk: thousands of files written by many authors over decades, with a
+realistic size distribution.
+"""
+
+from __future__ import annotations
+
+import ast
+import sysconfig
+from pathlib import Path
+from typing import Iterator, Optional
+
+
+def stdlib_root() -> Path:
+    return Path(sysconfig.get_paths()["stdlib"])
+
+
+def iter_stdlib_sources(
+    min_bytes: int = 1_000,
+    max_bytes: int = 120_000,
+    limit: Optional[int] = None,
+    exclude_tests: bool = True,
+) -> Iterator[tuple[str, str]]:
+    """Yield ``(relative_path, source)`` for parseable stdlib files.
+
+    Size bounds keep the corpus comparable to typical repository files
+    (the keras files of the paper are ordinary library modules, not
+    generated monsters).
+    """
+    root = stdlib_root()
+    count = 0
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if exclude_tests and ("test" in rel or "idlelib" in rel or "lib2to3" in rel):
+            continue
+        if "site-packages" in rel or rel.startswith("plat-"):
+            continue
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue
+        if not (min_bytes <= size <= max_bytes):
+            continue
+        try:
+            source = path.read_text(encoding="utf8")
+            ast.parse(source)
+        except (OSError, SyntaxError, UnicodeDecodeError, ValueError):
+            continue
+        yield rel, source
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=1)
+def _stdlib_pool() -> tuple[tuple[str, str], ...]:
+    return tuple(iter_stdlib_sources(limit=400))
+
+
+def load_stdlib_corpus(n_files: int = 50, seed: int = 0) -> list[tuple[str, str]]:
+    """A deterministic sample of stdlib files (pool cached per process)."""
+    import random
+
+    all_files = list(_stdlib_pool())
+    rng = random.Random(seed)
+    rng.shuffle(all_files)
+    return all_files[:n_files]

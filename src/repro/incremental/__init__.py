@@ -1,0 +1,42 @@
+"""IncA-style incremental computing driven by truechange edit scripts
+(Section 6)."""
+
+from .analyses import (
+    install_descendants,
+    install_exp_typing,
+    install_python_callgraph,
+    install_python_defuse,
+    install_python_metrics,
+)
+from .driver import IncrementalDriver, UpdateReport
+from .engine import Atom, Engine, Rule, StratificationError, atom, neg
+from .facts import TreeFactDB
+from .provenance import Derivation, NoDerivation, why
+from .index import (
+    BidirectionalManyToOneIndex,
+    BidirectionalOneToOneIndex,
+    OneToOneViolation,
+)
+
+__all__ = [
+    "Atom",
+    "BidirectionalManyToOneIndex",
+    "BidirectionalOneToOneIndex",
+    "Engine",
+    "IncrementalDriver",
+    "OneToOneViolation",
+    "Rule",
+    "StratificationError",
+    "TreeFactDB",
+    "UpdateReport",
+    "Derivation",
+    "NoDerivation",
+    "atom",
+    "install_descendants",
+    "install_exp_typing",
+    "install_python_callgraph",
+    "install_python_defuse",
+    "install_python_metrics",
+    "neg",
+    "why",
+]

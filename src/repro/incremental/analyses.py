@@ -1,0 +1,177 @@
+"""Example incremental program analyses (Section 6's IncA workloads).
+
+Each analysis installs Datalog rules over the tree fact relations
+(``node``, ``child``, ``lit``) of a :class:`~repro.incremental.facts.TreeFactDB`:
+
+* :func:`install_descendants` — transitive containment (recursive rule;
+  exercises DRed under deletions);
+* :func:`install_python_defuse` — function definitions, call sites, and
+  calls to undefined names for Python trees (uses stratified negation);
+* :func:`install_exp_typing` — a toy type checker for the Exp language
+  (the "incremental type checker" use case the paper motivates: a
+  variable node gets a type depending on its context, so subtree sharing
+  across contexts — as hdiff assumes — would be unsound).
+
+Rule variables are ``?``-prefixed; everything else is a constant.
+"""
+
+from __future__ import annotations
+
+from .engine import Engine, atom, neg
+
+
+def install_descendants(engine: Engine) -> None:
+    """``desc(A, D)``: node D is (transitively) contained in node A."""
+    engine.rule("desc", ("?P", "?C"), [atom("child", "?P", "?L", "?C")])
+    engine.rule(
+        "desc",
+        ("?A", "?C"),
+        [atom("desc", "?A", "?B"), atom("child", "?B", "?L", "?C")],
+    )
+
+
+def install_python_defuse(engine: Engine) -> None:
+    """Def/use facts for Python trees built by :mod:`repro.adapters.pyast`.
+
+    * ``func_def(uri, name)`` — function definitions;
+    * ``call_site(uri, name)`` — calls of a plain name;
+    * ``undefined_call(uri, name)`` — calls whose callee has no definition
+      anywhere in the file (stratified negation);
+    * ``defined_name(name)`` — helper projection.
+    """
+    engine.rule(
+        "func_def",
+        ("?F", "?Name"),
+        [atom("node", "?F", "FunctionDef"), atom("lit", "?F", "name", "?Name")],
+    )
+    engine.rule(
+        "func_def",
+        ("?F", "?Name"),
+        [atom("node", "?F", "AsyncFunctionDef"), atom("lit", "?F", "name", "?Name")],
+    )
+    engine.rule(
+        "class_def",
+        ("?C", "?Name"),
+        [atom("node", "?C", "ClassDef"), atom("lit", "?C", "name", "?Name")],
+    )
+    engine.rule(
+        "call_site",
+        ("?C", "?Name"),
+        [
+            atom("node", "?C", "Call"),
+            atom("child", "?C", "func", "?F"),
+            atom("node", "?F", "Name"),
+            atom("lit", "?F", "id", "?Name"),
+        ],
+    )
+    engine.rule("defined_name", ("?Name",), [atom("func_def", "?F", "?Name")])
+    engine.rule("defined_name", ("?Name",), [atom("class_def", "?C", "?Name")])
+    engine.rule(
+        "undefined_call",
+        ("?C", "?Name"),
+        [atom("call_site", "?C", "?Name"), neg("defined_name", "?Name")],
+    )
+
+
+def install_python_callgraph(engine: Engine) -> None:
+    """A name-based call graph over Python trees (requires
+    :func:`install_descendants` and :func:`install_python_defuse`).
+
+    * ``calls(F, G)`` — function named F contains a call of name G;
+    * ``reaches(F, G)`` — transitive closure of ``calls`` (recursive);
+    * ``recursive(F)`` — F reaches itself.
+    """
+    engine.rule(
+        "calls",
+        ("?FN", "?GN"),
+        [
+            atom("func_def", "?F", "?FN"),
+            atom("desc", "?F", "?C"),
+            atom("call_site", "?C", "?GN"),
+        ],
+    )
+    engine.rule("reaches", ("?F", "?G"), [atom("calls", "?F", "?G")])
+    engine.rule(
+        "reaches",
+        ("?F", "?H"),
+        [atom("reaches", "?F", "?G"), atom("calls", "?G", "?H")],
+    )
+    engine.rule("recursive", ("?F",), [atom("reaches", "?F", "?F")])
+
+
+def install_python_metrics(engine: Engine) -> None:
+    """Simple structural metrics: statements per function (requires
+    :func:`install_descendants` and :func:`install_python_defuse`)."""
+    engine.rule(
+        "stmt_in_func",
+        ("?F", "?S"),
+        [
+            atom("func_def", "?F", "?N"),
+            atom("desc", "?F", "?S"),
+            atom("node", "?S", "?TagS"),
+        ],
+        guard=lambda env: env["TagS"]
+        in {"Assign", "AugAssign", "Return", "If", "While", "For", "Expr", "Raise"},
+    )
+
+
+def install_exp_typing(engine: Engine) -> None:
+    """A toy type analysis for the Exp test language.
+
+    ``Num`` is Int; a ``Var`` is Bool when its name starts with 'b' and
+    Int otherwise; arithmetic requires Int operands and produces Int;
+    ``type_error`` marks expression nodes with no type.
+    """
+    engine.rule("exp_type", ("?N", "Int"), [atom("node", "?N", "Num")])
+    engine.rule(
+        "exp_type",
+        ("?N", "Bool"),
+        [atom("node", "?N", "Var"), atom("lit", "?N", "name", "?X")],
+        guard=lambda env: str(env["X"]).startswith("b"),
+    )
+    engine.rule(
+        "exp_type",
+        ("?N", "Int"),
+        [atom("node", "?N", "Var"), atom("lit", "?N", "name", "?X")],
+        guard=lambda env: not str(env["X"]).startswith("b"),
+    )
+    for op in ("Add", "Sub", "Mul"):
+        engine.rule(
+            "exp_type",
+            ("?N", "Int"),
+            [
+                atom("node", "?N", op),
+                atom("child", "?N", "e1", "?A"),
+                atom("child", "?N", "e2", "?B"),
+                atom("exp_type", "?A", "Int"),
+                atom("exp_type", "?B", "Int"),
+            ],
+        )
+    engine.rule(
+        "exp_type",
+        ("?N", "Int"),
+        [
+            atom("node", "?N", "Neg"),
+            atom("child", "?N", "e", "?A"),
+            atom("exp_type", "?A", "Int"),
+        ],
+    )
+    engine.rule(
+        "exp_type",
+        ("?N", "Int"),
+        [
+            atom("node", "?N", "Call"),
+            atom("child", "?N", "a", "?A"),
+            atom("exp_type", "?A", "Int"),
+        ],
+    )
+    engine.rule(
+        "type_error",
+        ("?N",),
+        [
+            atom("node", "?N", "?Tag"),
+            neg("exp_type", "?N", "Int"),
+            neg("exp_type", "?N", "Bool"),
+        ],
+        guard=lambda env: env["Tag"] in {"Num", "Var", "Add", "Sub", "Mul", "Neg", "Call"},
+    )

@@ -1,0 +1,424 @@
+"""An incremental Datalog engine in the style of IncA (Szabó et al.).
+
+The engine maintains derived relations over a base fact database and
+processes *deltas* (insertions and deletions of base facts) without
+re-evaluating from scratch:
+
+* insertions propagate by semi-naive evaluation;
+* deletions use DRed (delete-and-rederive): over-delete everything that
+  transitively depended on a deleted fact, then re-derive the facts that
+  still have alternative derivations.
+
+Rules are conjunctive queries with variables, constants, optional
+stratified negation, and optional Python guard predicates.  Variables are
+``?``-prefixed strings (or ``_`` for don't-care); any other term is a
+constant::
+
+    engine.rule("desc", ("?P", "?C"), [atom("child", "?P", "?L", "?C")])
+    engine.rule("desc", ("?A", "?C"), [atom("desc", "?A", "?B"), atom("desc", "?B", "?C")])
+
+This is deliberately a small engine — enough to drive the paper's
+incremental program analyses and to measure edit-script-driven updates —
+not a full IncA reimplementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+
+class Var(str):
+    """A rule variable (any string used in a rule's terms position)."""
+
+
+Term = Union[Var, Any]
+Fact = tuple
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``rel(t1, ..., tn)``; negated atoms must be to a lower stratum."""
+
+    rel: str
+    terms: tuple[Term, ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(map(str, self.terms))
+        return f"{'not ' if self.negated else ''}{self.rel}({inner})"
+
+
+def atom(rel: str, *terms: Term) -> Atom:
+    return Atom(rel, terms)
+
+
+def neg(rel: str, *terms: Term) -> Atom:
+    return Atom(rel, terms, negated=True)
+
+
+@dataclass(frozen=True)
+class Rule:
+    head_rel: str
+    head_terms: tuple[Term, ...]
+    body: tuple[Atom, ...]
+    guard: Optional[Callable[[dict[str, Any]], bool]] = None
+
+    def __str__(self) -> str:
+        body = ", ".join(map(str, self.body))
+        return f"{self.head_rel}({', '.join(map(str, self.head_terms))}) :- {body}"
+
+
+def _is_var(t: Term) -> bool:
+    return isinstance(t, str) and len(t) > 0 and (t[0] == "?" or t == "_")
+
+
+class StratificationError(Exception):
+    """The program is not stratifiable (negation through recursion)."""
+
+
+class Engine:
+    """Fact storage plus incremental rule evaluation."""
+
+    def __init__(self) -> None:
+        self.rules: list[Rule] = []
+        # base (extensional) facts
+        self.edb: dict[str, set[Fact]] = {}
+        # derived (intensional) facts
+        self.idb: dict[str, set[Fact]] = {}
+        self._strata: Optional[list[list[Rule]]] = None
+        # hash-join support: per-relation version counters plus an index
+        # cache keyed by (relation, bound positions); an index is rebuilt
+        # lazily when its relation changed since it was built
+        self._versions: dict[str, int] = {}
+        self._index_cache: dict[tuple[str, tuple[int, ...]], tuple[int, dict]] = {}
+
+    def _bump(self, rel: str) -> None:
+        self._versions[rel] = self._versions.get(rel, 0) + 1
+
+    def _get_index(self, rel: str, positions: tuple[int, ...]) -> dict:
+        version = self._versions.get(rel, 0)
+        key = (rel, positions)
+        cached = self._index_cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        index: dict = {}
+        top = max(positions)
+        for fact in self.facts(rel):
+            if len(fact) <= top:
+                continue
+            index.setdefault(tuple(fact[p] for p in positions), []).append(fact)
+        self._index_cache[key] = (version, index)
+        return index
+
+    def _idb_add(self, rel: str, fact: Fact) -> bool:
+        store = self.idb.setdefault(rel, set())
+        if fact in store:
+            return False
+        store.add(fact)
+        self._bump(rel)
+        return True
+
+    def _idb_discard_all(self, rel: str, facts: set[Fact]) -> None:
+        store = self.idb.get(rel)
+        if store:
+            store -= facts
+            self._bump(rel)
+
+    # -- program construction -------------------------------------------------
+
+    def rule(
+        self,
+        head_rel: str,
+        head_terms: Sequence[Term],
+        body: Sequence[Atom],
+        guard: Optional[Callable[[dict[str, Any]], bool]] = None,
+    ) -> Rule:
+        r = Rule(head_rel, tuple(head_terms), tuple(body), guard)
+        self.rules.append(r)
+        self._strata = None
+        return r
+
+    # -- base facts ------------------------------------------------------------
+
+    def insert_fact(self, rel: str, *args: Any) -> None:
+        self.edb.setdefault(rel, set()).add(tuple(args))
+        self._bump(rel)
+
+    def retract_fact(self, rel: str, *args: Any) -> None:
+        self.edb.get(rel, set()).discard(tuple(args))
+        self._bump(rel)
+
+    def facts(self, rel: str) -> set[Fact]:
+        """All facts of a relation (base and derived)."""
+        return self.edb.get(rel, set()) | self.idb.get(rel, set())
+
+    def holds(self, rel: str, *args: Any) -> bool:
+        return tuple(args) in self.facts(rel)
+
+    # -- stratification ----------------------------------------------------------
+
+    def _idb_relations(self) -> set[str]:
+        return {r.head_rel for r in self.rules}
+
+    def strata(self) -> list[list[Rule]]:
+        if self._strata is not None:
+            return self._strata
+        idb = self._idb_relations()
+        # stratum number per relation; negation forces a strict increase
+        level: dict[str, int] = {r: 0 for r in idb}
+        changed = True
+        rounds = 0
+        while changed:
+            changed = False
+            rounds += 1
+            if rounds > len(idb) * len(self.rules) + 10:
+                raise StratificationError("negation through recursion")
+            for rule in self.rules:
+                for a in rule.body:
+                    if a.rel not in idb:
+                        continue
+                    need = level[a.rel] + (1 if a.negated else 0)
+                    if level[rule.head_rel] < need:
+                        level[rule.head_rel] = need
+                        changed = True
+        max_level = max(level.values(), default=0)
+        strata: list[list[Rule]] = [[] for _ in range(max_level + 1)]
+        for rule in self.rules:
+            strata[level[rule.head_rel]].append(rule)
+        self._strata = strata
+        return strata
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self) -> None:
+        """Full (from-scratch) semi-naive evaluation of all strata."""
+        for rel in list(self.idb):
+            self._bump(rel)
+        self.idb = {}
+        for stratum in self.strata():
+            self._eval_stratum(stratum)
+
+    def _eval_stratum(self, rules: list[Rule]) -> None:
+        # seed pass
+        delta: dict[str, set[Fact]] = {}
+        for rule in rules:
+            for fact in self._eval_rule(rule, None, None):
+                if self._idb_add(rule.head_rel, fact):
+                    delta.setdefault(rule.head_rel, set()).add(fact)
+        # semi-naive iteration
+        while delta:
+            new_delta: dict[str, set[Fact]] = {}
+            for rule in rules:
+                for i, a in enumerate(rule.body):
+                    if a.negated or a.rel not in delta:
+                        continue
+                    for fact in self._eval_rule(rule, i, delta[a.rel]):
+                        if self._idb_add(rule.head_rel, fact):
+                            new_delta.setdefault(rule.head_rel, set()).add(fact)
+            delta = new_delta
+
+    def _eval_rule(
+        self,
+        rule: Rule,
+        delta_pos: Optional[int],
+        delta_facts: Optional[set[Fact]],
+        restrict_heads: Optional[set[Fact]] = None,
+    ) -> Iterable[Fact]:
+        """All head facts derivable by ``rule``.
+
+        With ``delta_pos``, the atom at that index ranges over
+        ``delta_facts`` only (semi-naive).  With ``restrict_heads``, only
+        derivations whose head is in the set are produced.
+
+        Positive atoms with bound positions are evaluated through lazily
+        maintained hash indexes, so joins cost O(matching facts) instead
+        of O(relation).
+        """
+
+        def rel_facts(rel: str) -> set[Fact]:
+            return self.facts(rel)
+
+        def match(a: Atom, fact: Fact, env: dict[str, Any]) -> Optional[dict[str, Any]]:
+            if len(fact) != len(a.terms):
+                return None
+            out = env
+            copied = False
+            for t, v in zip(a.terms, fact):
+                if _is_var(t):
+                    if t == "_":
+                        continue
+                    name = t[1:]  # strip the '?' so guards see bare names
+                    bound = out.get(name, _MISSING)
+                    if bound is _MISSING:
+                        if not copied:
+                            out = dict(out)
+                            copied = True
+                        out[name] = v
+                    elif bound != v:
+                        return None
+                elif t != v:
+                    return None
+            return out
+
+        def subst(terms: tuple[Term, ...], env: dict[str, Any]) -> Optional[Fact]:
+            out = []
+            for t in terms:
+                if _is_var(t):
+                    if t == "_" or t[1:] not in env:
+                        return None
+                    out.append(env[t[1:]])
+                else:
+                    out.append(t)
+            return tuple(out)
+
+        _MISSING = object()
+        results: list[Fact] = []
+
+        def search(i: int, env: dict[str, Any]) -> None:
+            if i == len(rule.body):
+                if rule.guard is not None and not rule.guard(env):
+                    return
+                head = subst(rule.head_terms, env)
+                if head is None:
+                    return
+                if restrict_heads is not None and head not in restrict_heads:
+                    return
+                results.append(head)
+                return
+            a = rule.body[i]
+            if a.negated:
+                # stratified negation: check groundness and absence
+                probe = subst(a.terms, {**env})
+                if probe is None:
+                    raise StratificationError(
+                        f"negated atom {a} not ground when evaluated in {rule}"
+                    )
+                if probe not in rel_facts(a.rel):
+                    search(i + 1, env)
+                return
+            if delta_pos is not None and i == delta_pos and delta_facts is not None:
+                source = delta_facts
+            else:
+                positions: list[int] = []
+                key_vals: list[Any] = []
+                for p, t in enumerate(a.terms):
+                    if _is_var(t):
+                        if t == "_":
+                            continue
+                        v = env.get(t[1:], _MISSING)
+                        if v is not _MISSING:
+                            positions.append(p)
+                            key_vals.append(v)
+                    else:
+                        positions.append(p)
+                        key_vals.append(t)
+                if positions:
+                    index = self._get_index(a.rel, tuple(positions))
+                    source = index.get(tuple(key_vals), ())
+                else:
+                    source = rel_facts(a.rel)
+            for fact in source:
+                env2 = match(a, fact, env)
+                if env2 is not None:
+                    search(i + 1, env2)
+
+        search(0, {})
+        return results
+
+    # -- incremental maintenance (DRed) ------------------------------------------
+
+    def apply_delta(
+        self,
+        inserts: Iterable[tuple[str, Fact]] = (),
+        deletes: Iterable[tuple[str, Fact]] = (),
+    ) -> None:
+        """Incrementally maintain derived facts under base-fact changes.
+
+        Classic DRed ordering: over-delete against the *pre-change*
+        database, commit the deletions, re-derive facts with surviving
+        alternative derivations, then propagate insertions semi-naively.
+        """
+        ins = [(r, tuple(f)) for r, f in inserts]
+        dels = [(r, tuple(f)) for r, f in deletes]
+        dels = [(r, f) for r, f in dels if f in self.edb.get(r, set())]
+
+        # --- DRed phase 1: over-delete; all joins see the old database,
+        # so base deletions are not committed yet and over-deleted derived
+        # facts stay visible until the phase ends.
+        deleted: dict[str, set[Fact]] = {}
+        frontier: dict[str, set[Fact]] = {}
+        for rel, fact in dels:
+            frontier.setdefault(rel, set()).add(fact)
+        while frontier:
+            next_frontier: dict[str, set[Fact]] = {}
+            for rule in self.rules:
+                for i, a in enumerate(rule.body):
+                    if a.negated or a.rel not in frontier:
+                        continue
+                    for head in self._eval_rule(rule, i, frontier[a.rel]):
+                        if head in self.idb.get(rule.head_rel, ()) and head not in deleted.get(
+                            rule.head_rel, set()
+                        ):
+                            deleted.setdefault(rule.head_rel, set()).add(head)
+                            next_frontier.setdefault(rule.head_rel, set()).add(head)
+            frontier = next_frontier
+        # commit deletions
+        for rel, fact in dels:
+            self.edb.get(rel, set()).discard(fact)
+            self._bump(rel)
+        for rel, facts in deleted.items():
+            self._idb_discard_all(rel, facts)
+
+        # --- DRed phase 2: re-derive over-deleted facts that still have a
+        # derivation from the post-deletion database.
+        rederive = {rel: set(facts) for rel, facts in deleted.items()}
+        progressed = True
+        while progressed:
+            progressed = False
+            for rule in self.rules:
+                targets = rederive.get(rule.head_rel)
+                if not targets:
+                    continue
+                for head in self._eval_rule(rule, None, None, restrict_heads=targets):
+                    if head in targets:
+                        self._idb_add(rule.head_rel, head)
+                        targets.discard(head)
+                        progressed = True
+
+        # --- insertions: semi-naive propagation
+        delta: dict[str, set[Fact]] = {}
+        for rel, fact in ins:
+            if fact not in self.edb.get(rel, set()):
+                self.edb.setdefault(rel, set()).add(fact)
+                self._bump(rel)
+                delta.setdefault(rel, set()).add(fact)
+        while delta:
+            new_delta: dict[str, set[Fact]] = {}
+            for rule in self.rules:
+                for i, a in enumerate(rule.body):
+                    if a.negated or a.rel not in delta:
+                        continue
+                    for head in self._eval_rule(rule, i, delta[a.rel]):
+                        if self._idb_add(rule.head_rel, head):
+                            new_delta.setdefault(rule.head_rel, set()).add(head)
+            delta = new_delta
+        # negation-dependent strata are not maintained fact-by-fact:
+        # recompute them when anything changed
+        if self._uses_negation() and (ins or dels or deleted):
+            self._reevaluate_negative_strata()
+
+    def _uses_negation(self) -> bool:
+        return any(a.negated for r in self.rules for a in r.body)
+
+    def _reevaluate_negative_strata(self) -> None:
+        strata = self.strata()
+        if len(strata) <= 1:
+            return
+        # keep stratum 0 (already incrementally maintained), recompute the rest
+        upper_rels = {r.head_rel for stratum in strata[1:] for r in stratum}
+        for rel in upper_rels:
+            self.idb[rel] = set()
+            self._bump(rel)
+        for stratum in strata[1:]:
+            self._eval_stratum(stratum)

@@ -1,0 +1,180 @@
+"""Edit-script-driven fact databases (Section 6).
+
+The IncA-style driver maintains a relational view of the current tree:
+
+* ``node(uri, tag)``
+* ``child(parent_uri, link, child_uri)``
+* ``lit(uri, link, value)``
+
+A truechange edit script maps directly to a delta on these relations —
+this is the point of the paper's Section 6: because type-safe scripts
+never overload a link, the ``child`` relation can be stored with
+:class:`~repro.incremental.index.BidirectionalOneToOneIndex` per link and
+every edit is a constant-time index update.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Union
+
+from repro.core import (
+    Attach,
+    Detach,
+    EditScript,
+    Load,
+    TNode,
+    Unload,
+    Update,
+)
+from repro.core.node import Link, ROOT_LINK
+from repro.core.uris import ROOT_URI, URI
+
+from .index import BidirectionalManyToOneIndex, BidirectionalOneToOneIndex
+
+FactDelta = tuple[list[tuple[str, tuple]], list[tuple[str, tuple]]]  # inserts, deletes
+
+
+class TreeFactDB:
+    """The relational view of one tree, maintained from edit scripts."""
+
+    def __init__(self, one_to_one: bool = True) -> None:
+        self.one_to_one = one_to_one
+        self.node_tag: dict[URI, str] = {}
+        self.lits: dict[tuple[URI, Link], Any] = {}
+        # per-link child indexes, keyed by (parent, link) on the one-to-one
+        # encoding the paper's type-safe scripts enable
+        self.children: dict[
+            Link,
+            Union[
+                BidirectionalOneToOneIndex[tuple[URI, Link], URI],
+                BidirectionalManyToOneIndex[tuple[URI, Link], URI],
+            ],
+        ] = {}
+
+    def _index(self, link: Link):
+        idx = self.children.get(link)
+        if idx is None:
+            idx = (
+                BidirectionalOneToOneIndex()
+                if self.one_to_one
+                else BidirectionalManyToOneIndex()
+            )
+            self.children[link] = idx
+        return idx
+
+    # -- bulk load --------------------------------------------------------------
+
+    def load_tree(self, tree: TNode) -> list[tuple[str, tuple]]:
+        """Populate from a full tree; returns the inserted facts."""
+        inserts: list[tuple[str, tuple]] = []
+        self.node_tag[ROOT_URI] = "<Root>"
+        inserts.append(("node", (ROOT_URI, "<Root>")))
+        inserts.extend(self._insert_subtree(tree))
+        inserts.extend(self._attach(tree.uri, ROOT_LINK, ROOT_URI))
+        return inserts
+
+    def _insert_subtree(self, tree: TNode) -> list[tuple[str, tuple]]:
+        inserts: list[tuple[str, tuple]] = []
+        for n in tree.iter_subtree():
+            inserts.extend(self._insert_node(n.uri, n.tag, n.lit_items))
+            for link, kid in n.kid_items:
+                inserts.extend(self._attach(kid.uri, link, n.uri))
+        return inserts
+
+    def _insert_node(self, uri, tag, lit_items) -> list[tuple[str, tuple]]:
+        self.node_tag[uri] = tag
+        out = [("node", (uri, tag))]
+        for link, value in lit_items:
+            self.lits[(uri, link)] = value
+            out.append(("lit", (uri, link, _freeze(value))))
+        return out
+
+    def _attach(self, child, link, parent) -> list[tuple[str, tuple]]:
+        self._index(link).put((parent, link), child)
+        return [("child", (parent, link, child))]
+
+    def _detach(self, child, link, parent) -> list[tuple[str, tuple]]:
+        idx = self._index(link)
+        if self.one_to_one:
+            idx.remove_key((parent, link))
+        else:
+            idx.remove_value(child)
+        return [("child", (parent, link, child))]
+
+    # -- edit script application ---------------------------------------------------
+
+    def apply_script(self, script: EditScript) -> FactDelta:
+        """Apply a script; returns (inserted facts, deleted facts)."""
+        inserts: list[tuple[str, tuple]] = []
+        deletes: list[tuple[str, tuple]] = []
+        for edit in script.primitives():
+            if isinstance(edit, Detach):
+                deletes.extend(self._detach(edit.node.uri, edit.link, edit.parent.uri))
+            elif isinstance(edit, Attach):
+                inserts.extend(self._attach(edit.node.uri, edit.link, edit.parent.uri))
+            elif isinstance(edit, Load):
+                inserts.extend(self._insert_node(edit.node.uri, edit.node.tag, edit.lits))
+                for link, kid in edit.kids:
+                    inserts.extend(self._attach(kid, link, edit.node.uri))
+            elif isinstance(edit, Unload):
+                tag = self.node_tag.pop(edit.node.uri)
+                deletes.append(("node", (edit.node.uri, tag)))
+                for link, value in edit.lits:
+                    self.lits.pop((edit.node.uri, link), None)
+                    deletes.append(("lit", (edit.node.uri, link, _freeze(value))))
+                for link, kid in edit.kids:
+                    deletes.extend(self._detach(kid, link, edit.node.uri))
+            elif isinstance(edit, Update):
+                for link, value in edit.old_lits:
+                    self.lits.pop((edit.node.uri, link), None)
+                    deletes.append(("lit", (edit.node.uri, link, _freeze(value))))
+                for link, value in edit.new_lits:
+                    self.lits[(edit.node.uri, link)] = value
+                    inserts.append(("lit", (edit.node.uri, link, _freeze(value))))
+        # cancel facts that were both deleted and re-inserted in one script
+        ins_set = set(inserts)
+        del_set = set(deletes)
+        common = ins_set & del_set
+        return (
+            [f for f in inserts if f not in common],
+            [f for f in deletes if f not in common],
+        )
+
+    # -- queries --------------------------------------------------------------------
+
+    def child_of(self, parent: URI, link: Link) -> Optional[URI]:
+        idx = self.children.get(link)
+        if idx is None:
+            return None
+        if self.one_to_one:
+            return idx.get((parent, link))
+        return idx.get_single((parent, link))
+
+    def parent_of(self, child: URI) -> Optional[tuple[URI, Link]]:
+        for link, idx in self.children.items():
+            key = idx.inverse(child)
+            if key is not None:
+                return key
+        return None
+
+    def all_facts(self) -> Iterable[tuple[str, tuple]]:
+        for uri, tag in self.node_tag.items():
+            yield ("node", (uri, tag))
+        for (uri, link), value in self.lits.items():
+            yield ("lit", (uri, link, _freeze(value)))
+        for link, idx in self.children.items():
+            for key, value in idx.items():
+                if self.one_to_one:
+                    yield ("child", (key[0], link, value))
+                else:
+                    for v in value:
+                        yield ("child", (key[0], link, v))
+
+
+def _freeze(value: Any):
+    """Literal values become hashable fact components."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value

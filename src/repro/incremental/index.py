@@ -1,0 +1,129 @@
+"""Link indexes for incremental tree databases (Section 6).
+
+The paper's new IncA driver "crucially relies on the type-safety of edit
+scripts, because it allows for a more compact data representation":
+
+* with *type-safe* scripts, a link connects a parent to **at most one**
+  child at any time, so the tree can be stored as
+  ``Map[Link, BidirectionalOneToOneIndex[URI, URI]]``;
+* with *untyped* scripts (Chawathe-style moves), a slot may temporarily
+  hold several children, forcing the weaker
+  ``Map[Link, BidirectionalManyToOneIndex[URI, URI]]`` where every
+  operation becomes a set operation.
+
+Both encodings are implemented here; the ablation benchmark measures the
+overhead of the weaker one.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V", bound=Hashable)
+
+
+class OneToOneViolation(Exception):
+    """An insert would associate a key or value twice."""
+
+
+class BidirectionalOneToOneIndex(Generic[K, V]):
+    """A bijective index: each key maps to at most one value and vice versa."""
+
+    __slots__ = ("_fwd", "_bwd")
+
+    def __init__(self) -> None:
+        self._fwd: dict[K, V] = {}
+        self._bwd: dict[V, K] = {}
+
+    def put(self, key: K, value: V) -> None:
+        if key in self._fwd:
+            raise OneToOneViolation(f"key {key!r} already bound to {self._fwd[key]!r}")
+        if value in self._bwd:
+            raise OneToOneViolation(f"value {value!r} already bound to {self._bwd[value]!r}")
+        self._fwd[key] = value
+        self._bwd[value] = key
+
+    def remove_key(self, key: K) -> Optional[V]:
+        value = self._fwd.pop(key, None)
+        if value is not None:
+            del self._bwd[value]
+        return value
+
+    def remove_value(self, value: V) -> Optional[K]:
+        key = self._bwd.pop(value, None)
+        if key is not None:
+            del self._fwd[key]
+        return key
+
+    def get(self, key: K) -> Optional[V]:
+        return self._fwd.get(key)
+
+    def inverse(self, value: V) -> Optional[K]:
+        return self._bwd.get(value)
+
+    def __len__(self) -> int:
+        return len(self._fwd)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._fwd
+
+    def items(self) -> Iterator[tuple[K, V]]:
+        return iter(self._fwd.items())
+
+
+class BidirectionalManyToOneIndex(Generic[K, V]):
+    """The weaker encoding: a key maps to a *set* of values (a slot may be
+    overloaded mid-script), each value still has one key."""
+
+    __slots__ = ("_fwd", "_bwd")
+
+    def __init__(self) -> None:
+        self._fwd: dict[K, set[V]] = {}
+        self._bwd: dict[V, K] = {}
+
+    def put(self, key: K, value: V) -> None:
+        if value in self._bwd:
+            raise OneToOneViolation(f"value {value!r} already bound")
+        self._fwd.setdefault(key, set()).add(value)
+        self._bwd[value] = key
+
+    def remove_value(self, value: V) -> Optional[K]:
+        key = self._bwd.pop(value, None)
+        if key is not None:
+            bucket = self._fwd[key]
+            bucket.discard(value)
+            if not bucket:
+                del self._fwd[key]
+        return key
+
+    def remove_key(self, key: K) -> set[V]:
+        values = self._fwd.pop(key, set())
+        for v in values:
+            del self._bwd[v]
+        return values
+
+    def get(self, key: K) -> set[V]:
+        return self._fwd.get(key, set())
+
+    def get_single(self, key: K) -> Optional[V]:
+        """The set-operation overhead the paper mentions: retrieving 'the'
+        child requires inspecting a set."""
+        values = self._fwd.get(key)
+        if not values:
+            return None
+        if len(values) > 1:
+            raise OneToOneViolation(f"key {key!r} is overloaded: {values!r}")
+        return next(iter(values))
+
+    def inverse(self, value: V) -> Optional[K]:
+        return self._bwd.get(value)
+
+    def __len__(self) -> int:
+        return len(self._bwd)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._fwd
+
+    def items(self) -> Iterator[tuple[K, set[V]]]:
+        return iter(self._fwd.items())

@@ -1,0 +1,140 @@
+"""Provenance for derived facts: why does the engine believe something?
+
+Debugging an incremental analysis usually starts from a surprising fact
+("why is this call flagged undefined?").  :func:`why` reconstructs one
+derivation tree for a derived fact from the current database: the rule
+that produced it and, recursively, derivations of the body facts it used.
+
+Derivations are reconstructed on demand (the engine stores no proofs), so
+this is a debugging tool, not a hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .engine import Engine, Fact, Rule, _is_var
+
+
+@dataclass
+class Derivation:
+    """One proof tree node: a fact and how it was obtained."""
+
+    rel: str
+    fact: Fact
+    rule: Optional[Rule] = None  # None for base (EDB) facts
+    premises: list["Derivation"] = field(default_factory=list)
+
+    @property
+    def is_base(self) -> bool:
+        return self.rule is None
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        head = f"{pad}{self.rel}{self.fact}"
+        if self.is_base:
+            return f"{head}   [base fact]"
+        lines = [f"{head}   [via {self.rule}]"]
+        for p in self.premises:
+            lines.append(p.render(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class NoDerivation(Exception):
+    """The fact does not hold in the current database."""
+
+
+def why(engine: Engine, rel: str, *args) -> Derivation:
+    """One derivation of ``rel(args...)`` from the current database."""
+    fact = tuple(args)
+    return _derive(engine, rel, fact, frozenset())
+
+
+def _derive(engine: Engine, rel: str, fact: Fact, visiting: frozenset) -> Derivation:
+    if fact in engine.edb.get(rel, set()):
+        return Derivation(rel, fact)
+    if fact not in engine.idb.get(rel, set()):
+        raise NoDerivation(f"{rel}{fact} does not hold")
+    key = (rel, fact)
+    if key in visiting:
+        raise NoDerivation(f"cyclic reconstruction for {rel}{fact}")
+    visiting = visiting | {key}
+    for rule in engine.rules:
+        if rule.head_rel != rel:
+            continue
+        env = _match_terms(rule.head_terms, fact, {})
+        if env is None:
+            continue
+        premises = _prove_body(engine, rule, 0, env, visiting)
+        if premises is not None:
+            return Derivation(rel, fact, rule, premises)
+    raise NoDerivation(
+        f"{rel}{fact} is in the database but no rule re-derives it "
+        "(database may be stale)"
+    )
+
+
+def _match_terms(terms, fact: Fact, env: dict) -> Optional[dict]:
+    if len(terms) != len(fact):
+        return None
+    out = dict(env)
+    for t, v in zip(terms, fact):
+        if _is_var(t):
+            if t == "_":
+                continue
+            name = t[1:]
+            if name in out:
+                if out[name] != v:
+                    return None
+            else:
+                out[name] = v
+        elif t != v:
+            return None
+    return out
+
+
+def _subst(terms, env: dict):
+    out = []
+    for t in terms:
+        if _is_var(t):
+            if t == "_" or t[1:] not in env:
+                return None
+            out.append(env[t[1:]])
+        else:
+            out.append(t)
+    return tuple(out)
+
+
+def _prove_body(
+    engine: Engine, rule: Rule, i: int, env: dict, visiting: frozenset
+) -> Optional[list[Derivation]]:
+    if i == len(rule.body):
+        if rule.guard is not None and not rule.guard(env):
+            return None
+        return []
+    a = rule.body[i]
+    if a.negated:
+        probe = _subst(a.terms, env)
+        if probe is None or probe in engine.facts(a.rel):
+            return None
+        rest = _prove_body(engine, rule, i + 1, env, visiting)
+        if rest is None:
+            return None
+        return rest  # negative premises carry no derivation subtree
+    for fact in engine.facts(a.rel):
+        env2 = _match_terms(a.terms, fact, env)
+        if env2 is None:
+            continue
+        rest = _prove_body(engine, rule, i + 1, env2, visiting)
+        if rest is None:
+            continue
+        try:
+            premise = _derive(engine, a.rel, fact, visiting)
+        except NoDerivation:
+            continue
+        return [premise] + rest
+    return None

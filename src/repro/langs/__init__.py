@@ -1,0 +1,13 @@
+"""Language front-ends built directly against the diffable tree API.
+
+The paper wraps trees from parser frameworks (ANTLR, treesitter); this
+package plays that role with a self-contained language implementation:
+:mod:`repro.langs.minilang` is a small imperative language with a lexer,
+a recursive-descent parser producing typed diffable trees, and a
+pretty-printer — the typical setup of a language workbench that wants
+structural diffing of its programs.
+"""
+
+from . import minilang
+
+__all__ = ["minilang"]

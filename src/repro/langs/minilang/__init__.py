@@ -1,0 +1,41 @@
+"""A small imperative language with a diffable front-end.
+
+* :func:`parse_mini` — lexer + recursive-descent parser producing typed
+  diffable trees;
+* :func:`pretty` — pretty-printer (round-trips with the parser);
+* :func:`mini_grammar` — the underlying grammar/signatures.
+
+Example::
+
+    from repro import diff
+    from repro.langs.minilang import parse_mini
+
+    a = parse_mini("fn main() { let x = 1; }")
+    b = parse_mini("fn main() { let x = 2; }")
+    script, _ = diff(a, b)     # one Update edit
+"""
+
+from .analysis import install_mini_typing, make_mini_driver
+from .grammar import MiniGrammar, mini_grammar
+from .interp import ExecResult, Interpreter, MiniRuntimeError, run_program, run_source
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse_mini
+from .printer import pretty
+
+__all__ = [
+    "ExecResult",
+    "Interpreter",
+    "LexError",
+    "MiniRuntimeError",
+    "MiniGrammar",
+    "ParseError",
+    "Token",
+    "mini_grammar",
+    "parse_mini",
+    "install_mini_typing",
+    "make_mini_driver",
+    "pretty",
+    "run_program",
+    "run_source",
+    "tokenize",
+]

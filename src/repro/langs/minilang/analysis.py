@@ -1,0 +1,188 @@
+"""An incremental type checker for the mini language (the IncA use case).
+
+The paper motivates truediff with incremental program analyses such as
+type checkers (Section 6, and the comparison with hdiff in Section 7:
+"an incremental type checker assigns different types to a variable node,
+depending on its context" — which is why truediff never shares subtrees).
+
+The checker is monomorphic and deliberately simple:
+
+* ``ml.Int`` is ``int``, ``ml.Str`` is ``str``, ``ml.Bool`` is ``bool``;
+* function parameters are ``int`` by convention (the language has no
+  annotations);
+* ``let x = e;`` binds ``x`` to the type of ``e`` within its function;
+* arithmetic needs ``int`` operands; comparisons yield ``bool``;
+  ``&&``/``||`` need ``bool``; unary ``-`` needs ``int``, ``!`` needs
+  ``bool``; calls of int-typed functions… stay out of scope — a call has
+  type ``int`` (every function returns ints by the same convention);
+* derived error relations: ``unbound_name(N, X)``, ``ill_typed(N)``,
+  ``bind_conflict(F, X)`` (same name bound at two different types).
+
+Use :func:`make_mini_driver` to get an
+:class:`~repro.incremental.driver.IncrementalDriver` wired up with the
+rules and the param-fact expansion hook.
+"""
+
+from __future__ import annotations
+
+from repro.core import TNode
+from repro.incremental import Engine, IncrementalDriver, atom, install_descendants, neg
+
+ARITH_OPS = {"+", "-", "*", "/", "%"}
+CMP_OPS = {"==", "!=", "<", ">", "<=", ">="}
+BOOL_OPS = {"&&", "||"}
+
+EXPR_TAGS = {"ml.Int", "ml.Str", "ml.Bool", "ml.Name", "ml.BinOp", "ml.UnOp", "ml.Call"}
+
+
+def expand_param_facts(inserts, deletes):
+    """Delta hook: explode the comma-joined ``params`` literal of
+    ``ml.FunC`` nodes into one ``param(fun_uri, name)`` fact each."""
+
+    def expand(facts):
+        out = list(facts)
+        for rel, f in facts:
+            if rel == "lit" and len(f) == 3 and f[1] == "params":
+                uri, _, params = f
+                for name in str(params).split(","):
+                    if name:
+                        out.append(("param", (uri, name)))
+        return out
+
+    return expand(inserts), expand(deletes)
+
+
+def install_mini_typing(engine: Engine) -> None:
+    """Install the type checking rules (requires :func:`install_descendants`)."""
+    # literals
+    engine.rule("expr_type", ("?N", "int"), [atom("node", "?N", "ml.Int")])
+    engine.rule("expr_type", ("?N", "str"), [atom("node", "?N", "ml.Str")])
+    engine.rule("expr_type", ("?N", "bool"), [atom("node", "?N", "ml.Bool")])
+
+    # bindings: parameters (int by convention) and let statements
+    engine.rule("binds", ("?F", "?X", "int"), [atom("param", "?F", "?X")])
+    engine.rule(
+        "binds",
+        ("?F", "?X", "?T"),
+        [
+            atom("node", "?L", "ml.Let"),
+            atom("lit", "?L", "name", "?X"),
+            atom("child", "?L", "value", "?V"),
+            atom("expr_type", "?V", "?T"),
+            atom("desc", "?F", "?L"),
+            atom("node", "?F", "ml.FunC"),
+        ],
+    )
+    engine.rule("bound_name", ("?F", "?X"), [atom("binds", "?F", "?X", "?T")])
+    engine.rule(
+        "bind_conflict",
+        ("?F", "?X"),
+        [atom("binds", "?F", "?X", "?T1"), atom("binds", "?F", "?X", "?T2")],
+        guard=lambda env: env["T1"] != env["T2"],
+    )
+
+    # variable references take the bound type; context-dependent, exactly
+    # the reason truediff must not share equal subtrees across contexts
+    engine.rule(
+        "expr_type",
+        ("?N", "?T"),
+        [
+            atom("node", "?N", "ml.Name"),
+            atom("lit", "?N", "id", "?X"),
+            atom("desc", "?F", "?N"),
+            atom("node", "?F", "ml.FunC"),
+            atom("binds", "?F", "?X", "?T"),
+        ],
+    )
+    engine.rule(
+        "unbound_name",
+        ("?N", "?X"),
+        [
+            atom("node", "?N", "ml.Name"),
+            atom("lit", "?N", "id", "?X"),
+            atom("desc", "?F", "?N"),
+            atom("node", "?F", "ml.FunC"),
+            neg("bound_name", "?F", "?X"),
+        ],
+    )
+
+    # operators
+    engine.rule(
+        "expr_type",
+        ("?N", "int"),
+        [
+            atom("node", "?N", "ml.BinOp"),
+            atom("lit", "?N", "op", "?Op"),
+            atom("child", "?N", "left", "?A"),
+            atom("child", "?N", "right", "?B"),
+            atom("expr_type", "?A", "int"),
+            atom("expr_type", "?B", "int"),
+        ],
+        guard=lambda env: env["Op"] in ARITH_OPS,
+    )
+    engine.rule(
+        "expr_type",
+        ("?N", "bool"),
+        [
+            atom("node", "?N", "ml.BinOp"),
+            atom("lit", "?N", "op", "?Op"),
+            atom("child", "?N", "left", "?A"),
+            atom("child", "?N", "right", "?B"),
+            atom("expr_type", "?A", "?T"),
+            atom("expr_type", "?B", "?T"),
+        ],
+        guard=lambda env: env["Op"] in CMP_OPS,
+    )
+    engine.rule(
+        "expr_type",
+        ("?N", "bool"),
+        [
+            atom("node", "?N", "ml.BinOp"),
+            atom("lit", "?N", "op", "?Op"),
+            atom("child", "?N", "left", "?A"),
+            atom("child", "?N", "right", "?B"),
+            atom("expr_type", "?A", "bool"),
+            atom("expr_type", "?B", "bool"),
+        ],
+        guard=lambda env: env["Op"] in BOOL_OPS,
+    )
+    engine.rule(
+        "expr_type",
+        ("?N", "int"),
+        [
+            atom("node", "?N", "ml.UnOp"),
+            atom("lit", "?N", "op", "-"),
+            atom("child", "?N", "operand", "?A"),
+            atom("expr_type", "?A", "int"),
+        ],
+    )
+    engine.rule(
+        "expr_type",
+        ("?N", "bool"),
+        [
+            atom("node", "?N", "ml.UnOp"),
+            atom("lit", "?N", "op", "!"),
+            atom("child", "?N", "operand", "?A"),
+            atom("expr_type", "?A", "bool"),
+        ],
+    )
+    # calls: every function returns int by the same convention
+    engine.rule("expr_type", ("?N", "int"), [atom("node", "?N", "ml.Call")])
+
+    # an expression with no type is ill-typed
+    engine.rule("has_type", ("?N",), [atom("expr_type", "?N", "?T")])
+    engine.rule(
+        "ill_typed",
+        ("?N",),
+        [atom("node", "?N", "?Tag"), neg("has_type", "?N")],
+        guard=lambda env: env["Tag"] in EXPR_TAGS,
+    )
+
+
+def make_mini_driver(tree: TNode) -> IncrementalDriver:
+    """An incremental driver running the mini-language type checker."""
+    return IncrementalDriver(
+        tree,
+        installers=[install_descendants, install_mini_typing],
+        delta_hook=expand_param_facts,
+    )

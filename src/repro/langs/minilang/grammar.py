@@ -1,0 +1,117 @@
+"""The diffable grammar of the mini language.
+
+Sorts: ``Program``, ``Fun``, ``Stmt``, ``Expr``.  Statement bodies and
+argument/parameter sequences are flat lists; the optional else branch and
+return value use the option encoding.  Operators are literals (a change
+of operator is a concise Update edit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.core import Grammar, LIT_INT, LIT_STR
+from repro.core.types import lit_type
+
+BINARY_OPS = ("||", "&&", "==", "!=", "<", ">", "<=", ">=", "+", "-", "*", "/", "%")
+UNARY_OPS = ("-", "!")
+
+#: operators and identifiers get precise literal types, so that only
+#: printable programs are well-typed (and random generation draws valid ops)
+LIT_BINOP = lit_type("ml.BinOpKind", lambda v: v in BINARY_OPS)
+LIT_UNOP = lit_type("ml.UnOpKind", lambda v: v in UNARY_OPS)
+LIT_BOOL_KW = lit_type("ml.BoolKw", lambda v: v in ("true", "false"))
+LIT_IDENT = lit_type(
+    "ml.Ident",
+    lambda v: isinstance(v, str)
+    and v.isidentifier()
+    and v not in ("fn", "let", "if", "else", "while", "return", "true", "false"),
+)
+LIT_PARAMS = lit_type(
+    "ml.Params",
+    lambda v: isinstance(v, str)
+    and (v == "" or all(p.isidentifier() for p in v.split(","))),
+)
+
+
+@dataclass
+class MiniGrammar:
+    g: Grammar = field(default_factory=Grammar)
+
+    def __post_init__(self) -> None:
+        g = self.g
+        self.Program = g.sort("ml.Program")
+        self.Fun = g.sort("ml.Fun")
+        self.Stmt = g.sort("ml.Stmt")
+        self.Expr = g.sort("ml.Expr")
+
+        self.funs = g.list_of(self.Fun)
+        self.stmts = g.list_of(self.Stmt)
+        self.exprs = g.list_of(self.Expr)
+        self.opt_stmts = g.option_of(self.stmts.sort)
+        self.opt_expr = g.option_of(self.Expr)
+
+        self.program = g.constructor(
+            "ml.ProgramC", self.Program, kids=[("funs", self.funs.sort)]
+        )
+        self.fun = g.constructor(
+            "ml.FunC",
+            self.Fun,
+            kids=[("body", self.stmts.sort)],
+            lits=[("name", LIT_IDENT), ("params", LIT_PARAMS)],
+        )
+
+        self.let = g.constructor(
+            "ml.Let", self.Stmt, kids=[("value", self.Expr)], lits=[("name", LIT_IDENT)]
+        )
+        self.assign = g.constructor(
+            "ml.Assign", self.Stmt, kids=[("value", self.Expr)], lits=[("name", LIT_IDENT)]
+        )
+        self.if_ = g.constructor(
+            "ml.If",
+            self.Stmt,
+            kids=[
+                ("cond", self.Expr),
+                ("then", self.stmts.sort),
+                ("orelse", self.opt_stmts.sort),
+            ],
+        )
+        self.while_ = g.constructor(
+            "ml.While", self.Stmt, kids=[("cond", self.Expr), ("body", self.stmts.sort)]
+        )
+        self.return_ = g.constructor(
+            "ml.Return", self.Stmt, kids=[("value", self.opt_expr.sort)]
+        )
+        self.expr_stmt = g.constructor(
+            "ml.ExprStmt", self.Stmt, kids=[("value", self.Expr)]
+        )
+
+        self.int_lit = g.constructor("ml.Int", self.Expr, lits=[("value", LIT_INT)])
+        self.str_lit = g.constructor("ml.Str", self.Expr, lits=[("value", LIT_STR)])
+        self.bool_lit = g.constructor("ml.Bool", self.Expr, lits=[("value", LIT_BOOL_KW)])
+        self.name = g.constructor("ml.Name", self.Expr, lits=[("id", LIT_IDENT)])
+        self.binop = g.constructor(
+            "ml.BinOp",
+            self.Expr,
+            kids=[("left", self.Expr), ("right", self.Expr)],
+            lits=[("op", LIT_BINOP)],
+        )
+        self.unop = g.constructor(
+            "ml.UnOp", self.Expr, kids=[("operand", self.Expr)], lits=[("op", LIT_UNOP)]
+        )
+        self.call = g.constructor(
+            "ml.Call",
+            self.Expr,
+            kids=[("func", self.Expr), ("args", self.exprs.sort)],
+        )
+
+    @property
+    def sigs(self):
+        return self.g.sigs
+
+
+@lru_cache(maxsize=1)
+def mini_grammar() -> MiniGrammar:
+    """The process-wide mini-language grammar."""
+    return MiniGrammar()

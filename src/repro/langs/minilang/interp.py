@@ -1,0 +1,213 @@
+"""A tree-walking interpreter for the mini language.
+
+Executes diffable program trees directly — which means a program can be
+*edited with truechange scripts and re-run*, completing the language
+workbench (parse, print, type-check, evaluate).
+
+Semantics: integers, strings, booleans; functions are first-class by
+name; ``print`` collects output into the result; division is integer
+division; comparison/equality follow Python on the underlying values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core import TNode
+
+from .grammar import MiniGrammar, mini_grammar
+
+
+class MiniRuntimeError(Exception):
+    """A runtime error in mini-language evaluation."""
+
+
+@dataclass
+class ExecResult:
+    value: Any
+    output: list[str] = field(default_factory=list)
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+_MAX_STEPS = 1_000_000
+
+
+class Interpreter:
+    def __init__(self, program: TNode, grammar: Optional[MiniGrammar] = None) -> None:
+        self.g = grammar or mini_grammar()
+        if program.tag != "ml.ProgramC":
+            raise MiniRuntimeError(f"not a program: {program.tag}")
+        self.functions: dict[str, TNode] = {}
+        for f in self.g.funs.elements(program.kid("funs")):
+            self.functions[f.lit("name")] = f
+        self.output: list[str] = []
+        self._steps = 0
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > _MAX_STEPS:
+            raise MiniRuntimeError("step budget exhausted (infinite loop?)")
+
+    # -- functions ------------------------------------------------------------
+
+    def call(self, name: str, args: list[Any]) -> Any:
+        if name == "print":
+            self.output.append(" ".join(_show(a) for a in args))
+            return 0
+        fun = self.functions.get(name)
+        if fun is None:
+            raise MiniRuntimeError(f"undefined function {name!r}")
+        params = [p for p in fun.lit("params").split(",") if p]
+        if len(params) != len(args):
+            raise MiniRuntimeError(
+                f"{name} expects {len(params)} argument(s), got {len(args)}"
+            )
+        env = dict(zip(params, args))
+        try:
+            self.exec_block(fun.kid("body"), env)
+        except _Return as r:
+            return r.value
+        return 0
+
+    # -- statements -----------------------------------------------------------
+
+    def exec_block(self, stmts_node: TNode, env: dict[str, Any]) -> None:
+        for stmt in self.g.stmts.elements(stmts_node):
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: TNode, env: dict[str, Any]) -> None:
+        self._tick()
+        tag = stmt.tag
+        if tag == "ml.Let" or tag == "ml.Assign":
+            env[stmt.lit("name")] = self.eval(stmt.kid("value"), env)
+        elif tag == "ml.If":
+            if _truthy(self.eval(stmt.kid("cond"), env)):
+                self.exec_block(stmt.kid("then"), env)
+            else:
+                orelse = self.g.opt_stmts.get(stmt.kid("orelse"))
+                if orelse is not None:
+                    self.exec_block(orelse, env)
+        elif tag == "ml.While":
+            while _truthy(self.eval(stmt.kid("cond"), env)):
+                self._tick()
+                self.exec_block(stmt.kid("body"), env)
+        elif tag == "ml.Return":
+            value = self.g.opt_expr.get(stmt.kid("value"))
+            raise _Return(0 if value is None else self.eval(value, env))
+        elif tag == "ml.ExprStmt":
+            self.eval(stmt.kid("value"), env)
+        else:
+            raise MiniRuntimeError(f"unknown statement {tag}")
+
+    # -- expressions -----------------------------------------------------------
+
+    def eval(self, expr: TNode, env: dict[str, Any]) -> Any:
+        self._tick()
+        tag = expr.tag
+        if tag == "ml.Int":
+            return expr.lit("value")
+        if tag == "ml.Str":
+            return expr.lit("value")
+        if tag == "ml.Bool":
+            return expr.lit("value") == "true"
+        if tag == "ml.Name":
+            name = expr.lit("id")
+            if name in env:
+                return env[name]
+            if name in self.functions or name == "print":
+                return name  # function value = its name
+            raise MiniRuntimeError(f"unbound name {name!r}")
+        if tag == "ml.BinOp":
+            return self._binop(
+                expr.lit("op"),
+                self.eval(expr.kid("left"), env),
+                self.eval(expr.kid("right"), env),
+            )
+        if tag == "ml.UnOp":
+            op = expr.lit("op")
+            v = self.eval(expr.kid("operand"), env)
+            if op == "-":
+                _need_int(v, "unary -")
+                return -v
+            if op == "!":
+                return not _truthy(v)
+            raise MiniRuntimeError(f"unknown unary op {op!r}")
+        if tag == "ml.Call":
+            func = self.eval(expr.kid("func"), env)
+            if not isinstance(func, str):
+                raise MiniRuntimeError(f"not callable: {func!r}")
+            args = [self.eval(a, env) for a in self.g.exprs.elements(expr.kid("args"))]
+            return self.call(func, args)
+        raise MiniRuntimeError(f"unknown expression {tag}")
+
+    def _binop(self, op: str, a: Any, b: Any) -> Any:
+        if op in ("+", "-", "*", "/", "%"):
+            if op == "+" and isinstance(a, str) and isinstance(b, str):
+                return a + b
+            _need_int(a, op)
+            _need_int(b, op)
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op in ("/", "%") and b == 0:
+                raise MiniRuntimeError("division by zero")
+            return a // b if op == "/" else a % b
+        if op in ("==", "!="):
+            return (a == b) if op == "==" else (a != b)
+        if op in ("<", ">", "<=", ">="):
+            _need_int(a, op)
+            _need_int(b, op)
+            return {"<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b}[op]
+        if op == "&&":
+            return _truthy(a) and _truthy(b)
+        if op == "||":
+            return _truthy(a) or _truthy(b)
+        raise MiniRuntimeError(f"unknown operator {op!r}")
+
+
+def _truthy(v: Any) -> bool:
+    if isinstance(v, bool):
+        return v
+    if isinstance(v, int):
+        return v != 0
+    if isinstance(v, str):
+        return bool(v)
+    return bool(v)
+
+
+def _need_int(v: Any, op: str) -> None:
+    if not isinstance(v, int) or isinstance(v, bool):
+        raise MiniRuntimeError(f"{op} needs integers, got {v!r}")
+
+
+def _show(v: Any) -> str:
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    return str(v)
+
+
+def run_program(
+    program: TNode,
+    entry: str = "main",
+    args: Optional[list[Any]] = None,
+    grammar: Optional[MiniGrammar] = None,
+) -> ExecResult:
+    """Run a program tree from its entry function."""
+    interp = Interpreter(program, grammar)
+    value = interp.call(entry, args or [])
+    return ExecResult(value, interp.output)
+
+
+def run_source(source: str, entry: str = "main", args: Optional[list[Any]] = None) -> ExecResult:
+    """Parse and run mini-language source text."""
+    from .parser import parse_mini
+
+    return run_program(parse_mini(source), entry, args)

@@ -1,0 +1,124 @@
+"""Lexer for the mini imperative language.
+
+Token kinds: keywords (``fn let if else while return true false``),
+identifiers, integer and string literals, operators, and punctuation.
+Line comments start with ``#``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = {"fn", "let", "if", "else", "while", "return", "true", "false"}
+
+# longest-match first
+OPERATORS = [
+    "==", "!=", "<=", ">=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+]
+
+PUNCTUATION = ["(", ")", "{", "}", ",", ";"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'kw' | 'ident' | 'int' | 'string' | 'op' | 'punct' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
+
+
+class LexError(Exception):
+    """Malformed input at the character level."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} at {line}:{col}")
+        self.line = line
+        self.col = col
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens, ending with a single ``eof`` token."""
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+
+    def peek(offset: int = 0) -> str:
+        j = i + offset
+        return source[j] if j < n else ""
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch.isspace():
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            yield Token("int", source[i:j], start_line, start_col)
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            yield Token("kw" if text in KEYWORDS else "ident", text, start_line, start_col)
+            col += j - i
+            i = j
+            continue
+        if ch == '"':
+            j = i + 1
+            chunks: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    if j + 1 >= n:
+                        raise LexError("unterminated escape", line, col)
+                    esc = source[j + 1]
+                    chunks.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    j += 2
+                elif source[j] == "\n":
+                    raise LexError("newline in string literal", line, col)
+                else:
+                    chunks.append(source[j])
+                    j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", line, col)
+            yield Token("string", "".join(chunks), start_line, start_col)
+            col += j + 1 - i
+            i = j + 1
+            continue
+        matched = False
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                yield Token("op", op, start_line, start_col)
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCTUATION:
+            yield Token("punct", ch, start_line, start_col)
+            i += 1
+            col += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+    yield Token("eof", "", line, col)

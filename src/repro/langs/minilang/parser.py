@@ -1,0 +1,222 @@
+"""Recursive-descent parser for the mini language, producing diffable trees.
+
+Grammar (EBNF)::
+
+    program  := fundef*
+    fundef   := "fn" IDENT "(" [IDENT ("," IDENT)*] ")" block
+    block    := "{" stmt* "}"
+    stmt     := "let" IDENT "=" expr ";"
+              | IDENT "=" expr ";"
+              | "if" expr block ["else" block]
+              | "while" expr block
+              | "return" [expr] ";"
+              | expr ";"
+    expr     := or
+    or       := and ("||" and)*
+    and      := cmp ("&&" cmp)*
+    cmp      := add [("==" | "!=" | "<" | ">" | "<=" | ">=") add]
+    add      := mul (("+" | "-") mul)*
+    mul      := unary (("*" | "/" | "%") unary)*
+    unary    := ("-" | "!") unary | postfix
+    postfix  := primary ("(" [expr ("," expr)*] ")")*
+    primary  := INT | STRING | IDENT | "true" | "false" | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import TNode
+
+from .grammar import MiniGrammar, mini_grammar
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Syntactically malformed input."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message}, found {token} ")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, source: str, grammar: MiniGrammar) -> None:
+        self.tokens = list(tokenize(source))
+        self.pos = 0
+        self.g = grammar
+
+    # -- token helpers --------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.at(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}", self.peek())
+        return self.advance()
+
+    # -- grammar --------------------------------------------------------------
+
+    def program(self) -> TNode:
+        funs = []
+        while not self.at("eof"):
+            funs.append(self.fundef())
+        return self.g.program(self.g.funs.build(funs))
+
+    def fundef(self) -> TNode:
+        self.expect("kw", "fn")
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        params: list[str] = []
+        if not self.at("punct", ")"):
+            params.append(self.expect("ident").text)
+            while self.at("punct", ","):
+                self.advance()
+                params.append(self.expect("ident").text)
+        self.expect("punct", ")")
+        body = self.block()
+        return self.g.fun(body, name, ",".join(params))
+
+    def block(self) -> TNode:
+        self.expect("punct", "{")
+        stmts = []
+        while not self.at("punct", "}"):
+            stmts.append(self.statement())
+        self.expect("punct", "}")
+        return self.g.stmts.build(stmts)
+
+    def statement(self) -> TNode:
+        g = self.g
+        if self.at("kw", "let"):
+            self.advance()
+            name = self.expect("ident").text
+            self.expect("op", "=")
+            value = self.expression()
+            self.expect("punct", ";")
+            return g.let(value, name)
+        if self.at("kw", "if"):
+            self.advance()
+            cond = self.expression()
+            then = self.block()
+            orelse: Optional[TNode] = None
+            if self.at("kw", "else"):
+                self.advance()
+                orelse = self.block()
+            return g.if_(cond, then, g.opt_stmts.build(orelse))
+        if self.at("kw", "while"):
+            self.advance()
+            cond = self.expression()
+            body = self.block()
+            return g.while_(cond, body)
+        if self.at("kw", "return"):
+            self.advance()
+            value: Optional[TNode] = None
+            if not self.at("punct", ";"):
+                value = self.expression()
+            self.expect("punct", ";")
+            return g.return_(g.opt_expr.build(value))
+        if self.at("ident") and self.tokens[self.pos + 1].kind == "op" and self.tokens[
+            self.pos + 1
+        ].text == "=":
+            name = self.advance().text
+            self.advance()  # '='
+            value = self.expression()
+            self.expect("punct", ";")
+            return g.assign(value, name)
+        value = self.expression()
+        self.expect("punct", ";")
+        return g.expr_stmt(value)
+
+    def expression(self) -> TNode:
+        return self.or_expr()
+
+    def _binary_chain(self, sub, ops: tuple[str, ...]) -> TNode:
+        left = sub()
+        while self.at("op") and self.peek().text in ops:
+            op = self.advance().text
+            right = sub()
+            left = self.g.binop(left, right, op)
+        return left
+
+    def or_expr(self) -> TNode:
+        return self._binary_chain(self.and_expr, ("||",))
+
+    def and_expr(self) -> TNode:
+        return self._binary_chain(self.cmp_expr, ("&&",))
+
+    def cmp_expr(self) -> TNode:
+        left = self.add_expr()
+        if self.at("op") and self.peek().text in ("==", "!=", "<", ">", "<=", ">="):
+            op = self.advance().text
+            right = self.add_expr()
+            return self.g.binop(left, right, op)
+        return left
+
+    def add_expr(self) -> TNode:
+        return self._binary_chain(self.mul_expr, ("+", "-"))
+
+    def mul_expr(self) -> TNode:
+        return self._binary_chain(self.unary_expr, ("*", "/", "%"))
+
+    def unary_expr(self) -> TNode:
+        if self.at("op") and self.peek().text in ("-", "!"):
+            op = self.advance().text
+            return self.g.unop(self.unary_expr(), op)
+        return self.postfix_expr()
+
+    def postfix_expr(self) -> TNode:
+        expr = self.primary()
+        while self.at("punct", "("):
+            self.advance()
+            args = []
+            if not self.at("punct", ")"):
+                args.append(self.expression())
+                while self.at("punct", ","):
+                    self.advance()
+                    args.append(self.expression())
+            self.expect("punct", ")")
+            expr = self.g.call(expr, self.g.exprs.build(args))
+        return expr
+
+    def primary(self) -> TNode:
+        g = self.g
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return g.int_lit(int(tok.text))
+        if tok.kind == "string":
+            self.advance()
+            return g.str_lit(tok.text)
+        if tok.kind == "kw" and tok.text in ("true", "false"):
+            self.advance()
+            return g.bool_lit(tok.text)
+        if tok.kind == "ident":
+            self.advance()
+            return g.name(tok.text)
+        if self.at("punct", "("):
+            self.advance()
+            inner = self.expression()
+            self.expect("punct", ")")
+            return inner
+        raise ParseError("expected an expression", tok)
+
+
+def parse_mini(source: str, grammar: Optional[MiniGrammar] = None) -> TNode:
+    """Parse mini-language source into a diffable program tree."""
+    g = grammar or mini_grammar()
+    parser = _Parser(source, g)
+    tree = parser.program()
+    parser.expect("eof")
+    return tree

@@ -1,0 +1,99 @@
+"""Pretty-printer for mini-language trees (the inverse of the parser).
+
+``parse_mini(pretty(t))`` reproduces ``t`` up to URIs — the round-trip
+property the test suite checks with random programs.  Parentheses are
+emitted conservatively around nested binary operations, which is always
+re-parseable.
+"""
+
+from __future__ import annotations
+
+from repro.core import TNode
+
+from .grammar import MiniGrammar, mini_grammar
+
+
+def pretty(tree: TNode, grammar: MiniGrammar | None = None) -> str:
+    g = grammar or mini_grammar()
+    return _Printer(g).program(tree)
+
+
+class _Printer:
+    def __init__(self, g: MiniGrammar) -> None:
+        self.g = g
+
+    def program(self, t: TNode) -> str:
+        funs = self.g.funs.elements(t.kid("funs"))
+        return "\n".join(self.fun(f) for f in funs)
+
+    def fun(self, t: TNode) -> str:
+        params = t.lit("params")
+        header = f"fn {t.lit('name')}({params.replace(',', ', ')})"
+        return f"{header} {self.block(t.kid('body'), 0)}"
+
+    def block(self, stmts_node: TNode, indent: int) -> str:
+        stmts = self.g.stmts.elements(stmts_node)
+        pad = "    " * (indent + 1)
+        if not stmts:
+            return "{ }"
+        inner = "\n".join(pad + self.stmt(s, indent + 1) for s in stmts)
+        return "{\n" + inner + "\n" + "    " * indent + "}"
+
+    def stmt(self, t: TNode, indent: int) -> str:
+        tag = t.tag
+        if tag == "ml.Let":
+            return f"let {t.lit('name')} = {self.expr(t.kid('value'))};"
+        if tag == "ml.Assign":
+            return f"{t.lit('name')} = {self.expr(t.kid('value'))};"
+        if tag == "ml.If":
+            out = f"if {self.expr(t.kid('cond'))} {self.block(t.kid('then'), indent)}"
+            orelse = self.g.opt_stmts.get(t.kid("orelse"))
+            if orelse is not None:
+                out += f" else {self.block(orelse, indent)}"
+            return out
+        if tag == "ml.While":
+            return f"while {self.expr(t.kid('cond'))} {self.block(t.kid('body'), indent)}"
+        if tag == "ml.Return":
+            value = self.g.opt_expr.get(t.kid("value"))
+            return "return;" if value is None else f"return {self.expr(value)};"
+        if tag == "ml.ExprStmt":
+            return f"{self.expr(t.kid('value'))};"
+        raise ValueError(f"not a mini statement: {tag}")
+
+    def expr(self, t: TNode) -> str:
+        tag = t.tag
+        if tag == "ml.Int":
+            return str(t.lit("value"))
+        if tag == "ml.Str":
+            escaped = (
+                t.lit("value")
+                .replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+            )
+            return f'"{escaped}"'
+        if tag == "ml.Bool":
+            return t.lit("value")
+        if tag == "ml.Name":
+            return t.lit("id")
+        if tag == "ml.BinOp":
+            left = self.expr(t.kid("left"))
+            right = self.expr(t.kid("right"))
+            if t.kid("left").tag == "ml.BinOp":
+                left = f"({left})"
+            if t.kid("right").tag == "ml.BinOp":
+                right = f"({right})"
+            return f"{left} {t.lit('op')} {right}"
+        if tag == "ml.UnOp":
+            inner = self.expr(t.kid("operand"))
+            if t.kid("operand").tag in ("ml.BinOp", "ml.UnOp"):
+                inner = f"({inner})"
+            return f"{t.lit('op')}{inner}"
+        if tag == "ml.Call":
+            args = ", ".join(self.expr(a) for a in self.g.exprs.elements(t.kid("args")))
+            func = self.expr(t.kid("func"))
+            if t.kid("func").tag not in ("ml.Name", "ml.Call"):
+                func = f"({func})"
+            return f"{func}({args})"
+        raise ValueError(f"not a mini expression: {tag}")

@@ -1,0 +1,287 @@
+"""Unit and integration tests for the adapters package."""
+
+from __future__ import annotations
+
+import ast
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adapters import (
+    RoseTree,
+    ast_node_count,
+    json_to_tnode,
+    parse_json,
+    parse_python,
+    parse_sexpr,
+    read_sexpr,
+    rose_to_tnode,
+    tnode_to_gumtree,
+    tnode_to_json,
+    tnode_to_rose,
+    unparse_python,
+    unparse_sexpr,
+)
+from repro.adapters.asdl import ASDLSyntaxError, parse_asdl
+from repro.adapters.pyast import from_tnode, python_grammar, to_tnode
+from repro.core import assert_well_typed, diff, tnode_to_mtree
+
+
+class TestASDLParser:
+    def test_sum_and_product(self):
+        mod = parse_asdl(
+            """
+            module Toy {
+                exp = Num(int n) | Add(exp l, exp r) | Nil
+                pair = (exp fst, exp snd)
+                -- a comment
+            }
+            """
+        )
+        assert mod.name == "Toy"
+        assert [c.name for c in mod.sums["exp"].constructors] == ["Num", "Add", "Nil"]
+        assert mod.products["pair"].fields[0].name == "fst"
+
+    def test_field_qualifiers(self):
+        mod = parse_asdl("module M { t = C(x* many, y? opt, z one) }")
+        fields = mod.sums["t"].constructors[0].fields
+        assert fields[0].seq and not fields[0].opt
+        assert fields[1].opt and not fields[1].seq
+        assert not fields[2].seq and not fields[2].opt
+
+    def test_attributes_discarded(self):
+        mod = parse_asdl(
+            "module M { t = C(int x) attributes (int lineno, int col) }"
+        )
+        assert len(mod.sums["t"].constructors[0].fields) == 1
+
+    def test_syntax_errors(self):
+        with pytest.raises(ASDLSyntaxError):
+            parse_asdl("module M { t = }")
+        with pytest.raises(ASDLSyntaxError):
+            parse_asdl("not a module")
+
+
+PY_SNIPPETS = [
+    "x = 1\n",
+    "def f(a, b=2, *args, c, **kw):\n    return a + b\n",
+    "class C(Base, metaclass=M):\n    attr: int = 0\n",
+    "async def g():\n    await h()\n    async for i in gen():\n        yield i\n",
+    "with open('f') as fh, lock:\n    data = fh.read()\n",
+    "try:\n    x = 1 / 0\nexcept ZeroDivisionError as e:\n    raise ValueError from e\nelse:\n    pass\nfinally:\n    done = True\n",
+    "result = [x * y for x in range(3) for y in range(4) if x != y]\n",
+    "d = {k: v for k, v in items}\ns = {frozenset({1, 2})}\ng = (i async for i in aiter())\n",
+    "f_string = f'{value!r:>{width}} and {other=}'\n",
+    "lam = lambda a, /, b, *, c=1: (a, b, c)\n",
+    "match point:\n    case Point(x=0, y=0):\n        pass\n    case [Point(x=0)] | Point():\n        pass\n    case {'key': v, **rest} if v > 0:\n        pass\n    case [1, 2, *others]:\n        pass\n    case _:\n        pass\n",
+    "global g_var\nassert g_var, 'message'\ndel g_var\n",
+    "from os.path import join as j, split\nimport os.path\n",
+    "x = a if b else c\ny = not a\nz = -b ** 2\nw = a @ b\n",
+    "numbers = 0x_FF, 0b101, 1_000_000, 1.5e-3, 2j\n",
+    "s[1:2, ::3] = t[..., None]\n",
+    "try:\n    pass\nexcept* ValueError:\n    pass\n",
+    "def typed(x: int, y: 'str' = 'a') -> bool:\n    v: list[int] = []\n    return bool(v)\n",
+    "while x:\n    x -= 1\nelse:\n    x = None\n",
+    "print(*args, sep='', end='\\n')\n",
+]
+
+
+class TestPythonAdapter:
+    @pytest.mark.parametrize("source", PY_SNIPPETS)
+    def test_round_trip(self, source):
+        tree = parse_python(source)
+        back = unparse_python(tree)
+        assert ast.dump(ast.parse(back)) == ast.dump(ast.parse(source))
+
+    def test_round_trip_stdlib_file(self):
+        import sysconfig
+        from pathlib import Path
+
+        src = (Path(sysconfig.get_paths()["stdlib"]) / "dataclasses.py").read_text()
+        tree = parse_python(src)
+        assert ast.dump(ast.parse(unparse_python(tree))) == ast.dump(ast.parse(src))
+
+    def test_grammar_is_typed(self):
+        g = python_grammar()
+        sig = g.grammar.sigs["FunctionDef"]
+        assert sig.result.name == "stmt"
+        assert "name" in sig.lit_links
+        assert "body" in sig.kid_links
+
+    def test_ast_and_back_object_level(self):
+        node = ast.parse("a = b + 1")
+        t = to_tnode(node)
+        restored = from_tnode(t)
+        assert ast.dump(restored) == ast.dump(node)
+
+    def test_diff_python_files_well_typed(self):
+        t1 = parse_python("def f(x):\n    return x + 1\n")
+        t2 = parse_python("def f(x, y):\n    return x + y\n")
+        script, _ = diff(t1, t2)
+        assert_well_typed(t1.sigs, script)
+        mt = tnode_to_mtree(t1)
+        mt.patch(script)
+        assert mt.structure_equals(tnode_to_mtree(t2))
+
+    def test_identifier_rename_is_updates_only(self):
+        from repro.core import Update
+
+        t1 = parse_python("value = compute(value, other)\n")
+        t2 = parse_python("result = compute(result, other)\n")
+        script, _ = diff(t1, t2)
+        assert all(isinstance(e, Update) for e in script)
+        assert len(script) == 2
+
+    def test_statement_insertion_is_local(self):
+        body = "\n".join(f"x{i} = {i}" for i in range(30))
+        t1 = parse_python(body)
+        t2 = parse_python(body + "\nx_new = 99")
+        script, _ = diff(t1, t2)
+        # appending one assignment touches only the new statement and the
+        # tail of the cons-list: a handful of edits, not O(file)
+        assert len(script) <= 8
+
+    def test_unsupported_node_type_raises(self):
+        class Fake(ast.AST):
+            _fields = ()
+
+        with pytest.raises(ValueError, match="unsupported"):
+            to_tnode(Fake())
+
+
+class TestSExprAdapter:
+    def test_read_sexpr(self):
+        assert read_sexpr("(a 1 (b 2.5) c)") == ["a", 1, ["b", 2.5], "c"]
+
+    def test_round_trip(self):
+        text = "(add (num 1) (mul (num 2) (var x)))"
+        t = parse_sexpr(text)
+        assert unparse_sexpr(t) == text
+
+    def test_atoms(self):
+        t = parse_sexpr("42")
+        assert t.tag == "satom"
+        assert t.lit("value") == 42
+
+    def test_diff_sexprs(self):
+        a = parse_sexpr("(add (num 1) (num 2))")
+        b = parse_sexpr("(add (num 2) (num 1))")
+        script, patched = diff(a, b)
+        assert_well_typed(a.sigs, script)
+        assert patched.tree_equal(b)
+
+    def test_errors(self):
+        from repro.adapters.sexpr import SExprSyntaxError
+
+        for bad in ["(a", ")", "(a))", ""]:
+            with pytest.raises(SExprSyntaxError):
+                read_sexpr(bad)
+
+
+class TestJsonAdapter:
+    @given(
+        st.recursive(
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(min_value=-1000, max_value=1000),
+                st.text(max_size=8),
+            ),
+            lambda v: st.one_of(
+                st.lists(v, max_size=4),
+                st.dictionaries(st.text(max_size=5), v, max_size=4),
+            ),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, value):
+        assert tnode_to_json(json_to_tnode(value)) == value
+
+    def test_parse_json_diff(self):
+        a = parse_json('{"name": "x", "items": [1, 2, 3]}')
+        b = parse_json('{"name": "y", "items": [1, 2, 3]}')
+        script, _ = diff(a, b)
+        assert_well_typed(a.sigs, script)
+        assert len(script) == 1  # one Update on the JString
+
+    def test_non_json_value_rejected(self):
+        with pytest.raises(TypeError):
+            json_to_tnode({1, 2})
+
+
+class TestRoseAdapter:
+    def test_round_trip(self):
+        rose = RoseTree("stmt", None, [RoseTree("id", "x"), RoseTree("num", 3)])
+        t = rose_to_tnode(rose)
+        back = tnode_to_rose(t)
+        assert back.label == "stmt"
+        assert [c.value for c in back.children] == ["x", 3]
+
+    def test_diffing_rose_trees(self):
+        a = rose_to_tnode(RoseTree("call", "f", [RoseTree("arg", 1), RoseTree("arg", 2)]))
+        b = rose_to_tnode(RoseTree("call", "f", [RoseTree("arg", 2), RoseTree("arg", 1)]))
+        script, _ = diff(a, b)
+        assert_well_typed(a.sigs, script)
+
+
+class TestGumtreeBridge:
+    def test_flattening_removes_list_encoding(self):
+        t = parse_python("a = 1\nb = 2\nc = 3\n")
+        g = tnode_to_gumtree(t)
+        module = g
+        assert module.label == "Module"
+        assert [c.label for c in module.children] == ["Assign", "Assign", "Assign"]
+
+    def test_unflattened_keeps_list_nodes(self):
+        t = parse_python("a = 1\n")
+        g = tnode_to_gumtree(t, flatten=False)
+        assert any(c.label.startswith("List[") for c in g.children)
+
+    def test_node_count_matches_flattened_size(self):
+        t = parse_python("def f():\n    return [1, 2]\n")
+        g = tnode_to_gumtree(t)
+        assert ast_node_count(t) == g.size
+
+
+class TestSExprProperties:
+    @given(
+        st.recursive(
+            st.one_of(
+                st.integers(-999, 999),
+                st.text(
+                    alphabet="abcdefgxyz_-", min_size=1, max_size=6
+                ).filter(lambda s: not s.lstrip("-").isdigit()),
+            ),
+            lambda inner: st.lists(inner, min_size=0, max_size=4).map(
+                lambda items: ["head", *items]
+            ),
+            max_leaves=10,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_random_sexprs(self, data):
+        from repro.adapters.sexpr import sexpr_grammar, unparse_sexpr
+
+        if not isinstance(data, list):
+            data = ["head", data]
+        g = sexpr_grammar()
+        tree = g.to_tnode(data)
+        assert g.from_tnode(tree) == data
+        reparsed = parse_sexpr(unparse_sexpr(tree))
+        assert reparsed.tree_equal(tree)
+
+    @given(
+        st.lists(st.integers(0, 9), max_size=5),
+        st.lists(st.integers(0, 9), max_size=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_diff_random_sexpr_lists(self, xs, ys):
+        a = parse_sexpr("(seq " + " ".join(f"(n {x})" for x in xs) + ")")
+        b = parse_sexpr("(seq " + " ".join(f"(n {y})" for y in ys) + ")")
+        script, patched = diff(a, b)
+        assert_well_typed(a.sigs, script)
+        assert patched.tree_equal(b)

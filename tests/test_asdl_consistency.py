@@ -1,0 +1,81 @@
+"""The embedded Python ASDL must agree with the running interpreter.
+
+CPython exposes each AST class's field names as ``_fields``; any drift
+between the grammar this library embeds and the actual `ast` module
+(wrong field name, wrong order, missing constructor) is caught here
+rather than by a confusing conversion failure later.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.adapters.asdl import parse_asdl
+from repro.adapters.pyast import PYTHON_ASDL, python_grammar
+
+MODULE = parse_asdl(PYTHON_ASDL)
+
+
+def declared_fields():
+    enum_sorts = {
+        name
+        for name, s in MODULE.sums.items()
+        if all(not c.fields for c in s.constructors)
+    }
+    out = {}
+    for name, s in MODULE.sums.items():
+        if name in enum_sorts:
+            continue
+        for c in s.constructors:
+            out[c.name] = [f.name for f in c.fields]
+    for name, p in MODULE.products.items():
+        out[name] = [f.name for f in p.fields]
+    return out
+
+
+@pytest.mark.parametrize("ctor,fields", sorted(declared_fields().items()))
+def test_fields_match_runtime_ast(ctor, fields):
+    cls = getattr(ast, ctor, None)
+    assert cls is not None, f"ast has no class {ctor}"
+    assert list(cls._fields) == fields, (
+        f"{ctor}: embedded ASDL fields {fields} != runtime {list(cls._fields)}"
+    )
+
+
+def test_enum_sorts_match_runtime():
+    # Param/AugLoad/AugStore are deprecated pre-3.9 contexts the parser
+    # never produces; they linger in the ast module for compatibility
+    deprecated = {"Param", "AugLoad", "AugStore"}
+    for sort_name in ("expr_context", "boolop", "operator", "unaryop", "cmpop"):
+        declared = {c.name for c in MODULE.sums[sort_name].constructors}
+        base = getattr(ast, sort_name)
+        runtime = {
+            cls.__name__
+            for cls in vars(ast).values()
+            if isinstance(cls, type) and issubclass(cls, base) and cls is not base
+        } - deprecated
+        assert declared == runtime, sort_name
+
+
+def test_every_runtime_statement_class_is_declared():
+    """No stmt/expr constructor of the running Python is missing from the
+    grammar (the converse of the coverage test)."""
+    grammar_tags = set(python_grammar().plans)
+    for base_name in ("stmt", "expr", "pattern"):
+        base = getattr(ast, base_name)
+        for cls in vars(ast).values():
+            if (
+                isinstance(cls, type)
+                and issubclass(cls, base)
+                and cls is not base
+                and cls.__module__ == "ast"
+                and not cls.__name__.startswith("_")
+            ):
+                # skip deprecated aliases that are not produced by parsing
+                if cls.__name__ in {"AugLoad", "AugStore", "Param", "Suite",
+                                    "Index", "ExtSlice", "Num", "Str", "Bytes",
+                                    "NameConstant", "Ellipsis"}:
+                    continue
+                assert cls.__name__ in grammar_tags, cls.__name__

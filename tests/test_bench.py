@@ -1,0 +1,141 @@
+"""Tests for the evaluation harness (stats, measurements, reports)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    Measurement,
+    ToolResult,
+    ascii_boxplot,
+    fig4_conciseness,
+    fig5_throughput,
+    measure_change,
+    quantile,
+    run_corpus,
+    summarize,
+)
+from repro.corpus import FileChange
+
+
+class TestStats:
+    def test_quantiles(self):
+        data = sorted([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert quantile(data, 0.5) == 3.0
+        assert quantile(data, 0.0) == 1.0
+        assert quantile(data, 1.0) == 5.0
+        assert quantile(data, 0.25) == 2.0
+
+    def test_quantile_interpolates(self):
+        assert quantile([0.0, 10.0], 0.5) == 5.0
+
+    def test_summary(self):
+        s = summarize("x", [4, 1, 3, 2])
+        assert s.minimum == 1 and s.maximum == 4
+        assert s.mean == 2.5
+        assert s.n == 4
+        assert "x" in s.row()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize("x", [])
+
+    def test_boxplot_renders(self):
+        s1 = summarize("alpha", [1, 2, 3, 4, 5])
+        s2 = summarize("beta", [2, 4, 6, 8, 10])
+        art = ascii_boxplot([s1, s2])
+        assert "alpha" in art and "beta" in art and "O" in art
+
+
+def small_change() -> FileChange:
+    before = "def f(x):\n    return x + 1\n"
+    after = "def f(x):\n    return x + 2\n"
+    return FileChange(0, "m.py", before, after, ("change_constant",))
+
+
+class TestHarness:
+    def test_measure_change_all_tools(self):
+        m = measure_change(small_change(), runs=1)
+        assert set(m.results) == {"truediff", "gumtree", "hdiff"}
+        assert m.nodes > 0
+        for r in m.results.values():
+            assert r.time_ms > 0
+            assert r.size >= 1
+        assert m.throughput("truediff") > 0
+
+    def test_truediff_only(self):
+        m = measure_change(small_change(), tools=("truediff",), runs=1)
+        assert set(m.results) == {"truediff"}
+
+    def test_run_corpus_with_progress(self):
+        seen = []
+        ms = run_corpus(
+            [small_change()], runs=1, progress=lambda i, m: seen.append(i)
+        )
+        assert len(ms) == 1 and seen == [0]
+
+
+class TestReports:
+    def make_measurements(self):
+        out = []
+        for i, (td, gt, hd) in enumerate([(2, 2, 30), (4, 5, 40), (1, 1, 25)]):
+            m = Measurement(i, f"f{i}.py", nodes=100)
+            m.results["truediff"] = ToolResult(1.0, td)
+            m.results["gumtree"] = ToolResult(8.0, gt)
+            m.results["hdiff"] = ToolResult(20.0, hd)
+            out.append(m)
+        return out
+
+    def test_fig4(self):
+        r = fig4_conciseness(self.make_measurements())
+        assert r.mean_ratio_hdiff == pytest.approx((15 + 10 + 25) / 3)
+        assert r.mean_ratio_gumtree == pytest.approx((1 + 1.25 + 1) / 3)
+        text = r.render()
+        assert "Figure 4" in text and "hdiff" in text
+
+    def test_fig5(self):
+        r = fig5_throughput(self.make_measurements())
+        assert r.speedup_vs["gumtree"] == pytest.approx(8.0)
+        assert r.speedup_vs["hdiff"] == pytest.approx(20.0)
+        assert r.truediff_median_ms == pytest.approx(1.0)
+        text = r.render()
+        assert "Figure 5" in text and "nodes/ms" in text
+
+    def test_zero_size_patches_handled(self):
+        m = Measurement(0, "same.py", nodes=10)
+        m.results["truediff"] = ToolResult(1.0, 0)
+        m.results["gumtree"] = ToolResult(1.0, 0)
+        m.results["hdiff"] = ToolResult(1.0, 0)
+        r = fig4_conciseness([m])
+        assert r.mean_ratio_gumtree == pytest.approx(1.0)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        from repro.bench import measurements_from_csv, measurements_to_csv
+
+        m = Measurement(3, "a/b.py", 42)
+        m.results["truediff"] = ToolResult(1.25, 7)
+        m.results["hdiff"] = ToolResult(9.5, 100)
+        path = tmp_path / "m.csv"
+        measurements_to_csv([m], str(path))
+        back = measurements_from_csv(str(path))
+        assert len(back) == 1
+        assert back[0].path == "a/b.py"
+        assert back[0].nodes == 42
+        assert back[0].results["truediff"].size == 7
+        assert back[0].results["hdiff"].time_ms == 9.5
+
+    def test_missing_tool_cells(self, tmp_path):
+        from repro.bench import measurements_from_csv, measurements_to_csv
+
+        a = Measurement(0, "x.py", 10)
+        a.results["truediff"] = ToolResult(1.0, 1)
+        b = Measurement(1, "y.py", 20)
+        b.results["truediff"] = ToolResult(2.0, 2)
+        b.results["gumtree"] = ToolResult(3.0, 3)
+        path = tmp_path / "m.csv"
+        measurements_to_csv([a, b], str(path))
+        back = measurements_from_csv(str(path))
+        assert "gumtree" not in back[0].results
+        assert back[1].results["gumtree"].size == 3

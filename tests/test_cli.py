@@ -1,0 +1,77 @@
+"""Tests for the ``python -m repro`` command line interface."""
+
+from __future__ import annotations
+
+import ast
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+BEFORE = "def f(x):\n    return x + 1\n"
+AFTER = "def f(x, y=0):\n    return x + y\n"
+
+
+@pytest.fixture
+def files(tmp_path):
+    before = tmp_path / "before.py"
+    after = tmp_path / "after.py"
+    before.write_text(BEFORE)
+    after.write_text(AFTER)
+    return before, after
+
+
+def test_diff_prints_edits(files, capsys):
+    before, after = files
+    assert main(["diff", str(before), str(after)]) == 0
+    out = capsys.readouterr().out
+    assert out.strip(), "expected a non-empty script"
+
+
+def test_diff_json_is_loadable(files, capsys):
+    before, after = files
+    assert main(["diff", str(before), str(after), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["format"] == "truechange/1"
+    assert doc["edits"]
+
+
+def test_diff_stats_on_stderr(files, capsys):
+    before, after = files
+    assert main(["diff", str(before), str(after), "--stats"]) == 0
+    err = capsys.readouterr().err
+    assert "edits" in err and "nodes/ms" in err
+
+
+def test_apply_round_trips(files, tmp_path, capsys):
+    before, after = files
+    main(["diff", str(before), str(after), "--json"])
+    script_file = tmp_path / "script.json"
+    script_file.write_text(capsys.readouterr().out)
+
+    assert main(["apply", str(before), str(script_file)]) == 0
+    patched_source = capsys.readouterr().out
+    assert ast.dump(ast.parse(patched_source)) == ast.dump(ast.parse(AFTER))
+
+
+def test_diff_explain(files, capsys):
+    before, after = files
+    assert main(["diff", str(before), str(after), "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("- ") or out.strip() == "no changes"
+
+
+def test_compare_lists_all_tools(files, capsys):
+    before, after = files
+    assert main(["compare", str(before), str(after)]) == 0
+    out = capsys.readouterr().out
+    for tool in ("truediff", "gumtree", "hdiff"):
+        assert tool in out
+
+
+def test_identical_files_empty_script(tmp_path, capsys):
+    f = tmp_path / "same.py"
+    f.write_text(BEFORE)
+    assert main(["diff", str(f), str(f)]) == 0
+    assert capsys.readouterr().out.strip() == ""

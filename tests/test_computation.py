@@ -1,0 +1,99 @@
+"""Tests for the edit-script-driven incremental computations (Section 3.2)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import diff
+from repro.incremental.computation import (
+    LiteralIndex,
+    NodeCount,
+    TagHistogram,
+    check_against_standard_semantics,
+)
+
+from .util import EXP, exp_trees, mutate_exp, random_exp
+
+
+def run_chain(computation_cls, seed: int, steps: int = 6):
+    rng = random.Random(seed)
+    tree = random_exp(rng, 4)
+    comp = computation_cls(tree)
+    current = tree
+    for _ in range(steps):
+        nxt = mutate_exp(rng, current, rng.randint(1, 3))
+        script, patched = diff(current, nxt)
+        comp.apply(script)
+        current = patched
+    return comp, current
+
+
+class TestNodeCount:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_recount(self, seed):
+        comp, final = run_chain(NodeCount, seed)
+        assert comp.value() == final.size
+        assert check_against_standard_semantics(comp, lambda mt: mt.node_count())
+
+    @given(exp_trees(), exp_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_single_step(self, a, b):
+        comp = NodeCount(a)
+        script, patched = diff(a, b)
+        assert comp.apply(script) == patched.size
+
+
+class TestTagHistogram:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_recount(self, seed):
+        comp, final = run_chain(TagHistogram, seed)
+        expected = Counter(n.tag for n in final.iter_subtree())
+        assert comp.value() == expected
+
+    def test_update_does_not_change_tags(self):
+        e = EXP
+        a = e.Add(e.Num(1), e.Num(2))
+        b = e.Add(e.Num(1), e.Num(9))
+        comp = TagHistogram(a)
+        before = comp.value()
+        script, _ = diff(a, b)
+        comp.apply(script)
+        assert comp.value() == before
+
+
+class TestLiteralIndex:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_rebuild(self, seed):
+        comp, final = run_chain(LiteralIndex, seed)
+        rebuilt = LiteralIndex(final)
+        assert comp.value() == rebuilt.value()
+
+    def test_positions_track_updates(self):
+        e = EXP
+        a = e.Add(e.Var("needle"), e.Num(1))
+        comp = LiteralIndex(a)
+        var = a.kids[0]
+        assert comp.positions_of("needle") == {(var.uri, "name")}
+        b = e.Add(e.Var("haystack"), e.Num(1))
+        script, _ = diff(a, b)
+        comp.apply(script)
+        assert comp.positions_of("needle") == set()
+        assert comp.positions_of("haystack") == {(var.uri, "name")}
+
+    def test_load_and_unload_maintain_index(self):
+        e = EXP
+        a = e.Num(7)
+        comp = LiteralIndex(a)
+        b = e.Add(e.Num(7), e.Num(8))
+        script, patched = diff(a, b)
+        comp.apply(script)
+        assert len(comp.positions_of(7)) == 1
+        assert len(comp.positions_of(8)) == 1
+        script2, _ = diff(patched, e.Num(9))
+        comp.apply(script2)
+        assert comp.positions_of(7) == set()
+        assert comp.positions_of(8) == set()

@@ -1,0 +1,202 @@
+"""Property-based checks of Conjectures 4.2 and 4.3.
+
+The paper states (and tested with >200 cases) that every edit script
+produced by truediff is (a) well-typed in the truechange linear type
+system and (b) correct: patching the source tree with the script yields
+the target tree.  We check both on hypothesis-generated tree pairs and on
+targeted hand-written scenarios known to stress the reuse machinery.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import DiffOptions, assert_well_typed, diff, tnode_to_mtree
+from repro.core.mtree import check_syntactic_compliance
+
+from .util import EXP, assert_diff_roundtrip, exp_trees, mutate_exp, random_exp
+
+
+@given(exp_trees(), exp_trees())
+@settings(max_examples=200, deadline=None)
+def test_random_pairs_roundtrip(src, dst):
+    assert_diff_roundtrip(src, dst)
+
+
+@given(exp_trees())
+@settings(max_examples=50, deadline=None)
+def test_identical_trees_give_empty_script(tree):
+    from repro.core.diff import _dealias
+
+    script, patched = diff(tree, _dealias(tree))
+    assert len(script) == 0
+    assert patched.tree_equal(tree)
+
+
+@given(exp_trees())
+@settings(max_examples=50, deadline=None)
+def test_diff_against_self_object(tree):
+    """Diffing a tree against the very same object must work (dealiasing)."""
+    script, patched = diff(tree, tree)
+    assert len(script) == 0
+    assert patched.tree_equal(tree)
+
+
+@given(exp_trees(), exp_trees())
+@settings(max_examples=100, deadline=None)
+def test_scripts_are_syntactically_compliant(src, dst):
+    script, _ = diff(src, dst)
+    check_syntactic_compliance(script, tnode_to_mtree(src))
+
+
+@given(exp_trees(), exp_trees())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_without_literal_preference(src, dst):
+    opts = DiffOptions(prefer_literal_matches=False)
+    script, patched = diff(src, dst, options=opts)
+    assert_well_typed(src.sigs, script)
+    mt = tnode_to_mtree(src)
+    mt.patch(script)
+    assert mt.structure_equals(tnode_to_mtree(dst))
+
+
+@given(exp_trees(), exp_trees())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_without_height_ordering(src, dst):
+    opts = DiffOptions(height_first=False)
+    script, patched = diff(src, dst, options=opts)
+    assert_well_typed(src.sigs, script)
+    mt = tnode_to_mtree(src)
+    mt.patch(script)
+    assert mt.structure_equals(tnode_to_mtree(dst))
+
+
+@given(exp_trees(), exp_trees(), exp_trees())
+@settings(max_examples=50, deadline=None)
+def test_patched_tree_chains(a, b, c):
+    """The patched tree returned by diff can be diffed again (the
+    incremental-computing usage pattern)."""
+    s1, p1 = diff(a, b)
+    assert_well_typed(a.sigs, s1)
+    s2, p2 = diff(p1, c)
+    assert_well_typed(a.sigs, s2)
+    mt = tnode_to_mtree(a)
+    mt.patch(s1)
+    mt.patch(s2)
+    assert mt.structure_equals(tnode_to_mtree(c))
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_mutation_chains(seed):
+    """Realistic edit sequences: repeated small mutations of one tree."""
+    rng = random.Random(seed)
+    tree = random_exp(rng, depth=5)
+    current = tree
+    mt = tnode_to_mtree(tree)
+    for _ in range(4):
+        nxt = mutate_exp(rng, current, n_edits=rng.randint(1, 4))
+        script, patched = diff(current, nxt)
+        assert_well_typed(tree.sigs, script)
+        mt.patch(script)
+        assert mt.structure_equals(tnode_to_mtree(nxt))
+        current = patched
+
+
+class TestTargetedReuseScenarios:
+    """Hand-written cases stressing specific reuse paths of Steps 2-4."""
+
+    def test_swap_children(self):
+        e = EXP
+        assert_diff_roundtrip(
+            e.Add(e.Num(1), e.Num(2)), e.Add(e.Num(2), e.Num(1))
+        )
+
+    def test_deep_move(self):
+        e = EXP
+        deep = e.Add(e.Mul(e.Num(1), e.Var("x")), e.Num(3))
+        assert_diff_roundtrip(
+            e.Add(deep, e.Num(9)),
+            e.Sub(e.Num(9), e.Add(e.Mul(e.Num(1), e.Var("x")), e.Num(3))),
+        )
+
+    def test_duplication_demands_fresh_load(self):
+        e = EXP
+        src = e.Neg(e.Mul(e.Var("a"), e.Num(7)))
+        dst = e.Add(
+            e.Mul(e.Var("a"), e.Num(7)), e.Mul(e.Var("a"), e.Num(7))
+        )
+        assert_diff_roundtrip(src, dst)
+
+    def test_subtree_disappears(self):
+        e = EXP
+        src = e.Add(e.Mul(e.Num(1), e.Num(2)), e.Var("k"))
+        dst = e.Var("k")
+        assert_diff_roundtrip(src, dst)
+
+    def test_subtree_appears(self):
+        e = EXP
+        assert_diff_roundtrip(
+            EXP.Var("k"),
+            e.Add(e.Mul(e.Num(1), e.Num(2)), e.Var("k")),
+        )
+
+    def test_literal_only_change_prefers_update(self):
+        """Structurally equivalent trees must diff via Update edits only."""
+        from repro.core import Update
+
+        e = EXP
+        src = e.Add(e.Num(1), e.Mul(e.Num(2), e.Num(3)))
+        dst = e.Add(e.Num(4), e.Mul(e.Num(2), e.Num(5)))
+        script, _ = diff(src, dst)
+        assert all(isinstance(x, Update) for x in script)
+        assert len(script) == 2
+
+    def test_exact_copy_preferred_over_structural_candidate(self):
+        """Step 3's preferred pass: if an exact copy is available, pick it
+        (no Update edit needed for the moved subtree)."""
+        from repro.core import Update
+
+        e = EXP
+        # two structurally equivalent candidates Mul(Num,Num); only one is
+        # an exact copy of the required subtree
+        src = e.Add(e.Mul(e.Num(1), e.Num(2)), e.Mul(e.Num(3), e.Num(4)))
+        dst = e.Neg(e.Mul(e.Num(3), e.Num(4)))
+        script, _ = diff(src, dst)
+        assert not any(isinstance(x, Update) for x in script)
+
+    def test_without_preference_may_need_updates(self):
+        """Ablation knob: switching the preferred pass off still yields a
+        correct script (possibly with extra Update edits)."""
+        e = EXP
+        src = e.Add(e.Mul(e.Num(1), e.Num(2)), e.Mul(e.Num(3), e.Num(4)))
+        dst = e.Neg(e.Mul(e.Num(3), e.Num(4)))
+        opts = DiffOptions(prefer_literal_matches=False)
+        script, _ = diff(src, dst, options=opts)
+        mt = tnode_to_mtree(src)
+        mt.patch(script)
+        assert mt.structure_equals(tnode_to_mtree(dst))
+
+    def test_larger_subtree_reused_as_a_whole(self):
+        """Highest-first selection avoids subtree fragmentation."""
+        from repro.core import Load
+
+        e = EXP
+        shared = e.Mul(e.Add(e.Num(1), e.Num(2)), e.Var("q"))
+        src = e.Neg(shared)
+        dst = e.Sub(e.Mul(e.Add(e.Num(1), e.Num(2)), e.Var("q")), e.Num(0))
+        script, _ = diff(src, dst)
+        loads = [x for x in script.primitives() if isinstance(x, Load)]
+        # only Sub and Num(0) are loaded; the whole Mul tree is moved
+        assert sorted(x.node.tag for x in loads) == ["Num", "Sub"]
+
+    def test_script_mentions_only_changed_region(self):
+        """Conciseness: a local change in a big tree yields a small script."""
+        e = EXP
+        big = random_exp(random.Random(7), depth=7)
+        src = e.Add(big, e.Num(1))
+        dst = e.Add(big, e.Num(2))
+        script, _ = diff(src, dst)
+        assert len(script) <= 2

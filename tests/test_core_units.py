@@ -1,0 +1,129 @@
+"""Unit tests for the small core modules: uris, types, signatures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ANY,
+    LIT_ANY,
+    LIT_BOOL,
+    LIT_FLOAT,
+    LIT_INT,
+    LIT_STR,
+    ROOT_SIGNATURE,
+    ROOT_SORT,
+    Signature,
+    SignatureError,
+    SignatureRegistry,
+    URIGen,
+    lit_type,
+    sort,
+)
+from repro.core.node import Node, ROOT_NODE
+
+
+class TestURIGen:
+    def test_fresh_monotone_unique(self):
+        gen = URIGen()
+        xs = [gen.fresh() for _ in range(100)]
+        assert len(set(xs)) == 100
+        assert xs == sorted(xs)
+
+    def test_fresh_many(self):
+        gen = URIGen(start=10)
+        assert gen.fresh_many(3) == [10, 11, 12]
+        assert gen.fresh() == 13
+
+
+class TestTypes:
+    def test_sort_equality_by_name(self):
+        assert sort("Exp") == sort("Exp")
+        assert sort("Exp") != sort("Stmt")
+        assert hash(sort("Exp")) == hash(sort("Exp"))
+
+    def test_builtin_literal_types(self):
+        assert LIT_INT.check(3) and not LIT_INT.check(True)
+        assert LIT_BOOL.check(True) and not LIT_BOOL.check(1)
+        assert LIT_STR.check("x") and not LIT_STR.check(3)
+        assert LIT_FLOAT.check(1.5) and not LIT_FLOAT.check(1)
+        assert LIT_ANY.check(object())
+
+    def test_custom_literal_type(self):
+        even = lit_type("Even", lambda v: isinstance(v, int) and v % 2 == 0)
+        assert even.check(4) and not even.check(3)
+        # equality/hash by name, not predicate identity
+        assert even == lit_type("Even", lambda v: False)
+        assert hash(even) == hash(lit_type("Even", lambda v: False))
+
+
+class TestSignatureRegistry:
+    def test_root_predeclared(self):
+        sigs = SignatureRegistry()
+        assert sigs["<Root>"] == ROOT_SIGNATURE
+        assert "<Root>" in sigs
+        assert sigs.get("nope") is None
+        with pytest.raises(SignatureError):
+            sigs["nope"]
+
+    def test_subtyping_reflexive_transitive_any_top(self):
+        sigs = SignatureRegistry()
+        a, b, c = sort("A"), sort("B"), sort("C")
+        sigs.declare_sort(b)
+        sigs.declare_sort(a, supers=[b])
+        sigs.declare_sort(c)
+        sigs.declare_sort(b, supers=[c])
+        assert sigs.is_subtype(a, a)
+        assert sigs.is_subtype(a, b)
+        assert sigs.is_subtype(a, c)  # transitivity
+        assert sigs.is_subtype(a, ANY)
+        assert not sigs.is_subtype(c, a)
+
+    def test_any_cannot_be_redeclared(self):
+        sigs = SignatureRegistry()
+        with pytest.raises(SignatureError):
+            sigs.declare_sort(ANY)
+
+    def test_duplicate_links_rejected(self):
+        with pytest.raises(SignatureError, match="duplicate"):
+            Signature("T", (("x", sort("A")), ("x", sort("B"))), (), sort("T"))
+        with pytest.raises(SignatureError, match="duplicate"):
+            Signature("T", (("x", sort("A")),), (("x", LIT_INT),), sort("T"))
+
+    def test_idempotent_redeclaration_allowed(self):
+        sigs = SignatureRegistry()
+        s = Signature("T", (), (("n", LIT_INT),), sort("T"))
+        sigs.declare(s)
+        sigs.declare(s)  # same signature: fine
+        assert sigs["T"] == s
+
+    def test_constructors_of(self):
+        sigs = SignatureRegistry()
+        exp, lit = sort("Exp"), sort("Lit")
+        sigs.declare_sort(lit, supers=[exp])
+        sigs.declare(Signature("N", (), (("n", LIT_INT),), lit))
+        sigs.declare(Signature("Plus", (("l", exp), ("r", exp)), (), exp))
+        of_exp = {s.tag for s in sigs.constructors_of(exp)}
+        assert of_exp == {"N", "Plus"}
+        of_lit = {s.tag for s in sigs.constructors_of(lit)}
+        assert of_lit == {"N"}
+
+    def test_check_lits(self):
+        sigs = SignatureRegistry()
+        sigs.declare(Signature("T", (), (("n", LIT_INT),), sort("T")))
+        sigs.check_lits("T", {"n": 3})
+        with pytest.raises(SignatureError):
+            sigs.check_lits("T", {"n": "x"})
+        with pytest.raises(SignatureError):
+            sigs.check_lits("T", {"m": 3})
+        with pytest.raises(SignatureError):
+            sigs.check_lits("T", {})
+
+    def test_signature_str(self):
+        s = Signature("Add", (("e1", sort("Exp")),), (("w", LIT_INT),), sort("Exp"))
+        text = str(s)
+        assert "Add" in text and "e1:Exp" in text and "-> Exp" in text
+
+    def test_node_str(self):
+        assert str(Node("Add", 3)) == "Add_3"
+        assert ROOT_NODE.uri is None

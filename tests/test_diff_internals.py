@@ -1,0 +1,249 @@
+"""Unit tests for truediff's internal machinery: subtree shares, the
+Step-3 queue, the Step-2 list alignment, and the EditBuffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Grammar, LIT_INT, LIT_STR
+from repro.core.diff import (
+    DiffOptions,
+    EditBuffer,
+    _align_list,
+    _longest_increasing,
+    assign_shares,
+    assign_subtrees,
+    assign_tree,
+)
+from repro.core.edits import Attach, Detach, Insert, Load, Remove, Unload
+from repro.core.node import Node
+from repro.core.registry import SubtreeRegistry, SubtreeShare
+from repro.core.tree import clear_diff_state
+
+from .util import EXP
+
+
+class TestSubtreeShare:
+    def test_register_take_any(self):
+        e = EXP
+        share = SubtreeShare()
+        t1, t2 = e.Num(1), e.Num(2)
+        share.register_available(t1)
+        share.register_available(t2)
+        assert len(share) == 2
+        assert share.take_any() is t1  # insertion order
+
+    def test_take_preferred_matches_literals(self):
+        e = EXP
+        share = SubtreeShare()
+        t1, t2 = e.Num(1), e.Num(2)
+        share.register_available(t1)
+        share.register_available(t2)
+        want = e.Num(2)
+        assert share.take_preferred(want) is t2
+        assert share.take_preferred(e.Num(3)) is None
+
+    def test_deregister(self):
+        e = EXP
+        share = SubtreeShare()
+        t = e.Num(1)
+        share.register_available(t)
+        share.deregister(t)
+        assert share.is_empty
+        assert share.take_any() is None
+        assert share.take_preferred(e.Num(1)) is None
+        # idempotent
+        share.deregister(t)
+
+    def test_register_idempotent(self):
+        e = EXP
+        share = SubtreeShare()
+        t = e.Num(1)
+        share.register_available(t)
+        share.register_available(t)
+        assert len(share) == 1
+
+
+class TestSubtreeRegistry:
+    def test_same_share_iff_structural_equivalence(self):
+        e = EXP
+        reg = SubtreeRegistry()
+        a = e.Add(e.Num(1), e.Num(2))
+        b = e.Add(e.Num(5), e.Num(9))
+        c = e.Sub(e.Num(1), e.Num(2))
+        clear_diff_state(a, b, c)
+        assert reg.assign_share(a) is reg.assign_share(b)
+        assert reg.assign_share(a) is not reg.assign_share(c)
+
+    def test_assign_share_caches_on_node(self):
+        e = EXP
+        reg = SubtreeRegistry()
+        t = e.Num(1)
+        clear_diff_state(t)
+        s1 = reg.assign_share(t)
+        assert t.share is s1
+        assert reg.assign_share(t) is s1
+
+
+class TestAssignShares:
+    def test_preemptive_assignment_on_equivalence(self):
+        e = EXP
+        reg = SubtreeRegistry()
+        src = e.Add(e.Num(1), e.Num(2))
+        dst = e.Add(e.Num(1), e.Num(2))
+        clear_diff_state(src, dst)
+        assign_shares(src, dst, reg)
+        assert src.assigned is dst and dst.assigned is src
+
+    def test_same_tag_recursion_registers_parent(self):
+        e = EXP
+        reg = SubtreeRegistry()
+        src = e.Add(e.Num(1), e.Num(2))
+        dst = e.Add(e.Num(1), e.Var("x"))
+        clear_diff_state(src, dst)
+        assign_shares(src, dst, reg)
+        # roots differ structurally but share the tag: src root available
+        assert not src.share.is_empty
+        # equal kid preemptively assigned
+        assert src.kids[0].assigned is dst.kids[0]
+        # differing kid not assigned
+        assert src.kids[1].assigned is None
+
+    def test_different_tags_register_whole_source(self):
+        e = EXP
+        reg = SubtreeRegistry()
+        src = e.Mul(e.Num(1), e.Num(2))
+        dst = e.Neg(e.Num(1))
+        clear_diff_state(src, dst)
+        assign_shares(src, dst, reg)
+        for n in src.iter_subtree():
+            assert n.share is not None
+            assert not n.share.is_empty
+
+
+class TestAssignSubtrees:
+    def test_take_prefers_exact_copy(self):
+        e = EXP
+        reg = SubtreeRegistry()
+        src = e.Add(e.Mul(e.Num(1), e.Num(2)), e.Mul(e.Num(3), e.Num(4)))
+        dst = e.Neg(e.Mul(e.Num(3), e.Num(4)))
+        clear_diff_state(src, dst)
+        assign_shares(src, dst, reg)
+        assign_subtrees(dst, reg)
+        taken = dst.kids[0].assigned
+        assert taken is src.kids[1]  # the literal-equal candidate
+
+    def test_without_preference_takes_first_available(self):
+        e = EXP
+        reg = SubtreeRegistry()
+        src = e.Add(e.Mul(e.Num(1), e.Num(2)), e.Mul(e.Num(3), e.Num(4)))
+        dst = e.Neg(e.Mul(e.Num(3), e.Num(4)))
+        clear_diff_state(src, dst)
+        assign_shares(src, dst, reg)
+        assign_subtrees(dst, reg, DiffOptions(prefer_literal_matches=False))
+        assert dst.kids[0].assigned is src.kids[0]  # first registered
+
+    def test_linearity_no_double_take(self):
+        e = EXP
+        reg = SubtreeRegistry()
+        src = e.Neg(e.Mul(e.Num(1), e.Num(2)))
+        dst = e.Add(e.Mul(e.Num(1), e.Num(2)), e.Mul(e.Num(1), e.Num(2)))
+        clear_diff_state(src, dst)
+        assign_shares(src, dst, reg)
+        assign_subtrees(dst, reg)
+        assigned = [k.assigned for k in dst.kids]
+        assert sum(1 for a in assigned if a is not None) == 1
+
+
+class TestListAlignment:
+    def align_tags(self, src_items, dst_items):
+        e = EXP
+        mk = lambda v: e.Num(v)
+        src = [mk(v) for v in src_items]
+        dst = [mk(v) for v in dst_items]
+        out = []
+        for a, b in _align_list(tuple(src), tuple(dst)):
+            out.append(
+                (
+                    src_items[src.index(a)] if a is not None else None,
+                    dst_items[dst.index(b)] if b is not None else None,
+                )
+            )
+        return out
+
+    def test_identical(self):
+        pairs = self.align_tags([1, 2, 3], [1, 2, 3])
+        assert pairs == [(1, 1), (2, 2), (3, 3)]
+
+    def test_middle_insert(self):
+        pairs = self.align_tags([1, 2, 3], [1, 9, 2, 3])
+        assert (1, 1) in pairs and (2, 2) in pairs and (3, 3) in pairs
+        assert (None, 9) in pairs
+
+    def test_delete(self):
+        pairs = self.align_tags([1, 2, 3], [1, 3])
+        assert (2, None) in pairs
+
+    def test_modified_element_paired_positionally(self):
+        pairs = self.align_tags([1, 2, 3], [1, 9, 3])
+        assert (2, 9) in pairs
+
+    def test_duplicates_matched_in_order(self):
+        pairs = self.align_tags([7, 7, 8], [7, 7, 8])
+        assert pairs == [(7, 7), (7, 7), (8, 8)]
+
+    def test_reorder_keeps_exact_pairs(self):
+        pairs = self.align_tags([1, 2], [2, 1])
+        # an increasing alignment can keep only one exact pair; the other
+        # becomes a positional pair or unpaired
+        exact = [(a, b) for a, b in pairs if a == b]
+        assert len(exact) >= 1
+
+    def test_empty_sides(self):
+        assert self.align_tags([], [1]) == [(None, 1)]
+        assert self.align_tags([1], []) == [(1, None)]
+        assert self.align_tags([], []) == []
+
+
+class TestLongestIncreasing:
+    def test_basic(self):
+        pairs = [(0, 3), (1, 1), (2, 2), (3, 4)]
+        assert _longest_increasing(pairs) == [(1, 1), (2, 2), (3, 4)]
+
+    def test_already_increasing(self):
+        pairs = [(0, 0), (1, 1)]
+        assert _longest_increasing(pairs) == pairs
+
+    def test_decreasing(self):
+        pairs = [(0, 2), (1, 1), (2, 0)]
+        assert len(_longest_increasing(pairs)) == 1
+
+    def test_empty(self):
+        assert _longest_increasing([]) == []
+
+
+class TestEditBuffer:
+    def test_negative_before_positive(self):
+        e = EXP
+        buf = EditBuffer()
+        num = e.Num(1)
+        var = e.Var("x")
+        buf.load(var)
+        buf.detach(num, "e1", Node("Add", 0))
+        buf.attach(var, "e1", Node("Add", 0))
+        buf.unload(num)
+        script = buf.to_script(coalesce=False)
+        kinds = [type(x).__name__ for x in script]
+        assert kinds == ["Detach", "Unload", "Load", "Attach"]
+
+    def test_coalescing_through_buffer(self):
+        e = EXP
+        buf = EditBuffer()
+        num = e.Num(1)
+        var = e.Var("x")
+        buf.detach(num, "e1", Node("Add", 0))
+        buf.unload(num)
+        buf.load(var)
+        buf.attach(var, "e1", Node("Add", 0))
+        script = buf.to_script(coalesce=True)
+        assert [type(x).__name__ for x in script] == ["Remove", "Insert"]

@@ -1,0 +1,122 @@
+"""Unit tests for edit operations and EditScript (Figure 1)."""
+
+from __future__ import annotations
+
+from repro.core import (
+    Attach,
+    Detach,
+    EditScript,
+    Insert,
+    Load,
+    Node,
+    Remove,
+    Unload,
+    Update,
+)
+
+
+def test_script_length_counts_compounds_once():
+    s = EditScript(
+        [
+            Insert(Node("Num", 1), (), (("n", 1),), "e1", Node("Add", 0)),
+            Update(Node("Var", 2), (("name", "a"),), (("name", "b"),)),
+        ]
+    )
+    assert len(s) == 2
+    assert len(list(s.primitives())) == 3
+
+
+def test_coalesce_merges_adjacent_load_attach():
+    s = EditScript(
+        [
+            Load(Node("Num", 1), (), (("n", 1),)),
+            Attach(Node("Num", 1), "e1", Node("Add", 0)),
+        ]
+    )
+    c = s.coalesced()
+    assert len(c) == 1
+    assert isinstance(c[0], Insert)
+
+
+def test_coalesce_merges_adjacent_detach_unload():
+    s = EditScript(
+        [
+            Detach(Node("Num", 1), "e1", Node("Add", 0)),
+            Unload(Node("Num", 1), (), (("n", 1),)),
+        ]
+    )
+    c = s.coalesced()
+    assert len(c) == 1
+    assert isinstance(c[0], Remove)
+
+
+def test_coalesce_does_not_merge_different_nodes():
+    s = EditScript(
+        [
+            Load(Node("Num", 1), (), (("n", 1),)),
+            Attach(Node("Num", 2), "e1", Node("Add", 0)),
+        ]
+    )
+    assert len(s.coalesced()) == 2
+
+
+def test_coalesce_does_not_merge_detach_attach_moves():
+    """A move stays two edits (truechange has no move operation)."""
+    s = EditScript(
+        [
+            Detach(Node("Num", 1), "e1", Node("Add", 0)),
+            Attach(Node("Num", 1), "e2", Node("Add", 0)),
+        ]
+    )
+    assert len(s.coalesced()) == 2
+
+
+def test_expand_round_trips_coalesce():
+    s = EditScript(
+        [
+            Detach(Node("Num", 1), "e1", Node("Add", 0)),
+            Unload(Node("Num", 1), (), (("n", 1),)),
+            Load(Node("Var", 9), (), (("name", "x"),)),
+            Attach(Node("Var", 9), "e1", Node("Add", 0)),
+        ]
+    )
+    assert s.coalesced().expanded() == s
+
+
+def test_script_concatenation_and_equality():
+    a = EditScript([Update(Node("Var", 2), (("name", "a"),), (("name", "b"),))])
+    b = EditScript([Update(Node("Var", 3), (("name", "c"),), (("name", "d"),))])
+    ab = a + b
+    assert len(ab) == 2
+    assert ab[0] == a[0] and ab[1] == b[0]
+    assert a != b
+    assert hash(a) == hash(EditScript(list(a)))
+
+
+def test_str_rendering_mentions_operations():
+    s = EditScript(
+        [
+            Detach(Node("Sub", 2), "e1", Node("Add", 1)),
+            Attach(Node("Sub", 2), "e2", Node("Mul", 5)),
+        ]
+    )
+    text = str(s)
+    assert "detach(Sub_2, 'e1', Add_1)" in text
+    assert "attach(Sub_2, 'e2', Mul_5)" in text
+
+
+def test_insert_remove_expand_shapes():
+    ins = Insert(Node("Num", 1), (), (("n", 1),), "e1", Node("Add", 0))
+    load, attach = ins.expand()
+    assert load.node == ins.node and attach.link == "e1"
+    rem = Remove(Node("Num", 1), "e1", Node("Add", 0), (), (("n", 1),))
+    det, unl = rem.expand()
+    assert det.node == rem.node and unl.lits == rem.lits
+
+
+def test_empty_script_properties():
+    s = EditScript()
+    assert s.is_empty
+    assert len(s) == 0
+    assert list(s.primitives()) == []
+    assert s.coalesced() == s

@@ -1,0 +1,106 @@
+"""Tests for the diff explanation module."""
+
+from __future__ import annotations
+
+from repro.adapters import parse_python
+from repro.adapters.explain import explain, explain_script
+from repro.core import diff
+
+from .util import EXP
+
+
+def summaries_for(before: str, after: str):
+    src = parse_python(before)
+    dst = parse_python(after)
+    script, _ = diff(src, dst)
+    return explain_script(src, script)
+
+
+class TestPythonExplanations:
+    def test_function_rename(self):
+        out = summaries_for(
+            "def old_name():\n    pass\n", "def new_name():\n    pass\n"
+        )
+        assert any(
+            s.kind == "rename" and "`old_name` to `new_name`" in s.message
+            for s in out
+        )
+
+    def test_reference_rename_mentions_context(self):
+        out = summaries_for(
+            "def f():\n    return counter\n",
+            "def f():\n    return total\n",
+        )
+        msg = next(s.message for s in out if s.kind == "rename")
+        assert "`counter` to `total`" in msg
+        assert "function `f`" in msg
+
+    def test_added_function(self):
+        out = summaries_for(
+            "def a():\n    pass\n",
+            "def a():\n    pass\n\ndef b():\n    pass\n",
+        )
+        assert any(s.kind == "add" and "`b`" in s.message for s in out)
+
+    def test_removed_function(self):
+        out = summaries_for(
+            "def a():\n    pass\n\ndef b():\n    pass\n",
+            "def a():\n    pass\n",
+        )
+        assert any(s.kind == "delete" and "`b`" in s.message for s in out)
+
+    def test_moved_function(self):
+        # the two functions are structurally different, so the reorder is
+        # a genuine move (structurally equivalent ones would be "renamed"
+        # in place by literal updates instead)
+        out = summaries_for(
+            "def a():\n    return 1\n\ndef b(x, y):\n    x += y\n    return x\n",
+            "def b(x, y):\n    x += y\n    return x\n\ndef a():\n    return 1\n",
+        )
+        assert any(s.kind == "move" for s in out)
+
+    def test_constant_change(self):
+        out = summaries_for("x = 1\n", "x = 2\n")
+        assert any(s.kind == "update" and "1" in s.message for s in out)
+
+    def test_no_changes(self):
+        src = parse_python("x = 1\n")
+        dst = parse_python("x = 1\n")
+        script, _ = diff(src, dst)
+        assert explain(src, script) == "no changes"
+
+    def test_render_is_bulleted(self):
+        src = parse_python("def f():\n    pass\n")
+        dst = parse_python("def g():\n    pass\n")
+        script, _ = diff(src, dst)
+        text = explain(src, script)
+        assert text.startswith("- ")
+
+
+class TestGenericExplanations:
+    def test_generic_update(self):
+        e = EXP
+        a = e.Add(e.Num(1), e.Num(2))
+        b = e.Add(e.Num(9), e.Num(2))
+        script, _ = diff(a, b)
+        out = explain_script(a, script)
+        assert any("Num" in s.message for s in out)
+
+    def test_structural_residue_summarized(self):
+        e = EXP
+        a = e.Num(1)
+        b = e.Add(e.Num(1), e.Mul(e.Num(2), e.Num(3)))
+        script, _ = diff(a, b)
+        out = explain_script(a, script)
+        assert any("structural edit" in s.message for s in out)
+
+    def test_minilang_function_summaries(self):
+        from repro.langs.minilang import parse_mini
+
+        a = parse_mini("fn alpha() { return 1; }")
+        b = parse_mini("fn beta() { return 1; }")
+        script, _ = diff(a, b)
+        out = explain_script(a, script)
+        assert any(
+            s.kind == "rename" and "`alpha` to `beta`" in s.message for s in out
+        )

@@ -1,0 +1,210 @@
+"""Tests for the Gumtree baseline: trees, matcher phases, Zhang-Shasha,
+and the Chawathe script generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adapters import parse_python, tnode_to_gumtree
+from repro.baselines.gumtree import (
+    ChawatheScriptGenerator,
+    DeleteOp,
+    GumtreeOptions,
+    InsertOp,
+    MappingStore,
+    MoveOp,
+    UpdateOp,
+    dice,
+    gt,
+    gumtree_diff,
+    match,
+    top_down,
+)
+from repro.baselines.gumtree.zs import zs_distance, zs_mappings
+
+
+def apply_and_check(src, dst):
+    """Generate the Chawathe script and verify the working copy becomes dst."""
+    mappings = match(src, dst)
+    gen = ChawatheScriptGenerator(src, dst, mappings)
+    ops = gen.generate()
+    assert gen.result_tree().to_tuple() == dst.to_tuple()
+    return ops
+
+
+class TestGTNode:
+    def test_height_size_hash(self):
+        t = gt("add", gt("num", value="1"), gt("mul", gt("num", value="2"), gt("var", value="x")))
+        assert t.height == 3
+        assert t.size == 5
+        same = gt("add", gt("num", value="1"), gt("mul", gt("num", value="2"), gt("var", value="x")))
+        assert t.isomorphic_to(same)
+        diff_val = gt("add", gt("num", value="9"), gt("mul", gt("num", value="2"), gt("var", value="x")))
+        assert not t.isomorphic_to(diff_val)
+
+    def test_traversals(self):
+        t = gt("a", gt("b", gt("c")), gt("d"))
+        assert [n.label for n in t.pre_order()] == ["a", "b", "c", "d"]
+        assert [n.label for n in t.post_order()] == ["c", "b", "d", "a"]
+        assert [n.label for n in t.bfs()] == ["a", "b", "d", "c"]
+
+    def test_mutation_helpers(self):
+        t = gt("a", gt("b"), gt("c"))
+        b, c = t.children
+        assert b.position_in_parent() == 0
+        c.remove_from_parent()
+        assert [n.label for n in t.children] == ["b"]
+        t.add_child(c, 0)
+        assert [n.label for n in t.children] == ["c", "b"]
+
+
+class TestMatcher:
+    def test_identical_trees_fully_mapped(self):
+        a = gt("add", gt("num", value="1"), gt("num", value="2"))
+        b = gt("add", gt("num", value="1"), gt("num", value="2"))
+        m = match(a, b)
+        assert len(m) == 3
+
+    def test_top_down_maps_isomorphic_subtrees(self):
+        shared_a = gt("mul", gt("num", value="2"), gt("var", value="x"))
+        shared_b = gt("mul", gt("num", value="2"), gt("var", value="x"))
+        a = gt("add", shared_a, gt("num", value="1"))
+        b = gt("sub", gt("num", value="9"), shared_b)
+        m = MappingStore()
+        top_down(a, b, GumtreeOptions(), m)
+        assert m.dst_of(shared_a) is shared_b
+
+    def test_dice(self):
+        a = gt("f", gt("x"), gt("y"))
+        b = gt("f", gt("x"), gt("y"))
+        m = MappingStore()
+        m.add(a.children[0], b.children[0])
+        assert dice(a, b, m) == pytest.approx(0.5)
+
+    def test_bottom_up_matches_containers(self):
+        # containers share most children but are not isomorphic
+        a = gt("block", gt("s1", value="A"), gt("s2", value="B"), gt("s3", value="C"))
+        b = gt("block", gt("s1", value="A"), gt("s2", value="B"), gt("s4", value="D"))
+        wrapped_a = gt("root", a)
+        wrapped_b = gt("root", b)
+        m = match(wrapped_a, wrapped_b)
+        assert m.dst_of(a) is b
+
+
+class TestZhangShasha:
+    def test_identical(self):
+        a = gt("f", gt("a"), gt("b"))
+        b = gt("f", gt("a"), gt("b"))
+        assert zs_distance(a, b) == 0
+        assert len(zs_mappings(a, b)) == 3
+
+    def test_single_rename(self):
+        a = gt("f", gt("x", value="1"))
+        b = gt("f", gt("x", value="2"))
+        assert zs_distance(a, b) == 1
+
+    def test_insert_cost(self):
+        a = gt("f", gt("a"))
+        b = gt("f", gt("a"), gt("b"))
+        assert zs_distance(a, b) == 1
+
+    def test_known_example(self):
+        # the classic Zhang-Shasha paper example: d(T1, T2) = 2
+        t1 = gt("f", gt("d", gt("a"), gt("c", gt("b"))), gt("e"))
+        t2 = gt("f", gt("c", gt("d", gt("a"), gt("b"))), gt("e"))
+        assert zs_distance(t1, t2) == 2
+
+    def test_mapping_respects_order(self):
+        a = gt("seq", gt("s", value="1"), gt("s", value="2"), gt("s", value="3"))
+        b = gt("seq", gt("s", value="0"), gt("s", value="1"), gt("s", value="2"), gt("s", value="3"))
+        pairs = {(x.value, y.value) for x, y in zs_mappings(a, b)}
+        assert ("1", "1") in pairs and ("2", "2") in pairs and ("3", "3") in pairs
+
+
+class TestChawathe:
+    def test_pure_insert(self):
+        a = gt("block", gt("s", value="1"))
+        b = gt("block", gt("s", value="1"), gt("s", value="2"))
+        ops = apply_and_check(a, b)
+        assert sum(isinstance(o, InsertOp) for o in ops) == 1
+        assert len(ops) == 1
+
+    def test_pure_delete(self):
+        a = gt("block", gt("s", value="1"), gt("s", value="2"))
+        b = gt("block", gt("s", value="1"))
+        ops = apply_and_check(a, b)
+        assert all(isinstance(o, DeleteOp) for o in ops)
+
+    def test_update(self):
+        a = gt("block", gt("s", value="old"))
+        b = gt("block", gt("s", value="new"))
+        ops = apply_and_check(a, b)
+        assert any(isinstance(o, UpdateOp) for o in ops)
+
+    def test_move_detected(self):
+        x = gt("big", gt("p", value="1"), gt("q", value="2"), gt("r", value="3"))
+        a = gt("root", gt("left", x), gt("right"))
+        b_x = gt("big", gt("p", value="1"), gt("q", value="2"), gt("r", value="3"))
+        b = gt("root", gt("left"), gt("right", b_x))
+        ops = apply_and_check(a, b)
+        assert any(isinstance(o, MoveOp) for o in ops)
+        # the big subtree itself moves; it is not deleted and re-inserted
+        moved = [o for o in ops if isinstance(o, MoveOp)]
+        assert any(o.label == "big" for o in moved)
+        assert not any(isinstance(o, DeleteOp) and o.label == "big" for o in ops)
+
+    def test_root_replacement(self):
+        a = gt("old-root", gt("x", value="1"))
+        b = gt("new-root", gt("x", value="1"))
+        apply_and_check(a, b)
+
+    def test_sibling_reorder_of_leaves(self):
+        """Reordering *leaf* statements is del+ins for Gumtree: the ZS
+        alignment is order-preserving and leaves are below the top-down
+        min_height, so no crossing mapping exists."""
+        a = gt("block", gt("s", value="1"), gt("s", value="2"), gt("s", value="3"))
+        b = gt("block", gt("s", value="3"), gt("s", value="1"), gt("s", value="2"))
+        apply_and_check(a, b)
+
+    def test_sibling_reorder_of_subtrees_is_move(self):
+        """Reordering subtrees above min_height is detected as a move via
+        the top-down isomorphic phase."""
+
+        def stmt(v):
+            return gt("assign", gt("name", value=v), gt("num", value=v + v))
+
+        a = gt("block", stmt("a"), stmt("b"), stmt("c"))
+        b = gt("block", stmt("c"), stmt("a"), stmt("b"))
+        ops = apply_and_check(a, b)
+        assert any(isinstance(o, MoveOp) for o in ops)
+        assert not any(isinstance(o, (DeleteOp, InsertOp)) for o in ops)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_rose_trees(self, seed):
+        rng = random.Random(seed)
+
+        def random_tree(depth):
+            label = rng.choice("abcd")
+            value = str(rng.randint(0, 3))
+            n_kids = 0 if depth == 0 else rng.randint(0, 3)
+            return gt(label, *(random_tree(depth - 1) for _ in range(n_kids)), value=value)
+
+        a, b = random_tree(4), random_tree(4)
+        apply_and_check(a, b)
+
+    def test_python_files_end_to_end(self):
+        before = "def f(x):\n    return x + 1\n\ndef g():\n    pass\n"
+        after = "def f(x, y):\n    return x + y\n\ndef g():\n    pass\n\ndef h():\n    return 0\n"
+        a = tnode_to_gumtree(parse_python(before))
+        b = tnode_to_gumtree(parse_python(after))
+        ops = apply_and_check(a, b)
+        assert 0 < len(ops) < 30
+
+
+def test_gumtree_diff_wrapper():
+    a = gt("block", gt("s", value="1"))
+    b = gt("block", gt("s", value="2"))
+    ops = gumtree_diff(a, b)
+    assert len(ops) == 1 and isinstance(ops[0], UpdateOp)

@@ -1,0 +1,136 @@
+"""Deeper unit tests for the Gumtree matcher internals: the height list,
+the mapping store, ambiguity resolution, and option effects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.gumtree import (
+    GumtreeOptions,
+    MappingStore,
+    gt,
+    gumtree_diff,
+    match,
+    top_down,
+)
+from repro.baselines.gumtree.matcher import _HeightList, dice
+
+
+class TestHeightList:
+    def test_pop_equal_height(self):
+        hl = _HeightList()
+        a = gt("x", gt("y"))  # height 2
+        b = gt("z", gt("w"))  # height 2
+        c = gt("leaf")  # height 1
+        for n in (c, a, b):
+            hl.push(n)
+        assert hl.peek_height() == 2
+        popped = hl.pop_equal_height()
+        assert {n.label for n in popped} == {"x", "z"}
+        assert hl.peek_height() == 1
+
+    def test_open_pushes_children(self):
+        hl = _HeightList()
+        t = gt("p", gt("c1"), gt("c2", gt("g")))
+        hl.open(t)
+        assert hl.peek_height() == 2  # c2
+        assert bool(hl)
+
+    def test_empty(self):
+        hl = _HeightList()
+        assert not hl
+        assert hl.peek_height() == 0
+        assert hl.pop_equal_height() == []
+
+
+class TestMappingStore:
+    def test_symmetric_lookup(self):
+        m = MappingStore()
+        a, b = gt("a"), gt("b")
+        m.add(a, b)
+        assert m.dst_of(a) is b
+        assert m.src_of(b) is a
+        assert m.has_src(a) and m.has_dst(b)
+        assert (a, b) in m
+        assert len(m) == 1
+
+    def test_add_iso_subtrees_maps_recursively(self):
+        m = MappingStore()
+        a = gt("f", gt("x", gt("l")), gt("y"))
+        b = gt("f", gt("x", gt("l")), gt("y"))
+        m.add_iso_subtrees(a, b)
+        assert len(m) == 4
+        assert m.dst_of(a.children[0].children[0]) is b.children[0].children[0]
+
+
+class TestTopDownAmbiguity:
+    def test_ambiguous_candidates_resolved_by_parent_dice(self):
+        """Two isomorphic subtrees on each side: the pair whose parents
+        already agree (higher dice) wins."""
+        twin = lambda: gt("pair", gt("l", value="1"), gt("r", value="2"))
+        anchor_a = gt("anchor", gt("k1", value="7"), gt("k2", value="8"))
+        anchor_b = gt("anchor", gt("k1", value="7"), gt("k2", value="8"))
+        src_p = gt("ctx1", twin(), anchor_a)
+        src_q = gt("ctx2", twin())
+        dst_p = gt("ctx1", twin(), anchor_b)
+        dst_q = gt("ctx2", twin())
+        src = gt("root", src_p, src_q)
+        dst = gt("root", dst_p, dst_q)
+        m = MappingStore()
+        top_down(src, dst, GumtreeOptions(), m)
+        # the twin inside ctx1 must map to the twin inside ctx1
+        twin_src = src_p.children[0]
+        mapped = m.dst_of(twin_src)
+        assert mapped is dst_p.children[0]
+
+    def test_min_height_excludes_small_subtrees(self):
+        a = gt("root", gt("leaf", value="1"))
+        b = gt("other", gt("leaf", value="1"))
+        m = MappingStore()
+        top_down(a, b, GumtreeOptions(min_height=2), m)
+        assert len(m) == 0  # the isomorphic leaves are below min_height
+
+    def test_min_height_one_maps_leaves(self):
+        a = gt("root", gt("leaf", value="1"))
+        b = gt("other", gt("leaf", value="1"))
+        m = MappingStore()
+        top_down(a, b, GumtreeOptions(min_height=1), m)
+        assert len(m) == 1
+
+
+class TestDice:
+    def test_empty_containers(self):
+        assert dice(gt("a"), gt("b"), MappingStore()) == 0.0
+
+    def test_full_overlap(self):
+        m = MappingStore()
+        a = gt("f", gt("x"), gt("y"))
+        b = gt("f", gt("x"), gt("y"))
+        m.add(a.children[0], b.children[0])
+        m.add(a.children[1], b.children[1])
+        assert dice(a, b, m) == pytest.approx(1.0)
+
+    def test_partner_outside_container_does_not_count(self):
+        m = MappingStore()
+        a = gt("f", gt("x"))
+        b = gt("f", gt("x"))
+        elsewhere = gt("g", gt("x"))
+        m.add(a.children[0], elsewhere.children[0])
+        assert dice(a, b, m) == 0.0
+
+
+class TestOptionsEndToEnd:
+    def test_higher_min_dice_blocks_container_matches(self):
+        a = gt("blk", gt("s", value="1"), gt("s", value="2"), gt("s", value="3"))
+        b = gt("blk", gt("s", value="1"), gt("t", value="x"), gt("t", value="y"))
+        strict = gumtree_diff(
+            gt("root", a), gt("root", b), GumtreeOptions(min_dice=0.99, min_height=1)
+        )
+        lax = gumtree_diff(
+            gt("root", a.deep_copy()),
+            gt("root", b.deep_copy()),
+            GumtreeOptions(min_dice=0.1, min_height=1),
+        )
+        # with a near-impossible dice threshold, the blk container cannot
+        # match, forcing a bigger script
+        assert len(strict) >= len(lax)

@@ -1,0 +1,166 @@
+"""Tests for the hdiff baseline (typed tree rewritings)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.hdiff import (
+    Chg,
+    DigestTrie,
+    HdiffApplyError,
+    HdiffOptions,
+    MetaVar,
+    Spine,
+    ctx_vars,
+    hdiff,
+    hdiff_apply,
+    is_copy,
+    patch_changes,
+    patch_size,
+)
+
+from .util import EXP, exp_trees
+
+
+def roundtrip(src, dst, opts=None):
+    patch = hdiff(src, dst, opts)
+    result = hdiff_apply(patch, src)
+    assert result.tree_equal(dst), f"{result.pretty()} != {dst.pretty()}"
+    return patch
+
+
+class TestDigestTrie:
+    def test_put_get(self):
+        t = DigestTrie()
+        t.put(b"\x01\x02", "a")
+        t.put(b"\x01\x03", "b")
+        assert t.get(b"\x01\x02") == "a"
+        assert t.get(b"\x01\x03") == "b"
+        assert t.get(b"\x01") is None
+        assert len(t) == 2
+
+    def test_contains_and_overwrite(self):
+        t = DigestTrie()
+        t.put(b"k", 1)
+        assert b"k" in t and b"q" not in t
+        t.put(b"k", 2)
+        assert t.get(b"k") == 2 and len(t) == 1
+
+    def test_setdefault_and_items(self):
+        t = DigestTrie()
+        assert t.setdefault(b"a", []) is t.setdefault(b"a", "ignored")
+        t.put(b"ab", 1)
+        assert dict(t.items()) == {b"a": [], b"ab": 1}
+
+
+class TestHdiffBasics:
+    def test_identical_trees_are_a_copy(self):
+        e = EXP
+        t = e.Add(e.Num(1), e.Num(2))
+        patch = roundtrip(t, e.Add(e.Num(1), e.Num(2)))
+        assert is_copy(patch)
+        assert patch_size(patch) == 0
+
+    def test_swap_is_captured_by_metavariables(self):
+        """The paper's Section 1 example: the hdiff patch mentions the
+        constructors on the way but moves subtrees via metavariables."""
+        e = EXP
+        a, b, c, d = e.Var("a"), e.Var("b"), e.Var("c"), e.Var("d")
+        src = e.Add(e.Sub(a, b), e.Mul(c, d))
+        dst = e.Add(e.Var("d"), e.Mul(e.Var("c"), e.Sub(e.Var("a"), e.Var("b"))))
+        patch = roundtrip(src, dst)
+        changes = patch_changes(patch)
+        assert changes, "expected at least one change"
+        all_vars = set()
+        for chg in changes:
+            all_vars |= ctx_vars(chg.delete)
+        assert all_vars, "expected metavariables for the moved subtrees"
+
+    def test_patch_size_counts_constructors(self):
+        e = EXP
+        src = e.Add(e.Num(1), e.Num(2))
+        dst = e.Sub(e.Num(1), e.Num(2))
+        patch = roundtrip(src, dst)
+        # Add and Sub are mentioned; Num(1)/Num(2) become metavariables
+        assert patch_size(patch) == 2
+
+    def test_copy_duplication(self):
+        """hdiff can duplicate: the same metavariable twice on the insert
+        side (contrast with truediff's linearity)."""
+        e = EXP
+        shared = e.Mul(e.Num(3), e.Var("q"))
+        src = e.Neg(shared)
+        dst = e.Add(
+            e.Mul(e.Num(3), e.Var("q")), e.Mul(e.Num(3), e.Var("q"))
+        )
+        patch = roundtrip(src, dst, HdiffOptions(mode="nonest"))
+
+    def test_spine_pushes_changes_down(self):
+        e = EXP
+        big = e.Add(e.Mul(e.Num(1), e.Num(2)), e.Sub(e.Num(3), e.Num(4)))
+        src = e.Add(big, e.Num(7))
+        dst = e.Add(big, e.Num(8))
+        patch = roundtrip(src, dst, HdiffOptions())
+        assert isinstance(patch, Spine), "unchanged root should be spine"
+
+    def test_no_spine_option(self):
+        e = EXP
+        src = e.Add(e.Num(1), e.Num(7))
+        dst = e.Add(e.Num(1), e.Num(8))
+        patch = roundtrip(src, dst, HdiffOptions(close_spine=False))
+        assert isinstance(patch, Chg)
+
+    def test_dict_backed_sharing(self):
+        e = EXP
+        src = e.Add(e.Num(1), e.Num(7))
+        dst = e.Add(e.Num(7), e.Num(1))
+        roundtrip(src, dst, HdiffOptions(use_trie=False))
+
+    def test_apply_mismatch_raises(self):
+        e = EXP
+        src = e.Add(e.Num(1), e.Num(2))
+        dst = e.Sub(e.Num(1), e.Num(2))
+        patch = hdiff(src, dst)
+        with pytest.raises(HdiffApplyError):
+            hdiff_apply(patch, e.Mul(e.Num(9), e.Num(9)))
+
+    def test_min_height_excludes_small_shares(self):
+        e = EXP
+        src = e.Add(e.Num(1), e.Num(2))
+        dst = e.Add(e.Num(2), e.Num(1))
+        patch = roundtrip(src, dst, HdiffOptions(min_height=5))
+        # nothing tall enough to share: the change spells out all constructors
+        for chg in patch_changes(patch):
+            assert not ctx_vars(chg.delete)
+
+
+class TestHdiffProperties:
+    @given(exp_trees(), exp_trees())
+    @settings(max_examples=120, deadline=None)
+    def test_patience_roundtrip(self, src, dst):
+        roundtrip(src, dst, HdiffOptions(mode="patience"))
+
+    @given(exp_trees(), exp_trees())
+    @settings(max_examples=120, deadline=None)
+    def test_nonest_roundtrip(self, src, dst):
+        roundtrip(src, dst, HdiffOptions(mode="nonest"))
+
+    @given(exp_trees(), exp_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_no_spine_roundtrip(self, src, dst):
+        roundtrip(src, dst, HdiffOptions(close_spine=False))
+
+    @given(exp_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_self_patch_is_empty(self, t):
+        patch = hdiff(t, t)
+        assert is_copy(patch)
+
+    @given(exp_trees(), exp_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_patch_size_vs_truediff(self, src, dst):
+        """hdiff patches are never smaller than... actually they can be;
+        just check the metric is consistent and non-negative."""
+        patch = hdiff(src, dst)
+        assert patch_size(patch) >= 0

@@ -1,0 +1,286 @@
+"""Tests for the incremental computing substrate (Section 6)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adapters import parse_python
+from repro.core import diff
+from repro.incremental import (
+    BidirectionalManyToOneIndex,
+    BidirectionalOneToOneIndex,
+    Engine,
+    IncrementalDriver,
+    OneToOneViolation,
+    TreeFactDB,
+    atom,
+    install_descendants,
+    install_exp_typing,
+    install_python_defuse,
+    neg,
+)
+
+from .util import EXP, exp_trees, mutate_exp, random_exp
+
+
+class TestIndexes:
+    def test_one_to_one_roundtrip(self):
+        idx = BidirectionalOneToOneIndex()
+        idx.put("a", 1)
+        assert idx.get("a") == 1
+        assert idx.inverse(1) == "a"
+        assert len(idx) == 1
+
+    def test_one_to_one_violations(self):
+        idx = BidirectionalOneToOneIndex()
+        idx.put("a", 1)
+        with pytest.raises(OneToOneViolation):
+            idx.put("a", 2)
+        with pytest.raises(OneToOneViolation):
+            idx.put("b", 1)
+
+    def test_one_to_one_removal(self):
+        idx = BidirectionalOneToOneIndex()
+        idx.put("a", 1)
+        assert idx.remove_key("a") == 1
+        assert idx.get("a") is None
+        idx.put("a", 1)
+        assert idx.remove_value(1) == "a"
+        assert len(idx) == 0
+
+    def test_many_to_one_allows_overloading(self):
+        idx = BidirectionalManyToOneIndex()
+        idx.put("slot", 1)
+        idx.put("slot", 2)  # a Chawathe-style move overloads the slot
+        assert idx.get("slot") == {1, 2}
+        with pytest.raises(OneToOneViolation):
+            idx.get_single("slot")
+        idx.remove_value(1)
+        assert idx.get_single("slot") == 2
+
+
+class TestEngine:
+    def test_basic_join(self):
+        e = Engine()
+        e.rule("gp", ("?X", "?Z"), [atom("parent", "?X", "?Y"), atom("parent", "?Y", "?Z")])
+        e.insert_fact("parent", "a", "b")
+        e.insert_fact("parent", "b", "c")
+        e.evaluate()
+        assert e.facts("gp") == {("a", "c")}
+
+    def test_recursion_transitive_closure(self):
+        e = Engine()
+        e.rule("tc", ("?X", "?Y"), [atom("edge", "?X", "?Y")])
+        e.rule("tc", ("?X", "?Z"), [atom("tc", "?X", "?Y"), atom("edge", "?Y", "?Z")])
+        for a, b in [(1, 2), (2, 3), (3, 4)]:
+            e.insert_fact("edge", a, b)
+        e.evaluate()
+        assert (1, 4) in e.facts("tc")
+        assert len(e.facts("tc")) == 6
+
+    def test_incremental_insert(self):
+        e = Engine()
+        e.rule("tc", ("?X", "?Y"), [atom("edge", "?X", "?Y")])
+        e.rule("tc", ("?X", "?Z"), [atom("tc", "?X", "?Y"), atom("edge", "?Y", "?Z")])
+        e.insert_fact("edge", 1, 2)
+        e.evaluate()
+        e.apply_delta(inserts=[("edge", (2, 3))])
+        assert (1, 3) in e.facts("tc")
+
+    def test_incremental_delete_dred(self):
+        e = Engine()
+        e.rule("tc", ("?X", "?Y"), [atom("edge", "?X", "?Y")])
+        e.rule("tc", ("?X", "?Z"), [atom("tc", "?X", "?Y"), atom("edge", "?Y", "?Z")])
+        for a, b in [(1, 2), (2, 3), (1, 3)]:
+            e.insert_fact("edge", a, b)
+        e.evaluate()
+        # (1,3) has two derivations; deleting edge (2,3) must keep it
+        e.apply_delta(deletes=[("edge", (2, 3))])
+        assert (1, 3) in e.facts("tc")
+        assert (2, 3) not in e.facts("tc")
+
+    def test_incremental_matches_scratch_on_random_graphs(self):
+        rng = random.Random(5)
+        e = Engine()
+        e.rule("tc", ("?X", "?Y"), [atom("edge", "?X", "?Y")])
+        e.rule("tc", ("?X", "?Z"), [atom("tc", "?X", "?Y"), atom("edge", "?Y", "?Z")])
+        edges = {(rng.randrange(8), rng.randrange(8)) for _ in range(12)}
+        for a, b in edges:
+            e.insert_fact("edge", a, b)
+        e.evaluate()
+        for _ in range(15):
+            if edges and rng.random() < 0.5:
+                victim = rng.choice(sorted(edges))
+                edges.discard(victim)
+                e.apply_delta(deletes=[("edge", victim)])
+            else:
+                new = (rng.randrange(8), rng.randrange(8))
+                edges.add(new)
+                e.apply_delta(inserts=[("edge", new)])
+            fresh = Engine()
+            fresh.rules = e.rules
+            for a, b in edges:
+                fresh.insert_fact("edge", a, b)
+            fresh.evaluate()
+            assert e.facts("tc") == fresh.facts("tc")
+
+    def test_stratified_negation(self):
+        e = Engine()
+        e.rule("defined", ("?N",), [atom("def_", "?N")])
+        e.rule("missing", ("?N",), [atom("use", "?N"), neg("defined", "?N")])
+        e.insert_fact("def_", "f")
+        e.insert_fact("use", "f")
+        e.insert_fact("use", "g")
+        e.evaluate()
+        assert e.facts("missing") == {("g",)}
+        # negation maintained under updates
+        e.apply_delta(inserts=[("def_", ("g",))])
+        assert e.facts("missing") == set()
+        e.apply_delta(deletes=[("def_", ("f",))])
+        assert e.facts("missing") == {("f",)}
+
+    def test_guards(self):
+        e = Engine()
+        e.rule(
+            "big",
+            ("?X",),
+            [atom("val", "?X")],
+            guard=lambda env: env["X"] > 10,
+        )
+        e.insert_fact("val", 5)
+        e.insert_fact("val", 50)
+        e.evaluate()
+        assert e.facts("big") == {(50,)}
+
+
+class TestTreeFactDB:
+    def test_load_tree_facts(self):
+        e = EXP
+        t = e.Add(e.Num(1), e.Num(2))
+        db = TreeFactDB()
+        facts = db.load_tree(t)
+        rels = {r for r, _ in facts}
+        assert rels == {"node", "child", "lit"}
+        assert ("node", (t.uri, "Add")) in facts
+
+    def test_script_delta_matches_new_tree(self):
+        """Applying a script to the fact DB must produce exactly the fact
+        set of the new tree."""
+        e = EXP
+        rng = random.Random(11)
+        t1 = random_exp(rng, 4)
+        db = TreeFactDB()
+        db.load_tree(t1)
+        t2 = mutate_exp(rng, t1, 3)
+        script, patched = diff(t1, t2)
+        db.apply_script(script)
+        fresh = TreeFactDB()
+        fresh.load_tree(patched)
+        assert set(db.all_facts()) == set(fresh.all_facts())
+
+    def test_child_queries(self):
+        e = EXP
+        t = e.Add(e.Num(1), e.Num(2))
+        db = TreeFactDB()
+        db.load_tree(t)
+        assert db.child_of(t.uri, "e1") == t.kids[0].uri
+        assert db.parent_of(t.kids[0].uri) == (t.uri, "e1")
+
+    def test_many_to_one_variant(self):
+        e = EXP
+        t = e.Add(e.Num(1), e.Num(2))
+        db = TreeFactDB(one_to_one=False)
+        db.load_tree(t)
+        assert db.child_of(t.uri, "e1") == t.kids[0].uri
+
+
+class TestDriver:
+    def test_exp_typing_updates(self):
+        e = EXP
+        t = e.Add(e.Num(1), e.Var("x"))
+        drv = IncrementalDriver(t, installers=[install_exp_typing])
+        assert not drv.engine.facts("type_error")
+        t2 = e.Add(e.Num(1), e.Var("bools"))
+        drv.update(t2)
+        assert drv.engine.facts("type_error")
+        assert drv.check_consistency()
+
+    def test_python_defuse(self):
+        src = "def f():\n    return g()\n"
+        t = parse_python(src)
+        drv = IncrementalDriver(t, installers=[install_python_defuse])
+        assert ("f",) in drv.engine.facts("defined_name")
+        undefined = {name for _, name in drv.engine.facts("undefined_call")}
+        assert undefined == {"g"}
+        # adding def g fixes the undefined call
+        t2 = parse_python(src + "\ndef g():\n    return 1\n")
+        drv.update(t2)
+        assert not drv.engine.facts("undefined_call")
+        assert drv.check_consistency()
+
+    def test_descendants_consistency_over_mutations(self):
+        rng = random.Random(3)
+        t = random_exp(rng, 4)
+        drv = IncrementalDriver(t, installers=[install_descendants])
+        current = t
+        for _ in range(5):
+            nxt = mutate_exp(rng, current, 2)
+            report = drv.update(nxt)
+            assert report.edits >= 0
+            assert drv.check_consistency()
+            current = drv.tree
+
+    def test_update_report_timings(self):
+        e = EXP
+        t = e.Add(e.Num(1), e.Num(2))
+        drv = IncrementalDriver(t, installers=[install_descendants])
+        rep = drv.update(e.Add(e.Num(1), e.Num(3)), measure_scratch=True)
+        assert rep.diff_ms >= 0 and rep.maintain_ms >= 0
+        assert rep.scratch_ms is not None and rep.speedup is not None
+
+
+class TestCallGraph:
+    def make_driver(self, source: str):
+        from repro.incremental import install_python_callgraph
+
+        return IncrementalDriver(
+            parse_python(source),
+            installers=[
+                install_descendants,
+                install_python_defuse,
+                install_python_callgraph,
+            ],
+        )
+
+    SRC = (
+        "def a():\n    return b()\n\n"
+        "def b():\n    return c()\n\n"
+        "def c():\n    return 1\n"
+    )
+
+    def test_calls_and_reachability(self):
+        drv = self.make_driver(self.SRC)
+        assert ("a", "b") in drv.engine.facts("calls")
+        assert ("a", "c") in drv.engine.facts("reaches")
+        assert not drv.engine.facts("recursive")
+
+    def test_recursion_detected_incrementally(self):
+        drv = self.make_driver(self.SRC)
+        looped = self.SRC.replace("return 1", "return a()")
+        drv.update(parse_python(looped))
+        recursive = {f for (f,) in drv.engine.facts("recursive")}
+        assert recursive == {"a", "b", "c"}
+        assert drv.check_consistency()
+        # break the cycle again
+        drv.update(parse_python(self.SRC))
+        assert not drv.engine.facts("recursive")
+        assert drv.check_consistency()
+
+    def test_provenance_of_reachability(self):
+        from repro.incremental import why
+
+        drv = self.make_driver(self.SRC)
+        derivation = why(drv.engine, "reaches", "a", "c")
+        assert "calls" in derivation.render()

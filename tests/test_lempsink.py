@@ -1,0 +1,99 @@
+"""Tests for the Lempsink-style Cpy/Ins/Del baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.lempsink import (
+    Cpy,
+    Del,
+    Ins,
+    lempsink_apply,
+    lempsink_diff,
+    script_cost,
+    script_length,
+)
+from repro.baselines.lempsink.diff import LempsinkApplyError
+
+from .util import EXP, exp_trees
+
+
+def roundtrip(src, dst):
+    ops = lempsink_diff(src, dst)
+    result = lempsink_apply(ops, src)
+    assert result.tree_equal(dst)
+    return ops
+
+
+class TestBasics:
+    def test_identical_is_all_copies(self):
+        e = EXP
+        t = e.Add(e.Num(1), e.Num(2))
+        ops = roundtrip(t, e.Add(e.Num(1), e.Num(2)))
+        assert all(isinstance(o, Cpy) for o in ops)
+        assert script_cost(ops) == 0
+        assert script_length(ops) == 3  # patch mentions every node
+
+    def test_literal_change_is_del_ins(self):
+        """No update op in this calculus: changing a literal re-creates
+        the node."""
+        e = EXP
+        ops = roundtrip(e.Num(1), e.Num(2))
+        assert script_cost(ops) == 2
+
+    def test_moves_are_not_detected(self):
+        """The paper's criticism: a moved subtree is deleted and
+        re-inserted, so the script grows with the moved subtree."""
+        e = EXP
+        sub = e.Sub(e.Var("a"), e.Var("b"))
+        src = e.Add(sub, e.Mul(e.Var("c"), e.Var("d")))
+        dst = e.Add(e.Var("d"), e.Mul(e.Var("c"), e.Sub(e.Var("a"), e.Var("b"))))
+        ops = roundtrip(src, dst)
+        # truediff does this with 4 edits; lempsink needs many more
+        assert script_cost(ops) >= 6
+
+    def test_optimality_simple(self):
+        e = EXP
+        src = e.Add(e.Num(1), e.Num(2))
+        dst = e.Add(e.Num(1), e.Mul(e.Num(2), e.Num(3)))
+        ops = roundtrip(src, dst)
+        # insert Mul and Num(3), copy the rest: cost exactly 2
+        assert script_cost(ops) == 2
+
+    def test_apply_rejects_wrong_source(self):
+        e = EXP
+        ops = lempsink_diff(e.Num(1), e.Num(2))
+        with pytest.raises(LempsinkApplyError):
+            lempsink_apply(ops, e.Var("x"))
+
+    def test_apply_rejects_truncated_script(self):
+        e = EXP
+        ops = lempsink_diff(e.Add(e.Num(1), e.Num(2)), e.Num(3))
+        with pytest.raises(LempsinkApplyError):
+            lempsink_apply(ops[:-1], e.Add(e.Num(1), e.Num(2)))
+
+
+class TestProperties:
+    @given(exp_trees(max_leaves=8), exp_trees(max_leaves=8))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip(self, src, dst):
+        roundtrip(src, dst)
+
+    @given(exp_trees(max_leaves=8))
+    @settings(max_examples=40, deadline=None)
+    def test_self_diff_cost_zero(self, t):
+        ops = lempsink_diff(t, t)
+        assert script_cost(ops) == 0
+        assert script_length(ops) == t.size
+
+    @given(exp_trees(max_leaves=6), exp_trees(max_leaves=6))
+    @settings(max_examples=40, deadline=None)
+    def test_cost_bounded_by_sizes(self, a, b):
+        ops = lempsink_diff(a, b)
+        assert script_cost(ops) <= a.size + b.size
+
+    @given(exp_trees(max_leaves=6), exp_trees(max_leaves=6))
+    @settings(max_examples=40, deadline=None)
+    def test_cost_symmetric(self, a, b):
+        assert script_cost(lempsink_diff(a, b)) == script_cost(lempsink_diff(b, a))

@@ -1,0 +1,168 @@
+"""Tests for three-way merging of edit scripts."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    assert_well_typed,
+    diff,
+    find_conflicts,
+    merge_scripts,
+    tnode_to_mtree,
+)
+
+from .util import EXP, exp_trees
+
+
+def three_way(base, left, right):
+    """Diff base->left and base->right, then merge."""
+    s1, _ = diff(base, left)
+    s2, _ = diff(base, right)
+    from repro.core.diff import _dealias
+
+    # the second diff must not reuse per-diff state of the first
+    return s1, s2, merge_scripts(s1, s2)
+
+
+class TestCleanMerges:
+    def test_disjoint_literal_edits(self):
+        e = EXP
+        base = e.Add(e.Num(1), e.Num(2))
+        left = e.Add(e.Num(10), e.Num(2))
+        right = e.Add(e.Num(1), e.Num(20))
+        s1, s2, result = three_way(base, left, right)
+        assert result.ok, result.conflicts
+        assert_well_typed(base.sigs, result.script)
+        mt = tnode_to_mtree(base)
+        mt.patch(result.script)
+        assert mt.structure_equals(tnode_to_mtree(e.Add(e.Num(10), e.Num(20))))
+
+    def test_disjoint_subtree_replacements(self):
+        e = EXP
+        base = e.Add(e.Mul(e.Num(1), e.Num(2)), e.Sub(e.Num(3), e.Num(4)))
+        left = e.Add(e.Var("l"), e.Sub(e.Num(3), e.Num(4)))
+        right = e.Add(e.Mul(e.Num(1), e.Num(2)), e.Var("r"))
+        s1, s2, result = three_way(base, left, right)
+        assert result.ok, result.conflicts
+        mt = tnode_to_mtree(base)
+        mt.patch(result.script)
+        assert mt.structure_equals(tnode_to_mtree(e.Add(e.Var("l"), e.Var("r"))))
+
+    def test_load_uri_collisions_are_renamed(self):
+        from repro.core import EditScript, Insert, Load, Node, Remove
+
+        # two handcrafted scripts that both load URI 900 into different slots
+        e = EXP
+        base = e.Add(e.Num(1), e.Num(2))
+        n1, n2 = base.kids
+        s1 = EditScript(
+            [
+                Remove(n1.node, "e1", base.node, (), (("n", 1),)),
+                Insert(Node("Var", 900), (), (("name", "l"),), "e1", base.node),
+            ]
+        )
+        s2 = EditScript(
+            [
+                Remove(n2.node, "e2", base.node, (), (("n", 2),)),
+                Insert(Node("Var", 900), (), (("name", "r"),), "e2", base.node),
+            ]
+        )
+        result = merge_scripts(s1, s2)
+        assert result.ok
+        assert_well_typed(base.sigs, result.script)
+        mt = tnode_to_mtree(base)
+        mt.patch(result.script)
+        assert mt.structure_equals(tnode_to_mtree(e.Add(e.Var("l"), e.Var("r"))))
+
+    def test_edit_inside_moved_subtree(self):
+        """Left moves a subtree; right edits a literal inside it."""
+        e = EXP
+        inner = e.Mul(e.Num(7), e.Var("k"))
+        base = e.Add(inner, e.Num(0))
+        left = e.Add(e.Num(0), e.Mul(e.Num(7), e.Var("k")))  # swap
+        right = e.Add(e.Mul(e.Num(8), e.Var("k")), e.Num(0))  # edit inside
+        s1, s2, result = three_way(base, left, right)
+        assert result.ok, result.conflicts
+        mt = tnode_to_mtree(base)
+        mt.patch(result.script)
+        assert mt.structure_equals(
+            tnode_to_mtree(e.Add(e.Num(0), e.Mul(e.Num(8), e.Var("k"))))
+        )
+
+
+class TestConflicts:
+    def test_same_literal_edited(self):
+        e = EXP
+        base = e.Add(e.Num(1), e.Num(2))
+        left = e.Add(e.Num(10), e.Num(2))
+        right = e.Add(e.Num(99), e.Num(2))
+        s1, s2, result = three_way(base, left, right)
+        assert not result.ok
+        assert any(c.kind == "node" for c in result.conflicts)
+
+    def test_same_slot_replaced(self):
+        e = EXP
+        base = e.Add(e.Num(1), e.Num(2))
+        left = e.Add(e.Var("l"), e.Num(2))
+        right = e.Add(e.Sub(e.Num(0), e.Num(0)), e.Num(2))
+        s1, s2, result = three_way(base, left, right)
+        assert not result.ok
+
+    def test_delete_vs_edit_inside(self):
+        e = EXP
+        inner = e.Mul(e.Num(7), e.Var("k"))
+        base = e.Add(inner, e.Num(0))
+        left = e.Num(0)  # deletes the whole Add (and inner)
+        right = e.Add(e.Mul(e.Num(8), e.Var("k")), e.Num(0))
+        s1, s2, result = three_way(base, left, right)
+        assert not result.ok
+
+    def test_conflict_rendering(self):
+        e = EXP
+        base = e.Add(e.Num(1), e.Num(2))
+        s1, _ = diff(base, e.Add(e.Num(10), e.Num(2)))
+        s2, _ = diff(base, e.Add(e.Num(99), e.Num(2)))
+        conflicts = find_conflicts(s1, s2)
+        assert conflicts
+        assert "node" in str(conflicts[0]) or "slot" in str(conflicts[0])
+
+
+class TestMergeProperties:
+    @given(exp_trees(max_leaves=8))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_with_empty_script_is_identity(self, base):
+        from repro.core import EditScript
+
+        left = EXP.Add(base, EXP.Num(1))
+        s1, _ = diff(base, left)
+        result = merge_scripts(s1, EditScript())
+        assert result.ok
+        assert result.script == s1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_clean_merge_applies(self, seed):
+        """Random disjoint edits: left edits the left child, right edits
+        the right child of a shared root."""
+        from .util import mutate_exp, random_exp
+
+        rng = random.Random(seed)
+        lpart = random_exp(rng, 3)
+        rpart = random_exp(rng, 3)
+        base = EXP.Add(lpart, rpart)
+        left = EXP.Add(mutate_exp(rng, lpart, 2), rpart)
+        right = EXP.Add(lpart, mutate_exp(rng, rpart, 2))
+        s1, _ = diff(base, left)
+        s2, _ = diff(base, right)
+        result = merge_scripts(s1, s2)
+        if not result.ok:
+            # mutations may coincidentally touch the shared root: allowed,
+            # but must be reported as conflicts rather than misapplied
+            assert result.conflicts
+            return
+        assert_well_typed(base.sigs, result.script)
+        mt = tnode_to_mtree(base)
+        mt.patch(result.script)  # must not raise

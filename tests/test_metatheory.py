@@ -1,0 +1,162 @@
+"""Executable metatheory (Section 3.4).
+
+Theorem 3.6 / Lemmas 3.7-3.8 state that well-typed edit scripts preserve
+MTree typing under the standard semantics.  We check the statement on
+hypothesis-generated diffing scenarios: after *every* primitive edit of a
+well-typed script the intermediate MTree satisfies Definition 3.4 relative
+to the roots and slots computed by the type system.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    EditScript,
+    check_script,
+    diff,
+    tnode_to_mtree,
+)
+from repro.core.mtree import (
+    ComplianceError,
+    TypingViolation,
+    check_syntactic_compliance,
+    mnode_well_typed,
+    mtree_well_typed,
+)
+from repro.core.typecheck import CLOSED_STATE
+
+from .util import EXP, exp_trees
+
+
+def check_stepwise_preservation(src, dst):
+    """Lemma 3.8 instantiated: step through the script edit by edit."""
+    script, _ = diff(src, dst)
+    t = tnode_to_mtree(src)
+    check_syntactic_compliance(script, t)
+    state = CLOSED_STATE
+    # initial tree is closed and well-typed
+    mtree_well_typed(EXP.sigs, {}, dict(state.roots), t)
+    for e in script.primitives():
+        state = check_script(EXP.sigs, EditScript([e]), state)
+        roots, slots = state.as_dicts()
+        t.process_edit(e)
+        mtree_well_typed(EXP.sigs, slots, roots, t)
+    # final state: closed again (Theorem 3.6)
+    assert state == CLOSED_STATE
+
+
+@given(exp_trees(), exp_trees())
+@settings(max_examples=100, deadline=None)
+def test_type_safety_stepwise(src, dst):
+    check_stepwise_preservation(src, dst)
+
+
+def test_type_safety_on_running_example():
+    e = EXP
+    src = e.Add(e.Sub(e.Var("a"), e.Var("b")), e.Mul(e.Var("c"), e.Var("d")))
+    dst = e.Add(e.Var("d"), e.Mul(e.Var("c"), e.Sub(e.Var("a"), e.Var("b"))))
+    check_stepwise_preservation(src, dst)
+
+
+class TestMNodeTyping:
+    """Definition 3.3 unit tests."""
+
+    def test_well_typed_leaf(self):
+        t = tnode_to_mtree(EXP.Num(5))
+        ty = mnode_well_typed(EXP.sigs, {}, t.main)
+        assert ty.name == "Exp"
+
+    def test_wrong_literal_type(self):
+        t = tnode_to_mtree(EXP.Num(5))
+        t.main.lits["n"] = "oops"
+        with pytest.raises(TypingViolation):
+            mnode_well_typed(EXP.sigs, {}, t.main)
+
+    def test_null_kid_requires_tracked_slot(self):
+        t = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+        add = t.main
+        add.kids["e1"] = None
+        with pytest.raises(TypingViolation, match="no tracked slot"):
+            mnode_well_typed(EXP.sigs, {}, add)
+        # with the slot tracked, the open tree is well-typed
+        slot = (add.uri, "e1")
+        ty = mnode_well_typed(EXP.sigs, {slot: EXP.sigs["Add"].kid_type("e1")}, add)
+        assert ty.name == "Exp"
+
+    def test_missing_link_is_violation(self):
+        t = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+        del t.main.kids["e2"]
+        with pytest.raises(TypingViolation, match="kid links"):
+            mnode_well_typed(EXP.sigs, {}, t.main)
+
+
+class TestMTreeTyping:
+    """Definition 3.4 unit tests."""
+
+    def test_detached_roots_are_checked(self):
+        t = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+        add = t.main
+        num1 = add.kids["e1"]
+        add.kids["e1"] = None
+        slots = {(add.uri, "e1"): EXP.sigs["Add"].kid_type("e1")}
+        roots = {None: EXP.sigs["<Root>"].result, num1.uri: EXP.sigs["Num"].result}
+        mtree_well_typed(EXP.sigs, slots, roots, t)
+
+    def test_unknown_root_uri_is_violation(self):
+        t = tnode_to_mtree(EXP.Num(1))
+        roots = {None: EXP.sigs["<Root>"].result, 424242: EXP.sigs["Num"].result}
+        with pytest.raises(TypingViolation, match="not in index"):
+            mtree_well_typed(EXP.sigs, {}, roots, t)
+
+    def test_unknown_slot_parent_is_violation(self):
+        t = tnode_to_mtree(EXP.Num(1))
+        slots = {(424242, "e1"): EXP.sigs["Add"].kid_type("e1")}
+        with pytest.raises(TypingViolation, match="not in index"):
+            mtree_well_typed(EXP.sigs, slots, {}, t)
+
+
+class TestSyntacticCompliance:
+    """Definition 3.5 unit tests."""
+
+    def test_detach_wrong_parent_uri(self):
+        from repro.core import Detach, Node
+
+        t = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+        script = EditScript([Detach(Node("Num", 999), "e1", Node("Add", 888))])
+        with pytest.raises(ComplianceError, match="parent URI unknown"):
+            check_syntactic_compliance(script, t)
+
+    def test_detach_wrong_child(self):
+        from repro.core import Detach, Node
+
+        t = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+        add = t.main
+        num2 = add.kids["e2"]
+        script = EditScript([Detach(Node("Num", num2.uri), "e1", add.node)])
+        with pytest.raises(ComplianceError, match="slot holds"):
+            check_syntactic_compliance(script, t)
+
+    def test_load_stale_uri(self):
+        from repro.core import Load, Node
+
+        t = tnode_to_mtree(EXP.Num(1))
+        existing = t.main.uri
+        script = EditScript([Load(Node("Num", existing), (), (("n", 3),))])
+        with pytest.raises(ComplianceError, match="not fresh"):
+            check_syntactic_compliance(script, t)
+
+    def test_unload_wrong_literals(self):
+        from repro.core import Detach, Node, ROOT_LINK, ROOT_NODE, Unload
+
+        t = tnode_to_mtree(EXP.Num(1))
+        n = t.main
+        script = EditScript(
+            [
+                Detach(n.node, ROOT_LINK, ROOT_NODE),
+                Unload(n.node, (), (("n", 999),)),
+            ]
+        )
+        with pytest.raises(ComplianceError, match="literal"):
+            check_syntactic_compliance(script, t)

@@ -1,0 +1,122 @@
+"""Tests for the incremental mini-language type checker."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.langs.minilang import parse_mini
+from repro.langs.minilang.analysis import make_mini_driver
+
+
+def names(facts):
+    return sorted(x for _, x in facts)
+
+
+class TestInitialAnalysis:
+    def test_well_typed_program(self):
+        drv = make_mini_driver(
+            parse_mini("fn f(n) { let x = n + 1; return x * 2; }")
+        )
+        assert not drv.engine.facts("ill_typed")
+        assert not drv.engine.facts("unbound_name")
+
+    def test_literal_types(self):
+        drv = make_mini_driver(
+            parse_mini('fn f() { let a = 1; let b = "s"; let c = true; }')
+        )
+        types = {t for _, t in drv.engine.facts("expr_type")}
+        assert {"int", "str", "bool"} <= types
+
+    def test_unbound_name(self):
+        drv = make_mini_driver(parse_mini("fn f() { return ghost; }"))
+        assert names(drv.engine.facts("unbound_name")) == ["ghost"]
+
+    def test_param_is_int(self):
+        drv = make_mini_driver(parse_mini("fn f(n) { return n + 1; }"))
+        assert not drv.engine.facts("ill_typed")
+
+    def test_arith_needs_ints(self):
+        drv = make_mini_driver(parse_mini('fn f() { let x = "s" + 1; }'))
+        assert drv.engine.facts("ill_typed")
+
+    def test_comparison_yields_bool(self):
+        drv = make_mini_driver(
+            parse_mini("fn f(n) { let ok = n < 3; let both = ok && true; }")
+        )
+        assert not drv.engine.facts("ill_typed")
+
+    def test_cmp_requires_same_types(self):
+        drv = make_mini_driver(parse_mini('fn f() { let x = 1 == "one"; }'))
+        assert drv.engine.facts("ill_typed")
+
+    def test_unary_ops(self):
+        drv = make_mini_driver(
+            parse_mini("fn f(n) { let a = -n; let b = !(n < 0); }")
+        )
+        assert not drv.engine.facts("ill_typed")
+        drv2 = make_mini_driver(parse_mini("fn f(n) { let a = !n; }"))
+        assert drv2.engine.facts("ill_typed")
+
+    def test_bind_conflict(self):
+        drv = make_mini_driver(
+            parse_mini('fn f() { let x = 1; let x = "s"; }')
+        )
+        assert drv.engine.facts("bind_conflict")
+
+    def test_scoping_is_per_function(self):
+        drv = make_mini_driver(
+            parse_mini("fn a() { let v = 1; } fn b() { return v; }")
+        )
+        assert names(drv.engine.facts("unbound_name")) == ["v"]
+
+
+class TestIncrementalUpdates:
+    def test_fixing_an_error(self):
+        drv = make_mini_driver(parse_mini("fn f() { return ghost; }"))
+        assert drv.engine.facts("unbound_name")
+        drv.update(parse_mini("fn f() { let ghost = 1; return ghost; }"))
+        assert not drv.engine.facts("unbound_name")
+        assert drv.check_consistency()
+
+    def test_introducing_an_error(self):
+        drv = make_mini_driver(parse_mini("fn f(n) { return n; }"))
+        drv.update(parse_mini("fn f(n) { return n + nothere; }"))
+        assert names(drv.engine.facts("unbound_name")) == ["nothere"]
+        assert drv.check_consistency()
+
+    def test_param_rename_tracked(self):
+        drv = make_mini_driver(parse_mini("fn f(n) { return n; }"))
+        drv.update(parse_mini("fn f(m) { return n; }"))
+        assert names(drv.engine.facts("unbound_name")) == ["n"]
+        drv.update(parse_mini("fn f(m) { return m; }"))
+        assert not drv.engine.facts("unbound_name")
+        assert drv.check_consistency()
+
+    def test_moving_a_function_keeps_types(self):
+        drv = make_mini_driver(
+            parse_mini("fn a() { let q = 2; return q; } fn b() { return 1; }")
+        )
+        drv.update(
+            parse_mini("fn b() { return 1; } fn a() { let q = 2; return q; }")
+        )
+        assert not drv.engine.facts("ill_typed")
+        assert drv.check_consistency()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_edit_chains_stay_consistent(self, seed):
+        from repro.core import TreeGenerator
+        from repro.langs.minilang import mini_grammar
+
+        from .test_patch_and_gen import TestTreeGenerator
+
+        mg = mini_grammar()
+        gen = TreeGenerator(
+            mg.sigs, literal_providers=TestTreeGenerator.MINI_PROVIDERS
+        )
+        rng = random.Random(seed)
+        drv = make_mini_driver(gen.random_tree(mg.Program, rng, max_depth=7))
+        for _ in range(3):
+            drv.update(gen.random_tree(mg.Program, rng, max_depth=7))
+            assert drv.check_consistency()

@@ -1,0 +1,116 @@
+"""Tests for the mini-language interpreter, including the edit-and-rerun
+workflow that closes the language-workbench loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import apply_script, diff
+from repro.langs.minilang import (
+    MiniRuntimeError,
+    parse_mini,
+    run_program,
+    run_source,
+)
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        assert run_source("fn main() { return (2 + 3) * 4 - 10 / 2; }").value == 15
+
+    def test_integer_division_and_modulo(self):
+        assert run_source("fn main() { return 7 / 2; }").value == 3
+        assert run_source("fn main() { return 7 % 2; }").value == 1
+
+    def test_string_concat(self):
+        assert run_source('fn main() { return "ab" + "cd"; }').value == "abcd"
+
+    def test_booleans_and_comparisons(self):
+        assert run_source("fn main() { return 1 < 2 && !(3 == 4); }").value is True
+        assert run_source("fn main() { return false || 0 < 1; }").value is True
+
+    def test_let_assign_shadowing(self):
+        assert (
+            run_source("fn main() { let x = 1; x = x + 10; let y = x; return y; }").value
+            == 11
+        )
+
+    def test_if_else(self):
+        src = "fn pick(n) { if n > 0 { return 1; } else { return -1; } } fn main() { return pick(5) + pick(-5); }"
+        assert run_source(src).value == 0
+
+    def test_while_loop(self):
+        src = "fn main() { let s = 0; let i = 0; while i < 5 { s = s + i; i = i + 1; } return s; }"
+        assert run_source(src).value == 10
+
+    def test_recursion(self):
+        src = "fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } fn main() { return fib(10); }"
+        assert run_source(src).value == 55
+
+    def test_print_output(self):
+        r = run_source('fn main() { print("x", 1, true); return 0; }')
+        assert r.output == ["x 1 true"]
+
+    def test_functions_as_values(self):
+        src = "fn double(n) { return n * 2; } fn main() { let f = double; return f(21); }"
+        assert run_source(src).value == 42
+
+    def test_implicit_return_zero(self):
+        assert run_source("fn main() { let x = 1; }").value == 0
+        assert run_source("fn main() { return; }").value == 0
+
+
+class TestRuntimeErrors:
+    def test_unbound_name(self):
+        with pytest.raises(MiniRuntimeError, match="unbound"):
+            run_source("fn main() { return ghost; }")
+
+    def test_undefined_function(self):
+        # the callee name itself is unbound
+        with pytest.raises(MiniRuntimeError, match="unbound"):
+            run_source("fn main() { return nope(); }")
+        # a bound-but-missing function name fails at the call
+        from repro.langs.minilang import Interpreter, parse_mini
+
+        interp = Interpreter(parse_mini("fn main() { return 0; }"))
+        with pytest.raises(MiniRuntimeError, match="undefined function"):
+            interp.call("nope", [])
+
+    def test_arity_mismatch(self):
+        with pytest.raises(MiniRuntimeError, match="argument"):
+            run_source("fn f(a, b) { return a; } fn main() { return f(1); }")
+
+    def test_division_by_zero(self):
+        with pytest.raises(MiniRuntimeError, match="zero"):
+            run_source("fn main() { return 1 / 0; }")
+
+    def test_type_error_at_runtime(self):
+        with pytest.raises(MiniRuntimeError, match="integers"):
+            run_source('fn main() { return 1 + "s"; }')
+
+    def test_infinite_loop_bounded(self):
+        with pytest.raises(MiniRuntimeError, match="budget"):
+            run_source("fn main() { while true { let x = 1; } return 0; }")
+
+
+class TestEditAndRerun:
+    """The workbench loop: run, edit via a truechange script, rerun."""
+
+    def test_patched_program_runs(self):
+        v1 = parse_mini(
+            "fn main() { let bonus = 1; return 100 + bonus; }"
+        )
+        assert run_program(v1).value == 101
+        v2_text = "fn main() { let bonus = 25; return 100 + bonus; }"
+        script, _ = diff(v1, parse_mini(v2_text))
+        patched = apply_script(v1, script)
+        assert run_program(patched).value == 125
+
+    def test_function_added_by_script(self):
+        v1 = parse_mini("fn main() { return 1; }")
+        v2 = parse_mini(
+            "fn main() { return helper(); } fn helper() { return 7; }"
+        )
+        script, _ = diff(v1, v2)
+        patched = apply_script(v1, script)
+        assert run_program(patched).value == 7

@@ -1,0 +1,210 @@
+"""Tests for the mini-language front-end (lexer, parser, printer) and its
+integration with truediff."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import assert_well_typed, diff, tnode_to_mtree
+from repro.langs.minilang import (
+    LexError,
+    ParseError,
+    parse_mini,
+    pretty,
+    tokenize,
+)
+
+PROGRAM = """
+# computes factorials
+fn fact(n) {
+    if n <= 1 {
+        return 1;
+    }
+    return n * fact(n - 1);
+}
+
+fn main() {
+    let total = 0;
+    let i = 1;
+    while i <= 5 {
+        total = total + fact(i);
+        i = i + 1;
+    }
+    print("total is", total);
+    return total;
+}
+"""
+
+
+class TestLexer:
+    def test_token_stream(self):
+        toks = list(tokenize('let x = 42; # comment\nprint("hi\\n");'))
+        kinds = [t.kind for t in toks]
+        assert kinds == [
+            "kw", "ident", "op", "int", "punct",
+            "ident", "punct", "string", "punct", "punct",
+            "eof",
+        ]
+        assert toks[3].text == "42"
+        assert toks[7].text == "hi\n"
+
+    def test_multichar_operators(self):
+        toks = [t.text for t in tokenize("a <= b == c && d") if t.kind == "op"]
+        assert toks == ["<=", "==", "&&"]
+
+    def test_positions(self):
+        toks = list(tokenize("ab\n  cd"))
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_errors(self):
+        with pytest.raises(LexError):
+            list(tokenize('"unterminated'))
+        with pytest.raises(LexError):
+            list(tokenize("@"))
+        with pytest.raises(LexError):
+            list(tokenize('"line\nbreak"'))
+
+
+class TestParser:
+    def test_parse_program(self):
+        tree = parse_mini(PROGRAM)
+        assert tree.tag == "ml.ProgramC"
+        from repro.langs.minilang import mini_grammar
+
+        g = mini_grammar()
+        funs = g.funs.elements(tree.kid("funs"))
+        assert [f.lit("name") for f in funs] == ["fact", "main"]
+        assert funs[0].lit("params") == "n"
+
+    def test_precedence(self):
+        tree = parse_mini("fn f() { let x = 1 + 2 * 3; }")
+        from repro.langs.minilang import mini_grammar
+
+        g = mini_grammar()
+        let = g.stmts.elements(
+            g.funs.elements(tree.kid("funs"))[0].kid("body")
+        )[0]
+        add = let.kid("value")
+        assert add.lit("op") == "+"
+        assert add.kid("right").lit("op") == "*"
+
+    def test_else_and_optional_return(self):
+        tree = parse_mini("fn f() { if x { return; } else { return 1; } }")
+        assert tree is not None
+
+    def test_call_chains(self):
+        parse_mini("fn f() { g(1)(2)(h(), 3); }")
+
+    def test_unary(self):
+        parse_mini("fn f() { let a = -x + !b; }")
+
+    def test_parse_errors(self):
+        for bad in [
+            "fn f( { }",
+            "fn f() { let = 1; }",
+            "fn f() { return 1 }",
+            "garbage",
+            "fn f() { 1 + ; }",
+        ]:
+            with pytest.raises(ParseError):
+                parse_mini(bad)
+
+
+class TestPrinterRoundTrip:
+    def test_example_round_trips(self):
+        tree = parse_mini(PROGRAM)
+        printed = pretty(tree)
+        reparsed = parse_mini(printed)
+        assert reparsed.tree_equal(tree)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_programs_round_trip(self, seed):
+        tree = parse_mini(random_program(random.Random(seed)))
+        assert parse_mini(pretty(tree)).tree_equal(tree)
+
+
+def random_program(rng: random.Random) -> str:
+    names = ["x", "y", "z", "acc", "tmp"]
+
+    def expr(depth: int) -> str:
+        if depth <= 0 or rng.random() < 0.4:
+            return rng.choice(
+                [str(rng.randint(0, 99)), rng.choice(names), "true", "false", '"s"']
+            )
+        kind = rng.randrange(4)
+        if kind == 0:
+            op = rng.choice(["+", "-", "*", "/", "==", "<", "&&", "||"])
+            return f"({expr(depth - 1)} {op} {expr(depth - 1)})"
+        if kind == 1:
+            return f"(-{expr(depth - 1)})"
+        if kind == 2:
+            args = ", ".join(expr(depth - 1) for _ in range(rng.randint(0, 2)))
+            return f"{rng.choice(names)}({args})"
+        return expr(depth - 1)
+
+    def stmt(depth: int) -> str:
+        kind = rng.randrange(6)
+        if kind == 0:
+            return f"let {rng.choice(names)} = {expr(2)};"
+        if kind == 1:
+            return f"{rng.choice(names)} = {expr(2)};"
+        if kind == 2 and depth < 2:
+            body = " ".join(stmt(depth + 1) for _ in range(rng.randint(1, 2)))
+            if rng.random() < 0.5:
+                return f"if {expr(1)} {{ {body} }}"
+            return f"if {expr(1)} {{ {body} }} else {{ {stmt(depth + 1)} }}"
+        if kind == 3 and depth < 2:
+            return f"while {expr(1)} {{ {stmt(depth + 1)} }}"
+        if kind == 4:
+            return f"return {expr(2)};" if rng.random() < 0.8 else "return;"
+        return f"{expr(2)};"
+
+    funs = []
+    for i in range(rng.randint(1, 3)):
+        params = ", ".join(rng.sample(names, rng.randint(0, 2)))
+        body = " ".join(stmt(0) for _ in range(rng.randint(1, 5)))
+        funs.append(f"fn f{i}({params}) {{ {body} }}")
+    return "\n".join(funs)
+
+
+class TestDiffingMiniPrograms:
+    def test_literal_change_is_one_update(self):
+        from repro.core import Update
+
+        a = parse_mini("fn main() { let x = 1; }")
+        b = parse_mini("fn main() { let x = 2; }")
+        script, _ = diff(a, b)
+        assert len(script) == 1 and isinstance(script[0], Update)
+
+    def test_statement_insert_is_local(self):
+        body = " ".join(f"let v{i} = {i};" for i in range(20))
+        a = parse_mini(f"fn main() {{ {body} }}")
+        b = parse_mini(f"fn main() {{ {body} let extra = 99; }}")
+        script, _ = diff(a, b)
+        assert len(script) <= 6
+
+    def test_function_move_is_detach_attach(self):
+        a = parse_mini("fn a() { return 1; } fn b() { return 2; }")
+        b = parse_mini("fn b() { return 2; } fn a() { return 1; }")
+        script, _ = diff(a, b)
+        assert_well_typed(a.sigs, script)
+        mt = tnode_to_mtree(a)
+        mt.patch(script)
+        assert mt.structure_equals(tnode_to_mtree(b))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_program_diffs(self, seed):
+        rng = random.Random(seed)
+        a = parse_mini(random_program(rng))
+        b = parse_mini(random_program(rng))
+        script, patched = diff(a, b)
+        assert_well_typed(a.sigs, script)
+        mt = tnode_to_mtree(a)
+        mt.patch(script)
+        assert mt.structure_equals(tnode_to_mtree(b))
+        assert patched.tree_equal(b)

@@ -1,0 +1,141 @@
+"""Gap-filling tests: stratification errors, decorator alias, report
+rendering, and assorted edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Grammar, LIT_INT, diff
+from repro.core.adt import diffable as diffable_alias
+from repro.incremental import Engine, StratificationError, atom, neg
+
+from .util import EXP
+
+
+class TestStratification:
+    def test_negation_through_recursion_rejected(self):
+        e = Engine()
+        e.rule("p", ("?X",), [atom("base", "?X"), neg("q", "?X")])
+        e.rule("q", ("?X",), [atom("base", "?X"), neg("p", "?X")])
+        e.insert_fact("base", 1)
+        with pytest.raises(StratificationError):
+            e.evaluate()
+
+    def test_nonground_negation_rejected(self):
+        e = Engine()
+        e.rule("p", ("?X",), [atom("base", "?X"), neg("other", "?X", "?Free")])
+        e.insert_fact("base", 1)
+        with pytest.raises(StratificationError, match="ground"):
+            e.evaluate()
+
+    def test_three_strata(self):
+        e = Engine()
+        e.rule("a", ("?X",), [atom("base", "?X")])
+        e.rule("b", ("?X",), [atom("base", "?X"), neg("a", "?X")])
+        e.rule("c", ("?X",), [atom("base", "?X"), neg("b", "?X")])
+        e.insert_fact("base", 1)
+        e.evaluate()
+        assert e.facts("a") == {(1,)}
+        assert e.facts("b") == set()
+        assert e.facts("c") == {(1,)}
+        assert len(e.strata()) == 3
+
+
+class TestDecoratorAlias:
+    def test_module_level_diffable(self):
+        g = Grammar()
+
+        @diffable_alias(g, "Exp")
+        class Leaf:
+            n: int
+
+        t = Leaf(5)
+        assert t.tag == "Leaf" and t.lit("n") == 5
+
+    def test_custom_tag(self):
+        g = Grammar()
+
+        @g.diffable(sort="Exp", tag="CustomTag")
+        class Whatever:
+            n: int
+
+        assert Whatever(1).tag == "CustomTag"
+
+
+class TestReportRendering:
+    def test_fig_reports_render_without_tools_missing(self):
+        from repro.bench import Measurement, ToolResult, fig4_conciseness, fig5_throughput
+
+        m = Measurement(0, "only-truediff.py", 50)
+        m.results["truediff"] = ToolResult(2.0, 4)
+        r4 = fig4_conciseness([m])
+        assert r4.mean_ratio_hdiff is None
+        r5 = fig5_throughput([m])
+        assert r5.speedup_vs == {}
+        assert "truediff" in r5.render()
+
+
+class TestPrettyPrinting:
+    def test_tnode_pretty(self):
+        e = EXP
+        t = e.Call(e.Num(1), "f")
+        assert t.pretty() == f"Call_{t.uri}('f', Num_{t.kids[0].uri}(1))"
+
+    def test_mtree_pretty(self):
+        from repro.core import tnode_to_mtree
+
+        e = EXP
+        t = e.Num(7)
+        assert tnode_to_mtree(t).pretty() == f"Num_{t.uri}(7)"
+
+    def test_linear_state_str(self):
+        from repro.core.typecheck import CLOSED_STATE
+
+        assert "Root" in str(CLOSED_STATE)
+
+    def test_edit_reprs(self):
+        from repro.core import Insert, Node, Remove
+
+        ins = Insert(Node("Num", 1), (), (("n", 1),), "e1", Node("Add", 0))
+        rem = Remove(Node("Num", 1), "e1", Node("Add", 0), (), (("n", 1),))
+        assert "insert(" in str(ins)
+        assert "remove(" in str(rem)
+
+
+class TestDiffEdgeCases:
+    def test_single_node_trees(self):
+        e = EXP
+        script, patched = diff(e.Num(1), e.Num(2))
+        assert len(script) == 1  # update in place
+        assert patched.lit("n") == 2
+
+    def test_tag_change_at_root(self):
+        e = EXP
+        script, patched = diff(e.Num(1), e.Var("x"))
+        assert patched.tag == "Var"
+        # remove + insert, coalesced
+        assert len(script) == 2
+
+    def test_deep_nesting(self):
+        e = EXP
+        t1 = e.Num(0)
+        t2 = e.Num(0)
+        for i in range(500):
+            t1 = e.Neg(t1)
+            t2 = e.Neg(t2)
+        t2_mod = e.Add(t2, e.Num(1))
+        script, patched = diff(t1, t2_mod)
+        assert patched.tree_equal(t2_mod)
+        # the 500-deep shared chain is reused, not rebuilt
+        assert len(script) <= 6
+
+    def test_wide_trees(self):
+        g = Grammar()
+        S = g.sort("S")
+        leaf = g.constructor("L", S, lits=[("n", LIT_INT)])
+        lst = g.list_of(S)
+        wide1 = lst.build([leaf(i) for i in range(2000)])
+        wide2 = lst.build([leaf(i) for i in range(2000) if i != 1000])
+        script, patched = diff(wide1, wide2)
+        assert patched.tree_equal(wide2)
+        assert len(script) <= 4

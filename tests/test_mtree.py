@@ -1,0 +1,132 @@
+"""Unit tests for the standard semantics (MTree / MNode, Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Attach,
+    Detach,
+    EditScript,
+    Load,
+    MTree,
+    Node,
+    PatchError,
+    ROOT_LINK,
+    ROOT_NODE,
+    Unload,
+    Update,
+    tnode_to_mtree,
+)
+
+from .util import EXP
+
+
+class TestProcessEdit:
+    def tree(self) -> MTree:
+        return tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+
+    def test_detach_leaves_null_slot(self):
+        t = self.tree()
+        add = t.main
+        num1 = add.kids["e1"]
+        t.process_edit(Detach(num1.node, "e1", add.node))
+        assert add.kids["e1"] is None
+        # the node stays in the index (a detached root)
+        assert t.index[num1.uri] is num1
+
+    def test_attach_fills_slot(self):
+        t = self.tree()
+        add = t.main
+        num1 = add.kids["e1"]
+        t.process_edit(Detach(num1.node, "e1", add.node))
+        t.process_edit(Attach(num1.node, "e1", add.node))
+        assert add.kids["e1"] is num1
+
+    def test_load_indexes_new_node(self):
+        t = self.tree()
+        t.process_edit(Load(Node("Num", 777), (), (("n", 7),)))
+        assert t.index[777].lits == {"n": 7}
+
+    def test_load_with_kid_references(self):
+        t = self.tree()
+        add = t.main
+        num1 = add.kids["e1"]
+        t.process_edit(Detach(num1.node, "e1", add.node))
+        t.process_edit(Load(Node("Neg", 778), (("e", num1.uri),), ()))
+        assert t.index[778].kids["e"] is num1
+
+    def test_unload_removes_from_index(self):
+        t = self.tree()
+        add = t.main
+        num1 = add.kids["e1"]
+        t.process_edit(Detach(num1.node, "e1", add.node))
+        t.process_edit(Unload(num1.node, (), (("n", 1),)))
+        assert num1.uri not in t.index
+
+    def test_update_changes_lits(self):
+        t = self.tree()
+        num1 = t.main.kids["e1"]
+        t.process_edit(Update(num1.node, (("n", 1),), (("n", 42),)))
+        assert num1.lits["n"] == 42
+
+    def test_unknown_uri_raises(self):
+        t = self.tree()
+        with pytest.raises(PatchError):
+            t.process_edit(Update(Node("Num", 999999), (("n", 1),), (("n", 2),)))
+
+
+class TestViews:
+    def test_structure_equals_ignores_uris(self):
+        a = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+        b = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+        assert a.structure_equals(b)
+        c = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(3)))
+        assert not a.structure_equals(c)
+
+    def test_to_tuple_with_uris_distinguishes(self):
+        a = tnode_to_mtree(EXP.Num(1))
+        b = tnode_to_mtree(EXP.Num(1))
+        assert a.to_tuple(with_uris=False) == b.to_tuple(with_uris=False)
+        assert a.to_tuple(with_uris=True) != b.to_tuple(with_uris=True)
+
+    def test_node_count_and_empty(self):
+        t = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+        assert t.node_count() == 3
+        empty = MTree()
+        assert empty.node_count() == 0
+        assert empty.pretty() == "<empty>"
+        assert empty.to_tuple() == ("<empty>",)
+
+    def test_iter_subtree_skips_null_slots(self):
+        t = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+        add = t.main
+        t.process_edit(Detach(add.kids["e1"].node, "e1", add.node))
+        assert sum(1 for _ in add.iter_subtree()) == 2
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        t = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+        c = t.copy()
+        assert c.structure_equals(t)
+        c.main.kids["e1"].lits["n"] = 99
+        assert t.main.kids["e1"].lits["n"] == 1
+
+    def test_copy_preserves_detached_roots(self):
+        t = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+        add = t.main
+        num1 = add.kids["e1"]
+        t.process_edit(Detach(num1.node, "e1", add.node))
+        c = t.copy()
+        assert num1.uri in c.index
+        assert c.index[num1.uri] is not num1
+
+    def test_patch_on_copy_leaves_original(self):
+        t = tnode_to_mtree(EXP.Num(1))
+        c = t.copy()
+        c.patch(
+            EditScript([Update(t.main.node, (("n", 1),), (("n", 5),))])
+        )
+        assert t.main.lits["n"] == 1
+        assert c.main.lits["n"] == 5

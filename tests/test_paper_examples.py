@@ -1,0 +1,247 @@
+"""Every worked example from the paper text, executed literally.
+
+Covers: the Section 1/2 running example (move-only diff), the Section 2
+excess-demand example, and the Section 3.1 edit scripts ∆1, ∆2, ∆3 with
+their intermediate trees, plus the Section 3 roots/slots trace table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Attach,
+    Detach,
+    EditScript,
+    Load,
+    MTree,
+    ROOT_LINK,
+    ROOT_NODE,
+    Node,
+    Unload,
+    Update,
+    assert_well_typed,
+    check_script,
+    diff,
+    is_well_typed,
+    is_well_typed_initializing,
+    tnode_to_mtree,
+)
+from repro.core.typecheck import CLOSED_STATE, INITIAL_STATE, LinearState
+from repro.core.types import ROOT_SORT
+
+from .util import EXP
+
+
+class TestSection1RunningExample:
+    """diff(Add(Sub(a,b), Mul(c,d)), Add(d, Mul(c, Sub(a,b))))"""
+
+    def make_trees(self):
+        e = EXP
+        src = e.Add(e.Sub(e.Var("a"), e.Var("b")), e.Mul(e.Var("c"), e.Var("d")))
+        dst = e.Add(
+            e.Var("d"), e.Mul(e.Var("c"), e.Sub(e.Var("a"), e.Var("b")))
+        )
+        return src, dst
+
+    def test_minimal_script_is_two_detaches_two_attaches(self):
+        src, dst = self.make_trees()
+        script, _ = diff(src, dst)
+        kinds = [type(e).__name__ for e in script]
+        assert kinds == ["Detach", "Detach", "Attach", "Attach"]
+        assert len(script) == 4
+
+    def test_script_moves_sub_and_d(self):
+        """The paper's script: detach(Sub,e1,Add), detach(d,e2,Mul),
+        attach(d,e1,Add), attach(Sub,e2,Mul)."""
+        src, dst = self.make_trees()
+        script, _ = diff(src, dst)
+        sub = src.kid("e1")
+        mul = src.kid("e2")
+        d = mul.kid("e2")
+        detaches = [e for e in script if isinstance(e, Detach)]
+        attaches = [e for e in script if isinstance(e, Attach)]
+        assert {e.node for e in detaches} == {sub.node, d.node}
+        assert {e.node for e in attaches} == {sub.node, d.node}
+        # d ends up under Add.e1, Sub ends up under Mul.e2
+        att = {e.node: (e.link, e.parent) for e in attaches}
+        assert att[d.node] == ("e1", src.node)
+        assert att[sub.node] == ("e2", mul.node)
+
+    def test_script_is_well_typed_and_correct(self):
+        src, dst = self.make_trees()
+        script, patched = diff(src, dst)
+        assert_well_typed(src.sigs, script)
+        mt = tnode_to_mtree(src)
+        mt.patch(script)
+        assert mt.structure_equals(tnode_to_mtree(dst))
+        assert patched.tree_equal(dst)
+
+    def test_roots_and_slots_trace(self):
+        """The intermediate roots/slots table of Section 2."""
+        src, dst = self.make_trees()
+        script, _ = diff(src, dst)
+        sigs = src.sigs
+        state = CLOSED_STATE
+        sizes = []
+        for e in script.primitives():
+            state = check_script(sigs, EditScript([e]), state)
+            sizes.append((len(state.roots), len(state.slots)))
+        # after: detach, detach, attach, attach
+        assert sizes == [(2, 1), (3, 2), (2, 1), (1, 0)]
+
+
+class TestSection2ExcessDemand:
+    """diff(Add(a, b), Add(b, b)): b is demanded twice but present once."""
+
+    def test_correct_and_well_typed(self):
+        e = EXP
+        src = e.Add(e.Var("a"), e.Var("b"))
+        dst = e.Add(e.Var("b"), e.Var("b"))
+        script, patched = diff(src, dst)
+        assert_well_typed(src.sigs, script)
+        mt = tnode_to_mtree(src)
+        mt.patch(script)
+        assert mt.structure_equals(tnode_to_mtree(dst))
+
+    def test_b_is_not_attached_twice(self):
+        """Linearity: the source b may be used at most once."""
+        e = EXP
+        src = e.Add(e.Var("a"), e.Var("b"))
+        dst = e.Add(e.Var("b"), e.Var("b"))
+        script, _ = diff(src, dst)
+        attached = [x.node.uri for x in script.primitives() if isinstance(x, Attach)]
+        assert len(attached) == len(set(attached))
+
+
+class TestSection31EditScripts:
+    """The ∆1, ∆2, ∆3 scripts building, updating, and retagging a tree."""
+
+    def sigs_and_grammar(self):
+        from repro.core import Grammar, LIT_STR
+
+        g = Grammar()
+        Exp = g.sort("Exp")
+        g.constructor("VarL", Exp, lits=[("name", LIT_STR)])
+        g.constructor("AddL", Exp, kids=[("e1", Exp), ("e2", Exp)])
+        g.constructor("MulL", Exp, kids=[("e1", Exp), ("e2", Exp)])
+        return g
+
+    def test_delta1_initializes_empty_tree(self):
+        g = self.sigs_and_grammar()
+        delta1 = EditScript(
+            [
+                Load(Node("VarL", 1), (), (("name", "a"),)),
+                Load(Node("VarL", 2), (), (("name", "b"),)),
+                Load(Node("AddL", 3), (("e1", 1), ("e2", 2)), ()),
+                Attach(Node("AddL", 3), ROOT_LINK, ROOT_NODE),
+            ]
+        )
+        assert is_well_typed_initializing(g.sigs, delta1)
+        t = MTree().patch(delta1)
+        assert t.pretty() == "AddL_3(VarL_1('a'), VarL_2('b'))"
+
+    def test_delta2_updates_literal(self):
+        g = self.sigs_and_grammar()
+        t = self._initial_tree(g)
+        delta2 = EditScript(
+            [Update(Node("VarL", 2), (("name", "b"),), (("name", "c"),))]
+        )
+        assert is_well_typed(g.sigs, delta2)
+        t.patch(delta2)
+        assert t.pretty() == "AddL_3(VarL_1('a'), VarL_2('c'))"
+
+    def test_delta3_replaces_add_by_mul(self):
+        g = self.sigs_and_grammar()
+        t = self._initial_tree(g)
+        t.patch(
+            EditScript([Update(Node("VarL", 2), (("name", "b"),), (("name", "c"),))])
+        )
+        delta3 = EditScript(
+            [
+                Detach(Node("AddL", 3), ROOT_LINK, ROOT_NODE),
+                Unload(Node("AddL", 3), (("e1", 1), ("e2", 2)), ()),
+                Load(Node("MulL", 4), (("e1", 1), ("e2", 2)), ()),
+                Attach(Node("MulL", 4), ROOT_LINK, ROOT_NODE),
+            ]
+        )
+        assert is_well_typed(g.sigs, delta3)
+        t.patch(delta3)
+        assert t.pretty() == "MulL_4(VarL_1('a'), VarL_2('c'))"
+        # the index no longer contains the unloaded Add
+        assert 3 not in t.index
+        assert 4 in t.index
+
+    def _initial_tree(self, g) -> MTree:
+        delta1 = EditScript(
+            [
+                Load(Node("VarL", 1), (), (("name", "a"),)),
+                Load(Node("VarL", 2), (), (("name", "b"),)),
+                Load(Node("AddL", 3), (("e1", 1), ("e2", 2)), ()),
+                Attach(Node("AddL", 3), ROOT_LINK, ROOT_NODE),
+            ]
+        )
+        return MTree().patch(delta1)
+
+
+class TestSection4Example:
+    """this = Add(Call("f",Num(1)), Num(2)),
+    that = Add(Call("g",Num(1)), Sub(Num(2),Num(2))) (Sections 4.2-4.4)."""
+
+    def make_trees(self):
+        e = EXP
+        src = e.Add(e.Call(e.Num(1), "f"), e.Num(2))
+        dst = e.Add(e.Call(e.Num(1), "g"), e.Sub(e.Num(2), e.Num(2)))
+        return src, dst
+
+    def test_call_is_updated_not_reloaded(self):
+        src, dst = self.make_trees()
+        script, _ = diff(src, dst)
+        call = src.kid("e1")
+        updates = [e for e in script if isinstance(e, Update)]
+        assert any(e.node == call.node for e in updates)
+        # the Call subtree is never unloaded
+        unloaded = {
+            e.node.uri
+            for e in script.primitives()
+            if isinstance(e, Unload)
+        }
+        assert call.uri not in unloaded
+
+    def test_num2_is_reused_once_loaded_once(self):
+        src, dst = self.make_trees()
+        script, _ = diff(src, dst)
+        num2 = src.kid("e2")
+        loads = [e for e in script.primitives() if isinstance(e, Load)]
+        # one fresh Num is loaded (the second occurrence of Num(2)),
+        # plus the new Sub node
+        load_tags = sorted(e.node.tag for e in loads)
+        assert load_tags == ["Num", "Sub"]
+        # the source Num(2) is moved (detached, then consumed by the Sub load)
+        detaches = [e for e in script.primitives() if isinstance(e, Detach)]
+        assert any(e.node == num2.node for e in detaches)
+        sub_load = next(e for e in loads if e.node.tag == "Sub")
+        assert num2.uri in {u for _, u in sub_load.kids}
+
+    def test_roundtrip(self):
+        src, dst = self.make_trees()
+        script, patched = diff(src, dst)
+        assert_well_typed(src.sigs, script)
+        mt = tnode_to_mtree(src)
+        mt.patch(script)
+        assert mt.structure_equals(tnode_to_mtree(dst))
+        assert patched.tree_equal(dst)
+
+
+class TestWellTypedDefinitions:
+    def test_empty_script_is_well_typed(self):
+        assert is_well_typed(EXP.sigs, EditScript([]))
+
+    def test_empty_script_is_not_initializing(self):
+        """An initializing script must fill the root slot."""
+        assert not is_well_typed_initializing(EXP.sigs, EditScript([]))
+
+    def test_closed_and_initial_states(self):
+        assert CLOSED_STATE.roots == ((None, ROOT_SORT),)
+        assert CLOSED_STATE.slots == ()
+        assert len(INITIAL_STATE.slots) == 1

@@ -1,0 +1,164 @@
+"""Tests for functional patch application and the generic tree generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GenerationError,
+    Grammar,
+    LIT_INT,
+    TreeGenerator,
+    apply_script,
+    diff,
+    mtree_to_tnode,
+    random_tree,
+    tnode_to_mtree,
+)
+from repro.core.mtree import PatchError
+
+from .util import EXP, exp_trees
+
+
+class TestFunctionalPatch:
+    @given(exp_trees(), exp_trees())
+    @settings(max_examples=100, deadline=None)
+    def test_apply_script_produces_target(self, a, b):
+        script, _ = diff(a, b)
+        result = apply_script(a, script)
+        assert result.tree_equal(b)
+        # URIs of reused nodes are preserved
+        kept = {n.uri for n in a.iter_subtree()} & {n.uri for n in result.iter_subtree()}
+        assert result.uri in kept or result.uri not in {n.uri for n in a.iter_subtree()}
+
+    def test_apply_script_does_not_mutate_input(self):
+        e = EXP
+        a = e.Add(e.Num(1), e.Num(2))
+        snapshot = a.to_tuple(with_uris=True)
+        b = e.Sub(e.Num(3), e.Num(4))
+        script, _ = diff(a, b)
+        apply_script(a, script)
+        assert a.to_tuple(with_uris=True) == snapshot
+
+    def test_mtree_with_hole_rejected(self):
+        from repro.core import Detach
+
+        e = EXP
+        a = e.Add(e.Num(1), e.Num(2))
+        mt = tnode_to_mtree(a)
+        mt.process_edit(Detach(mt.main.kids["e1"].node, "e1", mt.main.node))
+        with pytest.raises(PatchError, match="empty slot"):
+            mtree_to_tnode(mt, a.sigs)
+
+    def test_empty_tree_rejected(self):
+        from repro.core import MTree
+
+        with pytest.raises(PatchError, match="empty"):
+            mtree_to_tnode(MTree(), EXP.sigs)
+
+    def test_variadic_round_trip(self):
+        g = Grammar()
+        S = g.sort("S")
+        num = g.constructor("N", S, lits=[("n", LIT_INT)])
+        lst = g.list_of(S)
+        t = lst.build([num(1), num(2), num(3)])
+        back = mtree_to_tnode(tnode_to_mtree(t), g.sigs)
+        assert back.tree_equal(t)
+        assert back.uri == t.uri
+
+
+class TestTreeGenerator:
+    def test_generates_well_typed_trees(self):
+        gen = TreeGenerator(EXP.sigs)
+        for seed in range(30):
+            t = gen.random_tree(EXP.Exp, random.Random(seed), max_depth=5)
+            assert t.sigs.is_subtype(t.sig.result, EXP.Exp)
+            assert t.height <= 6
+
+    def test_deterministic_per_seed(self):
+        gen = TreeGenerator(EXP.sigs)
+        a = gen.random_tree(EXP.Exp, random.Random(7), max_depth=4)
+        b = gen.random_tree(EXP.Exp, random.Random(7), max_depth=4)
+        assert a.tree_equal(b)
+
+    def test_depth_budget_respected(self):
+        gen = TreeGenerator(EXP.sigs)
+        for seed in range(20):
+            t = gen.random_tree(EXP.Exp, random.Random(seed), max_depth=2)
+            assert t.height <= 2
+
+    MINI_PROVIDERS = {
+        "ml.BinOpKind": lambda rng: rng.choice(["+", "-", "*", "==", "&&"]),
+        "ml.UnOpKind": lambda rng: rng.choice(["-", "!"]),
+        "ml.BoolKw": lambda rng: rng.choice(["true", "false"]),
+        "ml.Ident": lambda rng: rng.choice(["x", "y", "acc", "run"]),
+        "ml.Params": lambda rng: rng.choice(["", "x", "x,y"]),
+    }
+
+    def test_minilang_programs(self):
+        from repro.langs.minilang import mini_grammar, parse_mini, pretty
+
+        mg = mini_grammar()
+        gen = TreeGenerator(mg.sigs, literal_providers=self.MINI_PROVIDERS)
+        produced = 0
+        for seed in range(20):
+            t = gen.random_tree(mg.Program, random.Random(seed), max_depth=8)
+            text = pretty(t)
+            if text.strip():
+                assert parse_mini(text).tree_equal(t)
+                produced += 1
+        assert produced > 5, "generator should produce non-empty programs"
+
+    def test_diff_roundtrip_on_generated_minilang(self):
+        from repro.core import assert_well_typed
+        from repro.langs.minilang import mini_grammar
+
+        mg = mini_grammar()
+        gen = TreeGenerator(mg.sigs, literal_providers=self.MINI_PROVIDERS)
+        rng = random.Random(3)
+        for _ in range(10):
+            a = gen.random_tree(mg.Program, rng, max_depth=7)
+            b = gen.random_tree(mg.Program, rng, max_depth=7)
+            script, patched = diff(a, b)
+            assert_well_typed(mg.sigs, script)
+            assert patched.tree_equal(b)
+
+    def test_empty_sort_detected(self):
+        g = Grammar()
+        S = g.sort("S")
+        g.constructor("Wrap", S, kids=[("inner", S)])  # no base case!
+        gen = TreeGenerator(g.sigs)
+        with pytest.raises(GenerationError, match="no finite terms"):
+            gen.random_tree(S, random.Random(0))
+
+    def test_missing_literal_provider(self):
+        from repro.core import lit_type
+
+        g = Grammar()
+        S = g.sort("S")
+        weird = lit_type("Weird", lambda v: isinstance(v, frozenset))
+        g.constructor("W", S, lits=[("w", weird)])
+        gen = TreeGenerator(g.sigs)
+        with pytest.raises(GenerationError, match="no literal provider"):
+            gen.random_tree(S, random.Random(0))
+
+    def test_custom_literal_provider(self):
+        from repro.core import lit_type
+
+        g = Grammar()
+        S = g.sort("S")
+        weird = lit_type("Weird", lambda v: isinstance(v, frozenset))
+        g.constructor("W", S, lits=[("w", weird)])
+        gen = TreeGenerator(
+            g.sigs, literal_providers={"Weird": lambda rng: frozenset({rng.randint(0, 3)})}
+        )
+        t = gen.random_tree(S, random.Random(0))
+        assert isinstance(t.lit("w"), frozenset)
+
+    def test_one_shot_wrapper(self):
+        t = random_tree(EXP.sigs, EXP.Exp, random.Random(5), max_depth=3)
+        assert t.height <= 3

@@ -1,0 +1,92 @@
+"""Tests for Datalog derivation provenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.incremental import Engine, NoDerivation, atom, neg, why
+
+
+@pytest.fixture
+def tc_engine():
+    e = Engine()
+    e.rule("tc", ("?X", "?Y"), [atom("edge", "?X", "?Y")])
+    e.rule("tc", ("?X", "?Z"), [atom("tc", "?X", "?Y"), atom("edge", "?Y", "?Z")])
+    for a, b in [(1, 2), (2, 3), (3, 4)]:
+        e.insert_fact("edge", a, b)
+    e.evaluate()
+    return e
+
+
+class TestWhy:
+    def test_base_fact(self, tc_engine):
+        d = why(tc_engine, "edge", 1, 2)
+        assert d.is_base
+        assert "base fact" in d.render()
+
+    def test_single_step(self, tc_engine):
+        d = why(tc_engine, "tc", 1, 2)
+        assert not d.is_base
+        assert d.rule.head_rel == "tc"
+        assert len(d.premises) == 1
+        assert d.premises[0].is_base
+
+    def test_recursive_chain(self, tc_engine):
+        d = why(tc_engine, "tc", 1, 4)
+        # the proof bottoms out in base edges
+        def base_facts(deriv):
+            if deriv.is_base:
+                return {deriv.fact}
+            out = set()
+            for p in deriv.premises:
+                out |= base_facts(p)
+            return out
+
+        assert base_facts(d) == {(1, 2), (2, 3), (3, 4)}
+
+    def test_nonexistent_fact(self, tc_engine):
+        with pytest.raises(NoDerivation):
+            why(tc_engine, "tc", 4, 1)
+        with pytest.raises(NoDerivation):
+            why(tc_engine, "nonsense", 1)
+
+    def test_provenance_after_incremental_update(self, tc_engine):
+        tc_engine.apply_delta(inserts=[("edge", (4, 5))])
+        d = why(tc_engine, "tc", 1, 5)
+        assert d.rule is not None
+        tc_engine.apply_delta(deletes=[("edge", (2, 3))])
+        with pytest.raises(NoDerivation):
+            why(tc_engine, "tc", 1, 5)
+
+    def test_guarded_rule(self):
+        e = Engine()
+        e.rule(
+            "big",
+            ("?X",),
+            [atom("val", "?X")],
+            guard=lambda env: env["X"] > 10,
+        )
+        e.insert_fact("val", 50)
+        e.evaluate()
+        d = why(e, "big", 50)
+        assert d.premises[0].fact == (50,)
+
+    def test_negation_premises_not_expanded(self):
+        e = Engine()
+        e.rule("defined", ("?N",), [atom("def_", "?N")])
+        e.rule("missing", ("?N",), [atom("use", "?N"), neg("defined", "?N")])
+        e.insert_fact("use", "g")
+        e.evaluate()
+        d = why(e, "missing", "g")
+        # only the positive premise appears in the proof
+        assert [p.rel for p in d.premises] == ["use"]
+
+    def test_analysis_provenance_end_to_end(self):
+        from repro.langs.minilang import parse_mini
+        from repro.langs.minilang.analysis import make_mini_driver
+
+        drv = make_mini_driver(parse_mini("fn f() { return ghost; }"))
+        uri, name = next(iter(drv.engine.facts("unbound_name")))
+        d = why(drv.engine, "unbound_name", uri, name)
+        text = d.render()
+        assert "unbound_name" in text and "base fact" in text

@@ -1,0 +1,198 @@
+"""Grammar coverage for the Python adapter: every constructor of the
+embedded ASDL must be exercised by at least one round-trip."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.adapters.pyast import (
+    PYTHON_ASDL,
+    from_tnode,
+    parse_python,
+    python_grammar,
+    to_tnode,
+    unparse_python,
+)
+from repro.adapters.asdl import parse_asdl
+
+# one source file that tries to use everything
+KITCHEN_SINK = '''
+import os, sys as system
+from os import path as p, sep
+from . import sibling
+
+GLOBAL: int = 0
+
+async def agen(x: int = 1, /, y: str = "d", *args: int, kw: bool = False, **rest) -> int:
+    global GLOBAL
+    await one()
+    async with ctx() as c:
+        pass
+    async for item in aiter():
+        yield item
+    value = yield
+    got = yield from subgen()
+
+@decorator(arg)
+class Klass(Base, metaclass=Meta):
+    """doc"""
+    attr: list[int] = []
+
+    def method(self):
+        nonlocal_demo()
+        return self
+
+def nonlocal_demo():
+    captured = 1
+    def inner():
+        nonlocal captured
+        captured += 1
+    inner()
+
+def control_flow(n):
+    with open("f") as fh, lock:
+        literal_set = {1, 2, 3}
+    while n > 0:
+        n -= 1
+        if n == 3:
+            continue
+        elif n == 2:
+            break
+    else:
+        n = -1
+    for i in range(3):
+        pass
+    else:
+        pass
+    try:
+        assert n >= 0, "negative"
+        del n
+        raise ValueError("x") from None
+    except (TypeError, ValueError) as exc:
+        print(exc)
+    except Exception:
+        raise
+    else:
+        pass
+    finally:
+        pass
+    try:
+        pass
+    except* OSError:
+        pass
+
+def expressions():
+    a = 1 + 2 - 3 * 4 / 5 // 6 % 7 ** 8
+    b = 1 @ matrix
+    c = 1 << 2 >> 3 | 4 ^ 5 & ~6
+    d = not True or False and None
+    e = +x if cond else -y
+    f = lambda q, *, r=2: q + r
+    g = [i for i in range(3) if i]
+    h = {k: v for k, v in d.items()}
+    i = {s for s in "abc"}
+    j = (c async for c in agen())
+    k = a < b <= c > d >= e == f != g
+    l = a is b is not c in d not in e
+    m = f"{a!s:>10} {b=} {c:{width}}"
+    n = (walrus := 5)
+    o = obj.attr.nested
+    q = seq[1:2:3], seq[..., None], seq[a, b]
+    *starred, = [1]
+    s = {**mapping, "k": 1}
+    t = (1, 2.5, 3j, True, None, b"bytes", "str")
+    u = [*list1, *list2]
+    v = func(*args, kw=1, **kwargs)
+    return (a, b)
+
+def matcher(x):
+    match x:
+        case 1 | 2:
+            pass
+        case [a, b, *rest] if a:
+            pass
+        case {"k": v, **others}:
+            pass
+        case Point(0, y=1):
+            pass
+        case str() as s:
+            pass
+        case None:
+            pass
+        case _:
+            pass
+'''
+
+
+def all_declared_constructors() -> set[str]:
+    mod = parse_asdl(PYTHON_ASDL)
+    out: set[str] = set()
+    enum_sorts = {
+        name
+        for name, s in mod.sums.items()
+        if all(not c.fields for c in s.constructors)
+    }
+    for name, s in mod.sums.items():
+        if name in enum_sorts:
+            continue  # flattened into literals
+        out.update(c.name for c in s.constructors)
+    out.update(mod.products)
+    return out
+
+
+def test_kitchen_sink_round_trips():
+    tree = parse_python(KITCHEN_SINK)
+    assert ast.dump(ast.parse(unparse_python(tree))) == ast.dump(
+        ast.parse(KITCHEN_SINK)
+    )
+
+
+def test_all_constructors_covered():
+    used: set[str] = set()
+    for n in parse_python(KITCHEN_SINK).iter_subtree():
+        used.add(n.tag)
+    # extra parse modes cover the non-Module mod constructors
+    g = python_grammar()
+    used.update(
+        n.tag for n in g.to_tnode(ast.parse("x\n", mode="single")).iter_subtree()
+    )
+    used.update(
+        n.tag for n in g.to_tnode(ast.parse("x + 1", mode="eval")).iter_subtree()
+    )
+    used.update(
+        n.tag
+        for n in g.to_tnode(
+            ast.parse("(int, str) -> bool", mode="func_type")
+        ).iter_subtree()
+    )
+    used.update(
+        n.tag
+        for n in g.to_tnode(
+            ast.parse("x = 1  # type: ignore\n", type_comments=True)
+        ).iter_subtree()
+    )
+    declared = all_declared_constructors()
+    missing = declared - used
+    assert not missing, f"constructors never exercised: {sorted(missing)}"
+
+
+@pytest.mark.parametrize(
+    "mode,source",
+    [
+        ("single", "print(1)\n"),
+        ("eval", "a + b * 2"),
+        ("func_type", "(int, str) -> list[int]"),
+    ],
+)
+def test_other_parse_modes_round_trip(mode, source):
+    node = ast.parse(source, mode=mode)
+    t = to_tnode(node)
+    assert ast.dump(from_tnode(t)) == ast.dump(ast.fix_missing_locations(node))
+
+
+def test_type_comments_round_trip():
+    node = ast.parse("x = 1  # type: int\n", type_comments=True)
+    t = to_tnode(node)
+    assert ast.dump(from_tnode(t)) == ast.dump(node)

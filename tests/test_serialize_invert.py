@@ -1,0 +1,113 @@
+"""Tests for edit script serialization and inversion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    EditScript,
+    assert_well_typed,
+    diff,
+    invert_edit,
+    invert_script,
+    script_from_json,
+    script_to_json,
+    tnode_to_mtree,
+)
+from repro.core.edits import Attach, Detach, Insert, Load, Remove, Unload, Update
+from repro.core.node import Node
+from repro.core.serialize import SerializationError
+
+from .util import EXP, exp_trees
+
+
+class TestSerialization:
+    def sample_script(self) -> EditScript:
+        return EditScript(
+            [
+                Detach(Node("Sub", 2), "e1", Node("Add", 1)),
+                Update(Node("Var", 3), (("name", "a"),), (("name", "b"),)),
+                Remove(Node("Num", 4), "e2", Node("Add", 1), (), (("n", 7),)),
+                Insert(Node("Num", 9), (), (("n", 5),), "e2", Node("Add", 1)),
+                Attach(Node("Sub", 2), "e1", Node("Add", 1)),
+            ]
+        )
+
+    def test_round_trip(self):
+        s = self.sample_script()
+        assert script_from_json(script_to_json(s)) == s
+
+    def test_round_trip_indented(self):
+        s = self.sample_script()
+        assert script_from_json(script_to_json(s, indent=2)) == s
+
+    def test_special_literal_values(self):
+        s = EditScript(
+            [
+                Load(
+                    Node("Constant", 1),
+                    (),
+                    (
+                        ("value", (1, "two", None)),
+                        ("kind", b"\x00\xff"),
+                    ),
+                ),
+                Load(Node("Constant", 2), (), (("value", 1 + 2j), ("kind", None))),
+                Load(Node("Constant", 3), (), (("value", ...), ("kind", [1, 2]))),
+            ]
+        )
+        assert script_from_json(script_to_json(s)) == s
+
+    def test_bad_documents_rejected(self):
+        with pytest.raises(SerializationError):
+            script_from_json("not json at all {")
+        with pytest.raises(SerializationError):
+            script_from_json('{"format": "other"}')
+        with pytest.raises(SerializationError):
+            script_from_json('{"format": "truechange/1", "edits": [{"op": "nope"}]}')
+        with pytest.raises(SerializationError):
+            script_from_json('{"format": "truechange/1", "edits": [{"op": "detach"}]}')
+
+    @given(exp_trees(), exp_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_truediff_scripts_round_trip(self, a, b):
+        script, _ = diff(a, b)
+        assert script_from_json(script_to_json(script)) == script
+
+    def test_unserializable_value_rejected(self):
+        s = EditScript([Load(Node("Constant", 1), (), (("value", object()), ("kind", None)))])
+        with pytest.raises(SerializationError):
+            script_to_json(s)
+
+
+class TestInversion:
+    def test_edit_inverses(self):
+        d = Detach(Node("Sub", 2), "e1", Node("Add", 1))
+        assert invert_edit(invert_edit(d)) == d
+        u = Update(Node("Var", 3), (("name", "a"),), (("name", "b"),))
+        assert invert_edit(u).old_lits == u.new_lits
+        ins = Insert(Node("Num", 9), (), (("n", 5),), "e2", Node("Add", 1))
+        rem = invert_edit(ins)
+        assert isinstance(rem, Remove)
+        assert invert_edit(rem) == ins
+
+    @given(exp_trees(), exp_trees())
+    @settings(max_examples=120, deadline=None)
+    def test_inverse_undoes_patch(self, a, b):
+        script, _ = diff(a, b)
+        inverse = invert_script(script)
+        # the inverse typechecks
+        assert_well_typed(a.sigs, inverse)
+        # and undoes the patch
+        mt = tnode_to_mtree(a)
+        original = mt.to_tuple(with_uris=True)
+        mt.patch(script)
+        mt.patch(inverse)
+        assert mt.to_tuple(with_uris=True) == original
+
+    @given(exp_trees(), exp_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_double_inverse_is_identity(self, a, b):
+        script, _ = diff(a, b)
+        assert invert_script(invert_script(script)) == script

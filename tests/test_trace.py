@@ -1,0 +1,78 @@
+"""Tests for the traced diffing entry point."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import DiffOptions, assert_well_typed, diff, diff_traced, tnode_to_mtree
+
+from .util import EXP, exp_trees
+
+
+@given(exp_trees(), exp_trees())
+@settings(max_examples=60, deadline=None)
+def test_traced_diff_equals_plain_diff(a, b):
+    from repro.core import URIGen
+    from repro.core.diff import _dealias
+
+    # identical fresh-URI sources make the scripts literally equal
+    plain_script, plain_patched = diff(a, _dealias(b), urigen=URIGen(10**9))
+    traced_script, traced_patched, trace = diff_traced(
+        a, _dealias(b), urigen=URIGen(10**9)
+    )
+    assert traced_script == plain_script
+    assert traced_patched.tree_equal(plain_patched)
+    assert trace.edits == len(plain_script)
+
+
+def test_trace_counts_running_example():
+    e = EXP
+    src = e.Add(e.Sub(e.Var("a"), e.Var("b")), e.Mul(e.Var("c"), e.Var("d")))
+    dst = e.Add(e.Var("d"), e.Mul(e.Var("c"), e.Sub(e.Var("a"), e.Var("b"))))
+    script, patched, trace = diff_traced(src, dst)
+    assert trace.source_size == trace.target_size == 7
+    assert trace.fresh_loads == 0
+    assert trace.reuse_rate == 1.0
+    assert len(trace.acquisitions) == 2
+    assert all(a.preferred for a in trace.acquisitions)
+    assert "reuse rate" in trace.render()
+
+
+def test_trace_reports_fresh_loads():
+    e = EXP
+    src = e.Num(1)
+    dst = e.Add(e.Num(1), e.Mul(e.Num(2), e.Num(3)))
+    _, _, trace = diff_traced(src, dst)
+    assert trace.fresh_loads > 0
+    assert trace.reuse_rate < 1.0
+
+
+def test_trace_identical_trees():
+    from repro.core.diff import _dealias
+
+    e = EXP
+    t = e.Add(e.Num(1), e.Num(2))
+    script, patched, trace = diff_traced(t, _dealias(t))
+    assert trace.edits == 0
+    assert trace.preemptive_pairs >= 1
+    assert trace.reuse_rate == 1.0
+
+
+def test_trace_respects_options():
+    e = EXP
+    src = e.Add(e.Mul(e.Num(1), e.Num(2)), e.Mul(e.Num(3), e.Num(4)))
+    dst = e.Neg(e.Mul(e.Num(3), e.Num(4)))
+    _, _, trace = diff_traced(src, dst, DiffOptions(prefer_literal_matches=False))
+    assert all(not a.preferred for a in trace.acquisitions)
+
+
+def test_trace_script_is_well_typed_and_correct():
+    e = EXP
+    src = e.Add(e.Num(1), e.Var("x"))
+    dst = e.Sub(e.Var("x"), e.Num(1))
+    script, patched, _ = diff_traced(src, dst)
+    assert_well_typed(src.sigs, script)
+    mt = tnode_to_mtree(src)
+    mt.patch(script)
+    assert mt.structure_equals(tnode_to_mtree(dst))

@@ -1,0 +1,289 @@
+"""Unit tests for the truechange linear type system (Figure 3).
+
+Each typing rule has positive cases and, crucially, negative cases: every
+side condition of Figure 3 is violated by at least one test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Attach,
+    Detach,
+    EditScript,
+    EditTypeError,
+    Grammar,
+    LIT_INT,
+    LIT_STR,
+    Load,
+    Node,
+    ROOT_LINK,
+    ROOT_NODE,
+    Unload,
+    Update,
+    check_script,
+    is_well_typed,
+    is_well_typed_initializing,
+)
+from repro.core.typecheck import CLOSED_STATE, INITIAL_STATE, LinearState
+
+from .util import EXP
+
+
+def make_sum_grammar():
+    """A grammar with genuine subtyping: Lit <: Exp."""
+    g = Grammar()
+    Exp = g.sort("Exp")
+    Lit = g.sort("Lit", supers=[Exp])
+    g.constructor("N", Lit, lits=[("n", LIT_INT)])
+    g.constructor("Plus", Exp, kids=[("l", Exp), ("r", Exp)])
+    g.constructor("Inc", Exp, kids=[("x", Lit)])
+    return g
+
+
+def state(roots, slots):
+    return LinearState.of(roots, slots)
+
+
+def closed_tree_state():
+    """A closed tree Add_1(Var_2, Var_3) attached under the root."""
+    return CLOSED_STATE
+
+
+class TestDetach:
+    def setup_method(self):
+        self.sigs = EXP.sigs
+
+    def test_detach_introduces_root_and_slot(self):
+        script = EditScript([Detach(Node("Var", 2), "e1", Node("Add", 1))])
+        after = check_script(self.sigs, script, CLOSED_STATE)
+        assert dict(after.roots)[2].name == "Exp"
+        assert (1, "e1") in dict(after.slots)
+
+    def test_detach_twice_same_node_fails(self):
+        script = EditScript(
+            [
+                Detach(Node("Var", 2), "e1", Node("Add", 1)),
+                Detach(Node("Var", 2), "e1", Node("Add", 1)),
+            ]
+        )
+        with pytest.raises(EditTypeError, match="already"):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+    def test_detach_from_already_empty_slot_fails(self):
+        script = EditScript(
+            [
+                Detach(Node("Var", 2), "e1", Node("Add", 1)),
+                Detach(Node("Var", 3), "e1", Node("Add", 1)),
+            ]
+        )
+        with pytest.raises(EditTypeError, match="slot .* already empty"):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+    def test_detach_with_unknown_link_fails(self):
+        script = EditScript([Detach(Node("Var", 2), "nope", Node("Add", 1))])
+        with pytest.raises(Exception):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+    def test_detach_with_unknown_tag_fails(self):
+        script = EditScript([Detach(Node("Bogus", 2), "e1", Node("Add", 1))])
+        with pytest.raises(Exception):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+
+class TestAttach:
+    def setup_method(self):
+        self.sigs = EXP.sigs
+
+    def test_attach_requires_root(self):
+        script = EditScript([Attach(Node("Var", 9), "e1", Node("Add", 1))])
+        with pytest.raises(EditTypeError, match="not a detached root"):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+    def test_attach_requires_empty_slot(self):
+        before = state({None: EXP.sigs["<Root>"].result, 9: EXP.sigs["Var"].result}, {})
+        script = EditScript([Attach(Node("Var", 9), "e1", Node("Add", 1))])
+        with pytest.raises(EditTypeError, match="not empty"):
+            check_script(self.sigs, script, before)
+
+    def test_attach_subtyping_violation(self):
+        g = make_sum_grammar()
+        # detach the Lit kid of Inc, then try to attach a Plus-typed root
+        before = state(
+            {None: g.sigs["<Root>"].result, 9: g.sigs["Plus"].result},
+            {(1, "x"): g.sigs["Inc"].kid_type("x")},
+        )
+        script = EditScript([Attach(Node("Plus", 9), "x", Node("Inc", 1))])
+        with pytest.raises(EditTypeError, match="subtype"):
+            check_script(g.sigs, script, before)
+
+    def test_attach_subtyping_ok(self):
+        g = make_sum_grammar()
+        before = state(
+            {None: g.sigs["<Root>"].result, 9: g.sigs["N"].result},
+            {(1, "l"): g.sigs["Plus"].kid_type("l")},
+        )
+        script = EditScript([Attach(Node("N", 9), "l", Node("Plus", 1))])
+        after = check_script(g.sigs, script, before)
+        assert dict(after.roots) == {None: g.sigs["<Root>"].result}
+        assert not after.slots
+
+
+class TestLoadUnload:
+    def setup_method(self):
+        self.sigs = EXP.sigs
+
+    def test_load_leaf_and_attach_to_detached_slot(self):
+        script = EditScript(
+            [
+                Detach(Node("Var", 2), "e1", Node("Add", 1)),
+                Unload(Node("Var", 2), (), (("name", "a"),)),
+                Load(Node("Num", 50), (), (("n", 5),)),
+                Attach(Node("Num", 50), "e1", Node("Add", 1)),
+            ]
+        )
+        assert is_well_typed(self.sigs, script)
+
+    def test_load_consumes_kid_roots(self):
+        script = EditScript(
+            [
+                Detach(Node("Var", 2), "e1", Node("Add", 1)),
+                Load(Node("Neg", 60), (("e", 2),), ()),
+                Attach(Node("Neg", 60), "e1", Node("Add", 1)),
+            ]
+        )
+        assert is_well_typed(self.sigs, script)
+
+    def test_load_with_non_root_kid_fails(self):
+        script = EditScript([Load(Node("Neg", 60), (("e", 2),), ())])
+        with pytest.raises(EditTypeError, match="not a detached root"):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+    def test_load_duplicate_kid_fails_linearity(self):
+        """Add(x, x) with the same root consumed twice is ill-typed."""
+        before = state(
+            {None: EXP.sigs["<Root>"].result, 7: EXP.sigs["Var"].result}, {}
+        )
+        script = EditScript([Load(Node("Add", 61), (("e1", 7), ("e2", 7)), ())])
+        with pytest.raises(EditTypeError):
+            check_script(self.sigs, script, before)
+
+    def test_load_wrong_links_fails(self):
+        script = EditScript([Load(Node("Num", 62), (), (("wrong", 5),))])
+        with pytest.raises(EditTypeError):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+    def test_load_ill_typed_literal_fails(self):
+        script = EditScript([Load(Node("Num", 63), (), (("n", "not an int"),))])
+        with pytest.raises(EditTypeError):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+    def test_load_reusing_existing_root_uri_fails(self):
+        before = state(
+            {None: EXP.sigs["<Root>"].result, 7: EXP.sigs["Var"].result}, {}
+        )
+        script = EditScript([Load(Node("Num", 7), (), (("n", 5),))])
+        with pytest.raises(EditTypeError, match="already a root"):
+            check_script(self.sigs, script, before)
+
+    def test_unload_requires_root(self):
+        script = EditScript([Unload(Node("Var", 2), (), (("name", "a"),))])
+        with pytest.raises(EditTypeError, match="not a detached root"):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+    def test_unload_frees_kids(self):
+        before = state(
+            {None: EXP.sigs["<Root>"].result, 8: EXP.sigs["Add"].result}, {}
+        )
+        script = EditScript([Unload(Node("Add", 8), (("e1", 2), ("e2", 3)), ())])
+        after = check_script(self.sigs, script, before)
+        roots = dict(after.roots)
+        assert 2 in roots and 3 in roots and 8 not in roots
+
+    def test_unload_kid_already_root_fails(self):
+        before = state(
+            {
+                None: EXP.sigs["<Root>"].result,
+                8: EXP.sigs["Add"].result,
+                2: EXP.sigs["Var"].result,
+            },
+            {},
+        )
+        script = EditScript([Unload(Node("Add", 8), (("e1", 2), ("e2", 3)), ())])
+        with pytest.raises(EditTypeError, match="already a detached root"):
+            check_script(self.sigs, script, before)
+
+    def test_unload_duplicate_kid_uris_fails(self):
+        before = state(
+            {None: EXP.sigs["<Root>"].result, 8: EXP.sigs["Add"].result}, {}
+        )
+        script = EditScript([Unload(Node("Add", 8), (("e1", 2), ("e2", 2)), ())])
+        with pytest.raises(EditTypeError, match="duplicate"):
+            check_script(self.sigs, script, before)
+
+
+class TestUpdate:
+    def test_update_is_neutral_on_state(self):
+        script = EditScript(
+            [Update(Node("Var", 2), (("name", "a"),), (("name", "b"),))]
+        )
+        after = check_script(EXP.sigs, script, CLOSED_STATE)
+        assert after == CLOSED_STATE
+
+    def test_update_wrong_links_fails(self):
+        script = EditScript([Update(Node("Var", 2), (("x", "a"),), (("x", "b"),))])
+        with pytest.raises(EditTypeError):
+            check_script(EXP.sigs, script, CLOSED_STATE)
+
+    def test_update_ill_typed_new_literal_fails(self):
+        script = EditScript(
+            [Update(Node("Num", 2), (("n", 1),), (("n", "oops"),))]
+        )
+        with pytest.raises(EditTypeError):
+            check_script(EXP.sigs, script, CLOSED_STATE)
+
+
+class TestScriptLevelProperties:
+    def test_leaked_root_is_not_well_typed(self):
+        """A detach without reattach/unload leaks a subtree."""
+        script = EditScript([Detach(Node("Var", 2), "e1", Node("Add", 1))])
+        assert not is_well_typed(EXP.sigs, script)
+
+    def test_move_style_swap_is_rejected(self):
+        """The Chawathe-style 'swap by two moves' is ill-typed in truechange:
+        the first move targets a non-empty slot."""
+        script = EditScript(
+            [
+                Detach(Node("Var", 2), "e1", Node("Add", 1)),
+                Attach(Node("Var", 2), "e2", Node("Add", 1)),  # slot not empty!
+            ]
+        )
+        with pytest.raises(EditTypeError, match="not empty"):
+            check_script(EXP.sigs, script, CLOSED_STATE)
+
+    def test_initializing_script(self):
+        script = EditScript(
+            [
+                Load(Node("Num", 70), (), (("n", 1),)),
+                Attach(Node("Num", 70), ROOT_LINK, ROOT_NODE),
+            ]
+        )
+        assert is_well_typed_initializing(EXP.sigs, script)
+        assert not is_well_typed(EXP.sigs, script)
+
+    def test_compound_edits_typecheck_via_expansion(self):
+        from repro.core import Insert, Remove
+
+        script = EditScript(
+            [
+                Remove(Node("Var", 2), "e1", Node("Add", 1), (), (("name", "a"),)),
+                Insert(Node("Num", 71), (), (("n", 1),), "e1", Node("Add", 1)),
+            ]
+        )
+        assert is_well_typed(EXP.sigs, script)
+
+    def test_state_snapshots_are_value_equal(self):
+        s1 = LinearState.of({1: EXP.sigs["Var"].result}, {})
+        s2 = LinearState.of({1: EXP.sigs["Var"].result}, {})
+        assert s1 == s2 and hash(s1) == hash(s2)

@@ -1,0 +1,177 @@
+"""Tests for variadic (flat list) signatures across the core: type
+system, standard semantics, metatheory, and diffing behaviour."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Attach,
+    Detach,
+    EditScript,
+    EditTypeError,
+    Grammar,
+    LIT_INT,
+    Load,
+    Node,
+    ROOT_LINK,
+    ROOT_NODE,
+    SignatureError,
+    Unload,
+    assert_well_typed,
+    check_script,
+    diff,
+    is_well_typed_initializing,
+    tnode_to_mtree,
+)
+from repro.core.mtree import mnode_well_typed
+from repro.core.typecheck import CLOSED_STATE, INITIAL_STATE
+
+
+@pytest.fixture(scope="module")
+def lang():
+    g = Grammar()
+    S = g.sort("S")
+    num = g.constructor("N", S, lits=[("n", LIT_INT)])
+    lst = g.list_of(S)
+    return g, S, num, lst
+
+
+class TestVariadicSignatures:
+    def test_kid_links_depend_on_arity(self, lang):
+        g, S, num, lst = lang
+        sig = g.sigs["List[S]"]
+        assert sig.is_variadic
+        assert sig.kid_links_for(3) == ("0", "1", "2")
+        assert sig.kid_links_for(0) == ()
+        with pytest.raises(SignatureError):
+            sig.kid_links  # arity-dependent
+
+    def test_kid_type_for_indices(self, lang):
+        g, S, num, lst = lang
+        sig = g.sigs["List[S]"]
+        assert sig.kid_type("0") == S
+        assert sig.kid_type("17") == S
+        with pytest.raises(SignatureError):
+            sig.kid_type("head")
+
+    def test_variadic_cannot_declare_links(self):
+        from repro.core import Signature
+        from repro.core.types import sort
+
+        with pytest.raises(SignatureError, match="variadic"):
+            Signature("Bad", (("x", sort("S")),), (), sort("L"), variadic=sort("S"))
+
+
+class TestVariadicTypechecking:
+    def test_load_list_with_consecutive_links(self, lang):
+        g, S, num, lst = lang
+        script = EditScript(
+            [
+                Load(Node("N", 101), (), (("n", 1),)),
+                Load(Node("N", 102), (), (("n", 2),)),
+                Load(Node("List[S]", 103), (("0", 101), ("1", 102)), ()),
+                Attach(Node("List[S]", 103), ROOT_LINK, ROOT_NODE),
+            ]
+        )
+        assert is_well_typed_initializing(g.sigs, script)
+
+    def test_load_list_with_gap_links_rejected(self, lang):
+        g, S, num, lst = lang
+        script = EditScript(
+            [
+                Load(Node("N", 111), (), (("n", 1),)),
+                Load(Node("List[S]", 112), (("0", 111), ("2", 111)), ()),
+            ]
+        )
+        with pytest.raises(EditTypeError, match="kid links"):
+            check_script(g.sigs, script, INITIAL_STATE)
+
+    def test_detach_list_element(self, lang):
+        g, S, num, lst = lang
+        t = lst.build([num(1), num(2)])
+        script = EditScript([Detach(t.kids[1].node, "1", t.node)])
+        after = check_script(g.sigs, script, CLOSED_STATE)
+        assert (t.uri, "1") in dict(after.slots)
+
+    def test_attach_wrong_sort_rejected(self, lang):
+        g, S, num, lst = lang
+        g2 = Grammar()
+        other = g2.sort("Other")
+        t = lst.build([num(1)])
+        # a root of a different sort cannot fill a list slot
+        from repro.core.typecheck import LinearState
+
+        before = LinearState.of(
+            {None: g.sigs["<Root>"].result, 999: g.sigs["List[S]"].result},
+            {(t.uri, "0"): S},
+        )
+        script = EditScript([Attach(Node("List[S]", 999), "0", t.node)])
+        with pytest.raises(EditTypeError, match="subtype"):
+            check_script(g.sigs, script, before)
+
+    def test_mnode_typing_checks_consecutive_indices(self, lang):
+        g, S, num, lst = lang
+        t = lst.build([num(1), num(2)])
+        mt = tnode_to_mtree(t)
+        main = mt.main
+        mnode_well_typed(g.sigs, {}, main)  # fine
+        # break the index invariant
+        main.kids["7"] = main.kids.pop("1")
+        from repro.core import TypingViolation
+
+        with pytest.raises(TypingViolation, match="consecutive"):
+            mnode_well_typed(g.sigs, {}, main)
+
+
+class TestVariadicDiffing:
+    @given(
+        st.lists(st.integers(0, 5), max_size=6),
+        st.lists(st.integers(0, 5), max_size=6),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_list_diffs_roundtrip(self, xs, ys):
+        g = Grammar()
+        S = g.sort("S")
+        num = g.constructor("N", S, lits=[("n", LIT_INT)])
+        lst = g.list_of(S)
+        a = lst.build([num(x) for x in xs])
+        b = lst.build([num(y) for y in ys])
+        script, patched = diff(a, b)
+        assert_well_typed(g.sigs, script)
+        mt = tnode_to_mtree(a)
+        mt.patch(script)
+        assert mt.structure_equals(tnode_to_mtree(b))
+        assert patched.tree_equal(b)
+
+    def test_equal_arity_reorder_uses_moves(self, lang):
+        g, S, num, lst = lang
+        pair = lambda a, b: lst.build([num(a), num(b)])
+        outer = g.constructor
+        # reorder of identical-arity list: the list node is kept
+        a = lst.build([num(1), num(2), num(3)])
+        b = lst.build([num(3), num(1), num(2)])
+        script, _ = diff(a, b)
+        assert_well_typed(g.sigs, script)
+        unloads = [e for e in script.primitives() if isinstance(e, Unload)]
+        # nothing needs to be destroyed: elements move, or literals update
+        assert not any(u.node.tag == "List[S]" for u in unloads)
+
+    def test_arity_change_replaces_only_list_node(self, lang):
+        g, S, num, lst = lang
+        a = lst.build([num(i) for i in range(10)])
+        b = lst.build([num(i) for i in range(10)] + [num(99)])
+        script, _ = diff(a, b)
+        unloaded = [e.node.tag for e in script.primitives() if isinstance(e, Unload)]
+        assert unloaded == ["List[S]"]
+        assert len(script) <= 4
+
+    def test_middle_insert_is_local(self, lang):
+        g, S, num, lst = lang
+        a = lst.build([num(i) for i in range(20)])
+        items = [num(i) for i in range(10)] + [num(77)] + [num(i) for i in range(10, 20)]
+        b = lst.build(items)
+        script, _ = diff(a, b)
+        assert len(script) <= 4

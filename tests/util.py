@@ -1,0 +1,148 @@
+"""Shared test utilities: the Exp example grammar from Section 4 and
+hypothesis strategies for random trees and tree edits."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from hypothesis import strategies as st
+
+from repro.core import (
+    Grammar,
+    LIT_INT,
+    LIT_STR,
+    TNode,
+    tnode_to_mtree,
+)
+
+
+@dataclass
+class ExpLang:
+    """The paper's example language (Section 4) plus a few extras."""
+
+    g: Grammar = field(default_factory=Grammar)
+
+    def __post_init__(self) -> None:
+        g = self.g
+        self.Exp = g.sort("Exp")
+        self.Num = g.constructor("Num", self.Exp, lits=[("n", LIT_INT)])
+        self.Var = g.constructor("Var", self.Exp, lits=[("name", LIT_STR)])
+        self.Add = g.constructor("Add", self.Exp, kids=[("e1", self.Exp), ("e2", self.Exp)])
+        self.Sub = g.constructor("Sub", self.Exp, kids=[("e1", self.Exp), ("e2", self.Exp)])
+        self.Mul = g.constructor("Mul", self.Exp, kids=[("e1", self.Exp), ("e2", self.Exp)])
+        self.Neg = g.constructor("Neg", self.Exp, kids=[("e", self.Exp)])
+        self.Call = g.constructor(
+            "Call", self.Exp, kids=[("a", self.Exp)], lits=[("f", LIT_STR)]
+        )
+
+    @property
+    def sigs(self):
+        return self.g.sigs
+
+
+#: A single language instance shared by the whole test session.  Trees keep
+#: drawing fresh URIs from the shared generator, which is exactly the
+#: uniqueness discipline the library prescribes.
+EXP = ExpLang()
+
+
+def random_exp(rng: random.Random, depth: int = 4) -> TNode:
+    """A quick, non-hypothesis random Exp tree (used by benchmarks too)."""
+    e = EXP
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return e.Num(rng.randint(0, 20))
+        return e.Var(rng.choice("abcdefgh"))
+    choice = rng.randrange(5)
+    if choice == 0:
+        return e.Add(random_exp(rng, depth - 1), random_exp(rng, depth - 1))
+    if choice == 1:
+        return e.Sub(random_exp(rng, depth - 1), random_exp(rng, depth - 1))
+    if choice == 2:
+        return e.Mul(random_exp(rng, depth - 1), random_exp(rng, depth - 1))
+    if choice == 3:
+        return e.Neg(random_exp(rng, depth - 1))
+    return e.Call(random_exp(rng, depth - 1), rng.choice("fgh"))
+
+
+def mutate_exp(rng: random.Random, tree: TNode, n_edits: int = 3) -> TNode:
+    """Apply ``n_edits`` random small mutations to an Exp tree, producing a
+    realistic 'next version' (used for diff round-trip properties)."""
+    e = EXP
+    for _ in range(n_edits):
+        nodes = list(tree.iter_subtree())
+        target = rng.choice(nodes)
+        kind = rng.randrange(5)
+        if kind == 0:  # change a literal
+            if target.tag == "Num":
+                replacement = e.Num(rng.randint(0, 20))
+            elif target.tag == "Var":
+                replacement = e.Var(rng.choice("abcdefgh"))
+            else:
+                replacement = e.Neg(target)
+        elif kind == 1:  # wrap in a new node
+            replacement = e.Add(target, e.Num(rng.randint(0, 9)))
+        elif kind == 2:  # replace by a fresh subtree
+            replacement = random_exp(rng, 2)
+        elif kind == 3:  # swap children if binary
+            if len(target.kids) == 2:
+                replacement = target.with_kids([target.kids[1], target.kids[0]])
+            else:
+                replacement = target
+        else:  # duplicate a subtree elsewhere
+            replacement = e.Mul(target, rng.choice(nodes))
+        tree = _replace_subtree(tree, target, replacement)
+    return tree
+
+
+def _replace_subtree(tree: TNode, old: TNode, new: TNode) -> TNode:
+    if tree is old:
+        return new
+    changed = False
+    kids = []
+    for k in tree.kids:
+        nk = _replace_subtree(k, old, new)
+        changed = changed or (nk is not k)
+        kids.append(nk)
+    return tree.with_kids(kids) if changed else tree
+
+
+# -- hypothesis strategies ----------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "d", "x", "y"])
+_ints = st.integers(min_value=0, max_value=9)
+
+
+def exp_trees(max_leaves: int = 12) -> st.SearchStrategy[TNode]:
+    """Random Exp trees as a hypothesis strategy."""
+    e = EXP
+    leaves = st.one_of(
+        _ints.map(lambda n: e.Num(n)),
+        _names.map(lambda s: e.Var(s)),
+    )
+
+    def extend(children: st.SearchStrategy[TNode]) -> st.SearchStrategy[TNode]:
+        return st.one_of(
+            st.tuples(children, children).map(lambda t: e.Add(*t)),
+            st.tuples(children, children).map(lambda t: e.Sub(*t)),
+            st.tuples(children, children).map(lambda t: e.Mul(*t)),
+            children.map(lambda t: e.Neg(t)),
+            st.tuples(children, _names).map(lambda t: e.Call(t[0], t[1])),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+def assert_diff_roundtrip(src: TNode, dst: TNode) -> None:
+    """The central correctness property (Conjectures 4.2 and 4.3)."""
+    from repro.core import assert_well_typed, diff
+
+    script, patched = diff(src, dst)
+    assert_well_typed(src.sigs, script)  # Conjecture 4.2
+    mt = tnode_to_mtree(src)
+    mt.patch(script)
+    assert mt.structure_equals(tnode_to_mtree(dst)), (
+        f"patched {mt.pretty()} != target {dst.pretty()}"
+    )  # Conjecture 4.3
+    assert patched.tree_equal(dst), "returned patched tree differs from target"
