@@ -1,5 +1,7 @@
-"""The evaluation harness regenerating the paper's figures (Section 6)."""
+"""The evaluation harness regenerating the paper's figures (Section 6),
+plus the tracked performance baseline (:mod:`repro.bench.baseline`)."""
 
+from .baseline import check_regression, measure as measure_baseline
 from .harness import (
     DEFAULT_TOOLS,
     Measurement,
@@ -20,8 +22,10 @@ __all__ = [
     "Summary",
     "ToolResult",
     "ascii_boxplot",
+    "check_regression",
     "fig4_conciseness",
     "fig5_throughput",
+    "measure_baseline",
     "measure_change",
     "measurements_from_csv",
     "measurements_to_csv",

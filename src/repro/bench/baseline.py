@@ -1,0 +1,261 @@
+"""Tracked performance baseline: ``BENCH_truediff.json``.
+
+Every PR that touches the hot path regenerates this file so the repo
+records its performance trajectory.  The corpus recipe below is FROZEN —
+the numbers are only comparable across revisions if every revision
+measures the exact same workload:
+
+* 4 synthetic modules (:func:`~repro.corpus.generate_module` seeds
+  100..103, ``GeneratorConfig(n_functions=(24, 32), n_classes=(6, 10))``,
+  ~14k tree nodes each),
+* 4 versions per module: v0 plus three rounds of
+  :func:`~repro.corpus.mutate_source` with 3 edits each
+  (``random.Random(10_000 + 100*i + k)``),
+* three throughput metrics, all in tree nodes per second:
+
+  - **construction** — building every corpus tree bottom-up
+    (:class:`~repro.core.TNode` construction includes Step-1 hashing);
+  - **first_diff** — one cold :func:`~repro.core.diff` per consecutive
+    version pair, fresh trees, best of 3;
+  - **warm_diff** — the incremental-driver workload: a
+    :class:`~repro.core.DiffSession` per module diffs 5 rounds of
+    cycling targets ``[v1, v2, v3, v0]``, carrying the patched tree
+    forward (denominator: source size + target size per diff).  Reported
+    for the default session (aliasing check on) and for
+    ``check_aliasing=False`` (the caller guarantees fresh targets, e.g.
+    a reparse loop).
+
+Run ``python -m repro.bench.baseline --out BENCH_truediff.json`` to
+regenerate, or ``--check BENCH_truediff.json`` in CI to fail on a >30%
+warm-diff regression against the checked-in numbers (same-machine
+comparison; cross-machine numbers differ by a constant factor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Optional
+
+from repro.adapters.pyast import parse_python
+from repro.core import DiffSession, TNode, diff, hash_scheme
+from repro.corpus import generate_module, mutate_source
+from repro.corpus.generator import GeneratorConfig
+
+# -- the frozen corpus recipe (do not change; see module docstring) ----------
+
+SCHEMA_VERSION = 1
+N_MODULES = 4
+N_VERSIONS = 4
+N_EDITS = 3
+GEN_SEED = 100
+MUT_SEED = 10_000
+WARM_ROUNDS = 5
+BEST_OF = 3
+GENERATOR_CONFIG = GeneratorConfig(n_functions=(24, 32), n_classes=(6, 10))
+
+#: The seed implementation (SHA-256 hashing, recursive traversals,
+#: per-call ``clear_diff_state`` sweep and aliasing precheck) measured
+#: with this exact recipe on the same container as the checked-in
+#: numbers — the before/after context for the hot-path overhaul.
+SEED_REFERENCE = {
+    "description": "seed implementation: sha256, recursive, O(n) per-diff sweeps",
+    "construction_nodes_per_sec": 181044,
+    "first_diff_nodes_per_sec": 1357617,
+    "warm_diff_nodes_per_sec": 1261406,
+    "corpus_nodes": 228583,
+}
+
+
+def corpus_sources() -> list[list[str]]:
+    """The frozen corpus: per module, the source text of each version."""
+    out = []
+    for i in range(N_MODULES):
+        versions = [generate_module(GEN_SEED + i, GENERATOR_CONFIG)]
+        for k in range(N_VERSIONS - 1):
+            rng = random.Random(MUT_SEED + 100 * i + k)
+            versions.append(mutate_source(versions[-1], rng, n_edits=N_EDITS)[0])
+        out.append(versions)
+    return out
+
+
+def build_corpus() -> list[list[TNode]]:
+    return [
+        [parse_python(text, f"mod{i}.py") for text in versions]
+        for i, versions in enumerate(corpus_sources())
+    ]
+
+
+def _rebuild(tree: TNode) -> TNode:
+    """A structurally fresh copy (new node objects, same URIs) — used to
+    hand each measurement trees nobody else holds.  Iterative."""
+    stack: list[tuple[TNode, bool]] = [(tree, False)]
+    results: list[TNode] = []
+    while stack:
+        n, post = stack.pop()
+        if not post:
+            stack.append((n, True))
+            for i in range(len(n.kids) - 1, -1, -1):
+                stack.append((n.kids[i], False))
+        else:
+            cnt = len(n.kids)
+            if cnt:
+                kids = results[-cnt:]
+                del results[-cnt:]
+            else:
+                kids = []
+            results.append(TNode(n.sigs, n.sig, kids, n.lits, n.uri, validate=False))
+    return results[0]
+
+
+def _measure_construction(all_trees: list[TNode], total_nodes: int) -> float:
+    best: Optional[float] = None
+    for _ in range(BEST_OF):
+        t0 = time.perf_counter()
+        for t in all_trees:
+            _rebuild(t)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None or elapsed < best else best
+    return total_nodes / best
+
+
+def _measure_first_diff(modules: list[list[TNode]]) -> float:
+    nodes = 0
+    total = 0.0
+    for versions in modules:
+        for src, dst in zip(versions, versions[1:]):
+            best: Optional[float] = None
+            for _ in range(BEST_OF):
+                a, b = _rebuild(src), _rebuild(dst)
+                t0 = time.perf_counter()
+                diff(a, b)
+                elapsed = time.perf_counter() - t0
+                best = elapsed if best is None or elapsed < best else best
+            nodes += src.size + dst.size
+            total += best
+    return nodes / total
+
+
+def _warm_phase(modules: list[list[TNode]], check_aliasing: bool) -> float:
+    nodes = 0
+    total = 0.0
+    for versions in modules:
+        session = DiffSession(_rebuild(versions[0]), check_aliasing=check_aliasing)
+        targets = [_rebuild(v) for v in versions[1:]] + [_rebuild(versions[0])]
+        for _ in range(WARM_ROUNDS):
+            for t in targets:
+                n = session.tree.size + t.size
+                t0 = time.perf_counter()
+                session.diff(t)
+                total += time.perf_counter() - t0
+                nodes += n
+    return nodes / total
+
+
+def _measure_warm(modules: list[list[TNode]], check_aliasing: bool) -> float:
+    _warm_phase(modules, check_aliasing)  # warm caches, allocator, branches
+    return max(_warm_phase(modules, check_aliasing) for _ in range(BEST_OF))
+
+
+def measure(scheme: str = "blake2b") -> dict:
+    """Run all metrics under ``scheme`` and return the results document."""
+    with hash_scheme(scheme):
+        modules = build_corpus()
+        all_trees = [t for versions in modules for t in versions]
+        total_nodes = sum(t.size for t in all_trees)
+        metrics = {
+            "construction_nodes_per_sec": round(
+                _measure_construction(all_trees, total_nodes)
+            ),
+            "first_diff_nodes_per_sec": round(_measure_first_diff(modules)),
+            "warm_diff_nodes_per_sec": round(_measure_warm(modules, True)),
+            "warm_diff_unchecked_nodes_per_sec": round(
+                _measure_warm(modules, False)
+            ),
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "truediff",
+        "hash_scheme": scheme,
+        "corpus": {
+            "modules": N_MODULES,
+            "versions_per_module": N_VERSIONS,
+            "edits_per_version": N_EDITS,
+            "warm_rounds": WARM_ROUNDS,
+            "best_of": BEST_OF,
+            "total_nodes": total_nodes,
+        },
+        "metrics": metrics,
+        "seed_reference": SEED_REFERENCE,
+    }
+
+
+def check_regression(
+    results: dict, baseline_path: str, tolerance: float = 0.30
+) -> tuple[bool, str]:
+    """Compare measured warm-diff throughput against a checked-in
+    baseline; fail when it regresses by more than ``tolerance``."""
+    with open(baseline_path, "r", encoding="utf8") as f:
+        baseline = json.load(f)
+    reference = baseline["metrics"]["warm_diff_nodes_per_sec"]
+    measured = results["metrics"]["warm_diff_nodes_per_sec"]
+    floor = reference * (1.0 - tolerance)
+    ok = measured >= floor
+    verdict = "ok" if ok else "REGRESSION"
+    return ok, (
+        f"warm-diff {measured} nodes/sec vs baseline {reference} "
+        f"(floor {floor:.0f}, tolerance {tolerance:.0%}): {verdict}"
+    )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.baseline",
+        description="Measure truediff throughput on the frozen corpus "
+        "and emit BENCH_truediff.json.",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write results JSON to this path"
+    )
+    parser.add_argument(
+        "--scheme",
+        default="blake2b",
+        choices=["blake2b", "sha256"],
+        help="hash scheme to measure (default: blake2b)",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a checked-in baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional warm-diff regression for --check (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    results = measure(args.scheme)
+    text = json.dumps(results, indent=2, sort_keys=False) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf8") as f:
+            f.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+
+    if args.check:
+        ok, message = check_regression(results, args.check, args.tolerance)
+        print(message, file=sys.stderr)
+        if not ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

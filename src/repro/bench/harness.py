@@ -49,12 +49,25 @@ class Measurement:
 
 
 def _rebuild_tnode(tree: TNode) -> TNode:
-    """Reconstruct the tree, recomputing all hashes (Step 1 cost)."""
-
-    def go(n: TNode) -> TNode:
-        return TNode(n.sigs, n.sig, [go(k) for k in n.kids], n.lits, n.uri, validate=False)
-
-    return go(tree)
+    """Reconstruct the tree, recomputing all hashes (Step 1 cost).
+    Iterative, so arbitrarily deep corpus trees rebuild safely."""
+    stack: list[tuple[TNode, bool]] = [(tree, False)]
+    results: list[TNode] = []
+    while stack:
+        n, post = stack.pop()
+        if not post:
+            stack.append((n, True))
+            for i in range(len(n.kids) - 1, -1, -1):
+                stack.append((n.kids[i], False))
+        else:
+            cnt = len(n.kids)
+            if cnt:
+                kids = results[-cnt:]
+                del results[-cnt:]
+            else:
+                kids = []
+            results.append(TNode(n.sigs, n.sig, kids, n.lits, n.uri, validate=False))
+    return results[0]
 
 
 def _run_truediff(src: TNode, dst: TNode, options: DiffOptions) -> ToolResult:

@@ -18,7 +18,7 @@ if _sys.getrecursionlimit() < 1_000_000:
     _sys.setrecursionlimit(1_000_000)
 
 from .adt import Constructor, ConsListSorts, Grammar, ListSorts, OptionSorts, diffable
-from .diff import DEFAULT_OPTIONS, DiffOptions, EditBuffer, diff
+from .diff import DEFAULT_OPTIONS, DiffOptions, DiffSession, EditBuffer, diff
 from .edits import (
     Attach,
     Detach,
@@ -55,7 +55,17 @@ from .node import Link, Node, ROOT_LINK, ROOT_NODE, ROOT_TAG, Tag
 from .registry import SubtreeRegistry, SubtreeShare
 from .signature import ROOT_SIGNATURE, Signature, SignatureError, SignatureRegistry
 from .trace import Acquisition, DiffTrace, diff_traced
-from .tree import TNode, clear_diff_state, tnode_to_mtree
+from .tree import (
+    HASH_SCHEMES,
+    TNode,
+    clear_diff_state,
+    get_hash_scheme,
+    hash_scheme,
+    next_diff_generation,
+    set_hash_scheme,
+    subtree_ids,
+    tnode_to_mtree,
+)
 from .typecheck import (
     CLOSED_STATE,
     EditTypeError,
@@ -91,6 +101,7 @@ __all__ = [
     "DEFAULT_OPTIONS",
     "Detach",
     "DiffOptions",
+    "DiffSession",
     "Edit",
     "EditBuffer",
     "EditScript",
@@ -142,6 +153,12 @@ __all__ = [
     "clear_diff_state",
     "diff",
     "diff_traced",
+    "HASH_SCHEMES",
+    "get_hash_scheme",
+    "hash_scheme",
+    "next_diff_generation",
+    "set_hash_scheme",
+    "subtree_ids",
     "diffable",
     "GenerationError",
     "TreeGenerator",

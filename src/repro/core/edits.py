@@ -23,6 +23,7 @@ patching.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain
 from typing import Any, Iterable, Iterator, Union
 
 from .node import Link, Node
@@ -185,6 +186,23 @@ class EditScript:
 
     def __add__(self, other: "EditScript") -> "EditScript":
         return EditScript(self.edits + other.edits)
+
+    @classmethod
+    def from_buffers(
+        cls,
+        negatives: Iterable[Edit],
+        positives: Iterable[Edit],
+        coalesce: bool = True,
+    ) -> "EditScript":
+        """Build a script from an edit buffer's negative and positive edit
+        lists without concatenating them into an intermediate list.
+
+        Coalescing the chained sequence is equivalent to coalescing each
+        buffer: the merge pairs (Load+Attach, Detach+Unload) never straddle
+        the negative/positive boundary.
+        """
+        script = cls(chain(negatives, positives))
+        return script.coalesced() if coalesce else script
 
     def primitives(self) -> Iterator[PrimitiveEdit]:
         """Yield the primitive edits, expanding compounds."""

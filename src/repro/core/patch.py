@@ -26,22 +26,38 @@ def mnode_to_tnode(node: MNode, sigs: SignatureRegistry) -> TNode:
     """Rebuild an immutable tree from a (complete) mutable subtree.
 
     Raises :class:`PatchError` if the subtree contains empty slots — only
-    closed trees have an immutable counterpart.
+    closed trees have an immutable counterpart.  Iterative post-order, so
+    arbitrarily deep patched trees rebuild without ``RecursionError``.
     """
-    sig = sigs[node.tag]
-    kid_links = (
-        tuple(str(i) for i in range(len(node.kids)))
-        if sig.is_variadic
-        else sig.kid_links
-    )
-    kids = []
-    for link in kid_links:
-        kid = node.kids.get(link)
-        if kid is None:
-            raise PatchError(f"{node.node} has an empty slot {link!r}")
-        kids.append(mnode_to_tnode(kid, sigs))
-    lits = [node.lits[link] for link in sig.lit_links]
-    return TNode(sigs, sig, kids, lits, node.uri)
+    # pre frames carry (node, None); post frames (node, (sig, kid_links))
+    stack: list[tuple[MNode, Optional[tuple]]] = [(node, None)]
+    results: list[TNode] = []
+    while stack:
+        n, info = stack.pop()
+        if info is None:
+            sig = sigs[n.tag]
+            kid_links = (
+                tuple(str(i) for i in range(len(n.kids)))
+                if sig.is_variadic
+                else sig.kid_links
+            )
+            stack.append((n, (sig, kid_links)))
+            for link in reversed(kid_links):
+                kid = n.kids.get(link)
+                if kid is None:
+                    raise PatchError(f"{n.node} has an empty slot {link!r}")
+                stack.append((kid, None))
+        else:
+            sig, kid_links = info
+            cnt = len(kid_links)
+            if cnt:
+                kids = results[-cnt:]
+                del results[-cnt:]
+            else:
+                kids = []
+            lits = [n.lits[link] for link in sig.lit_links]
+            results.append(TNode(sigs, sig, kids, lits, n.uri))
+    return results[0]
 
 
 def mtree_to_tnode(tree: MTree, sigs: SignatureRegistry) -> TNode:

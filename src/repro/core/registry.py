@@ -8,15 +8,21 @@ may acquire at most once; target subtrees merely *point* at their share to
 find reuse candidates.
 
 The :class:`SubtreeRegistry` interns shares by structure hash — the role of
-the paper's hash trie.  Python dictionaries hash the 32-byte digest in
-constant time, giving the same O(1) share lookup.
+the paper's hash trie.  Python dictionaries hash the digest in constant
+time, giving the same O(1) share lookup.
+
+Each registry owns a fresh *diff generation* number: assigning a share
+stamps the node with that generation and lazily invalidates any
+``share``/``assigned`` state left over from earlier diffs.  This is what
+lets :func:`~repro.core.diff.diff` skip the O(n) ``clear_diff_state``
+sweep that used to precede every run.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from .tree import TNode
+from .tree import TNode, next_diff_generation
 from .uris import URI
 
 
@@ -77,23 +83,33 @@ class SubtreeShare:
 
 
 class SubtreeRegistry:
-    """Interns :class:`SubtreeShare` objects by structure hash (Step 2)."""
+    """Interns :class:`SubtreeShare` objects by structure hash (Step 2).
 
-    __slots__ = ("_shares",)
+    ``gen`` is this registry's diff generation: a node's ``share`` and
+    ``assigned`` fields are only meaningful while ``node.gen == gen``.
+    """
+
+    __slots__ = ("_shares", "gen")
 
     def __init__(self) -> None:
         self._shares: dict[bytes, SubtreeShare] = {}
+        self.gen = next_diff_generation()
 
     def assign_share(self, tree: TNode) -> SubtreeShare:
         """Set (and return) ``tree.share``; trees are assigned the same share
-        iff they are structurally equivalent."""
-        share = tree.share
+        iff they are structurally equivalent.  Stamps the node with this
+        registry's generation, invalidating state from earlier diffs."""
+        if tree.gen == self.gen:
+            share = tree.share
+            if share is not None:
+                return share
+        share = self._shares.get(tree.structure_hash)
         if share is None:
-            share = self._shares.get(tree.structure_hash)
-            if share is None:
-                share = SubtreeShare()
-                self._shares[tree.structure_hash] = share
-            tree.share = share
+            share = SubtreeShare()
+            self._shares[tree.structure_hash] = share
+        tree.share = share
+        tree.assigned = None
+        tree.gen = self.gen
         return share
 
     def assign_share_and_register(self, tree: TNode) -> None:

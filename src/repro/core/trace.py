@@ -168,7 +168,7 @@ def diff_traced(
                 push(kid)
 
     buf = EditBuffer()
-    patched = compute_edits(this, that, ROOT_NODE, ROOT_LINK, buf, urigen)
+    patched = compute_edits(this, that, ROOT_NODE, ROOT_LINK, buf, urigen, reg.gen)
     script = buf.to_script(coalesce=options.coalesce)
 
     for e in script:

@@ -2,7 +2,7 @@
 
 :class:`TNode` is the datatype-generic tree representation truediff works
 on: an immutable node driven by a constructor :class:`~repro.core.signature.Signature`,
-carrying a URI and two cryptographic hashes.
+carrying a URI and two equivalence hashes.
 
 * :attr:`TNode.structure_hash` encodes *structural equivalence*: two trees
   are structurally equivalent iff they are equal except for literal values
@@ -11,18 +11,30 @@ carrying a URI and two cryptographic hashes.
   for node tags (same literals, in the same tree positions).
 * :attr:`TNode.identity_hash` combines both — equal iff the trees are equal.
 
-The hashes are SHA-256 digests computed bottom-up at construction time, so
-every node costs O(1) amortized hashing work (Theorem 4.1, Step 1).
+The hashes are computed bottom-up at construction time, so every node
+costs O(1) amortized hashing work (Theorem 4.1, Step 1).  The digest
+function is pluggable (:func:`set_hash_scheme`): the default ``blake2b``
+scheme uses 16-byte BLAKE2b digests (fast, short dictionary keys), while
+the paper-faithful ``sha256`` scheme remains selectable for ablations.
+Trees that are diffed against each other must be built under the same
+scheme — digests of different schemes never compare equal.
 
 The mutable fields :attr:`share` and :attr:`assigned` hold per-diff state
-(Steps 2-3 of truediff); :func:`clear_diff_state` resets them, which the
-top-level :func:`~repro.core.diff.diff` does before every run.
+(Steps 2-3 of truediff).  They are *generation-stamped*: every
+:class:`~repro.core.registry.SubtreeRegistry` draws a fresh generation
+number from :func:`next_diff_generation`, and a node's ``share``/
+``assigned`` values are only meaningful while ``node.gen`` equals the
+current registry's generation.  Stale state from earlier diffs is simply
+ignored, so :func:`~repro.core.diff.diff` never has to sweep the trees
+with :func:`clear_diff_state` (kept for tests and manual use).
 """
 
 from __future__ import annotations
 
-import hashlib
-from typing import Any, Iterator, Optional, Sequence, TYPE_CHECKING
+import itertools
+from contextlib import contextmanager
+from hashlib import blake2b, sha256
+from typing import Any, Callable, Iterator, Optional, Sequence, TYPE_CHECKING
 
 from .node import Link, Node, Tag
 from .signature import Signature, SignatureError, SignatureRegistry
@@ -30,6 +42,73 @@ from .uris import URI, URIGen
 
 if TYPE_CHECKING:  # pragma: no cover
     from .registry import SubtreeShare
+
+
+# -- hash schemes (Step 1) ---------------------------------------------------
+
+
+def _blake2b_digest(data: bytes) -> bytes:
+    return blake2b(data, digest_size=16).digest()
+
+
+def _sha256_digest(data: bytes) -> bytes:
+    return sha256(data).digest()
+
+
+#: Available digest functions, keyed by scheme name.
+HASH_SCHEMES: dict[str, Callable[[bytes], bytes]] = {
+    "blake2b": _blake2b_digest,
+    "sha256": _sha256_digest,
+}
+
+_hash_scheme_name = "blake2b"
+_digest = HASH_SCHEMES[_hash_scheme_name]
+
+
+def get_hash_scheme() -> str:
+    """Name of the digest scheme used for newly constructed nodes."""
+    return _hash_scheme_name
+
+
+def set_hash_scheme(name: str) -> str:
+    """Select the digest scheme for newly constructed nodes.
+
+    Returns the previous scheme name.  Existing nodes keep the hashes
+    they were built with; do not mix schemes within one diff.
+    """
+    global _hash_scheme_name, _digest
+    if name not in HASH_SCHEMES:
+        raise ValueError(
+            f"unknown hash scheme {name!r}; expected one of {sorted(HASH_SCHEMES)}"
+        )
+    previous = _hash_scheme_name
+    _hash_scheme_name = name
+    _digest = HASH_SCHEMES[name]
+    return previous
+
+
+@contextmanager
+def hash_scheme(name: str) -> Iterator[None]:
+    """Context manager: build trees under ``name``, then restore."""
+    previous = set_hash_scheme(name)
+    try:
+        yield
+    finally:
+        set_hash_scheme(previous)
+
+
+# -- per-diff generations ----------------------------------------------------
+
+_generations = itertools.count(1)
+
+
+def next_diff_generation() -> int:
+    """A fresh diff-generation number (drawn once per SubtreeRegistry).
+
+    Node generation stamps start at 0, so generation numbers from this
+    counter never collide with a freshly constructed node.
+    """
+    return next(_generations)
 
 
 # Tag bytes are interned: hashing runs once per node, tags repeat constantly.
@@ -63,6 +142,11 @@ class TNode:
         "literal_hash",
         "share",
         "assigned",
+        "gen",
+        "_node",
+        "_kid_items",
+        "_lit_items",
+        "_identity_hash",
     )
 
     def __init__(
@@ -100,13 +184,15 @@ class TNode:
             lit_parts.append(k.literal_hash)
         self.height = height + 1
         self.size = size
+        digest = _digest
         # structural equivalence: tags + shape, ignoring literal values
-        self.structure_hash = hashlib.sha256(b"".join(struct_parts)).digest()
+        self.structure_hash = digest(b"".join(struct_parts))
         # literal equivalence: literal values, ignoring tags
-        self.literal_hash = hashlib.sha256(b"".join(lit_parts)).digest()
-        # per-diff mutable state (Steps 2-3)
+        self.literal_hash = digest(b"".join(lit_parts))
+        # per-diff mutable state (Steps 2-3), valid only for `gen`
         self.share: Optional["SubtreeShare"] = None
         self.assigned: Optional["TNode"] = None
+        self.gen = 0
 
     @staticmethod
     def _validate(
@@ -143,7 +229,11 @@ class TNode:
     @property
     def identity_hash(self) -> bytes:
         """Equal iff the trees are equal (structurally and literally)."""
-        return self.structure_hash + self.literal_hash
+        try:
+            return self._identity_hash
+        except AttributeError:
+            h = self._identity_hash = self.structure_hash + self.literal_hash
+            return h
 
     # -- construction -------------------------------------------------------
 
@@ -174,8 +264,13 @@ class TNode:
 
     @property
     def node(self) -> Node:
-        """The ``TagURI`` reference of this node."""
-        return Node(self.sig.tag, self.uri)
+        """The ``TagURI`` reference of this node (cached; edit emission
+        asks for it several times per changed node)."""
+        try:
+            return self._node
+        except AttributeError:
+            n = self._node = Node(self.sig.tag, self.uri)
+            return n
 
     @property
     def kid_links(self) -> tuple[Link, ...]:
@@ -183,11 +278,21 @@ class TNode:
 
     @property
     def kid_items(self) -> tuple[tuple[Link, "TNode"], ...]:
-        return tuple(zip(self.kid_links, self.kids))
+        # cached: rebuilt tuples on every access were a measurable cost in
+        # EditBuffer.load/unload and Step 4, which hit this per node per diff
+        try:
+            return self._kid_items
+        except AttributeError:
+            items = self._kid_items = tuple(zip(self.kid_links, self.kids))
+            return items
 
     @property
     def lit_items(self) -> tuple[tuple[Link, Any], ...]:
-        return tuple(zip(self.sig.lit_links, self.lits))
+        try:
+            return self._lit_items
+        except AttributeError:
+            items = self._lit_items = tuple(zip(self.sig.lit_links, self.lits))
+            return items
 
     def kid(self, link: Link) -> "TNode":
         if self.sig.variadic is not None:
@@ -213,23 +318,42 @@ class TNode:
         (URIs name distinct mutable positions).  The first occurrence of a
         shared node keeps its identity; later occurrences are rebuilt with
         fresh URIs.
+
+        Iterative (explicit stack): deep trees must not hit the recursion
+        limit.
         """
         if urigen is None:
             urigen = self.sigs.urigen
         seen: set[int] = set()
-
-        def go(n: TNode) -> TNode:
-            dup = id(n) in seen
-            seen.add(id(n))
-            kids = [go(k) for k in n.kids]
-            if not dup and all(a is b for a, b in zip(kids, n.kids)):
-                return n
-            return TNode(
-                n.sigs, n.sig, kids, n.lits, urigen.fresh() if dup else n.uri,
-                validate=False,
-            )
-
-        return go(self)
+        # (node, dup) for pre-visits, (node, dup) re-pushed as post-visits
+        stack: list[tuple[TNode, bool, bool]] = [(self, False, False)]
+        results: list[TNode] = []
+        while stack:
+            n, post, dup = stack.pop()
+            if not post:
+                dup = id(n) in seen
+                seen.add(id(n))
+                stack.append((n, True, dup))
+                for k in reversed(n.kids):
+                    stack.append((k, False, False))
+            else:
+                cnt = len(n.kids)
+                if cnt:
+                    kids = results[-cnt:]
+                    del results[-cnt:]
+                else:
+                    kids = []
+                if not dup and all(a is b for a, b in zip(kids, n.kids)):
+                    results.append(n)
+                else:
+                    results.append(
+                        TNode(
+                            n.sigs, n.sig, kids, n.lits,
+                            urigen.fresh() if dup else n.uri,
+                            validate=False,
+                        )
+                    )
+        return results[0]
 
     def with_canonical_uris(self, start: int = 1) -> "TNode":
         """Renumber all URIs in pre-order starting at ``start``.
@@ -240,17 +364,32 @@ class TNode:
         the source document first; script URIs then denote pre-order
         positions.  Fresh URIs for Load edits must start above
         ``start + size``.
+
+        Iterative: URIs are assigned at pre-visit (pre-order), nodes are
+        rebuilt at post-visit.
         """
-        counter = [start]
-
-        def go(n: TNode) -> TNode:
-            uri = counter[0]
-            counter[0] += 1
-            return TNode(
-                n.sigs, n.sig, [go(k) for k in n.kids], n.lits, uri, validate=False
-            )
-
-        return go(self)
+        counter = start
+        stack: list[tuple[TNode, bool, int]] = [(self, False, 0)]
+        results: list[TNode] = []
+        while stack:
+            n, post, uri = stack.pop()
+            if not post:
+                uri = counter
+                counter += 1
+                stack.append((n, True, uri))
+                for k in reversed(n.kids):
+                    stack.append((k, False, 0))
+            else:
+                cnt = len(n.kids)
+                if cnt:
+                    kids = results[-cnt:]
+                    del results[-cnt:]
+                else:
+                    kids = []
+                results.append(
+                    TNode(n.sigs, n.sig, kids, n.lits, uri, validate=False)
+                )
+        return results[0]
 
     # -- traversal ------------------------------------------------------------
 
@@ -280,7 +419,10 @@ class TNode:
 
     def tree_equal(self, other: "TNode") -> bool:
         """Full equality (structure and literals; URIs ignored)."""
-        return self.identity_hash == other.identity_hash
+        return (
+            self.structure_hash == other.structure_hash
+            and self.literal_hash == other.literal_hash
+        )
 
     # -- conversions ------------------------------------------------------------
 
@@ -303,28 +445,53 @@ class TNode:
         return f"TNode({self.pretty()})"
 
 
+def subtree_ids(tree: TNode) -> set[int]:
+    """The ``id()`` of every node object in ``tree`` (tight loop; the
+    aliasing precheck of :func:`~repro.core.diff.diff` is built on this)."""
+    ids: set[int] = set()
+    add = ids.add
+    stack = [tree]
+    pop = stack.pop
+    extend = stack.extend
+    while stack:
+        n = pop()
+        add(id(n))
+        extend(n.kids)
+    return ids
+
+
 def clear_diff_state(*trees: TNode) -> None:
-    """Reset the per-diff mutable fields of all nodes in the given trees."""
+    """Reset the per-diff mutable fields of all nodes in the given trees.
+
+    :func:`~repro.core.diff.diff` no longer needs this (per-diff state is
+    generation-stamped and lazily invalidated); it remains for tests and
+    for manual experiments with the step functions.
+    """
     for tree in trees:
-        for n in tree.iter_subtree():
+        stack = [tree]
+        while stack:
+            n = stack.pop()
             n.share = None
             n.assigned = None
+            n.gen = 0
+            stack.extend(n.kids)
 
 
 def tnode_to_mtree(tree: TNode) -> "MTree":
     """Build the :class:`~repro.core.mtree.MTree` corresponding to ``tree``
-    (attached under the pre-defined root)."""
+    (attached under the pre-defined root).  Iterative (deep trees)."""
     from .mtree import MNode, MTree
     from .node import ROOT_LINK
 
     out = MTree()
-
-    def go(n: TNode) -> MNode:
+    index = out.index
+    # (tnode, kids-dict of the parent MNode, link under which to attach)
+    stack: list[tuple[TNode, dict, str]] = [(tree, out.root.kids, ROOT_LINK)]
+    while stack:
+        n, parent_kids, link = stack.pop()
         m = MNode(n.node, {}, dict(n.lit_items))
-        out.index[n.uri] = m
-        for link, kid in n.kid_items:
-            m.kids[link] = go(kid)
-        return m
-
-    out.root.kids[ROOT_LINK] = go(tree)
+        index[n.uri] = m
+        parent_kids[link] = m
+        for l, k in reversed(n.kid_items):
+            stack.append((k, m.kids, l))
     return out

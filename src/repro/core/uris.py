@@ -42,4 +42,4 @@ class URIGen:
 
     def fresh_many(self, n: int) -> list[int]:
         """Return ``n`` distinct fresh URIs."""
-        return [next(self._counter) for _ in range(n)]
+        return list(itertools.islice(self._counter, n))

@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
-from repro.core import EditScript, TNode, diff
+from repro.core import DiffSession, EditScript, TNode
 
 from .engine import Engine
 from .facts import TreeFactDB
@@ -67,6 +67,9 @@ class IncrementalDriver:
         facts the Datalog fragment cannot express (e.g. exploding a
         comma-joined literal into one fact per element)."""
         self.tree = tree
+        # repeated diffs against the evolving tree: a session caches the
+        # source node-id set so each update only scans the new tree once
+        self._session = DiffSession(tree)
         self.db = TreeFactDB(one_to_one=one_to_one)
         self.engine = Engine()
         self.delta_hook = delta_hook
@@ -83,7 +86,7 @@ class IncrementalDriver:
         """Diff the current tree against ``new_tree`` and maintain all
         derived facts incrementally."""
         t0 = time.perf_counter()
-        script, patched = diff(self.tree, new_tree)
+        script, patched = self._session.diff(new_tree)
         t1 = time.perf_counter()
         inserts, deletes = self.db.apply_script(script)
         if self.delta_hook is not None:

@@ -20,6 +20,18 @@ from repro.core.mtree import check_syntactic_compliance
 from .util import EXP, assert_diff_roundtrip, exp_trees, mutate_exp, random_exp
 
 
+@pytest.fixture(scope="module", params=["blake2b", "sha256"], autouse=True)
+def _hash_scheme_mode(request):
+    """Run every property in this module under both digest schemes
+    (module-scoped: hypothesis forbids function-scoped fixtures with
+    @given, and the scheme only matters at tree-construction time)."""
+    from repro.core import set_hash_scheme
+
+    previous = set_hash_scheme(request.param)
+    yield request.param
+    set_hash_scheme(previous)
+
+
 @given(exp_trees(), exp_trees())
 @settings(max_examples=200, deadline=None)
 def test_random_pairs_roundtrip(src, dst):

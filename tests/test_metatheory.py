@@ -30,6 +30,18 @@ from repro.core.typecheck import CLOSED_STATE
 from .util import EXP, exp_trees
 
 
+@pytest.fixture(scope="module", params=["blake2b", "sha256"], autouse=True)
+def _hash_scheme_mode(request):
+    """Run every property in this module under both digest schemes
+    (module-scoped: hypothesis forbids function-scoped fixtures with
+    @given, and the scheme only matters at tree-construction time)."""
+    from repro.core import set_hash_scheme
+
+    previous = set_hash_scheme(request.param)
+    yield request.param
+    set_hash_scheme(previous)
+
+
 def check_stepwise_preservation(src, dst):
     """Lemma 3.8 instantiated: step through the script edit by edit."""
     script, _ = diff(src, dst)

@@ -1,0 +1,256 @@
+"""Tests for the hot-path machinery: hash scheme selection, per-diff
+generation stamping, :class:`~repro.core.diff.DiffSession`, buffer-based
+script construction, and the caches on :class:`~repro.core.tree.TNode`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    Attach,
+    Detach,
+    DiffSession,
+    EditScript,
+    HASH_SCHEMES,
+    Insert,
+    Load,
+    Node,
+    Remove,
+    ROOT_LINK,
+    ROOT_NODE,
+    SubtreeRegistry,
+    URIGen,
+    Unload,
+    assert_well_typed,
+    clear_diff_state,
+    diff,
+    get_hash_scheme,
+    hash_scheme,
+    next_diff_generation,
+    set_hash_scheme,
+    tnode_to_mtree,
+)
+
+from .util import EXP, mutate_exp, random_exp
+
+
+class TestHashSchemes:
+    def test_both_schemes_registered(self):
+        assert set(HASH_SCHEMES) == {"blake2b", "sha256"}
+
+    def test_default_is_blake2b(self):
+        assert get_hash_scheme() == "blake2b"
+
+    def test_digest_lengths(self):
+        with hash_scheme("blake2b"):
+            t = EXP.Num(1)
+            assert len(t.structure_hash) == 16
+            assert len(t.literal_hash) == 16
+        with hash_scheme("sha256"):
+            t = EXP.Num(1)
+            assert len(t.structure_hash) == 32
+            assert len(t.literal_hash) == 32
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown hash scheme"):
+            set_hash_scheme("md5")
+
+    def test_set_returns_previous_and_context_restores(self):
+        before = get_hash_scheme()
+        previous = set_hash_scheme("sha256")
+        assert previous == before
+        assert get_hash_scheme() == "sha256"
+        with hash_scheme("blake2b"):
+            assert get_hash_scheme() == "blake2b"
+        assert get_hash_scheme() == "sha256"
+        set_hash_scheme(before)
+
+    def test_diff_correct_under_sha256(self):
+        with hash_scheme("sha256"):
+            e = EXP
+            src = e.Add(e.Num(1), e.Mul(e.Num(2), e.Num(3)))
+            dst = e.Sub(e.Mul(e.Num(2), e.Num(3)), e.Num(4))
+            script, patched = diff(src, dst)
+            assert patched.tree_equal(dst)
+
+
+class TestGenerationStamping:
+    def test_generation_counter_is_monotone(self):
+        a = next_diff_generation()
+        b = next_diff_generation()
+        assert b > a > 0
+
+    def test_fresh_nodes_start_at_generation_zero(self):
+        assert EXP.Num(1).gen == 0
+
+    def test_repeated_diffs_need_no_clearing(self):
+        # the same source object diffs correctly again and again: stale
+        # share/assigned state from the previous run is invalidated lazily
+        e = EXP
+        src = e.Add(e.Mul(e.Num(1), e.Num(2)), e.Var("k"))
+        for dst in (
+            e.Add(e.Var("k"), e.Mul(e.Num(1), e.Num(2))),
+            e.Neg(e.Mul(e.Num(1), e.Num(2))),
+            e.Num(9),
+        ):
+            script, patched = diff(src, dst)
+            assert_well_typed(src.sigs, script)
+            assert patched.tree_equal(dst)
+
+    def test_registry_ignores_stale_stamps(self):
+        t = EXP.Num(1)
+        reg1 = SubtreeRegistry()
+        share1 = reg1.assign_share(t)
+        assert t.gen == reg1.gen and t.share is share1
+        reg2 = SubtreeRegistry()
+        share2 = reg2.assign_share(t)
+        assert share2 is not share1
+        assert t.gen == reg2.gen and t.share is share2
+        assert t.assigned is None
+
+    def test_clear_diff_state_resets_generation(self):
+        t = EXP.Add(EXP.Num(1), EXP.Num(2))
+        reg = SubtreeRegistry()
+        for n in t.iter_subtree():
+            reg.assign_share(n)
+        clear_diff_state(t)
+        for n in t.iter_subtree():
+            assert n.gen == 0 and n.share is None and n.assigned is None
+
+
+class TestDiffSession:
+    def test_session_tree_advances(self):
+        e = EXP
+        session = DiffSession(e.Num(1))
+        script, patched = session.diff(e.Add(e.Num(1), e.Num(2)))
+        assert session.tree is patched
+        assert patched.tree_equal(e.Add(e.Num(1), e.Num(2)))
+
+    def test_session_equivalent_to_plain_diff(self):
+        rng = random.Random(42)
+        current = random_exp(rng, depth=5)
+        plain = current
+        session = DiffSession(current)
+        mt = tnode_to_mtree(current)
+        for _ in range(6):
+            nxt = mutate_exp(rng, plain, n_edits=2)
+            s_script, s_patched = session.diff(nxt)
+            p_script, plain = diff(plain, nxt)
+            assert len(s_script) == len(p_script)
+            assert s_patched.tree_equal(plain)
+            mt.patch(s_script)
+            assert mt.structure_equals(tnode_to_mtree(nxt))
+
+    def test_session_survives_rebuild_cycles(self):
+        # more rounds than REBUILD_EVERY: exercises both the amortized
+        # id-cache roll-forward and the periodic exact rebuild
+        rng = random.Random(7)
+        tree = random_exp(rng, depth=5)
+        session = DiffSession(tree)
+        mt = tnode_to_mtree(tree)
+        rounds = 3 * DiffSession.REBUILD_EVERY
+        for i in range(rounds):
+            nxt = mutate_exp(rng, session.tree, n_edits=rng.randint(1, 3))
+            script, patched = session.diff(nxt)
+            assert_well_typed(tree.sigs, script)
+            assert patched.tree_equal(nxt)
+            mt.patch(script)
+            assert mt.structure_equals(tnode_to_mtree(nxt))
+
+    def test_target_aliasing_session_tree_is_dealiased(self):
+        # the target embeds the session's own tree object: the session must
+        # detect the aliasing and diff against an unaliased copy
+        e = EXP
+        session = DiffSession(e.Mul(e.Num(1), e.Num(2)))
+        that = e.Add(session.tree, e.Num(3))
+        script, patched = session.diff(that)
+        assert patched.tree_equal(that)
+        # the new session tree shares no node objects with... itself twice
+        uris = [n.uri for n in patched.iter_subtree()]
+        assert len(uris) == len(set(uris))
+
+    def test_self_aliased_target_is_dealiased(self):
+        e = EXP
+        session = DiffSession(e.Num(1))
+        shared = e.Mul(e.Num(4), e.Num(5))
+        that = e.Add(shared, shared)
+        script, patched = session.diff(that)
+        assert patched.tree_equal(that)
+        uris = [n.uri for n in patched.iter_subtree()]
+        assert len(uris) == len(set(uris))
+
+    def test_repeated_diff_against_previous_version(self):
+        # ping-pong between two versions: the target always shares history
+        # with a *previous* session tree, which the pinned generations keep
+        # alive so the id cache can never go stale
+        e = EXP
+        v0 = e.Add(e.Num(1), e.Num(2))
+        v1 = e.Add(e.Num(1), e.Num(3))
+        session = DiffSession(v0)
+        for that in (v1, v0, v1, v0, v1):
+            script, patched = session.diff(that)
+            assert patched.tree_equal(that)
+
+    def test_duplicate_source_node_rejected(self):
+        e = EXP
+        shared = e.Num(1)
+        with pytest.raises(ValueError, match="same node object twice"):
+            DiffSession(e.Add(shared, shared))
+
+    def test_check_aliasing_off(self):
+        e = EXP
+        session = DiffSession(e.Num(1), check_aliasing=False)
+        script, patched = session.diff(e.Add(e.Num(1), e.Num(2)))
+        assert patched.tree_equal(e.Add(e.Num(1), e.Num(2)))
+        script, patched = session.diff(e.Num(5))
+        assert patched.tree_equal(e.Num(5))
+
+
+class TestFromBuffers:
+    def _buffers(self):
+        n1 = Node("Num", 901)
+        n2 = Node("Num", 902)
+        negatives = [
+            Detach(n1, ROOT_LINK, ROOT_NODE),
+            Unload(n1, (), (("n", 1),)),
+        ]
+        positives = [
+            Load(n2, (), (("n", 2),)),
+            Attach(n2, ROOT_LINK, ROOT_NODE),
+        ]
+        return negatives, positives
+
+    def test_coalesced_matches_concat_then_coalesce(self):
+        negatives, positives = self._buffers()
+        script = EditScript.from_buffers(negatives, positives)
+        reference = EditScript(negatives + positives).coalesced()
+        assert list(script) == list(reference)
+        assert len(script) == 2
+        assert isinstance(script.edits[0], Remove)
+        assert isinstance(script.edits[1], Insert)
+
+    def test_uncoalesced_keeps_primitives_in_order(self):
+        negatives, positives = self._buffers()
+        script = EditScript.from_buffers(negatives, positives, coalesce=False)
+        assert list(script) == negatives + positives
+
+
+class TestTNodeCaches:
+    def test_kid_and_lit_items_are_cached(self):
+        t = EXP.Add(EXP.Num(1), EXP.Num(2))
+        assert t.kid_items is t.kid_items
+        assert t.lit_items is t.lit_items
+
+    def test_node_view_is_cached(self):
+        t = EXP.Num(3)
+        assert t.node is t.node
+        assert t.node == Node(t.sig.tag, t.uri)
+
+    def test_fresh_many_is_distinct_and_monotone(self):
+        gen = URIGen()
+        batch = gen.fresh_many(100)
+        assert len(set(batch)) == 100
+        assert gen.fresh() > max(batch)
