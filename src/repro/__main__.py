@@ -5,8 +5,16 @@ Usage::
     python -m repro diff before.py after.py            # print the script
     python -m repro diff before.py after.py --json     # machine-readable
     python -m repro diff before.py after.py --stats    # sizes & timing
+    python -m repro diff before.py after.py --metrics  # instrument the run
+    python -m repro stats before.py after.py           # pass-by-pass report
     python -m repro apply before.py script.json        # patch and unparse
     python -m repro compare before.py after.py         # all tools side by side
+
+``--metrics`` enables the observability layer around the diff and dumps
+the registry to stderr (``--metrics=json`` / ``--metrics=prom`` select
+the format); the ``stats`` subcommand replays a file pair several times
+and prints the per-pass timing and counter report (``--out`` writes the
+snapshot JSON, which CI uploads as a build artifact).
 
 The CLI exercises the same public API the examples use; it exists so the
 tool is usable on real files without writing a driver script.
@@ -15,9 +23,11 @@ tool is usable on real files without writing a driver script.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro import observability as obs
 from repro.adapters import ast_node_count, parse_python, tnode_to_gumtree, unparse_python
 from repro.core import assert_well_typed, diff, tnode_to_mtree
 from repro.core.serialize import script_from_json, script_to_json
@@ -28,17 +38,37 @@ def _read(path: str) -> str:
         return fh.read()
 
 
+def _emit_metrics(snap: dict, mode: str, stream) -> None:
+    """Render a registry snapshot in the requested format."""
+    if mode == "json":
+        print(json.dumps(snap, indent=2, sort_keys=True), file=stream)
+    elif mode == "prom":
+        print(obs.prometheus_text(snap), end="", file=stream)
+    else:
+        print(obs.render_report(snap), file=stream)
+
+
 def cmd_diff(args: argparse.Namespace) -> int:
     # canonical URIs (pre-order positions) make the script meaningful to a
     # separate `apply` process that re-parses the before-file
+    t0 = time.perf_counter()
     src = parse_python(_read(args.before), args.before).with_canonical_uris()
     dst = parse_python(_read(args.after), args.after)
-    t0 = time.perf_counter()
+    parse_ms = (time.perf_counter() - t0) * 1000
     from repro.core import URIGen
 
-    script, _ = diff(src, dst, urigen=URIGen(start=src.size + 1))
-    elapsed_ms = (time.perf_counter() - t0) * 1000
+    if args.metrics:
+        obs.enable()
+    try:
+        t0 = time.perf_counter()
+        script, _ = diff(src, dst, urigen=URIGen(start=src.size + 1))
+        diff_ms = (time.perf_counter() - t0) * 1000
+    finally:
+        if args.metrics:
+            obs.disable()
+    t0 = time.perf_counter()
     assert_well_typed(src.sigs, script)
+    typecheck_ms = (time.perf_counter() - t0) * 1000
     if args.json:
         print(script_to_json(script, indent=2))
     elif args.explain:
@@ -50,11 +80,58 @@ def cmd_diff(args: argparse.Namespace) -> int:
             print(edit)
     if args.stats:
         nodes = ast_node_count(src) + ast_node_count(dst)
+        # the rate covers the diff alone; parse and typecheck are reported
+        # separately (and a trivial input may round the timer to zero)
+        rate = f"{nodes / diff_ms:.0f}" if diff_ms > 0 else "inf"
         print(
-            f"-- {len(script)} edits, {nodes} nodes, {elapsed_ms:.1f} ms "
-            f"({nodes / elapsed_ms:.0f} nodes/ms)",
+            f"-- {len(script)} edits, {nodes} nodes; "
+            f"parse {parse_ms:.1f} ms, diff {diff_ms:.1f} ms "
+            f"({rate} nodes/ms), typecheck {typecheck_ms:.1f} ms",
             file=sys.stderr,
         )
+    if args.metrics:
+        _emit_metrics(obs.snapshot(), args.metrics, sys.stderr)
+        obs.reset()
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Replay a file pair under full instrumentation and report per-pass
+    metrics (the explanatory counterpart of ``diff --stats``)."""
+    from repro.core import URIGen, apply_script
+
+    before_text = _read(args.before)
+    after_text = _read(args.after)
+    obs.reset()
+    obs.enable()
+    try:
+        script = None
+        src = None
+        for _ in range(max(1, args.rounds)):
+            # reparse per round: each replay rebuilds its trees, so the
+            # span histograms aggregate over identical, independent runs
+            src = parse_python(before_text, args.before).with_canonical_uris()
+            dst = parse_python(after_text, args.after)
+            script, _ = diff(src, dst, urigen=URIGen(start=src.size + 1))
+        # drive the patch path too, so edit-kind counters are populated
+        apply_script(src, script)
+        snap = obs.snapshot()
+    finally:
+        obs.disable()
+        obs.reset()
+    if args.out:
+        with open(args.out, "w", encoding="utf8") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    mode = "json" if args.json else "prom" if args.prom else "text"
+    if mode == "text":
+        title = (
+            f"{args.before} -> {args.after}: "
+            f"{max(1, args.rounds)} instrumented replay(s)"
+        )
+        print(obs.render_report(snap, title))
+    else:
+        _emit_metrics(snap, mode, sys.stdout)
     return 0
 
 
@@ -117,7 +194,34 @@ def main(argv: list[str] | None = None) -> int:
         "--explain", action="store_true", help="print a human-readable change summary"
     )
     p_diff.add_argument("--stats", action="store_true", help="print size/timing to stderr")
+    p_diff.add_argument(
+        "--metrics",
+        nargs="?",
+        const="text",
+        default=None,
+        choices=["text", "json", "prom"],
+        help="instrument the diff and dump metrics to stderr "
+        "(optionally as json or Prometheus text)",
+    )
     p_diff.set_defaults(func=cmd_diff)
+
+    p_stats = sub.add_parser(
+        "stats", help="replay a file pair under instrumentation, report per-pass metrics"
+    )
+    p_stats.add_argument("before")
+    p_stats.add_argument("after")
+    p_stats.add_argument(
+        "--rounds", type=int, default=3, help="instrumented replays (default 3)"
+    )
+    fmt = p_stats.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true", help="print the snapshot as JSON")
+    fmt.add_argument(
+        "--prom", action="store_true", help="print the snapshot in Prometheus text format"
+    )
+    p_stats.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the snapshot JSON to PATH"
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     p_apply = sub.add_parser("apply", help="apply a truechange JSON script")
     p_apply.add_argument("before")

@@ -18,7 +18,14 @@ if _sys.getrecursionlimit() < 1_000_000:
     _sys.setrecursionlimit(1_000_000)
 
 from .adt import Constructor, ConsListSorts, Grammar, ListSorts, OptionSorts, diffable
-from .diff import DEFAULT_OPTIONS, DiffOptions, DiffSession, EditBuffer, diff
+from .diff import (
+    DEFAULT_OPTIONS,
+    DiffOptions,
+    DiffSession,
+    DiffStats,
+    EditBuffer,
+    diff,
+)
 from .edits import (
     Attach,
     Detach,
@@ -102,6 +109,7 @@ __all__ = [
     "Detach",
     "DiffOptions",
     "DiffSession",
+    "DiffStats",
     "Edit",
     "EditBuffer",
     "EditScript",

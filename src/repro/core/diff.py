@@ -51,6 +51,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.observability import OBS, metrics as _metrics, span as _span
+
 from .edits import Attach, Detach, EditScript, Load, Unload, Update
 from .node import Link, Node, ROOT_LINK, ROOT_NODE
 from .registry import SubtreeRegistry
@@ -79,6 +81,99 @@ class DiffOptions:
 
 
 DEFAULT_OPTIONS = DiffOptions()
+
+
+class DiffStats:
+    """Per-diff pass statistics (Section 6's explanatory quantities).
+
+    A ``DiffStats`` is created per diff only when instrumentation is
+    enabled (or by :func:`~repro.core.trace.diff_traced`, which always
+    collects); the passes take ``stats=None`` by default and pay one
+    ``is not None`` check per aggregate event, so the disabled diff path
+    is unchanged.  With ``record_acquisitions=True`` every Step-3 take
+    is additionally recorded as ``(src_uri, dst_height, tag, preferred)``
+    — the raw material of a :class:`~repro.core.trace.DiffTrace`.
+    """
+
+    __slots__ = (
+        "shares",
+        "preemptive_pairs",
+        "exact_acquisitions",
+        "structural_acquisitions",
+        "heap_pushes",
+        "dealias_rebuilds",
+        "loads",
+        "unloads",
+        "detaches",
+        "attaches",
+        "updates",
+        "acquisitions",
+    )
+
+    def __init__(self, record_acquisitions: bool = False) -> None:
+        self.shares = 0
+        self.preemptive_pairs = 0
+        self.exact_acquisitions = 0
+        self.structural_acquisitions = 0
+        self.heap_pushes = 0
+        self.dealias_rebuilds = 0
+        self.loads = 0
+        self.unloads = 0
+        self.detaches = 0
+        self.attaches = 0
+        self.updates = 0
+        self.acquisitions: Optional[list[tuple[Any, int, str, bool]]] = (
+            [] if record_acquisitions else None
+        )
+
+    def note_acquisition(self, src: TNode, that: TNode, preferred: bool) -> None:
+        if preferred:
+            self.exact_acquisitions += 1
+        else:
+            self.structural_acquisitions += 1
+        if self.acquisitions is not None:
+            self.acquisitions.append((src.uri, that.height, that.tag, preferred))
+
+    def count_edits(self, buf: "EditBuffer") -> None:
+        """Tally the buffer's edits by kind (pre-coalescing, so a later
+        Insert/Remove compound counts as its Load/Attach, Detach/Unload
+        parts)."""
+        for e in buf.negatives:
+            if type(e) is Detach:
+                self.detaches += 1
+            else:
+                self.unloads += 1
+        for e in buf.positives:
+            t = type(e)
+            if t is Load:
+                self.loads += 1
+            elif t is Attach:
+                self.attaches += 1
+            else:
+                self.updates += 1
+
+    def publish(self, source_size: int, target_size: int) -> None:
+        """Push this diff's aggregates into the process-wide registry."""
+        m = _metrics()
+        m.counter("repro.diff.count").inc()
+        m.counter("repro.diff.nodes").inc(source_size + target_size)
+        m.counter("repro.diff.shares_created").inc(self.shares)
+        m.counter("repro.diff.preemptive_pairs").inc(self.preemptive_pairs)
+        m.counter("repro.diff.exact_acquisitions").inc(self.exact_acquisitions)
+        m.counter("repro.diff.structural_acquisitions").inc(
+            self.structural_acquisitions
+        )
+        m.counter("repro.diff.heap_pushes").inc(self.heap_pushes)
+        m.counter("repro.diff.dealias_rebuilds").inc(self.dealias_rebuilds)
+        m.counter("repro.diff.edits.load").inc(self.loads)
+        m.counter("repro.diff.edits.unload").inc(self.unloads)
+        m.counter("repro.diff.edits.detach").inc(self.detaches)
+        m.counter("repro.diff.edits.attach").inc(self.attaches)
+        m.counter("repro.diff.edits.update").inc(self.updates)
+        if target_size:
+            m.histogram("repro.diff.reuse_rate").observe(
+                (target_size - self.loads) / target_size
+            )
 
 
 class EditBuffer:
@@ -134,7 +229,12 @@ def assign_tree(this: TNode, that: TNode) -> None:
 # ---------------------------------------------------------------------------
 
 
-def assign_shares(this: TNode, that: TNode, reg: SubtreeRegistry) -> None:
+def assign_shares(
+    this: TNode,
+    that: TNode,
+    reg: SubtreeRegistry,
+    stats: Optional[DiffStats] = None,
+) -> None:
     """Assign shares to all subtrees of ``this`` and ``that``; register
     source subtrees as available; preemptively assign identical subtrees
     encountered at matching positions (Section 4.2).
@@ -171,6 +271,8 @@ def assign_shares(this: TNode, that: TNode, reg: SubtreeRegistry) -> None:
             # preemptive assignment, stop descending (the whole subtree is
             # settled; Step 4 patches up differing literals with Updates)
             assign_tree(a, b)
+            if stats is not None:
+                stats.preemptive_pairs += 1
         elif a.tag == b.tag:
             # descend simultaneously; this node itself may still be moved
             share_a.register_available(a)
@@ -330,6 +432,7 @@ def assign_subtrees(
     that: TNode,
     reg: SubtreeRegistry,
     options: DiffOptions = DEFAULT_OPTIONS,
+    stats: Optional[DiffStats] = None,
 ) -> None:
     """Traverse target subtrees highest-first and greedily acquire
     available source subtrees (Section 4.3).
@@ -361,6 +464,8 @@ def assign_subtrees(
             for t in todo:
                 src = t.share.take_preferred(t)
                 if src is not None:
+                    if stats is not None:
+                        stats.note_acquisition(src, t, True)
                     take_tree(reg, src, t)
                 else:
                     unassigned.append(t)
@@ -370,12 +475,16 @@ def assign_subtrees(
         for t in unassigned:
             src = t.share.take_any()
             if src is not None:
+                if stats is not None:
+                    stats.note_acquisition(src, t, False)
                 take_tree(reg, src, t)
             else:
                 still_unassigned.append(t)
         for t in still_unassigned:
             for kid in t.kids:
                 push(kid)
+    if stats is not None:
+        stats.heap_pushes += counter
 
 
 # ---------------------------------------------------------------------------
@@ -588,17 +697,33 @@ def _diff_prepared(
     that: TNode,
     options: DiffOptions,
     urigen: URIGen,
+    stats: Optional[DiffStats] = None,
 ) -> tuple[EditScript, TNode, EditBuffer]:
     """Steps 2-4 on trees already known to be alias-free.
 
     No ``clear_diff_state`` sweep: the fresh registry's generation stamp
     lazily invalidates whatever state earlier diffs left behind.
+
+    The spans cost nothing when instrumentation is disabled (a shared
+    no-op context manager); ``stats`` is filled when given and published
+    to the metrics registry when instrumentation is enabled.
     """
     reg = SubtreeRegistry()
-    assign_shares(this, that, reg)  # Step 2 (Step 1 ran at construction)
-    assign_subtrees(that, reg, options)  # Step 3
+    with _span("repro.diff.assign_shares"):  # Step 2 (Step 1 at construction)
+        assign_shares(this, that, reg, stats)
+    if stats is not None:
+        stats.shares = len(reg)
+    with _span("repro.diff.assign_subtrees"):  # Step 3
+        assign_subtrees(that, reg, options, stats)
     buf = EditBuffer()
-    patched = compute_edits(this, that, ROOT_NODE, ROOT_LINK, buf, urigen, reg.gen)
+    with _span("repro.diff.compute_edits"):  # Step 4
+        patched = compute_edits(
+            this, that, ROOT_NODE, ROOT_LINK, buf, urigen, reg.gen
+        )
+    if stats is not None:
+        stats.count_edits(buf)
+        if OBS.enabled:
+            stats.publish(this.size, that.size)
     return buf.to_script(coalesce=options.coalesce), patched, buf
 
 
@@ -622,8 +747,11 @@ def diff(
     # node objects with the source or with itself (structure sharing is
     # natural for immutable trees); rebuild it with fresh objects in that
     # case so per-diff state never aliases.
-    that = _dealias_if_needed(that, _check_source(this))
-    script, patched, _ = _diff_prepared(this, that, options, urigen)
+    stats = DiffStats() if OBS.enabled else None
+    dealiased = _dealias_if_needed(that, _check_source(this))
+    if stats is not None and dealiased is not that:
+        stats.dealias_rebuilds = 1
+    script, patched, _ = _diff_prepared(this, dealiased, options, urigen, stats)
     return script, patched
 
 
@@ -689,18 +817,41 @@ class DiffSession:
         to the patched tree.  Returns ``(script, patched)`` like
         :func:`diff`."""
         check = self.check_aliasing
+        stats = DiffStats() if OBS.enabled else None
         if check:
-            that = _dealias_if_needed(that, self._ids)
+            dealiased = _dealias_if_needed(that, self._ids)
+            if stats is not None and dealiased is not that:
+                stats.dealias_rebuilds = 1
+            that = dealiased
         script, patched, buf = _diff_prepared(
             self.tree, that, options if options is not None else self.options,
-            self.urigen,
+            self.urigen, stats,
         )
+        rebuilt_ids = False
         if check:
             if len(self._pinned) >= self.REBUILD_EVERY:
                 self._ids = subtree_ids(patched)
                 self._pinned.clear()
+                rebuilt_ids = True
             else:
                 self._pinned.append(self.tree)
                 self._ids.update(map(id, buf.fresh))
+        if stats is not None:
+            m = _metrics()
+            m.counter("repro.session.diffs").inc()
+            # one fresh SubtreeRegistry generation per round
+            m.counter("repro.session.generation_bumps").inc()
+            m.counter("repro.session.fresh_nodes").inc(len(buf.fresh))
+            if check:
+                # id-cache "hit" = the cached id set caught genuine object
+                # sharing with a recent version and forced a target rebuild
+                if stats.dealias_rebuilds:
+                    m.counter("repro.session.id_cache_hits").inc()
+                else:
+                    m.counter("repro.session.id_cache_misses").inc()
+                if rebuilt_ids:
+                    m.counter("repro.session.id_cache_rebuilds").inc()
+                else:
+                    m.counter("repro.session.id_cache_rolls").inc()
         self.tree = patched
         return script, patched

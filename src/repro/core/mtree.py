@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional
 
+from repro.observability import OBS, metrics as _metrics, span as _span
+
 from .edits import Attach, Detach, EditScript, Load, PrimitiveEdit, Unload, Update
 from .node import Link, Node, ROOT_LINK, ROOT_NODE, ROOT_TAG
 from .signature import SignatureRegistry
@@ -111,8 +113,22 @@ class MTree:
 
     def patch(self, script: EditScript) -> "MTree":
         """``⟦∆⟧``: apply every edit of ``script`` to this tree in place."""
-        for edit in script.primitives():
-            self.process_edit(edit)
+        process = self.process_edit
+        if not OBS.enabled:
+            for edit in script.primitives():
+                process(edit)
+            return self
+        # instrumented path: per-kind edit counters + an apply span
+        counts: dict[str, int] = {}
+        with _span("repro.patch.apply"):
+            for edit in script.primitives():
+                process(edit)
+                kind = type(edit).__name__.lower()
+                counts[kind] = counts.get(kind, 0) + 1
+        m = _metrics()
+        m.counter("repro.patch.scripts").inc()
+        for kind, n in counts.items():
+            m.counter(f"repro.patch.edits.{kind}").inc(n)
         return self
 
     def process_edit(self, edit: PrimitiveEdit) -> None:

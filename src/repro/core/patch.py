@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.observability import span as _span
+
 from .edits import EditScript
 from .mtree import MNode, MTree, PatchError
 from .signature import SignatureRegistry
@@ -76,6 +78,7 @@ def apply_script(
     """Apply an edit script to an immutable tree, returning the patched
     immutable tree.  The input tree is not modified."""
     sigs = sigs if sigs is not None else tree.sigs
-    mtree = tnode_to_mtree(tree)
-    mtree.patch(script)
-    return mtree_to_tnode(mtree, sigs)
+    with _span("repro.patch.apply_script"):
+        mtree = tnode_to_mtree(tree)
+        mtree.patch(script)
+        return mtree_to_tnode(mtree, sigs)

@@ -7,12 +7,19 @@ decisions along the way:
 * which target subtrees were *preemptively* assigned in Step 2 (equal
   subtrees at matching positions),
 * which candidates Step 3 acquired (preferred = exact copy vs any
-  structural candidate), and which acquisitions undid earlier
-  assignments,
-* summary statistics: shares created, candidates available, reuse rate.
+  structural candidate),
+* summary statistics: shares created, candidates acquired, reuse rate.
 
 The trace is a plain data object; ``render()`` produces a human-readable
 report (used by ``examples``/tests and handy in the REPL).
+
+``diff_traced`` is built on the observability hooks of
+:mod:`repro.core.diff`: it calls the exact same pipeline as
+:func:`~repro.core.diff.diff` — generation-stamped state (no O(n)
+``clear_diff_state`` sweep), the shared ``_dealias`` path, the real
+Step-3 loop — with a recording :class:`~repro.core.diff.DiffStats`
+threaded through, so the traced script is the plain script by
+construction.
 """
 
 from __future__ import annotations
@@ -23,15 +30,13 @@ from typing import Optional
 from .diff import (
     DEFAULT_OPTIONS,
     DiffOptions,
-    EditBuffer,
-    assign_shares,
-    compute_edits,
-    take_tree,
+    DiffStats,
+    _check_source,
+    _dealias_if_needed,
+    _diff_prepared,
 )
 from .edits import EditScript
-from .node import ROOT_LINK, ROOT_NODE
-from .registry import SubtreeRegistry
-from .tree import TNode, clear_diff_state
+from .tree import TNode
 from .uris import URIGen
 
 
@@ -98,85 +103,22 @@ def diff_traced(
     urigen: Optional[URIGen] = None,
 ) -> tuple[EditScript, TNode, DiffTrace]:
     """Like :func:`~repro.core.diff.diff` but also returns a trace."""
-    import heapq
-
-    from .diff import _dealias
-    from .edits import Insert, Load, Remove, Unload, Update
-
     if urigen is None:
         urigen = this.sigs.urigen
-    this_ids = {id(n) for n in this.iter_subtree()}
-    seen: set[int] = set()
-    aliased = False
-    for n in that.iter_subtree():
-        if id(n) in this_ids or id(n) in seen:
-            aliased = True
-            break
-        seen.add(id(n))
-    if aliased:
-        that = _dealias(that)
-
-    trace = DiffTrace(source_size=this.size, target_size=that.size)
-    clear_diff_state(this, that)
-    reg = SubtreeRegistry()
-    assign_shares(this, that, reg)
-    trace.shares = len(reg)
-    trace.preemptive_pairs = sum(1 for n in that.iter_subtree() if n.assigned is not None)
-
-    # Step 3 with recording (mirrors assign_subtrees)
-    counter = 0
-    heap: list[tuple[int, int, TNode]] = []
-
-    def push(t: TNode) -> None:
-        nonlocal counter
-        priority = -t.height if options.height_first else counter
-        heapq.heappush(heap, (priority, counter, t))
-        counter += 1
-
-    push(that)
-    while heap:
-        level = heap[0][0]
-        nexts: list[TNode] = []
-        while heap and heap[0][0] == level:
-            nexts.append(heapq.heappop(heap)[2])
-        todo = [t for t in nexts if t.assigned is None]
-        unassigned: list[TNode] = []
-        if options.prefer_literal_matches:
-            for t in todo:
-                src = t.share.take_preferred(t)
-                if src is not None:
-                    trace.acquisitions.append(
-                        Acquisition(src.uri, t.height, t.tag, preferred=True)
-                    )
-                    take_tree(reg, src, t)
-                else:
-                    unassigned.append(t)
-        else:
-            unassigned = todo
-        still: list[TNode] = []
-        for t in unassigned:
-            src = t.share.take_any()
-            if src is not None:
-                trace.acquisitions.append(
-                    Acquisition(src.uri, t.height, t.tag, preferred=False)
-                )
-                take_tree(reg, src, t)
-            else:
-                still.append(t)
-        for t in still:
-            for kid in t.kids:
-                push(kid)
-
-    buf = EditBuffer()
-    patched = compute_edits(this, that, ROOT_NODE, ROOT_LINK, buf, urigen, reg.gen)
-    script = buf.to_script(coalesce=options.coalesce)
-
-    for e in script:
-        if isinstance(e, (Load, Insert)):
-            trace.fresh_loads += 1
-        elif isinstance(e, (Unload, Remove)):
-            trace.unloads += 1
-        elif isinstance(e, Update):
-            trace.updates += 1
-    trace.edits = len(script)
+    that = _dealias_if_needed(that, _check_source(this))
+    stats = DiffStats(record_acquisitions=True)
+    script, patched, _ = _diff_prepared(this, that, options, urigen, stats)
+    trace = DiffTrace(
+        source_size=this.size,
+        target_size=that.size,
+        shares=stats.shares,
+        preemptive_pairs=stats.preemptive_pairs,
+        acquisitions=[Acquisition(*rec) for rec in stats.acquisitions],
+        # buffer counts are pre-coalescing, so compound Insert/Remove
+        # edits in the script contribute their Load/Unload halves
+        fresh_loads=stats.loads,
+        unloads=stats.unloads,
+        updates=stats.updates,
+        edits=len(script),
+    )
     return script, patched, trace

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from repro.core import DiffSession, EditScript, TNode
+from repro.observability import OBS, metrics as _metrics
 
 from .engine import Engine
 from .facts import TreeFactDB
@@ -94,6 +95,15 @@ class IncrementalDriver:
         self.engine.apply_delta(inserts, deletes)
         t2 = time.perf_counter()
         self.tree = patched
+
+        if OBS.enabled:
+            m = _metrics()
+            m.counter("repro.incremental.updates").inc()
+            m.counter("repro.incremental.script_edits").inc(len(script))
+            m.counter("repro.incremental.fact_inserts").inc(len(inserts))
+            m.counter("repro.incremental.fact_deletes").inc(len(deletes))
+            m.histogram("repro.incremental.diff_ms").observe((t1 - t0) * 1000)
+            m.histogram("repro.incremental.maintain_ms").observe((t2 - t1) * 1000)
 
         scratch_ms = None
         if measure_scratch:

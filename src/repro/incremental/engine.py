@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
+from repro.observability import OBS, metrics as _metrics, span as _span
+
 
 class Var(str):
     """A rule variable (any string used in a rule's terms position)."""
@@ -196,16 +198,28 @@ class Engine:
         for rel in list(self.idb):
             self._bump(rel)
         self.idb = {}
-        for stratum in self.strata():
-            self._eval_stratum(stratum)
+        strata = self.strata()
+        if not OBS.enabled:
+            for stratum in strata:
+                self._eval_stratum(stratum)
+            return
+        with _span("repro.incremental.evaluate"):
+            for i, stratum in enumerate(strata):
+                with _span(f"repro.incremental.stratum.{i}"):
+                    self._eval_stratum(stratum)
 
     def _eval_stratum(self, rules: list[Rule]) -> None:
+        obs = _metrics() if OBS.enabled else None
         # seed pass
         delta: dict[str, set[Fact]] = {}
         for rule in rules:
             for fact in self._eval_rule(rule, None, None):
                 if self._idb_add(rule.head_rel, fact):
                     delta.setdefault(rule.head_rel, set()).add(fact)
+        if obs is not None and delta:
+            total = sum(len(s) for s in delta.values())
+            obs.counter("repro.incremental.facts_derived").inc(total)
+            obs.histogram("repro.incremental.delta_size").observe(total)
         # semi-naive iteration
         while delta:
             new_delta: dict[str, set[Fact]] = {}
@@ -216,6 +230,12 @@ class Engine:
                     for fact in self._eval_rule(rule, i, delta[a.rel]):
                         if self._idb_add(rule.head_rel, fact):
                             new_delta.setdefault(rule.head_rel, set()).add(fact)
+            if obs is not None:
+                obs.counter("repro.incremental.rounds").inc()
+                if new_delta:
+                    total = sum(len(s) for s in new_delta.values())
+                    obs.counter("repro.incremental.facts_derived").inc(total)
+                    obs.histogram("repro.incremental.delta_size").observe(total)
             delta = new_delta
 
     def _eval_rule(
@@ -339,6 +359,14 @@ class Engine:
         database, commit the deletions, re-derive facts with surviving
         alternative derivations, then propagate insertions semi-naively.
         """
+        with _span("repro.incremental.apply_delta"):
+            self._apply_delta(inserts, deletes)
+
+    def _apply_delta(
+        self,
+        inserts: Iterable[tuple[str, Fact]],
+        deletes: Iterable[tuple[str, Fact]],
+    ) -> None:
         ins = [(r, tuple(f)) for r, f in inserts]
         dels = [(r, tuple(f)) for r, f in deletes]
         dels = [(r, f) for r, f in dels if f in self.edb.get(r, set())]
@@ -373,6 +401,7 @@ class Engine:
         # --- DRed phase 2: re-derive over-deleted facts that still have a
         # derivation from the post-deletion database.
         rederive = {rel: set(facts) for rel, facts in deleted.items()}
+        rederived = 0
         progressed = True
         while progressed:
             progressed = False
@@ -384,15 +413,27 @@ class Engine:
                     if head in targets:
                         self._idb_add(rule.head_rel, head)
                         targets.discard(head)
+                        rederived += 1
                         progressed = True
 
         # --- insertions: semi-naive propagation
+        obs = _metrics() if OBS.enabled else None
         delta: dict[str, set[Fact]] = {}
         for rel, fact in ins:
             if fact not in self.edb.get(rel, set()):
                 self.edb.setdefault(rel, set()).add(fact)
                 self._bump(rel)
                 delta.setdefault(rel, set()).add(fact)
+        if obs is not None:
+            obs.counter("repro.incremental.deltas").inc()
+            obs.counter("repro.incremental.base_inserted").inc(
+                sum(len(s) for s in delta.values())
+            )
+            obs.counter("repro.incremental.base_retracted").inc(len(dels))
+            obs.counter("repro.incremental.overdeleted").inc(
+                sum(len(s) for s in deleted.values())
+            )
+            obs.counter("repro.incremental.rederived").inc(rederived)
         while delta:
             new_delta: dict[str, set[Fact]] = {}
             for rule in self.rules:
@@ -402,6 +443,12 @@ class Engine:
                     for head in self._eval_rule(rule, i, delta[a.rel]):
                         if self._idb_add(rule.head_rel, head):
                             new_delta.setdefault(rule.head_rel, set()).add(head)
+            if obs is not None:
+                obs.counter("repro.incremental.rounds").inc()
+                if new_delta:
+                    total = sum(len(s) for s in new_delta.values())
+                    obs.counter("repro.incremental.facts_derived").inc(total)
+                    obs.histogram("repro.incremental.delta_size").observe(total)
             delta = new_delta
         # negation-dependent strata are not maintained fact-by-fact:
         # recompute them when anything changed

@@ -1,0 +1,81 @@
+"""Zero-overhead-when-disabled metrics and span tracing.
+
+The evaluation of Section 6 needs quantities the algorithm does not
+return: per-pass costs of truediff's four passes, share/equivalence
+statistics, node reuse, patch edit mixes, and per-stratum costs of the
+incremental engine.  This subsystem makes them first-class:
+
+* :mod:`repro.observability.metrics` — counters, gauges, monotonic-timer
+  histograms (p50/p95/max), and the process-wide
+  :class:`~repro.observability.metrics.MetricsRegistry` with
+  :func:`enable`/:func:`disable`/:func:`snapshot`/:func:`reset`;
+* :mod:`repro.observability.spans` — ``with span("repro.diff.assign_shares")``
+  context managers feeding histograms and sinks;
+* :mod:`repro.observability.sinks` — in-memory, JSON-file, Prometheus
+  text-format, and line-oriented span-event-log sinks.
+
+Instrumented call sites live in :mod:`repro.core.diff`,
+:mod:`repro.core.mtree`, :mod:`repro.incremental.engine`, and
+:mod:`repro.incremental.driver`; metric names follow
+``repro.<module>.<metric>`` (span histograms end in ``.ms``).
+
+The disabled path costs nothing measurable: hot sites guard on the
+slotted module-level :data:`OBS` flag (one attribute load, no dict
+allocation per call), and instrumentation aggregates per diff / patch /
+stratum — never per node.  Typical usage::
+
+    from repro import observability as obs
+
+    obs.enable()
+    diff(a, b)
+    print(obs.render_report(obs.snapshot()))
+    obs.disable(); obs.reset()
+"""
+
+from .metrics import (
+    OBS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    disable,
+    enable,
+    enabled,
+    export,
+    metrics,
+    reset,
+    snapshot,
+)
+from .sinks import (
+    EventLogSink,
+    InMemorySink,
+    JSONFileSink,
+    prometheus_text,
+    render_report,
+)
+from .spans import NOOP_SPAN, Span, span
+
+__all__ = [
+    "OBS",
+    "REGISTRY",
+    "Counter",
+    "EventLogSink",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JSONFileSink",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "disable",
+    "enable",
+    "enabled",
+    "export",
+    "metrics",
+    "prometheus_text",
+    "render_report",
+    "reset",
+    "snapshot",
+    "span",
+]

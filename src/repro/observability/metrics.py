@@ -1,0 +1,289 @@
+"""Metric instruments and the process-wide registry.
+
+Three instrument kinds, all named by dotted strings following the
+``repro.<module>.<metric>`` convention (DESIGN.md "Observability"):
+
+* :class:`Counter` — a monotonically increasing integer (events, edits,
+  facts).  Increments are thread-safe: concurrent diffs running under
+  ``concurrent.futures`` may publish into the same registry.
+* :class:`Gauge` — a last-write-wins float (sizes, rates).
+* :class:`Histogram` — a bounded reservoir of float observations with
+  exact running ``count``/``total``/``max`` and approximate ``p50``/
+  ``p95`` computed from the reservoir at snapshot time.  Span durations
+  land here (in milliseconds, suffix ``.ms``); plain histograms may
+  record any unit (e.g. ``repro.incremental.delta_size`` counts facts).
+
+The registry is *disabled by default* and the disabled path is designed
+to cost nothing: hot call sites guard on the module-level :data:`OBS`
+flag object (one slotted attribute load, no dict allocation, no function
+call) before touching any instrument.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+
+class _ObsFlag:
+    """The module-level enabled flag, readable with one attribute load.
+
+    Hot paths do ``if OBS.enabled:`` — a slotted attribute access — so
+    the disabled cost is a single predictable branch per *aggregate*
+    operation (per diff, per patch, per stratum), never per node.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+#: Process-wide enabled flag.  Flip via :func:`enable` / :func:`disable`.
+OBS = _ObsFlag()
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = lock
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A last-write-wins float value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram:
+    """Float observations with exact count/total/max and reservoir
+    percentiles.
+
+    The reservoir is a ring buffer of the most recent
+    :data:`MAX_SAMPLES` observations; ``count``/``total``/``max`` are
+    maintained exactly regardless of how many samples were dropped.
+    """
+
+    MAX_SAMPLES = 8192
+
+    __slots__ = ("name", "_samples", "_next", "_count", "_total", "_max", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._next = 0  # ring-buffer write position once the cap is hit
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if value > self._max:
+                self._max = value
+            if len(self._samples) < self.MAX_SAMPLES:
+                self._samples.append(value)
+            else:
+                self._samples[self._next] = value
+                self._next = (self._next + 1) % self.MAX_SAMPLES
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the reservoir (0 when empty)."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        idx = min(len(samples) - 1, max(0, round(q * (len(samples) - 1))))
+        return samples[idx]
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            samples = sorted(self._samples)
+            count, total, mx = self._count, self._total, self._max
+        if not samples:
+            return {"count": 0, "total": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+        def q(p: float) -> float:
+            return samples[min(len(samples) - 1, max(0, round(p * (len(samples) - 1))))]
+
+        return {
+            "count": count,
+            "total": total,
+            "p50": q(0.50),
+            "p95": q(0.95),
+            "max": mx,
+        }
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+            self._next = 0
+            self._count = 0
+            self._total = 0.0
+            self._max = 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by name; snapshot and reset them all.
+
+    A single lock guards instrument creation *and* increments: the
+    instrumented code publishes aggregates (a handful of updates per
+    diff/patch/stratum), so contention is negligible and the semantics
+    are simply correct under threads.
+    """
+
+    __slots__ = ("_lock", "_counters", "_gauges", "_histograms", "sinks")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.sinks: list[Any] = []
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.get(name)
+                if c is None:
+                    c = Counter(name, self._lock)
+                    self._counters[name] = c
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.get(name)
+                if g is None:
+                    g = Gauge(name, self._lock)
+                    self._gauges[name] = g
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.get(name)
+                if h is None:
+                    h = Histogram(name, self._lock)
+                    self._histograms[name] = h
+        return h
+
+    def snapshot(self) -> dict:
+        """A plain-data view of every instrument (stable key order)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (registered objects stay valid)."""
+        for c in self._counters.values():
+            c._reset()
+        for g in self._gauges.values():
+            g._reset()
+        for h in self._histograms.values():
+            h._reset()
+
+    def emit_event(self, name: str, start: float, dur_ms: float) -> None:
+        """Fan a span event out to every attached sink."""
+        for sink in self.sinks:
+            sink.event(name, start, dur_ms)
+
+
+#: The process-wide registry all instrumented modules publish into.
+REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide registry (for instrumented code and tests)."""
+    return REGISTRY
+
+
+def enable(*sinks: Any) -> None:
+    """Turn instrumentation on, optionally attaching sinks.
+
+    Sinks receive span events as they close (``sink.event(name, start,
+    dur_ms)``) and snapshots on :func:`export` (``sink.export(snap)``).
+    """
+    for sink in sinks:
+        if sink not in REGISTRY.sinks:
+            REGISTRY.sinks.append(sink)
+    OBS.enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (instruments keep their values)."""
+    OBS.enabled = False
+
+
+def enabled() -> bool:
+    return OBS.enabled
+
+
+def snapshot() -> dict:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Zero all instruments and detach all sinks."""
+    REGISTRY.reset()
+    REGISTRY.sinks.clear()
+
+
+def export() -> dict:
+    """Snapshot and push the snapshot to every attached sink."""
+    snap = REGISTRY.snapshot()
+    for sink in REGISTRY.sinks:
+        sink.export(snap)
+    return snap

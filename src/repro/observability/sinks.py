@@ -1,0 +1,162 @@
+"""Pluggable sinks and exporters for the metrics registry.
+
+A sink is any object with two methods:
+
+* ``event(name, start, dur_ms)`` — called once per closed span while
+  instrumentation is enabled and the sink is attached;
+* ``export(snap)`` — called with a registry snapshot by
+  :func:`repro.observability.export`.
+
+Provided sinks:
+
+* :class:`InMemorySink` — keeps events and snapshots in lists (tests,
+  REPL inspection);
+* :class:`JSONFileSink` — writes each exported snapshot as a JSON
+  document to a path;
+* :class:`EventLogSink` — a line-oriented span stream
+  (``<start> <name> <dur_ms>`` per line) to a path or file object.
+
+Exporter functions (no sink object needed):
+
+* :func:`prometheus_text` — renders a snapshot in the Prometheus text
+  exposition format (counters as ``_total``, histograms as summaries
+  with ``quantile`` labels);
+* :func:`render_report` — the human-readable pass-by-pass report used
+  by ``python -m repro stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Optional, TextIO
+
+
+class InMemorySink:
+    """Collects span events and exported snapshots in memory."""
+
+    __slots__ = ("events", "snapshots")
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, float, float]] = []
+        self.snapshots: list[dict] = []
+
+    def event(self, name: str, start: float, dur_ms: float) -> None:
+        self.events.append((name, start, dur_ms))
+
+    def export(self, snap: dict) -> None:
+        self.snapshots.append(snap)
+
+
+class JSONFileSink:
+    """Writes each exported snapshot as a JSON document to ``path``."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def event(self, name: str, start: float, dur_ms: float) -> None:
+        pass  # snapshots only
+
+    def export(self, snap: dict) -> None:
+        with open(self.path, "w", encoding="utf8") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+class EventLogSink:
+    """A line-oriented span stream: ``<start> <name> <dur_ms>`` per line.
+
+    ``start`` is the span's ``time.perf_counter()`` origin — useful for
+    ordering and gap analysis within one process, not wall-clock time.
+    """
+
+    __slots__ = ("_fh", "_own")
+
+    def __init__(self, target: "str | TextIO") -> None:
+        if isinstance(target, str):
+            self._fh = open(target, "w", encoding="utf8")
+            self._own = True
+        else:
+            self._fh = target
+            self._own = False
+
+    def event(self, name: str, start: float, dur_ms: float) -> None:
+        self._fh.write(f"{start:.6f} {name} {dur_ms:.3f}\n")
+
+    def export(self, snap: dict) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._own:
+            self._fh.close()
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_BAD.sub("_", name)
+
+
+def prometheus_text(snap: dict) -> str:
+    """Render a registry snapshot in the Prometheus text format.
+
+    Counters become ``<name>_total`` counter samples, gauges stay
+    gauges, histograms are exposed as summaries (``quantile`` labels,
+    ``_sum``/``_count``) plus a non-standard ``_max`` gauge.
+    """
+    lines: list[str] = []
+    for name, value in snap.get("counters", {}).items():
+        pname = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {value}")
+    for name, value in snap.get("gauges", {}).items():
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {value}")
+    for name, summ in snap.get("histograms", {}).items():
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} summary")
+        lines.append(f'{pname}{{quantile="0.5"}} {summ["p50"]}')
+        lines.append(f'{pname}{{quantile="0.95"}} {summ["p95"]}')
+        lines.append(f"{pname}_sum {summ['total']}")
+        lines.append(f"{pname}_count {summ['count']}")
+        lines.append(f"# TYPE {pname}_max gauge")
+        lines.append(f"{pname}_max {summ['max']}")
+    return "\n".join(lines) + "\n"
+
+
+def render_report(snap: dict, title: Optional[str] = None) -> str:
+    """Human-readable report: histograms (the per-pass timings) first,
+    then counters, then gauges."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    hists: dict[str, Any] = snap.get("histograms", {})
+    if hists:
+        lines.append("spans / histograms:")
+        width = max(len(n) for n in hists)
+        for name, s in hists.items():
+            lines.append(
+                f"  {name:<{width}}  count {s['count']:>6}  "
+                f"p50 {s['p50']:>9.3f}  p95 {s['p95']:>9.3f}  "
+                f"max {s['max']:>9.3f}  total {s['total']:>10.3f}"
+            )
+    counters: dict[str, int] = snap.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name, v in counters.items():
+            lines.append(f"  {name:<{width}}  {v}")
+    gauges: dict[str, float] = snap.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name, v in gauges.items():
+            lines.append(f"  {name:<{width}}  {v}")
+    if len(lines) <= (1 if title else 0):
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Span tracing: timed context managers feeding histograms and sinks.
+
+``with span("repro.diff.assign_shares"): ...`` measures the block with
+the monotonic clock and, on exit,
+
+* observes the duration (milliseconds) into the histogram named
+  ``<name>.ms`` in the process-wide registry, and
+* emits one event to every attached sink (the line-oriented
+  :class:`~repro.observability.sinks.EventLogSink` turns these into a
+  span stream).
+
+When instrumentation is disabled, :func:`span` returns a single shared
+no-op context manager — no allocation, no clock read — so spans may be
+left in place on warm paths.  Spans are re-entrant but the shared no-op
+is stateless, so nesting is always safe.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .metrics import OBS, REGISTRY
+
+
+class Span:
+    """One timed region; created only while instrumentation is enabled."""
+
+    __slots__ = ("name", "_t0", "duration_ms")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._t0 = 0.0
+        self.duration_ms = 0.0
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur_ms = (time.perf_counter() - self._t0) * 1000.0
+        self.duration_ms = dur_ms
+        REGISTRY.histogram(self.name + ".ms").observe(dur_ms)
+        if REGISTRY.sinks:
+            REGISTRY.emit_event(self.name, self._t0, dur_ms)
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while instrumentation is off."""
+
+    __slots__ = ()
+    duration_ms = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str):
+    """A context manager timing ``name``; shared no-op when disabled."""
+    if not OBS.enabled:
+        return NOOP_SPAN
+    return Span(name)

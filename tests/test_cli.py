@@ -75,3 +75,84 @@ def test_identical_files_empty_script(tmp_path, capsys):
     f.write_text(BEFORE)
     assert main(["diff", str(f), str(f)]) == 0
     assert capsys.readouterr().out.strip() == ""
+
+
+def test_diff_stats_trivial_input_no_crash(tmp_path, capsys):
+    # an empty module diffs in ~0 ms; the rate must not divide by zero
+    a = tmp_path / "a.py"
+    b = tmp_path / "b.py"
+    a.write_text("")
+    b.write_text("")
+    assert main(["diff", str(a), str(b), "--stats"]) == 0
+    err = capsys.readouterr().err
+    assert "parse" in err and "diff" in err and "typecheck" in err
+
+
+def test_diff_metrics_text_report(files, capsys):
+    from repro import observability as obs
+
+    before, after = files
+    assert main(["diff", str(before), str(after), "--metrics"]) == 0
+    err = capsys.readouterr().err
+    assert "repro.diff.count" in err
+    assert "repro.diff.assign_shares.ms" in err
+    # the CLI disables and resets the registry afterwards
+    assert not obs.enabled()
+    assert all(v == 0 for v in obs.snapshot()["counters"].values())
+
+
+def test_diff_metrics_json(files, capsys):
+    before, after = files
+    assert main(["diff", str(before), str(after), "--metrics=json"]) == 0
+    captured = capsys.readouterr()
+    snap = json.loads(captured.err)
+    assert snap["counters"]["repro.diff.count"] == 1
+    assert "repro.diff.compute_edits.ms" in snap["histograms"]
+    # stdout still carries the plain script
+    assert captured.out.strip()
+
+
+def test_diff_metrics_prometheus(files, capsys):
+    before, after = files
+    assert main(["diff", str(before), str(after), "--metrics=prom"]) == 0
+    err = capsys.readouterr().err
+    assert "# TYPE repro_diff_count_total counter" in err
+    assert "repro_diff_count_total 1" in err
+
+
+def test_stats_subcommand_text(files, capsys):
+    before, after = files
+    assert main(["stats", str(before), str(after)]) == 0
+    out = capsys.readouterr().out
+    assert "3 instrumented replay(s)" in out
+    assert "repro.diff.assign_shares.ms" in out
+    assert "repro.patch.scripts" in out
+
+
+def test_stats_subcommand_json_and_rounds(files, capsys):
+    before, after = files
+    assert main(["stats", str(before), str(after), "--rounds", "2", "--json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["counters"]["repro.diff.count"] == 2
+    assert snap["histograms"]["repro.diff.assign_subtrees.ms"]["count"] == 2
+    # the patch path runs once at the end
+    assert snap["counters"]["repro.patch.scripts"] == 1
+
+
+def test_stats_subcommand_writes_artifact(files, tmp_path, capsys):
+    before, after = files
+    out_file = tmp_path / "metrics.json"
+    assert main(["stats", str(before), str(after), "--out", str(out_file)]) == 0
+    snap = json.loads(out_file.read_text())
+    assert snap["counters"]["repro.diff.count"] == 3
+    capsys.readouterr()  # drain the text report
+
+
+def test_stats_leaves_registry_clean(files, capsys):
+    from repro import observability as obs
+
+    before, after = files
+    assert main(["stats", str(before), str(after), "--rounds", "1"]) == 0
+    capsys.readouterr()
+    assert not obs.enabled()
+    assert all(v == 0 for v in obs.snapshot()["counters"].values())

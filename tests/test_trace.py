@@ -67,6 +67,33 @@ def test_trace_respects_options():
     assert all(not a.preferred for a in trace.acquisitions)
 
 
+@pytest.mark.parametrize("seed", range(6))
+def test_traced_diff_matches_plain_diff_on_corpus(seed):
+    """diff_traced routes through the same prepared pipeline as diff, so
+    on realistic Python modules the scripts are literally identical."""
+    import random
+
+    from repro.adapters import parse_python
+    from repro.core import URIGen
+    from repro.core.diff import _dealias
+    from repro.corpus import generate_module, mutate_source
+
+    before = generate_module(seed)
+    after, _ = mutate_source(before, random.Random(seed), n_edits=4)
+    src = parse_python(before, "before.py").with_canonical_uris()
+    dst = parse_python(after, "after.py")
+
+    plain_script, plain_patched = diff(src, _dealias(dst), urigen=URIGen(10**9))
+    traced_script, traced_patched, trace = diff_traced(
+        src, _dealias(dst), urigen=URIGen(10**9)
+    )
+    assert traced_script == plain_script
+    assert traced_patched.tree_equal(plain_patched)
+    assert trace.edits == len(plain_script)
+    assert trace.source_size == src.size and trace.target_size == dst.size
+    assert 0.0 <= trace.reuse_rate <= 1.0
+
+
 def test_trace_script_is_well_typed_and_correct():
     e = EXP
     src = e.Add(e.Num(1), e.Var("x"))
