@@ -9,6 +9,7 @@ Usage::
     python -m repro stats before.py after.py           # pass-by-pass report
     python -m repro apply before.py script.json        # patch and unparse
     python -m repro compare before.py after.py         # all tools side by side
+    python -m repro batch old/ new/ --workers 4 --out results.jsonl
 
 ``--metrics`` enables the observability layer around the diff and dumps
 the registry to stderr (``--metrics=json`` / ``--metrics=prom`` select
@@ -30,12 +31,43 @@ import time
 from repro import observability as obs
 from repro.adapters import ast_node_count, parse_python, tnode_to_gumtree, unparse_python
 from repro.core import assert_well_typed, diff, tnode_to_mtree
-from repro.core.serialize import script_from_json, script_to_json
+from repro.core.serialize import SerializationError, script_from_json, script_to_json
+
+
+class CLIError(Exception):
+    """A user-facing input problem (unreadable or unparseable file).
+
+    Rendered by :func:`main` as a one-line ``repro: <file>: <error>``
+    diagnostic on stderr with exit status 2 — never a traceback.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{path}: {message}")
 
 
 def _read(path: str) -> str:
-    with open(path, encoding="utf8") as fh:
-        return fh.read()
+    try:
+        with open(path, encoding="utf8") as fh:
+            return fh.read()
+    except OSError as exc:
+        raise CLIError(path, exc.strerror or str(exc)) from None
+    except UnicodeDecodeError as exc:
+        raise CLIError(path, f"not valid UTF-8 ({exc.reason})") from None
+
+
+def _parse_text(text: str, path: str):
+    try:
+        return parse_python(text, path)
+    except SyntaxError as exc:
+        detail = exc.msg or "invalid syntax"
+        where = f" (line {exc.lineno})" if exc.lineno else ""
+        raise CLIError(path, f"{detail}{where}") from None
+    except ValueError as exc:  # e.g. source containing null bytes
+        raise CLIError(path, str(exc)) from None
+
+
+def _parse_file(path: str):
+    return _parse_text(_read(path), path)
 
 
 def _emit_metrics(snap: dict, mode: str, stream) -> None:
@@ -52,8 +84,8 @@ def cmd_diff(args: argparse.Namespace) -> int:
     # canonical URIs (pre-order positions) make the script meaningful to a
     # separate `apply` process that re-parses the before-file
     t0 = time.perf_counter()
-    src = parse_python(_read(args.before), args.before).with_canonical_uris()
-    dst = parse_python(_read(args.after), args.after)
+    src = _parse_file(args.before).with_canonical_uris()
+    dst = _parse_file(args.after)
     parse_ms = (time.perf_counter() - t0) * 1000
     from repro.core import URIGen
 
@@ -110,8 +142,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
         for _ in range(max(1, args.rounds)):
             # reparse per round: each replay rebuilds its trees, so the
             # span histograms aggregate over identical, independent runs
-            src = parse_python(before_text, args.before).with_canonical_uris()
-            dst = parse_python(after_text, args.after)
+            src = _parse_text(before_text, args.before).with_canonical_uris()
+            dst = _parse_text(after_text, args.after)
             script, _ = diff(src, dst, urigen=URIGen(start=src.size + 1))
         # drive the patch path too, so edit-kind counters are populated
         apply_script(src, script)
@@ -136,8 +168,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_apply(args: argparse.Namespace) -> int:
-    src = parse_python(_read(args.before), args.before).with_canonical_uris()
-    script = script_from_json(_read(args.script))
+    src = _parse_file(args.before).with_canonical_uris()
+    try:
+        script = script_from_json(_read(args.script))
+    except SerializationError as exc:
+        raise CLIError(args.script, str(exc)) from None
     mtree = tnode_to_mtree(src)
     mtree.patch(script)
     # rebuild a TNode from the patched MTree to unparse it
@@ -149,12 +184,82 @@ def cmd_apply(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Diff a whole corpus of file pairs in parallel, streaming JSONL rows.
+
+    Exit status: 0 if at least one pair diffed (or the corpus was empty),
+    1 if every pair failed, 2 for unusable inputs.
+    """
+    from repro.batch import BatchConfig, discover_pairs, read_pairs_file, run_batch
+
+    if args.pairs:
+        try:
+            pairs = read_pairs_file(args.pairs)
+        except OSError as exc:
+            raise CLIError(args.pairs, exc.strerror or str(exc)) from None
+        except ValueError as exc:
+            raise CLIError(args.pairs, str(exc)) from None
+    else:
+        if not args.after_dir:
+            raise CLIError(args.before_dir, "missing AFTER_DIR (or use --pairs)")
+        try:
+            pairs, only_before, only_after = discover_pairs(
+                args.before_dir, args.after_dir, args.glob
+            )
+        except NotADirectoryError as exc:
+            raise CLIError(str(exc).split(": ", 1)[-1], "not a directory") from None
+        if only_before or only_after:
+            print(
+                f"repro: batch: skipping {len(only_before)} before-only "
+                f"and {len(only_after)} after-only file(s)",
+                file=sys.stderr,
+            )
+
+    config = BatchConfig(
+        workers=args.workers,
+        timeout_s=args.timeout if args.timeout > 0 else None,
+        retries=args.retries,
+        chunksize=args.chunksize,
+    )
+    if args.metrics:
+        obs.enable()
+
+    out_fh = open(args.out, "w", encoding="utf8") if args.out else sys.stdout
+
+    def emit(row: dict) -> None:
+        out_fh.write(json.dumps(row, sort_keys=True) + "\n")
+        out_fh.flush()
+
+    try:
+        summary = run_batch(pairs, config, emit=emit)
+    finally:
+        if args.out:
+            out_fh.close()
+        if args.metrics:
+            _emit_metrics(obs.snapshot(), args.metrics, sys.stderr)
+            obs.disable()
+            obs.reset()
+    s = summary.as_dict()
+    print(
+        f"repro: batch: {s['ok']}/{s['pairs']} ok, {s['failed']} failed "
+        f"({', '.join(f'{k}={v}' for k, v in s['failures_by_kind'].items()) or 'none'}), "
+        f"{s['retried']} retried; {s['workers']} worker(s), "
+        f"{s['elapsed_s']:.2f}s, {s['pairs_per_sec']:.1f} pairs/s",
+        file=sys.stderr,
+    )
+    if args.summary:
+        with open(args.summary, "w", encoding="utf8") as fh:
+            json.dump(s, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 1 if summary.pairs > 0 and summary.ok == 0 else 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.baselines.gumtree import ChawatheScriptGenerator, match
     from repro.baselines.hdiff import hdiff, patch_size
 
-    src = parse_python(_read(args.before), args.before)
-    dst = parse_python(_read(args.after), args.after)
+    src = _parse_file(args.before)
+    dst = _parse_file(args.after)
     nodes = ast_node_count(src) + ast_node_count(dst)
 
     t0 = time.perf_counter()
@@ -228,13 +333,65 @@ def main(argv: list[str] | None = None) -> int:
     p_apply.add_argument("script")
     p_apply.set_defaults(func=cmd_apply)
 
+    p_batch = sub.add_parser(
+        "batch", help="diff a corpus of file pairs in parallel, emitting JSONL rows"
+    )
+    p_batch.add_argument("before_dir", metavar="BEFORE_DIR")
+    p_batch.add_argument("after_dir", metavar="AFTER_DIR", nargs="?", default=None)
+    p_batch.add_argument(
+        "--pairs",
+        default=None,
+        metavar="FILE",
+        help="explicit pair list (before<TAB>after per line) instead of directories",
+    )
+    p_batch.add_argument(
+        "--glob", default="*.py", help="filename pattern for directory discovery"
+    )
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = all CPUs, 1 = serial in-process)",
+    )
+    p_batch.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-pair wall-clock budget in seconds (0 disables)",
+    )
+    p_batch.add_argument(
+        "--retries", type=int, default=1, help="re-submissions of timeout/crash failures"
+    )
+    p_batch.add_argument(
+        "--chunksize", type=int, default=8, help="pairs per pool task (amortizes pickling)"
+    )
+    p_batch.add_argument(
+        "--out", default=None, metavar="PATH", help="write JSONL rows to PATH (default stdout)"
+    )
+    p_batch.add_argument(
+        "--summary", default=None, metavar="PATH", help="write the summary JSON to PATH"
+    )
+    p_batch.add_argument(
+        "--metrics",
+        nargs="?",
+        const="text",
+        default=None,
+        choices=["text", "json", "prom"],
+        help="instrument the run and dump batch counters to stderr",
+    )
+    p_batch.set_defaults(func=cmd_batch)
+
     p_cmp = sub.add_parser("compare", help="compare all diff tools on a file pair")
     p_cmp.add_argument("before")
     p_cmp.add_argument("after")
     p_cmp.set_defaults(func=cmd_compare)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Literal, Optional, Union
 
 from repro.core import TNode
+from repro.core.tree import lits_equal
 
 from .patch import Chg, Ctx, CtxTree, MetaVar, Patch, Spine, ctx_vars
 from .trie import DigestTrie
@@ -125,7 +126,7 @@ def _close(delete: CtxTree, insert: CtxTree) -> Patch:
         isinstance(delete, Ctx)
         and isinstance(insert, Ctx)
         and delete.tag == insert.tag
-        and delete.lits == insert.lits
+        and lits_equal(delete.lits, insert.lits)
         and len(delete.kids) == len(insert.kids)
     ):
         del_vars = [ctx_vars(d) for d in delete.kids]
@@ -175,7 +176,7 @@ def _match(ctx: CtxTree, tree: TNode, bindings: dict[int, TNode]) -> None:
         elif not bound.tree_equal(tree):
             raise HdiffApplyError(f"metavariable {ctx} bound to different subtrees")
         return
-    if ctx.tag != tree.tag or ctx.lits != tuple(tree.lits):
+    if ctx.tag != tree.tag or not lits_equal(ctx.lits, tuple(tree.lits)):
         raise HdiffApplyError(
             f"deletion context {ctx.tag} does not match tree node {tree.tag}"
         )
@@ -198,7 +199,7 @@ def hdiff_apply(patch: Patch, tree: TNode) -> TNode:
     sigs = tree.sigs
     urigen = sigs.urigen
     if isinstance(patch, Spine):
-        if patch.tag != tree.tag or patch.lits != tuple(tree.lits):
+        if patch.tag != tree.tag or not lits_equal(patch.lits, tuple(tree.lits)):
             raise HdiffApplyError(
                 f"spine {patch.tag} does not match tree node {tree.tag}"
             )

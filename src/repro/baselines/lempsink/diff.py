@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Union
 
 from repro.core import TNode
+from repro.core.tree import lits_equal
 from repro.core.signature import SignatureRegistry
 
 
@@ -86,7 +87,7 @@ def lempsink_diff(src: TNode, dst: TNode) -> list[LempsinkOp]:
             alt = row[j + 1] + 1  # Ins
             if alt < best:
                 best = alt
-            if xi.tag == yj.tag and xi.lits == yj.lits:
+            if xi.tag == yj.tag and lits_equal(xi.lits, yj.lits):
                 alt = below[j + 1]  # Cpy
                 if alt < best:
                     best = alt
@@ -99,7 +100,7 @@ def lempsink_diff(src: TNode, dst: TNode) -> list[LempsinkOp]:
             xi, yj = xs[i], ys[j]
             if (
                 xi.tag == yj.tag
-                and xi.lits == yj.lits
+                and lits_equal(xi.lits, yj.lits)
                 and cost[i][j] == cost[i + 1][j + 1]
             ):
                 ops.append(Cpy(xi.tag, tuple(xi.lits)))

@@ -1,0 +1,29 @@
+"""Corpus-scale parallel batch diffing with per-pair fault isolation.
+
+:func:`run_batch` fans file pairs out over a process pool (chunked
+submission, per-pair timeout, bounded retry of transient failures) and
+streams one structured result row per pair; ``python -m repro batch``
+is the CLI front end, writing rows as JSON Lines.
+"""
+
+from .driver import (
+    BatchConfig,
+    BatchSummary,
+    DEFAULT_CONFIG,
+    discover_pairs,
+    read_pairs_file,
+    run_batch,
+)
+from .worker import RETRYABLE_KINDS, diff_pair, run_chunk
+
+__all__ = [
+    "BatchConfig",
+    "BatchSummary",
+    "DEFAULT_CONFIG",
+    "RETRYABLE_KINDS",
+    "diff_pair",
+    "discover_pairs",
+    "read_pairs_file",
+    "run_batch",
+    "run_chunk",
+]

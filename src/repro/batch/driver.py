@@ -1,0 +1,342 @@
+"""Corpus-scale batch diffing with fault isolation (the ROADMAP's
+production-batching step; the workload of the paper's Section 6
+evaluation — thousands of changed file pairs from a repository history).
+
+The driver fans file pairs out over a ``ProcessPoolExecutor``:
+
+* **chunked submission** — pairs travel in chunks of
+  :attr:`BatchConfig.chunksize` to amortize pickling and scheduling;
+* **fault isolation** — a syntax error, timeout, or crash in one pair
+  is recorded as a structured failure row and never aborts the run.
+  Expected failures are caught inside the worker
+  (:mod:`repro.batch.worker`); hard worker death is detected via the
+  broken pool, the in-flight pairs are marked ``crash``, and the pool is
+  rebuilt;
+* **per-pair timeout and bounded retry** — each pair runs under a
+  wall-clock budget, and ``timeout``/``crash`` failures (transient by
+  nature) are re-submitted up to :attr:`BatchConfig.retries` times;
+* **streaming results** — rows are handed to the ``emit`` callback as
+  they arrive (the CLI writes JSONL), so driver memory stays flat on
+  large corpora; only the aggregate :class:`BatchSummary` accumulates.
+
+Observability (PR 2): the run is wrapped in a ``repro.batch.run`` span,
+and each row bumps ``repro.batch.pairs`` / ``repro.batch.failures`` and
+feeds the ``repro.batch.worker.ms`` histogram when instrumentation is
+enabled.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+from repro.observability import OBS, metrics as _metrics, span as _span
+
+from .worker import RETRYABLE_KINDS, run_chunk
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Knobs of the batch driver.
+
+    ``workers=0`` (the default) uses ``os.cpu_count()``; ``workers=1``
+    runs the serial in-process loop (no pool, no pickling) — the
+    baseline the scaling benchmark compares against.  ``timeout_s=None``
+    disables the per-pair budget; ``retries`` bounds re-submission of
+    timeout/crash failures.
+    """
+
+    workers: int = 0
+    timeout_s: Optional[float] = 30.0
+    retries: int = 1
+    chunksize: int = 8
+
+    def resolved_workers(self) -> int:
+        if self.workers > 0:
+            return self.workers
+        return os.cpu_count() or 1
+
+
+DEFAULT_CONFIG = BatchConfig()
+
+
+@dataclass
+class BatchSummary:
+    """Aggregates of one batch run (everything else streams to ``emit``)."""
+
+    pairs: int = 0
+    ok: int = 0
+    failed: int = 0
+    retried: int = 0
+    failures_by_kind: dict[str, int] = field(default_factory=dict)
+    edits: int = 0
+    nodes: int = 0
+    worker_ms: float = 0.0
+    elapsed_s: float = 0.0
+    workers: int = 1
+
+    @property
+    def pairs_per_sec(self) -> float:
+        return self.pairs / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def nodes_per_sec(self) -> float:
+        return self.nodes / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "pairs": self.pairs,
+            "ok": self.ok,
+            "failed": self.failed,
+            "retried": self.retried,
+            "failures_by_kind": dict(sorted(self.failures_by_kind.items())),
+            "edits": self.edits,
+            "nodes": self.nodes,
+            "worker_ms": round(self.worker_ms, 1),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "workers": self.workers,
+            "pairs_per_sec": round(self.pairs_per_sec, 2),
+            "nodes_per_sec": round(self.nodes_per_sec),
+        }
+
+
+def discover_pairs(
+    before_dir: str, after_dir: str, pattern: str = "*.py"
+) -> tuple[list[tuple[str, str]], list[str], list[str]]:
+    """Match files of two directory trees by relative path.
+
+    Returns ``(pairs, only_before, only_after)``; the unmatched lists let
+    the caller report files that exist on one side only (added/deleted
+    files are not diffable pairs).
+    """
+    before_root, after_root = Path(before_dir), Path(after_dir)
+    if not before_root.is_dir():
+        raise NotADirectoryError(f"not a directory: {before_dir}")
+    if not after_root.is_dir():
+        raise NotADirectoryError(f"not a directory: {after_dir}")
+    before_files = {p.relative_to(before_root): p for p in before_root.rglob(pattern)}
+    after_files = {p.relative_to(after_root): p for p in after_root.rglob(pattern)}
+    pairs = [
+        (str(before_files[rel]), str(after_files[rel]))
+        for rel in sorted(before_files.keys() & after_files.keys())
+    ]
+    only_before = [str(before_files[r]) for r in sorted(before_files.keys() - after_files.keys())]
+    only_after = [str(after_files[r]) for r in sorted(after_files.keys() - before_files.keys())]
+    return pairs, only_before, only_after
+
+
+def read_pairs_file(path: str) -> list[tuple[str, str]]:
+    """Read explicit pairs, one per line: ``before<TAB>after`` (or two
+    whitespace-separated paths); blank lines and ``#`` comments skipped."""
+    pairs: list[tuple[str, str]] = []
+    with open(path, encoding="utf8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t") if "\t" in line else line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected two paths, got {line!r}")
+            pairs.append((parts[0], parts[1]))
+    return pairs
+
+
+def _crash_row(before: str, after: str) -> dict[str, Any]:
+    return {
+        "before": before,
+        "after": after,
+        "status": "error",
+        "error_kind": "crash",
+        "error": "worker process died (broken process pool)",
+        "total_ms": 0.0,
+    }
+
+
+def _internal_row(before: str, after: str, exc: BaseException) -> dict[str, Any]:
+    return {
+        "before": before,
+        "after": after,
+        "status": "error",
+        "error_kind": "internal",
+        "error": " ".join((str(exc) or type(exc).__name__).split()),
+        "total_ms": 0.0,
+    }
+
+
+class _RowSink:
+    """Final accounting for finished rows: summary, metrics, callback."""
+
+    def __init__(self, summary: BatchSummary, emit: Optional[Callable[[dict], None]]):
+        self.summary = summary
+        self.emit = emit
+
+    def __call__(self, row: dict[str, Any], attempts: int) -> None:
+        row["attempts"] = attempts
+        s = self.summary
+        s.pairs += 1
+        s.worker_ms += row.get("total_ms") or 0.0
+        if row["status"] == "ok":
+            s.ok += 1
+            s.edits += row["edits"]
+            s.nodes += row["src_nodes"] + row["dst_nodes"]
+        else:
+            s.failed += 1
+            kind = row.get("error_kind", "internal")
+            s.failures_by_kind[kind] = s.failures_by_kind.get(kind, 0) + 1
+        if OBS.enabled:
+            m = _metrics()
+            m.counter("repro.batch.pairs").inc()
+            if row["status"] != "ok":
+                m.counter("repro.batch.failures").inc()
+            m.histogram("repro.batch.worker.ms").observe(row.get("total_ms") or 0.0)
+        if self.emit is not None:
+            self.emit(row)
+
+
+def _chunked(indices: list[int], size: int) -> list[list[int]]:
+    return [indices[i : i + size] for i in range(0, len(indices), size)]
+
+
+def _run_serial(
+    pairs: list[tuple[str, str]],
+    config: BatchConfig,
+    sink: _RowSink,
+    pair_fn: Optional[Callable[[str, str], dict]],
+) -> None:
+    retries = max(0, config.retries)
+    for before, after in pairs:
+        attempts = 0
+        while True:
+            attempts += 1
+            row = run_chunk([(before, after)], config.timeout_s, pair_fn)[0]
+            if (
+                row["status"] == "error"
+                and row.get("error_kind") in RETRYABLE_KINDS
+                and attempts <= retries
+            ):
+                sink.summary.retried += 1
+                continue
+            sink(row, attempts)
+            break
+
+
+def _run_pool(
+    pairs: list[tuple[str, str]],
+    config: BatchConfig,
+    sink: _RowSink,
+    pair_fn: Optional[Callable[[str, str], dict]],
+) -> None:
+    """The parallel driver loop, with blame-accurate crash handling.
+
+    When a worker dies, ``BrokenProcessPool`` fails *every* in-flight
+    future, so the culprit is ambiguous.  The loop therefore moves all
+    in-flight pairs to a ``suspects`` queue and re-runs them one at a
+    time (nothing else in flight): a pair that breaks the pool while
+    running alone is unambiguously to blame and is charged a retry;
+    innocent pool-mates complete normally with their budget intact.
+    Per-pair rows (timeouts, syntax errors) name their pair directly and
+    charge it without entering isolation.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    workers = config.resolved_workers()
+    retries = max(0, config.retries)
+    runs = [0] * len(pairs)  # executions, reported as the row's "attempts"
+    charged = [0] * len(pairs)  # blamed failures, bounded by `retries`
+    queue: deque[list[int]] = deque(_chunked(list(range(len(pairs))), max(1, config.chunksize)))
+    suspects: deque[int] = deque()
+    executor = ProcessPoolExecutor(max_workers=workers)
+    in_flight: dict[Any, list[int]] = {}
+
+    def submit(chunk: list[int]) -> None:
+        for i in chunk:
+            runs[i] += 1
+        fut = executor.submit(run_chunk, [pairs[i] for i in chunk], config.timeout_s, pair_fn)
+        in_flight[fut] = chunk
+
+    def handle_row(i: int, row: dict[str, Any]) -> None:
+        if row["status"] == "error" and row.get("error_kind") in RETRYABLE_KINDS:
+            charged[i] += 1
+            if charged[i] <= retries:
+                sink.summary.retried += 1
+                queue.append([i])
+                return
+        sink(row, runs[i])
+
+    try:
+        while queue or suspects or in_flight:
+            if suspects:
+                # isolation mode: one suspect alone in the pool at a time
+                if not in_flight:
+                    submit([suspects.popleft()])
+            else:
+                while queue and len(in_flight) < workers * 2:
+                    submit(queue.popleft())
+            done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+            pool_broken = False
+            for fut in done:
+                if fut not in in_flight:
+                    continue  # already drained by a broken-pool sweep
+                chunk = in_flight.pop(fut)
+                try:
+                    rows = fut.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    victims = [i for c in ([chunk] + list(in_flight.values())) for i in c]
+                    in_flight.clear()
+                    if len(victims) == 1:
+                        # ran alone: this pair provably killed the worker
+                        i = victims[0]
+                        charged[i] += 1
+                        if charged[i] <= retries:
+                            sink.summary.retried += 1
+                            suspects.append(i)
+                        else:
+                            sink(_crash_row(*pairs[i]), runs[i])
+                    else:
+                        # ambiguous blame: re-run each victim in isolation,
+                        # no retry budget charged
+                        suspects.extend(victims)
+                    continue
+                except Exception as exc:  # chunk-level failure: isolate it
+                    rows = [_internal_row(*pairs[i], exc) for i in chunk]
+                for i, row in zip(chunk, rows):
+                    handle_row(i, row)
+            if pool_broken:
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(max_workers=workers)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def run_batch(
+    pairs: Iterable[tuple[str, str]],
+    config: BatchConfig = DEFAULT_CONFIG,
+    emit: Optional[Callable[[dict], None]] = None,
+    pair_fn: Optional[Callable[[str, str], dict]] = None,
+) -> BatchSummary:
+    """Diff every file pair, streaming result rows to ``emit``.
+
+    Never raises for per-pair problems: each pair produces exactly one
+    row (after retries), either ``status="ok"`` or a structured failure.
+    ``pair_fn`` swaps the per-pair work function (tests inject sleeping /
+    crashing functions to exercise the isolation machinery); it must be
+    a picklable top-level callable.
+    """
+    pair_list = [(str(b), str(a)) for b, a in pairs]
+    summary = BatchSummary(workers=1 if config.workers == 1 else config.resolved_workers())
+    sink = _RowSink(summary, emit)
+    started = time.perf_counter()
+    with _span("repro.batch.run"):
+        if config.workers == 1 or (config.workers <= 0 and summary.workers == 1):
+            summary.workers = 1
+            _run_serial(pair_list, config, sink, pair_fn)
+        else:
+            _run_pool(pair_list, config, sink, pair_fn)
+    summary.elapsed_s = time.perf_counter() - started
+    return summary

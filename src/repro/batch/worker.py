@@ -1,0 +1,168 @@
+"""The subprocess side of the batch driver: diff one file pair, safely.
+
+Everything here must be picklable and self-contained: pool workers
+receive *paths* (not trees), parse and diff locally, and send back small
+result dicts, so the per-pair IPC cost is independent of tree size.
+
+Fault isolation is layered:
+
+* :func:`diff_pair` catches the *expected* per-pair failures (unreadable
+  files, syntax errors) and classifies them;
+* :func:`run_chunk` wraps every pair in a wall-clock timeout
+  (``SIGALRM``-based, POSIX main thread only) and a catch-all, so an
+  unexpected exception in one pair becomes a structured failure row
+  instead of poisoning the whole chunk;
+* hard worker death (segfault, ``os._exit``) cannot be caught here at
+  all — the driver detects the broken pool, records the in-flight pairs
+  as ``crash`` failures, rebuilds the pool, and moves on.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from typing import Any, Callable, Optional
+
+#: Failure kinds the driver will re-submit (bounded by ``retries``):
+#: transient by nature, unlike a syntax error that is deterministic.
+RETRYABLE_KINDS = frozenset({"timeout", "crash"})
+
+
+class PairTimeout(Exception):
+    """The per-pair wall-clock budget was exhausted."""
+
+
+def _classify(exc: BaseException) -> str:
+    if isinstance(exc, PairTimeout):
+        return "timeout"
+    if isinstance(exc, SyntaxError):
+        return "syntax"
+    if isinstance(exc, (OSError, UnicodeDecodeError)):
+        return "io"
+    if isinstance(exc, (MemoryError, RecursionError)):
+        return "resource"
+    return "internal"
+
+
+def _one_line(exc: BaseException) -> str:
+    if isinstance(exc, SyntaxError):
+        where = f" (line {exc.lineno})" if exc.lineno else ""
+        return f"{exc.msg or 'invalid syntax'}{where}"
+    text = str(exc) or type(exc).__name__
+    return " ".join(text.split())
+
+
+def _failure_row(
+    before: str, after: str, exc: BaseException, started: float
+) -> dict[str, Any]:
+    return {
+        "before": before,
+        "after": after,
+        "status": "error",
+        "error_kind": _classify(exc),
+        "error": _one_line(exc),
+        "total_ms": round((time.perf_counter() - started) * 1000, 3),
+    }
+
+
+def diff_pair(before: str, after: str) -> dict[str, Any]:
+    """Diff one file pair; always returns a result row, never raises.
+
+    The row records script size, the edit mix (primitive edit kinds),
+    node counts, and parse/diff timings — the per-pair quantities of the
+    paper's corpus evaluation (Section 6).
+    """
+    started = time.perf_counter()
+    try:
+        from repro.adapters.pyast import parse_python
+        from repro.core import diff
+
+        with open(before, encoding="utf8") as fh:
+            before_text = fh.read()
+        with open(after, encoding="utf8") as fh:
+            after_text = fh.read()
+
+        t0 = time.perf_counter()
+        src = parse_python(before_text, before)
+        dst = parse_python(after_text, after)
+        parse_ms = (time.perf_counter() - t0) * 1000
+
+        t0 = time.perf_counter()
+        script, patched = diff(src, dst)
+        diff_ms = (time.perf_counter() - t0) * 1000
+
+        if not patched.tree_equal(dst):  # pragma: no cover - soundness net
+            raise AssertionError("patched tree does not equal the target")
+
+        mix: dict[str, int] = {}
+        for edit in script.primitives():
+            kind = type(edit).__name__.lower()
+            mix[kind] = mix.get(kind, 0) + 1
+        return {
+            "before": before,
+            "after": after,
+            "status": "ok",
+            "edits": len(script),
+            "edit_mix": mix,
+            "src_nodes": src.size,
+            "dst_nodes": dst.size,
+            "parse_ms": round(parse_ms, 3),
+            "diff_ms": round(diff_ms, 3),
+            "total_ms": round((time.perf_counter() - started) * 1000, 3),
+        }
+    except Exception as exc:
+        return _failure_row(before, after, exc, started)
+
+
+def _timeout_supported() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _call_with_timeout(
+    fn: Callable[[str, str], dict], before: str, after: str, timeout_s: float
+) -> dict[str, Any]:
+    """Run ``fn`` under a ``SIGALRM`` deadline (pool workers execute tasks
+    in their main thread, so the alarm is deliverable)."""
+
+    def on_alarm(signum, frame):
+        raise PairTimeout(f"pair exceeded {timeout_s:g}s budget")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn(before, after)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_chunk(
+    pairs: list[tuple[str, str]],
+    timeout_s: Optional[float] = None,
+    pair_fn: Optional[Callable[[str, str], dict]] = None,
+) -> list[dict[str, Any]]:
+    """Process a chunk of file pairs, one result row per pair.
+
+    Chunking amortizes task pickling and scheduling over several pairs;
+    ``pair_fn`` is injectable for tests (it must be a picklable top-level
+    function).  Every pair is individually fenced: a timeout or crash of
+    one pair yields its failure row and the chunk continues.
+    """
+    fn = pair_fn if pair_fn is not None else diff_pair
+    fence = timeout_s is not None and timeout_s > 0 and _timeout_supported()
+    rows: list[dict[str, Any]] = []
+    for before, after in pairs:
+        started = time.perf_counter()
+        try:
+            if fence:
+                row = _call_with_timeout(fn, before, after, timeout_s)
+            else:
+                row = fn(before, after)
+        except Exception as exc:
+            row = _failure_row(before, after, exc, started)
+        rows.append(row)
+    return rows

@@ -42,6 +42,15 @@ histograms (``repro.diff.assign_shares.ms`` etc.) — the quantities that
 explain *why* a headline number moved.  The regression gate keeps
 comparing the disabled-metrics ``warm_diff_nodes_per_sec``.
 
+Since PR 3 the document also records a **batch throughput section**
+(schema v3): the frozen corpus written out as files and driven through
+:func:`repro.batch.run_batch` — end-to-end pairs/sec and nodes/sec
+including parse, for the serial in-process path and (on multi-CPU
+machines) the process pool, with the resulting speedup.  On single-CPU
+machines the parallel measurement is recorded as ``null`` rather than
+measuring pool overhead as if it were the feature.  The regression gate
+still compares the disabled-metrics ``warm_diff_nodes_per_sec`` only.
+
 Run ``python -m repro.bench.baseline --out BENCH_truediff.json`` to
 regenerate, or ``--check BENCH_truediff.json`` in CI to fail on a >30%
 warm-diff regression against the checked-in numbers (same-machine
@@ -65,7 +74,7 @@ from repro.corpus.generator import GeneratorConfig
 
 # -- the frozen corpus recipe (do not change; see module docstring) ----------
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 N_MODULES = 4
 N_VERSIONS = 4
 N_EDITS = 3
@@ -296,10 +305,71 @@ def _measure_observability(
     }
 
 
+def _measure_batch(sources: list[list[str]]) -> dict:
+    """End-to-end batch throughput on the frozen corpus written to disk.
+
+    Unlike the in-memory metrics above, these rates include file IO and
+    parsing — the quantity a user of ``python -m repro batch`` sees.
+    The serial path is always measured; the pool path only on multi-CPU
+    machines (on one CPU a pool measures pickling overhead, not the
+    feature, and would make the tracked numbers misleading).
+    """
+    import os
+    import tempfile
+    import time as _time
+
+    from repro.batch import BatchConfig, run_batch
+
+    def _run(workers: int, pairs: list[tuple[str, str]]) -> dict:
+        best_elapsed: Optional[float] = None
+        nodes = 0
+        for _ in range(BEST_OF):
+            t0 = _time.perf_counter()
+            summary = run_batch(pairs, BatchConfig(workers=workers, timeout_s=None))
+            elapsed = _time.perf_counter() - t0
+            assert summary.failed == 0, "frozen corpus must diff cleanly"
+            nodes = summary.nodes
+            if best_elapsed is None or elapsed < best_elapsed:
+                best_elapsed = elapsed
+        return {
+            "workers": workers if workers > 0 else (os.cpu_count() or 1),
+            "pairs_per_sec": round(len(pairs) / best_elapsed, 2),
+            "nodes_per_sec": round(nodes / best_elapsed),
+        }
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-batch-") as root:
+        pairs: list[tuple[str, str]] = []
+        for i, versions in enumerate(sources):
+            paths = []
+            for v, text in enumerate(versions):
+                path = os.path.join(root, f"mod{i}_v{v}.py")
+                with open(path, "w", encoding="utf8") as fh:
+                    fh.write(text)
+                paths.append(path)
+            pairs.extend(zip(paths, paths[1:]))
+        serial = _run(1, pairs)
+        cpus = os.cpu_count() or 1
+        parallel = _run(min(4, cpus), pairs) if cpus > 1 else None
+    return {
+        "pairs": len(pairs),
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": (
+            round(parallel["pairs_per_sec"] / serial["pairs_per_sec"], 2)
+            if parallel
+            else None
+        ),
+    }
+
+
 def measure(scheme: str = "blake2b") -> dict:
     """Run all metrics under ``scheme`` and return the results document."""
     with hash_scheme(scheme):
-        modules = build_corpus()
+        sources = corpus_sources()
+        modules = [
+            [parse_python(text, f"mod{i}.py") for text in versions]
+            for i, versions in enumerate(sources)
+        ]
         all_trees = [t for versions in modules for t in versions]
         total_nodes = sum(t.size for t in all_trees)
         metrics = {
@@ -314,6 +384,7 @@ def measure(scheme: str = "blake2b") -> dict:
             _measure_warm(modules, False)
         )
         observability = _measure_observability(modules, warm_rate)
+        batch = _measure_batch(sources)
     return {
         "schema_version": SCHEMA_VERSION,
         "tool": "truediff",
@@ -328,6 +399,7 @@ def measure(scheme: str = "blake2b") -> dict:
         },
         "metrics": metrics,
         "observability": observability,
+        "batch": batch,
         "seed_reference": SEED_REFERENCE,
         "pr1_reference": PR1_REFERENCE,
     }

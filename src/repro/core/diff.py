@@ -56,7 +56,7 @@ from repro.observability import OBS, metrics as _metrics, span as _span
 from .edits import Attach, Detach, EditScript, Load, Unload, Update
 from .node import Link, Node, ROOT_LINK, ROOT_NODE
 from .registry import SubtreeRegistry
-from .tree import TNode, subtree_ids
+from .tree import TNode, lits_equal, subtree_ids
 from .uris import URIGen
 
 
@@ -507,7 +507,9 @@ def update_lits(this: TNode, that: TNode, buf: EditBuffer) -> TNode:
             if a.literal_hash == b.literal_hash:
                 results.append(a)
                 continue
-            if a.lits != b.lits:
+            # type-aware comparison: (1,) == (True,) under Python ==, but
+            # they are different literals (see tree.lits_equal)
+            if not lits_equal(a.lits, b.lits):
                 buf.update(a, b)
             stack.append((a, b, True))
             for i in range(len(a.kids) - 1, -1, -1):
@@ -519,7 +521,7 @@ def update_lits(this: TNode, that: TNode, buf: EditBuffer) -> TNode:
                 del results[-cnt:]
             else:
                 kids = []
-            if a.lits == b.lits and all(x is y for x, y in zip(kids, a.kids)):
+            if lits_equal(a.lits, b.lits) and all(x is y for x, y in zip(kids, a.kids)):
                 results.append(a)
             else:
                 node = TNode(a.sigs, a.sig, kids, b.lits, a.uri, validate=False)
@@ -601,7 +603,7 @@ def compute_edits(
                 del results[-cnt:]
             else:
                 kids = []
-            if a.lits != b.lits:
+            if not lits_equal(a.lits, b.lits):
                 buf.update(a, b)
             elif all(x is y for x, y in zip(kids, a.kids)):
                 results.append(a)

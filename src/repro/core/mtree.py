@@ -27,6 +27,7 @@ from repro.observability import OBS, metrics as _metrics, span as _span
 from .edits import Attach, Detach, EditScript, Load, PrimitiveEdit, Unload, Update
 from .node import Link, Node, ROOT_LINK, ROOT_NODE, ROOT_TAG
 from .signature import SignatureRegistry
+from .tree import literal_eq
 from .typecheck import Slot
 from .types import Type
 from .uris import ROOT_URI, URI
@@ -317,14 +318,14 @@ def check_syntactic_compliance(script: EditScript, t: MTree) -> None:
                 if kid is None or kid.uri != kid_uri:
                     raise ComplianceError(f"{edit}: kid {link!r} is not {kid_uri}")
             for link, value in edit.lits:
-                if link not in n.lits or n.lits[link] != value:
+                if link not in n.lits or not literal_eq(n.lits[link], value):
                     raise ComplianceError(f"{edit}: literal {link!r} is not {value!r}")
         elif isinstance(edit, Update):
             n = sim.index.get(edit.node.uri)
             if n is None:
                 raise ComplianceError(f"{edit}: node URI unknown")
             for link, value in edit.old_lits:
-                if link not in n.lits or n.lits[link] != value:
+                if link not in n.lits or not literal_eq(n.lits[link], value):
                     raise ComplianceError(f"{edit}: old literal {link!r} is not {value!r}")
         # Attach needs no extra checks (ensured by the type system already).
         sim.process_edit(edit)

@@ -12,6 +12,7 @@ tuples).
 from __future__ import annotations
 
 import json
+import math
 from typing import Any
 
 from .edits import (
@@ -34,8 +35,26 @@ class SerializationError(Exception):
     """The value or document cannot be (de)serialized."""
 
 
+#: Non-finite floats by their tag-encoded wire name (strict JSON has no
+#: ``NaN``/``Infinity`` tokens, so they travel as ``{"$float": "nan"}``).
+_NONFINITE = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+
+
+def _encode_float(value: float) -> Any:
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return {"$float": "nan"}
+    return {"$float": "inf" if value > 0 else "-inf"}
+
+
 def _encode_value(value: Any) -> Any:
-    if value is None or isinstance(value, (str, int, float, bool)):
+    if isinstance(value, float):
+        # bools/ints pass through below; non-finite floats must be
+        # tag-encoded or json.dumps emits NaN/Infinity tokens that
+        # strict JSON parsers reject
+        return _encode_float(value)
+    if value is None or isinstance(value, (str, int, bool)):
         return value
     if isinstance(value, tuple):
         return {"$tuple": [_encode_value(v) for v in value]}
@@ -44,7 +63,7 @@ def _encode_value(value: Any) -> Any:
     if isinstance(value, bytes):
         return {"$bytes": value.hex()}
     if isinstance(value, complex):
-        return {"$complex": [value.real, value.imag]}
+        return {"$complex": [_encode_float(value.real), _encode_float(value.imag)]}
     if value is Ellipsis:
         return {"$ellipsis": True}
     raise SerializationError(f"unsupported literal value {value!r}")
@@ -60,7 +79,14 @@ def _decode_value(value: Any) -> Any:
             return bytes.fromhex(value["$bytes"])
         if "$complex" in value:
             real, imag = value["$complex"]
-            return complex(real, imag)
+            return complex(_decode_value(real), _decode_value(imag))
+        if "$float" in value:
+            try:
+                return _NONFINITE[value["$float"]]
+            except (KeyError, TypeError):
+                raise SerializationError(
+                    f"unknown $float payload {value['$float']!r}"
+                ) from None
         if "$ellipsis" in value:
             return Ellipsis
         raise SerializationError(f"unknown tagged value {value!r}")
@@ -186,10 +212,18 @@ def edit_from_dict(data: dict) -> Edit:
 
 
 def script_to_json(script: EditScript, indent: int | None = None) -> str:
-    """Serialize an edit script to JSON text."""
+    """Serialize an edit script to strict JSON text.
+
+    ``allow_nan=False`` makes strictness structural: if any encoding path
+    ever leaked a non-finite float, ``json.dumps`` would raise instead of
+    silently emitting ``NaN``/``Infinity`` tokens that strict parsers
+    (``json.loads`` with a rejecting ``parse_constant``, most non-Python
+    consumers) cannot read.
+    """
     return json.dumps(
         {"format": "truechange/1", "edits": [edit_to_dict(e) for e in script]},
         indent=indent,
+        allow_nan=False,
     )
 
 

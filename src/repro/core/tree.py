@@ -123,6 +123,69 @@ def _tag_bytes(tag: Tag) -> bytes:
     return b
 
 
+# -- type-aware literal equivalence ------------------------------------------
+#
+# Python's ``==``/``hash`` conflate values across types (``1 == True``,
+# ``0 == False``, ``1.0 == 1``), so literal equivalence must never be
+# plain ``==`` on the literal tuples: ``diff(x = 1, x = True)`` would
+# judge the trees literal-equivalent, return an *empty* script, and
+# patching would silently produce the wrong program — violating the
+# reproduction guarantee of Theorem 4.1.  Both the literal digest
+# computed at construction time and every literal-equality check in the
+# edit-emission path (Step 4) therefore tag each literal with its
+# concrete type.
+
+
+def literal_key(value: Any) -> Any:
+    """A hashable key equal iff two literal values are interchangeable in
+    a source document: identical concrete type and identical value.
+
+    Floats and complex numbers compare by ``repr``, which separates
+    ``0.0`` from ``-0.0`` and makes ``nan`` equal to itself (both matter
+    for unparse fidelity; plain ``==`` gets both wrong).  Any other
+    self-unequal (NaN-like) value likewise falls back to ``repr``.
+    Tuples and frozensets are keyed elementwise, so nested conflations
+    (``(1,)`` vs ``(True,)``) are caught too.
+    """
+    t = type(value)
+    if t is tuple:
+        return (t, tuple(literal_key(v) for v in value))
+    if t is frozenset:
+        return (t, frozenset(literal_key(v) for v in value))
+    if t is float or t is complex:
+        return (t, repr(value))
+    if value != value:  # NaN-like values of other types
+        return (t, repr(value))
+    return (t, value)
+
+
+def literal_eq(a: Any, b: Any) -> bool:
+    """Type-aware equality of two literal values (see :func:`literal_key`)."""
+    return a is b or literal_key(a) == literal_key(b)
+
+
+def lits_equal(a: Sequence[Any], b: Sequence[Any]) -> bool:
+    """Type-aware equality of two literal tuples (elementwise
+    :func:`literal_eq`; ``is`` short-circuits the common shared case)."""
+    if a is b:
+        return True
+    return len(a) == len(b) and all(
+        x is y or literal_key(x) == literal_key(y) for x, y in zip(a, b)
+    )
+
+
+def _lit_fingerprint(lits: tuple[Any, ...]) -> bytes:
+    """The literal-hash payload of one node's literal tuple.
+
+    ``repr`` alone already separates every builtin conflation pair
+    (``repr(1)`` vs ``repr(True)``), but the concrete type names are
+    included as well so custom literal types whose reprs collide across
+    types cannot be conflated either.
+    """
+    tags = ",".join(type(v).__name__ for v in lits)
+    return f"{tags}\x00{lits!r}".encode("utf8")
+
+
 class TNode:
     """An immutable, hashed, URI-carrying tree node.
 
@@ -175,7 +238,7 @@ class TNode:
         height = 0
         size = 1
         struct_parts = [_tag_bytes(sig.tag)]
-        lit_parts = [repr(lits).encode("utf8") if lits else b""]
+        lit_parts = [_lit_fingerprint(lits) if lits else b""]
         for k in kids:
             if k.height > height:
                 height = k.height

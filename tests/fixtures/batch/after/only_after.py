@@ -1,0 +1,1 @@
+fresh = True

@@ -1,0 +1,5 @@
+def greet(name, punct="!"):
+    return "hello " + name + punct
+
+
+VALUES = [1, 2, 3, 4]

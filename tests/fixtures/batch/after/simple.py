@@ -1,0 +1,6 @@
+x = True
+y = 2
+
+
+def add(a, b):
+    return a + b + 1

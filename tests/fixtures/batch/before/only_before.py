@@ -1,0 +1,1 @@
+gone = True

@@ -1,0 +1,5 @@
+def greet(name):
+    return "hello " + name
+
+
+VALUES = [1, 2, 3]

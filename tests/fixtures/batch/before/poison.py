@@ -1,0 +1,2 @@
+def ok():
+    return 1

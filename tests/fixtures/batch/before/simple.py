@@ -1,0 +1,6 @@
+x = 1
+y = 2
+
+
+def add(a, b):
+    return a + b

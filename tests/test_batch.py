@@ -1,0 +1,345 @@
+"""Tests for the parallel batch-diff driver (``repro.batch``).
+
+The fault-isolation machinery is exercised with injectable pair
+functions (picklable top-level callables): a sleeper for the timeout
+fence, a hard ``os._exit`` for worker death / broken-pool recovery, and
+a marker-file flake for the bounded-retry path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.batch import (
+    BatchConfig,
+    RETRYABLE_KINDS,
+    diff_pair,
+    discover_pairs,
+    read_pairs_file,
+    run_batch,
+    run_chunk,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "batch"
+BEFORE = str(FIXTURES / "before")
+AFTER = str(FIXTURES / "after")
+
+
+# -- injectable pair functions (must be top-level for pickling) -----------
+
+
+def _ok_row(before: str, after: str) -> dict:
+    return {
+        "before": before,
+        "after": after,
+        "status": "ok",
+        "edits": 1,
+        "edit_mix": {"update": 1},
+        "src_nodes": 3,
+        "dst_nodes": 3,
+        "parse_ms": 0.0,
+        "diff_ms": 0.0,
+        "total_ms": 0.1,
+    }
+
+
+def sleepy_fn(before: str, after: str) -> dict:
+    if "slow" in before:
+        time.sleep(10)
+    return _ok_row(before, after)
+
+
+def exiting_fn(before: str, after: str) -> dict:
+    if "die" in before:
+        os._exit(17)
+    return _ok_row(before, after)
+
+
+def flaky_fn(before: str, after: str) -> dict:
+    """Times out once, then succeeds: ``after`` names a marker file."""
+    from repro.batch.worker import PairTimeout
+
+    if not os.path.exists(after):
+        with open(after, "w", encoding="utf8") as fh:
+            fh.write("attempted\n")
+        raise PairTimeout("simulated transient failure")
+    return _ok_row(before, after)
+
+
+# -- pair discovery -------------------------------------------------------
+
+
+class TestDiscovery:
+    def test_discover_pairs_matches_relative_paths(self):
+        pairs, only_before, only_after = discover_pairs(BEFORE, AFTER)
+        rels = [os.path.relpath(b, BEFORE) for b, _ in pairs]
+        assert rels == sorted(rels)
+        assert set(rels) == {
+            "poison.py",
+            "simple.py",
+            "unchanged.py",
+            os.path.join("pkg", "util.py"),
+        }
+        assert [os.path.basename(p) for p in only_before] == ["only_before.py"]
+        assert [os.path.basename(p) for p in only_after] == ["only_after.py"]
+
+    def test_discover_pairs_rejects_non_directory(self, tmp_path):
+        with pytest.raises(NotADirectoryError):
+            discover_pairs(str(tmp_path / "nope"), AFTER)
+
+    def test_read_pairs_file(self, tmp_path):
+        listing = tmp_path / "pairs.txt"
+        listing.write_text(
+            "# comment\n"
+            "a.py\tb.py\n"
+            "\n"
+            "c.py d.py\n",
+            encoding="utf8",
+        )
+        assert read_pairs_file(str(listing)) == [("a.py", "b.py"), ("c.py", "d.py")]
+
+    def test_read_pairs_file_rejects_bad_line(self, tmp_path):
+        listing = tmp_path / "pairs.txt"
+        listing.write_text("just-one-path\n", encoding="utf8")
+        with pytest.raises(ValueError, match="pairs.txt:1"):
+            read_pairs_file(str(listing))
+
+
+# -- the per-pair worker --------------------------------------------------
+
+
+class TestDiffPair:
+    def test_ok_row_shape(self):
+        row = diff_pair(
+            os.path.join(BEFORE, "simple.py"), os.path.join(AFTER, "simple.py")
+        )
+        assert row["status"] == "ok"
+        assert row["edits"] > 0  # includes the 1 -> True literal fix
+        assert row["edits"] == sum(row["edit_mix"].values()) or row["edit_mix"]
+        assert row["src_nodes"] > 0 and row["dst_nodes"] > 0
+        assert row["parse_ms"] >= 0 and row["diff_ms"] >= 0
+
+    def test_unchanged_pair_is_empty(self):
+        row = diff_pair(
+            os.path.join(BEFORE, "unchanged.py"), os.path.join(AFTER, "unchanged.py")
+        )
+        assert row["status"] == "ok"
+        assert row["edits"] == 0
+
+    def test_syntax_error_is_structured_failure(self):
+        row = diff_pair(
+            os.path.join(BEFORE, "poison.py"), os.path.join(AFTER, "poison.py")
+        )
+        assert row["status"] == "error"
+        assert row["error_kind"] == "syntax"
+        assert "line 1" in row["error"]
+        assert "\n" not in row["error"]
+
+    def test_missing_file_is_io_failure(self):
+        row = diff_pair("/nonexistent/a.py", "/nonexistent/b.py")
+        assert row["status"] == "error"
+        assert row["error_kind"] == "io"
+
+    def test_run_chunk_fences_each_pair(self):
+        rows = run_chunk(
+            [
+                (os.path.join(BEFORE, "poison.py"), os.path.join(AFTER, "poison.py")),
+                (os.path.join(BEFORE, "simple.py"), os.path.join(AFTER, "simple.py")),
+            ]
+        )
+        assert [r["status"] for r in rows] == ["error", "ok"]
+
+
+# -- the driver: corpus runs with fault isolation -------------------------
+
+
+def _run_corpus(workers: int) -> tuple[list[dict], "object"]:
+    pairs, _, _ = discover_pairs(BEFORE, AFTER)
+    rows: list[dict] = []
+    summary = run_batch(
+        pairs, BatchConfig(workers=workers, timeout_s=20.0), emit=rows.append
+    )
+    return rows, summary
+
+
+class TestRunBatch:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_poisoned_corpus_completes(self, workers):
+        rows, summary = _run_corpus(workers)
+        assert summary.pairs == 4
+        assert summary.ok == 3
+        assert summary.failed == 1
+        assert summary.failures_by_kind == {"syntax": 1}
+        assert len(rows) == len({r["before"] for r in rows}) == 4
+        poison = next(r for r in rows if "poison" in r["before"])
+        assert poison["status"] == "error" and poison["error_kind"] == "syntax"
+        assert summary.edits > 0 and summary.nodes > 0
+        assert summary.elapsed_s > 0
+
+    def test_empty_corpus(self):
+        summary = run_batch([], BatchConfig(workers=1))
+        assert summary.pairs == 0 and summary.ok == 0 and summary.failed == 0
+
+    def test_timeout_is_recorded_not_fatal(self):
+        rows: list[dict] = []
+        summary = run_batch(
+            [("slow.py", "x.py"), ("fast.py", "y.py")],
+            BatchConfig(workers=1, timeout_s=0.2, retries=0),
+            emit=rows.append,
+            pair_fn=sleepy_fn,
+        )
+        assert summary.failed == 1 and summary.ok == 1
+        slow = next(r for r in rows if r["before"] == "slow.py")
+        assert slow["error_kind"] == "timeout"
+        assert "timeout" in RETRYABLE_KINDS
+        assert slow["attempts"] == 1
+
+    def test_timeout_retry_is_bounded(self):
+        rows: list[dict] = []
+        summary = run_batch(
+            [("slow.py", "x.py")],
+            BatchConfig(workers=1, timeout_s=0.2, retries=1),
+            emit=rows.append,
+            pair_fn=sleepy_fn,
+        )
+        assert summary.retried == 1
+        assert rows[0]["error_kind"] == "timeout"
+        assert rows[0]["attempts"] == 2
+
+    def test_transient_failure_retries_to_success(self, tmp_path):
+        marker = str(tmp_path / "marker.txt")
+        rows: list[dict] = []
+        summary = run_batch(
+            [("flaky.py", marker)],
+            BatchConfig(workers=1, timeout_s=5.0, retries=1),
+            emit=rows.append,
+            pair_fn=flaky_fn,
+        )
+        assert summary.ok == 1 and summary.failed == 0
+        assert summary.retried == 1
+        assert rows[0]["status"] == "ok" and rows[0]["attempts"] == 2
+
+    def test_worker_death_breaks_pool_but_not_run(self):
+        rows: list[dict] = []
+        summary = run_batch(
+            [("die.py", "x.py"), ("ok1.py", "y.py"), ("ok2.py", "z.py")],
+            BatchConfig(workers=2, timeout_s=20.0, retries=1, chunksize=1),
+            emit=rows.append,
+            pair_fn=exiting_fn,
+        )
+        assert summary.pairs == 3
+        dead = next(r for r in rows if r["before"] == "die.py")
+        assert dead["status"] == "error" and dead["error_kind"] == "crash"
+        # charged a bounded retry after isolation pinned the blame on it
+        assert dead["attempts"] >= 2
+        assert summary.retried >= 1
+        # innocent pairs may get caught in a broken pool but must end ok
+        assert {r["before"]: r["status"] for r in rows if r["before"] != "die.py"} == {
+            "ok1.py": "ok",
+            "ok2.py": "ok",
+        }
+
+    def test_metrics_counters(self):
+        from repro import observability as obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            _run_corpus(workers=1)
+            snap = obs.snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+        assert snap["counters"]["repro.batch.pairs"] == 4
+        assert snap["counters"]["repro.batch.failures"] == 1
+        assert snap["histograms"]["repro.batch.worker.ms"]["count"] == 4
+        assert "repro.batch.run.ms" in snap["histograms"]
+
+
+# -- the CLI front end ----------------------------------------------------
+
+
+class TestBatchCLI:
+    def test_directory_run_writes_jsonl_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "rows.jsonl"
+        summary_path = tmp_path / "summary.json"
+        code = main(
+            [
+                "batch",
+                BEFORE,
+                AFTER,
+                "--workers",
+                "1",
+                "--out",
+                str(out),
+                "--summary",
+                str(summary_path),
+            ]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in out.read_text("utf8").splitlines()]
+        assert len(rows) == 4
+        assert {r["status"] for r in rows} == {"ok", "error"}
+        summary = json.loads(summary_path.read_text("utf8"))
+        assert summary["ok"] == 3 and summary["failed"] == 1
+        assert summary["failures_by_kind"] == {"syntax": 1}
+        err = capsys.readouterr().err
+        assert "3/4 ok" in err
+        assert "skipping 1 before-only and 1 after-only" in err
+
+    def test_rows_stream_to_stdout_by_default(self, capsys):
+        code = main(["batch", BEFORE, AFTER, "--workers", "1", "--glob", "simple.py"])
+        assert code == 0
+        out = capsys.readouterr().out
+        rows = [json.loads(line) for line in out.splitlines()]
+        assert len(rows) == 1 and rows[0]["status"] == "ok"
+
+    def test_pairs_file_input(self, tmp_path, capsys):
+        listing = tmp_path / "pairs.txt"
+        listing.write_text(
+            f"{BEFORE}/simple.py\t{AFTER}/simple.py\n", encoding="utf8"
+        )
+        code = main(["batch", BEFORE, "--pairs", str(listing), "--workers", "1"])
+        assert code == 0
+        assert "1/1 ok" in capsys.readouterr().err
+
+    def test_all_failures_exit_1(self, capsys):
+        code = main(["batch", BEFORE, AFTER, "--workers", "1", "--glob", "poison.py"])
+        assert code == 1
+        assert "0/1 ok" in capsys.readouterr().err
+
+    def test_missing_after_dir_is_cli_error(self, capsys):
+        code = main(["batch", BEFORE])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("repro: ")
+
+    def test_nonexistent_directory_is_cli_error(self, tmp_path, capsys):
+        code = main(["batch", str(tmp_path / "nope"), AFTER])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: ") and "not a directory" in err
+
+    def test_bad_pairs_file_is_cli_error(self, tmp_path, capsys):
+        listing = tmp_path / "pairs.txt"
+        listing.write_text("one-path-only\n", encoding="utf8")
+        code = main(["batch", BEFORE, "--pairs", str(listing)])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("repro: ")
+
+    def test_metrics_flag_reports_batch_counters(self, tmp_path, capsys):
+        out = tmp_path / "rows.jsonl"
+        code = main(
+            ["batch", BEFORE, AFTER, "--workers", "1", "--out", str(out), "--metrics", "json"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        payload = err[err.index("{") : err.rindex("}") + 1]
+        snap = json.loads(payload)
+        assert snap["counters"]["repro.batch.pairs"] == 4
+        assert snap["counters"]["repro.batch.failures"] == 1

@@ -156,3 +156,80 @@ def test_stats_leaves_registry_clean(files, capsys):
     capsys.readouterr()
     assert not obs.enabled()
     assert all(v == 0 for v in obs.snapshot()["counters"].values())
+
+
+# -- error handling: one-line diagnostics, exit status 2 ---------------------
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(:\n")
+    return bad
+
+
+def _assert_one_line_diagnostic(capsys, path):
+    err = capsys.readouterr().err
+    assert err.startswith("repro: "), err
+    assert str(path) in err
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
+@pytest.mark.parametrize("command", ["diff", "stats", "compare"])
+def test_unparseable_after_file(command, files, bad_file, capsys):
+    before, _ = files
+    assert main([command, str(before), str(bad_file)]) == 2
+    _assert_one_line_diagnostic(capsys, bad_file)
+
+
+@pytest.mark.parametrize("command", ["diff", "stats", "compare"])
+def test_unparseable_before_file(command, files, bad_file, capsys):
+    _, after = files
+    assert main([command, str(bad_file), str(after)]) == 2
+    _assert_one_line_diagnostic(capsys, bad_file)
+
+
+def test_syntax_error_names_the_line(files, bad_file, capsys):
+    before, _ = files
+    assert main(["diff", str(before), str(bad_file)]) == 2
+    assert "(line 1)" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("command", ["diff", "stats", "compare"])
+def test_missing_file(command, files, tmp_path, capsys):
+    before, _ = files
+    missing = tmp_path / "missing.py"
+    assert main([command, str(before), str(missing)]) == 2
+    _assert_one_line_diagnostic(capsys, missing)
+
+
+def test_unreadable_file(files, tmp_path, capsys):
+    # a directory is unreadable as a file on every platform and for every
+    # uid (chmod-based tests are moot when the suite runs as root)
+    before, _ = files
+    assert main(["diff", str(before), str(tmp_path)]) == 2
+    _assert_one_line_diagnostic(capsys, tmp_path)
+
+
+def test_not_utf8_file(files, tmp_path, capsys):
+    before, _ = files
+    binary = tmp_path / "binary.py"
+    binary.write_bytes(b"\xff\xfe\x00\x01")
+    assert main(["diff", str(before), str(binary)]) == 2
+    _assert_one_line_diagnostic(capsys, binary)
+
+
+def test_apply_bad_before(bad_file, tmp_path, capsys):
+    script = tmp_path / "script.json"
+    script.write_text('{"format": "truechange/1", "edits": []}')
+    assert main(["apply", str(bad_file), str(script)]) == 2
+    _assert_one_line_diagnostic(capsys, bad_file)
+
+
+def test_apply_malformed_script(files, tmp_path, capsys):
+    before, _ = files
+    script = tmp_path / "script.json"
+    script.write_text("not json {")
+    assert main(["apply", str(before), str(script)]) == 2
+    _assert_one_line_diagnostic(capsys, script)

@@ -1,0 +1,140 @@
+"""Regression tests: type-aware literal equivalence (`1` vs `True`).
+
+Python's ``==``/``hash`` conflate values across types (``1 == True``,
+``0 == False``, ``1.0 == 1``), so a diff built on plain tuple equality
+returns an *empty* script for ``x = 1`` -> ``x = True`` and patching
+silently yields the wrong program — violating the reproduction
+guarantee of Theorem 4.1.  These tests pin the type-aware semantics at
+every layer: the key/equality helpers, the literal digests, the diff
+itself, and script application.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adapters import parse_python, unparse_python
+from repro.core import apply_script, diff
+from repro.core.tree import literal_eq, literal_key, lits_equal
+
+#: Every cross-type pair Python's ``==`` conflates, in source form.
+CONFLATING_SOURCES = [
+    ("x = 1", "x = True"),
+    ("x = 0", "x = False"),
+    ("x = 1.0", "x = 1"),
+    ("x = b'a'", "x = 'a'"),  # conflate-adjacent: bytes-vs-str wire safety
+]
+
+BIDIRECTIONAL = [p for a, b in CONFLATING_SOURCES for p in [(a, b), (b, a)]]
+
+
+# -- helper-level semantics --------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "a, b",
+    [(1, True), (0, False), (1.0, 1), (1.0, True), (b"a", "a"), ("", b"")],
+)
+def test_literal_eq_rejects_cross_type_pairs(a, b):
+    assert not literal_eq(a, b)
+    assert literal_key(a) != literal_key(b)
+
+
+def test_literal_eq_accepts_same_type_equal_values():
+    assert literal_eq(1, 1)
+    assert literal_eq(True, True)
+    assert literal_eq("a", "a")
+    assert literal_eq((1, "x"), (1, "x"))
+
+
+def test_literal_eq_nested_containers():
+    assert not literal_eq((1,), (True,))
+    assert not literal_eq((0, (1,)), (0, (True,)))
+    assert not literal_eq(((1,),), ((True,),))
+    assert literal_eq(((1,), "a"), ((1,), "a"))
+    assert not literal_eq(frozenset({1}), frozenset({True}))
+    assert literal_eq(frozenset({1, 2}), frozenset({2, 1}))
+
+
+def test_literal_eq_float_fidelity():
+    # same type, `==`-equal, but different source literals
+    assert not literal_eq(0.0, -0.0)
+    # NaN is self-unequal under ==, but it is the same literal
+    assert literal_eq(float("nan"), float("nan"))
+    assert literal_eq(complex(1, float("nan")), complex(1, float("nan")))
+
+
+def test_lits_equal_tuples():
+    assert lits_equal((1, "a"), (1, "a"))
+    assert not lits_equal((1,), (True,))
+    assert not lits_equal((1,), (1, 2))
+    nan = float("nan")
+    assert lits_equal((nan,), (float("nan"),))
+
+
+# -- hash-level semantics ----------------------------------------------------
+
+
+@pytest.mark.parametrize("before, after", BIDIRECTIONAL)
+def test_literal_hashes_distinguish_conflating_pairs(before, after):
+    assert parse_python(before).literal_hash != parse_python(after).literal_hash
+
+
+def test_literal_hash_tags_custom_types():
+    """Two distinct literal types with colliding reprs must not share a
+    literal hash (the digest includes the concrete type name)."""
+    from repro.core.tree import _lit_fingerprint
+
+    class A:
+        def __repr__(self):
+            return "<lit>"
+
+    class B:
+        def __repr__(self):
+            return "<lit>"
+
+    assert _lit_fingerprint((A(),)) != _lit_fingerprint((B(),))
+
+
+# -- end-to-end: diff + patch reproduce the target ---------------------------
+
+
+@pytest.mark.parametrize("before, after", BIDIRECTIONAL)
+def test_diff_emits_nonempty_script(before, after):
+    src, dst = parse_python(before), parse_python(after)
+    script, patched = diff(src, dst)
+    assert len(script) > 0, f"empty script for {before!r} -> {after!r}"
+    assert patched.tree_equal(dst)
+    assert unparse_python(patched) == after
+
+
+@pytest.mark.parametrize("before, after", BIDIRECTIONAL)
+def test_apply_script_reproduces_target(before, after):
+    src, dst = parse_python(before), parse_python(after)
+    script, _ = diff(src, dst)
+    rebuilt = apply_script(src, script)
+    assert unparse_python(rebuilt) == after
+
+
+def test_nan_and_inf_self_diffs_are_empty():
+    for text in ("x = float('nan')", "x = 1e999", "x = -1e999"):
+        script, patched = diff(parse_python(text), parse_python(text))
+        assert len(script) == 0
+        assert unparse_python(patched) == unparse_python(parse_python(text))
+
+
+def test_conflating_literals_inside_collections():
+    before, after = "x = (1, 2)", "x = (True, 2)"
+    src, dst = parse_python(before), parse_python(after)
+    script, patched = diff(src, dst)
+    assert len(script) > 0
+    assert unparse_python(patched) == after
+
+
+def test_negative_zero_is_not_positive_zero():
+    src, dst = parse_python("x = 0.0"), parse_python("x = -0.0")
+    script, patched = diff(src, dst)
+    assert len(script) > 0
+    assert unparse_python(patched) == "x = -0.0"

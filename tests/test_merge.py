@@ -166,3 +166,111 @@ class TestMergeProperties:
         assert_well_typed(base.sigs, result.script)
         mt = tnode_to_mtree(base)
         mt.patch(result.script)  # must not raise
+
+
+class TestFreshURIRenaming:
+    """merge_scripts renames ∆₂'s freshly loaded URIs away from ∆₁'s."""
+
+    def _replace_child(self, base, link, kid, parent_uri, kid_uri, n):
+        """A primitive-edit script replacing ``base.<link>`` by
+        ``Sub(Num(n), <old child>)`` with handcrafted fresh URIs."""
+        from repro.core import Attach, Detach, EditScript, Load, Node
+
+        return EditScript(
+            [
+                Detach(kid.node, link, base.node),
+                Load(Node("Num", kid_uri), (), (("n", n),)),
+                Load(Node("Sub", parent_uri), (("e1", kid_uri), ("e2", kid.uri)), ()),
+                Attach(Node("Sub", parent_uri), link, base.node),
+            ]
+        )
+
+    def test_overlapping_fresh_uris_renamed_and_rewired(self):
+        """Both scripts load the same fresh URIs {900, 901}; the merged
+        script must keep them unique AND keep the renamed parent's kid
+        reference pointing at the renamed kid."""
+        from repro.core import Load, Node, URIGen
+
+        e = EXP
+        base = e.Add(e.Num(1), e.Num(2))
+        n1, n2 = base.kids
+        s1 = self._replace_child(base, "e1", n1, 900, 901, 7)
+        s2 = self._replace_child(base, "e2", n2, 900, 901, 8)
+
+        result = merge_scripts(s1, s2, urigen=URIGen(start=5000))
+        assert result.ok, result.conflicts
+
+        loads = [ed for ed in result.script.primitives() if isinstance(ed, Load)]
+        loaded_uris = [ed.node.uri for ed in loads]
+        assert len(loaded_uris) == len(set(loaded_uris)), loaded_uris
+
+        # the renamed Sub still wires its e1 slot to the renamed Num
+        renamed_subs = [
+            ed for ed in loads if ed.node.tag == "Sub" and ed.node.uri != 900
+        ]
+        assert len(renamed_subs) == 1
+        renamed_num = [
+            ed for ed in loads if ed.node.tag == "Num" and ed.node.uri not in (900, 901)
+        ]
+        assert len(renamed_num) == 1
+        kids = dict(renamed_subs[0].kids)
+        assert kids["e1"] == renamed_num[0].node.uri
+        assert kids["e2"] == n2.uri
+
+        assert_well_typed(base.sigs, result.script)
+        mt = tnode_to_mtree(base)
+        mt.patch(result.script)
+        assert mt.structure_equals(
+            tnode_to_mtree(
+                e.Add(e.Sub(e.Num(7), e.Num(1)), e.Sub(e.Num(8), e.Num(2)))
+            )
+        )
+
+    def test_non_int_uris_skipped_in_seed(self):
+        """The default-urigen seed is max over the *int* loaded URIs;
+        string URIs must not break the max(...) computation, and renamed
+        URIs must start above every int one."""
+        from repro.core import EditScript, Load, Node
+
+        s1 = EditScript(
+            [
+                Load(Node("Var", "fresh-a"), (), (("name", "x"),)),
+                Load(Node("Var", 150), (), (("name", "y"),)),
+            ]
+        )
+        s2 = EditScript(
+            [
+                Load(Node("Var", "fresh-a"), (), (("name", "z"),)),
+                Load(Node("Var", 120), (), (("name", "w"),)),
+            ]
+        )
+        result = merge_scripts(s1, s2)
+        assert result.ok
+        uris = [ed.node.uri for ed in result.script if isinstance(ed, Load)]
+        assert uris[:2] == ["fresh-a", 150]
+        # s2's colliding "fresh-a" was renamed above max(150, 120)
+        assert uris[2] == 151
+        assert uris[3] == 120
+        assert len(set(uris)) == 4
+
+    def test_all_non_int_uris_default_seed(self):
+        """With only non-int loaded URIs the seed falls back to 0, so the
+        first renamed URI is 1."""
+        from repro.core import EditScript, Load, Node
+
+        s1 = EditScript([Load(Node("Var", "dup"), (), (("name", "x"),))])
+        s2 = EditScript([Load(Node("Var", "dup"), (), (("name", "y"),))])
+        result = merge_scripts(s1, s2)
+        assert result.ok
+        uris = [ed.node.uri for ed in result.script if isinstance(ed, Load)]
+        assert uris == ["dup", 1]
+
+    def test_disjoint_loads_not_renamed(self):
+        from repro.core import EditScript, Load, Node
+
+        s1 = EditScript([Load(Node("Var", 10), (), (("name", "x"),))])
+        s2 = EditScript([Load(Node("Var", 20), (), (("name", "y"),))])
+        result = merge_scripts(s1, s2)
+        assert result.ok
+        uris = [ed.node.uri for ed in result.script if isinstance(ed, Load)]
+        assert uris == [10, 20]

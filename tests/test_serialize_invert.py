@@ -80,6 +80,81 @@ class TestSerialization:
         with pytest.raises(SerializationError):
             script_to_json(s)
 
+    # -- strict JSON: non-finite floats are tag-encoded ---------------------
+
+    @staticmethod
+    def _strict_loads(text: str):
+        """A loader that rejects the NaN/Infinity extension, like every
+        non-Python JSON parser."""
+
+        def refuse(token: str):
+            raise AssertionError(f"non-strict JSON token {token!r} emitted")
+
+        import json
+
+        return json.loads(text, parse_constant=refuse)
+
+    def nonfinite_script(self) -> EditScript:
+        nan, inf = float("nan"), float("inf")
+        return EditScript(
+            [
+                Load(Node("Constant", 1), (), (("value", nan), ("kind", None))),
+                Load(Node("Constant", 2), (), (("value", inf), ("kind", None))),
+                Load(Node("Constant", 3), (), (("value", -inf), ("kind", None))),
+                Load(Node("Constant", 4), (), (("value", (nan, inf, 1.5)), ("kind", None))),
+                Load(
+                    Node("Constant", 5),
+                    (),
+                    (("value", complex(nan, -inf)), ("kind", None)),
+                ),
+                Update(Node("Constant", 1), (("v", nan),), (("v", 2.0),)),
+            ]
+        )
+
+    def test_nonfinite_floats_emit_strict_json(self):
+        text = script_to_json(self.nonfinite_script())
+        doc = self._strict_loads(text)  # raises on NaN/Infinity tokens
+        assert doc["format"] == "truechange/1"
+        for token in ("NaN", "Infinity", "-Infinity"):
+            assert f": {token}" not in text
+
+    def test_nonfinite_floats_round_trip(self):
+        import math
+
+        s = self.nonfinite_script()
+        restored = script_from_json(script_to_json(s))
+        lits = dict(restored[0].lits)
+        assert math.isnan(lits["value"]) and isinstance(lits["value"], float)
+        assert dict(restored[1].lits)["value"] == math.inf
+        assert dict(restored[2].lits)["value"] == -math.inf
+        tup = dict(restored[3].lits)["value"]
+        assert math.isnan(tup[0]) and tup[1] == math.inf and tup[2] == 1.5
+        cplx = dict(restored[4].lits)["value"]
+        assert math.isnan(cplx.real) and cplx.imag == -math.inf
+        assert math.isnan(dict(restored[5].old_lits)["v"])
+
+    def test_nonfinite_from_real_source(self):
+        """A diff whose scripts carry nan/inf literals serializes strictly
+        and patches back to the target."""
+        from repro.adapters import parse_python, unparse_python
+        from repro.core import apply_script
+
+        src = parse_python("x = 1.0")
+        dst = parse_python("x = (float('nan'), 1e999)\ny = -1e999")
+        script, _ = diff(src, dst)
+        restored = script_from_json(script_to_json(script))
+        self._strict_loads(script_to_json(script))
+        patched = apply_script(src, restored)
+        assert unparse_python(patched) == unparse_python(dst)
+
+    def test_bad_float_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            script_from_json(
+                '{"format": "truechange/1", "edits": [{"op": "load", '
+                '"node": ["C", 1], "kids": [], '
+                '"lits": [["v", {"$float": "huge"}]]}]}'
+            )
+
 
 class TestInversion:
     def test_edit_inverses(self):
