@@ -75,3 +75,36 @@ def test_patch_cost_scales_with_script_size(benchmark):
     script, _ = diff(src, dst)
     mt_proto = tnode_to_mtree(src)
     benchmark(lambda: mt_proto.copy().patch(script))
+
+
+def test_atomic_patch_overhead_is_bounded(benchmark):
+    """Transactional patching (pre-flight linear typecheck + undo
+    journal) stays within a constant factor of the plain path on the
+    copy+patch workload.
+
+    The tracked baseline (BENCH_truediff.json, ``robustness`` section)
+    records the precise overhead on the frozen corpus; the assertion
+    here is deliberately loose (1.75x on best-of timings) so CI noise
+    cannot fail it while a super-constant regression still does.
+    """
+    src, dst = _pair(32, seed=7, edits=16)
+    script, _ = diff(src, dst)
+    mt_proto = tnode_to_mtree(src)
+    sigs = src.sigs
+
+    def best(fn, repeats: int = 30) -> float:
+        best_s = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best_s = min(best_s, time.perf_counter() - t0)
+        return best_s
+
+    plain = best(lambda: mt_proto.copy().patch(script))
+    atomic = best(lambda: mt_proto.copy().patch(script, atomic=True, sigs=sigs))
+    ratio = atomic / plain
+    print(f"\n== Atomic patch overhead: {ratio:.2f}x (plain {plain * 1000:.3f} ms, "
+          f"atomic {atomic * 1000:.3f} ms) ==")
+    assert ratio < 1.75, (plain, atomic)
+
+    benchmark(lambda: mt_proto.copy().patch(script, atomic=True, sigs=sigs))

@@ -8,8 +8,12 @@ Usage::
     python -m repro diff before.py after.py --metrics  # instrument the run
     python -m repro stats before.py after.py           # pass-by-pass report
     python -m repro apply before.py script.json        # patch and unparse
+    python -m repro apply before.py script.json --atomic --verify
+    python -m repro verify file.py                     # tree integrity check
+    python -m repro verify file.py --script script.json
     python -m repro compare before.py after.py         # all tools side by side
     python -m repro batch old/ new/ --workers 4 --out results.jsonl
+    python -m repro batch old/ new/ --fallback-replace # degrade, don't fail
 
 ``--metrics`` enables the observability layer around the diff and dumps
 the registry to stderr (``--metrics=json`` / ``--metrics=prom`` select
@@ -168,13 +172,22 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_apply(args: argparse.Namespace) -> int:
+    from repro.core import PatchError
+
     src = _parse_file(args.before).with_canonical_uris()
     try:
         script = script_from_json(_read(args.script))
     except SerializationError as exc:
         raise CLIError(args.script, str(exc)) from None
     mtree = tnode_to_mtree(src)
-    mtree.patch(script)
+    try:
+        if args.atomic or args.verify:
+            mtree.patch(script, atomic=True, sigs=src.sigs, verify=args.verify)
+        else:
+            mtree.patch(script)
+    except PatchError as exc:
+        print(f"repro: apply: {exc}", file=sys.stderr)
+        return 1
     # rebuild a TNode from the patched MTree to unparse it
     from repro.adapters.pyast import python_grammar
 
@@ -182,6 +195,38 @@ def cmd_apply(args: argparse.Namespace) -> int:
     rebuilt = g.grammar.parse_tuple(mtree.to_tuple())
     print(unparse_python(rebuilt))
     return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Check tree integrity, optionally after an atomic patch.
+
+    Exit status: 0 if the tree verifies, 1 on violations or a rejected
+    patch, 2 for unusable inputs.
+    """
+    from repro.core import PatchError
+    from repro.robustness import check_tree
+
+    src = _parse_file(args.file).with_canonical_uris()
+    mtree = tnode_to_mtree(src)
+    if args.script:
+        try:
+            script = script_from_json(_read(args.script))
+        except SerializationError as exc:
+            raise CLIError(args.script, str(exc)) from None
+        try:
+            mtree.patch(script, atomic=True, sigs=src.sigs)
+        except PatchError as exc:
+            print(f"repro: verify: patch rejected: {exc}", file=sys.stderr)
+            return 1
+    violations = check_tree(mtree, src.sigs, max_violations=args.max_violations)
+    for violation in violations:
+        print(violation)
+    status = f"{len(violations)} violation(s)" if violations else "ok"
+    print(
+        f"repro: verify: {args.file}: {status} ({mtree.node_count()} nodes)",
+        file=sys.stderr,
+    )
+    return 1 if violations else 0
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
@@ -220,6 +265,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         timeout_s=args.timeout if args.timeout > 0 else None,
         retries=args.retries,
         chunksize=args.chunksize,
+        fallback_replace=args.fallback_replace,
     )
     if args.metrics:
         obs.enable()
@@ -240,8 +286,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
             obs.disable()
             obs.reset()
     s = summary.as_dict()
+    degraded = f"{s['degraded']} degraded, " if s["degraded"] else ""
     print(
-        f"repro: batch: {s['ok']}/{s['pairs']} ok, {s['failed']} failed "
+        f"repro: batch: {s['ok']}/{s['pairs']} ok, {degraded}{s['failed']} failed "
         f"({', '.join(f'{k}={v}' for k, v in s['failures_by_kind'].items()) or 'none'}), "
         f"{s['retried']} retried; {s['workers']} worker(s), "
         f"{s['elapsed_s']:.2f}s, {s['pairs_per_sec']:.1f} pairs/s",
@@ -251,7 +298,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         with open(args.summary, "w", encoding="utf8") as fh:
             json.dump(s, fh, indent=2, sort_keys=True)
             fh.write("\n")
-    return 1 if summary.pairs > 0 and summary.ok == 0 else 0
+    produced = summary.ok + summary.degraded
+    return 1 if summary.pairs > 0 and produced == 0 else 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -331,7 +379,36 @@ def main(argv: list[str] | None = None) -> int:
     p_apply = sub.add_parser("apply", help="apply a truechange JSON script")
     p_apply.add_argument("before")
     p_apply.add_argument("script")
+    p_apply.add_argument(
+        "--atomic",
+        action="store_true",
+        help="pre-flight typecheck the script and roll back on any failure",
+    )
+    p_apply.add_argument(
+        "--verify",
+        action="store_true",
+        help="verify tree integrity after patching (implies --atomic)",
+    )
     p_apply.set_defaults(func=cmd_apply)
+
+    p_verify = sub.add_parser(
+        "verify", help="check the structural integrity of a parsed tree"
+    )
+    p_verify.add_argument("file")
+    p_verify.add_argument(
+        "--script",
+        default=None,
+        metavar="PATH",
+        help="atomically apply this truechange JSON script before verifying",
+    )
+    p_verify.add_argument(
+        "--max-violations",
+        type=int,
+        default=100,
+        metavar="N",
+        help="stop reporting after N violations (default 100)",
+    )
+    p_verify.set_defaults(func=cmd_verify)
 
     p_batch = sub.add_parser(
         "batch", help="diff a corpus of file pairs in parallel, emitting JSONL rows"
@@ -364,6 +441,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_batch.add_argument(
         "--chunksize", type=int, default=8, help="pairs per pool task (amortizes pickling)"
+    )
+    p_batch.add_argument(
+        "--fallback-replace",
+        action="store_true",
+        help="degrade internal diff errors to verified replace-root scripts "
+        "instead of failure rows",
     )
     p_batch.add_argument(
         "--out", default=None, metavar="PATH", help="write JSONL rows to PATH (default stdout)"

@@ -14,7 +14,7 @@ from .driver import (
     read_pairs_file,
     run_batch,
 )
-from .worker import RETRYABLE_KINDS, diff_pair, run_chunk
+from .worker import RETRYABLE_KINDS, diff_pair, diff_pair_degrading, run_chunk
 
 __all__ = [
     "BatchConfig",
@@ -22,6 +22,7 @@ __all__ = [
     "DEFAULT_CONFIG",
     "RETRYABLE_KINDS",
     "diff_pair",
+    "diff_pair_degrading",
     "discover_pairs",
     "read_pairs_file",
     "run_batch",

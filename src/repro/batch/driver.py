@@ -47,13 +47,16 @@ class BatchConfig:
     runs the serial in-process loop (no pool, no pickling) — the
     baseline the scaling benchmark compares against.  ``timeout_s=None``
     disables the per-pair budget; ``retries`` bounds re-submission of
-    timeout/crash failures.
+    timeout/crash failures.  ``fallback_replace`` degrades internal diff
+    errors to verified replace-root scripts (``status="degraded"`` rows)
+    instead of failure rows.
     """
 
     workers: int = 0
     timeout_s: Optional[float] = 30.0
     retries: int = 1
     chunksize: int = 8
+    fallback_replace: bool = False
 
     def resolved_workers(self) -> int:
         if self.workers > 0:
@@ -70,6 +73,7 @@ class BatchSummary:
 
     pairs: int = 0
     ok: int = 0
+    degraded: int = 0
     failed: int = 0
     retried: int = 0
     failures_by_kind: dict[str, int] = field(default_factory=dict)
@@ -91,6 +95,7 @@ class BatchSummary:
         return {
             "pairs": self.pairs,
             "ok": self.ok,
+            "degraded": self.degraded,
             "failed": self.failed,
             "retried": self.retried,
             "failures_by_kind": dict(sorted(self.failures_by_kind.items())),
@@ -183,6 +188,11 @@ class _RowSink:
             s.ok += 1
             s.edits += row["edits"]
             s.nodes += row["src_nodes"] + row["dst_nodes"]
+        elif row["status"] == "degraded":
+            # a verified replace-root script was emitted for this pair
+            s.degraded += 1
+            s.edits += row["edits"]
+            s.nodes += row["src_nodes"] + row["dst_nodes"]
         else:
             s.failed += 1
             kind = row.get("error_kind", "internal")
@@ -190,7 +200,9 @@ class _RowSink:
         if OBS.enabled:
             m = _metrics()
             m.counter("repro.batch.pairs").inc()
-            if row["status"] != "ok":
+            if row["status"] == "degraded":
+                m.counter("repro.batch.degraded").inc()
+            elif row["status"] != "ok":
                 m.counter("repro.batch.failures").inc()
             m.histogram("repro.batch.worker.ms").observe(row.get("total_ms") or 0.0)
         if self.emit is not None:
@@ -328,6 +340,10 @@ def run_batch(
     crashing functions to exercise the isolation machinery); it must be
     a picklable top-level callable.
     """
+    if pair_fn is None and config.fallback_replace:
+        from .worker import diff_pair_degrading
+
+        pair_fn = diff_pair_degrading
     pair_list = [(str(b), str(a)) for b, a in pairs]
     summary = BatchSummary(workers=1 if config.workers == 1 else config.resolved_workers())
     sink = _RowSink(summary, emit)

@@ -66,17 +66,91 @@ def _failure_row(
     }
 
 
-def diff_pair(before: str, after: str) -> dict[str, Any]:
+def _edit_mix(script) -> dict[str, int]:
+    mix: dict[str, int] = {}
+    for edit in script.primitives():
+        kind = type(edit).__name__.lower()
+        mix[kind] = mix.get(kind, 0) + 1
+    return mix
+
+
+def _integrity_note(src, dst) -> str:
+    """Verifier verdict on both parsed trees of a failed pair — did the
+    differ fail on sound input, or was the tree itself broken?"""
+    from repro.core import tnode_to_mtree
+    from repro.robustness import check_tree
+
+    notes = []
+    for name, tree in (("src", src), ("dst", dst)):
+        try:
+            violations = check_tree(tnode_to_mtree(tree), tree.sigs)
+        except Exception as exc:  # pragma: no cover - verifier must not throw
+            notes.append(f"{name}: verifier error ({exc})")
+            continue
+        if violations:
+            notes.append(f"{name}: {len(violations)} violation(s): {violations[0]}")
+        else:
+            notes.append(f"{name}: ok")
+    return "; ".join(notes)
+
+
+def _degraded_row(
+    before: str, after: str, src, dst, exc: BaseException,
+    parse_ms: float, started: float,
+) -> Optional[dict[str, Any]]:
+    """A replace-root fallback row, or None if even that fails.
+
+    The fallback script is not trusted: it is applied atomically to a
+    fresh tree and verified before the row is emitted.
+    """
+    from repro.core import tnode_to_mtree
+    from repro.robustness import replace_root_script
+
+    try:
+        script = replace_root_script(src, dst)
+        mt = tnode_to_mtree(src)
+        mt.patch(script, atomic=True, sigs=src.sigs, verify=True)
+        if not mt.structure_equals(tnode_to_mtree(dst)):
+            return None
+    except PairTimeout:
+        raise  # the pair's wall-clock budget expired; report the timeout
+    except Exception:
+        return None
+    return {
+        "before": before,
+        "after": after,
+        "status": "degraded",
+        "fallback": "replace_root",
+        "error_kind": _classify(exc),
+        "error": _one_line(exc),
+        "edits": len(script),
+        "edit_mix": _edit_mix(script),
+        "src_nodes": src.size,
+        "dst_nodes": dst.size,
+        "parse_ms": round(parse_ms, 3),
+        "total_ms": round((time.perf_counter() - started) * 1000, 3),
+    }
+
+
+def diff_pair(
+    before: str, after: str, fallback_replace: bool = False
+) -> dict[str, Any]:
     """Diff one file pair; always returns a result row, never raises.
 
     The row records script size, the edit mix (primitive edit kinds),
     node counts, and parse/diff timings — the per-pair quantities of the
     paper's corpus evaluation (Section 6).
+
+    ``fallback_replace=True`` degrades gracefully when the *differ* fails
+    on parseable input (``internal`` errors only — syntax/io/timeout
+    failures keep their failure rows): the pair gets a trivial,
+    verified replace-root script and a ``status="degraded"`` row carrying
+    the original error.  Internal failures additionally record the
+    integrity verdict of both parsed trees in ``row["integrity"]``.
     """
     started = time.perf_counter()
     try:
         from repro.adapters.pyast import parse_python
-        from repro.core import diff
 
         with open(before, encoding="utf8") as fh:
             before_text = fh.read()
@@ -87,6 +161,11 @@ def diff_pair(before: str, after: str) -> dict[str, Any]:
         src = parse_python(before_text, before)
         dst = parse_python(after_text, after)
         parse_ms = (time.perf_counter() - t0) * 1000
+    except Exception as exc:
+        return _failure_row(before, after, exc, started)
+
+    try:
+        from repro.core import diff
 
         t0 = time.perf_counter()
         script, patched = diff(src, dst)
@@ -95,16 +174,12 @@ def diff_pair(before: str, after: str) -> dict[str, Any]:
         if not patched.tree_equal(dst):  # pragma: no cover - soundness net
             raise AssertionError("patched tree does not equal the target")
 
-        mix: dict[str, int] = {}
-        for edit in script.primitives():
-            kind = type(edit).__name__.lower()
-            mix[kind] = mix.get(kind, 0) + 1
         return {
             "before": before,
             "after": after,
             "status": "ok",
             "edits": len(script),
-            "edit_mix": mix,
+            "edit_mix": _edit_mix(script),
             "src_nodes": src.size,
             "dst_nodes": dst.size,
             "parse_ms": round(parse_ms, 3),
@@ -112,7 +187,24 @@ def diff_pair(before: str, after: str) -> dict[str, Any]:
             "total_ms": round((time.perf_counter() - started) * 1000, 3),
         }
     except Exception as exc:
+        kind = _classify(exc)
+        if kind == "internal":
+            if fallback_replace:
+                row = _degraded_row(
+                    before, after, src, dst, exc, parse_ms, started
+                )
+                if row is not None:
+                    return row
+            failure = _failure_row(before, after, exc, started)
+            failure["integrity"] = _integrity_note(src, dst)
+            return failure
         return _failure_row(before, after, exc, started)
+
+
+def diff_pair_degrading(before: str, after: str) -> dict[str, Any]:
+    """:func:`diff_pair` with the replace-root fallback enabled — a
+    picklable top-level ``pair_fn`` for the pool driver."""
+    return diff_pair(before, after, fallback_replace=True)
 
 
 def _timeout_supported() -> bool:

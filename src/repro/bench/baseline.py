@@ -51,6 +51,14 @@ machines the parallel measurement is recorded as ``null`` rather than
 measuring pool overhead as if it were the feature.  The regression gate
 still compares the disabled-metrics ``warm_diff_nodes_per_sec`` only.
 
+Since PR 4 the document also records a **robustness section** (schema
+v4): copy+patch throughput on the frozen corpus for the plain and the
+transactional (``atomic=True``) patch paths, the resulting atomic
+overhead percentage (the pre-flight linear typecheck plus the undo
+journal), and the integrity verifier's nodes/sec
+(:func:`repro.robustness.check_tree`).  The regression gate still
+compares the disabled-metrics ``warm_diff_nodes_per_sec`` only.
+
 Run ``python -m repro.bench.baseline --out BENCH_truediff.json`` to
 regenerate, or ``--check BENCH_truediff.json`` in CI to fail on a >30%
 warm-diff regression against the checked-in numbers (same-machine
@@ -74,7 +82,7 @@ from repro.corpus.generator import GeneratorConfig
 
 # -- the frozen corpus recipe (do not change; see module docstring) ----------
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 N_MODULES = 4
 N_VERSIONS = 4
 N_EDITS = 3
@@ -362,6 +370,73 @@ def _measure_batch(sources: list[list[str]]) -> dict:
     }
 
 
+def _measure_robustness(modules: list[list[TNode]]) -> dict:
+    """Copy+patch throughput, plain vs transactional, plus verifier rate.
+
+    Plain and atomic repetitions are interleaved so container drift
+    cancels out of the overhead ratio.  Each timed region includes the
+    ``MTree.copy()`` (the patch target must be fresh every repetition),
+    matching how a caller that keeps its source tree applies a script.
+    """
+    from repro.core import tnode_to_mtree
+    from repro.robustness import check_tree
+
+    plain_total = 0.0
+    atomic_total = 0.0
+    patch_nodes = 0
+    total_edits = 0
+    n_scripts = 0
+    verify_total = 0.0
+    verify_nodes = 0
+    with _gc_paused():
+        for versions in modules:
+            for src, dst in zip(versions, versions[1:]):
+                a, b = _rebuild(src), _rebuild(dst)
+                script, _ = diff(a, b)
+                base = tnode_to_mtree(a)
+                sigs = a.sigs
+                best_plain: Optional[float] = None
+                best_atomic: Optional[float] = None
+                for _ in range(BEST_OF):
+                    mt = base.copy()
+                    t0 = time.perf_counter()
+                    mt.copy().patch(script)
+                    elapsed = time.perf_counter() - t0
+                    if best_plain is None or elapsed < best_plain:
+                        best_plain = elapsed
+                    t0 = time.perf_counter()
+                    mt.copy().patch(script, atomic=True, sigs=sigs)
+                    elapsed = time.perf_counter() - t0
+                    if best_atomic is None or elapsed < best_atomic:
+                        best_atomic = elapsed
+                plain_total += best_plain
+                atomic_total += best_atomic
+                patch_nodes += a.size
+                total_edits += len(script)
+                n_scripts += 1
+
+                best_verify: Optional[float] = None
+                for _ in range(BEST_OF):
+                    t0 = time.perf_counter()
+                    violations = check_tree(base, sigs)
+                    elapsed = time.perf_counter() - t0
+                    assert not violations, "frozen corpus trees must verify"
+                    if best_verify is None or elapsed < best_verify:
+                        best_verify = elapsed
+                verify_total += best_verify
+                verify_nodes += a.size
+    return {
+        "scripts": n_scripts,
+        "edits": total_edits,
+        "patch_plain_nodes_per_sec": round(patch_nodes / plain_total),
+        "patch_atomic_nodes_per_sec": round(patch_nodes / atomic_total),
+        "atomic_overhead_pct": round(
+            (atomic_total - plain_total) / plain_total * 100.0, 2
+        ),
+        "verify_nodes_per_sec": round(verify_nodes / verify_total),
+    }
+
+
 def measure(scheme: str = "blake2b") -> dict:
     """Run all metrics under ``scheme`` and return the results document."""
     with hash_scheme(scheme):
@@ -385,6 +460,7 @@ def measure(scheme: str = "blake2b") -> dict:
         )
         observability = _measure_observability(modules, warm_rate)
         batch = _measure_batch(sources)
+        robustness = _measure_robustness(modules)
     return {
         "schema_version": SCHEMA_VERSION,
         "tool": "truediff",
@@ -400,6 +476,7 @@ def measure(scheme: str = "blake2b") -> dict:
         "metrics": metrics,
         "observability": observability,
         "batch": batch,
+        "robustness": robustness,
         "seed_reference": SEED_REFERENCE,
         "pr1_reference": PR1_REFERENCE,
     }

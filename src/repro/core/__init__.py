@@ -49,11 +49,17 @@ from .serialize import (
     script_to_json,
 )
 from .mtree import (
+    ArityMismatchError,
     ComplianceError,
+    DetachMismatchError,
     MNode,
     MTree,
     PatchError,
+    SlotOccupiedError,
     TypingViolation,
+    UnknownLinkError,
+    UnknownUriError,
+    UriConflictError,
     check_syntactic_compliance,
     mnode_well_typed,
     mtree_well_typed,
@@ -101,8 +107,14 @@ from .uris import ROOT_URI, URI, URIGen
 
 __all__ = [
     "ANY",
+    "ArityMismatchError",
     "Attach",
     "CLOSED_STATE",
+    "DetachMismatchError",
+    "SlotOccupiedError",
+    "UnknownLinkError",
+    "UnknownUriError",
+    "UriConflictError",
     "ComplianceError",
     "Constructor",
     "DEFAULT_OPTIONS",

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import chain
-from typing import Any, Iterable, Iterator, Union
+from typing import Any, Callable, Iterable, Iterator, Union
 
 from .node import Link, Node
 from .uris import URI
@@ -154,6 +154,51 @@ Edit = Union[PrimitiveEdit, Insert, Remove]
 
 NEGATIVE_EDITS = (Detach, Unload, Remove)
 POSITIVE_EDITS = (Attach, Load, Insert)
+
+
+def _rebuild_edit(
+    edit: Edit,
+    node_fn: Callable[[Node], Node],
+    kids_fn: Callable[[Kids], Kids],
+) -> Edit:
+    """Rebuild an edit with its node references and kid bindings mapped."""
+    if isinstance(edit, Detach):
+        return Detach(node_fn(edit.node), edit.link, node_fn(edit.parent))
+    if isinstance(edit, Attach):
+        return Attach(node_fn(edit.node), edit.link, node_fn(edit.parent))
+    if isinstance(edit, Load):
+        return Load(node_fn(edit.node), kids_fn(edit.kids), edit.lits)
+    if isinstance(edit, Unload):
+        return Unload(node_fn(edit.node), kids_fn(edit.kids), edit.lits)
+    if isinstance(edit, Update):
+        return Update(node_fn(edit.node), edit.old_lits, edit.new_lits)
+    if isinstance(edit, Insert):
+        return Insert(
+            node_fn(edit.node), kids_fn(edit.kids), edit.lits, edit.link, node_fn(edit.parent)
+        )
+    if isinstance(edit, Remove):
+        return Remove(
+            node_fn(edit.node), edit.link, node_fn(edit.parent), kids_fn(edit.kids), edit.lits
+        )
+    raise TypeError(f"unknown edit kind {type(edit).__name__}")
+
+
+def map_edit_uris(edit: Edit, fn: Callable[[URI], URI]) -> Edit:
+    """Rebuild ``edit`` with every URI it mentions passed through ``fn`` —
+    node and parent references as well as Load/Unload kid bindings.
+    Literal values and links are untouched.  Used by script merging (URI
+    renaming) and by the fault-injection corruptor (URI swapping)."""
+    return _rebuild_edit(
+        edit,
+        lambda n: Node(n.tag, fn(n.uri)),
+        lambda ks: tuple((l, fn(u)) for l, u in ks),
+    )
+
+
+def map_edit_nodes(edit: Edit, fn: Callable[[Node], Node]) -> Edit:
+    """Rebuild ``edit`` with every node reference (node and parent) passed
+    through ``fn``; kid bindings are left alone."""
+    return _rebuild_edit(edit, fn, lambda ks: ks)
 
 
 class EditScript:

@@ -30,13 +30,12 @@ from .edits import (
     Attach,
     Detach,
     EditScript,
-    Insert,
     Load,
-    Remove,
     Unload,
     Update,
+    map_edit_uris,
 )
-from .node import Link, Node
+from .node import Link
 from .uris import URI, URIGen
 
 
@@ -122,34 +121,9 @@ def _rename_loads(script: EditScript, urigen: URIGen, taken: set[URI]) -> EditSc
 
     if not mapping:
         return script
-
-    def node(n: Node) -> Node:
-        return Node(n.tag, mapping.get(n.uri, n.uri))
-
-    def kids(ks):
-        return tuple((l, mapping.get(u, u)) for l, u in ks)
-
-    out = []
-    for edit in script:
-        if isinstance(edit, Detach):
-            out.append(Detach(node(edit.node), edit.link, node(edit.parent)))
-        elif isinstance(edit, Attach):
-            out.append(Attach(node(edit.node), edit.link, node(edit.parent)))
-        elif isinstance(edit, Load):
-            out.append(Load(node(edit.node), kids(edit.kids), edit.lits))
-        elif isinstance(edit, Unload):
-            out.append(Unload(node(edit.node), kids(edit.kids), edit.lits))
-        elif isinstance(edit, Update):
-            out.append(Update(node(edit.node), edit.old_lits, edit.new_lits))
-        elif isinstance(edit, Insert):
-            out.append(
-                Insert(node(edit.node), kids(edit.kids), edit.lits, edit.link, node(edit.parent))
-            )
-        elif isinstance(edit, Remove):
-            out.append(
-                Remove(node(edit.node), edit.link, node(edit.parent), kids(edit.kids), edit.lits)
-            )
-    return EditScript(out)
+    return EditScript(
+        map_edit_uris(edit, lambda u: mapping.get(u, u)) for edit in script
+    )
 
 
 def merge_scripts(

@@ -20,11 +20,11 @@ concrete and randomly generated scripts.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from repro.observability import OBS, metrics as _metrics, span as _span
 
-from .edits import Attach, Detach, EditScript, Load, PrimitiveEdit, Unload, Update
+from .edits import Attach, Detach, Edit, EditScript, Load, PrimitiveEdit, Unload, Update
 from .node import Link, Node, ROOT_LINK, ROOT_NODE, ROOT_TAG
 from .signature import SignatureRegistry
 from .tree import literal_eq
@@ -34,7 +34,62 @@ from .uris import ROOT_URI, URI
 
 
 class PatchError(Exception):
-    """Patching failed (only possible for ill-typed or non-compliant scripts)."""
+    """Patching failed (only possible for ill-typed or non-compliant scripts).
+
+    Structured: carries the failing edit (``edit``), its primitive index in
+    the script (``edit_index``, assigned by :meth:`MTree.patch`), and
+    whether a transactional application undid all prior edits before
+    raising (``rolled_back``).  The rendered message always names the edit
+    index and operation once they are known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        edit: Optional[Edit] = None,
+        edit_index: Optional[int] = None,
+        rolled_back: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.edit = edit
+        self.edit_index = edit_index
+        self.rolled_back = rolled_back
+
+    def __str__(self) -> str:
+        parts = []
+        if self.edit_index is not None:
+            op = type(self.edit).__name__.lower() if self.edit is not None else "edit"
+            parts.append(f"edit #{self.edit_index} ({op}): ")
+        parts.append(self.message)
+        if self.rolled_back:
+            parts.append(" [rolled back]")
+        return "".join(parts)
+
+
+class UnknownUriError(PatchError):
+    """An edit refers to a URI that is not in the tree's index."""
+
+
+class UnknownLinkError(PatchError):
+    """An edit refers to a link the target node does not have."""
+
+
+class SlotOccupiedError(PatchError):
+    """An attach targets a slot that already holds a subtree."""
+
+
+class DetachMismatchError(PatchError):
+    """A detach names a node that is not attached at the given slot."""
+
+
+class UriConflictError(PatchError):
+    """A load reuses a URI that is already in the tree's index."""
+
+
+class ArityMismatchError(PatchError):
+    """An unload's kid list does not match the node's actual kids."""
 
 
 class MNode:
@@ -112,52 +167,160 @@ class MTree:
 
     # -- standard semantics ------------------------------------------------
 
-    def patch(self, script: EditScript) -> "MTree":
-        """``⟦∆⟧``: apply every edit of ``script`` to this tree in place."""
+    def patch(
+        self,
+        script: EditScript,
+        *,
+        atomic: bool = False,
+        sigs: Optional[SignatureRegistry] = None,
+        verify: bool = False,
+        fault_hook: Optional[Callable[[int, PrimitiveEdit], None]] = None,
+    ) -> "MTree":
+        """``⟦∆⟧``: apply every edit of ``script`` to this tree in place.
+
+        With ``atomic=True`` the application is transactional: the script
+        is pre-flight typechecked against the tree's actual root/slot
+        state (when ``sigs`` is given) and an undo journal rolls the tree
+        back to a bit-identical state if any edit raises — see
+        :func:`repro.robustness.patch_atomic`.  ``verify=True`` runs the
+        tree-integrity verifier after patching (and, when combined with
+        ``atomic``, rolls back if verification fails).  ``fault_hook`` is
+        called as ``hook(primitive_index, edit)`` before each edit; it
+        exists for fault-injection tests and is applied on both paths.
+
+        On failure the raised :class:`PatchError` names the primitive edit
+        index and operation.
+        """
+        if atomic:
+            from repro.robustness import patch_atomic
+
+            return patch_atomic(
+                self, script, sigs=sigs, verify=verify, fault_hook=fault_hook
+            )
         process = self.process_edit
-        if not OBS.enabled:
-            for edit in script.primitives():
-                process(edit)
-            return self
-        # instrumented path: per-kind edit counters + an apply span
-        counts: dict[str, int] = {}
-        with _span("repro.patch.apply"):
-            for edit in script.primitives():
-                process(edit)
-                kind = type(edit).__name__.lower()
-                counts[kind] = counts.get(kind, 0) + 1
-        m = _metrics()
-        m.counter("repro.patch.scripts").inc()
-        for kind, n in counts.items():
-            m.counter(f"repro.patch.edits.{kind}").inc(n)
+        i, edit = -1, None
+        try:
+            if fault_hook is not None:
+                for i, edit in enumerate(script.primitives()):
+                    fault_hook(i, edit)
+                    process(edit)
+            elif not OBS.enabled:
+                for i, edit in enumerate(script.primitives()):
+                    process(edit)
+            else:
+                # instrumented path: per-kind edit counters + an apply span
+                counts: dict[str, int] = {}
+                with _span("repro.patch.apply"):
+                    for i, edit in enumerate(script.primitives()):
+                        process(edit)
+                        kind = type(edit).__name__.lower()
+                        counts[kind] = counts.get(kind, 0) + 1
+                m = _metrics()
+                m.counter("repro.patch.scripts").inc()
+                for kind, n in counts.items():
+                    m.counter(f"repro.patch.edits.{kind}").inc(n)
+        except PatchError as exc:
+            if exc.edit_index is None:
+                exc.edit_index = i
+                if exc.edit is None:
+                    exc.edit = edit
+            raise
+        if verify:
+            from repro.robustness import verify_tree
+
+            verify_tree(self, sigs)
         return self
 
     def process_edit(self, edit: PrimitiveEdit) -> None:
-        """Apply a single edit, updating nodes and the index (Figure 2)."""
+        """Apply a single edit, updating nodes and the index (Figure 2).
+
+        Each edit is validated against the actual tree state before any
+        mutation, so a failing edit leaves the tree untouched: a detach
+        must name the subtree actually held by the slot, an attach must
+        target an existing empty slot, a load must use a fresh URI, an
+        unload must list the node's actual kids, and an update may only
+        touch literal links the node has.  Well-typed, syntactically
+        compliant scripts (Definitions 3.1/3.5) never trip these checks.
+        """
         if isinstance(edit, Detach):
             parent = self._lookup(edit.parent.uri, edit)
+            if edit.link not in parent.kids:
+                raise UnknownLinkError(
+                    f"parent {edit.parent} has no slot {edit.link!r}", edit=edit
+                )
+            held = parent.kids[edit.link]
+            if held is None:
+                raise DetachMismatchError(
+                    f"slot {edit.parent}.{edit.link} is empty, cannot detach "
+                    f"{edit.node}",
+                    edit=edit,
+                )
+            if held.uri != edit.node.uri:
+                raise DetachMismatchError(
+                    f"slot {edit.parent}.{edit.link} holds {held.node}, not "
+                    f"{edit.node}",
+                    edit=edit,
+                )
             parent.kids[edit.link] = None
         elif isinstance(edit, Attach):
             parent = self._lookup(edit.parent.uri, edit)
-            parent.kids[edit.link] = self._lookup(edit.node.uri, edit)
+            node = self._lookup(edit.node.uri, edit)
+            if edit.link not in parent.kids:
+                raise UnknownLinkError(
+                    f"parent {edit.parent} has no slot {edit.link!r}", edit=edit
+                )
+            held = parent.kids[edit.link]
+            if held is not None:
+                raise SlotOccupiedError(
+                    f"slot {edit.parent}.{edit.link} already holds {held.node}",
+                    edit=edit,
+                )
+            parent.kids[edit.link] = node
         elif isinstance(edit, Load):
+            if edit.node.uri in self.index:
+                raise UriConflictError(
+                    f"loaded URI {edit.node.uri} is already in the index",
+                    edit=edit,
+                )
             kid_nodes: dict[Link, Optional[MNode]] = {
                 link: self._lookup(uri, edit) for link, uri in edit.kids
             }
             self.index[edit.node.uri] = MNode(edit.node, kid_nodes, dict(edit.lits))
         elif isinstance(edit, Unload):
-            self.index.pop(edit.node.uri, None)
+            node = self._lookup(edit.node.uri, edit)
+            if len(edit.kids) != len(node.kids):
+                raise ArityMismatchError(
+                    f"unload lists {len(edit.kids)} kid(s) but {edit.node} "
+                    f"has {len(node.kids)}",
+                    edit=edit,
+                )
+            for link, kid_uri in edit.kids:
+                kid = node.kids.get(link)
+                if kid is None or kid.uri != kid_uri:
+                    raise ArityMismatchError(
+                        f"unload kid {link!r} is not {kid_uri} "
+                        f"(actual: {kid.node if kid is not None else 'empty'})",
+                        edit=edit,
+                    )
+            del self.index[edit.node.uri]
         elif isinstance(edit, Update):
             node = self._lookup(edit.node.uri, edit)
+            for link, _ in edit.new_lits:
+                if link not in node.lits:
+                    raise UnknownLinkError(
+                        f"node {edit.node} has no literal link {link!r}", edit=edit
+                    )
             node.lits.update(dict(edit.new_lits))
         else:  # pragma: no cover - defensive
-            raise PatchError(f"unknown edit kind {type(edit).__name__}")
+            raise PatchError(f"unknown edit kind {type(edit).__name__}", edit=edit)
 
     def _lookup(self, uri: URI, edit: PrimitiveEdit) -> MNode:
         try:
             return self.index[uri]
         except KeyError:
-            raise PatchError(f"edit {edit} refers to unknown URI {uri}") from None
+            raise UnknownUriError(
+                f"edit refers to unknown URI {uri}", edit=edit
+            ) from None
 
     # -- views ---------------------------------------------------------------
 
@@ -327,5 +490,9 @@ def check_syntactic_compliance(script: EditScript, t: MTree) -> None:
             for link, value in edit.old_lits:
                 if link not in n.lits or not literal_eq(n.lits[link], value):
                     raise ComplianceError(f"{edit}: old literal {link!r} is not {value!r}")
-        # Attach needs no extra checks (ensured by the type system already).
-        sim.process_edit(edit)
+        # Attach needs no extra checks beyond the strict runtime validation
+        # below (the type system ensures the rest already).
+        try:
+            sim.process_edit(edit)
+        except PatchError as exc:
+            raise ComplianceError(f"{edit}: {exc.message}") from None

@@ -74,11 +74,25 @@ def apply_script(
     tree: TNode,
     script: EditScript,
     sigs: Optional[SignatureRegistry] = None,
+    *,
+    atomic: bool = False,
+    verify: bool = False,
 ) -> TNode:
     """Apply an edit script to an immutable tree, returning the patched
-    immutable tree.  The input tree is not modified."""
+    immutable tree.  The input tree is not modified.
+
+    ``atomic=True`` applies the script transactionally (pre-flight linear
+    typecheck plus rollback-on-failure, see
+    :func:`repro.robustness.patch_atomic`); ``verify=True`` additionally
+    runs the tree-integrity verifier on the patched mutable tree before
+    rebuilding the immutable result.  Because the input tree is never
+    mutated, the rollback only affects the intermediate
+    :class:`~repro.core.mtree.MTree` — the flags exist so recipients of
+    untrusted scripts get structured, indexed errors instead of partially
+    converted state.
+    """
     sigs = sigs if sigs is not None else tree.sigs
     with _span("repro.patch.apply_script"):
         mtree = tnode_to_mtree(tree)
-        mtree.patch(script)
+        mtree.patch(script, atomic=atomic, sigs=sigs, verify=verify)
         return mtree_to_tnode(mtree, sigs)

@@ -16,6 +16,7 @@ used to decide subtyping.  The pre-defined root signature
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Iterable, Mapping, Optional
 
 from .node import Link, ROOT_LINK, ROOT_TAG, Tag
@@ -54,7 +55,14 @@ class Signature:
     def is_variadic(self) -> bool:
         return self.variadic is not None
 
-    @property
+    # ``kid_links``/``lit_links``/``lit_types`` are cached: signatures are
+    # frozen and consulted on every typechecked edit and every verified
+    # node, so rebuilding the tuples per call showed up in the atomic-patch
+    # profile.  (cached_property writes straight into ``__dict__``, which
+    # a frozen dataclass without ``__slots__`` still has; dataclass
+    # eq/hash look only at fields, so caching does not perturb them.)
+
+    @cached_property
     def kid_links(self) -> tuple[Link, ...]:
         if self.variadic is not None:
             raise SignatureError(
@@ -68,9 +76,17 @@ class Signature:
             return tuple(str(i) for i in range(arity))
         return tuple(l for l, _ in self.kids)
 
-    @property
+    @cached_property
     def lit_links(self) -> tuple[Link, ...]:
         return tuple(l for l, _ in self.lits)
+
+    @cached_property
+    def lit_link_set(self) -> frozenset[Link]:
+        return frozenset(l for l, _ in self.lits)
+
+    @cached_property
+    def lit_types(self) -> dict[Link, LitType]:
+        return dict(self.lits)
 
     def kid_type(self, link: Link) -> Type:
         if self.variadic is not None:
@@ -197,12 +213,13 @@ class SignatureRegistry:
     def check_lits(self, tag: Tag, lits: Mapping[Link, Any]) -> None:
         """Check the T-Load/T-Update literal side conditions ``⊢ l : B``."""
         sig = self[tag]
-        if set(lits) != set(sig.lit_links):
+        if set(lits) != sig.lit_link_set:
             raise SignatureError(
                 f"{tag}: literal links {sorted(lits)} do not match "
                 f"signature links {sorted(sig.lit_links)}"
             )
+        types = sig.lit_types
         for link, value in lits.items():
-            base = sig.lit_type(link)
+            base = types[link]
             if not base.check(value):
                 raise SignatureError(f"{tag}.{link}: literal {value!r} is not a {base}")

@@ -25,9 +25,12 @@ from typing import Any, Iterable
 from .edits import (
     Attach,
     Detach,
+    Edit,
     EditScript,
+    Insert,
     Load,
     PrimitiveEdit,
+    Remove,
     Unload,
     Update,
 )
@@ -45,6 +48,7 @@ class EditTypeError(Exception):
     def __init__(self, edit: Any, message: str) -> None:
         super().__init__(f"ill-typed edit {edit}: {message}" if edit else message)
         self.edit = edit
+        self.reason = message
 
 
 @dataclass(frozen=True)
@@ -79,13 +83,18 @@ INITIAL_STATE = LinearState.of({ROOT_URI: ROOT_SORT}, {(ROOT_URI, ROOT_LINK): AN
 
 def check_edit(
     sigs: SignatureRegistry,
-    edit: PrimitiveEdit,
+    edit: Edit,
     roots: dict[URI, Type],
     slots: dict[Slot, Type],
 ) -> None:
     """Apply one typing rule of Figure 3, mutating ``roots``/``slots``.
 
-    Raises :class:`EditTypeError` if no rule applies.
+    The composite edits are covered by derived rules: ``T-Insert`` is
+    ``T-Load`` followed by ``T-Attach`` of the same node, ``T-Remove`` is
+    ``T-Detach`` followed by ``T-Unload`` — exactly the sequences
+    :meth:`~repro.core.edits.EditScript.primitives` expands them into, so
+    scripts carrying composites obey Definition 3.1 under the same
+    judgment.  Raises :class:`EditTypeError` if no rule applies.
     """
     if isinstance(edit, Detach):
         _check_detach(sigs, edit, roots, slots)
@@ -97,6 +106,22 @@ def check_edit(
         _check_unload(sigs, edit, roots, slots)
     elif isinstance(edit, Update):
         _check_update(sigs, edit)
+    elif isinstance(edit, (Insert, Remove)):
+        # T-Insert / T-Remove: the conjunction of the two primitive rules,
+        # checked against scratch copies so a failing second half cannot
+        # leave (R, S) half-mutated.  A failure in either half is
+        # re-attributed to the composite so the diagnostic names the edit
+        # the script actually contains.
+        tmp_roots, tmp_slots = dict(roots), dict(slots)
+        try:
+            for prim in edit.expand():
+                check_edit(sigs, prim, tmp_roots, tmp_slots)
+        except EditTypeError as exc:
+            raise EditTypeError(edit, exc.reason) from None
+        roots.clear()
+        roots.update(tmp_roots)
+        slots.clear()
+        slots.update(tmp_slots)
     else:  # pragma: no cover - defensive
         raise EditTypeError(edit, f"unknown edit kind {type(edit).__name__}")
 

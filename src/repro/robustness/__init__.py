@@ -1,0 +1,67 @@
+"""Robustness layer: transactional patching, integrity verification,
+and fault injection.
+
+The paper's metatheory (Theorems 3.6–3.8) guarantees that *well-typed,
+syntactically compliant* scripts patch safely.  This package covers the
+complement — scripts and trees that arrive damaged:
+
+* :mod:`repro.robustness.transaction` — atomic application: pre-flight
+  linear typecheck against the tree's actual state, exact-inverse undo
+  journal, rollback to a fingerprint-identical tree on any failure;
+* :mod:`repro.robustness.integrity` — an unconditional whole-tree
+  verifier (index consistency, link bidirectionality, no empty slots,
+  no leaks, signature conformance) plus canonical tree fingerprints;
+* :mod:`repro.robustness.faults` — deterministic script corruption and
+  crash injection;
+* :mod:`repro.robustness.harness` — seeded campaigns asserting that no
+  fault, however delivered, can leave a tree in an intermediate state;
+* :mod:`repro.robustness.fallback` — the trivial replace-root script
+  used for graceful degradation in batch runs.
+"""
+
+from .fallback import replace_root_script
+from .faults import (
+    CORRUPTION_KINDS,
+    Corruption,
+    InjectedFault,
+    corrupt_script,
+    inject_fault_at,
+)
+# NOTE: .harness is intentionally not imported here — it is the
+# ``python -m repro.robustness.harness`` entry point, and importing it from
+# the package initializer would trip runpy's double-import warning.
+from .integrity import (
+    IntegrityError,
+    check_tree,
+    tree_fingerprint,
+    tree_state,
+    verify_tree,
+)
+from .transaction import (
+    PatchAbortedError,
+    PreflightError,
+    RollbackError,
+    linear_state_of,
+    patch_atomic,
+    preflight_check,
+)
+
+__all__ = [
+    "CORRUPTION_KINDS",
+    "Corruption",
+    "InjectedFault",
+    "IntegrityError",
+    "PatchAbortedError",
+    "PreflightError",
+    "RollbackError",
+    "check_tree",
+    "corrupt_script",
+    "inject_fault_at",
+    "linear_state_of",
+    "patch_atomic",
+    "preflight_check",
+    "replace_root_script",
+    "tree_fingerprint",
+    "tree_state",
+    "verify_tree",
+]

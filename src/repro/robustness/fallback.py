@@ -1,0 +1,46 @@
+"""Degraded-but-sound edit scripts for when diffing itself fails.
+
+If the differ crashes on a parseable document pair, a batch run can
+still make progress: *any* well-typed script that turns the source tree
+into the target tree is a sound (if maximally un-concise) answer.
+:func:`replace_root_script` emits the trivial one — unload the whole
+source tree, load the whole target tree:
+
+* detach and unload every source node (pre-order, so each node is a
+  detached root when its unload executes);
+* load every target node (reverse pre-order, so each kid is a detached
+  root when its parent's load consumes it) and attach the new root.
+
+The script is well-typed by construction (Definition 3.1) and passes
+the strict standard semantics; the batch worker additionally validates
+it before emitting a degraded row.
+"""
+
+from __future__ import annotations
+
+from repro.core.edits import Attach, Detach, EditScript, Load, Unload
+from repro.core.node import ROOT_LINK, ROOT_NODE
+from repro.core.tree import TNode
+
+
+def replace_root_script(src: TNode, dst: TNode) -> EditScript:
+    """The trivial well-typed script rebuilding ``dst`` from ``src``.
+
+    ``src`` must be the tree attached under the pre-defined root;
+    ``dst``'s URIs must be disjoint from ``src``'s (parses from the
+    shared process-wide URI generator always are).  Linear in
+    ``|src| + |dst|`` edits — the conciseness floor truediff exists to
+    beat, acceptable only as a failure-mode fallback.
+    """
+    edits = [Detach(src.node, ROOT_LINK, ROOT_NODE)]
+    for n in src.iter_subtree():
+        edits.append(
+            Unload(n.node, tuple((l, k.uri) for l, k in n.kid_items), n.lit_items)
+        )
+    dst_nodes = list(dst.iter_subtree())
+    for n in reversed(dst_nodes):
+        edits.append(
+            Load(n.node, tuple((l, k.uri) for l, k in n.kid_items), n.lit_items)
+        )
+    edits.append(Attach(dst.node, ROOT_LINK, ROOT_NODE))
+    return EditScript(edits).coalesced()

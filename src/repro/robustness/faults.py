@@ -1,0 +1,164 @@
+"""Deterministic fault injection for edit scripts and patch application.
+
+Two orthogonal fault models:
+
+* **Script corruption** (:func:`corrupt_script`) — a seeded
+  ``random.Random`` drives one of six structured corruptions of a valid
+  edit script: ``drop`` an edit, ``duplicate`` one, ``reorder`` two,
+  ``swap_uris`` (exchange two URIs everywhere they occur),
+  ``retarget_sort`` (change the tag — and hence the sort — of one node
+  reference), or ``truncate`` the tail.  These model wire damage,
+  version skew, and adversarial scripts; most are caught by the
+  pre-flight typecheck, the rest by the strict standard semantics.
+* **Application faults** (:func:`inject_fault_at`) — a hook forcing a
+  raise immediately before primitive edit *k* applies, modelling a crash
+  mid-patch.  This exercises the rollback path on otherwise *valid*
+  scripts.
+
+Both are pure and deterministic: the same seed produces the same faults,
+so every campaign scenario is replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.edits import (
+    Edit,
+    EditScript,
+    PrimitiveEdit,
+    map_edit_nodes,
+    map_edit_uris,
+)
+from repro.core.node import Node
+from repro.core.uris import ROOT_URI, URI
+
+#: The supported corruption kinds, in the order the campaign cycles them.
+CORRUPTION_KINDS: tuple[str, ...] = (
+    "drop",
+    "duplicate",
+    "reorder",
+    "swap_uris",
+    "retarget_sort",
+    "truncate",
+)
+
+
+class InjectedFault(RuntimeError):
+    """The deliberate failure raised by :func:`inject_fault_at`."""
+
+
+def inject_fault_at(k: int) -> Callable[[int, PrimitiveEdit], None]:
+    """A ``fault_hook`` that raises :class:`InjectedFault` immediately
+    before primitive edit ``k`` would apply (edits ``0..k-1`` apply)."""
+
+    def hook(i: int, edit: PrimitiveEdit) -> None:
+        if i == k:
+            raise InjectedFault(f"injected fault before edit #{k} ({edit})")
+
+    return hook
+
+
+@dataclass(frozen=True)
+class Corruption:
+    """One corrupted script plus what was done to it."""
+
+    kind: str
+    detail: str
+    script: EditScript
+
+
+def _script_uris(edits: list[PrimitiveEdit]) -> list[URI]:
+    """All distinct non-root URIs the script mentions, in first-use order."""
+    seen: dict[URI, None] = {}
+    for e in edits:
+        for uri in _edit_uris(e):
+            if uri != ROOT_URI and uri not in seen:
+                seen[uri] = None
+    return list(seen)
+
+
+def _edit_uris(edit: Edit) -> list[URI]:
+    uris = [edit.node.uri]
+    if hasattr(edit, "parent"):
+        uris.append(edit.parent.uri)
+    if hasattr(edit, "kids"):
+        uris.extend(u for _, u in edit.kids)
+    return uris
+
+
+def corrupt_script(
+    script: EditScript,
+    rng: random.Random,
+    kind: Optional[str] = None,
+) -> Corruption:
+    """Apply one seeded corruption of the given ``kind`` (random if omitted).
+
+    Works on the primitive expansion so every edit is individually
+    addressable.  If the script is too small for the requested kind
+    (e.g. ``reorder`` on one edit), the corruption degenerates to the
+    closest applicable one and says so in ``detail``.
+    """
+    edits: list[PrimitiveEdit] = list(script.primitives())
+    if kind is None:
+        kind = rng.choice(CORRUPTION_KINDS)
+    if kind not in CORRUPTION_KINDS:
+        raise ValueError(f"unknown corruption kind {kind!r}")
+    if not edits:
+        return Corruption(kind, "script empty; unchanged", EditScript(edits))
+
+    if kind == "drop":
+        i = rng.randrange(len(edits))
+        dropped = edits.pop(i)
+        return Corruption(kind, f"dropped edit #{i} ({dropped})", EditScript(edits))
+
+    if kind == "duplicate":
+        i = rng.randrange(len(edits))
+        edits.insert(i + 1, edits[i])
+        return Corruption(kind, f"duplicated edit #{i}", EditScript(edits))
+
+    if kind == "reorder":
+        if len(edits) < 2:
+            return Corruption(kind, "single edit; unchanged", EditScript(edits))
+        i, j = rng.sample(range(len(edits)), 2)
+        edits[i], edits[j] = edits[j], edits[i]
+        return Corruption(kind, f"swapped edits #{i} and #{j}", EditScript(edits))
+
+    if kind == "swap_uris":
+        uris = _script_uris(edits)
+        if len(uris) < 2:
+            return Corruption(kind, "fewer than two URIs; unchanged", EditScript(edits))
+        a, b = rng.sample(uris, 2)
+        mapping = {a: b, b: a}
+        swapped = [map_edit_uris(e, lambda u: mapping.get(u, u)) for e in edits]
+        return Corruption(kind, f"swapped URIs {a!r} and {b!r}", EditScript(swapped))
+
+    if kind == "retarget_sort":
+        pairs: dict[URI, str] = {}
+        for e in edits:
+            pairs.setdefault(e.node.uri, e.node.tag)
+            if hasattr(e, "parent") and e.parent.uri != ROOT_URI:
+                pairs.setdefault(e.parent.uri, e.parent.tag)
+        pairs.pop(ROOT_URI, None)
+        if not pairs:
+            return Corruption(kind, "no retargetable node; unchanged", EditScript(edits))
+        target = rng.choice(sorted(pairs, key=repr))
+        old_tag = pairs[target]
+        other_tags = sorted({t for t in pairs.values() if t != old_tag})
+        new_tag = rng.choice(other_tags) if other_tags else old_tag + "X"
+
+        def retag(n: Node) -> Node:
+            return Node(new_tag, n.uri) if n.uri == target else n
+
+        retagged = [map_edit_nodes(e, retag) for e in edits]
+        return Corruption(
+            kind,
+            f"retagged node {target!r} from {old_tag} to {new_tag}",
+            EditScript(retagged),
+        )
+
+    # kind == "truncate"
+    cut = rng.randrange(len(edits))
+    return Corruption(kind, f"truncated to first {cut} edit(s)", EditScript(edits[:cut]))

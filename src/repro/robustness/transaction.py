@@ -1,0 +1,267 @@
+"""Transactional (all-or-nothing) patch application.
+
+The standard semantics of Section 3.2 assumes well-typed, syntactically
+compliant scripts; on those, :meth:`~repro.core.mtree.MTree.patch` never
+fails (Theorem 3.6).  Scripts received over the wire carry no such
+guarantee — a corrupted or adversarial script can fail partway through,
+leaving the tree in an intermediate state that is neither source nor
+target.  This module makes patching atomic:
+
+* :func:`linear_state_of` reads the *actual* linear typing state
+  ``(R • S)`` off a mutable tree in one index scan — the detached roots
+  and empty slots the tree really has, not the closed state Definition
+  3.1 assumes.
+* :func:`preflight_check` typechecks a script against that state before
+  any mutation (rejections are free: the tree is untouched).
+* :func:`patch_atomic` applies the script while journaling an exact
+  inverse per edit (the shapes come from
+  :func:`repro.core.invert.invert_edit`, with prior literal values and
+  unloaded node contents captured from the live tree rather than trusted
+  from the edit).  If any edit raises — or the post-patch integrity
+  verification fails — the journal is replayed backwards and the tree is
+  restored to a state indistinguishable from the pre-patch tree.
+
+Typechecking cannot see URI existence (URIs in ``R`` are type-level
+resources, Section 3.3), so a pre-flighted script can still fail at
+runtime; the journal covers exactly that residue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.observability import OBS, metrics as _metrics, span as _span
+
+from repro.core.edits import EditScript, Load, PrimitiveEdit, Unload, Update
+from repro.core.invert import invert_edit
+from repro.core.mtree import MNode, MTree, PatchError
+from repro.core.signature import SignatureError, SignatureRegistry
+from repro.core.typecheck import EditTypeError, LinearState, check_edit
+from repro.core.uris import URI
+
+from .integrity import IntegrityError, verify_tree
+
+
+class PreflightError(PatchError):
+    """The script failed the pre-flight typecheck; the tree was not touched.
+
+    ``rolled_back`` is always ``False``: there was nothing to roll back.
+    """
+
+
+class PatchAbortedError(PatchError):
+    """A non-:class:`PatchError` exception aborted an atomic application
+    (injected fault, integrity violation, …); the tree was rolled back."""
+
+
+class RollbackError(PatchError):
+    """Rolling back failed — the tree may be inconsistent.
+
+    This is a defensive guard: inverses are computed from the live tree
+    immediately before each successful edit, so replaying them backwards
+    through the strict standard semantics cannot fail unless the tree was
+    mutated behind the transaction's back.
+    """
+
+
+def linear_state_of(tree: MTree, sigs: SignatureRegistry) -> LinearState:
+    """The actual typing state ``(R • S)`` of a mutable tree.
+
+    One pass over the index: every ``None`` kid entry is an empty slot
+    typed by the parent's signature; every indexed node that no other
+    indexed node holds as a kid is a detached root typed by its own
+    signature.  For a closed tree this returns
+    :data:`~repro.core.typecheck.CLOSED_STATE`; for the empty tree,
+    :data:`~repro.core.typecheck.INITIAL_STATE`.
+
+    Raises :class:`PreflightError` if a node's tag has no signature —
+    such a tree has no typing state.
+    """
+    # The scan runs on every atomic patch, over the whole index, so it is
+    # written for throughput: signatures are only consulted for the (few)
+    # empty slots and detached roots, and root discovery is a C-level set
+    # difference instead of a per-node membership test.
+    attached: set[URI] = set()
+    add = attached.add
+    empties: list[tuple[MNode, URI, str]] = []
+    for uri, n in tree.index.items():
+        for link, kid in n.kids.items():
+            if kid is not None:
+                add(kid.node.uri)
+            else:
+                empties.append((n, uri, link))
+    index = tree.index
+    try:
+        slots = {
+            (uri, link): sigs[n.tag].kid_type(link) for n, uri, link in empties
+        }
+        roots = {
+            uri: sigs[index[uri].tag].result for uri in index.keys() - attached
+        }
+    except SignatureError as exc:
+        raise PreflightError(f"tree state is untypeable: {exc}") from None
+    return LinearState.of(roots, slots)
+
+
+def preflight_check(
+    tree: MTree, script: EditScript, sigs: SignatureRegistry
+) -> None:
+    """Typecheck ``script`` against the tree's actual ``(R • S)`` state.
+
+    Generalizes Definition 3.1 from the closed state to the live state:
+    the script must be typeable from :func:`linear_state_of` and must end
+    in the same state — it may not leak detached roots or leave new empty
+    slots behind.  Raises :class:`PreflightError` (tree untouched) naming
+    the offending primitive edit index.
+    """
+    before = linear_state_of(tree, sigs)
+    roots, slots = before.as_dicts()
+    for i, edit in enumerate(script.primitives()):
+        try:
+            check_edit(sigs, edit, roots, slots)
+        except EditTypeError as exc:
+            raise PreflightError(
+                f"pre-flight typecheck failed: {exc.reason}",
+                edit=edit,
+                edit_index=i,
+            ) from exc
+        except SignatureError as exc:
+            # corrupt edits can name tags or links that have no signature
+            raise PreflightError(
+                f"pre-flight typecheck failed: {exc}", edit=edit, edit_index=i
+            ) from exc
+    after = LinearState.of(roots, slots)
+    if after != before:
+        raise PreflightError(
+            f"script changes the linear resource state: {after} != {before}"
+        )
+
+
+# A journal entry is (inverse_edit, captured_node).  ``captured_node`` is
+# non-None only for Unload: rollback re-inserts the original MNode object
+# instead of re-loading a copy, so node identity (not just content) is
+# restored — this matters when a corrupt-but-applicable script unloads a
+# node some parent still references.
+_JournalEntry = tuple[Optional[PrimitiveEdit], Optional[tuple[URI, MNode]]]
+
+
+def _journal_entry(tree: MTree, edit: PrimitiveEdit) -> _JournalEntry:
+    """The exact inverse of ``edit`` against the tree's current state.
+
+    Must be called *before* the edit is processed.  If the edit is going
+    to fail its strict validation, the returned entry is discarded, so a
+    best-effort inverse is fine here.
+    """
+    if isinstance(edit, Update):
+        node = tree.index.get(edit.node.uri)
+        prior = (
+            tuple(
+                (link, node.lits[link])
+                for link, _ in edit.new_lits
+                if link in node.lits
+            )
+            if node is not None
+            else ()
+        )
+        # Trusting edit.old_lits would replay the *claimed* prior values;
+        # a lying-but-applicable Update would then not roll back exactly.
+        return (Update(edit.node, edit.new_lits, prior), None)
+    if isinstance(edit, Unload):
+        node = tree.index.get(edit.node.uri)
+        if node is None:
+            return (None, None)  # strict validation will raise; discarded
+        return (None, (edit.node.uri, node))
+    if isinstance(edit, Load):
+        return (Unload(edit.node, edit.kids, edit.lits), None)
+    return (invert_edit(edit), None)
+
+
+def _rollback(tree: MTree, journal: list[_JournalEntry]) -> None:
+    """Undo all journaled edits, newest first."""
+    try:
+        for inverse, restore in reversed(journal):
+            if restore is not None:
+                uri, node = restore
+                tree.index[uri] = node
+            else:
+                tree.process_edit(inverse)
+    except Exception as exc:  # pragma: no cover - defensive
+        raise RollbackError(f"rollback failed: {exc}") from exc
+
+
+def patch_atomic(
+    tree: MTree,
+    script: EditScript,
+    sigs: Optional[SignatureRegistry] = None,
+    *,
+    verify: bool = False,
+    fault_hook: Optional[Callable[[int, PrimitiveEdit], None]] = None,
+) -> MTree:
+    """Apply ``script`` to ``tree`` transactionally.
+
+    With ``sigs``, the script is first pre-flight typechecked against the
+    tree's actual linear state (:func:`preflight_check`); an ill-typed
+    script is rejected with :class:`PreflightError` before any mutation.
+    Each applied edit is journaled with its exact inverse; if any edit
+    raises, the journal is replayed backwards and the original
+    :class:`~repro.core.mtree.PatchError` is re-raised with
+    ``rolled_back=True`` (non-``PatchError`` exceptions are wrapped in
+    :class:`PatchAbortedError`).  With ``verify=True``, the patched tree
+    must additionally pass :func:`repro.robustness.verify_tree`; a
+    violation likewise rolls back.
+
+    ``fault_hook(primitive_index, edit)`` is invoked before each edit —
+    the fault-injection seam used by :mod:`repro.robustness.faults`.
+
+    Rollback restores the tree to a state structurally and literally
+    identical to the pre-patch tree (same index contents, same kid
+    wiring, same literal values — see
+    :func:`repro.robustness.tree_fingerprint`).
+    """
+    with _span("repro.patch.atomic"):
+        if sigs is not None:
+            try:
+                preflight_check(tree, script, sigs)
+            except PreflightError:
+                if OBS.enabled:
+                    _metrics().counter("repro.patch.atomic.preflight_rejects").inc()
+                raise
+        journal: list[_JournalEntry] = []
+        i, edit = -1, None
+        try:
+            for i, edit in enumerate(script.primitives()):
+                if fault_hook is not None:
+                    fault_hook(i, edit)
+                entry = _journal_entry(tree, edit)
+                tree.process_edit(edit)
+                journal.append(entry)
+            if verify:
+                verify_tree(tree, sigs)
+        except Exception as exc:
+            _rollback(tree, journal)
+            if OBS.enabled:
+                m = _metrics()
+                m.counter("repro.patch.atomic.rollbacks").inc()
+                m.counter("repro.patch.atomic.edits_rolled_back").inc(len(journal))
+            if isinstance(exc, PatchError):
+                exc.rolled_back = True
+                if exc.edit_index is None:
+                    exc.edit_index = i
+                    if exc.edit is None:
+                        exc.edit = edit
+                raise
+            if isinstance(exc, IntegrityError):
+                # the whole script applied; no single edit is to blame
+                raise PatchAbortedError(
+                    f"patched tree failed integrity verification: {exc}",
+                    rolled_back=True,
+                ) from exc
+            raise PatchAbortedError(
+                str(exc) or type(exc).__name__,
+                edit=edit if i >= 0 else None,
+                edit_index=i if i >= 0 else None,
+                rolled_back=True,
+            ) from exc
+        if OBS.enabled:
+            _metrics().counter("repro.patch.atomic.commits").inc()
+    return tree

@@ -20,6 +20,7 @@ from repro.batch import (
     BatchConfig,
     RETRYABLE_KINDS,
     diff_pair,
+    diff_pair_degrading,
     discover_pairs,
     read_pairs_file,
     run_batch,
@@ -154,6 +155,83 @@ class TestDiffPair:
             ]
         )
         assert [r["status"] for r in rows] == ["error", "ok"]
+
+
+# -- graceful degradation: replace-root fallback on internal errors -------
+
+
+def _broken_diff(src, dst):
+    raise RuntimeError("simulated differ bug")
+
+
+class TestDegradation:
+    PAIR = (os.path.join(BEFORE, "simple.py"), os.path.join(AFTER, "simple.py"))
+
+    def test_internal_failure_degrades_to_replace_root(self, monkeypatch):
+        import repro.core
+
+        monkeypatch.setattr(repro.core, "diff", _broken_diff)
+        row = diff_pair(*self.PAIR, fallback_replace=True)
+        assert row["status"] == "degraded"
+        assert row["fallback"] == "replace_root"
+        assert row["error_kind"] == "internal"
+        assert "simulated differ bug" in row["error"]
+        # replace-root script: whole source unloaded, whole target loaded
+        assert row["edits"] == row["src_nodes"] + row["dst_nodes"]
+        # edit_mix counts primitives; the two coalesced composites (Remove
+        # of the old root, Insert of the new) each expand to two
+        assert sum(row["edit_mix"].values()) == row["edits"] + 2
+
+    def test_internal_failure_without_fallback_records_integrity(self, monkeypatch):
+        import repro.core
+
+        monkeypatch.setattr(repro.core, "diff", _broken_diff)
+        row = diff_pair(*self.PAIR)
+        assert row["status"] == "error"
+        assert row["error_kind"] == "internal"
+        assert row["integrity"] == "src: ok; dst: ok"
+
+    def test_syntax_failure_never_degrades(self):
+        row = diff_pair(
+            os.path.join(BEFORE, "poison.py"),
+            os.path.join(AFTER, "poison.py"),
+            fallback_replace=True,
+        )
+        assert row["status"] == "error" and row["error_kind"] == "syntax"
+
+    def test_run_batch_counts_degraded_rows(self, monkeypatch):
+        import repro.core
+        from repro import observability as obs
+
+        monkeypatch.setattr(repro.core, "diff", _broken_diff)
+        pairs, _, _ = discover_pairs(BEFORE, AFTER)
+        rows: list[dict] = []
+        obs.reset()
+        obs.enable()
+        try:
+            summary = run_batch(
+                pairs,
+                BatchConfig(workers=1, timeout_s=20.0, fallback_replace=True),
+                emit=rows.append,
+            )
+            snap = obs.snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+        assert summary.pairs == 4
+        assert summary.degraded == 3  # poison.py keeps its syntax failure
+        assert summary.ok == 0 and summary.failed == 1
+        assert summary.failures_by_kind == {"syntax": 1}
+        assert summary.edits > 0 and summary.nodes > 0
+        assert summary.as_dict()["degraded"] == 3
+        assert snap["counters"]["repro.batch.degraded"] == 3
+        assert snap["counters"]["repro.batch.failures"] == 1
+        statuses = {r["before"]: r["status"] for r in rows}
+        assert sum(1 for s in statuses.values() if s == "degraded") == 3
+
+    def test_degrading_wrapper_is_plain_diff_when_healthy(self):
+        row = diff_pair_degrading(*self.PAIR)
+        assert row["status"] == "ok"
 
 
 # -- the driver: corpus runs with fault isolation -------------------------
@@ -331,6 +409,30 @@ class TestBatchCLI:
         code = main(["batch", BEFORE, "--pairs", str(listing)])
         assert code == 2
         assert capsys.readouterr().err.startswith("repro: ")
+
+    def test_fallback_replace_flag(self, tmp_path, capsys, monkeypatch):
+        import repro.core
+
+        monkeypatch.setattr(repro.core, "diff", _broken_diff)
+        out = tmp_path / "rows.jsonl"
+        code = main(
+            [
+                "batch",
+                BEFORE,
+                AFTER,
+                "--workers",
+                "1",
+                "--fallback-replace",
+                "--out",
+                str(out),
+            ]
+        )
+        # every parseable pair degrades; that still counts as output
+        assert code == 0
+        rows = [json.loads(line) for line in out.read_text("utf8").splitlines()]
+        assert sum(1 for r in rows if r["status"] == "degraded") == 3
+        err = capsys.readouterr().err
+        assert "0/4 ok, 3 degraded, 1 failed" in err
 
     def test_metrics_flag_reports_batch_counters(self, tmp_path, capsys):
         out = tmp_path / "rows.jsonl"

@@ -158,6 +158,77 @@ def test_stats_leaves_registry_clean(files, capsys):
     assert all(v == 0 for v in obs.snapshot()["counters"].values())
 
 
+# -- transactional apply and integrity verification --------------------------
+
+
+def _bad_uri_script(tmp_path) -> str:
+    """A well-formed script whose Update targets a URI no tree contains."""
+    from repro.core import EditScript, Update
+    from repro.core.node import Node
+    from repro.core.serialize import script_to_json
+
+    script = EditScript(
+        [
+            Update(
+                Node("Constant", 424242),
+                (("value", 1), ("kind", None)),
+                (("value", 2), ("kind", None)),
+            )
+        ]
+    )
+    path = tmp_path / "bad_uri.json"
+    path.write_text(script_to_json(script))
+    return str(path)
+
+
+def test_apply_atomic_round_trips(files, tmp_path, capsys):
+    before, after = files
+    main(["diff", str(before), str(after), "--json"])
+    script_file = tmp_path / "script.json"
+    script_file.write_text(capsys.readouterr().out)
+    assert main(["apply", str(before), str(script_file), "--atomic", "--verify"]) == 0
+    patched_source = capsys.readouterr().out
+    assert ast.dump(ast.parse(patched_source)) == ast.dump(ast.parse(AFTER))
+
+
+def test_apply_atomic_rejects_bad_script(files, tmp_path, capsys):
+    before, _ = files
+    assert main(["apply", str(before), _bad_uri_script(tmp_path), "--atomic"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("repro: apply: ")
+    assert "unknown URI" in err
+
+
+def test_verify_clean_file(files, capsys):
+    before, _ = files
+    assert main(["verify", str(before)]) == 0
+    err = capsys.readouterr().err
+    assert "ok" in err and "nodes" in err
+
+
+def test_verify_with_script(files, tmp_path, capsys):
+    before, after = files
+    main(["diff", str(before), str(after), "--json"])
+    script_file = tmp_path / "script.json"
+    script_file.write_text(capsys.readouterr().out)
+    assert main(["verify", str(before), "--script", str(script_file)]) == 0
+    assert "ok" in capsys.readouterr().err
+
+
+def test_verify_rejects_bad_script(files, tmp_path, capsys):
+    before, _ = files
+    assert main(["verify", str(before), "--script", _bad_uri_script(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "patch rejected" in err and "unknown URI" in err
+
+
+def test_verify_unparseable_file_is_cli_error(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(:\n")
+    assert main(["verify", str(bad)]) == 2
+    assert capsys.readouterr().err.startswith("repro: ")
+
+
 # -- error handling: one-line diagnostics, exit status 2 ---------------------
 
 

@@ -76,6 +76,131 @@ class TestProcessEdit:
             t.process_edit(Update(Node("Num", 999999), (("n", 1),), (("n", 2),)))
 
 
+class TestPatchErrorPaths:
+    """Strict runtime validation: every malformed edit raises a structured
+    PatchError subclass naming the edit index and operation, and leaves
+    the tree untouched by the failing edit."""
+
+    def tree(self) -> MTree:
+        return tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))
+
+    def test_unknown_uri_names_index_and_op(self):
+        from repro.core import UnknownUriError
+
+        t = self.tree()
+        script = EditScript(
+            [Update(Node("Num", 31337), (("n", 1),), (("n", 2),))]
+        )
+        with pytest.raises(UnknownUriError) as exc_info:
+            t.patch(script)
+        assert exc_info.value.edit_index == 0
+        assert "edit #0 (update)" in str(exc_info.value)
+        assert "unknown URI" in str(exc_info.value)
+
+    def test_attach_into_occupied_slot(self):
+        from repro.core import SlotOccupiedError
+
+        t = self.tree()
+        add = t.main
+        num1 = add.kids["e1"]
+        script = EditScript(
+            [
+                Detach(num1.node, "e1", add.node),
+                Attach(num1.node, "e2", add.node),  # e2 still holds Num(2)
+            ]
+        )
+        with pytest.raises(SlotOccupiedError) as exc_info:
+            t.patch(script)
+        assert exc_info.value.edit_index == 1
+        assert "edit #1 (attach)" in str(exc_info.value)
+        # the failing attach did not clobber the slot
+        assert add.kids["e2"].lits["n"] == 2
+
+    def test_detach_of_node_not_at_slot(self):
+        from repro.core import DetachMismatchError
+
+        t = self.tree()
+        add = t.main
+        num2 = add.kids["e2"]
+        script = EditScript([Detach(num2.node, "e1", add.node)])
+        with pytest.raises(DetachMismatchError) as exc_info:
+            t.patch(script)
+        assert exc_info.value.edit_index == 0
+        assert "edit #0 (detach)" in str(exc_info.value)
+        assert add.kids["e1"] is not None  # untouched
+
+    def test_detach_from_empty_slot(self):
+        from repro.core import DetachMismatchError
+
+        t = self.tree()
+        add = t.main
+        num1 = add.kids["e1"]
+        t.process_edit(Detach(num1.node, "e1", add.node))
+        with pytest.raises(DetachMismatchError, match="empty"):
+            t.process_edit(Detach(num1.node, "e1", add.node))
+
+    def test_unload_with_wrong_arity(self):
+        from repro.core import ArityMismatchError
+
+        t = self.tree()
+        add = t.main
+        num1 = add.kids["e1"]
+        num2 = add.kids["e2"]
+        t.process_edit(Detach(add.node, ROOT_LINK, ROOT_NODE))
+        script = EditScript(
+            [Unload(add.node, (("e1", num1.uri),), ())]  # claims 1 kid, has 2
+        )
+        with pytest.raises(ArityMismatchError) as exc_info:
+            t.patch(script)
+        assert exc_info.value.edit_index == 0
+        assert "edit #0 (unload)" in str(exc_info.value)
+        assert add.uri in t.index  # not unloaded
+
+    def test_unload_with_wrong_kid_uri(self):
+        from repro.core import ArityMismatchError
+
+        t = self.tree()
+        add = t.main
+        t.process_edit(Detach(add.node, ROOT_LINK, ROOT_NODE))
+        with pytest.raises(ArityMismatchError, match="is not"):
+            t.process_edit(
+                Unload(add.node, (("e1", 987654), ("e2", 987655)), ())
+            )
+
+    def test_load_with_conflicting_uri(self):
+        from repro.core import UriConflictError
+
+        t = self.tree()
+        num1 = t.main.kids["e1"]
+        with pytest.raises(UriConflictError, match="already in the index"):
+            t.process_edit(Load(Node("Num", num1.uri), (), (("n", 9),)))
+
+    def test_attach_to_unknown_link(self):
+        from repro.core import UnknownLinkError
+
+        t = self.tree()
+        add = t.main
+        num1 = add.kids["e1"]
+        t.process_edit(Detach(num1.node, "e1", add.node))
+        with pytest.raises(UnknownLinkError, match="no slot"):
+            t.process_edit(Attach(num1.node, "e9", add.node))
+
+    def test_update_of_unknown_literal_link(self):
+        from repro.core import UnknownLinkError
+
+        t = self.tree()
+        num1 = t.main.kids["e1"]
+        with pytest.raises(UnknownLinkError, match="no literal link"):
+            t.process_edit(Update(num1.node, (("x", 1),), (("x", 2),)))
+        assert num1.lits == {"n": 1}
+
+    def test_error_str_without_index_is_bare_message(self):
+        from repro.core import PatchError as PE
+
+        assert str(PE("boom")) == "boom"
+        assert "[rolled back]" in str(PE("boom", rolled_back=True))
+
+
 class TestViews:
     def test_structure_equals_ignores_uris(self):
         a = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Num(2)))

@@ -1,0 +1,417 @@
+"""Tests for the robustness layer: transactional patching with rollback,
+the pre-flight typecheck, and the tree-integrity verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observability as obs
+from repro.core import (
+    Attach,
+    Detach,
+    EditScript,
+    Insert,
+    Load,
+    MTree,
+    Node,
+    PatchError,
+    Remove,
+    Unload,
+    Update,
+    apply_script,
+    diff,
+    tnode_to_mtree,
+)
+from repro.core.typecheck import CLOSED_STATE, INITIAL_STATE
+from repro.robustness import (
+    IntegrityError,
+    PatchAbortedError,
+    PreflightError,
+    check_tree,
+    inject_fault_at,
+    linear_state_of,
+    patch_atomic,
+    preflight_check,
+    tree_fingerprint,
+    verify_tree,
+)
+from repro.robustness.faults import InjectedFault
+
+from .util import EXP, random_exp
+
+
+def tree() -> MTree:
+    return tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Var("a")))
+
+
+class TestLinearStateOf:
+    def test_closed_tree_has_closed_state(self):
+        assert linear_state_of(tree(), EXP.sigs) == CLOSED_STATE
+
+    def test_empty_tree_has_initial_state(self):
+        assert linear_state_of(MTree(), EXP.sigs) == INITIAL_STATE
+
+    def test_detached_root_and_slot_are_visible(self):
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        t.process_edit(Detach(num.node, "e1", add.node))
+        state = linear_state_of(t, EXP.sigs)
+        assert num.uri in dict(state.roots)
+        assert (add.uri, "e1") in dict(state.slots)
+
+
+class TestPreflight:
+    def test_well_typed_script_passes(self):
+        t = tree()
+        num = t.main.kids["e1"]
+        script = EditScript([Update(num.node, (("n", 1),), (("n", 2),))])
+        preflight_check(t, script, EXP.sigs)  # no raise
+
+    def test_leaking_script_rejected_without_mutation(self):
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        before = tree_fingerprint(t)
+        script = EditScript([Detach(num.node, "e1", add.node)])  # leaks
+        with pytest.raises(PreflightError, match="linear resource state"):
+            t.patch(script, atomic=True, sigs=EXP.sigs)
+        assert tree_fingerprint(t) == before
+        assert add.kids["e1"] is num  # literally untouched
+
+    def test_ill_typed_edit_named_by_index(self):
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        script = EditScript(
+            [
+                Detach(num.node, "e1", add.node),
+                Attach(num.node, "e2", add.node),  # slot e2 not empty
+            ]
+        )
+        with pytest.raises(PreflightError) as exc_info:
+            t.patch(script, atomic=True, sigs=EXP.sigs)
+        assert exc_info.value.edit_index == 1
+        assert not exc_info.value.rolled_back
+        assert "edit #1 (attach)" in str(exc_info.value)
+
+    def test_unknown_tag_rejected_not_crash(self):
+        t = tree()
+        script = EditScript([Load(Node("Bogus", 999), (), ())])
+        with pytest.raises(PreflightError):
+            preflight_check(t, script, EXP.sigs)
+
+    def test_without_sigs_no_preflight(self):
+        """atomic without sigs still rolls back, it just cannot pre-reject."""
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        before = tree_fingerprint(t)
+        script = EditScript([Detach(num.node, "e1", add.node)])
+        # applies fine (leak is a type-level notion) and commits
+        t.patch(script, atomic=True)
+        assert tree_fingerprint(t) != before
+
+
+class TestAtomicPatch:
+    def test_atomic_equals_plain_on_valid_scripts(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(10):
+            a = random_exp(rng, 4)
+            b = random_exp(rng, 4)
+            script, _ = diff(a, b)
+            plain = tnode_to_mtree(a)
+            plain.patch(script)
+            atomic = tnode_to_mtree(a)
+            atomic.patch(script, atomic=True, sigs=a.sigs, verify=True)
+            assert tree_fingerprint(plain) == tree_fingerprint(atomic)
+
+    def test_runtime_failure_rolls_back(self):
+        """A script that typechecks (URIs are type-level resources) but
+        fails at runtime must restore the tree exactly."""
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        before = tree_fingerprint(t)
+        script = EditScript(
+            [
+                Update(num.node, (("n", 1),), (("n", 5),)),  # applies
+                # typechecks: node 424242 ∉ R, slot free; runtime: no such URI
+                Detach(Node("Var", 424242), "e2", Node("Add", 424243)),
+                Attach(Node("Var", 424242), "e2", Node("Add", 424243)),
+            ]
+        )
+        with pytest.raises(PatchError) as exc_info:
+            t.patch(script, atomic=True, sigs=EXP.sigs)
+        assert exc_info.value.rolled_back
+        assert exc_info.value.edit_index == 1
+        assert "[rolled back]" in str(exc_info.value)
+        assert tree_fingerprint(t) == before
+        assert num.lits["n"] == 1  # the applied Update was undone
+
+    def test_non_atomic_failure_leaves_partial_state(self):
+        """The contrast case: without atomic, earlier edits stick."""
+        t = tree()
+        num = t.main.kids["e1"]
+        script = EditScript(
+            [
+                Update(num.node, (("n", 1),), (("n", 5),)),
+                Update(Node("Num", 424242), (("n", 0),), (("n", 1),)),
+            ]
+        )
+        with pytest.raises(PatchError) as exc_info:
+            t.patch(script)
+        assert not exc_info.value.rolled_back
+        assert num.lits["n"] == 5
+
+    def test_injected_fault_aborts_and_restores(self):
+        a = EXP.Add(EXP.Num(1), EXP.Var("a"))
+        b = EXP.Mul(EXP.Var("a"), EXP.Num(2))
+        script, _ = diff(a, b)
+        n_prims = sum(1 for _ in script.primitives())
+        proto = tnode_to_mtree(a)
+        before = tree_fingerprint(proto)
+        for k in range(n_prims):
+            t = proto.copy()
+            with pytest.raises(PatchAbortedError) as exc_info:
+                t.patch(
+                    script, atomic=True, sigs=a.sigs, fault_hook=inject_fault_at(k)
+                )
+            assert exc_info.value.rolled_back
+            assert isinstance(exc_info.value.__cause__, InjectedFault)
+            assert tree_fingerprint(t) == before
+
+    def test_fault_hook_runs_on_non_atomic_path_too(self):
+        t = tree()
+        script = EditScript(
+            [Update(t.main.kids["e1"].node, (("n", 1),), (("n", 2),))]
+        )
+        with pytest.raises(InjectedFault):
+            t.patch(script, fault_hook=inject_fault_at(0))
+        assert t.main.kids["e1"].lits["n"] == 1
+
+    def test_rollback_restores_unloaded_node_identity(self):
+        """After rollback, kid wiring must reference the *indexed* objects —
+        no stale aliases (the verifier would flag them)."""
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        script = EditScript(
+            [
+                Detach(num.node, "e1", add.node),
+                Unload(num.node, (), (("n", 1),)),
+                Load(Node("Num", 555555), (), (("n", 9),)),
+                Attach(Node("Num", 555555), "e1", add.node),
+                # fails: URI unknown at runtime
+                Update(Node("Num", 777777), (("n", 0),), (("n", 1),)),
+            ]
+        )
+        with pytest.raises(PatchError) as exc_info:
+            t.patch(script, atomic=True, sigs=EXP.sigs)
+        assert exc_info.value.rolled_back
+        assert t.index[num.uri] is num
+        assert add.kids["e1"] is num
+        assert 555555 not in t.index
+        assert check_tree(t, EXP.sigs) == []
+
+    def test_rollback_restores_update_from_actual_values(self):
+        """A lying Update (wrong old_lits) still rolls back to the actual
+        prior value, not the claimed one."""
+        t = tree()
+        num = t.main.kids["e1"]
+        script = EditScript(
+            [
+                Update(num.node, (("n", 1),), (("n", 5),)),
+                Update(Node("Num", 777777), (("n", 0),), (("n", 1),)),
+            ]
+        )
+        # lie about the old value: old_lits says 1, pretend it says 999
+        lying = EditScript(
+            [
+                Update(num.node, (("n", 999),), (("n", 5),)),
+                script[1],
+            ]
+        )
+        before = tree_fingerprint(t)
+        with pytest.raises(PatchError):
+            t.patch(lying, atomic=True)
+        assert tree_fingerprint(t) == before
+        assert num.lits["n"] == 1
+
+    def test_verify_failure_rolls_back(self):
+        """verify=True + a script that leaves a detached leak (no sigs, so
+        no preflight) must roll back via the integrity verifier."""
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        script = EditScript([Detach(num.node, "e1", add.node)])
+        before = tree_fingerprint(t)
+        with pytest.raises(PatchAbortedError, match="integrity"):
+            t.patch(script, atomic=True, verify=True)
+        assert tree_fingerprint(t) == before
+
+    def test_composite_scripts_apply_atomically(self):
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        fresh = EXP.g.sigs.urigen.fresh()
+        script = EditScript(
+            [
+                Remove(num.node, "e1", add.node, (), (("n", 1),)),
+                Insert(Node("Var", fresh), (), (("name", "z"),), "e1", add.node),
+            ]
+        )
+        t.patch(script, atomic=True, sigs=EXP.sigs, verify=True)
+        assert t.main.kids["e1"].lits["name"] == "z"
+
+    def test_apply_script_atomic_passthrough(self):
+        a = EXP.Add(EXP.Num(1), EXP.Var("a"))
+        b = EXP.Add(EXP.Num(2), EXP.Var("a"))
+        script, _ = diff(a, b)
+        patched = apply_script(a, script, atomic=True, verify=True)
+        assert patched.tree_equal(b)
+
+    def test_atomic_metrics_counters(self):
+        obs.enable()
+        try:
+            t = tree()
+            add = t.main
+            num = add.kids["e1"]
+            # commit
+            t.patch(
+                EditScript([Update(num.node, (("n", 1),), (("n", 2),))]),
+                atomic=True,
+                sigs=EXP.sigs,
+            )
+            # preflight reject
+            with pytest.raises(PreflightError):
+                t.patch(
+                    EditScript([Detach(num.node, "e1", add.node)]),
+                    atomic=True,
+                    sigs=EXP.sigs,
+                )
+            # rollback
+            with pytest.raises(PatchError):
+                t.patch(
+                    EditScript(
+                        [
+                            Update(num.node, (("n", 2),), (("n", 3),)),
+                            Update(Node("Num", 999999), (("n", 0),), (("n", 1),)),
+                        ]
+                    ),
+                    atomic=True,
+                )
+            snap = obs.snapshot()
+            counters = snap["counters"]
+            assert counters["repro.patch.atomic.commits"] >= 1
+            assert counters["repro.patch.atomic.preflight_rejects"] >= 1
+            assert counters["repro.patch.atomic.rollbacks"] >= 1
+            assert counters["repro.patch.atomic.edits_rolled_back"] >= 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+class TestIntegrityVerifier:
+    def test_sound_tree_passes(self):
+        t = tree()
+        assert check_tree(t, EXP.sigs) == []
+        verify_tree(t, EXP.sigs)  # no raise
+
+    def test_empty_tree_passes(self):
+        verify_tree(MTree(), EXP.sigs)
+
+    def test_index_key_mismatch(self):
+        t = tree()
+        num = t.main.kids["e1"]
+        t.index[987654] = num  # key does not match node URI
+        assert any("index key" in v for v in check_tree(t))
+
+    def test_stale_kid_reference(self):
+        t = tree()
+        num = t.main.kids["e1"]
+        # replace the indexed object but leave the parent pointing at the old
+        from repro.core.mtree import MNode
+
+        t.index[num.uri] = MNode(num.node, {}, dict(num.lits))
+        assert any("stale" in v for v in check_tree(t))
+
+    def test_unindexed_kid_reference(self):
+        t = tree()
+        num = t.main.kids["e1"]
+        del t.index[num.uri]
+        assert any("unindexed" in v for v in check_tree(t))
+
+    def test_two_parents_detected(self):
+        t = tree()
+        add = t.main
+        add.kids["e2"] = add.kids["e1"]
+        violations = check_tree(t, EXP.sigs)
+        assert any("2 parents" in v for v in violations)
+
+    def test_empty_slot_detected(self):
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        t.process_edit(Detach(num.node, "e1", add.node))
+        violations = check_tree(t, EXP.sigs)
+        assert any("empty slot" in v for v in violations)
+        assert any("not reachable" in v for v in violations)
+        # mid-transaction inspection accepts open trees
+        assert check_tree(t, EXP.sigs, allow_detached=True) == []
+
+    def test_signature_violations_detected(self):
+        t = tree()
+        num = t.main.kids["e1"]
+        num.lits["n"] = "not an int"
+        assert any("is not a" in v for v in check_tree(t, EXP.sigs))
+        num.lits.pop("n")
+        num.lits["wrong"] = 1
+        assert any("literal links" in v for v in check_tree(t, EXP.sigs))
+
+    def test_kid_sort_violation_detected(self):
+        """Graft a node under a slot whose sort it does not satisfy."""
+        from repro.core import Grammar, LIT_INT
+
+        g = Grammar()
+        Exp = g.sort("Exp")
+        Lit = g.sort("Lit", supers=[Exp])
+        g.constructor("N", Lit, lits=[("n", LIT_INT)])
+        g.constructor("Plus", Exp, kids=[("l", Exp), ("r", Exp)])
+        g.constructor("Inc", Exp, kids=[("x", Lit)])
+        t = tnode_to_mtree(g.constructors["Inc"](g.constructors["N"](1)))
+        inc = t.main
+        # overwrite the Lit-sorted slot with a Plus node
+        plus = tnode_to_mtree(
+            g.constructors["Plus"](g.constructors["N"](2), g.constructors["N"](3))
+        )
+        for n in plus.main.iter_subtree():
+            t.index[n.uri] = n
+        old = inc.kids["x"]
+        del t.index[old.uri]
+        inc.kids["x"] = plus.main
+        assert any("not a subtype" in v for v in check_tree(t, g.sigs))
+
+    def test_integrity_error_carries_violations(self):
+        t = tree()
+        num = t.main.kids["e1"]
+        num.lits["n"] = "oops"
+        with pytest.raises(IntegrityError) as exc_info:
+            verify_tree(t, EXP.sigs)
+        assert exc_info.value.violations
+        assert "violation" in str(exc_info.value)
+
+    def test_fingerprint_ignores_index_order_not_content(self):
+        t1 = tree()
+        t2 = tnode_to_mtree(EXP.Add(EXP.Num(1), EXP.Var("a")))
+        # same shape, different URIs: fingerprints differ (URIs are state)
+        assert tree_fingerprint(t1) != tree_fingerprint(t2)
+        # a copy preserves URIs and content: identical fingerprint
+        assert tree_fingerprint(t1) == tree_fingerprint(t1.copy())
+        # literal type matters: 1 vs True must not collide
+        num = t1.main.kids["e1"]
+        f_before = tree_fingerprint(t1)
+        num.lits["n"] = True
+        assert tree_fingerprint(t1) != f_before

@@ -186,3 +186,61 @@ class TestInversion:
     def test_double_inverse_is_identity(self, a, b):
         script, _ = diff(a, b)
         assert invert_script(invert_script(script)) == script
+
+    # -- edge cases and composite-carrying scripts ---------------------------
+
+    def test_empty_script_inverts_to_empty(self):
+        empty = EditScript()
+        assert invert_script(empty) == empty
+        assert invert_script(invert_script(empty)) == empty
+
+    def test_update_only_script_round_trips(self):
+        from repro.core import apply_script
+
+        a = EXP.Add(EXP.Num(1), EXP.Var("a"))
+        b = EXP.Add(EXP.Num(2), EXP.Var("a"))
+        script, _ = diff(a, b)
+        assert all(isinstance(e, Update) for e in script)
+        inverse = invert_script(script)
+        assert invert_script(inverse) == script
+        restored = apply_script(apply_script(a, script), inverse)
+        assert restored.tree_equal(a)
+
+    def test_composite_script_double_inverse_edit_for_edit(self):
+        """invert(invert(s)) == s for a script containing Insert/Remove,
+        compared edit-for-edit (composites stay composites)."""
+        t = EXP.Add(EXP.Num(1), EXP.Var("a"))
+        num = t.kids[0]
+        script = EditScript(
+            [
+                Remove(num.node, "e1", t.node, (), (("n", 1),)),
+                Insert(Node("Var", 900001), (), (("name", "z"),), "e1", t.node),
+            ]
+        )
+        double = invert_script(invert_script(script))
+        assert list(double) == list(script)
+        assert isinstance(invert_script(script)[0], Remove)
+        assert isinstance(invert_script(script)[1], Insert)
+
+    def test_composite_script_patch_then_inverse_restores(self):
+        """patch(s); patch(invert(s)) restores a tree, URIs included, for
+        a script containing Insert and Remove."""
+        from repro.core import assert_well_typed
+
+        t = EXP.Add(EXP.Num(1), EXP.Var("a"))
+        num = t.kids[0]
+        fresh = EXP.g.sigs.urigen.fresh()
+        script = EditScript(
+            [
+                Remove(num.node, "e1", t.node, (), (("n", 1),)),
+                Insert(Node("Var", fresh), (), (("name", "z"),), "e1", t.node),
+            ]
+        )
+        inverse = invert_script(script)
+        assert_well_typed(EXP.sigs, EditScript(list(script) + list(inverse)))
+        mt = tnode_to_mtree(t)
+        original = mt.to_tuple(with_uris=True)
+        mt.patch(script)
+        assert mt.to_tuple(with_uris=True) != original
+        mt.patch(inverse)
+        assert mt.to_tuple(with_uris=True) == original

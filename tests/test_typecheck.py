@@ -287,3 +287,96 @@ class TestScriptLevelProperties:
         s1 = LinearState.of({1: EXP.sigs["Var"].result}, {})
         s2 = LinearState.of({1: EXP.sigs["Var"].result}, {})
         assert s1 == s2 and hash(s1) == hash(s2)
+
+
+class TestComposites:
+    """T-Insert / T-Remove: the derived rules for compound edits, including
+    the ill-typed cases (each half can fail independently)."""
+
+    def setup_method(self):
+        self.sigs = EXP.sigs
+
+    def remove_var2(self):
+        from repro.core import Remove
+
+        return Remove(Node("Var", 2), "e1", Node("Add", 1), (), (("name", "a"),))
+
+    def test_well_typed_remove_then_insert(self):
+        from repro.core import Insert
+
+        script = EditScript(
+            [
+                self.remove_var2(),
+                Insert(Node("Num", 80), (), (("n", 1),), "e1", Node("Add", 1)),
+            ]
+        )
+        assert is_well_typed(self.sigs, script)
+
+    def test_insert_into_occupied_slot_fails_attach_half(self):
+        from repro.core import Insert
+
+        script = EditScript(
+            [Insert(Node("Num", 81), (), (("n", 1),), "e1", Node("Add", 1))]
+        )
+        with pytest.raises(EditTypeError, match="not empty"):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+    def test_insert_with_ill_typed_literal_fails_load_half(self):
+        from repro.core import Insert, Remove
+
+        script = EditScript(
+            [
+                self.remove_var2(),
+                Insert(Node("Num", 82), (), (("n", "oops"),), "e1", Node("Add", 1)),
+            ]
+        )
+        with pytest.raises(EditTypeError):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+    def test_remove_of_already_detached_node_fails_detach_half(self):
+        script = EditScript([self.remove_var2(), self.remove_var2()])
+        with pytest.raises(EditTypeError, match="already"):
+            check_script(self.sigs, script, CLOSED_STATE)
+
+    def test_composite_failure_names_the_composite(self):
+        """The diagnostic must blame the Insert the script contains, not
+        the synthetic primitive half it expanded into."""
+        from repro.core import Insert
+        from repro.core.typecheck import check_edit
+
+        edit = Insert(Node("Num", 83), (), (("n", 1),), "e1", Node("Add", 1))
+        roots, slots = CLOSED_STATE.as_dicts()
+        with pytest.raises(EditTypeError) as exc_info:
+            check_edit(self.sigs, edit, roots, slots)
+        assert exc_info.value.edit is edit
+        assert "insert" in str(exc_info.value)
+
+    def test_failed_composite_leaves_state_unmutated(self):
+        """An Insert whose Load half succeeds but whose Attach half fails
+        must not leave the loaded root in (R, S)."""
+        from repro.core import Insert
+        from repro.core.typecheck import check_edit
+
+        edit = Insert(Node("Num", 84), (), (("n", 1),), "e1", Node("Add", 1))
+        roots, slots = CLOSED_STATE.as_dicts()
+        before = (dict(roots), dict(slots))
+        with pytest.raises(EditTypeError):
+            check_edit(self.sigs, edit, roots, slots)
+        assert (roots, slots) == before
+
+    def test_composite_success_equals_expansion(self):
+        from repro.core import Insert, Remove
+        from repro.core.typecheck import check_edit
+
+        composites = [
+            self.remove_var2(),
+            Insert(Node("Num", 85), (), (("n", 1),), "e1", Node("Add", 1)),
+        ]
+        r1, s1 = CLOSED_STATE.as_dicts()
+        for e in composites:
+            check_edit(self.sigs, e, r1, s1)
+        r2, s2 = CLOSED_STATE.as_dicts()
+        for e in composites:
+            for prim in e.expand():
+                check_edit(self.sigs, prim, r2, s2)
+        assert LinearState.of(r1, s1) == LinearState.of(r2, s2)
