@@ -9,6 +9,9 @@ Usage::
     python -m repro stats before.py after.py           # pass-by-pass report
     python -m repro apply before.py script.json        # patch and unparse
     python -m repro apply before.py script.json --atomic --verify
+    python -m repro lint script.json                   # static analysis, no tree
+    python -m repro lint script.json --format sarif --out lint.sarif
+    python -m repro lint script.json --fix             # minimize in place
     python -m repro verify file.py                     # tree integrity check
     python -m repro verify file.py --script script.json
     python -m repro compare before.py after.py         # all tools side by side
@@ -34,7 +37,7 @@ import time
 
 from repro import observability as obs
 from repro.adapters import ast_node_count, parse_python, tnode_to_gumtree, unparse_python
-from repro.core import assert_well_typed, diff, tnode_to_mtree
+from repro.core import EditTypeError, assert_well_typed, diff, tnode_to_mtree
 from repro.core.serialize import SerializationError, script_from_json, script_to_json
 
 
@@ -195,6 +198,61 @@ def cmd_apply(args: argparse.Namespace) -> int:
     rebuilt = g.grammar.parse_tuple(mtree.to_tuple())
     print(unparse_python(rebuilt))
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Statically analyze a truechange JSON script — no tree in hand.
+
+    Runs the truelint analyzer (linear typing against Σ, Definition 3.1
+    boundary conditions, redundancy lints) and renders the report as
+    compiler-style text, JSON, or SARIF.  ``--fix`` additionally applies
+    the semantics-preserving rewrites and writes the minimized script
+    back to the input file.
+
+    Exit status: 0 for a well-typed script (warnings allowed), 1 if any
+    error-severity finding remains, 2 for unusable inputs.
+    """
+    from repro.analysis import lint_script, minimize, render_json, render_sarif, render_text
+
+    if args.sigs == "python":
+        from repro.adapters.pyast import python_grammar
+
+        sigs = python_grammar().grammar.sigs
+    else:
+        sigs = _parse_file(args.sigs).sigs
+
+    try:
+        script = script_from_json(_read(args.script))
+    except SerializationError as exc:
+        raise CLIError(args.script, str(exc)) from None
+
+    if args.fix:
+        result = minimize(script)
+        if result.changed:
+            with open(args.script, "w", encoding="utf8") as fh:
+                fh.write(script_to_json(result.script, indent=2))
+                fh.write("\n")
+            print(
+                f"repro: lint: applied {len(result.applied)} fix(es) in "
+                f"{result.rounds} round(s): {result.original_edits} -> "
+                f"{result.minimized_edits} edits",
+                file=sys.stderr,
+            )
+            script = result.script
+
+    report = lint_script(script, sigs, uri=args.script)
+    rendered = {
+        "text": lambda: render_text(report),
+        "json": lambda: render_json(report),
+        "sarif": lambda: render_sarif([report]),
+    }[args.format]()
+    if args.out:
+        with open(args.out, "w", encoding="utf8") as fh:
+            fh.write(rendered)
+            fh.write("\n")
+    else:
+        print(rendered)
+    return 0 if report.ok else 1
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -391,6 +449,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_apply.set_defaults(func=cmd_apply)
 
+    p_lint = sub.add_parser(
+        "lint", help="statically analyze a truechange JSON script (no tree needed)"
+    )
+    p_lint.add_argument("script", help="truechange JSON script to analyze")
+    p_lint.add_argument(
+        "--sigs",
+        default="python",
+        metavar="PYTHON|FILE",
+        help="signatures to check against: 'python' (default) for the "
+        "built-in Python grammar, or a Python source file to derive them from",
+    )
+    p_lint.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json", "sarif"],
+        help="report format (default text)",
+    )
+    p_lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the semantics-preserving rewrites and write the "
+        "minimized script back to the input file",
+    )
+    p_lint.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    p_lint.set_defaults(func=cmd_lint)
+
     p_verify = sub.add_parser(
         "verify", help="check the structural integrity of a parsed tree"
     )
@@ -475,6 +562,11 @@ def main(argv: list[str] | None = None) -> int:
     except CLIError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
+    except EditTypeError as exc:
+        # the rendered message carries the stable TLxxx code and the
+        # failing primitive edit index — the same span `repro lint` reports
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,83 @@
+"""truelint: static analysis, linting, and minimization of edit scripts.
+
+Everything in this package works on the *script alone* — a
+:class:`~repro.core.edits.EditScript` plus a
+:class:`~repro.core.signature.SignatureRegistry` — with no tree in hand.
+That is the defining constraint: these are the checks a relay, a patch
+registry, or a CI gate can run on wire scripts before any tree is
+touched.
+
+Layers, bottom up:
+
+* :mod:`~repro.analysis.diagnostics` — findings (stable ``TLxxx`` codes,
+  severities, spans, fix-its) and the text/JSON/SARIF renderers;
+* :mod:`~repro.analysis.abstract` — the abstract interpreter over the
+  linear ``(R • S)`` state of Figure 3, reporting type errors with
+  recovery instead of failing fast;
+* :mod:`~repro.analysis.rules` — semantic lint rules over script
+  dataflow (TL010–TL014), each finding paired with a machine rewrite;
+* :mod:`~repro.analysis.minimize` — the canonicalizer applying those
+  rewrites to a fixpoint, plus the differential patch-equivalence oracle;
+* :mod:`~repro.analysis.commute` — script-pair commutation analysis (the
+  precise merge precheck :func:`repro.core.merge_scripts` uses);
+* :mod:`~repro.analysis.linter` — :func:`lint_script`, the orchestrating
+  entry point behind ``repro lint``;
+* :mod:`~repro.analysis.campaign` — the CI campaign linting corrupted
+  scripts and gating on per-corruption-class detection.
+"""
+
+from .abstract import AbstractResult, interpret
+from .commute import Footprint, commute_conflicts, commutes, script_footprint
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    Fix,
+    LINT_DEAD_LOAD_UNLOAD,
+    LINT_REDUNDANT_DETACH_ATTACH,
+    LINT_SHADOWED_UPDATE,
+    LINT_TRANSIENT_ATTACH,
+    LINT_UNREFERENCED_LOAD,
+    LintReport,
+    REDUNDANCY_CODES,
+    SEVERITIES,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from .linter import lint_script
+from .minimize import (
+    FIXABLE_CODES,
+    MinimizeResult,
+    minimize,
+    patch_equivalent,
+)
+from .rules import run_rules
+
+__all__ = [
+    "AbstractResult",
+    "CODES",
+    "Diagnostic",
+    "FIXABLE_CODES",
+    "Fix",
+    "Footprint",
+    "LINT_DEAD_LOAD_UNLOAD",
+    "LINT_REDUNDANT_DETACH_ATTACH",
+    "LINT_SHADOWED_UPDATE",
+    "LINT_TRANSIENT_ATTACH",
+    "LINT_UNREFERENCED_LOAD",
+    "LintReport",
+    "MinimizeResult",
+    "REDUNDANCY_CODES",
+    "SEVERITIES",
+    "commute_conflicts",
+    "commutes",
+    "interpret",
+    "lint_script",
+    "minimize",
+    "patch_equivalent",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "run_rules",
+    "script_footprint",
+]

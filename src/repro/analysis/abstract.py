@@ -1,0 +1,254 @@
+"""The truelint abstract interpreter over the linear ``(R • S)`` state.
+
+This is the tree-free half of Figure 3: the same typing rules
+:mod:`repro.core.typecheck` implements, run as an *analysis* instead of a
+check.  Differences from :func:`~repro.core.typecheck.check_script`:
+
+* **No tree in hand.**  The interpreter only consults Σ (the
+  :class:`~repro.core.signature.SignatureRegistry`) and the abstract
+  ``(R • S)`` state — exactly the information a relay or registry vetting
+  wire scripts has before any tree is touched.
+* **Error recovery.**  Where the checker raises on the first violation,
+  the interpreter records a :class:`~repro.analysis.diagnostics.Diagnostic`
+  and *forces* the edit's postcondition onto the state (a detach that
+  failed still leaves the node a root and the slot empty, etc.), so one
+  corrupted edit does not drown the rest of the script in follow-on
+  noise.
+* **Boundary conditions as findings.**  Definition 3.1's start/end
+  conditions become ``TL001 leaked-root`` / ``TL002 dangling-slot``
+  findings against the final state instead of a single opaque failure.
+
+Soundness note: recovery is a heuristic for diagnostic quality only.  The
+analysis verdict that matters — "would :func:`check_script` accept this
+script from this state?" — is precisely "zero error-severity findings",
+because the first diagnostic is recorded at the first edit the checker
+would reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.edits import (
+    Attach,
+    Detach,
+    EditScript,
+    Load,
+    PrimitiveEdit,
+    Unload,
+    Update,
+)
+from repro.core.signature import SignatureError, SignatureRegistry
+from repro.core.typecheck import (
+    CLOSED_STATE,
+    EditTypeError,
+    LinearState,
+    Slot,
+    TC_DANGLING_SLOT,
+    TC_LEAKED_ROOT,
+    TC_SORT_MISMATCH,
+    TC_UNKNOWN_SIGNATURE,
+    check_edit,
+)
+from repro.core.types import ANY, Type
+from repro.core.uris import URI
+
+from .diagnostics import Diagnostic
+
+
+@dataclass
+class AbstractResult:
+    """Outcome of abstractly interpreting one script."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    final: Optional[LinearState] = None
+    #: number of primitive edits interpreted
+    primitives: int = 0
+
+    @property
+    def well_typed(self) -> bool:
+        return not self.diagnostics
+
+
+def _sig_result(sigs: SignatureRegistry, tag: str) -> Type:
+    sig = sigs.get(tag)
+    return sig.result if sig is not None else ANY
+
+
+def _kid_type(sigs: SignatureRegistry, tag: str, link: str) -> Type:
+    sig = sigs.get(tag)
+    if sig is None:
+        return ANY
+    try:
+        return sig.kid_type(link)
+    except SignatureError:
+        return ANY
+
+
+def _force(
+    sigs: SignatureRegistry,
+    edit: PrimitiveEdit,
+    roots: dict[URI, Type],
+    slots: dict[Slot, Type],
+) -> None:
+    """Best-effort postcondition of ``edit``, applied after a violation so
+    the interpretation can continue.  Unknown sorts degrade to ``Any``."""
+    if isinstance(edit, Detach):
+        roots[edit.node.uri] = _sig_result(sigs, edit.node.tag)
+        slots[(edit.parent.uri, edit.link)] = _kid_type(
+            sigs, edit.parent.tag, edit.link
+        )
+    elif isinstance(edit, Attach):
+        roots.pop(edit.node.uri, None)
+        slots.pop((edit.parent.uri, edit.link), None)
+    elif isinstance(edit, Load):
+        for _, kid_uri in edit.kids:
+            roots.pop(kid_uri, None)
+        roots[edit.node.uri] = _sig_result(sigs, edit.node.tag)
+    elif isinstance(edit, Unload):
+        roots.pop(edit.node.uri, None)
+        for link, kid_uri in edit.kids:
+            roots.setdefault(kid_uri, _kid_type(sigs, edit.node.tag, link))
+    # Update: no effect on (R • S)
+
+
+def _check_tag_coherence(
+    edit: PrimitiveEdit,
+    i: int,
+    uri_tags: dict[URI, str],
+    flagged: set[URI],
+    out: list[Diagnostic],
+) -> None:
+    """URIs are node identities, so one URI must carry one tag across the
+    whole script.  The linear rules alone cannot see a violation (they
+    track sorts by URI, not tags), but a script referencing the same URI
+    under two tags is incoherent — the characteristic residue of wire
+    damage that exchanges URIs between nodes of different sorts."""
+    nodes = [edit.node]
+    if isinstance(edit, (Detach, Attach)):
+        nodes.append(edit.parent)
+    for n in nodes:
+        prev = uri_tags.setdefault(n.uri, n.tag)
+        if prev != n.tag and n.uri not in flagged:
+            flagged.add(n.uri)
+            out.append(
+                Diagnostic(
+                    code=TC_SORT_MISMATCH,
+                    severity="error",
+                    message=(
+                        f"URI {n.uri} is referenced as {n.tag} here but as "
+                        f"{prev} earlier in the script: one URI must denote "
+                        f"one node"
+                    ),
+                    edit_index=i,
+                    uri=n.uri,
+                )
+            )
+
+
+def interpret(
+    sigs: SignatureRegistry,
+    script: EditScript,
+    *,
+    start: LinearState = CLOSED_STATE,
+    end: Optional[LinearState] = CLOSED_STATE,
+    max_diagnostics: int = 200,
+) -> AbstractResult:
+    """Run the script through the typing rules, collecting diagnostics.
+
+    ``start`` is the assumed initial ``(R • S)`` (Definition 3.1's
+    ``((null:Root) • ε)`` by default; pass
+    :data:`~repro.core.typecheck.INITIAL_STATE` for initializing scripts,
+    or a state read off a live tree by
+    :func:`repro.robustness.linear_state_of`).  ``end`` is the required
+    final state; ``None`` skips the boundary check (useful for script
+    prefixes).
+    """
+    result = AbstractResult()
+    roots, slots = start.as_dicts()
+    uri_tags: dict[URI, str] = {}
+    tag_flagged: set[URI] = set()
+    i = -1
+    for i, edit in enumerate(script.primitives()):
+        if len(result.diagnostics) >= max_diagnostics:
+            break
+        _check_tag_coherence(edit, i, uri_tags, tag_flagged, result.diagnostics)
+        try:
+            check_edit(sigs, edit, roots, slots)
+        except EditTypeError as exc:
+            result.diagnostics.append(
+                Diagnostic(
+                    code=exc.code,
+                    severity="error",
+                    message=exc.reason,
+                    edit_index=i,
+                    uri=edit.node.uri,
+                )
+            )
+            _force(sigs, edit, roots, slots)
+        except SignatureError as exc:
+            result.diagnostics.append(
+                Diagnostic(
+                    code=TC_UNKNOWN_SIGNATURE,
+                    severity="error",
+                    message=str(exc),
+                    edit_index=i,
+                    uri=edit.node.uri,
+                )
+            )
+            _force(sigs, edit, roots, slots)
+    result.primitives = i + 1
+    result.final = LinearState.of(roots, slots)
+
+    if end is not None and len(result.diagnostics) < max_diagnostics:
+        want_roots, want_slots = end.as_dicts()
+        for uri in sorted(roots.keys() - want_roots.keys(), key=repr):
+            result.diagnostics.append(
+                Diagnostic(
+                    code=TC_LEAKED_ROOT,
+                    severity="error",
+                    message=(
+                        f"detached root {uri}:{roots[uri]} is leaked: it is "
+                        f"never re-attached or unloaded"
+                    ),
+                    uri=uri,
+                )
+            )
+        for uri in sorted(want_roots.keys() - roots.keys(), key=repr):
+            result.diagnostics.append(
+                Diagnostic(
+                    code=TC_LEAKED_ROOT,
+                    severity="error",
+                    message=(
+                        f"expected detached root {uri}:{want_roots[uri]} is "
+                        f"missing from the final state"
+                    ),
+                    uri=uri,
+                )
+            )
+        for (p_uri, link) in sorted(slots.keys() - want_slots.keys(), key=repr):
+            result.diagnostics.append(
+                Diagnostic(
+                    code=TC_DANGLING_SLOT,
+                    severity="error",
+                    message=(
+                        f"slot {p_uri}.{link} is left empty: the script "
+                        f"detaches it and never refills it"
+                    ),
+                    uri=p_uri,
+                )
+            )
+        for (p_uri, link) in sorted(want_slots.keys() - slots.keys(), key=repr):
+            result.diagnostics.append(
+                Diagnostic(
+                    code=TC_DANGLING_SLOT,
+                    severity="error",
+                    message=(
+                        f"expected empty slot {p_uri}.{link} was filled by "
+                        f"the script"
+                    ),
+                    uri=p_uri,
+                )
+            )
+    return result

@@ -1,0 +1,169 @@
+"""Script-pair commutation analysis: do two edit scripts commute?
+
+Two scripts derived from the same ancestor tree can be merged by
+concatenation exactly when they *commute* — applying them in either order
+yields the same tree.  Because truechange scripts are linearly typed,
+commutation is decidable from the scripts alone: each script's effect on
+the ancestor is summarized by a :class:`Footprint` of the linear
+resources it consumes, and two scripts commute iff their footprints are
+disjoint in the precise sense of :func:`commute_conflicts`.
+
+The footprint distinguishes *how* a resource is used, which is what makes
+this strictly more permissive than the historical URI-overlap check in
+:mod:`repro.core.merge`:
+
+* ``slots`` — ``(parent_uri, link)`` slots the script detaches or fills
+  on ancestor nodes.  Two scripts rewiring the same slot race on it.
+* ``positions`` — ancestor nodes the script *moves* (detaches, attaches,
+  consumes into a load, or frees from an unload).  Moving a node twice is
+  a race; merely mentioning the same node is not.
+* ``contents`` — ancestor nodes whose literals the script updates.
+  Content edits commute with position edits of the same node: moving a
+  node does not observe its literals, and updating them does not observe
+  its position.
+* ``destroyed`` — ancestor nodes the script unloads.  Destruction
+  conflicts with *any* use by the other script (position, content,
+  destruction, or a slot under the destroyed node).
+* ``loaded`` — fresh URIs the script creates.  Fresh nodes are invisible
+  to the other script (merging renames them), so edits that only touch a
+  script's own loads contribute nothing to its footprint.
+
+Soundness argument, rule by rule: disjoint slots means neither script
+fills or empties a slot the other relies on; disjoint positions means the
+detach/attach obligations of one script are undisturbed by the other;
+disjoint contents means updates read the old literals they expect; the
+destruction rule means no script references a node that no longer exists.
+Under those conditions each edit of ∆₂ sees exactly the state it saw
+against the ancestor, up to edits of ∆₁ on resources ∆₂ never touches —
+so ``∆₁ ; ∆₂`` and ``∆₂ ; ∆₁`` both type-check and produce the same tree.
+
+Footprints are computed on the *minimized* script (redundant
+detach/attach round trips would otherwise inflate the footprint and
+report phantom conflicts), but the merged output concatenates the
+original scripts unchanged — minimization here is an analysis device, not
+a rewrite of the user's scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.edits import (
+    Attach,
+    Detach,
+    EditScript,
+    Load,
+    Unload,
+    Update,
+)
+from repro.core.merge import MergeConflict
+from repro.core.node import Link
+from repro.core.uris import URI
+
+from .minimize import minimize
+
+Slot = tuple[URI, Link]
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The ancestor-tree resources one script consumes."""
+
+    slots: frozenset[Slot]
+    positions: frozenset[URI]
+    contents: frozenset[URI]
+    destroyed: frozenset[URI]
+    loaded: frozenset[URI]
+
+    @property
+    def touched(self) -> frozenset[URI]:
+        """Every ancestor node the script uses in any way."""
+        return (
+            self.positions
+            | self.contents
+            | self.destroyed
+            | frozenset(p for p, _ in self.slots)
+        )
+
+
+def script_footprint(script: EditScript, *, canonicalize: bool = True) -> Footprint:
+    """Compute the linear-resource footprint of ``script``.
+
+    With ``canonicalize`` (the default) the footprint is taken over the
+    lint normal form, so self-cancelling noise (a detach undone by an
+    attach, a dead load/unload) does not count as resource use.
+    """
+    if canonicalize:
+        script = minimize(script).script
+    slots: set[Slot] = set()
+    positions: set[URI] = set()
+    contents: set[URI] = set()
+    destroyed: set[URI] = set()
+    loaded: set[URI] = set()
+    for edit in script.primitives():
+        if isinstance(edit, Detach):
+            if edit.parent.uri not in loaded:
+                slots.add((edit.parent.uri, edit.link))
+            if edit.node.uri not in loaded:
+                positions.add(edit.node.uri)
+        elif isinstance(edit, Attach):
+            if edit.parent.uri not in loaded:
+                slots.add((edit.parent.uri, edit.link))
+            if edit.node.uri not in loaded:
+                positions.add(edit.node.uri)
+        elif isinstance(edit, Load):
+            loaded.add(edit.node.uri)
+            for _, kid in edit.kids:
+                if kid not in loaded:
+                    positions.add(kid)
+        elif isinstance(edit, Unload):
+            if edit.node.uri not in loaded:
+                destroyed.add(edit.node.uri)
+            for _, kid in edit.kids:
+                if kid not in loaded:
+                    positions.add(kid)
+        elif isinstance(edit, Update):
+            if edit.node.uri not in loaded:
+                contents.add(edit.node.uri)
+    return Footprint(
+        slots=frozenset(slots),
+        positions=frozenset(positions),
+        contents=frozenset(contents),
+        destroyed=frozenset(destroyed),
+        loaded=frozenset(loaded),
+    )
+
+
+def _destruction_conflicts(
+    destroyer: Footprint, other: Footprint
+) -> frozenset[URI]:
+    """Nodes ``destroyer`` unloads that ``other`` uses in any way."""
+    return destroyer.destroyed & other.touched
+
+
+def commute_conflicts(a: EditScript, b: EditScript) -> list[MergeConflict]:
+    """The precise reasons ``a`` and ``b`` fail to commute (empty iff they
+    commute).  Conflict kinds:
+
+    * ``slot`` — both scripts rewire the same ``(parent, link)`` slot;
+    * ``position`` — both scripts move the same node;
+    * ``content`` — both scripts update the same node's literals;
+    * ``node`` — one script destroys a node the other uses.
+    """
+    fa, fb = script_footprint(a), script_footprint(b)
+    conflicts: list[MergeConflict] = []
+    for slot in sorted(fa.slots & fb.slots, key=repr):
+        conflicts.append(MergeConflict("slot", slot))
+    for uri in sorted(fa.positions & fb.positions, key=repr):
+        conflicts.append(MergeConflict("position", (uri,)))
+    for uri in sorted(fa.contents & fb.contents, key=repr):
+        conflicts.append(MergeConflict("content", (uri,)))
+    destroyed = _destruction_conflicts(fa, fb) | _destruction_conflicts(fb, fa)
+    for uri in sorted(destroyed, key=repr):
+        conflicts.append(MergeConflict("node", (uri,)))
+    return conflicts
+
+
+def commutes(a: EditScript, b: EditScript) -> bool:
+    """True iff the two scripts commute (their merge is conflict-free)."""
+    return not commute_conflicts(a, b)

@@ -1,0 +1,274 @@
+"""The truelint diagnostic framework: findings, codes, and renderers.
+
+A :class:`Diagnostic` is one finding of the static analyzer: a stable
+``TLxxx`` code, a severity, a message, and a *span* — the primitive edit
+index within the script plus the URI of the offending node (edit scripts
+have no source text, so the edit index plays the role a line number plays
+in a conventional linter).  Findings produced by a lint rule may carry a
+:class:`Fix`, a machine-applicable rewrite of the script; the minimizer
+(:mod:`repro.analysis.minimize`) is exactly the engine that applies those
+fixes to a fixpoint.
+
+The ``TL0xx`` codes are shared with the type checker
+(:mod:`repro.core.typecheck` emits TL000–TL009); the lint rules own
+TL010–TL014.  Codes are stable identifiers: tools and CI gates match on
+them, so they are never renumbered.
+
+Renderers: :func:`render_text` (one finding per line, compiler style),
+:func:`render_json` (machine-readable report), and :func:`render_sarif`
+(SARIF 2.1.0, the interchange format code-scanning UIs ingest).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.edits import PrimitiveEdit
+from repro.core.typecheck import TC_CODES
+from repro.core.uris import URI
+
+#: Severities, strongest first.  ``error`` findings mean the script is not
+#: well-typed (Definition 3.1 fails); ``warning`` findings mean the script
+#: is valid but not concise (a semantically equivalent shorter script
+#: exists); ``info`` is reserved for advisory notes.
+SEVERITIES = ("error", "warning", "info")
+
+# -- lint rule codes (TL01x: redundancy / conciseness) ------------------------
+
+LINT_REDUNDANT_DETACH_ATTACH = "TL010"
+LINT_DEAD_LOAD_UNLOAD = "TL011"
+LINT_SHADOWED_UPDATE = "TL012"
+LINT_TRANSIENT_ATTACH = "TL013"
+LINT_UNREFERENCED_LOAD = "TL014"
+
+#: Every diagnostic code truelint can emit, with a short description.
+#: TL000–TL009 come from the linear type checker; TL010+ are lint rules.
+CODES: dict[str, str] = {
+    **TC_CODES,
+    LINT_REDUNDANT_DETACH_ATTACH: (
+        "redundant-detach-attach: a detach is undone by re-attaching the same "
+        "node to the same slot with no intervening use"
+    ),
+    LINT_DEAD_LOAD_UNLOAD: (
+        "dead-load-unload: a loaded subtree is unloaded again without ever "
+        "being attached or referenced"
+    ),
+    LINT_SHADOWED_UPDATE: (
+        "shadowed-update: an update's new literals are overwritten by a later "
+        "update of the same URI before anything observes them"
+    ),
+    LINT_TRANSIENT_ATTACH: (
+        "transient-attach: an attach is undone by a later detach of the same "
+        "node from the same slot with no intervening use"
+    ),
+    LINT_UNREFERENCED_LOAD: (
+        "unreferenced-load: a loaded node is never attached, consumed, or "
+        "unloaded (it leaks as a detached root)"
+    ),
+}
+
+#: The redundancy rules (Figure 4's conciseness metric): any such finding
+#: on a differ-emitted script is a real conciseness bug.
+REDUNDANCY_CODES = frozenset(
+    {
+        LINT_REDUNDANT_DETACH_ATTACH,
+        LINT_DEAD_LOAD_UNLOAD,
+        LINT_SHADOWED_UPDATE,
+        LINT_TRANSIENT_ATTACH,
+        LINT_UNREFERENCED_LOAD,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A machine-applicable rewrite attached to a finding.
+
+    ``delete`` names primitive indices to drop; ``replace`` maps a
+    primitive index to its replacement edit.  Index sets of distinct
+    fixes applied in the same round must be disjoint (the minimizer
+    enforces this); applying a fix never reorders surviving edits.
+    """
+
+    title: str
+    delete: tuple[int, ...] = ()
+    replace: tuple[tuple[int, PrimitiveEdit], ...] = ()
+
+    @property
+    def indices(self) -> frozenset[int]:
+        return frozenset(self.delete) | frozenset(i for i, _ in self.replace)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding over an edit script."""
+
+    code: str
+    severity: str  # 'error' | 'warning' | 'info'
+    message: str
+    #: primitive edit index the finding anchors at (None for whole-script
+    #: findings such as a leaked final state)
+    edit_index: Optional[int] = None
+    #: URI of the offending node, when one is identifiable
+    uri: URI = None
+    #: indices of related edits (e.g. the attach that completes a
+    #: redundant detach/attach pair)
+    related: tuple[int, ...] = ()
+    fix: Optional[Fix] = None
+
+    def span(self) -> str:
+        where = "script" if self.edit_index is None else f"edit #{self.edit_index}"
+        if self.uri is not None:
+            where += f" (uri {self.uri})"
+        return where
+
+    def as_dict(self) -> dict:
+        out = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "edit_index": self.edit_index,
+            "uri": self.uri,
+        }
+        if self.related:
+            out["related"] = list(self.related)
+        if self.fix is not None:
+            out["fix"] = {
+                "title": self.fix.title,
+                "delete": list(self.fix.delete),
+                "replace": [i for i, _ in self.fix.replace],
+            }
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.span()}: {self.severity}: {self.message} [{self.code}]"
+
+
+@dataclass
+class LintReport:
+    """The result of linting one script."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: number of edits (compounds count as one) and primitive edits
+    edits: int = 0
+    primitives: int = 0
+    #: name of the script under analysis (file path or label), for reports
+    uri: str = "<script>"
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """No type errors (the script is statically applicable)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No findings at all (well-typed *and* concise)."""
+        return not self.diagnostics
+
+    def counts_by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for d in self.diagnostics:
+            counts[d.code] = counts.get(d.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict:
+        return {
+            "uri": self.uri,
+            "edits": self.edits,
+            "primitives": self.primitives,
+            "ok": self.ok,
+            "clean": self.clean,
+            "counts": self.counts_by_code(),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+
+# -- renderers ----------------------------------------------------------------
+
+
+def render_text(report: LintReport) -> str:
+    """Compiler-style one-line-per-finding report."""
+    lines = [f"{report.uri}: {d}" for d in report.diagnostics]
+    n_err, n_warn = len(report.errors), len(report.warnings)
+    lines.append(
+        f"{report.uri}: {len(report.diagnostics)} finding(s): "
+        f"{n_err} error(s), {n_warn} warning(s) "
+        f"({report.edits} edits, {report.primitives} primitives)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, indent: int | None = 2) -> str:
+    return json.dumps(report.as_dict(), indent=indent, sort_keys=True)
+
+
+#: SARIF severity levels by truelint severity.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render_sarif(reports: list[LintReport], indent: int | None = 2) -> str:
+    """Render one or more lint reports as a SARIF 2.1.0 log.
+
+    Each finding becomes a ``result`` whose region's ``startLine`` is the
+    1-based primitive edit index — scripts are JSON documents with one
+    edit per entry, so the index is the natural analogue of a line.
+    """
+    used = sorted({d.code for r in reports for d in r.diagnostics})
+    rules = [
+        {
+            "id": code,
+            "name": CODES.get(code, code).split(":", 1)[0],
+            "shortDescription": {"text": CODES.get(code, code)},
+        }
+        for code in used
+    ]
+    results = []
+    for report in reports:
+        for d in report.diagnostics:
+            region = {"startLine": (d.edit_index or 0) + 1}
+            result = {
+                "ruleId": d.code,
+                "level": _SARIF_LEVELS.get(d.severity, "warning"),
+                "message": {"text": d.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": report.uri},
+                            "region": region,
+                        }
+                    }
+                ],
+                "properties": {"edit_index": d.edit_index, "node_uri": d.uri},
+            }
+            results.append(result)
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "truelint",
+                        "informationUri": "https://example.invalid/truelint",
+                        "version": "1.0.0",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=indent, sort_keys=True)

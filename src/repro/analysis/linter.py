@@ -1,0 +1,73 @@
+"""truelint's front door: run the analyzer + rule engine over one script.
+
+:func:`lint_script` stitches the two analysis halves together — the
+abstract interpreter (:mod:`repro.analysis.abstract`, type errors) and
+the dataflow rules (:mod:`repro.analysis.rules`, redundancy warnings) —
+into one :class:`~repro.analysis.diagnostics.LintReport`, ordered by edit
+index.  This is what the ``repro lint`` CLI, the batch driver's per-row
+``lint`` column, and the fault-injection campaign all call.
+
+Metrics (under ``repro.lint.*``, when observability is enabled):
+``repro.lint.scripts`` counts linted scripts, ``repro.lint.findings``
+counts findings, ``repro.lint.findings.<code>`` counts per code, and the
+whole run is wrapped in a ``repro.lint.run`` span.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.edits import EditScript
+from repro.core.signature import SignatureRegistry
+from repro.core.typecheck import CLOSED_STATE, LinearState
+from repro.observability import OBS, metrics as _metrics, span as _span
+
+from .abstract import interpret
+from .diagnostics import Diagnostic, LintReport
+from .rules import run_rules
+
+
+def _order(d: Diagnostic) -> tuple:
+    # whole-script findings (no edit index) sort after positioned ones
+    return (d.edit_index is None, d.edit_index or 0, d.code)
+
+
+def lint_script(
+    script: EditScript,
+    sigs: SignatureRegistry,
+    *,
+    start: LinearState = CLOSED_STATE,
+    end: Optional[LinearState] = CLOSED_STATE,
+    rules: bool = True,
+    uri: str = "<script>",
+    max_diagnostics: int = 200,
+) -> LintReport:
+    """Statically analyze one edit script against a signature registry.
+
+    ``start``/``end`` are the boundary ``(R • S)`` states (Definition
+    3.1's closed-tree states by default).  ``rules=False`` skips the
+    redundancy rules and reports type errors only.
+    """
+    with _span("repro.lint.run"):
+        result = interpret(
+            sigs, script, start=start, end=end, max_diagnostics=max_diagnostics
+        )
+        diagnostics = list(result.diagnostics)
+        if rules:
+            diagnostics.extend(run_rules(script))
+        diagnostics.sort(key=_order)
+        del diagnostics[max_diagnostics:]
+        report = LintReport(
+            diagnostics=diagnostics,
+            edits=len(script),
+            primitives=result.primitives,
+            uri=uri,
+        )
+        if OBS.enabled:
+            m = _metrics()
+            m.counter("repro.lint.scripts").inc()
+            if diagnostics:
+                m.counter("repro.lint.findings").inc(len(diagnostics))
+                for code, n in report.counts_by_code().items():
+                    m.counter(f"repro.lint.findings.{code}").inc(n)
+        return report

@@ -1,0 +1,161 @@
+"""Canonicalizer/minimizer: apply lint fixes to a fixpoint.
+
+The minimizer is the constructive half of the lint rules: where
+:mod:`repro.analysis.rules` *reports* that a shorter equivalent script
+exists, :func:`minimize` *produces* it, by repeatedly applying the
+machine rewrites attached to redundancy findings until none remain.  The
+result is a normal form with respect to the rewrite system: no redundant
+detach/attach pair, no dead load/unload, no shadowed update, no transient
+attach survives.
+
+Only rewrites that are semantics-preserving on *well-typed* scripts are
+applied (``TL010``–``TL013``); ``TL014 unreferenced-load`` is excluded
+because a script with an unreferenced load is ill-typed to begin with
+(its root leaks), so there is no behaviour to preserve.  Equivalence is
+precise: patching any tree the original script applies to with the
+minimized script yields an identical tree — :func:`patch_equivalent` is
+the differential oracle the test suite (and CI) uses to re-validate that
+claim against concrete corpus trees.
+
+Fixes are applied in rounds.  Within a round only fixes with pairwise
+disjoint index sets are applied (deleting edit #3 invalidates another
+fix's claim about edit #4 only if they overlap — surviving edits keep
+their relative order, and each round re-runs the rules on the rewritten
+script, so deferred fixes are simply rediscovered).  The loop terminates
+because every applied fix strictly shrinks the script or strictly reduces
+the number of updates; ``max_rounds`` is a belt-and-braces bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.edits import EditScript, PrimitiveEdit
+
+from .diagnostics import (
+    Diagnostic,
+    LINT_DEAD_LOAD_UNLOAD,
+    LINT_REDUNDANT_DETACH_ATTACH,
+    LINT_SHADOWED_UPDATE,
+    LINT_TRANSIENT_ATTACH,
+)
+from .rules import run_rules
+
+#: Codes whose fixes the minimizer applies.  All are equivalences on
+#: well-typed scripts; see the module docstring for why TL014 is not here.
+FIXABLE_CODES = frozenset(
+    {
+        LINT_REDUNDANT_DETACH_ATTACH,
+        LINT_DEAD_LOAD_UNLOAD,
+        LINT_SHADOWED_UPDATE,
+        LINT_TRANSIENT_ATTACH,
+    }
+)
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of minimizing one script."""
+
+    script: EditScript
+    #: edit counts (compounds count as one) before/after
+    original_edits: int = 0
+    minimized_edits: int = 0
+    #: fix rounds run (0 means the input was already in normal form)
+    rounds: int = 0
+    #: one entry per fix applied, in application order
+    applied: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+def _apply_round(
+    edits: list[PrimitiveEdit], findings: Sequence[Diagnostic]
+) -> tuple[list[PrimitiveEdit], list[Diagnostic]]:
+    """Apply a maximal set of non-overlapping fixes; return the rewritten
+    edit list and the findings actually applied."""
+    used: set[int] = set()
+    applied: list[Diagnostic] = []
+    deletions: set[int] = set()
+    replacements: dict[int, PrimitiveEdit] = {}
+    for d in sorted(
+        findings, key=lambda d: (d.edit_index if d.edit_index is not None else -1)
+    ):
+        if d.fix is None or d.code not in FIXABLE_CODES:
+            continue
+        indices = d.fix.indices
+        if indices & used:
+            continue
+        used |= indices
+        deletions.update(d.fix.delete)
+        replacements.update(d.fix.replace)
+        applied.append(d)
+    if not applied:
+        return edits, []
+    out = [
+        replacements.get(i, e) for i, e in enumerate(edits) if i not in deletions
+    ]
+    return out, applied
+
+
+def minimize(script: EditScript, *, max_rounds: int = 100) -> MinimizeResult:
+    """Rewrite ``script`` to its lint normal form.
+
+    Works on the primitive expansion and re-coalesces at the end, so the
+    compound structure (Insert/Remove) of the result is canonical rather
+    than inherited.  For a script already in normal form this returns the
+    coalesced original with ``rounds == 0``.
+    """
+    edits: list[PrimitiveEdit] = list(script.primitives())
+    result = MinimizeResult(script=script, original_edits=len(script))
+    for _ in range(max_rounds):
+        findings = run_rules(EditScript(edits))
+        edits, applied = _apply_round(edits, findings)
+        if not applied:
+            break
+        result.rounds += 1
+        result.applied.extend(applied)
+    result.script = EditScript(edits).coalesced()
+    result.minimized_edits = len(result.script)
+    return result
+
+
+def patch_equivalent(
+    a: EditScript,
+    b: EditScript,
+    trees: Sequence,
+    sigs=None,
+) -> Optional[str]:
+    """Differential oracle: do ``a`` and ``b`` patch every tree in
+    ``trees`` to the same result?
+
+    Each tree (an ``MTree``) is copied and patched with both scripts; the
+    results are compared by :func:`~repro.robustness.tree_fingerprint`.
+    Returns ``None`` when equivalent on every tree, else a description of
+    the first divergence.  A script failing to apply where the other
+    succeeds is a divergence too.
+    """
+    from repro.robustness.integrity import tree_fingerprint
+
+    for k, tree in enumerate(trees):
+        outcomes = []
+        for script in (a, b):
+            t = tree.copy()
+            try:
+                if sigs is not None:
+                    t.patch(script, atomic=True, sigs=sigs)
+                else:
+                    t.patch(script)
+            except Exception as exc:  # divergence detection, not handling
+                outcomes.append(f"raises {type(exc).__name__}: {exc}")
+            else:
+                outcomes.append(tree_fingerprint(t))
+        if outcomes[0] != outcomes[1]:
+            return (
+                f"tree #{k}: original -> {outcomes[0]!r}, "
+                f"minimized -> {outcomes[1]!r}"
+            )
+    return None

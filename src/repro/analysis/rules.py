@@ -1,0 +1,253 @@
+"""Semantic lint rules over edit-script dataflow (TL010–TL014).
+
+Each rule detects a *redundancy*: a pattern whose removal (or merge)
+yields a strictly shorter script that patches every tree to the same
+result.  By Figure 4's metric, any such pattern in a differ-emitted
+script is a real conciseness bug — truediff's output is expected to be
+lint-clean, and the property tests assert it.
+
+The rules are purely syntactic dataflow over the primitive expansion: a
+pair ``(def, undo)`` is redundant when *no intervening edit can observe
+the intermediate state*.  Observation is conservative: an edit observes a
+node if it mentions its URI anywhere (as node, parent, or kid binding),
+and observes a slot if it detaches or fills it; additionally a load or
+unload of the pair's parent blocks structural rules.  This
+conservativeness is what makes the paired rewrites semantics-preserving
+(the differential oracle in the tests re-validates it against concrete
+trees).
+
+Every rule yields :class:`~repro.analysis.diagnostics.Diagnostic`
+findings whose :class:`~repro.analysis.diagnostics.Fix` the minimizer can
+apply mechanically.  ``TL014 unreferenced-load`` is the exception: its
+rewrite only preserves semantics for kid-free loads, so other instances
+are reported without a fix.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Optional
+
+from repro.core.edits import (
+    Attach,
+    Detach,
+    EditScript,
+    Load,
+    PrimitiveEdit,
+    Unload,
+    Update,
+    edit_slots,
+    edit_uris,
+)
+from repro.core.node import Link
+from repro.core.uris import URI
+
+from .diagnostics import (
+    Diagnostic,
+    Fix,
+    LINT_DEAD_LOAD_UNLOAD,
+    LINT_REDUNDANT_DETACH_ATTACH,
+    LINT_SHADOWED_UPDATE,
+    LINT_TRANSIENT_ATTACH,
+    LINT_UNREFERENCED_LOAD,
+)
+
+Slot = tuple[URI, Link]
+
+
+class _Index:
+    """Occurrence indices for use/def scanning, built in one pass."""
+
+    def __init__(self, edits: list[PrimitiveEdit]) -> None:
+        self.edits = edits
+        self.uri_mentions: dict[URI, list[int]] = {}
+        self.slot_mentions: dict[Slot, list[int]] = {}
+        # indices where a URI is the node of a Load/Unload: the only edits
+        # that create or destroy the node a slot hangs off
+        self.lifecycle: dict[URI, list[int]] = {}
+        for i, e in enumerate(edits):
+            for uri in set(edit_uris(e)):
+                self.uri_mentions.setdefault(uri, []).append(i)
+            for slot in edit_slots(e):
+                self.slot_mentions.setdefault(slot, []).append(i)
+            if isinstance(e, (Load, Unload)):
+                self.lifecycle.setdefault(e.node.uri, []).append(i)
+
+    @staticmethod
+    def _next(occurrences: Optional[list[int]], after: int) -> Optional[int]:
+        if not occurrences:
+            return None
+        k = bisect_right(occurrences, after)
+        return occurrences[k] if k < len(occurrences) else None
+
+    def next_uri(self, uri: URI, after: int) -> Optional[int]:
+        return self._next(self.uri_mentions.get(uri), after)
+
+    def next_slot(self, slot: Slot, after: int) -> Optional[int]:
+        return self._next(self.slot_mentions.get(slot), after)
+
+    def next_lifecycle(self, uri: URI, after: int) -> Optional[int]:
+        return self._next(self.lifecycle.get(uri), after)
+
+
+def _min_defined(*candidates: Optional[int]) -> Optional[int]:
+    present = [c for c in candidates if c is not None]
+    return min(present) if present else None
+
+
+def _round_trip_pair(
+    index: _Index, i: int, first_kind: type, second_kind: type
+) -> Optional[int]:
+    """For a Detach/Attach (or Attach/Detach) at ``i``, the index ``j`` of
+    the matching inverse on the same node and slot, provided nothing in
+    between mentions the node, touches the slot, or loads/unloads the
+    parent.  Returns None when the pattern does not apply."""
+    e = index.edits[i]
+    assert isinstance(e, first_kind)
+    slot = (e.parent.uri, e.link)
+    j = _min_defined(
+        index.next_uri(e.node.uri, i),
+        index.next_slot(slot, i),
+        index.next_lifecycle(e.parent.uri, i),
+    )
+    if j is None:
+        return None
+    other = index.edits[j]
+    if (
+        isinstance(other, second_kind)
+        and other.node.uri == e.node.uri
+        and other.link == e.link
+        and other.parent.uri == e.parent.uri
+        # the inverse must not itself be a parent lifecycle event
+        and index.next_lifecycle(e.parent.uri, i) != j
+    ):
+        return j
+    return None
+
+
+def run_rules(script: EditScript) -> list[Diagnostic]:
+    """Run every lint rule over the script's primitive expansion."""
+    edits: list[PrimitiveEdit] = list(script.primitives())
+    index = _Index(edits)
+    findings: list[Diagnostic] = []
+
+    for i, e in enumerate(edits):
+        if isinstance(e, Detach):
+            j = _round_trip_pair(index, i, Detach, Attach)
+            if j is not None:
+                findings.append(
+                    Diagnostic(
+                        code=LINT_REDUNDANT_DETACH_ATTACH,
+                        severity="warning",
+                        message=(
+                            f"node {e.node} is detached from "
+                            f"{e.parent}.{e.link} and re-attached to the same "
+                            f"slot at edit #{j} with no intervening use"
+                        ),
+                        edit_index=i,
+                        uri=e.node.uri,
+                        related=(j,),
+                        fix=Fix(
+                            "delete the redundant detach/attach pair",
+                            delete=(i, j),
+                        ),
+                    )
+                )
+        elif isinstance(e, Attach):
+            j = _round_trip_pair(index, i, Attach, Detach)
+            if j is not None:
+                findings.append(
+                    Diagnostic(
+                        code=LINT_TRANSIENT_ATTACH,
+                        severity="warning",
+                        message=(
+                            f"node {e.node} is attached to "
+                            f"{e.parent}.{e.link} only to be detached from it "
+                            f"again at edit #{j} with no intervening use"
+                        ),
+                        edit_index=i,
+                        uri=e.node.uri,
+                        related=(j,),
+                        fix=Fix(
+                            "delete the transient attach/detach pair",
+                            delete=(i, j),
+                        ),
+                    )
+                )
+        elif isinstance(e, Load):
+            j = index.next_uri(e.node.uri, i)
+            if j is None:
+                fix = (
+                    Fix("delete the unreferenced load", delete=(i,))
+                    if not e.kids
+                    else None
+                )
+                findings.append(
+                    Diagnostic(
+                        code=LINT_UNREFERENCED_LOAD,
+                        severity="warning",
+                        message=(
+                            f"loaded node {e.node} is never attached, "
+                            f"consumed, or unloaded"
+                        ),
+                        edit_index=i,
+                        uri=e.node.uri,
+                        fix=fix,
+                    )
+                )
+            else:
+                other = edits[j]
+                if isinstance(other, Unload) and other.node.uri == e.node.uri:
+                    fix = (
+                        Fix("delete the dead load/unload pair", delete=(i, j))
+                        if other.kids == e.kids
+                        else None
+                    )
+                    findings.append(
+                        Diagnostic(
+                            code=LINT_DEAD_LOAD_UNLOAD,
+                            severity="warning",
+                            message=(
+                                f"node {e.node} is loaded and immediately "
+                                f"dead: unloaded at edit #{j} without ever "
+                                f"being attached or referenced"
+                            ),
+                            edit_index=i,
+                            uri=e.node.uri,
+                            related=(j,),
+                            fix=fix,
+                        )
+                    )
+        elif isinstance(e, Update):
+            j = index.next_uri(e.node.uri, i)
+            if j is not None:
+                other = edits[j]
+                if isinstance(other, Update) and other.node.uri == e.node.uri:
+                    if other.new_lits == e.old_lits:
+                        fix = Fix(
+                            "delete the no-op update round trip", delete=(i, j)
+                        )
+                    else:
+                        fix = Fix(
+                            "merge the shadowed update into its successor",
+                            delete=(i,),
+                            replace=(
+                                (j, Update(other.node, e.old_lits, other.new_lits)),
+                            ),
+                        )
+                    findings.append(
+                        Diagnostic(
+                            code=LINT_SHADOWED_UPDATE,
+                            severity="warning",
+                            message=(
+                                f"update of {e.node} is shadowed: edit #{j} "
+                                f"overwrites its literals before anything "
+                                f"observes them"
+                            ),
+                            edit_index=i,
+                            uri=e.node.uri,
+                            related=(j,),
+                            fix=fix,
+                        )
+                    )
+    return findings

@@ -74,6 +74,24 @@ def _edit_mix(script) -> dict[str, int]:
     return mix
 
 
+def _lint_summary(script, sigs) -> dict[str, Any]:
+    """Compact truelint verdict for a result row: the static analyzer run
+    over the emitted script with no tree in hand.  Any finding on a
+    differ-emitted script is a real bug (type error or conciseness
+    regression), so rows carry the evidence rather than a bare flag."""
+    try:
+        from repro.analysis import lint_script
+
+        report = lint_script(script, sigs)
+        return {
+            "clean": report.clean,
+            "findings": len(report.diagnostics),
+            "codes": report.counts_by_code(),
+        }
+    except Exception as exc:  # pragma: no cover - the linter must not throw
+        return {"clean": False, "error": _one_line(exc)}
+
+
 def _integrity_note(src, dst) -> str:
     """Verifier verdict on both parsed trees of a failed pair — did the
     differ fail on sound input, or was the tree itself broken?"""
@@ -138,8 +156,9 @@ def diff_pair(
     """Diff one file pair; always returns a result row, never raises.
 
     The row records script size, the edit mix (primitive edit kinds),
-    node counts, and parse/diff timings — the per-pair quantities of the
-    paper's corpus evaluation (Section 6).
+    the truelint verdict on the emitted script (``lint``), node counts,
+    and parse/diff timings — the per-pair quantities of the paper's
+    corpus evaluation (Section 6), plus the static quality gate.
 
     ``fallback_replace=True`` degrades gracefully when the *differ* fails
     on parseable input (``internal`` errors only — syntax/io/timeout
@@ -180,6 +199,7 @@ def diff_pair(
             "status": "ok",
             "edits": len(script),
             "edit_mix": _edit_mix(script),
+            "lint": _lint_summary(script, src.sigs),
             "src_nodes": src.size,
             "dst_nodes": dst.size,
             "parse_ms": round(parse_ms, 3),

@@ -201,6 +201,33 @@ def map_edit_nodes(edit: Edit, fn: Callable[[Node], Node]) -> Edit:
     return _rebuild_edit(edit, fn, lambda ks: ks)
 
 
+def edit_uris(edit: Edit) -> list[URI]:
+    """Every URI ``edit`` mentions: its node, its parent (for attach-like
+    edits), and its kid bindings (for load/unload-like edits), in that
+    order, duplicates preserved.  Shared by the fault-injection corruptor
+    (URI swapping) and the truelint dataflow rules (use/def scanning)."""
+    uris = [edit.node.uri]
+    if isinstance(edit, (Detach, Attach)):
+        uris.append(edit.parent.uri)
+    elif isinstance(edit, (Load, Unload)):
+        uris.extend(u for _, u in edit.kids)
+    elif isinstance(edit, Insert):
+        uris.append(edit.parent.uri)
+        uris.extend(u for _, u in edit.kids)
+    elif isinstance(edit, Remove):
+        uris.append(edit.parent.uri)
+        uris.extend(u for _, u in edit.kids)
+    return uris
+
+
+def edit_slots(edit: Edit) -> list[tuple[URI, Link]]:
+    """The parent slots ``(parent_uri, link)`` that ``edit`` detaches or
+    fills (empty for Load/Unload/Update)."""
+    if isinstance(edit, (Detach, Attach, Insert, Remove)):
+        return [(edit.parent.uri, edit.link)]
+    return []
+
+
 class EditScript:
     """An immutable sequence of edits.
 

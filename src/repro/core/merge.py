@@ -3,22 +3,25 @@
 The paper's introduction lists version control among the applications of
 structural patches, and Section 7 discusses patch theories.  Because
 truechange scripts address nodes by URI and are linearly typed, a simple
-and *sound* merge is possible: two scripts that consume disjoint
-resources commute, so they can be concatenated; overlapping resource use
-is a conflict.
+and *sound* merge is possible: two scripts that **commute** can be
+concatenated; scripts that race on a linear resource are a conflict.
+
+Whether two scripts commute is decided by the static commutation
+analysis (:mod:`repro.analysis.commute`): each script is summarized by a
+footprint of the ancestor-tree resources it consumes — slots it rewires,
+nodes it moves, literals it updates, nodes it destroys — and the scripts
+commute iff the footprints are disjoint.  This is strictly more
+permissive than the historical URI-overlap check that used to live here:
+moving a node and updating the same node's literals commute, as do two
+moves whose slots and nodes differ, even under a shared parent.  What
+remains conflicting is precisely what must: same slot rewired, same node
+moved twice, same literals updated twice, or a destroyed node used by the
+other side.
 
 Given a common ancestor tree and two scripts ∆₁, ∆₂ derived from it,
 :func:`merge_scripts` either returns a merged script (∆₁ followed by ∆₂
 with ∆₂'s freshly loaded URIs renamed away from ∆₁'s) or reports the
-conflicting resources.  The resources of a script are:
-
-* *slots* it detaches or fills: ``(parent_uri, link)`` of Detach/Attach;
-* *nodes* it consumes: updated, unloaded, or re-attached existing nodes;
-* node *tags* are irrelevant — URIs identify resources.
-
-This is deliberately conservative (edits to the same node always
-conflict, even when they would compose), which is the right default for
-a version-control merge: no silent misapplication.
+conflicting resources.
 """
 
 from __future__ import annotations
@@ -26,31 +29,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .edits import (
-    Attach,
-    Detach,
-    EditScript,
-    Load,
-    Unload,
-    Update,
-    map_edit_uris,
-)
-from .node import Link
+from .edits import EditScript, Load, map_edit_uris
 from .uris import URI, URIGen
 
 
 @dataclass(frozen=True)
 class MergeConflict:
-    """A resource touched by both scripts."""
+    """A linear resource the two scripts race on.
 
-    kind: str  # 'slot' | 'node'
+    ``kind`` classifies the race: ``'slot'`` (both rewire the same
+    ``(parent, link)`` slot), ``'position'`` (both move the same node),
+    ``'content'`` (both update the same node's literals), or ``'node'``
+    (one destroys a node the other uses).
+    """
+
+    kind: str  # 'slot' | 'position' | 'content' | 'node'
     resource: tuple
 
     def __str__(self) -> str:
         if self.kind == "slot":
             parent, link = self.resource
-            return f"both scripts edit slot {parent}.{link}"
-        return f"both scripts edit node {self.resource[0]}"
+            return f"both scripts rewire slot {parent}.{link}"
+        if self.kind == "position":
+            return f"both scripts move node {self.resource[0]}"
+        if self.kind == "content":
+            return f"both scripts update the literals of node {self.resource[0]}"
+        return f"one script deletes node {self.resource[0]} that the other uses"
 
 
 @dataclass
@@ -63,48 +67,17 @@ class MergeResult:
         return self.script is not None
 
 
-@dataclass
-class _Resources:
-    slots: set[tuple[URI, Link]] = field(default_factory=set)
-    nodes: set[URI] = field(default_factory=set)
-    loaded: set[URI] = field(default_factory=set)
-
-
-def script_resources(script: EditScript) -> _Resources:
-    """The ancestor-tree resources a script touches."""
-    res = _Resources()
-    for edit in script.primitives():
-        if isinstance(edit, Detach):
-            res.slots.add((edit.parent.uri, edit.link))
-            if edit.node.uri not in res.loaded:
-                res.nodes.add(edit.node.uri)
-        elif isinstance(edit, Attach):
-            if edit.parent.uri not in res.loaded:
-                res.slots.add((edit.parent.uri, edit.link))
-            if edit.node.uri not in res.loaded:
-                res.nodes.add(edit.node.uri)
-        elif isinstance(edit, Load):
-            res.loaded.add(edit.node.uri)
-            for _, kid in edit.kids:
-                if kid not in res.loaded:
-                    res.nodes.add(kid)
-        elif isinstance(edit, Unload):
-            if edit.node.uri not in res.loaded:
-                res.nodes.add(edit.node.uri)
-        elif isinstance(edit, Update):
-            res.nodes.add(edit.node.uri)
-    return res
-
-
 def find_conflicts(a: EditScript, b: EditScript) -> list[MergeConflict]:
-    """Resources touched by both scripts."""
-    ra, rb = script_resources(a), script_resources(b)
-    conflicts: list[MergeConflict] = []
-    for slot in sorted(ra.slots & rb.slots, key=repr):
-        conflicts.append(MergeConflict("slot", slot))
-    for node in sorted(ra.nodes & rb.nodes, key=repr):
-        conflicts.append(MergeConflict("node", (node,)))
-    return conflicts
+    """The precise reasons the scripts fail to commute (empty iff they
+    merge cleanly).  Delegates to the commutation analysis; imported
+    lazily because :mod:`repro.analysis` builds on this module's types."""
+    from repro.analysis.commute import commute_conflicts
+
+    return commute_conflicts(a, b)
+
+
+def _loaded_uris(script: EditScript) -> set[URI]:
+    return {e.node.uri for e in script.primitives() if isinstance(e, Load)}
 
 
 def _rename_loads(script: EditScript, urigen: URIGen, taken: set[URI]) -> EditScript:
@@ -135,16 +108,18 @@ def merge_scripts(
 
     On success the merged script is ``a`` followed by ``b`` (with ``b``'s
     loads renamed); applying it to the ancestor produces a tree with both
-    changes.  On conflict, no script is produced.
+    changes.  The scripts themselves are concatenated as given — the
+    commutation precheck canonicalizes internally for analysis, but never
+    rewrites the user's scripts.  On conflict, no script is produced.
     """
     conflicts = find_conflicts(a, b)
     if conflicts:
         return MergeResult(None, conflicts)
-    ra, rb = script_resources(a), script_resources(b)
+    a_loaded, b_loaded = _loaded_uris(a), _loaded_uris(b)
     if urigen is None:
         top = max(
-            (u for u in ra.loaded | rb.loaded if isinstance(u, int)), default=0
+            (u for u in a_loaded | b_loaded if isinstance(u, int)), default=0
         )
         urigen = URIGen(start=top + 1)
-    b_renamed = _rename_loads(b, urigen, set(ra.loaded))
+    b_renamed = _rename_loads(b, urigen, set(a_loaded))
     return MergeResult(a + b_renamed, [])

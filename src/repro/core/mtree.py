@@ -174,19 +174,24 @@ class MTree:
         atomic: bool = False,
         sigs: Optional[SignatureRegistry] = None,
         verify: bool = False,
+        preflight: str = "scan",
         fault_hook: Optional[Callable[[int, PrimitiveEdit], None]] = None,
     ) -> "MTree":
         """``⟦∆⟧``: apply every edit of ``script`` to this tree in place.
 
         With ``atomic=True`` the application is transactional: the script
-        is pre-flight typechecked against the tree's actual root/slot
-        state (when ``sigs`` is given) and an undo journal rolls the tree
-        back to a bit-identical state if any edit raises — see
-        :func:`repro.robustness.patch_atomic`.  ``verify=True`` runs the
-        tree-integrity verifier after patching (and, when combined with
-        ``atomic``, rolls back if verification fails).  ``fault_hook`` is
-        called as ``hook(primitive_index, edit)`` before each edit; it
-        exists for fault-injection tests and is applied on both paths.
+        is pre-flight typechecked (when ``sigs`` is given) and an undo
+        journal rolls the tree back to a bit-identical state if any edit
+        raises — see :func:`repro.robustness.patch_atomic`.  ``preflight``
+        picks the typecheck for the atomic path: ``"scan"`` reads the
+        tree's actual root/slot state; ``"static"`` checks Definition 3.1
+        from the closed state without consulting the tree — equivalent
+        whenever the tree is closed, and O(script) instead of O(tree).
+        ``verify=True`` runs the tree-integrity verifier after patching
+        (and, when combined with ``atomic``, rolls back if verification
+        fails).  ``fault_hook`` is called as
+        ``hook(primitive_index, edit)`` before each edit; it exists for
+        fault-injection tests and is applied on both paths.
 
         On failure the raised :class:`PatchError` names the primitive edit
         index and operation.
@@ -195,7 +200,12 @@ class MTree:
             from repro.robustness import patch_atomic
 
             return patch_atomic(
-                self, script, sigs=sigs, verify=verify, fault_hook=fault_hook
+                self,
+                script,
+                sigs=sigs,
+                verify=verify,
+                preflight=preflight,
+                fault_hook=fault_hook,
             )
         process = self.process_edit
         i, edit = -1, None

@@ -20,7 +20,7 @@ speed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Optional
 
 from .edits import (
     Attach,
@@ -42,13 +42,56 @@ from .uris import ROOT_URI, URI
 Slot = tuple[URI, Link]
 
 
-class EditTypeError(Exception):
-    """A truechange edit script violates the linear type system."""
+#: Stable diagnostic codes for linear-typing violations.  The ``TL0xx``
+#: namespace is shared with the truelint static analyzer
+#: (:mod:`repro.analysis`): the type checker emits TL000–TL009, the
+#: semantic lint rules TL010+.  Codes are part of the public contract —
+#: tools match on them, so they must never be renumbered.
+TC_UNKNOWN_SIGNATURE = "TL000"
+TC_LEAKED_ROOT = "TL001"
+TC_DANGLING_SLOT = "TL002"
+TC_DUPLICATE_ROOT = "TL003"
+TC_SLOT_ALREADY_EMPTY = "TL004"
+TC_MISSING_ROOT = "TL005"
+TC_SLOT_NOT_EMPTY = "TL006"
+TC_SORT_MISMATCH = "TL007"
+TC_ARITY_MISMATCH = "TL008"
+TC_BAD_LITERAL = "TL009"
+TC_ILL_TYPED = "TL099"  # uncategorized / unknown edit kind
 
-    def __init__(self, edit: Any, message: str) -> None:
-        super().__init__(f"ill-typed edit {edit}: {message}" if edit else message)
+
+class EditTypeError(Exception):
+    """A truechange edit script violates the linear type system.
+
+    Structured like :class:`~repro.core.mtree.PatchError`: ``code`` is a
+    stable ``TL0xx`` diagnostic code, ``edit_index`` the primitive index
+    of the failing edit within the script (assigned by
+    :func:`check_script`; ``None`` when the edit was checked in
+    isolation), ``edit`` the failing edit and ``reason`` the bare
+    message.  The rendered message names all of them once known.
+    """
+
+    def __init__(
+        self,
+        edit: Any,
+        message: str,
+        *,
+        code: str = TC_ILL_TYPED,
+        edit_index: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
         self.edit = edit
         self.reason = message
+        self.code = code
+        self.edit_index = edit_index
+
+    def __str__(self) -> str:
+        where = f" #{self.edit_index}" if self.edit_index is not None else ""
+        if self.edit is not None:
+            return f"[{self.code}] ill-typed edit{where} ({self.edit}): {self.reason}"
+        if where:
+            return f"[{self.code}] ill-typed edit{where}: {self.reason}"
+        return f"[{self.code}] {self.reason}"
 
 
 @dataclass(frozen=True)
@@ -117,13 +160,31 @@ def check_edit(
             for prim in edit.expand():
                 check_edit(sigs, prim, tmp_roots, tmp_slots)
         except EditTypeError as exc:
-            raise EditTypeError(edit, exc.reason) from None
+            raise EditTypeError(edit, exc.reason, code=exc.code) from None
         roots.clear()
         roots.update(tmp_roots)
         slots.clear()
         slots.update(tmp_slots)
     else:  # pragma: no cover - defensive
         raise EditTypeError(edit, f"unknown edit kind {type(edit).__name__}")
+
+
+#: Human-readable summary of each TL0xx typing code, keyed by code.  The
+#: truelint analyzer extends this table with its TL01x lint rules; see
+#: ``docs/truechange-spec.md`` §8 for the full contract.
+TC_CODES: dict[str, str] = {
+    TC_UNKNOWN_SIGNATURE: "unknown-signature: an edit names a tag or link Σ does not declare",
+    TC_LEAKED_ROOT: "leaked-root: the final state's detached roots differ from the expected ones",
+    TC_DANGLING_SLOT: "dangling-slot: the final state's empty slots differ from the expected ones",
+    TC_DUPLICATE_ROOT: "duplicate-root: an edit (re)introduces a root URI that is already a root",
+    TC_SLOT_ALREADY_EMPTY: "slot-already-empty: a detach targets a slot that is already empty",
+    TC_MISSING_ROOT: "missing-root: an edit consumes a detached root that does not exist",
+    TC_SLOT_NOT_EMPTY: "slot-not-empty: an attach targets a slot that is not empty",
+    TC_SORT_MISMATCH: "sort-mismatch: a root's sort is not a subtype of the consuming slot's sort",
+    TC_ARITY_MISMATCH: "arity-mismatch: kid bindings do not match the signature's kid links",
+    TC_BAD_LITERAL: "bad-literal: literal bindings violate the signature's base types",
+    TC_ILL_TYPED: "ill-typed: uncategorized linear-typing violation",
+}
 
 
 def _check_detach(
@@ -134,10 +195,18 @@ def _check_detach(
 ) -> None:
     # T-Detach: node ∉ dom(R), par.x ∉ dom(S)
     if e.node.uri in roots:
-        raise EditTypeError(e, f"node {e.node} is already a detached root")
+        raise EditTypeError(
+            e,
+            f"node {e.node} is already a detached root",
+            code=TC_DUPLICATE_ROOT,
+        )
     slot = (e.parent.uri, e.link)
     if slot in slots:
-        raise EditTypeError(e, f"slot {e.parent}.{e.link} is already empty")
+        raise EditTypeError(
+            e,
+            f"slot {e.parent}.{e.link} is already empty",
+            code=TC_SLOT_ALREADY_EMPTY,
+        )
     node_sig = sigs[e.node.tag]
     parent_sig = sigs[e.parent.tag]
     slot_type = parent_sig.kid_type(e.link)  # raises if link unknown
@@ -153,14 +222,22 @@ def _check_attach(
 ) -> None:
     # T-Attach: node : T ∈ R, par.x : T' ∈ S, T <: T'
     if e.node.uri not in roots:
-        raise EditTypeError(e, f"node {e.node} is not a detached root")
+        raise EditTypeError(
+            e, f"node {e.node} is not a detached root", code=TC_MISSING_ROOT
+        )
     slot = (e.parent.uri, e.link)
     if slot not in slots:
-        raise EditTypeError(e, f"slot {e.parent}.{e.link} is not empty")
+        raise EditTypeError(
+            e, f"slot {e.parent}.{e.link} is not empty", code=TC_SLOT_NOT_EMPTY
+        )
     t = roots[e.node.uri]
     t_slot = slots[slot]
     if not sigs.is_subtype(t, t_slot):
-        raise EditTypeError(e, f"root type {t} is not a subtype of slot type {t_slot}")
+        raise EditTypeError(
+            e,
+            f"root type {t} is not a subtype of slot type {t_slot}",
+            code=TC_SORT_MISMATCH,
+        )
     del roots[e.node.uri]
     del slots[slot]
 
@@ -174,31 +251,42 @@ def _check_load(
     # T-Load: kids are roots of matching types; lits well-typed; node fresh
     sig = sigs[e.node.tag]
     if e.node.uri in roots:
-        raise EditTypeError(e, f"loaded node URI {e.node.uri} is already a root")
+        raise EditTypeError(
+            e,
+            f"loaded node URI {e.node.uri} is already a root",
+            code=TC_DUPLICATE_ROOT,
+        )
     kid_links = [l for l, _ in e.kids]
     if kid_links != list(sig.kid_links_for(len(e.kids))):
         raise EditTypeError(
             e,
             f"kid links {kid_links} do not match signature links "
             f"{list(sig.kid_links_for(len(e.kids)))}",
+            code=TC_ARITY_MISMATCH,
         )
     # Validate without mutating, so a failed check leaves (R, S) intact.
     # Each kid consumes one root linearly, so duplicates are rejected too.
     seen: set[URI] = set()
     for link, kid_uri in e.kids:
         if kid_uri not in roots or kid_uri in seen:
-            raise EditTypeError(e, f"kid {link}->{kid_uri} is not a detached root")
+            raise EditTypeError(
+                e,
+                f"kid {link}->{kid_uri} is not a detached root",
+                code=TC_MISSING_ROOT,
+            )
         t_kid = roots[kid_uri]
         t_expected = sig.kid_type(link)
         if not sigs.is_subtype(t_kid, t_expected):
             raise EditTypeError(
-                e, f"kid {link}->{kid_uri} has type {t_kid}, expected <: {t_expected}"
+                e,
+                f"kid {link}->{kid_uri} has type {t_kid}, expected <: {t_expected}",
+                code=TC_SORT_MISMATCH,
             )
         seen.add(kid_uri)
     try:
         sigs.check_lits(e.node.tag, dict(e.lits))
     except Exception as exc:
-        raise EditTypeError(e, str(exc)) from None
+        raise EditTypeError(e, str(exc), code=TC_BAD_LITERAL) from None
     for _, kid_uri in e.kids:
         del roots[kid_uri]
     roots[e.node.uri] = sig.result
@@ -213,20 +301,29 @@ def _check_unload(
     # T-Unload: node : T ∈ R; kids ∉ dom(R); kids become roots
     sig = sigs[e.node.tag]
     if e.node.uri not in roots:
-        raise EditTypeError(e, f"node {e.node} is not a detached root")
+        raise EditTypeError(
+            e, f"node {e.node} is not a detached root", code=TC_MISSING_ROOT
+        )
     kid_links = [l for l, _ in e.kids]
     if kid_links != list(sig.kid_links_for(len(e.kids))):
         raise EditTypeError(
             e,
             f"kid links {kid_links} do not match signature links "
             f"{list(sig.kid_links_for(len(e.kids)))}",
+            code=TC_ARITY_MISMATCH,
         )
     kid_uris = [u for _, u in e.kids]
     if len(set(kid_uris)) != len(kid_uris):
-        raise EditTypeError(e, f"duplicate kid URIs {kid_uris}")
+        raise EditTypeError(
+            e, f"duplicate kid URIs {kid_uris}", code=TC_ARITY_MISMATCH
+        )
     for link, kid_uri in e.kids:
         if kid_uri in roots:
-            raise EditTypeError(e, f"kid {link}->{kid_uri} is already a detached root")
+            raise EditTypeError(
+                e,
+                f"kid {link}->{kid_uri} is already a detached root",
+                code=TC_DUPLICATE_ROOT,
+            )
     del roots[e.node.uri]
     for link, kid_uri in e.kids:
         roots[kid_uri] = sig.kid_type(link)
@@ -239,12 +336,14 @@ def _check_update(sigs: SignatureRegistry, e: Update) -> None:
     new_links = [l for l, _ in e.new_lits]
     if old_links != list(sig.lit_links) or new_links != list(sig.lit_links):
         raise EditTypeError(
-            e, f"literal links do not match signature links {list(sig.lit_links)}"
+            e,
+            f"literal links do not match signature links {list(sig.lit_links)}",
+            code=TC_BAD_LITERAL,
         )
     try:
         sigs.check_lits(e.node.tag, dict(e.new_lits))
     except Exception as exc:
-        raise EditTypeError(e, str(exc)) from None
+        raise EditTypeError(e, str(exc), code=TC_BAD_LITERAL) from None
 
 
 def check_script(
@@ -255,11 +354,20 @@ def check_script(
     """T-EditScript: thread the typing state through all edits.
 
     Returns the final ``(R' • S')``; raises :class:`EditTypeError` on the
-    first ill-typed edit.
+    first ill-typed edit, with ``edit_index`` set to the edit's *primitive*
+    index in the script — the same span :class:`~repro.core.mtree.PatchError`
+    carries, so a statically rejected script and a runtime-rejected one
+    point at the same edit.
     """
     roots, slots = before.as_dicts()
-    for edit in script.primitives():
-        check_edit(sigs, edit, roots, slots)
+    i = -1
+    try:
+        for i, edit in enumerate(script.primitives()):
+            check_edit(sigs, edit, roots, slots)
+    except EditTypeError as exc:
+        if exc.edit_index is None:
+            exc.edit_index = i
+        raise
     return LinearState.of(roots, slots)
 
 
@@ -275,9 +383,15 @@ def assert_well_typed(sigs: SignatureRegistry, script: EditScript) -> None:
     """Like :func:`is_well_typed` but raises with a diagnostic on failure."""
     after = check_script(sigs, script, CLOSED_STATE)
     if after != CLOSED_STATE:
+        code = (
+            TC_LEAKED_ROOT
+            if dict(after.roots) != dict(CLOSED_STATE.roots)
+            else TC_DANGLING_SLOT
+        )
         raise EditTypeError(
             None,
             f"edit script leaks resources: final state {after} != {CLOSED_STATE}",
+            code=code,
         )
 
 

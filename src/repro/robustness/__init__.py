@@ -44,6 +44,7 @@ from .transaction import (
     linear_state_of,
     patch_atomic,
     preflight_check,
+    preflight_check_static,
 )
 
 __all__ = [
@@ -60,6 +61,7 @@ __all__ = [
     "linear_state_of",
     "patch_atomic",
     "preflight_check",
+    "preflight_check_static",
     "replace_root_script",
     "tree_fingerprint",
     "tree_state",

@@ -5,11 +5,15 @@ Two orthogonal fault models:
 * **Script corruption** (:func:`corrupt_script`) — a seeded
   ``random.Random`` drives one of six structured corruptions of a valid
   edit script: ``drop`` an edit, ``duplicate`` one, ``reorder`` two,
-  ``swap_uris`` (exchange two URIs everywhere they occur),
-  ``retarget_sort`` (change the tag — and hence the sort — of one node
-  reference), or ``truncate`` the tail.  These model wire damage,
-  version skew, and adversarial scripts; most are caught by the
-  pre-flight typecheck, the rest by the strict standard semantics.
+  ``swap_uris`` (exchange two URIs at every *node reference*, leaving
+  Load/Unload kid bindings stale — a total swap would be a coherent
+  alpha-renaming of the script, invisible to any tree-free check, so the
+  fault models the realistic version-skew case: renamed references
+  meeting structural metadata that was not migrated), ``retarget_sort``
+  (change the tag — and hence the sort — of one node reference), or
+  ``truncate`` the tail.  These model wire damage, version skew, and
+  adversarial scripts; most are caught by the pre-flight typecheck, the
+  rest by the strict standard semantics.
 * **Application faults** (:func:`inject_fault_at`) — a hook forcing a
   raise immediately before primitive edit *k* applies, modelling a crash
   mid-patch.  This exercises the rollback path on otherwise *valid*
@@ -26,11 +30,10 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.edits import (
-    Edit,
     EditScript,
     PrimitiveEdit,
+    edit_uris,
     map_edit_nodes,
-    map_edit_uris,
 )
 from repro.core.node import Node
 from repro.core.uris import ROOT_URI, URI
@@ -74,19 +77,10 @@ def _script_uris(edits: list[PrimitiveEdit]) -> list[URI]:
     """All distinct non-root URIs the script mentions, in first-use order."""
     seen: dict[URI, None] = {}
     for e in edits:
-        for uri in _edit_uris(e):
+        for uri in edit_uris(e):
             if uri != ROOT_URI and uri not in seen:
                 seen[uri] = None
     return list(seen)
-
-
-def _edit_uris(edit: Edit) -> list[URI]:
-    uris = [edit.node.uri]
-    if hasattr(edit, "parent"):
-        uris.append(edit.parent.uri)
-    if hasattr(edit, "kids"):
-        uris.extend(u for _, u in edit.kids)
-    return uris
 
 
 def corrupt_script(
@@ -132,8 +126,15 @@ def corrupt_script(
             return Corruption(kind, "fewer than two URIs; unchanged", EditScript(edits))
         a, b = rng.sample(uris, 2)
         mapping = {a: b, b: a}
-        swapped = [map_edit_uris(e, lambda u: mapping.get(u, u)) for e in edits]
-        return Corruption(kind, f"swapped URIs {a!r} and {b!r}", EditScript(swapped))
+        swapped = [
+            map_edit_nodes(e, lambda n: Node(n.tag, mapping.get(n.uri, n.uri)))
+            for e in edits
+        ]
+        return Corruption(
+            kind,
+            f"swapped URIs {a!r} and {b!r} in node references",
+            EditScript(swapped),
+        )
 
     if kind == "retarget_sort":
         pairs: dict[URI, str] = {}

@@ -36,7 +36,12 @@ from repro.core.edits import EditScript, Load, PrimitiveEdit, Unload, Update
 from repro.core.invert import invert_edit
 from repro.core.mtree import MNode, MTree, PatchError
 from repro.core.signature import SignatureError, SignatureRegistry
-from repro.core.typecheck import EditTypeError, LinearState, check_edit
+from repro.core.typecheck import (
+    CLOSED_STATE,
+    EditTypeError,
+    LinearState,
+    check_edit,
+)
 from repro.core.uris import URI
 
 from .integrity import IntegrityError, verify_tree
@@ -114,7 +119,28 @@ def preflight_check(
     slots behind.  Raises :class:`PreflightError` (tree untouched) naming
     the offending primitive edit index.
     """
-    before = linear_state_of(tree, sigs)
+    _preflight_from(linear_state_of(tree, sigs), script, sigs)
+
+
+def preflight_check_static(script: EditScript, sigs: SignatureRegistry) -> None:
+    """Tree-free pre-flight: Definition 3.1 against the closed state.
+
+    For a closed tree, :func:`linear_state_of` returns exactly
+    :data:`~repro.core.typecheck.CLOSED_STATE`, so checking from the
+    closed state accepts and rejects the same scripts as
+    :func:`preflight_check` — without the O(tree) index scan.  This is
+    the static analyzer's view (:func:`repro.analysis.lint_script` with
+    error severities): no tree-specific facts are consulted, so it is
+    also the right pre-flight when vetting happens away from the tree.
+    Only sound for closed trees; a tree holding detached roots or empty
+    slots needs the scan-based check.
+    """
+    _preflight_from(CLOSED_STATE, script, sigs)
+
+
+def _preflight_from(
+    before: LinearState, script: EditScript, sigs: SignatureRegistry
+) -> None:
     roots, slots = before.as_dicts()
     for i, edit in enumerate(script.primitives()):
         try:
@@ -195,13 +221,22 @@ def patch_atomic(
     sigs: Optional[SignatureRegistry] = None,
     *,
     verify: bool = False,
+    preflight: str = "scan",
     fault_hook: Optional[Callable[[int, PrimitiveEdit], None]] = None,
 ) -> MTree:
     """Apply ``script`` to ``tree`` transactionally.
 
-    With ``sigs``, the script is first pre-flight typechecked against the
-    tree's actual linear state (:func:`preflight_check`); an ill-typed
-    script is rejected with :class:`PreflightError` before any mutation.
+    With ``sigs``, the script is first pre-flight typechecked; an
+    ill-typed script is rejected with :class:`PreflightError` before any
+    mutation.  ``preflight`` selects the check: ``"scan"`` (the default)
+    reads the tree's actual linear state (:func:`preflight_check`, one
+    O(tree) index scan, sound for any tree); ``"static"`` checks from the
+    closed state with no tree facts (:func:`preflight_check_static`,
+    O(script), equivalent for closed trees — which every tree between
+    complete patches is).  Either way the rollback journal covers the
+    runtime residue static typing cannot see (URI existence, stale
+    literal claims).
+
     Each applied edit is journaled with its exact inverse; if any edit
     raises, the journal is replayed backwards and the original
     :class:`~repro.core.mtree.PatchError` is re-raised with
@@ -218,10 +253,15 @@ def patch_atomic(
     wiring, same literal values — see
     :func:`repro.robustness.tree_fingerprint`).
     """
+    if preflight not in ("scan", "static"):
+        raise ValueError(f"unknown preflight mode {preflight!r}")
     with _span("repro.patch.atomic"):
         if sigs is not None:
             try:
-                preflight_check(tree, script, sigs)
+                if preflight == "static":
+                    preflight_check_static(script, sigs)
+                else:
+                    preflight_check(tree, script, sigs)
             except PreflightError:
                 if OBS.enabled:
                     _metrics().counter("repro.patch.atomic.preflight_rejects").inc()

@@ -125,6 +125,9 @@ class TestDiffPair:
         assert row["edits"] == sum(row["edit_mix"].values()) or row["edit_mix"]
         assert row["src_nodes"] > 0 and row["dst_nodes"] > 0
         assert row["parse_ms"] >= 0 and row["diff_ms"] >= 0
+        # the truelint verdict rides along on every ok row
+        assert row["lint"]["clean"] is True
+        assert row["lint"]["findings"] == 0 and row["lint"]["codes"] == {}
 
     def test_unchanged_pair_is_empty(self):
         row = diff_pair(

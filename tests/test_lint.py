@@ -1,0 +1,344 @@
+"""Tests for the truelint diagnostic framework, abstract interpreter, and
+``repro lint`` CLI."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core import Attach, Detach, EditScript, Load, Node, Update, diff
+from repro.core.typecheck import (
+    CLOSED_STATE,
+    EditTypeError,
+    TC_CODES,
+    check_script,
+)
+from repro.analysis import (
+    CODES,
+    Diagnostic,
+    Fix,
+    LintReport,
+    interpret,
+    lint_script,
+    render_json,
+    render_sarif,
+    render_text,
+)
+
+from .util import EXP, mutate_exp, random_exp
+
+
+def exp_script(seed: int = 0, n_edits: int = 3):
+    """A valid truediff script over a random Exp pair, plus its trees."""
+    rng = random.Random(seed)
+    src = random_exp(rng, 4)
+    dst = mutate_exp(rng, src, n_edits)
+    script, _ = diff(src, dst)
+    return src, dst, script
+
+
+class TestDiagnostics:
+    def test_str_carries_span_severity_and_code(self):
+        d = Diagnostic(code="TL005", severity="error", message="boom", edit_index=3, uri=7)
+        assert str(d) == "edit #3 (uri 7): error: boom [TL005]"
+
+    def test_whole_script_span(self):
+        d = Diagnostic(code="TL001", severity="error", message="leak")
+        assert d.span() == "script"
+
+    def test_fix_indices(self):
+        node = Node("Num", 1)
+        fix = Fix("merge", delete=(2,), replace=((5, Update(node, (), ())),))
+        assert fix.indices == frozenset({2, 5})
+
+    def test_report_partitions_and_counts(self):
+        ds = [
+            Diagnostic(code="TL005", severity="error", message="e", edit_index=0),
+            Diagnostic(code="TL012", severity="warning", message="w", edit_index=1),
+            Diagnostic(code="TL012", severity="warning", message="w", edit_index=2),
+        ]
+        report = LintReport(diagnostics=ds, edits=3, primitives=3)
+        assert [d.code for d in report.errors] == ["TL005"]
+        assert len(report.warnings) == 2
+        assert not report.ok and not report.clean
+        assert report.counts_by_code() == {"TL005": 1, "TL012": 2}
+
+    def test_empty_report_is_ok_and_clean(self):
+        report = LintReport(edits=0, primitives=0)
+        assert report.ok and report.clean
+
+    def test_render_text_has_summary_line(self):
+        report = LintReport(
+            diagnostics=[Diagnostic(code="TL001", severity="error", message="x")],
+            edits=2,
+            primitives=3,
+            uri="s.json",
+        )
+        text = render_text(report)
+        assert "s.json: 1 finding(s): 1 error(s), 0 warning(s)" in text
+
+    def test_render_json_round_trips(self):
+        report = LintReport(
+            diagnostics=[
+                Diagnostic(code="TL012", severity="warning", message="m",
+                           edit_index=4, uri=9, related=(6,),
+                           fix=Fix("f", delete=(4, 6)))
+            ],
+            edits=7,
+            primitives=7,
+        )
+        doc = json.loads(render_json(report))
+        [d] = doc["diagnostics"]
+        assert d["code"] == "TL012" and d["edit_index"] == 4
+        assert d["related"] == [6] and d["fix"]["delete"] == [4, 6]
+
+    def test_render_sarif_structure(self):
+        report = LintReport(
+            diagnostics=[
+                Diagnostic(code="TL005", severity="error", message="m", edit_index=2)
+            ],
+            uri="case0",
+        )
+        doc = json.loads(render_sarif([report]))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["TL005"]
+        [res] = run["results"]
+        assert res["ruleId"] == "TL005" and res["level"] == "error"
+        # edit index 2 renders as 1-based "line" 3
+        assert res["locations"][0]["physicalLocation"]["region"]["startLine"] == 3
+
+    def test_code_table_covers_checker_and_lints(self):
+        assert set(TC_CODES) <= set(CODES)
+        for code in ("TL010", "TL011", "TL012", "TL013", "TL014"):
+            assert code in CODES
+
+
+class TestAbstractInterpreter:
+    def test_valid_script_is_well_typed_and_closes(self):
+        src, _, script = exp_script(seed=1)
+        result = interpret(EXP.sigs, script)
+        assert result.well_typed
+        assert result.final == CLOSED_STATE
+        assert result.primitives == sum(1 for _ in script.primitives())
+
+    def test_leak_reports_boundary_findings(self):
+        base = EXP.Add(EXP.Num(1), EXP.Num(2))
+        kid = base.kids[0]
+        script = EditScript([Detach(kid.node, "e1", base.node)])
+        result = interpret(EXP.sigs, script)
+        codes = {d.code for d in result.diagnostics}
+        assert codes == {"TL001", "TL002"}  # leaked root + dangling slot
+        leak = next(d for d in result.diagnostics if d.code == "TL001")
+        assert leak.uri == kid.uri
+
+    def test_recovery_continues_past_an_error(self):
+        """A duplicated detach errors once but the rest still interprets."""
+        base = EXP.Add(EXP.Num(1), EXP.Num(2))
+        kid = base.kids[0]
+        d = Detach(kid.node, "e1", base.node)
+        a = Attach(kid.node, "e1", base.node)
+        script = EditScript([d, d, a])  # second detach is ill-typed
+        result = interpret(EXP.sigs, script)
+        errors = [x for x in result.diagnostics if x.severity == "error"]
+        assert len(errors) == 1
+        assert errors[0].edit_index == 1
+        assert errors[0].code in ("TL003", "TL004")  # duplicate root / empty slot
+        # recovery lets the attach close the state again: no boundary findings
+        assert not any(x.code in ("TL001", "TL002") for x in result.diagnostics)
+
+    def test_checker_codes_and_indices_flow_through(self):
+        base = EXP.Add(EXP.Num(1), EXP.Num(2))
+        kid = base.kids[0]
+        script = EditScript([Attach(kid.node, "e1", base.node)])  # not a root
+        result = interpret(EXP.sigs, script)
+        err = next(d for d in result.diagnostics if d.severity == "error")
+        assert err.code == "TL005" and err.edit_index == 0 and err.uri == kid.uri
+
+    def test_tag_incoherence_is_flagged(self):
+        """One URI referenced under two tags: the residue of a URI swap."""
+        base = EXP.Add(EXP.Num(1), EXP.Num(2))
+        kid = base.kids[0]
+        script = EditScript(
+            [
+                Detach(kid.node, "e1", base.node),
+                Attach(Node("Var", kid.uri), "e1", base.node),
+            ]
+        )
+        result = interpret(EXP.sigs, script)
+        assert any(
+            d.code == "TL007" and "one URI must denote one node" in d.message
+            for d in result.diagnostics
+        )
+
+    def test_max_diagnostics_truncates(self):
+        base = EXP.Add(EXP.Num(1), EXP.Num(2))
+        kid = base.kids[0]
+        bad = Attach(kid.node, "e1", base.node)
+        script = EditScript([bad] * 50)
+        result = interpret(EXP.sigs, script, max_diagnostics=5)
+        assert len(result.diagnostics) == 5
+
+
+class TestEditTypeErrorMetadata:
+    def test_check_script_sets_primitive_index(self):
+        base = EXP.Add(EXP.Num(1), EXP.Num(2))
+        kid = base.kids[0]
+        script = EditScript(
+            [
+                Detach(kid.node, "e1", base.node),
+                Attach(kid.node, "e1", base.node),
+                Attach(kid.node, "e1", base.node),  # index 2: not a root anymore
+            ]
+        )
+        with pytest.raises(EditTypeError) as excinfo:
+            check_script(EXP.sigs, script, CLOSED_STATE)
+        exc = excinfo.value
+        assert exc.edit_index == 2
+        assert exc.code == "TL005"
+        assert "[TL005]" in str(exc) and "#2" in str(exc)
+
+
+class TestLintScript:
+    def test_valid_diff_scripts_lint_clean(self):
+        for seed in range(5):
+            _, _, script = exp_script(seed=seed)
+            report = lint_script(script, EXP.sigs)
+            assert report.clean, [str(d) for d in report.diagnostics]
+
+    def test_findings_sorted_by_edit_index(self):
+        base = EXP.Add(EXP.Num(1), EXP.Num(2))
+        kid = base.kids[0]
+        script = EditScript(
+            [
+                Load(Node("Num", 9001), (), (("n", 5),)),  # TL014 at 0
+                Attach(kid.node, "e1", base.node),  # TL005 at 1
+            ]
+        )
+        report = lint_script(script, EXP.sigs)
+        positioned = [d for d in report.diagnostics if d.edit_index is not None]
+        assert positioned == sorted(positioned, key=lambda d: d.edit_index)
+        # whole-script boundary findings come last
+        assert report.diagnostics[-1].edit_index is None
+
+    def test_rules_can_be_disabled(self):
+        script = EditScript([Load(Node("Num", 9002), (), (("n", 5),))])
+        with_rules = lint_script(script, EXP.sigs)
+        without = lint_script(script, EXP.sigs, rules=False)
+        assert any(d.code == "TL014" for d in with_rules.diagnostics)
+        assert not any(d.code == "TL014" for d in without.diagnostics)
+
+    def test_metrics_are_recorded(self):
+        from repro import observability as obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            script = EditScript([Load(Node("Num", 9003), (), (("n", 5),))])
+            lint_script(script, EXP.sigs)
+            snap = obs.snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+        counters = snap["counters"]
+        assert counters["repro.lint.scripts"] == 1
+        assert counters["repro.lint.findings"] >= 1
+        assert any(k.startswith("repro.lint.findings.TL") for k in counters)
+
+
+class TestCorruptionDetection:
+    """Every corruption class is statically flagged on at least one sample,
+    with zero false positives on valid scripts (the acceptance gate)."""
+
+    def test_all_kinds_flagged_at_least_once(self):
+        from repro.robustness.faults import CORRUPTION_KINDS, corrupt_script
+
+        flagged = {kind: 0 for kind in CORRUPTION_KINDS}
+        for seed in range(6):
+            _, _, script = exp_script(seed=seed, n_edits=4)
+            assert lint_script(script, EXP.sigs).clean
+            for ki, kind in enumerate(CORRUPTION_KINDS):
+                for rep in range(4):
+                    rng = random.Random((seed * 31 + ki) * 101 + rep)
+                    c = corrupt_script(script, rng, kind)
+                    if not lint_script(c.script, EXP.sigs).clean:
+                        flagged[kind] += 1
+        missing = [k for k, n in flagged.items() if n == 0]
+        assert not missing, f"never flagged: {missing} ({flagged})"
+
+
+class TestLintCLI:
+    BEFORE = "def f(x):\n    return x + 1\n"
+    AFTER = "def f(x, y=0):\n    return x + y\n"
+
+    @pytest.fixture
+    def script_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        before = tmp_path / "before.py"
+        after = tmp_path / "after.py"
+        before.write_text(self.BEFORE)
+        after.write_text(self.AFTER)
+        assert main(["diff", str(before), str(after), "--json"]) == 0
+        path = tmp_path / "script.json"
+        path.write_text(capsys.readouterr().out)
+        return path
+
+    def test_clean_script_exits_zero(self, script_file, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint", str(script_file)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_json_format(self, script_file, capsys):
+        from repro.__main__ import main
+
+        assert main(["lint", str(script_file), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True and doc["clean"] is True
+
+    def test_sarif_to_file(self, script_file, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "lint.sarif"
+        assert main(["lint", str(script_file), "--format", "sarif",
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "truelint"
+
+    def test_corrupted_script_exits_one(self, script_file, capsys):
+        from repro.core.serialize import script_from_json, script_to_json
+        from repro.__main__ import main
+
+        script = script_from_json(script_file.read_text())
+        prims = list(script.primitives())
+        del prims[0]
+        script_file.write_text(script_to_json(EditScript(prims), indent=2))
+        assert main(["lint", str(script_file)]) == 1
+        out = capsys.readouterr().out
+        assert "error" in out
+
+    def test_fix_rewrites_input_in_place(self, script_file, capsys):
+        from repro.core.serialize import script_from_json, script_to_json
+        from repro.__main__ import main
+
+        script = script_from_json(script_file.read_text())
+        prims = list(script.primitives())
+        # inject a no-op update round trip: statically removable noise
+        noop = Update(prims[0].node, (), ())
+        noisy = EditScript([noop, noop] + prims)
+        script_file.write_text(script_to_json(noisy, indent=2))
+
+        assert main(["lint", str(script_file), "--fix"]) == 0
+        err = capsys.readouterr().err
+        assert "applied" in err
+        fixed = script_from_json(script_file.read_text())
+        assert sum(1 for _ in fixed.primitives()) == len(prims)
+
+    def test_missing_script_exits_two(self, tmp_path):
+        from repro.__main__ import main
+
+        assert main(["lint", str(tmp_path / "nope.json")]) == 2

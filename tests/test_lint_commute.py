@@ -1,0 +1,162 @@
+"""Tests for the script-pair commutation analysis and its use as the
+merge precheck."""
+
+from __future__ import annotations
+
+from repro.core import (
+    Attach,
+    Detach,
+    EditScript,
+    Load,
+    Node,
+    Unload,
+    Update,
+    diff,
+    merge_scripts,
+    tnode_to_mtree,
+)
+from repro.analysis import commute_conflicts, commutes, script_footprint
+
+from .util import EXP
+
+
+def make_base():
+    base = EXP.Add(EXP.Num(1), EXP.Num(2))
+    return base, base.kids[0], base.kids[1]
+
+
+class TestFootprint:
+    def test_classifies_resource_use(self):
+        base, kid1, kid2 = make_base()
+        fresh = Node("Num", EXP.sigs.urigen.fresh())
+        script = EditScript(
+            [
+                Detach(kid1.node, "e1", base.node),
+                Load(fresh, (), (("n", 9),)),
+                Attach(fresh, "e1", base.node),
+                Update(kid2.node, (("n", 2),), (("n", 8),)),
+                Unload(kid1.node, (), (("n", 1),)),
+            ]
+        )
+        fp = script_footprint(script)
+        assert fp.slots == {(base.uri, "e1")}
+        assert fp.positions == {kid1.uri}  # fresh is the script's own load
+        assert fp.contents == {kid2.uri}
+        assert fp.destroyed == {kid1.uri}
+        assert fp.loaded == {fresh.uri}
+        assert fp.touched == {base.uri, kid1.uri, kid2.uri}
+
+    def test_canonicalization_discounts_self_cancelling_noise(self):
+        base, kid1, _ = make_base()
+        noise = EditScript(
+            [
+                Detach(kid1.node, "e1", base.node),
+                Attach(kid1.node, "e1", base.node),
+            ]
+        )
+        raw = script_footprint(noise, canonicalize=False)
+        assert raw.slots and raw.positions
+        fp = script_footprint(noise)
+        assert not fp.touched and not fp.slots
+
+    def test_load_kid_bindings_consume_positions(self):
+        _, kid1, _ = make_base()
+        fresh = Node("Neg", EXP.sigs.urigen.fresh())
+        script = EditScript([Load(fresh, (("e", kid1.uri),), ())])
+        fp = script_footprint(script)
+        assert kid1.uri in fp.positions
+
+
+class TestCommutation:
+    def test_disjoint_subtree_edits_commute(self):
+        base, kid1, kid2 = make_base()
+        a = EditScript([Update(kid1.node, (("n", 1),), (("n", 5),))])
+        b = EditScript([Update(kid2.node, (("n", 2),), (("n", 6),))])
+        assert commutes(a, b) and commutes(b, a)
+
+    def test_move_commutes_with_content_edit_of_same_node(self):
+        """The payoff over the URI-overlap check: moving a node and
+        updating its literals touch the same URI but different resources."""
+        base, kid1, kid2 = make_base()
+        move = EditScript(
+            [
+                Detach(kid1.node, "e1", base.node),
+                Detach(kid2.node, "e2", base.node),
+                Attach(kid2.node, "e1", base.node),
+                Attach(kid1.node, "e2", base.node),
+            ]
+        )
+        edit = EditScript([Update(kid1.node, (("n", 1),), (("n", 99),))])
+        assert commutes(move, edit)
+
+    def test_same_slot_rewired_conflicts(self):
+        base, kid1, kid2 = make_base()
+        a = EditScript(
+            [
+                Detach(kid1.node, "e1", base.node),
+                Attach(kid1.node, "e2", base.node),
+                Detach(kid2.node, "e2", base.node),
+                Attach(kid2.node, "e1", base.node),
+            ]
+        )
+        conflicts = commute_conflicts(a, a)
+        kinds = {c.kind for c in conflicts}
+        assert "slot" in kinds and "position" in kinds
+
+    def test_destroy_versus_use_conflicts_symmetrically(self):
+        base, kid1, _ = make_base()
+        destroy = EditScript(
+            [
+                Detach(kid1.node, "e1", base.node),
+                Unload(kid1.node, (), (("n", 1),)),
+                Attach(Node("Num", 9001), "e1", base.node),
+            ]
+        )
+        use = EditScript([Update(kid1.node, (("n", 1),), (("n", 4),))])
+        for x, y in ((destroy, use), (use, destroy)):
+            conflicts = commute_conflicts(x, y)
+            assert any(
+                c.kind == "node" and c.resource == (kid1.uri,)
+                for c in conflicts
+            )
+
+    def test_conflict_strings_name_the_race(self):
+        from repro.core import MergeConflict
+
+        assert "rewire slot" in str(MergeConflict("slot", (3, "e1")))
+        assert "move node" in str(MergeConflict("position", (3,)))
+        assert "literals" in str(MergeConflict("content", (3,)))
+        assert "deletes node" in str(MergeConflict("node", (3,)))
+
+
+class TestMergePrecheck:
+    def test_swap_versus_literal_edit_merges_cleanly(self):
+        """Regression: the historical URI-overlap precheck called this pair
+        a conflict (both scripts mention Num(1)'s URI).  The commutation
+        analysis sees a move racing with nothing and a content edit racing
+        with nothing, so the merge must succeed — and produce the tree
+        with both changes.  The kids are structurally distinct (Var vs
+        Num) so the swap really is a pair of moves, not literal updates."""
+        base = EXP.Add(EXP.Var("a"), EXP.Num(2))
+        kid1, kid2 = base.kids
+        swapped = base.with_kids([kid2, kid1])
+        relit = base.with_kids([kid1.with_lits(("z",)), kid2])
+
+        left, _ = diff(base, swapped)
+        right, _ = diff(base, relit)
+        assert commutes(left, right)
+
+        result = merge_scripts(left, right)
+        assert result.ok, [str(c) for c in result.conflicts]
+
+        merged_tree = tnode_to_mtree(base)
+        merged_tree.patch(result.script)
+        want = base.with_kids([kid2, kid1.with_lits(("z",))])
+        assert merged_tree.structure_equals(tnode_to_mtree(want))
+
+    def test_true_conflict_still_reported(self):
+        base, kid1, kid2 = make_base()
+        swapped = base.with_kids([kid2, kid1])
+        left, _ = diff(base, swapped)
+        result = merge_scripts(left, left)
+        assert not result.ok and result.conflicts

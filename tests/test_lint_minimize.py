@@ -1,0 +1,254 @@
+"""Tests for the truelint rule engine (TL010–TL014) and the
+minimizer/canonicalizer with its differential patch oracle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    Attach,
+    Detach,
+    EditScript,
+    Load,
+    Node,
+    Unload,
+    Update,
+    diff,
+    tnode_to_mtree,
+)
+from repro.analysis import (
+    FIXABLE_CODES,
+    minimize,
+    patch_equivalent,
+    run_rules,
+)
+
+from .util import EXP, mutate_exp, random_exp
+
+
+def codes(findings):
+    return [d.code for d in findings]
+
+
+@pytest.fixture
+def base():
+    """Add(Num(1), Num(2)) with handy aliases."""
+    tree = EXP.Add(EXP.Num(1), EXP.Num(2))
+    return tree
+
+
+class TestDetachAttachRules:
+    def test_redundant_detach_attach(self, base):
+        kid = base.kids[0]
+        script = EditScript(
+            [
+                Detach(kid.node, "e1", base.node),
+                Attach(kid.node, "e1", base.node),
+            ]
+        )
+        [d] = run_rules(script)
+        assert d.code == "TL010"
+        assert d.edit_index == 0 and d.related == (1,)
+        assert d.fix is not None and d.fix.delete == (0, 1)
+
+    def test_intervening_node_use_blocks_the_pair(self, base):
+        kid = base.kids[0]
+        script = EditScript(
+            [
+                Detach(kid.node, "e1", base.node),
+                Update(kid.node, (("n", 1),), (("n", 9),)),
+                Attach(kid.node, "e1", base.node),
+            ]
+        )
+        assert run_rules(script) == []
+
+    def test_intervening_slot_use_blocks_the_pair(self, base):
+        """Re-filling the slot with another node in between means the
+        detach is observable: no TL010 on the outer pair (the inner
+        attach/detach of the *other* node is the transient one)."""
+        kid = base.kids[0]
+        fresh = Node("Num", EXP.sigs.urigen.fresh())
+        script = EditScript(
+            [
+                Load(fresh, (), (("n", 7),)),
+                Detach(kid.node, "e1", base.node),
+                Attach(fresh, "e1", base.node),
+                Detach(fresh, "e1", base.node),
+                Attach(kid.node, "e1", base.node),
+                Unload(fresh, (), (("n", 7),)),
+            ]
+        )
+        findings = run_rules(script)
+        assert codes(findings) == ["TL013"]
+        [d] = findings
+        assert d.edit_index == 2 and d.related == (3,)
+
+    def test_transient_scaffold_minimizes_to_nothing(self, base):
+        """The fixpoint: removing the transient attach exposes the dead
+        load/unload and the redundant detach/attach, which the next round
+        removes too."""
+        kid = base.kids[0]
+        fresh = Node("Num", EXP.sigs.urigen.fresh())
+        noisy = EditScript(
+            [
+                Load(fresh, (), (("n", 7),)),
+                Detach(kid.node, "e1", base.node),
+                Attach(fresh, "e1", base.node),
+                Detach(fresh, "e1", base.node),
+                Attach(kid.node, "e1", base.node),
+                Unload(fresh, (), (("n", 7),)),
+            ]
+        )
+        result = minimize(noisy)
+        assert result.changed and result.rounds == 2
+        assert result.minimized_edits == 0
+        assert len(list(result.script.primitives())) == 0
+        tree = tnode_to_mtree(base)
+        assert patch_equivalent(noisy, result.script, [tree], EXP.sigs) is None
+
+
+class TestLoadRules:
+    def test_dead_load_unload(self):
+        fresh = Node("Num", EXP.sigs.urigen.fresh())
+        script = EditScript(
+            [Load(fresh, (), (("n", 3),)), Unload(fresh, (), (("n", 3),))]
+        )
+        [d] = run_rules(script)
+        assert d.code == "TL011" and d.fix is not None
+        assert minimize(script).minimized_edits == 0
+
+    def test_dead_load_unload_with_kid_mismatch_has_no_fix(self, base):
+        fresh = Node("Neg", EXP.sigs.urigen.fresh())
+        kid = base.kids[0]
+        script = EditScript(
+            [
+                Load(fresh, (("e", kid.uri),), ()),
+                Unload(fresh, (), ()),
+            ]
+        )
+        [d] = run_rules(script)
+        assert d.code == "TL011" and d.fix is None
+        assert not minimize(script).changed
+
+    def test_unreferenced_load_fixable_only_when_kid_free(self, base):
+        free = Node("Num", EXP.sigs.urigen.fresh())
+        holding = Node("Neg", EXP.sigs.urigen.fresh())
+        script = EditScript(
+            [
+                Load(free, (), (("n", 1),)),
+                Load(holding, (("e", base.kids[0].uri),), ()),
+            ]
+        )
+        findings = run_rules(script)
+        # the kid-free load is fixable; the kid-holding one is report-only
+        # (deleting it would leak its kid binding)
+        by_uri = {d.uri: d for d in findings}
+        assert codes(findings) == ["TL014", "TL014"]
+        assert by_uri[free.uri].fix is not None
+        assert by_uri[holding.uri].fix is None
+
+
+class TestUpdateRules:
+    def test_no_op_update_round_trip_deleted(self):
+        num = EXP.Num(5)
+        script = EditScript(
+            [
+                Update(num.node, (("n", 5),), (("n", 6),)),
+                Update(num.node, (("n", 6),), (("n", 5),)),
+            ]
+        )
+        [d] = run_rules(script)
+        assert d.code == "TL012" and d.fix.delete == (0, 1)
+        result = minimize(script)
+        assert result.minimized_edits == 0
+        tree = tnode_to_mtree(num)
+        assert patch_equivalent(script, result.script, [tree], EXP.sigs) is None
+
+    def test_shadowed_update_merges_into_successor(self):
+        num = EXP.Num(5)
+        script = EditScript(
+            [
+                Update(num.node, (("n", 5),), (("n", 6),)),
+                Update(num.node, (("n", 6),), (("n", 7),)),
+            ]
+        )
+        result = minimize(script)
+        [merged] = list(result.script.primitives())
+        assert isinstance(merged, Update)
+        assert merged.old_lits == (("n", 5),) and merged.new_lits == (("n", 7),)
+        tree = tnode_to_mtree(num)
+        assert patch_equivalent(script, result.script, [tree], EXP.sigs) is None
+
+    def test_observed_update_is_not_shadowed(self, base):
+        kid = base.kids[0]
+        script = EditScript(
+            [
+                Update(kid.node, (("n", 1),), (("n", 6),)),
+                Detach(kid.node, "e1", base.node),
+                Attach(kid.node, "e1", base.node),
+                Update(kid.node, (("n", 6),), (("n", 7),)),
+            ]
+        )
+        assert "TL012" not in codes(run_rules(script))
+
+
+class TestMinimizer:
+    def test_normal_form_is_a_fixpoint(self):
+        rng = random.Random(7)
+        src = random_exp(rng, 4)
+        dst = mutate_exp(rng, src, 3)
+        script, _ = diff(src, dst)
+        result = minimize(script)
+        assert not result.changed and result.rounds == 0
+        # idempotence: minimizing the normal form changes nothing further
+        again = minimize(result.script)
+        assert not again.changed
+
+    def test_applied_findings_are_fixable_codes(self, base):
+        kid = base.kids[0]
+        noisy = EditScript(
+            [
+                Detach(kid.node, "e1", base.node),
+                Attach(kid.node, "e1", base.node),
+            ]
+        )
+        result = minimize(noisy)
+        assert result.applied and all(
+            d.code in FIXABLE_CODES for d in result.applied
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_injected_noise_minimizes_patch_equivalently(self, seed):
+        """Differential oracle over random Exp pairs: a valid diff script
+        with injected redundancy minimizes to a script that patches the
+        source tree to the identical result."""
+        rng = random.Random(seed)
+        src = random_exp(rng, 4)
+        dst = mutate_exp(rng, src, 3)
+        script, _ = diff(src, dst)
+        prims = list(script.primitives())
+
+        kid = src.kids[0] if src.kids else src
+        parent = src if src.kids else None
+        noise = []
+        if parent is not None:
+            link = parent.sig.kids[0][0]
+            noise += [
+                Detach(kid.node, link, parent.node),
+                Attach(kid.node, link, parent.node),
+            ]
+        lits = tuple(
+            (link, val) for (link, _), val in zip(kid.sig.lits, kid.lits)
+        )
+        noise += [Update(kid.node, lits, lits), Update(kid.node, lits, lits)]
+        noisy = EditScript(noise + prims)
+
+        result = minimize(noisy)
+        assert result.changed
+        leftovers = run_rules(result.script)
+        assert not any(d.fix is not None for d in leftovers)
+        tree = tnode_to_mtree(src)
+        divergence = patch_equivalent(noisy, result.script, [tree], EXP.sigs)
+        assert divergence is None, divergence

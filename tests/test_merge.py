@@ -102,7 +102,7 @@ class TestConflicts:
         right = e.Add(e.Num(99), e.Num(2))
         s1, s2, result = three_way(base, left, right)
         assert not result.ok
-        assert any(c.kind == "node" for c in result.conflicts)
+        assert any(c.kind == "content" for c in result.conflicts)
 
     def test_same_slot_replaced(self):
         e = EXP

@@ -32,6 +32,7 @@ from repro.robustness import (
     linear_state_of,
     patch_atomic,
     preflight_check,
+    preflight_check_static,
     tree_fingerprint,
     verify_tree,
 )
@@ -111,6 +112,70 @@ class TestPreflight:
         # applies fine (leak is a type-level notion) and commits
         t.patch(script, atomic=True)
         assert tree_fingerprint(t) != before
+
+
+class TestStaticPreflight:
+    """``preflight="static"``: Definition 3.1 against the closed state,
+    no index scan — equivalent to the scan for closed trees."""
+
+    def test_accepts_and_applies_valid_script(self):
+        t = tree()
+        num = t.main.kids["e1"]
+        script = EditScript([Update(num.node, (("n", 1),), (("n", 2),))])
+        t.patch(script, atomic=True, sigs=EXP.sigs, preflight="static")
+        assert t.main.kids["e1"].lits["n"] == 2
+
+    def test_rejects_without_mutation(self):
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        before = tree_fingerprint(t)
+        script = EditScript([Detach(num.node, "e1", add.node)])  # leaks
+        with pytest.raises(PreflightError, match="linear resource state"):
+            t.patch(script, atomic=True, sigs=EXP.sigs, preflight="static")
+        assert tree_fingerprint(t) == before
+
+    def test_agrees_with_scan_on_closed_trees(self):
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        good = EditScript(
+            [
+                Detach(num.node, "e1", add.node),
+                Attach(num.node, "e1", add.node),
+            ]
+        )
+        bad = EditScript([Detach(num.node, "e1", add.node)])
+        preflight_check(t, good, EXP.sigs)
+        preflight_check_static(good, EXP.sigs)  # same verdict, no tree
+        for check in (lambda s: preflight_check(t, s, EXP.sigs),
+                      lambda s: preflight_check_static(s, EXP.sigs)):
+            with pytest.raises(PreflightError):
+                check(bad)
+
+    def test_unsound_for_open_trees_by_design(self):
+        """A tree already holding a detached root needs the scan: the
+        static check assumes the closed state and rejects the re-attach."""
+        t = tree()
+        add = t.main
+        num = add.kids["e1"]
+        t.process_edit(Detach(num.node, "e1", add.node))
+        round_trip = EditScript(
+            [
+                Attach(num.node, "e1", add.node),
+                Detach(num.node, "e1", add.node),
+            ]
+        )
+        preflight_check(t, round_trip, EXP.sigs)  # scan sees the open state
+        with pytest.raises(PreflightError):
+            # from the closed state the attach has no root to consume
+            preflight_check_static(round_trip, EXP.sigs)
+
+    def test_unknown_mode_rejected(self):
+        t = tree()
+        with pytest.raises(ValueError, match="preflight"):
+            t.patch(EditScript([]), atomic=True, sigs=EXP.sigs,
+                    preflight="bogus")
 
 
 class TestAtomicPatch:
