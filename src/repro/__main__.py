@@ -37,7 +37,7 @@ import time
 
 from repro import observability as obs
 from repro.adapters import ast_node_count, parse_python, tnode_to_gumtree, unparse_python
-from repro.core import EditTypeError, assert_well_typed, diff, tnode_to_mtree
+from repro.core import EditTypeError, PatchError, diff, tnode_to_mtree
 from repro.core.serialize import SerializationError, script_from_json, script_to_json
 
 
@@ -98,15 +98,23 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
     if args.metrics:
         obs.enable()
+    from repro.core import DiffOptions, validate_script
+
     try:
         t0 = time.perf_counter()
-        script, _ = diff(src, dst, urigen=URIGen(start=src.size + 1))
+        # validation runs (and is timed) separately below
+        script, _ = diff(
+            src,
+            dst,
+            DiffOptions(typecheck="none"),
+            urigen=URIGen(start=src.size + 1),
+        )
         diff_ms = (time.perf_counter() - t0) * 1000
     finally:
         if args.metrics:
             obs.disable()
     t0 = time.perf_counter()
-    assert_well_typed(src.sigs, script)
+    validate_script(script, src.sigs, args.typecheck)
     typecheck_ms = (time.perf_counter() - t0) * 1000
     if args.json:
         print(script_to_json(script, indent=2))
@@ -125,7 +133,8 @@ def cmd_diff(args: argparse.Namespace) -> int:
         print(
             f"-- {len(script)} edits, {nodes} nodes; "
             f"parse {parse_ms:.1f} ms, diff {diff_ms:.1f} ms "
-            f"({rate} nodes/ms), typecheck {typecheck_ms:.1f} ms",
+            f"({rate} nodes/ms), "
+            f"validate[{args.typecheck}] {typecheck_ms:.1f} ms",
             file=sys.stderr,
         )
     if args.metrics:
@@ -406,6 +415,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_diff.add_argument("--stats", action="store_true", help="print size/timing to stderr")
     p_diff.add_argument(
+        "--typecheck",
+        choices=["static", "dynamic", "none"],
+        default="static",
+        help="how to validate the emitted script: 'static' pre-flights it "
+        "against the closed linear state (default), 'dynamic' replays the "
+        "full truechange type system, 'none' skips validation",
+    )
+    p_diff.add_argument(
         "--metrics",
         nargs="?",
         const="text",
@@ -562,9 +579,10 @@ def main(argv: list[str] | None = None) -> int:
     except CLIError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
-    except EditTypeError as exc:
+    except (EditTypeError, PatchError) as exc:
         # the rendered message carries the stable TLxxx code and the
-        # failing primitive edit index — the same span `repro lint` reports
+        # failing primitive edit index — the same span `repro lint`
+        # reports (PatchError covers static pre-flight rejections)
         print(f"repro: {exc}", file=sys.stderr)
         return 1
 

@@ -18,6 +18,7 @@ if _sys.getrecursionlimit() < 1_000_000:
     _sys.setrecursionlimit(1_000_000)
 
 from .adt import Constructor, ConsListSorts, Grammar, ListSorts, OptionSorts, diffable
+from .arena import ArenaError, TreeArena, arena_of
 from .diff import (
     DEFAULT_OPTIONS,
     DiffOptions,
@@ -25,7 +26,9 @@ from .diff import (
     DiffStats,
     EditBuffer,
     diff,
+    validate_script,
 )
+from .flatdiff import diff_flat_prepared
 from .edits import (
     Attach,
     Detach,
@@ -107,6 +110,7 @@ from .uris import ROOT_URI, URI, URIGen
 
 __all__ = [
     "ANY",
+    "ArenaError",
     "ArityMismatchError",
     "Attach",
     "CLOSED_STATE",
@@ -158,12 +162,14 @@ __all__ = [
     "SubtreeShare",
     "TNode",
     "Tag",
+    "TreeArena",
     "Type",
     "TypingViolation",
     "URI",
     "URIGen",
     "Unload",
     "Update",
+    "arena_of",
     "assert_well_typed",
     "Acquisition",
     "DiffTrace",
@@ -172,7 +178,9 @@ __all__ = [
     "check_syntactic_compliance",
     "clear_diff_state",
     "diff",
+    "diff_flat_prepared",
     "diff_traced",
+    "validate_script",
     "HASH_SCHEMES",
     "get_hash_scheme",
     "hash_scheme",

@@ -49,7 +49,7 @@ from __future__ import annotations
 import bisect
 import heapq
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.observability import OBS, metrics as _metrics, span as _span
 
@@ -73,11 +73,30 @@ class DiffOptions:
     ``coalesce``
         Merge Load+Attach / Detach+Unload pairs into compound edits for the
         conciseness metric.
+    ``typecheck``
+        How emitted scripts are validated before they are returned:
+        ``"static"`` (default) runs truelint's O(script) linear-typing
+        preflight (:func:`repro.robustness.transaction.preflight_check_static`),
+        ``"dynamic"`` replays the script through the full truechange
+        checker (:func:`repro.core.typecheck.assert_well_typed`), and
+        ``"none"`` skips validation.  Before the static preflight landed
+        the fast configurations ran unchecked; now checked is the default
+        at unchecked speed.
+    ``engine``
+        Which diff implementation a :class:`DiffSession` uses:
+        ``"flat"`` runs Steps 2–4 over :class:`~repro.core.arena.TreeArena`
+        columns (:mod:`repro.core.flatdiff`), ``"object"`` walks
+        :class:`~repro.core.tree.TNode` objects, and ``"auto"`` (default)
+        picks flat for sessions.  One-shot :func:`diff` always uses the
+        object path (building two arenas for a single diff buys nothing).
+        Both engines emit byte-identical scripts.
     """
 
     prefer_literal_matches: bool = True
     height_first: bool = True
     coalesce: bool = True
+    typecheck: str = "static"
+    engine: str = "auto"
 
 
 DEFAULT_OPTIONS = DiffOptions()
@@ -301,19 +320,25 @@ def assign_shares(
                 stack.extend(reversed(t.kids))
 
 
-def _align_list(
-    this_kids: tuple[TNode, ...], that_kids: tuple[TNode, ...]
-) -> list[tuple[Optional[TNode], Optional[TNode]]]:
-    """Align two element sequences: exact (identity-hash) matches become
+def _align_positions(
+    src_keys: Sequence[Any], dst_keys: Sequence[Any]
+) -> list[tuple[int, int]]:
+    """Align two element-key sequences: exact (equal-key) matches become
     pairs via a patience-style longest increasing subsequence; leftover
     elements inside the gaps are paired positionally (they likely
-    correspond but were edited); the rest are unpaired."""
-    src_pos: dict[bytes, list[int]] = {}
-    for i, k in enumerate(this_kids):
-        src_pos.setdefault(k.identity_hash, []).append(i)
-    dst_pos: dict[bytes, list[int]] = {}
-    for j, k in enumerate(that_kids):
-        dst_pos.setdefault(k.identity_hash, []).append(j)
+    correspond but were edited); the rest are unpaired.
+
+    Returns index pairs into the two sequences, with ``-1`` marking an
+    unmatched side.  Shared by the object path (keys = cached identity
+    hashes) and the flat path (keys = fingerprint pairs pulled from
+    arena columns) so both compute the same alignment by construction.
+    """
+    src_pos: dict[Any, list[int]] = {}
+    for i, h in enumerate(src_keys):
+        src_pos.setdefault(h, []).append(i)
+    dst_pos: dict[Any, list[int]] = {}
+    for j, h in enumerate(dst_keys):
+        dst_pos.setdefault(h, []).append(j)
 
     # unique-unique anchors, thinned to an increasing subsequence
     anchors = sorted(
@@ -325,37 +350,51 @@ def _align_list(
 
     # greedy in-gap matching of equal elements (handles duplicates)
     exact: list[tuple[int, int]] = []
-    bounds = [(-1, -1)] + kept + [(len(this_kids), len(that_kids))]
+    bounds = [(-1, -1)] + kept + [(len(src_keys), len(dst_keys))]
     for (pi, pj), (ni, nj) in zip(bounds, bounds[1:]):
         i = pi + 1
         for j in range(pj + 1, nj):
-            h = that_kids[j].identity_hash
+            h = dst_keys[j]
             scan = i
-            while scan < ni and this_kids[scan].identity_hash != h:
+            while scan < ni and src_keys[scan] != h:
                 scan += 1
             if scan < ni:
                 exact.append((scan, j))
                 i = scan + 1
-        if (ni, nj) != (len(this_kids), len(that_kids)):
+        if (ni, nj) != (len(src_keys), len(dst_keys)):
             exact.append((ni, nj))
     exact.sort()
 
     # emit pairs, zipping gap leftovers positionally
-    out: list[tuple[Optional[TNode], Optional[TNode]]] = []
+    out: list[tuple[int, int]] = []
     prev_i = prev_j = -1
-    for ai, aj in exact + [(len(this_kids), len(that_kids))]:
+    for ai, aj in exact + [(len(src_keys), len(dst_keys))]:
         gap_src = list(range(prev_i + 1, ai))
         gap_dst = list(range(prev_j + 1, aj))
         for gi, gj in zip(gap_src, gap_dst):
-            out.append((this_kids[gi], that_kids[gj]))
+            out.append((gi, gj))
         for gi in gap_src[len(gap_dst):]:
-            out.append((this_kids[gi], None))
+            out.append((gi, -1))
         for gj in gap_dst[len(gap_src):]:
-            out.append((None, that_kids[gj]))
-        if ai < len(this_kids):
-            out.append((this_kids[ai], that_kids[aj]))
+            out.append((-1, gj))
+        if ai < len(src_keys):
+            out.append((ai, aj))
         prev_i, prev_j = ai, aj
     return out
+
+
+def _align_list(
+    this_kids: tuple[TNode, ...], that_kids: tuple[TNode, ...]
+) -> list[tuple[Optional[TNode], Optional[TNode]]]:
+    """Node-level view of :func:`_align_positions` (unmatched = None)."""
+    aligned = _align_positions(
+        [k.identity_hash for k in this_kids],
+        [k.identity_hash for k in that_kids],
+    )
+    return [
+        (this_kids[i] if i >= 0 else None, that_kids[j] if j >= 0 else None)
+        for i, j in aligned
+    ]
 
 
 def _longest_increasing(pairs: list[tuple[int, int]]) -> list[tuple[int, int]]:
@@ -644,6 +683,40 @@ def compute_edits(
 
 
 # ---------------------------------------------------------------------------
+# Script validation
+# ---------------------------------------------------------------------------
+
+
+def validate_script(script: EditScript, sigs, mode: str = "static") -> None:
+    """Validate an emitted edit script according to ``mode`` (see
+    :class:`DiffOptions.typecheck`).
+
+    ``"static"`` runs truelint's linear-typing preflight — O(script),
+    which is O(changed) in the warm loop, so checked-by-default costs
+    next to nothing; ``"dynamic"`` replays the full truechange checker;
+    ``"none"`` skips.  Raises on an ill-typed script (which, for scripts
+    this module emitted, would be a diff bug — Conjecture 4.2)."""
+    if mode == "none" or script.is_empty:
+        return
+    if mode == "static":
+        # deferred: repro.robustness imports repro.core
+        from repro.robustness.transaction import preflight_check_static
+
+        with _span("repro.diff.validate"):
+            preflight_check_static(script, sigs)
+    elif mode == "dynamic":
+        from .typecheck import assert_well_typed
+
+        with _span("repro.diff.validate"):
+            assert_well_typed(sigs, script)
+    else:
+        raise ValueError(
+            f"unknown typecheck mode {mode!r}; "
+            "expected 'static', 'dynamic', or 'none'"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Main algorithm (the paper's compareTo)
 # ---------------------------------------------------------------------------
 
@@ -754,6 +827,7 @@ def diff(
     if stats is not None and dealiased is not that:
         stats.dealias_rebuilds = 1
     script, patched, _ = _diff_prepared(this, dealiased, options, urigen, stats)
+    validate_script(script, this.sigs, options.typecheck)
     return script, patched
 
 
@@ -761,26 +835,40 @@ class DiffSession:
     """Repeated diffing against an evolving source tree (Section 6's
     incremental workload).
 
+    By default (``engine="auto"`` → ``"flat"``) the session keeps its
+    source tree flattened in a :class:`~repro.core.arena.TreeArena` and
+    runs Steps 2–4 over the arena columns (:mod:`repro.core.flatdiff`).
+    Each target is flattened once (cached on the target's root), the
+    emitted script rolls the source arena forward in O(changed) via
+    :meth:`TreeArena.apply_patch`, and per-diff state lives in fresh
+    slot-indexed arrays — which also makes the object path's aliasing
+    precheck unnecessary: object sharing inside the target cannot alias
+    any per-diff state.  The source must still be a proper tree (unique
+    node objects); the strict flatten enforces that at construction.
+
+    With ``engine="object"`` the session walks ``TNode`` objects instead.
     ``diff(this, that)`` pays an O(|this|) aliasing precheck on every
-    call.  A session caches the source tree's node-id set and rolls it
-    forward in O(changed) per round from the edit buffer's record of
-    freshly created nodes, so the warm loop ``session.diff(v1);
-    session.diff(v2); ...`` only scans each new target once.  With
-    ``check_aliasing=False`` even that scan is skipped; the caller then
-    guarantees every target is a fresh tree (true for reparsed documents)
-    that shares no node objects with the session's tree.
+    call; the object session caches the source tree's node-id set and
+    rolls it forward in O(changed) per round from the edit buffer's
+    record of freshly created nodes, so the warm loop only scans each new
+    target once.  With ``check_aliasing=False`` even that scan is
+    skipped; the caller then guarantees every target is a fresh tree
+    (true for reparsed documents) that shares no node objects with the
+    session's tree.
 
-    The rolled-forward cache is a *superset* of the live tree's ids: ids
-    of nodes that dropped out of the tree linger until the periodic exact
-    rebuild (every :data:`REBUILD_EVERY` rounds).  To keep the check
-    sound, the session pins the intervening tree versions so a lingering
-    id can never be recycled for a new node — a cache hit therefore
-    always means genuine object sharing with a recent version, which is
-    handled by rebuilding the target (at worst a false alarm costing one
-    O(n) rebuild, never a wrong diff).
+    The object path's rolled-forward cache is a *superset* of the live
+    tree's ids: ids of nodes that dropped out of the tree linger until
+    the periodic exact rebuild (every :data:`REBUILD_EVERY` rounds).  To
+    keep the check sound, the session pins the intervening tree versions
+    so a lingering id can never be recycled for a new node — a cache hit
+    therefore always means genuine object sharing with a recent version,
+    which is handled by rebuilding the target (at worst a false alarm
+    costing one O(n) rebuild, never a wrong diff).
 
-    The session's ``tree`` is always the latest patched tree; its URIs
-    are stable across rounds wherever subtrees were reused.
+    Both engines emit byte-identical scripts and validate them according
+    to ``options.typecheck`` (static preflight by default).  The
+    session's ``tree`` is always the latest patched tree; its URIs are
+    stable across rounds wherever subtrees were reused.
     """
 
     #: rounds between exact rebuilds of the cached node-id set
@@ -791,6 +879,8 @@ class DiffSession:
         "options",
         "urigen",
         "check_aliasing",
+        "engine",
+        "_arena",
         "_ids",
         "_pinned",
     )
@@ -801,14 +891,31 @@ class DiffSession:
         options: DiffOptions = DEFAULT_OPTIONS,
         urigen: Optional[URIGen] = None,
         check_aliasing: bool = True,
+        engine: Optional[str] = None,
     ) -> None:
         self.tree = tree
         self.options = options
         self.urigen = urigen if urigen is not None else tree.sigs.urigen
         self.check_aliasing = check_aliasing
-        self._ids: Optional[set[int]] = (
-            _check_source(tree) if check_aliasing else None
-        )
+        if engine is None:
+            engine = options.engine
+        if engine == "auto":
+            engine = "flat"
+        if engine not in ("flat", "object"):
+            raise ValueError(
+                f"unknown diff engine {engine!r}; expected 'flat', 'object', or 'auto'"
+            )
+        self.engine = engine
+        self._ids: Optional[set[int]] = None
+        self._arena = None
+        if engine == "flat":
+            from .arena import TreeArena
+
+            # strict: rejects improper (node-sharing) source trees with
+            # the same error as the object path's precheck
+            self._arena = TreeArena.from_tree(tree, strict=True)
+        elif check_aliasing:
+            self._ids = _check_source(tree)
         # previous tree versions pinned until the next exact rebuild
         self._pinned: list[TNode] = []
 
@@ -818,6 +925,46 @@ class DiffSession:
         """Diff the session tree against ``that`` and advance the session
         to the patched tree.  Returns ``(script, patched)`` like
         :func:`diff`."""
+        opts = options if options is not None else self.options
+        if self.engine == "flat":
+            return self._diff_flat(that, opts)
+        return self._diff_object(that, opts)
+
+    def _diff_flat(
+        self, that: TNode, opts: DiffOptions
+    ) -> tuple[EditScript, TNode]:
+        from .arena import ArenaError, TreeArena, arena_of
+        from .flatdiff import diff_flat_prepared
+
+        stats = DiffStats() if OBS.enabled else None
+        target = arena_of(that)
+        script, patched, buf = diff_flat_prepared(
+            self._arena, target, opts, self.urigen, stats
+        )
+        validate_script(script, self.tree.sigs, opts.typecheck)
+        rolled = True
+        try:
+            self._arena.apply_patch(script, buf.fresh)
+        except ArenaError:
+            # lost sync (diagnosable via verify_consistent); fall back to
+            # a full rebuild of the patched tree — correctness never
+            # depends on the roll-forward
+            rolled = False
+            self._arena = TreeArena.from_tree(patched, strict=True)
+        if stats is not None:
+            m = _metrics()
+            m.counter("repro.session.diffs").inc()
+            m.counter("repro.session.fresh_nodes").inc(len(buf.fresh))
+            if rolled:
+                m.counter("repro.session.arena_rolls").inc()
+            else:
+                m.counter("repro.session.arena_rebuilds").inc()
+        self.tree = patched
+        return script, patched
+
+    def _diff_object(
+        self, that: TNode, opts: DiffOptions
+    ) -> tuple[EditScript, TNode]:
         check = self.check_aliasing
         stats = DiffStats() if OBS.enabled else None
         if check:
@@ -826,9 +973,9 @@ class DiffSession:
                 stats.dealias_rebuilds = 1
             that = dealiased
         script, patched, buf = _diff_prepared(
-            self.tree, that, options if options is not None else self.options,
-            self.urigen, stats,
+            self.tree, that, opts, self.urigen, stats
         )
+        validate_script(script, self.tree.sigs, opts.typecheck)
         rebuilt_ids = False
         if check:
             if len(self._pinned) >= self.REBUILD_EVERY:

@@ -1,0 +1,589 @@
+"""The truediff hot loop over :class:`~repro.core.arena.TreeArena` columns.
+
+This module re-implements Steps 2–4 of the algorithm in
+:mod:`repro.core.diff` on the struct-of-arrays layout: traversals walk
+``first_kid``/``next_sib`` index chains, equivalence judgments compare
+fingerprint ``bytes`` pulled from slot-indexed columns, and *all* per-diff
+state (share pointers and assignments) lives in freshly allocated arrays
+indexed by slot — no node object is touched until Step 4 materializes the
+patched tree through the arena's object view.
+
+The externalized state is what makes the flat path both fast and simple:
+
+* no generation stamping — a fresh ``share_*``/``assigned_*`` array *is*
+  a fresh generation, and "unstamped" is exactly ``share is None`` /
+  ``assigned == NIL``;
+* no aliasing hazard — a target tree that shares node objects with the
+  source (or with itself) still occupies distinct slots, so the object
+  path's dealias rebuild is unnecessary by construction;
+* share tables are dicts keyed by fingerprint bytes holding int slots,
+  so Step 2 is one pass over the fingerprint columns.
+
+Every branch mirrors the object implementation exactly — same worklist
+orders, same registration orders, same tie-breaking — so the emitted
+scripts are byte-identical (the property suite in
+``tests/test_arena_equivalence.py`` enforces this).  Step 3's
+height-ordered heap becomes a counting bucket per height level: a kid's
+height is strictly below its parent's, so processing buckets from the
+tallest down visits exactly the batches the object path's priority heap
+pops, in the same order, without the heap's log factor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.observability import OBS, span as _span
+
+from .arena import NIL, TreeArena
+from .diff import (
+    DEFAULT_OPTIONS,
+    DiffOptions,
+    DiffStats,
+    EditBuffer,
+    _align_positions,
+    update_lits,
+)
+from .node import ROOT_LINK, ROOT_NODE
+from .tree import TNode, lits_equal
+from .uris import URIGen
+
+
+class FlatShare:
+    """One structural-equivalence class of available *source slots*.
+
+    The flat counterpart of :class:`~repro.core.registry.SubtreeShare`:
+    ``avail`` is an insertion-ordered set of slots (``take_any`` prefers
+    the slot registered first, i.e. leftmost in the source), ``by_lit``
+    additionally groups them by literal fingerprint for ``take_preferred``.
+    Slots play the role URIs play in the object registry — for a proper
+    source tree the two key spaces are in bijection, so insertion orders
+    coincide and both paths pick the same candidates.
+    """
+
+    __slots__ = ("avail", "by_lit")
+
+    def __init__(self) -> None:
+        self.avail: dict[int, None] = {}
+        self.by_lit: dict[bytes, dict[int, None]] = {}
+
+
+def _share_for(shares: dict[bytes, FlatShare], h: bytes) -> FlatShare:
+    sh = shares.get(h)
+    if sh is None:
+        sh = shares[h] = FlatShare()
+    return sh
+
+
+# ---------------------------------------------------------------------------
+# Step 2: find reuse candidates (one pass over the fingerprint columns)
+# ---------------------------------------------------------------------------
+
+
+def _assign_shares_flat(
+    S: TreeArena,
+    D: TreeArena,
+    root_s: int,
+    root_d: int,
+    shares: dict[bytes, FlatShare],
+    share_s: list[Optional[FlatShare]],
+    share_d: list[Optional[FlatShare]],
+    assigned_s: list[int],
+    assigned_d: list[int],
+    stats: Optional[DiffStats] = None,
+) -> None:
+    """Mirror of :func:`repro.core.diff.assign_shares` over slot pairs."""
+    sfp_s = S.sfp
+    lfp_s = S.lfp
+    tags_s = S.tags
+    var_s = S.var
+    fk_s = S.first_kid
+    ns_s = S.next_sib
+    sfp_d = D.sfp
+    lfp_d = D.lfp
+    tags_d = D.tags
+    fk_d = D.first_kid
+    ns_d = D.next_sib
+    preemptive = 0
+
+    # (source slot, target slot) position pairs; NIL marks an unmatched
+    # side.  LIFO + reversed pushes = left-to-right DFS, as in the object
+    # path — registration order decides which candidate Step 3 acquires.
+    pairs: list[tuple[int, int]] = [(root_s, root_d)]
+    while pairs:
+        i, j = pairs.pop()
+        if j == NIL:
+            # unmatched source element: whole subtree becomes available
+            stack = [i]
+            while stack:
+                t = stack.pop()
+                sh = share_s[t]
+                if sh is None:
+                    sh = share_s[t] = _share_for(shares, sfp_s[t])
+                if t not in sh.avail:
+                    sh.avail[t] = None
+                    sh.by_lit.setdefault(lfp_s[t], {})[t] = None
+                kids = []
+                k = fk_s[t]
+                while k != NIL:
+                    kids.append(k)
+                    k = ns_s[k]
+                stack.extend(reversed(kids))
+            continue
+        if i == NIL:
+            # unmatched target element: subtree merely gets shares
+            stack = [j]
+            while stack:
+                t = stack.pop()
+                if share_d[t] is None:
+                    share_d[t] = _share_for(shares, sfp_d[t])
+                kids = []
+                k = fk_d[t]
+                while k != NIL:
+                    kids.append(k)
+                    k = ns_d[k]
+                stack.extend(reversed(kids))
+            continue
+        sh_a = share_s[i]
+        if sh_a is None:
+            sh_a = share_s[i] = _share_for(shares, sfp_s[i])
+        sh_b = share_d[j]
+        if sh_b is None:
+            sh_b = share_d[j] = _share_for(shares, sfp_d[j])
+        if sh_a is sh_b:
+            # structurally equivalent trees at matching positions:
+            # preemptive assignment, stop descending
+            assigned_s[i] = j
+            assigned_d[j] = i
+            preemptive += 1
+        elif tags_s[i] == tags_d[j]:
+            # descend simultaneously; this node itself may still be moved
+            if i not in sh_a.avail:
+                sh_a.avail[i] = None
+                sh_a.by_lit.setdefault(lfp_s[i], {})[i] = None
+            ka = []
+            k = fk_s[i]
+            while k != NIL:
+                ka.append(k)
+                k = ns_s[k]
+            kb = []
+            k = fk_d[j]
+            while k != NIL:
+                kb.append(k)
+                k = ns_d[k]
+            if var_s[i]:
+                # list kids align by content, not position (same
+                # LIS-anchored alignment as the object path, over
+                # fingerprint keys instead of cached identity hashes)
+                keys_a = [(sfp_s[k], lfp_s[k]) for k in ka]
+                keys_b = [(sfp_d[k], lfp_d[k]) for k in kb]
+                aligned = _align_positions(keys_a, keys_b)
+                for x in range(len(aligned) - 1, -1, -1):
+                    ai, bj = aligned[x]
+                    pairs.append(
+                        (ka[ai] if ai >= 0 else NIL, kb[bj] if bj >= 0 else NIL)
+                    )
+            else:
+                for x in range(len(ka) - 1, -1, -1):
+                    pairs.append((ka[x], kb[x]))
+        else:
+            # unrelated constructors: all source subtrees become
+            # available, all target subtrees merely get shares
+            stack = [i]
+            while stack:
+                t = stack.pop()
+                sh = share_s[t]
+                if sh is None:
+                    sh = share_s[t] = _share_for(shares, sfp_s[t])
+                if t not in sh.avail:
+                    sh.avail[t] = None
+                    sh.by_lit.setdefault(lfp_s[t], {})[t] = None
+                kids = []
+                k = fk_s[t]
+                while k != NIL:
+                    kids.append(k)
+                    k = ns_s[k]
+                stack.extend(reversed(kids))
+            stack = [j]
+            while stack:
+                t = stack.pop()
+                if share_d[t] is None:
+                    share_d[t] = _share_for(shares, sfp_d[t])
+                kids = []
+                k = fk_d[t]
+                while k != NIL:
+                    kids.append(k)
+                    k = ns_d[k]
+                stack.extend(reversed(kids))
+    if stats is not None:
+        stats.preemptive_pairs += preemptive
+
+
+# ---------------------------------------------------------------------------
+# Step 3: select reuse candidates (counting buckets over the height column)
+# ---------------------------------------------------------------------------
+
+
+def _subtree_slots(arena: TreeArena, root: int) -> list[int]:
+    """Pre-order slots of ``root``'s subtree (kids left to right)."""
+    fk = arena.first_kid
+    ns = arena.next_sib
+    out = []
+    stack = [root]
+    while stack:
+        t = stack.pop()
+        out.append(t)
+        kids = []
+        k = fk[t]
+        while k != NIL:
+            kids.append(k)
+            k = ns[k]
+        stack.extend(reversed(kids))
+    return out
+
+
+def _take_tree_flat(
+    S: TreeArena,
+    D: TreeArena,
+    src: int,
+    that: int,
+    shares: dict[bytes, FlatShare],
+    share_s: list[Optional[FlatShare]],
+    share_d: list[Optional[FlatShare]],
+    assigned_s: list[int],
+    assigned_d: list[int],
+) -> None:
+    """Mirror of :func:`repro.core.diff.take_tree`.
+
+    The object path guards every read with a generation stamp because it
+    walks whole subtrees that may contain nodes Step 2 never stamped
+    (below preemptive pairs).  Here "never stamped" is simply a ``None``
+    share in this diff's fresh array.
+    """
+    sfp_s = S.sfp
+    lfp_s = S.lfp
+    sfp_d = D.sfp
+    # Undo preemptive pairs inside `that`: their source partners are
+    # freed and become available again for other targets.
+    for t2 in _subtree_slots(D, that)[1:]:
+        s2 = assigned_d[t2]
+        if s2 != NIL:
+            assigned_d[t2] = NIL
+            assigned_s[s2] = NIL
+            for s in _subtree_slots(S, s2):
+                sh = share_s[s]
+                if sh is None:
+                    sh = share_s[s] = _share_for(shares, sfp_s[s])
+                if s not in sh.avail:
+                    sh.avail[s] = None
+                    sh.by_lit.setdefault(lfp_s[s], {})[s] = None
+    # Consume src: deregister its whole subtree; preemptive pairs whose
+    # source lies inside src are undone, making the target partner
+    # required again (it will be reached by the Step-3 buckets).
+    for s in _subtree_slots(S, src):
+        sh = share_s[s]
+        if sh is None:
+            continue
+        if s in sh.avail:
+            del sh.avail[s]
+            bucket = sh.by_lit.get(lfp_s[s])
+            if bucket is not None:
+                bucket.pop(s, None)
+                if not bucket:
+                    del sh.by_lit[lfp_s[s]]
+        tp = assigned_s[s]
+        if tp != NIL:
+            assigned_s[s] = NIL
+            assigned_d[tp] = NIL
+            for t in _subtree_slots(D, tp):
+                if share_d[t] is None:
+                    share_d[t] = _share_for(shares, sfp_d[t])
+    assigned_s[src] = that
+    assigned_d[that] = src
+
+
+def _assign_subtrees_flat(
+    S: TreeArena,
+    D: TreeArena,
+    root_d: int,
+    shares: dict[bytes, FlatShare],
+    share_s: list[Optional[FlatShare]],
+    share_d: list[Optional[FlatShare]],
+    assigned_s: list[int],
+    assigned_d: list[int],
+    options: DiffOptions = DEFAULT_OPTIONS,
+    stats: Optional[DiffStats] = None,
+) -> None:
+    """Mirror of :func:`repro.core.diff.assign_subtrees`.
+
+    Highest-first traversal without a heap: one bucket per height level,
+    processed tallest-down.  Kids are strictly lower than their parent,
+    so every push lands in a bucket that has not been processed yet, and
+    each bucket — in push order — is exactly the batch of equal priority
+    the object path's heap pops at once.
+    """
+    height_d = D.height
+    fk_d = D.first_kid
+    ns_d = D.next_sib
+    nodes_s = S.nodes
+    nodes_d = D.nodes
+    prefer = options.prefer_literal_matches
+    lfp_d = D.lfp
+    pushes = 0
+
+    def handle_batch(nexts: list[int], push) -> None:
+        nonlocal pushes
+        # skip subtrees already settled by preemptive assignment
+        todo = [t for t in nexts if assigned_d[t] == NIL]
+        unassigned: list[int] = []
+        if prefer:
+            for t in todo:
+                sh = share_d[t]
+                bucket = sh.by_lit.get(lfp_d[t])
+                src = next(iter(bucket)) if bucket else None
+                if src is not None:
+                    if stats is not None:
+                        stats.note_acquisition(nodes_s[src], nodes_d[t], True)
+                    _take_tree_flat(
+                        S, D, src, t,
+                        shares, share_s, share_d, assigned_s, assigned_d,
+                    )
+                else:
+                    unassigned.append(t)
+        else:
+            unassigned = todo
+        for t in unassigned:
+            avail = share_d[t].avail
+            src = next(iter(avail)) if avail else None
+            if src is not None:
+                if stats is not None:
+                    stats.note_acquisition(nodes_s[src], nodes_d[t], False)
+                _take_tree_flat(
+                    S, D, src, t,
+                    shares, share_s, share_d, assigned_s, assigned_d,
+                )
+            else:
+                k = fk_d[t]
+                while k != NIL:
+                    push(k)
+                    pushes += 1
+                    k = ns_d[k]
+
+    if options.height_first:
+        top = height_d[root_d]
+        buckets: list[list[int]] = [[] for _ in range(top + 1)]
+        buckets[top].append(root_d)
+        pushes = 1
+        for h in range(top, 0, -1):
+            batch = buckets[h]
+            if batch:
+                handle_batch(batch, lambda k: buckets[height_d[k]].append(k))
+    else:
+        # FIFO: unique priorities make every heap batch a single element
+        fifo: deque[int] = deque((root_d,))
+        pushes = 1
+        while fifo:
+            handle_batch([fifo.popleft()], fifo.append)
+
+    if stats is not None:
+        stats.heap_pushes += pushes
+
+
+# ---------------------------------------------------------------------------
+# Step 4: compute edit script (index walks, object materialization)
+# ---------------------------------------------------------------------------
+
+
+def _unload_unassigned_flat(
+    S: TreeArena, root: int, buf: EditBuffer, assigned_s: list[int]
+) -> None:
+    """Mirror of :func:`repro.core.diff.unload_unassigned`."""
+    nodes = S.nodes
+    fk = S.first_kid
+    ns = S.next_sib
+    stack = [root]
+    while stack:
+        i = stack.pop()
+        if assigned_s[i] != NIL:
+            continue  # remains a detached root; reattached elsewhere
+        buf.unload(nodes[i])
+        kids = []
+        k = fk[i]
+        while k != NIL:
+            kids.append(k)
+            k = ns[k]
+        stack.extend(reversed(kids))
+
+
+def _load_unassigned_flat(
+    S: TreeArena,
+    D: TreeArena,
+    root: int,
+    buf: EditBuffer,
+    urigen: URIGen,
+    assigned_d: list[int],
+) -> TNode:
+    """Mirror of :func:`repro.core.diff.load_unassigned`."""
+    fresh = urigen.fresh
+    nodes_s = S.nodes
+    nodes_d = D.nodes
+    fk = D.first_kid
+    ns = D.next_sib
+    stack: list[tuple[int, bool]] = [(root, False)]
+    results: list[TNode] = []
+    while stack:
+        i, post = stack.pop()
+        if not post:
+            src = assigned_d[i]
+            if src != NIL:
+                results.append(update_lits(nodes_s[src], nodes_d[i], buf))
+                continue
+            stack.append((i, True))
+            kids = []
+            k = fk[i]
+            while k != NIL:
+                kids.append(k)
+                k = ns[k]
+            stack.extend((k, False) for k in reversed(kids))
+        else:
+            b = nodes_d[i]
+            cnt = len(b.kids)
+            if cnt:
+                kids = results[-cnt:]
+                del results[-cnt:]
+            else:
+                kids = []
+            node = TNode(b.sigs, b.sig, kids, b.lits, fresh(), validate=False)
+            buf.load(node)
+            results.append(node)
+    return results[0]
+
+
+def _compute_edits_flat(
+    S: TreeArena,
+    D: TreeArena,
+    root_s: int,
+    root_d: int,
+    buf: EditBuffer,
+    urigen: URIGen,
+    assigned_s: list[int],
+    assigned_d: list[int],
+) -> TNode:
+    """Mirror of :func:`repro.core.diff.compute_edits`: the simultaneous
+    traversal walks slot chains; node materialization (spine rebuilds and
+    loads) goes through the arenas' object views."""
+    nodes_s = S.nodes
+    nodes_d = D.nodes
+    tags_s = S.tags
+    tags_d = D.tags
+    var_s = S.var
+    fk_s = S.first_kid
+    ns_s = S.next_sib
+    fk_d = D.first_kid
+    ns_d = D.next_sib
+    # pre frames: (False, i, j, parent node, link); post: (True, i, j, -, -)
+    stack = [(False, root_s, root_d, ROOT_NODE, ROOT_LINK)]
+    results: list[TNode] = []
+    while stack:
+        post, i, j, par, lnk = stack.pop()
+        a = nodes_s[i]
+        b = nodes_d[j]
+        if post:
+            cnt = len(a.kids)
+            if cnt:
+                kids = results[-cnt:]
+                del results[-cnt:]
+            else:
+                kids = []
+            if not lits_equal(a.lits, b.lits):
+                buf.update(a, b)
+            elif all(x is y for x, y in zip(kids, a.kids)):
+                results.append(a)
+                continue
+            node = TNode(a.sigs, a.sig, kids, b.lits, a.uri, validate=False)
+            buf.fresh.append(node)
+            results.append(node)
+            continue
+        a_assigned = assigned_s[i]
+        if a_assigned == j:
+            # reuse this subtree in place, only updating literals
+            results.append(update_lits(a, b, buf))
+            continue
+        if (
+            a_assigned == NIL
+            and assigned_d[j] == NIL
+            and tags_s[i] == tags_d[j]
+            and not (var_s[i] and len(a.kids) != len(b.kids))
+        ):
+            # keep `a` in place and descend into the kids
+            stack.append((True, i, j, None, None))
+            a_node = a.node
+            items = a.kid_items
+            ka = []
+            k = fk_s[i]
+            while k != NIL:
+                ka.append(k)
+                k = ns_s[k]
+            kb = []
+            k = fk_d[j]
+            while k != NIL:
+                kb.append(k)
+                k = ns_d[k]
+            for x in range(len(items) - 1, -1, -1):
+                stack.append((False, ka[x], kb[x], a_node, items[x][0]))
+            continue
+        # replace subtree `a` by subtree `b`
+        buf.detach(a, lnk, par)
+        _unload_unassigned_flat(S, i, buf, assigned_s)
+        t = _load_unassigned_flat(S, D, j, buf, urigen, assigned_d)
+        buf.attach(t, lnk, par)
+        results.append(t)
+    return results[0]
+
+
+# ---------------------------------------------------------------------------
+# The flat compareTo
+# ---------------------------------------------------------------------------
+
+
+def diff_flat_prepared(
+    S: TreeArena,
+    D: TreeArena,
+    options: DiffOptions,
+    urigen: URIGen,
+    stats: Optional[DiffStats] = None,
+) -> tuple["EditScript", TNode, EditBuffer]:
+    """Steps 2–4 over two arenas; same contract (and same spans) as
+    :func:`repro.core.diff._diff_prepared`.  No aliasing precondition:
+    per-diff state is slot-indexed, so object sharing in the target is
+    harmless, and duplicate slots simply never win over each other."""
+    root_s = S.first_kid[0]
+    root_d = D.first_kid[0]
+    shares: dict[bytes, FlatShare] = {}
+    share_s: list[Optional[FlatShare]] = [None] * len(S.parent)
+    share_d: list[Optional[FlatShare]] = [None] * len(D.parent)
+    assigned_s = [NIL] * len(S.parent)
+    assigned_d = [NIL] * len(D.parent)
+    with _span("repro.diff.assign_shares"):
+        _assign_shares_flat(
+            S, D, root_s, root_d,
+            shares, share_s, share_d, assigned_s, assigned_d, stats,
+        )
+    if stats is not None:
+        stats.shares = len(shares)
+    with _span("repro.diff.assign_subtrees"):
+        _assign_subtrees_flat(
+            S, D, root_d,
+            shares, share_s, share_d, assigned_s, assigned_d, options, stats,
+        )
+    buf = EditBuffer()
+    with _span("repro.diff.compute_edits"):
+        patched = _compute_edits_flat(
+            S, D, root_s, root_d, buf, urigen, assigned_s, assigned_d
+        )
+    if stats is not None:
+        stats.count_edits(buf)
+        if OBS.enabled:
+            stats.publish(S.size[root_s], D.size[root_d])
+    return buf.to_script(coalesce=options.coalesce), patched, buf

@@ -159,11 +159,27 @@ class MNode:
 class MTree:
     """A mutable tree with an index of all loaded nodes (Figure 2)."""
 
-    __slots__ = ("root", "index")
+    __slots__ = ("root", "index", "arena")
 
     def __init__(self) -> None:
         self.root = MNode(ROOT_NODE, kids={ROOT_LINK: None}, lits={})
         self.index: dict[URI, MNode] = {ROOT_URI: self.root}
+        # optional flat mirror, kept in sync by process_edit
+        self.arena = None
+
+    def attach_arena(self, sigs: SignatureRegistry):
+        """Build (or return) a :class:`~repro.core.arena.TreeArena` mirror
+        of this tree.  Once attached, every edit applied through
+        :meth:`process_edit` keeps the arena incrementally consistent —
+        fingerprints over the touched region are recomputed lazily by the
+        arena's ``reflow``.  Code that mutates the tree behind the edit
+        interface must call ``arena.invalidate()`` (the transactional
+        rollback path does)."""
+        if self.arena is None:
+            from .arena import TreeArena
+
+            self.arena = TreeArena.from_mtree(self, sigs)
+        return self.arena
 
     # -- standard semantics ------------------------------------------------
 
@@ -323,6 +339,10 @@ class MTree:
             node.lits.update(dict(edit.new_lits))
         else:  # pragma: no cover - defensive
             raise PatchError(f"unknown edit kind {type(edit).__name__}", edit=edit)
+        arena = self.arena
+        if arena is not None:
+            # mirror the (already validated and applied) edit
+            arena.process_edit(edit)
 
     def _lookup(self, uri: URI, edit: PrimitiveEdit) -> MNode:
         try:

@@ -81,9 +81,13 @@ def set_hash_scheme(name: str) -> str:
         raise ValueError(
             f"unknown hash scheme {name!r}; expected one of {sorted(HASH_SCHEMES)}"
         )
+    global _EMPTY_LIT_DIGEST
     previous = _hash_scheme_name
     _hash_scheme_name = name
     _digest = HASH_SCHEMES[name]
+    # construction fast-path caches hold digests of the outgoing scheme
+    _LEAF_STRUCT_DIGESTS.clear()
+    _EMPTY_LIT_DIGEST = _digest(b"")
     return previous
 
 
@@ -113,6 +117,13 @@ def next_diff_generation() -> int:
 
 # Tag bytes are interned: hashing runs once per node, tags repeat constantly.
 _TAG_BYTES: dict[str, bytes] = {}
+
+# Leaf construction fast path: a leaf's structure hash depends on its tag
+# alone, and its literal hash on the literal fingerprint alone — both are
+# memoizable, which matters because roughly half of a parsed tree's nodes
+# are leaves.  Keyed per current scheme; cleared by set_hash_scheme.
+_LEAF_STRUCT_DIGESTS: dict[str, bytes] = {}
+_EMPTY_LIT_DIGEST = _digest(b"")
 
 
 def _tag_bytes(tag: Tag) -> bytes:
@@ -210,6 +221,7 @@ class TNode:
         "_kid_items",
         "_lit_items",
         "_identity_hash",
+        "_arena",
     )
 
     def __init__(
@@ -233,25 +245,39 @@ class TNode:
         self.uri = uri
         self.kids = kids
         self.lits = lits
-        # height/size (Step 1 metadata) and the hash payloads in one pass;
-        # one-shot hashing is measurably faster than update()-style
-        height = 0
-        size = 1
-        struct_parts = [_tag_bytes(sig.tag)]
-        lit_parts = [_lit_fingerprint(lits) if lits else b""]
-        for k in kids:
-            if k.height > height:
-                height = k.height
-            size += k.size
-            struct_parts.append(k.structure_hash)
-            lit_parts.append(k.literal_hash)
-        self.height = height + 1
-        self.size = size
-        digest = _digest
-        # structural equivalence: tags + shape, ignoring literal values
-        self.structure_hash = digest(b"".join(struct_parts))
-        # literal equivalence: literal values, ignoring tags
-        self.literal_hash = digest(b"".join(lit_parts))
+        if kids:
+            # height/size (Step 1 metadata) and the hash payloads in one
+            # pass; one-shot hashing is measurably faster than update()-style
+            height = 0
+            size = 1
+            struct_parts = [_tag_bytes(sig.tag)]
+            lit_parts = [_lit_fingerprint(lits) if lits else b""]
+            for k in kids:
+                if k.height > height:
+                    height = k.height
+                size += k.size
+                struct_parts.append(k.structure_hash)
+                lit_parts.append(k.literal_hash)
+            self.height = height + 1
+            self.size = size
+            digest = _digest
+            # structural equivalence: tags + shape, ignoring literal values
+            self.structure_hash = digest(b"".join(struct_parts))
+            # literal equivalence: literal values, ignoring tags
+            self.literal_hash = digest(b"".join(lit_parts))
+        else:
+            # leaf fast path: both payloads collapse (no kid hashes to
+            # join), and the structural digest is shared per tag
+            self.height = 1
+            self.size = 1
+            tag = sig.tag
+            sh = _LEAF_STRUCT_DIGESTS.get(tag)
+            if sh is None:
+                sh = _LEAF_STRUCT_DIGESTS[tag] = _digest(_tag_bytes(tag))
+            self.structure_hash = sh
+            self.literal_hash = (
+                _digest(_lit_fingerprint(lits)) if lits else _EMPTY_LIT_DIGEST
+            )
         # per-diff mutable state (Steps 2-3), valid only for `gen`
         self.share: Optional["SubtreeShare"] = None
         self.assigned: Optional["TNode"] = None

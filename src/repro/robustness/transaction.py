@@ -207,8 +207,12 @@ def _rollback(tree: MTree, journal: list[_JournalEntry]) -> None:
     try:
         for inverse, restore in reversed(journal):
             if restore is not None:
+                # node-identity restore writes the index directly, behind
+                # the edit interface: an attached arena cannot track it
                 uri, node = restore
                 tree.index[uri] = node
+                if tree.arena is not None:
+                    tree.arena.invalidate()
             else:
                 tree.process_edit(inverse)
     except Exception as exc:  # pragma: no cover - defensive

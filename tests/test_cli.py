@@ -85,7 +85,7 @@ def test_diff_stats_trivial_input_no_crash(tmp_path, capsys):
     b.write_text("")
     assert main(["diff", str(a), str(b), "--stats"]) == 0
     err = capsys.readouterr().err
-    assert "parse" in err and "diff" in err and "typecheck" in err
+    assert "parse" in err and "diff" in err and "validate[static]" in err
 
 
 def test_diff_metrics_text_report(files, capsys):

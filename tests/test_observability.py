@@ -255,9 +255,10 @@ class TestDiffInstrumentation:
         assert snap["histograms"]["repro.patch.apply.ms"]["count"] == 1
 
     def test_session_counters(self):
+        # the generation/id-cache counters are object-engine machinery
         e = EXP
         tree = e.Add(e.Num(1), e.Num(2))
-        session = DiffSession(tree, urigen=URIGen(10**8))
+        session = DiffSession(tree, urigen=URIGen(10**8), engine="object")
         obs.enable()
         rounds = DiffSession.REBUILD_EVERY + 2
         for i in range(rounds):
@@ -277,7 +278,7 @@ class TestDiffInstrumentation:
     def test_session_id_cache_hit_on_aliased_target(self):
         e = EXP
         tree = e.Add(e.Num(1), e.Num(2))
-        session = DiffSession(tree, urigen=URIGen(10**8))
+        session = DiffSession(tree, urigen=URIGen(10**8), engine="object")
         obs.enable()
         # the session's own tree shares every node with itself: a cache hit
         session.diff(session.tree)
@@ -285,6 +286,25 @@ class TestDiffInstrumentation:
         c = obs.snapshot()["counters"]
         assert c["repro.session.id_cache_hits"] == 1
         assert c["repro.diff.dealias_rebuilds"] == 1
+
+    def test_flat_session_counters(self):
+        e = EXP
+        tree = e.Add(e.Num(1), e.Num(2))
+        session = DiffSession(tree, urigen=URIGen(10**8))  # default: flat
+        obs.enable()
+        for i in range(3):
+            session.diff(e.Add(e.Num(i), e.Num(i + 1)))
+        obs.disable()
+        c = obs.snapshot()["counters"]
+        assert c["repro.session.diffs"] == 3
+        assert c["repro.session.fresh_nodes"] > 0
+        # the source arena rolls forward in place every round...
+        assert c["repro.session.arena_rolls"] == 3
+        assert not c.get("repro.session.arena_rebuilds")
+        # ...and each fresh target is flattened exactly once
+        assert c["repro.arena.flattens"] == 3
+        # flat-engine sessions never touch the object path's id cache
+        assert not c.get("repro.session.id_cache_misses")
 
 
 class TestIncrementalInstrumentation:
