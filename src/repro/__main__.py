@@ -17,12 +17,24 @@ Usage::
     python -m repro compare before.py after.py         # all tools side by side
     python -m repro batch old/ new/ --workers 4 --out results.jsonl
     python -m repro batch old/ new/ --fallback-replace # degrade, don't fail
+    python -m repro diff before.py after.py --trace trace.json
+    python -m repro batch old/ new/ --trace trace.json --sample 1/8
+    python -m repro trace trace.json                   # causal timeline view
 
 ``--metrics`` enables the observability layer around the diff and dumps
 the registry to stderr (``--metrics=json`` / ``--metrics=prom`` select
 the format); the ``stats`` subcommand replays a file pair several times
 and prints the per-pass timing and counter report (``--out`` writes the
 snapshot JSON, which CI uploads as a build artifact).
+
+``--trace PATH`` records the run as a causal span tree and exports it —
+by default in the Chrome trace-event format (load it at
+https://ui.perfetto.dev), or OTLP-shaped JSON with ``--trace-format
+otlp``.  For ``batch``, spans from the driver and every pool worker land
+in one trace (worker telemetry is spilled per process and merged), and
+``--sample 1/N`` head-samples the per-pair subtrees.  ``repro trace``
+renders any exported trace back as a text timeline or converts between
+formats.
 
 The CLI exercises the same public API the examples use; it exists so the
 tool is usable on real files without writing a driver script.
@@ -98,6 +110,12 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
     if args.metrics:
         obs.enable()
+    if args.trace:
+        obs.reset_tracing()
+        try:
+            obs.enable_tracing(sample=args.sample)
+        except ValueError as exc:
+            raise CLIError("--sample", str(exc)) from None
     from repro.core import DiffOptions, validate_script
 
     try:
@@ -111,11 +129,20 @@ def cmd_diff(args: argparse.Namespace) -> int:
         )
         diff_ms = (time.perf_counter() - t0) * 1000
     finally:
-        if args.metrics:
+        if args.metrics and not args.trace:
             obs.disable()
     t0 = time.perf_counter()
     validate_script(script, src.sigs, args.typecheck)
     typecheck_ms = (time.perf_counter() - t0) * 1000
+    if args.trace:
+        obs.disable_tracing()
+        obs.disable()
+        spans = obs.take_spans()
+        obs.write_trace(args.trace, spans, args.trace_format)
+        print(
+            f"repro: trace: {len(spans)} span(s) -> {args.trace}",
+            file=sys.stderr,
+        )
     if args.json:
         print(script_to_json(script, indent=2))
     elif args.explain:
@@ -334,8 +361,23 @@ def cmd_batch(args: argparse.Namespace) -> int:
         chunksize=args.chunksize,
         fallback_replace=args.fallback_replace,
     )
+    collector = None
+    spill_ctx = None
     if args.metrics:
         obs.enable()
+    if args.trace:
+        import tempfile
+
+        obs.reset_tracing()
+        try:
+            obs.enable_tracing(sample=args.sample)
+        except ValueError as exc:
+            raise CLIError("--sample", str(exc)) from None
+        # spill directory: per-worker telemetry survives worker death
+        spill_ctx = tempfile.TemporaryDirectory(prefix="repro-trace-")
+        collector = obs.TelemetryCollector(
+            trace=True, sample=args.sample, spill_dir=spill_ctx.name
+        )
 
     out_fh = open(args.out, "w", encoding="utf8") if args.out else sys.stdout
 
@@ -344,14 +386,32 @@ def cmd_batch(args: argparse.Namespace) -> int:
         out_fh.flush()
 
     try:
-        summary = run_batch(pairs, config, emit=emit)
+        summary = run_batch(pairs, config, emit=emit, collector=collector)
     finally:
         if args.out:
             out_fh.close()
+        if args.trace:
+            obs.disable_tracing()
         if args.metrics:
             _emit_metrics(obs.snapshot(), args.metrics, sys.stderr)
+        if args.metrics or args.trace:
             obs.disable()
             obs.reset()
+    if collector is not None:
+        spans = collector.finish()
+        obs.write_trace(args.trace, spans, args.trace_format)
+        pids = len({s.get("pid") for s in spans})
+        dropped = (
+            f", {collector.dropped_spans} dropped" if collector.dropped_spans else ""
+        )
+        print(
+            f"repro: trace: {len(spans)} span(s) from {pids} process(es) "
+            f"-> {args.trace}{dropped}",
+            file=sys.stderr,
+        )
+        obs.reset_tracing()
+        if spill_ctx is not None:
+            spill_ctx.cleanup()
     s = summary.as_dict()
     degraded = f"{s['degraded']} degraded, " if s["degraded"] else ""
     print(
@@ -367,6 +427,34 @@ def cmd_batch(args: argparse.Namespace) -> int:
             fh.write("\n")
     produced = summary.ok + summary.degraded
     return 1 if summary.pairs > 0 and produced == 0 else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect or convert an exported trace file.
+
+    Reads any format this tool writes (Chrome trace-event JSON, OTLP
+    JSON, raw span lists, per-worker spill JSONL) and renders a causal
+    text timeline on stdout — or, with ``--out``, re-exports the spans
+    in the requested format.
+
+    Exit status: 0 on success, 1 for a readable file with no spans,
+    2 for unusable inputs.
+    """
+    try:
+        spans = obs.read_spans(args.file)
+    except OSError as exc:
+        raise CLIError(args.file, exc.strerror or str(exc)) from None
+    except ValueError as exc:
+        raise CLIError(args.file, str(exc)) from None
+    if args.out:
+        obs.write_trace(args.out, spans, args.format)
+        print(
+            f"repro: trace: {len(spans)} span(s) -> {args.out} ({args.format})",
+            file=sys.stderr,
+        )
+    else:
+        print(obs.render_timeline(spans))
+    return 0 if spans else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -400,6 +488,28 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a causal span trace of the run and write it to PATH",
+    )
+    parser.add_argument(
+        "--trace-format",
+        default="chrome",
+        choices=["chrome", "otlp", "timeline"],
+        help="trace export format (default chrome; view at ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--sample",
+        default=None,
+        metavar="1/N",
+        help="head-sampling rate for trace subtrees (default: OBS_SAMPLE "
+        "from the environment, else record everything)",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="truediff structural diffing for Python files"
@@ -431,6 +541,7 @@ def main(argv: list[str] | None = None) -> int:
         help="instrument the diff and dump metrics to stderr "
         "(optionally as json or Prometheus text)",
     )
+    _add_trace_args(p_diff)
     p_diff.set_defaults(func=cmd_diff)
 
     p_stats = sub.add_parser(
@@ -566,7 +677,24 @@ def main(argv: list[str] | None = None) -> int:
         choices=["text", "json", "prom"],
         help="instrument the run and dump batch counters to stderr",
     )
+    _add_trace_args(p_batch)
     p_batch.set_defaults(func=cmd_batch)
+
+    p_trace = sub.add_parser(
+        "trace", help="render or convert an exported trace file"
+    )
+    p_trace.add_argument("file", help="trace file (chrome/OTLP/raw/spill JSONL)")
+    p_trace.add_argument(
+        "--format",
+        default="chrome",
+        choices=["chrome", "otlp", "timeline"],
+        help="output format for --out (default chrome)",
+    )
+    p_trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="convert to PATH instead of printing the text timeline",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_cmp = sub.add_parser("compare", help="compare all diff tools on a file pair")
     p_cmp.add_argument("before")

@@ -19,10 +19,19 @@ The driver fans file pairs out over a ``ProcessPoolExecutor``:
   they arrive (the CLI writes JSONL), so driver memory stays flat on
   large corpora; only the aggregate :class:`BatchSummary` accumulates.
 
-Observability (PR 2): the run is wrapped in a ``repro.batch.run`` span,
-and each row bumps ``repro.batch.pairs`` / ``repro.batch.failures`` and
+Observability: the run is wrapped in a ``repro.batch.run`` span, and
+each row bumps ``repro.batch.pairs`` / ``repro.batch.failures`` and
 feeds the ``repro.batch.worker.ms`` histogram when instrumentation is
-enabled.
+enabled.  With instrumentation on, the driver additionally threads a
+:class:`~repro.observability.aggregate.TelemetryCollector` through the
+pool: every task chunk carries an obs envelope (trace context + sampling
++ optional spill directory), workers return per-chunk span/metric
+deltas, and the driver merges them into its own registry — so
+``snapshot()`` after a batch run covers driver *and* workers, and the
+collector holds the causal span pool for timeline export.  Callers may
+pass their own collector to :func:`run_batch` (the CLI does, to choose a
+spill directory and export the trace); otherwise one is created
+internally whenever instrumentation is enabled.
 """
 
 from __future__ import annotations
@@ -35,6 +44,9 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Optional
 
 from repro.observability import OBS, metrics as _metrics, span as _span
+from repro.observability import tracing_enabled
+from repro.observability.aggregate import TelemetryCollector
+from repro.observability.tracing import TRACE
 
 from .worker import RETRYABLE_KINDS, run_chunk
 
@@ -82,6 +94,11 @@ class BatchSummary:
     worker_ms: float = 0.0
     elapsed_s: float = 0.0
     workers: int = 1
+    #: pid -> merged metrics snapshot, one entry per pool worker that
+    #: returned telemetry (empty when instrumentation was off or serial).
+    per_worker: dict[int, dict[str, Any]] = field(default_factory=dict)
+    #: collector's aggregation summary (envelopes, span counts), if any.
+    telemetry: Optional[dict[str, Any]] = None
 
     @property
     def pairs_per_sec(self) -> float:
@@ -92,7 +109,7 @@ class BatchSummary:
         return self.nodes / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "pairs": self.pairs,
             "ok": self.ok,
             "degraded": self.degraded,
@@ -107,6 +124,9 @@ class BatchSummary:
             "pairs_per_sec": round(self.pairs_per_sec, 2),
             "nodes_per_sec": round(self.nodes_per_sec),
         }
+        if self.telemetry is not None:
+            out["telemetry"] = dict(self.telemetry)
+        return out
 
 
 def discover_pairs(
@@ -213,18 +233,29 @@ def _chunked(indices: list[int], size: int) -> list[list[int]]:
     return [indices[i : i + size] for i in range(0, len(indices), size)]
 
 
+def _chunk_result(
+    result: "list[dict[str, Any]] | dict[str, Any]",
+) -> tuple[list[dict[str, Any]], Optional[dict[str, Any]]]:
+    """Normalize :func:`run_chunk`'s two return shapes to (rows, telemetry)."""
+    if isinstance(result, dict):
+        return result["rows"], result.get("telemetry")
+    return result, None
+
+
 def _run_serial(
     pairs: list[tuple[str, str]],
     config: BatchConfig,
     sink: _RowSink,
     pair_fn: Optional[Callable[[str, str], dict]],
+    obs: Optional[dict[str, Any]] = None,
 ) -> None:
     retries = max(0, config.retries)
     for before, after in pairs:
         attempts = 0
         while True:
             attempts += 1
-            row = run_chunk([(before, after)], config.timeout_s, pair_fn)[0]
+            result = run_chunk([(before, after)], config.timeout_s, pair_fn, obs)
+            row = _chunk_result(result)[0][0]
             if (
                 row["status"] == "error"
                 and row.get("error_kind") in RETRYABLE_KINDS
@@ -241,6 +272,8 @@ def _run_pool(
     config: BatchConfig,
     sink: _RowSink,
     pair_fn: Optional[Callable[[str, str], dict]],
+    obs: Optional[dict[str, Any]] = None,
+    collector: Optional[TelemetryCollector] = None,
 ) -> None:
     """The parallel driver loop, with blame-accurate crash handling.
 
@@ -268,7 +301,9 @@ def _run_pool(
     def submit(chunk: list[int]) -> None:
         for i in chunk:
             runs[i] += 1
-        fut = executor.submit(run_chunk, [pairs[i] for i in chunk], config.timeout_s, pair_fn)
+        fut = executor.submit(
+            run_chunk, [pairs[i] for i in chunk], config.timeout_s, pair_fn, obs
+        )
         in_flight[fut] = chunk
 
     def handle_row(i: int, row: dict[str, Any]) -> None:
@@ -296,7 +331,9 @@ def _run_pool(
                     continue  # already drained by a broken-pool sweep
                 chunk = in_flight.pop(fut)
                 try:
-                    rows = fut.result()
+                    rows, telemetry = _chunk_result(fut.result())
+                    if collector is not None:
+                        collector.absorb(telemetry)
                 except BrokenProcessPool:
                     pool_broken = True
                     victims = [i for c in ([chunk] + list(in_flight.values())) for i in c]
@@ -331,6 +368,7 @@ def run_batch(
     config: BatchConfig = DEFAULT_CONFIG,
     emit: Optional[Callable[[dict], None]] = None,
     pair_fn: Optional[Callable[[str, str], dict]] = None,
+    collector: Optional[TelemetryCollector] = None,
 ) -> BatchSummary:
     """Diff every file pair, streaming result rows to ``emit``.
 
@@ -339,6 +377,13 @@ def run_batch(
     ``pair_fn`` swaps the per-pair work function (tests inject sleeping /
     crashing functions to exercise the isolation machinery); it must be
     a picklable top-level callable.
+
+    When instrumentation is enabled, worker telemetry is aggregated
+    through ``collector`` (one is created internally if the caller did
+    not pass one): worker metric deltas merge into the driver registry,
+    ``summary.per_worker`` breaks them down by pid, and the collector's
+    span pool (``collector.finish()``) holds the causal trace of the run
+    across all processes.
     """
     if pair_fn is None and config.fallback_replace:
         from .worker import diff_pair_degrading
@@ -347,12 +392,24 @@ def run_batch(
     pair_list = [(str(b), str(a)) for b, a in pairs]
     summary = BatchSummary(workers=1 if config.workers == 1 else config.resolved_workers())
     sink = _RowSink(summary, emit)
+    if collector is None and OBS.enabled:
+        collector = TelemetryCollector(
+            trace=tracing_enabled(), sample=TRACE.sample_n
+        )
     started = time.perf_counter()
-    with _span("repro.batch.run"):
+    with _span("repro.batch.run") as sp:
+        sp.set_attrs(pairs=len(pair_list), workers=summary.workers)
+        # Build the envelope *inside* the run span so worker pair spans
+        # parent under it (current_context() is the run span here).
+        obs = collector.envelope() if collector is not None else None
         if config.workers == 1 or (config.workers <= 0 and summary.workers == 1):
             summary.workers = 1
-            _run_serial(pair_list, config, sink, pair_fn)
+            _run_serial(pair_list, config, sink, pair_fn, obs)
         else:
-            _run_pool(pair_list, config, sink, pair_fn)
+            _run_pool(pair_list, config, sink, pair_fn, obs, collector)
     summary.elapsed_s = time.perf_counter() - started
+    if collector is not None:
+        collector.absorb_spills()
+        summary.per_worker = collector.per_worker
+        summary.telemetry = collector.summary()
     return summary

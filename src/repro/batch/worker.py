@@ -252,29 +252,68 @@ def _call_with_timeout(
         signal.signal(signal.SIGALRM, previous)
 
 
+def _fenced_row(
+    fn: Callable[[str, str], dict],
+    before: str,
+    after: str,
+    timeout_s: Optional[float],
+    fence: bool,
+) -> dict[str, Any]:
+    started = time.perf_counter()
+    try:
+        if fence:
+            return _call_with_timeout(fn, before, after, timeout_s)
+        return fn(before, after)
+    except Exception as exc:
+        return _failure_row(before, after, exc, started)
+
+
 def run_chunk(
     pairs: list[tuple[str, str]],
     timeout_s: Optional[float] = None,
     pair_fn: Optional[Callable[[str, str], dict]] = None,
-) -> list[dict[str, Any]]:
+    obs: Optional[dict[str, Any]] = None,
+) -> "list[dict[str, Any]] | dict[str, Any]":
     """Process a chunk of file pairs, one result row per pair.
 
     Chunking amortizes task pickling and scheduling over several pairs;
     ``pair_fn`` is injectable for tests (it must be a picklable top-level
     function).  Every pair is individually fenced: a timeout or crash of
     one pair yields its failure row and the chunk continues.
+
+    Without ``obs`` (the default), returns the plain list of rows.  With
+    an obs envelope (built by the driver's
+    :class:`~repro.observability.aggregate.TelemetryCollector`), the
+    chunk runs instrumented — the worker resets fork-inherited state,
+    adopts the driver's trace context as a resample point, wraps every
+    pair in a ``repro.batch.pair`` span carrying the pair's paths and
+    outcome — and returns ``{"rows": [...], "telemetry": {...}}``, where
+    ``telemetry`` is this worker's span/metric delta (or ``None`` when
+    it was spilled to disk or the chunk ran in the driver process).
     """
     fn = pair_fn if pair_fn is not None else diff_pair
     fence = timeout_s is not None and timeout_s > 0 and _timeout_supported()
+    if obs is None:
+        return [
+            _fenced_row(fn, before, after, timeout_s, fence)
+            for before, after in pairs
+        ]
+
+    from repro.observability import OBS, REGISTRY, remote_context, span as _span
+    from repro.observability.aggregate import worker_setup, worker_telemetry
+
+    worker_setup(obs)
     rows: list[dict[str, Any]] = []
-    for before, after in pairs:
-        started = time.perf_counter()
-        try:
-            if fence:
-                row = _call_with_timeout(fn, before, after, timeout_s)
-            else:
-                row = fn(before, after)
-        except Exception as exc:
-            row = _failure_row(before, after, exc, started)
-        rows.append(row)
-    return rows
+    with remote_context(obs.get("trace_ctx"), resample=True):
+        for before, after in pairs:
+            with _span("repro.batch.pair") as sp:
+                row = _fenced_row(fn, before, after, timeout_s, fence)
+                sp.set_attrs(
+                    before=before, after=after, status=row.get("status", "error")
+                )
+                if row.get("status") == "error":
+                    sp.set_status("error", row.get("error_kind"))
+            if OBS.enabled:
+                REGISTRY.counter("repro.batch.worker.rows").inc()
+            rows.append(row)
+    return {"rows": rows, "telemetry": worker_telemetry(obs)}

@@ -72,6 +72,15 @@ so single-CPU containers record an honest curve instead of ``null`` —
 the speedup gate in :func:`check_regression` only applies where the
 recorded CPU count makes the number meaningful.
 
+Since PR 7 (schema v6) the document also records a **tracing section**:
+the serial batch workload re-measured with causal tracing enabled at the
+default batch sampling rate (``1/8`` head sampling of per-pair
+subtrees), the resulting overhead percentage, and the span volume.  The
+regression gate additionally requires that sampled tracing costs at most
+:data:`MAX_TRACING_OVERHEAD_PCT` of batch throughput — always-on
+tracing in production batch runs is the design goal, so the bench
+document proves it stays cheap.
+
 Run ``python -m repro.bench.baseline --out BENCH_truediff.json`` to
 regenerate, or ``--check BENCH_truediff.json`` in CI to fail on a >30%
 warm-diff regression against the checked-in numbers (same-machine
@@ -103,7 +112,7 @@ from repro.corpus.generator import GeneratorConfig
 
 # -- the frozen corpus recipe (do not change; see module docstring) ----------
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 N_MODULES = 4
 N_VERSIONS = 4
 N_EDITS = 3
@@ -391,15 +400,7 @@ def _measure_batch(sources: list[list[str]]) -> dict:
         }
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-batch-") as root:
-        pairs: list[tuple[str, str]] = []
-        for i, versions in enumerate(sources):
-            paths = []
-            for v, text in enumerate(versions):
-                path = os.path.join(root, f"mod{i}_v{v}.py")
-                with open(path, "w", encoding="utf8") as fh:
-                    fh.write(text)
-                paths.append(path)
-            pairs.extend(zip(paths, paths[1:]))
+        pairs = _write_batch_corpus(root, sources)
         curve = {str(w): _run(w, pairs) for w in BATCH_CURVE_WORKERS}
     serial = curve["1"]
     rate = lambda w: curve[str(w)]["pairs_per_sec"]  # noqa: E731
@@ -416,6 +417,81 @@ def _measure_batch(sources: list[list[str]]) -> dict:
         "serial": serial,
         "parallel": parallel,
         "speedup": parallel["speedup_best"],
+    }
+
+
+#: Head-sampling rate the tracing overhead is measured (and gated) at —
+#: the rate a production batch run would use for always-on tracing.
+TRACING_SAMPLE = "1/8"
+
+
+def _write_batch_corpus(root: str, sources: list[list[str]]) -> list[tuple[str, str]]:
+    import os
+
+    pairs: list[tuple[str, str]] = []
+    for i, versions in enumerate(sources):
+        paths = []
+        for v, text in enumerate(versions):
+            path = os.path.join(root, f"mod{i}_v{v}.py")
+            with open(path, "w", encoding="utf8") as fh:
+                fh.write(text)
+            paths.append(path)
+        pairs.extend(zip(paths, paths[1:]))
+    return pairs
+
+
+def _measure_tracing(sources: list[list[str]]) -> dict:
+    """Serial batch throughput with sampled causal tracing on vs. off.
+
+    The workload is the serial (``workers=1``) batch run over the frozen
+    corpus — the configuration whose per-pair spans, head sampling, and
+    telemetry plumbing all sit on the measured path.  Off and on phases
+    are interleaved (like :func:`_measure_observability`) so container
+    drift cancels out of the overhead ratio; tracing runs at the
+    production sampling rate (:data:`TRACING_SAMPLE`).
+    """
+    import tempfile
+
+    from repro import observability as obs
+    from repro.batch import BatchConfig, run_batch
+
+    config = BatchConfig(workers=1, timeout_s=None)
+    span_count = 0
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as root:
+        pairs = _write_batch_corpus(root, sources)
+
+        def once(traced: bool) -> float:
+            nonlocal span_count
+            if traced:
+                obs.reset_tracing()
+                obs.enable_tracing(sample=TRACING_SAMPLE)
+            t0 = time.perf_counter()
+            summary = run_batch(pairs, config)
+            elapsed = time.perf_counter() - t0
+            if traced:
+                obs.disable_tracing()
+                obs.disable()
+                span_count = max(span_count, len(obs.take_spans()))
+                obs.reset_tracing()
+                obs.reset()
+            assert summary.failed == 0, "frozen corpus must diff cleanly"
+            return len(pairs) / elapsed
+
+        once(False)  # warm caches, allocator, branches
+        off_rate = 0.0
+        on_rate = 0.0
+        for _ in range(BEST_OF):
+            off_rate = max(off_rate, once(False))
+            on_rate = max(on_rate, once(True))
+
+    return {
+        "sample": TRACING_SAMPLE,
+        "pairs": len(pairs),
+        "off_pairs_per_sec": round(off_rate, 2),
+        "on_pairs_per_sec": round(on_rate, 2),
+        "overhead_pct": round((1.0 - on_rate / off_rate) * 100.0, 2),
+        "spans_per_run": span_count,
     }
 
 
@@ -517,10 +593,11 @@ def measure(scheme: str = "blake2b") -> dict:
         observability = _measure_observability(modules, warm_rate)
         batch = _measure_batch(sources)
         if not batch.get("parallel") or batch.get("speedup") is None:
-            # schema v5: a document without the scaling curve is invalid
+            # since schema v5: a document without the scaling curve is invalid
             raise RuntimeError(
-                "batch.parallel must be measured and non-null (schema v5)"
+                "batch.parallel must be measured and non-null (schema v5+)"
             )
+        tracing = _measure_tracing(sources)
         robustness = _measure_robustness(modules)
     return {
         "schema_version": SCHEMA_VERSION,
@@ -537,6 +614,7 @@ def measure(scheme: str = "blake2b") -> dict:
         "metrics": metrics,
         "observability": observability,
         "batch": batch,
+        "tracing": tracing,
         "robustness": robustness,
         "seed_reference": SEED_REFERENCE,
         "pr1_reference": PR1_REFERENCE,
@@ -545,6 +623,9 @@ def measure(scheme: str = "blake2b") -> dict:
 
 #: The 2-worker speedup the scaling curve must reach on multi-CPU hosts.
 MIN_SPEEDUP_AT_2 = 1.5
+
+#: The most sampled tracing may cost the serial batch workload (schema v6).
+MAX_TRACING_OVERHEAD_PCT = 5.0
 
 
 def check_regression(
@@ -563,7 +644,9 @@ def check_regression(
       (within the same tolerance);
     * a non-null batch scaling curve, whose 2-worker speedup reaches
       :data:`MIN_SPEEDUP_AT_2` whenever the host that *measured* it had
-      a second CPU to use.
+      a second CPU to use;
+    * a tracing section (schema v6) whose sampled-tracing batch overhead
+      stays within :data:`MAX_TRACING_OVERHEAD_PCT`.
     """
     with open(baseline_path, "r", encoding="utf8") as f:
         baseline = json.load(f)
@@ -615,6 +698,17 @@ def check_regression(
                 f"batch 2-worker speedup {at2} recorded on {cpus} cpu "
                 "(gate skipped: no second CPU)"
             )
+
+    tracing = results.get("tracing")
+    if not tracing or tracing.get("overhead_pct") is None:
+        gate(False, "tracing section present (schema v6)")
+    else:
+        overhead = tracing["overhead_pct"]
+        gate(
+            overhead <= MAX_TRACING_OVERHEAD_PCT,
+            f"sampled tracing overhead {overhead}% "
+            f"(<= {MAX_TRACING_OVERHEAD_PCT}%, sample {tracing.get('sample')})",
+        )
     return ok, "\n".join(lines)
 
 

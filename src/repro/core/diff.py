@@ -702,12 +702,12 @@ def validate_script(script: EditScript, sigs, mode: str = "static") -> None:
         # deferred: repro.robustness imports repro.core
         from repro.robustness.transaction import preflight_check_static
 
-        with _span("repro.diff.validate"):
+        with _span("repro.diff.validate", {"mode": "static"}):
             preflight_check_static(script, sigs)
     elif mode == "dynamic":
         from .typecheck import assert_well_typed
 
-        with _span("repro.diff.validate"):
+        with _span("repro.diff.validate", {"mode": "dynamic"}):
             assert_well_typed(sigs, script)
     else:
         raise ValueError(
@@ -783,23 +783,31 @@ def _diff_prepared(
     no-op context manager); ``stats`` is filled when given and published
     to the metrics registry when instrumentation is enabled.
     """
-    reg = SubtreeRegistry()
-    with _span("repro.diff.assign_shares"):  # Step 2 (Step 1 at construction)
-        assign_shares(this, that, reg, stats)
-    if stats is not None:
-        stats.shares = len(reg)
-    with _span("repro.diff.assign_subtrees"):  # Step 3
-        assign_subtrees(that, reg, options, stats)
-    buf = EditBuffer()
-    with _span("repro.diff.compute_edits"):  # Step 4
-        patched = compute_edits(
-            this, that, ROOT_NODE, ROOT_LINK, buf, urigen, reg.gen
+    with _span("repro.diff", {"engine": "object"}) as root:
+        reg = SubtreeRegistry()
+        with _span("repro.diff.assign_shares"):  # Step 2 (Step 1 at construction)
+            assign_shares(this, that, reg, stats)
+        if stats is not None:
+            stats.shares = len(reg)
+        with _span("repro.diff.assign_subtrees"):  # Step 3
+            assign_subtrees(that, reg, options, stats)
+        buf = EditBuffer()
+        with _span("repro.diff.compute_edits"):  # Step 4
+            patched = compute_edits(
+                this, that, ROOT_NODE, ROOT_LINK, buf, urigen, reg.gen
+            )
+        if stats is not None:
+            stats.count_edits(buf)
+            if OBS.enabled:
+                stats.publish(this.size, that.size)
+        script = buf.to_script(coalesce=options.coalesce)
+        root.set_attrs(
+            src_nodes=this.size,
+            dst_nodes=that.size,
+            edits=len(script),
+            shares=stats.shares if stats is not None else 0,
         )
-    if stats is not None:
-        stats.count_edits(buf)
-        if OBS.enabled:
-            stats.publish(this.size, that.size)
-    return buf.to_script(coalesce=options.coalesce), patched, buf
+    return script, patched, buf
 
 
 def diff(

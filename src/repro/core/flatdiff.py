@@ -558,32 +558,40 @@ def diff_flat_prepared(
     :func:`repro.core.diff._diff_prepared`.  No aliasing precondition:
     per-diff state is slot-indexed, so object sharing in the target is
     harmless, and duplicate slots simply never win over each other."""
-    root_s = S.first_kid[0]
-    root_d = D.first_kid[0]
-    shares: dict[bytes, FlatShare] = {}
-    share_s: list[Optional[FlatShare]] = [None] * len(S.parent)
-    share_d: list[Optional[FlatShare]] = [None] * len(D.parent)
-    assigned_s = [NIL] * len(S.parent)
-    assigned_d = [NIL] * len(D.parent)
-    with _span("repro.diff.assign_shares"):
-        _assign_shares_flat(
-            S, D, root_s, root_d,
-            shares, share_s, share_d, assigned_s, assigned_d, stats,
+    with _span("repro.diff", {"engine": "flat"}) as root:
+        root_s = S.first_kid[0]
+        root_d = D.first_kid[0]
+        shares: dict[bytes, FlatShare] = {}
+        share_s: list[Optional[FlatShare]] = [None] * len(S.parent)
+        share_d: list[Optional[FlatShare]] = [None] * len(D.parent)
+        assigned_s = [NIL] * len(S.parent)
+        assigned_d = [NIL] * len(D.parent)
+        with _span("repro.diff.assign_shares"):
+            _assign_shares_flat(
+                S, D, root_s, root_d,
+                shares, share_s, share_d, assigned_s, assigned_d, stats,
+            )
+        if stats is not None:
+            stats.shares = len(shares)
+        with _span("repro.diff.assign_subtrees"):
+            _assign_subtrees_flat(
+                S, D, root_d,
+                shares, share_s, share_d, assigned_s, assigned_d, options, stats,
+            )
+        buf = EditBuffer()
+        with _span("repro.diff.compute_edits"):
+            patched = _compute_edits_flat(
+                S, D, root_s, root_d, buf, urigen, assigned_s, assigned_d
+            )
+        if stats is not None:
+            stats.count_edits(buf)
+            if OBS.enabled:
+                stats.publish(S.size[root_s], D.size[root_d])
+        script = buf.to_script(coalesce=options.coalesce)
+        root.set_attrs(
+            src_nodes=S.size[root_s],
+            dst_nodes=D.size[root_d],
+            edits=len(script),
+            shares=len(shares),
         )
-    if stats is not None:
-        stats.shares = len(shares)
-    with _span("repro.diff.assign_subtrees"):
-        _assign_subtrees_flat(
-            S, D, root_d,
-            shares, share_s, share_d, assigned_s, assigned_d, options, stats,
-        )
-    buf = EditBuffer()
-    with _span("repro.diff.compute_edits"):
-        patched = _compute_edits_flat(
-            S, D, root_s, root_d, buf, urigen, assigned_s, assigned_d
-        )
-    if stats is not None:
-        stats.count_edits(buf)
-        if OBS.enabled:
-            stats.publish(S.size[root_s], D.size[root_d])
-    return buf.to_script(coalesce=options.coalesce), patched, buf
+    return script, patched, buf

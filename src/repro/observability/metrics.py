@@ -139,23 +139,59 @@ class Histogram:
         idx = min(len(samples) - 1, max(0, round(q * (len(samples) - 1))))
         return samples[idx]
 
-    def summary(self) -> dict[str, float]:
+    def summary(self, samples: bool = False) -> dict[str, Any]:
+        """Plain-data view; ``samples=True`` also includes the reservoir
+        (the transferable form — :meth:`merge` on another process's
+        histogram can then reconstruct approximate percentiles)."""
         with self._lock:
-            samples = sorted(self._samples)
+            ordered = sorted(self._samples)
             count, total, mx = self._count, self._total, self._max
-        if not samples:
-            return {"count": 0, "total": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+            raw = list(self._samples) if samples else None
+        if not ordered:
+            # exact aggregates survive even with an empty reservoir (a
+            # merge of a sample-less summary still counts); only the
+            # percentiles degrade to 0
+            out: dict[str, Any] = {
+                "count": count, "total": total, "p50": 0.0, "p95": 0.0, "max": mx
+            }
+            if samples:
+                out["samples"] = []
+            return out
 
         def q(p: float) -> float:
-            return samples[min(len(samples) - 1, max(0, round(p * (len(samples) - 1))))]
+            return ordered[min(len(ordered) - 1, max(0, round(p * (len(ordered) - 1))))]
 
-        return {
+        out = {
             "count": count,
             "total": total,
             "p50": q(0.50),
             "p95": q(0.95),
             "max": mx,
         }
+        if samples:
+            out["samples"] = raw
+        return out
+
+    def merge(self, summary: dict[str, Any]) -> None:
+        """Fold another histogram's summary into this one.
+
+        ``count``/``total``/``max`` merge exactly; the reservoir extends
+        with the summary's ``samples`` (when present), capped at
+        :data:`MAX_SAMPLES` — percentiles of a merged histogram are
+        approximate, exactly as they are for a local one.
+        """
+        with self._lock:
+            self._count += int(summary.get("count", 0))
+            self._total += float(summary.get("total", 0.0))
+            mx = float(summary.get("max", 0.0))
+            if mx > self._max:
+                self._max = mx
+            for value in summary.get("samples") or ():
+                if len(self._samples) < self.MAX_SAMPLES:
+                    self._samples.append(float(value))
+                else:
+                    self._samples[self._next] = float(value)
+                    self._next = (self._next + 1) % self.MAX_SAMPLES
 
     def _reset(self) -> None:
         with self._lock:
@@ -214,17 +250,38 @@ class MetricsRegistry:
                     self._histograms[name] = h
         return h
 
-    def snapshot(self) -> dict:
-        """A plain-data view of every instrument (stable key order)."""
+    def snapshot(self, samples: bool = False) -> dict:
+        """A plain-data view of every instrument (stable key order).
+
+        ``samples=True`` includes each histogram's reservoir — the
+        transferable form a worker ships to the driver so
+        :meth:`merge` preserves approximate percentiles, not just the
+        exact count/total/max.
+        """
         return {
             "counters": {
                 name: c.value for name, c in sorted(self._counters.items())
             },
             "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
             "histograms": {
-                name: h.summary() for name, h in sorted(self._histograms.items())
+                name: h.summary(samples=samples)
+                for name, h in sorted(self._histograms.items())
             },
         }
+
+    def merge(self, snap: dict) -> None:
+        """Fold a snapshot (typically from another process) into this
+        registry: counters add, gauges last-write-win, histograms merge
+        count/total/max exactly and extend their reservoirs.  The
+        cross-process aggregation primitive of the batch driver."""
+        for name, value in snap.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snap.get("histograms", {}).items():
+            if summary.get("count"):
+                self.histogram(name).merge(summary)
 
     def reset(self) -> None:
         """Zero every instrument (registered objects stay valid)."""
@@ -235,10 +292,22 @@ class MetricsRegistry:
         for h in self._histograms.values():
             h._reset()
 
-    def emit_event(self, name: str, start: float, dur_ms: float) -> None:
-        """Fan a span event out to every attached sink."""
+    def emit_event(
+        self,
+        name: str,
+        start: float,
+        dur_ms: float,
+        epoch: float = 0.0,
+        status: str = "ok",
+    ) -> None:
+        """Fan a span event out to every attached sink.
+
+        ``start`` is the monotonic (``perf_counter``) origin, ``epoch``
+        the wall-clock start in seconds since the Unix epoch — the
+        cross-process-correlatable timestamp.
+        """
         for sink in self.sinks:
-            sink.event(name, start, dur_ms)
+            sink.event(name, start, dur_ms, epoch, status)
 
 
 #: The process-wide registry all instrumented modules publish into.
@@ -271,8 +340,13 @@ def enabled() -> bool:
     return OBS.enabled
 
 
-def snapshot() -> dict:
-    return REGISTRY.snapshot()
+def snapshot(samples: bool = False) -> dict:
+    return REGISTRY.snapshot(samples=samples)
+
+
+def merge(snap: dict) -> None:
+    """Fold a snapshot from another process into the local registry."""
+    REGISTRY.merge(snap)
 
 
 def reset() -> None:

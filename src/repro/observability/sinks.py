@@ -2,8 +2,13 @@
 
 A sink is any object with two methods:
 
-* ``event(name, start, dur_ms)`` — called once per closed span while
-  instrumentation is enabled and the sink is attached;
+* ``event(name, start, dur_ms, epoch=0.0, status="ok")`` — called once
+  per closed span while instrumentation is enabled and the sink is
+  attached.  ``start`` is the span's ``perf_counter`` origin (ordering
+  and gap analysis within one process); ``epoch`` is the wall-clock
+  start in seconds since the Unix epoch, the timestamp that makes events
+  from different processes correlatable; ``status`` is ``"ok"`` or
+  ``"error"``;
 * ``export(snap)`` — called with a registry snapshot by
   :func:`repro.observability.export`.
 
@@ -14,13 +19,18 @@ Provided sinks:
 * :class:`JSONFileSink` — writes each exported snapshot as a JSON
   document to a path;
 * :class:`EventLogSink` — a line-oriented span stream
-  (``<start> <name> <dur_ms>`` per line) to a path or file object.
+  (``<epoch> <start> <name> <dur_ms> [error=<type>]`` per line) to a
+  path or file object.  :func:`parse_event_line` reads both this format
+  and the pre-epoch three-field format (``<start> <name> <dur_ms>``), so
+  old logs stay readable.
 
 Exporter functions (no sink object needed):
 
 * :func:`prometheus_text` — renders a snapshot in the Prometheus text
   exposition format (counters as ``_total``, histograms as summaries
-  with ``quantile`` labels);
+  with ``quantile`` labels); metric names are sanitized and label values
+  escaped per the exposition format, so adapter names and worker ids can
+  be used as labels verbatim;
 * :func:`render_report` — the human-readable pass-by-pass report used
   by ``python -m repro stats``.
 """
@@ -29,7 +39,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any, Optional, TextIO
+from typing import Any, Mapping, Optional, TextIO
 
 
 class InMemorySink:
@@ -38,11 +48,14 @@ class InMemorySink:
     __slots__ = ("events", "snapshots")
 
     def __init__(self) -> None:
-        self.events: list[tuple[str, float, float]] = []
+        self.events: list[tuple[str, float, float, float, str]] = []
         self.snapshots: list[dict] = []
 
-    def event(self, name: str, start: float, dur_ms: float) -> None:
-        self.events.append((name, start, dur_ms))
+    def event(
+        self, name: str, start: float, dur_ms: float,
+        epoch: float = 0.0, status: str = "ok",
+    ) -> None:
+        self.events.append((name, start, dur_ms, epoch, status))
 
     def export(self, snap: dict) -> None:
         self.snapshots.append(snap)
@@ -56,7 +69,10 @@ class JSONFileSink:
     def __init__(self, path: str) -> None:
         self.path = path
 
-    def event(self, name: str, start: float, dur_ms: float) -> None:
+    def event(
+        self, name: str, start: float, dur_ms: float,
+        epoch: float = 0.0, status: str = "ok",
+    ) -> None:
         pass  # snapshots only
 
     def export(self, snap: dict) -> None:
@@ -66,10 +82,15 @@ class JSONFileSink:
 
 
 class EventLogSink:
-    """A line-oriented span stream: ``<start> <name> <dur_ms>`` per line.
+    """A line-oriented span stream, one closed span per line::
 
-    ``start`` is the span's ``time.perf_counter()`` origin — useful for
-    ordering and gap analysis within one process, not wall-clock time.
+        <epoch> <start> <name> <dur_ms> [error=<type or status>]
+
+    ``epoch`` (wall-clock seconds) correlates events across processes;
+    ``start`` (``perf_counter`` origin) orders them precisely within
+    one.  Failed spans carry a trailing ``error=...`` field.  Lines in
+    the pre-epoch format (``<start> <name> <dur_ms>``) are still parsed
+    by :func:`parse_event_line`.
     """
 
     __slots__ = ("_fh", "_own")
@@ -82,8 +103,12 @@ class EventLogSink:
             self._fh = target
             self._own = False
 
-    def event(self, name: str, start: float, dur_ms: float) -> None:
-        self._fh.write(f"{start:.6f} {name} {dur_ms:.3f}\n")
+    def event(
+        self, name: str, start: float, dur_ms: float,
+        epoch: float = 0.0, status: str = "ok",
+    ) -> None:
+        suffix = "" if status == "ok" else f" error={status}"
+        self._fh.write(f"{epoch:.6f} {start:.6f} {name} {dur_ms:.3f}{suffix}\n")
 
     def export(self, snap: dict) -> None:
         self._fh.flush()
@@ -94,38 +119,119 @@ class EventLogSink:
             self._fh.close()
 
 
+def parse_event_line(line: str) -> Optional[dict[str, Any]]:
+    """Parse one span-stream line into a dict, tolerating both formats.
+
+    New format: ``<epoch> <start> <name> <dur_ms> [error=<type>]``.
+    Old format (pre-epoch): ``<start> <name> <dur_ms>`` — parsed with
+    ``epoch=None`` so consumers know wall-clock correlation is
+    unavailable for that line.  Returns ``None`` for blank/unparseable
+    lines rather than raising (log files may be truncated mid-line).
+    """
+    fields = line.split()
+    if len(fields) < 3:
+        return None
+    try:
+        if len(fields) == 3:
+            # old format: start name dur_ms
+            return {
+                "epoch": None,
+                "start": float(fields[0]),
+                "name": fields[1],
+                "dur_ms": float(fields[2]),
+                "status": "ok",
+            }
+        out = {
+            "epoch": float(fields[0]),
+            "start": float(fields[1]),
+            "name": fields[2],
+            "dur_ms": float(fields[3]),
+            "status": "ok",
+        }
+    except ValueError:
+        return None
+    for extra in fields[4:]:
+        if extra.startswith("error="):
+            out["status"] = extra[len("error="):] or "error"
+    return out
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
 _PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 def _prom_name(name: str) -> str:
-    return _PROM_BAD.sub("_", name)
+    """Sanitize a dotted metric name into a legal Prometheus name.
+
+    The exposition format requires ``[a-zA-Z_:][a-zA-Z0-9_:]*`` — every
+    other character becomes ``_`` and a leading digit gets a ``_``
+    prefix.
+    """
+    out = _PROM_BAD.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out or "_"
 
 
-def prometheus_text(snap: dict) -> str:
+def _prom_label_value(value: Any) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double-quote, and line-feed must be escaped inside the quotes."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: Optional[Mapping[str, Any]], extra: str = "") -> str:
+    """Render a label set (plus an optional pre-rendered pair) as
+    ``{k="v",...}``; empty when there is nothing to render."""
+    parts = [
+        f'{_prom_name(str(k))}="{_prom_label_value(v)}"'
+        for k, v in (labels or {}).items()
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(
+    snap: dict, labels: Optional[Mapping[str, Any]] = None
+) -> str:
     """Render a registry snapshot in the Prometheus text format.
 
     Counters become ``<name>_total`` counter samples, gauges stay
     gauges, histograms are exposed as summaries (``quantile`` labels,
     ``_sum``/``_count``) plus a non-standard ``_max`` gauge.
+
+    ``labels`` attaches a label set to every sample — the batch driver
+    renders per-worker snapshots with ``labels={"worker": pid}`` — with
+    values escaped per the exposition format (quote, backslash, and
+    newline safe).
     """
+    base = _prom_labels(labels)
     lines: list[str] = []
     for name, value in snap.get("counters", {}).items():
         pname = _prom_name(name) + "_total"
         lines.append(f"# TYPE {pname} counter")
-        lines.append(f"{pname} {value}")
+        lines.append(f"{pname}{base} {value}")
     for name, value in snap.get("gauges", {}).items():
         pname = _prom_name(name)
         lines.append(f"# TYPE {pname} gauge")
-        lines.append(f"{pname} {value}")
+        lines.append(f"{pname}{base} {value}")
+    q50 = _prom_labels(labels, extra='quantile="0.5"')
+    q95 = _prom_labels(labels, extra='quantile="0.95"')
     for name, summ in snap.get("histograms", {}).items():
         pname = _prom_name(name)
         lines.append(f"# TYPE {pname} summary")
-        lines.append(f'{pname}{{quantile="0.5"}} {summ["p50"]}')
-        lines.append(f'{pname}{{quantile="0.95"}} {summ["p95"]}')
-        lines.append(f"{pname}_sum {summ['total']}")
-        lines.append(f"{pname}_count {summ['count']}")
+        lines.append(f"{pname}{q50} {summ['p50']}")
+        lines.append(f"{pname}{q95} {summ['p95']}")
+        lines.append(f"{pname}_sum{base} {summ['total']}")
+        lines.append(f"{pname}_count{base} {summ['count']}")
         lines.append(f"# TYPE {pname}_max gauge")
-        lines.append(f"{pname}_max {summ['max']}")
+        lines.append(f"{pname}_max{base} {summ['max']}")
     return "\n".join(lines) + "\n"
 
 

@@ -355,9 +355,11 @@ class TestSinks:
         with span("t.evt"):
             pass
         assert len(sink.events) == 1
-        name, start, dur_ms = sink.events[0]
+        name, start, dur_ms, epoch, status = sink.events[0]
         assert name == "t.evt"
         assert dur_ms >= 0.0
+        assert epoch > 1_000_000_000  # wall-clock seconds, not perf_counter
+        assert status == "ok"
 
     def test_event_log_sink_line_format(self):
         buf = io.StringIO()
@@ -367,7 +369,7 @@ class TestSinks:
             pass
         sink.close()
         line = buf.getvalue().strip()
-        assert re.fullmatch(r"\d+\.\d{6} t\.line \d+\.\d{3}", line)
+        assert re.fullmatch(r"\d+\.\d{6} \d+\.\d{6} t\.line \d+\.\d{3}", line)
 
     def test_event_log_sink_to_path(self, tmp_path):
         path = tmp_path / "spans.log"
