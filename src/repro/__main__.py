@@ -20,6 +20,9 @@ Usage::
     python -m repro diff before.py after.py --trace trace.json
     python -m repro batch old/ new/ --trace trace.json --sample 1/8
     python -m repro trace trace.json                   # causal timeline view
+    python -m repro serve --port 8337 --workers 2      # diff-as-a-service daemon
+    python -m repro serve --stdio                      # JSONL-over-stdio front end
+    python -m repro diff before.py after.py --server http://127.0.0.1:8337
 
 ``--metrics`` enables the observability layer around the diff and dumps
 the registry to stderr (``--metrics=json`` / ``--metrics=prom`` select
@@ -99,7 +102,51 @@ def _emit_metrics(snap: dict, mode: str, stream) -> None:
         print(obs.render_report(snap), file=stream)
 
 
+def _cmd_diff_via_server(args: argparse.Namespace) -> int:
+    """Client mode: route the diff through a running daemon.
+
+    Sources are uploaded once (content-addressed: a re-upload is a
+    cache hit) and the diff is requested by fingerprint; the printed
+    script is byte-identical to the local code path.
+    """
+    from repro.server import ClientError, ServerClient
+
+    if args.explain or args.metrics or args.trace:
+        raise CLIError(
+            "--server", "client mode supports --json and --stats only"
+        )
+    before_text = _read(args.before)
+    after_text = _read(args.after)
+    client = ServerClient(args.server)
+    try:
+        before = client.put_tree(before_text, args.before)
+        after = client.put_tree(after_text, args.after)
+        if args.json:
+            raw = client.diff_raw(before["fingerprint"], after["fingerprint"])
+            sys.stdout.write(raw.decode("utf8"))
+            result = None
+        else:
+            result = client.diff(before["fingerprint"], after["fingerprint"])
+            script = script_from_json(result["script_json"])
+            for edit in script:
+                print(edit)
+    except ClientError as exc:
+        raise CLIError(args.server, exc.message) from None
+    if args.stats and result is not None:
+        nodes = result["src_nodes"] + result["dst_nodes"]
+        print(
+            f"-- {result['edits']} edits, {nodes} nodes; "
+            f"server diff {result['diff_ms']:.1f} ms "
+            f"(cached: before={str(result['cached']['before']).lower()}, "
+            f"after={str(result['cached']['after']).lower()})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_diff(args: argparse.Namespace) -> int:
+    if args.server:
+        return _cmd_diff_via_server(args)
     # canonical URIs (pre-order positions) make the script meaningful to a
     # separate `apply` process that re-parses the before-file
     t0 = time.perf_counter()
@@ -457,6 +504,59 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if spans else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the diff-as-a-service daemon (HTTP or JSONL-over-stdio).
+
+    The daemon parses each uploaded source once into the
+    content-addressed tree store and serves fingerprint-addressed
+    ``diff``/``apply``/``lint``/``verify``/``merge`` requests against
+    the cached trees.  Metrics are always on (``/metrics`` is part of
+    the product); each request is recorded as its own causal trace,
+    drainable at ``/trace``.  SIGINT/SIGTERM (or ``POST /shutdown``)
+    stop the listener and drain in-flight requests before exiting.
+    """
+    import asyncio
+
+    from repro.server import ReproService, TreeStore, run_http_daemon, run_stdio_daemon
+
+    if args.workers < 0:
+        raise CLIError("--workers", f"must be >= 0, got {args.workers}")
+    obs.reset_tracing()
+    obs.enable()
+    try:
+        obs.enable_tracing(sample=args.sample)
+        collector = obs.TelemetryCollector(trace=True, sample=args.sample)
+    except ValueError as exc:
+        raise CLIError("--sample", str(exc)) from None
+    service = ReproService(
+        TreeStore(max_trees=args.store_max),
+        workers=args.workers,
+        collector=collector,
+    )
+    try:
+        if args.stdio:
+            asyncio.run(run_stdio_daemon(service))
+        else:
+
+            def ready(server) -> None:
+                print(
+                    f"repro: serve: listening on http://{server.host}:{server.port} "
+                    f"({args.workers or 'no'} diff worker(s), "
+                    f"store capacity {args.store_max})",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+            asyncio.run(run_http_daemon(service, args.host, args.port, ready))
+    except KeyboardInterrupt:
+        pass  # drain already handled by the signal path where available
+    finally:
+        obs.disable_tracing()
+        obs.disable()
+        obs.reset()
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.baselines.gumtree import ChawatheScriptGenerator, match
     from repro.baselines.hdiff import hdiff, patch_size
@@ -542,6 +642,13 @@ def main(argv: list[str] | None = None) -> int:
         "(optionally as json or Prometheus text)",
     )
     _add_trace_args(p_diff)
+    p_diff.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="route the diff through a running `repro serve` daemon "
+        "(uploads the sources, diffs by fingerprint)",
+    )
     p_diff.set_defaults(func=cmd_diff)
 
     p_stats = sub.add_parser(
@@ -695,6 +802,40 @@ def main(argv: list[str] | None = None) -> int:
         help="convert to PATH instead of printing the text timeline",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the diff-as-a-service daemon over a content-addressed tree store"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p_serve.add_argument(
+        "--port", type=int, default=8337, help="TCP port (default 8337; 0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve JSONL requests over stdin/stdout instead of HTTP",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="diff worker processes (0 = compute inline in the daemon)",
+    )
+    p_serve.add_argument(
+        "--store-max",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="maximum cached trees before LRU eviction (default 1024)",
+    )
+    p_serve.add_argument(
+        "--sample",
+        default=None,
+        metavar="1/N",
+        help="head-sampling rate for per-request traces (default: OBS_SAMPLE "
+        "from the environment, else record everything)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cmp = sub.add_parser("compare", help="compare all diff tools on a file pair")
     p_cmp.add_argument("before")

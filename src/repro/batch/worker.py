@@ -9,9 +9,10 @@ Fault isolation is layered:
 * :func:`diff_pair` catches the *expected* per-pair failures (unreadable
   files, syntax errors) and classifies them;
 * :func:`run_chunk` wraps every pair in a wall-clock timeout
-  (``SIGALRM``-based, POSIX main thread only) and a catch-all, so an
-  unexpected exception in one pair becomes a structured failure row
-  instead of poisoning the whole chunk;
+  (``SIGALRM``-based on the POSIX main thread; a thread-guard fallback
+  everywhere else, so the budget is never silently skipped) and a
+  catch-all, so an unexpected exception in one pair becomes a structured
+  failure row instead of poisoning the whole chunk;
 * hard worker death (segfault, ``os._exit``) cannot be caught here at
   all — the driver detects the broken pool, records the in-flight pairs
   as ``crash`` failures, rebuilds the pool, and moves on.
@@ -227,11 +228,29 @@ def diff_pair_degrading(before: str, after: str) -> dict[str, Any]:
     return diff_pair(before, after, fallback_replace=True)
 
 
-def _timeout_supported() -> bool:
+def _alarm_deliverable() -> bool:
+    """``SIGALRM`` deadlines only work on POSIX *and* on the thread that
+    receives signals — the process's main thread."""
     return (
         hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
+
+
+def _pick_fence(timeout_s: Optional[float]) -> Optional[str]:
+    """Which per-pair deadline mechanism applies, or ``None``.
+
+    Pool workers run tasks on their main thread, so the cheap ``SIGALRM``
+    fence is the common case.  Off the POSIX main thread (an asyncio
+    server driving ``run_chunk`` on an executor thread, Windows, a
+    caller embedding the driver in a thread) the alarm would be silently
+    undeliverable — historically the budget was just *skipped* there,
+    letting a pathological pair run unbounded.  Those cases now get the
+    wall-clock thread guard instead of no fence at all.
+    """
+    if timeout_s is None or timeout_s <= 0:
+        return None
+    return "alarm" if _alarm_deliverable() else "thread"
 
 
 def _call_with_timeout(
@@ -252,17 +271,54 @@ def _call_with_timeout(
         signal.signal(signal.SIGALRM, previous)
 
 
+def _call_with_thread_guard(
+    fn: Callable[[str, str], dict], before: str, after: str, timeout_s: float
+) -> dict[str, Any]:
+    """Wall-clock fallback fence for where ``SIGALRM`` cannot fire.
+
+    The pair runs on a daemon thread joined against the budget; on
+    expiry the caller gets a structured ``timeout`` row immediately.
+    The abandoned thread cannot be killed and may run to completion in
+    the background — a bounded leak, which is still strictly better
+    than the unbounded pair the silent skip used to allow — so its
+    eventual result (or error) is discarded.
+    """
+    box: dict[str, Any] = {}
+
+    def run() -> None:
+        try:
+            box["row"] = fn(before, after)
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the caller
+            box["exc"] = exc
+
+    worker = threading.Thread(
+        target=run, name="repro-pair-guard", daemon=True
+    )
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        raise PairTimeout(
+            f"pair exceeded {timeout_s:g}s budget "
+            "(wall-clock guard; worker thread abandoned)"
+        )
+    if "exc" in box:
+        raise box["exc"]
+    return box["row"]
+
+
 def _fenced_row(
     fn: Callable[[str, str], dict],
     before: str,
     after: str,
     timeout_s: Optional[float],
-    fence: bool,
+    fence: Optional[str],
 ) -> dict[str, Any]:
     started = time.perf_counter()
     try:
-        if fence:
+        if fence == "alarm":
             return _call_with_timeout(fn, before, after, timeout_s)
+        if fence == "thread":
+            return _call_with_thread_guard(fn, before, after, timeout_s)
         return fn(before, after)
     except Exception as exc:
         return _failure_row(before, after, exc, started)
@@ -292,7 +348,7 @@ def run_chunk(
     it was spilled to disk or the chunk ran in the driver process).
     """
     fn = pair_fn if pair_fn is not None else diff_pair
-    fence = timeout_s is not None and timeout_s > 0 and _timeout_supported()
+    fence = _pick_fence(timeout_s)
     if obs is None:
         return [
             _fenced_row(fn, before, after, timeout_s, fence)

@@ -112,13 +112,24 @@ def worker_telemetry(obs: Optional[dict[str, Any]]) -> Optional[dict[str, Any]]:
     return telemetry
 
 
-def read_spill_dir(spill_dir: str) -> list[dict[str, Any]]:
+def read_spill_dir(
+    spill_dir: str, stats: Optional[dict[str, int]] = None
+) -> list[dict[str, Any]]:
     """Load every telemetry envelope spilled under ``spill_dir``.
 
-    Tolerates a truncated final line (the worker died mid-write): bad
-    lines are skipped, everything before them is kept.
+    Tolerates a worker killed mid-write: a truncated or otherwise
+    unparseable line — including one that decodes as JSON but not as a
+    telemetry envelope object — is skipped and *counted*, and every
+    intact envelope around it is kept, so one dead worker can never
+    abort the whole telemetry merge.  Pass a ``stats`` dict to receive
+    the loss accounting: ``skipped_lines`` (undecodable or non-envelope
+    lines) and ``skipped_files`` (spill files that vanished mid-read).
     """
     out: list[dict[str, Any]] = []
+    if stats is None:
+        stats = {}
+    stats.setdefault("skipped_lines", 0)
+    stats.setdefault("skipped_files", 0)
     try:
         names = sorted(os.listdir(spill_dir))
     except OSError:
@@ -133,10 +144,19 @@ def read_spill_dir(spill_dir: str) -> list[dict[str, Any]]:
                     if not line:
                         continue
                     try:
-                        out.append(json.loads(line))
+                        envelope = json.loads(line)
                     except json.JSONDecodeError:
+                        stats["skipped_lines"] += 1
                         continue
+                    # a line can be valid JSON yet still be a torn write
+                    # (e.g. a truncated value that happens to parse);
+                    # only envelope-shaped objects are mergeable
+                    if not isinstance(envelope, dict):
+                        stats["skipped_lines"] += 1
+                        continue
+                    out.append(envelope)
         except OSError:
+            stats["skipped_files"] += 1
             continue
     return out
 
@@ -150,7 +170,8 @@ class TelemetryCollector:
     """
 
     __slots__ = ("trace", "sample_n", "spill_dir", "per_worker", "spans",
-                 "dropped_spans", "_absorbed", "_spills_read", "_finished")
+                 "dropped_spans", "spill_skipped", "_absorbed",
+                 "_spills_read", "_finished")
 
     def __init__(
         self,
@@ -165,6 +186,8 @@ class TelemetryCollector:
         self.per_worker: dict[int, dict[str, Any]] = {}
         self.spans: list[dict[str, Any]] = []
         self.dropped_spans = 0
+        #: spill lines lost to a worker killed mid-write (skip-and-count)
+        self.spill_skipped = 0
         self._absorbed = 0
         self._spills_read = False
         self._finished = False
@@ -182,7 +205,7 @@ class TelemetryCollector:
 
     def absorb(self, telemetry: Optional[dict[str, Any]]) -> None:
         """Fold one worker telemetry envelope into the driver state."""
-        if not telemetry:
+        if not telemetry or not isinstance(telemetry, dict):
             return
         self._absorbed += 1
         pid = int(telemetry.get("pid") or 0)
@@ -205,7 +228,9 @@ class TelemetryCollector:
         if not self.spill_dir or self._spills_read:
             return 0
         self._spills_read = True
-        envelopes = read_spill_dir(self.spill_dir)
+        stats: dict[str, int] = {}
+        envelopes = read_spill_dir(self.spill_dir, stats)
+        self.spill_skipped += stats["skipped_lines"] + stats["skipped_files"]
         for telemetry in envelopes:
             self.absorb(telemetry)
         return len(envelopes)
@@ -227,6 +252,7 @@ class TelemetryCollector:
             "workers": sorted(self.per_worker),
             "spans": len(self.spans),
             "dropped_spans": self.dropped_spans,
+            "spill_skipped": self.spill_skipped,
         }
 
 

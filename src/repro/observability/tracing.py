@@ -166,22 +166,48 @@ def parse_sample(spec: "str | int | None") -> int:
 
     ``None`` or empty reads the ``OBS_SAMPLE`` environment variable and
     defaults to 1 (sample everything).
+
+    Every malformed spec — ``"1/0"``, ``"0"``, negatives, floats,
+    garbage, a bare ``"1/"`` — raises :exc:`ValueError` with one clear
+    sentence naming the offending value (and ``OBS_SAMPLE`` when it came
+    from the environment), so the CLI can render it as a one-line exit-2
+    diagnostic and an env-sourced typo never silently samples everything
+    or surfaces as an ``int()`` traceback.
     """
+    source = ""
     if spec is None or spec == "":
         spec = os.environ.get("OBS_SAMPLE", "") or "1"
+        source = " (from OBS_SAMPLE)"
+
+    def bad(reason: str) -> ValueError:
+        return ValueError(
+            f"invalid sampling spec {spec!r}{source}: {reason}; "
+            "expected a positive integer N or '1/N'"
+        )
+
+    if isinstance(spec, bool):
+        raise bad("not a number")
     if isinstance(spec, int):
         n = spec
-    else:
-        text = str(spec).strip()
+    elif isinstance(spec, str):
+        text = spec.strip()
         if "/" in text:
             num, _, den = text.partition("/")
             if num.strip() != "1":
-                raise ValueError(f"sampling spec must be 1/N, got {spec!r}")
-            n = int(den)
+                raise bad("the numerator must be 1")
+            try:
+                n = int(den.strip() or "x")
+            except ValueError:
+                raise bad(f"{den.strip()!r} is not an integer") from None
         else:
-            n = int(text)
+            try:
+                n = int(text)
+            except ValueError:
+                raise bad(f"{text!r} is not an integer") from None
+    else:
+        raise bad(f"unsupported type {type(spec).__name__}")
     if n < 1:
-        raise ValueError(f"sampling rate must be >= 1, got {spec!r}")
+        raise bad(f"the rate must be >= 1, got {n}")
     return n
 
 

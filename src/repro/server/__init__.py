@@ -1,0 +1,59 @@
+"""Diff-as-a-service: a long-lived daemon over a content-addressed tree store.
+
+The library → system step the ROADMAP names: instead of one-shot CLI
+invocations that re-parse everything, a persistent asyncio daemon holds
+parsed trees in a :class:`~repro.server.store.TreeStore` keyed by the
+sha256 tree fingerprint, and serves ``diff`` / ``apply`` / ``lint`` /
+``verify`` / ``merge`` requests against the cached trees — clients
+submit sources once, then address them by fingerprint.
+
+* :mod:`repro.server.store` — the content-addressed store (parse once,
+  LRU-bounded, atomic-patch mutation semantics);
+* :mod:`repro.server.pool` — worker-process pool for heavy diffs,
+  reusing the batch layer's obs-envelope + telemetry-delta machinery;
+* :mod:`repro.server.service` — the transport-independent operation
+  table (one ``repro.server.request`` trace per request);
+* :mod:`repro.server.httpd` / :mod:`repro.server.stdio` — the HTTP and
+  JSONL-over-stdio front ends, both with graceful drain-on-shutdown;
+* :mod:`repro.server.client` — a stdlib blocking client (the CLI's
+  ``--server`` mode and the CI smoke gate);
+* :mod:`repro.server.smoke` — the end-to-end differential gate
+  (``python -m repro.server.smoke``): server output byte-identical to
+  the one-shot CLI, cache hits visible in ``/metrics``, ≥ 32 concurrent
+  requests, graceful shutdown drain.
+
+Start one with ``python -m repro serve`` (see the CLI docs).
+"""
+
+from .client import ClientError, ServerClient
+from .httpd import ReproHTTPServer, run_http_daemon
+from .pool import DiffPool, diff_trees, pool_diff_task
+from .service import ERROR_STATUS, ReproService, ServiceError
+from .stdio import ReproStdioServer, run_stdio_daemon
+from .store import (
+    StoredTree,
+    StoreError,
+    TreeStore,
+    UnknownFingerprint,
+    fingerprint_tree,
+)
+
+__all__ = [
+    "ClientError",
+    "DiffPool",
+    "ERROR_STATUS",
+    "ReproHTTPServer",
+    "ReproService",
+    "ReproStdioServer",
+    "ServerClient",
+    "ServiceError",
+    "StoreError",
+    "StoredTree",
+    "TreeStore",
+    "UnknownFingerprint",
+    "diff_trees",
+    "fingerprint_tree",
+    "pool_diff_task",
+    "run_http_daemon",
+    "run_stdio_daemon",
+]

@@ -1,0 +1,107 @@
+"""A minimal blocking client for the HTTP daemon (stdlib urllib).
+
+Used by the CLI's client mode (``repro diff --server URL``) and the CI
+smoke gate; small enough that third parties can treat it as protocol
+documentation.  Raises :class:`ClientError` carrying the server's
+structured error payload for non-2xx responses.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Optional
+
+
+class ClientError(Exception):
+    """A failed request: HTTP status plus the server's error payload."""
+
+    def __init__(self, status: int, message: str, code: Optional[str] = None) -> None:
+        super().__init__(f"server returned {status}: {message}")
+        self.status = status
+        self.message = message
+        self.code = code
+
+
+class ServerClient:
+    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # transport
+
+    def _request(
+        self, method: str, path: str, payload: Optional[dict[str, Any]] = None
+    ) -> bytes:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                error = json.loads(raw.decode("utf8"))["error"]
+                message = error.get("message", raw.decode("utf8", "replace"))
+                code = error.get("code")
+            except Exception:
+                message, code = raw.decode("utf8", "replace").strip(), None
+            raise ClientError(exc.code, message, code) from None
+        except urllib.error.URLError as exc:
+            raise ClientError(0, f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    def _json(self, method: str, path: str, payload: Optional[dict] = None) -> Any:
+        return json.loads(self._request(method, path, payload).decode("utf8"))
+
+    # ------------------------------------------------------------------
+    # operations
+
+    def put_tree(self, source: str, filename: str = "<uploaded>") -> dict[str, Any]:
+        return self._json("POST", "/trees", {"source": source, "filename": filename})
+
+    def list_trees(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/trees")["trees"]
+
+    def diff(self, before: Any, after: Any) -> dict[str, Any]:
+        return self._json("POST", "/diff", {"before": before, "after": after})
+
+    def diff_raw(self, before: Any, after: Any) -> bytes:
+        """The bare truechange JSON document — byte-identical to the
+        stdout of ``repro diff --json`` on the same sources."""
+        return self._request(
+            "POST", "/diff", {"before": before, "after": after, "raw": True}
+        )
+
+    def apply(self, tree: str, script: Any, commit: bool = True) -> dict[str, Any]:
+        return self._json(
+            "POST", "/apply", {"tree": tree, "script": script, "commit": commit}
+        )
+
+    def lint(self, script: Any) -> dict[str, Any]:
+        return self._json("POST", "/lint", {"script": script})
+
+    def verify(self, tree: str) -> dict[str, Any]:
+        return self._json("POST", "/verify", {"tree": tree})
+
+    def merge(self, left: Any, right: Any) -> dict[str, Any]:
+        return self._json("POST", "/merge", {"left": left, "right": right})
+
+    def health(self) -> dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics").decode("utf8")
+
+    def trace(self, fmt: str = "chrome") -> dict[str, Any]:
+        return self._json("GET", f"/trace?format={fmt}")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self._json("POST", "/shutdown")

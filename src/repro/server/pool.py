@@ -1,0 +1,183 @@
+"""Worker-process pool for heavy diff requests.
+
+The daemon's request handlers are I/O-bound glue; the diff itself is the
+CPU-heavy part.  This module shards it across a ``ProcessPoolExecutor``
+reusing the batch layer's cross-process machinery wholesale: every task
+carries the obs **envelope** built by a
+:class:`~repro.observability.aggregate.TelemetryCollector`, workers
+reset fork-inherited state through
+:func:`~repro.observability.aggregate.worker_setup`, adopt the request's
+trace context as a resample point (so a request stays ONE causal trace
+even when its diff ran in another process), and ship their span/metric
+deltas back via :func:`~repro.observability.aggregate.worker_telemetry`
+for the driver-side merge — which is what makes the daemon's
+``/metrics`` endpoint cover the whole pool.
+
+Workers keep a process-local cache of parsed trees keyed by the store
+fingerprint (``repro.server.worker.tree_hits`` / ``.parses``), so a hot
+tree is parsed at most once per worker process, not once per request.
+
+:func:`diff_trees` is the single definition of "what a diff request
+computes", shared by the pool worker and the daemon's inline path, and
+written to be call-for-call identical to ``repro diff`` — the
+differential gate in CI holds the two byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from repro.core import TNode
+from repro.observability import OBS, metrics as _metrics, span as _span
+
+
+def diff_trees(src: TNode, dst: TNode) -> dict[str, Any]:
+    """Diff two canonical trees exactly as ``repro diff`` does.
+
+    Same option set, same fresh-URI numbering (``start = src.size + 1``
+    over pre-order canonical URIs), same static validation — so
+    ``result["script_json"]`` is byte-identical to the stdout of
+    ``repro diff --json`` on the corresponding sources.
+    """
+    from repro.core import DiffOptions, URIGen, diff, validate_script
+    from repro.core.serialize import script_to_json
+
+    t0 = time.perf_counter()
+    script, _ = diff(
+        src, dst, DiffOptions(typecheck="none"), urigen=URIGen(start=src.size + 1)
+    )
+    diff_ms = (time.perf_counter() - t0) * 1000
+    validate_script(script, src.sigs, "static")
+    mix: dict[str, int] = {}
+    for edit in script.primitives():
+        kind = type(edit).__name__.lower()
+        mix[kind] = mix.get(kind, 0) + 1
+    return {
+        "edits": len(script),
+        "edit_mix": mix,
+        "src_nodes": src.size,
+        "dst_nodes": dst.size,
+        "diff_ms": round(diff_ms, 3),
+        "script_json": script_to_json(script, indent=2),
+    }
+
+
+#: Worker-process tree cache: fingerprint -> canonical TNode (FIFO-bounded).
+_WORKER_TREES: dict[str, TNode] = {}
+_WORKER_TREES_MAX = 256
+
+
+def _worker_tree(spec: dict[str, Any]) -> TNode:
+    """Resolve one tree spec ``{"fingerprint", "source", "filename"}`` in
+    the worker, via the process-local cache."""
+    fp = spec["fingerprint"]
+    tree = _WORKER_TREES.get(fp)
+    if tree is not None:
+        if OBS.enabled:
+            _metrics().counter("repro.server.worker.tree_hits").inc()
+        return tree
+    from repro.adapters.pyast import parse_python
+
+    tree = parse_python(spec["source"], spec.get("filename") or "<stored>")
+    tree = tree.with_canonical_uris()
+    if len(_WORKER_TREES) >= _WORKER_TREES_MAX:
+        _WORKER_TREES.pop(next(iter(_WORKER_TREES)))
+    _WORKER_TREES[fp] = tree
+    if OBS.enabled:
+        _metrics().counter("repro.server.worker.parses").inc()
+    return tree
+
+
+def pool_diff_task(
+    payload: dict[str, Any], obs_env: Optional[dict[str, Any]]
+) -> dict[str, Any]:
+    """Top-level (picklable) pool task: one diff request in a worker.
+
+    Returns ``{"result": ..., "telemetry": ...}`` — the same two-part
+    shape as :func:`repro.batch.worker.run_chunk`'s instrumented mode,
+    absorbed by the daemon's collector.  Never raises: a failing diff
+    becomes ``result={"ok": False, ...}`` so one bad request cannot
+    poison the worker or the pool.
+    """
+    from repro.observability import remote_context
+    from repro.observability.aggregate import worker_setup, worker_telemetry
+
+    worker_setup(obs_env)
+    ctx = obs_env.get("trace_ctx") if obs_env else None
+    with remote_context(ctx, resample=True):
+        with _span("repro.server.pool.diff") as sp:
+            try:
+                src = _worker_tree(payload["before"])
+                dst = _worker_tree(payload["after"])
+                result = diff_trees(src, dst)
+                result["ok"] = True
+                sp.set_attrs(
+                    before=payload["before"]["fingerprint"],
+                    after=payload["after"]["fingerprint"],
+                    edits=result["edits"],
+                )
+            except Exception as exc:
+                result = {
+                    "ok": False,
+                    "error": " ".join((str(exc) or type(exc).__name__).split()),
+                    "error_type": type(exc).__name__,
+                }
+                sp.set_status("error", type(exc).__name__)
+    return {"result": result, "telemetry": worker_telemetry(obs_env)}
+
+
+class DiffPool:
+    """A ``ProcessPoolExecutor`` carrying the obs envelope on every task.
+
+    ``submit`` returns the executor's future (awaitable via
+    ``asyncio.wrap_future``); :meth:`finish` normalizes the two-part
+    result, absorbing worker telemetry into ``collector`` so the daemon
+    registry stays the single pane of glass.  A broken pool (a worker
+    died mid-request) is rebuilt transparently; the in-flight request
+    gets a structured error instead of a hung future.
+    """
+
+    def __init__(self, workers: int, collector=None) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if workers < 1:
+            raise ValueError(f"pool needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self.collector = collector
+        self._executor = ProcessPoolExecutor(max_workers=workers)
+        self._closed = False
+
+    def submit(self, payload: dict[str, Any]):
+        obs_env = self.collector.envelope() if self.collector is not None else None
+        return self._executor.submit(pool_diff_task, payload, obs_env)
+
+    def finish(self, future) -> dict[str, Any]:
+        """Resolve one submitted future into its ``result`` dict."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            out = future.result()
+        except BrokenProcessPool:
+            self._rebuild()
+            return {
+                "ok": False,
+                "error": "diff worker died (process pool rebuilt)",
+                "error_type": "BrokenProcessPool",
+            }
+        if self.collector is not None:
+            self.collector.absorb(out.get("telemetry"))
+        return out["result"]
+
+    def _rebuild(self) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if OBS.enabled:
+            _metrics().counter("repro.server.pool.rebuilds").inc()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if not self._closed:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=not wait)

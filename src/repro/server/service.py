@@ -1,0 +1,354 @@
+"""Transport-independent request handling for the diff daemon.
+
+:class:`ReproService` is the single implementation both front ends
+(HTTP in :mod:`repro.server.httpd`, JSONL-over-stdio in
+:mod:`repro.server.stdio`) delegate to: a table of named operations over
+the content-addressed :class:`~repro.server.store.TreeStore`, each
+taking and returning plain JSON-ready dicts.
+
+Handlers are synchronous and thread-safe; the asyncio front ends run
+them on executor threads.  Every request executes under a
+``repro.server.request`` span opened with *no* inherited trace context,
+so when tracing is enabled each request is the root of its own causal
+trace (its pool-side diff spans join that trace through the obs
+envelope's resample point — exactly the batch pool's propagation
+protocol).  Heavy diff work goes to the worker pool when one is
+configured; otherwise it runs inline under the compute lock (tree
+state is shared immutable structure, but per-diff node state means at
+most one in-process diff at a time).
+
+Errors are :class:`ServiceError` values with a stable ``code`` that the
+front ends map to a status (HTTP 400/404/409/503, stdio ``ok=false``):
+unknown fingerprints are ``not_found``, malformed requests are
+``bad_request``, rejected patches and merge conflicts are ``conflict``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.core import PatchError, tnode_to_mtree
+from repro.core.serialize import SerializationError, script_from_json
+from repro.observability import (
+    OBS,
+    TelemetryCollector,
+    metrics as _metrics,
+    span as _span,
+    take_spans,
+)
+
+from .pool import DiffPool, diff_trees
+from .store import StoredTree, StoreError, TreeStore, UnknownFingerprint
+
+#: ServiceError codes -> HTTP status (the stdio front end ships the code).
+ERROR_STATUS = {
+    "bad_request": 400,
+    "not_found": 404,
+    "conflict": 409,
+    "unavailable": 503,
+    "internal": 500,
+}
+
+
+class ServiceError(Exception):
+    """A structured request failure: stable code + one-line message."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code if code in ERROR_STATUS else "internal"
+        self.message = message
+
+    @property
+    def status(self) -> int:
+        return ERROR_STATUS[self.code]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"code": self.code, "message": self.message}
+
+
+def _python_sigs():
+    from repro.adapters.pyast import python_grammar
+
+    return python_grammar().grammar.sigs
+
+
+def _parse_script(value: Any, what: str = "script"):
+    """A truechange script from a request value: raw JSON text or the
+    parsed JSON value (both wire forms round-trip through the strict
+    serializer)."""
+    if value is None:
+        raise ServiceError("bad_request", f"missing {what!r}")
+    text = value if isinstance(value, str) else json.dumps(value)
+    try:
+        return script_from_json(text)
+    except SerializationError as exc:
+        raise ServiceError("bad_request", f"{what}: {exc}") from None
+
+
+class ReproService:
+    """The daemon's operation table; one instance per daemon."""
+
+    def __init__(
+        self,
+        store: Optional[TreeStore] = None,
+        workers: int = 0,
+        collector: Optional[TelemetryCollector] = None,
+    ) -> None:
+        self.store = store if store is not None else TreeStore()
+        self.collector = (
+            collector if collector is not None else TelemetryCollector()
+        )
+        self.pool = DiffPool(workers, self.collector) if workers > 0 else None
+        self._compute_lock = threading.Lock()
+        self._started = time.time()
+        self._requests = 0
+        self._errors = 0
+        self._sigs = None
+        self._ops: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
+            "put_tree": self._op_put_tree,
+            "list_trees": self._op_list_trees,
+            "diff": self._op_diff,
+            "apply": self._op_apply,
+            "lint": self._op_lint,
+            "verify": self._op_verify,
+            "merge": self._op_merge,
+            "health": self._op_health,
+        }
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def handle(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
+        """Execute one operation; raises :class:`ServiceError` on failure.
+
+        Runs under a fresh-rooted ``repro.server.request`` span (one
+        trace per request) and keeps the request counters.
+        """
+        handler = self._ops.get(op)
+        if handler is None:
+            raise ServiceError("bad_request", f"unknown operation {op!r}")
+        if not isinstance(params, dict):
+            raise ServiceError("bad_request", "request parameters must be an object")
+        self._requests += 1
+        if OBS.enabled:
+            _metrics().counter("repro.server.requests").inc()
+            _metrics().counter(f"repro.server.requests.{op}").inc()
+        with _span("repro.server.request", {"op": op}) as sp:
+            try:
+                return handler(params)
+            except ServiceError as exc:
+                sp.set_status("error", exc.code)
+                self._errors += 1
+                if OBS.enabled:
+                    _metrics().counter("repro.server.request_errors").inc()
+                raise
+            except Exception as exc:
+                sp.set_status("error", type(exc).__name__)
+                self._errors += 1
+                if OBS.enabled:
+                    _metrics().counter("repro.server.request_errors").inc()
+                raise ServiceError(
+                    "internal",
+                    f"{type(exc).__name__}: "
+                    + " ".join((str(exc) or "").split()),
+                ) from exc
+
+    # ------------------------------------------------------------------
+    # tree resolution
+
+    def _resolve_tree(self, params: dict[str, Any], key: str) -> tuple[StoredTree, bool]:
+        """A request tree reference: a fingerprint string (store lookup)
+        or an inline ``{"source": ..., "filename": ...}`` object (parsed
+        and stored on the way through).  Returns ``(entry, was_cached)``."""
+        value = params.get(key)
+        if isinstance(value, str):
+            try:
+                return self.store.get(value), True
+            except UnknownFingerprint as exc:
+                raise ServiceError("not_found", str(exc)) from None
+        if isinstance(value, dict) and isinstance(value.get("source"), str):
+            try:
+                return self.store.put_source(
+                    value["source"], value.get("filename") or f"<{key}>"
+                )
+            except StoreError as exc:
+                raise ServiceError("bad_request", str(exc)) from None
+        raise ServiceError(
+            "bad_request",
+            f"{key!r} must be a fingerprint string or {{\"source\": ...}}",
+        )
+
+    # ------------------------------------------------------------------
+    # operations
+
+    def _op_put_tree(self, params: dict[str, Any]) -> dict[str, Any]:
+        source = params.get("source")
+        if not isinstance(source, str):
+            raise ServiceError("bad_request", "'source' must be a string")
+        try:
+            entry, cached = self.store.put_source(
+                source, params.get("filename") or "<uploaded>"
+            )
+        except StoreError as exc:
+            raise ServiceError("bad_request", str(exc)) from None
+        return {
+            "fingerprint": entry.fingerprint,
+            "nodes": entry.nodes,
+            "cached": cached,
+        }
+
+    def _op_list_trees(self, params: dict[str, Any]) -> dict[str, Any]:
+        return {"trees": self.store.list()}
+
+    def _op_diff(self, params: dict[str, Any]) -> dict[str, Any]:
+        before, b_cached = self._resolve_tree(params, "before")
+        after, a_cached = self._resolve_tree(params, "after")
+        if (
+            self.pool is not None
+            and before.source is not None
+            and after.source is not None
+        ):
+            result = self._pool_diff(before, after)
+        else:
+            with self._compute_lock:
+                result = diff_trees(before.tree, after.tree)
+        script_json = result.pop("script_json")
+        result.pop("ok", None)
+        out = {
+            "before": before.fingerprint,
+            "after": after.fingerprint,
+            "cached": {"before": b_cached, "after": a_cached},
+            "script": json.loads(script_json),
+            "script_json": script_json,
+        }
+        out.update(result)
+        return out
+
+    def _pool_diff(self, before: StoredTree, after: StoredTree) -> dict[str, Any]:
+        payload = {
+            "before": {
+                "fingerprint": before.fingerprint,
+                "source": before.source,
+                "filename": before.filename,
+            },
+            "after": {
+                "fingerprint": after.fingerprint,
+                "source": after.source,
+                "filename": after.filename,
+            },
+        }
+        result = self.pool.finish(self.pool.submit(payload))
+        if not result.get("ok"):
+            code = (
+                "unavailable"
+                if result.get("error_type") == "BrokenProcessPool"
+                else "internal"
+            )
+            raise ServiceError(code, result.get("error") or "diff failed")
+        return result
+
+    def _op_apply(self, params: dict[str, Any]) -> dict[str, Any]:
+        fingerprint = params.get("tree")
+        if not isinstance(fingerprint, str):
+            raise ServiceError("bad_request", "'tree' must be a fingerprint string")
+        script = _parse_script(params.get("script"))
+        commit = bool(params.get("commit", True))
+        with self._compute_lock:
+            try:
+                entry, cached, source = self.store.apply(fingerprint, script, commit)
+            except UnknownFingerprint as exc:
+                raise ServiceError("not_found", str(exc)) from None
+            except PatchError as exc:
+                # atomic semantics: the patch rolled back, the store is
+                # untouched; the client gets the structured rejection
+                raise ServiceError("conflict", f"patch rejected: {exc}") from None
+        return {
+            "tree": fingerprint,
+            "fingerprint": entry.fingerprint,
+            "nodes": entry.nodes,
+            "cached": cached,
+            "committed": commit,
+            "source": source,
+        }
+
+    def _op_lint(self, params: dict[str, Any]) -> dict[str, Any]:
+        from repro.analysis import lint_script, render_json
+
+        script = _parse_script(params.get("script"))
+        if self._sigs is None:
+            self._sigs = _python_sigs()
+        report = lint_script(script, self._sigs)
+        return json.loads(render_json(report))
+
+    def _op_verify(self, params: dict[str, Any]) -> dict[str, Any]:
+        from repro.robustness import check_tree
+
+        entry, _ = self._resolve_tree(params, "tree")
+        with self._compute_lock:
+            violations = check_tree(tnode_to_mtree(entry.tree), entry.tree.sigs)
+        return {
+            "fingerprint": entry.fingerprint,
+            "nodes": entry.nodes,
+            "ok": not violations,
+            "violations": [str(v) for v in violations],
+        }
+
+    def _op_merge(self, params: dict[str, Any]) -> dict[str, Any]:
+        from repro.core import merge_scripts
+        from repro.core.serialize import script_to_json
+
+        left = _parse_script(params.get("left"), "left")
+        right = _parse_script(params.get("right"), "right")
+        result = merge_scripts(left, right)
+        if not result.ok:
+            return {
+                "ok": False,
+                "conflicts": [str(c) for c in result.conflicts],
+            }
+        merged = script_to_json(result.script, indent=2)
+        return {
+            "ok": True,
+            "conflicts": [],
+            "edits": len(result.script),
+            "script": json.loads(merged),
+            "script_json": merged,
+        }
+
+    def _op_health(self, params: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self._started, 3),
+            "trees": len(self.store),
+            "requests": self._requests,
+            "errors": self._errors,
+            "workers": self.pool.workers if self.pool is not None else 0,
+        }
+
+    # ------------------------------------------------------------------
+    # observability surfaces
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition the ``/metrics`` endpoint serves —
+        the daemon registry with all absorbed worker deltas merged in."""
+        from repro.observability import prometheus_text, snapshot
+
+        if OBS.enabled:
+            # gauges merge last-write-wins across worker deltas; re-assert
+            # the authoritative store size at scrape time
+            _metrics().gauge("repro.server.store.trees").set(len(self.store))
+        return prometheus_text(snapshot())
+
+    def drain_spans(self) -> list[dict[str, Any]]:
+        """All span records collected since the last drain: the daemon's
+        own trace buffer plus everything workers shipped back."""
+        spans = list(self.collector.spans)
+        self.collector.spans = []
+        spans.extend(take_spans())
+        return spans
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.shutdown(wait=True)

@@ -1,0 +1,126 @@
+"""JSONL-over-stdio front end for the diff daemon.
+
+The embedding-friendly transport: an editor or build tool spawns
+``python -m repro serve --stdio`` and speaks one JSON object per line::
+
+    -> {"id": 1, "op": "put_tree", "source": "x = 1\\n"}
+    <- {"id": 1, "ok": true, "result": {"fingerprint": "...", ...}}
+    -> {"id": 2, "op": "diff", "before": "<fp>", "after": "<fp>"}
+    <- {"id": 2, "ok": true, "result": {"edits": 2, "script": [...], ...}}
+
+Operations are exactly :class:`~repro.server.service.ReproService`'s
+table (``put_tree``, ``list_trees``, ``diff``, ``apply``, ``lint``,
+``verify``, ``merge``, ``health``) plus the transport-level
+``shutdown``.  Failures come back in-band: ``{"id": ..., "ok": false,
+"error": {"code": ..., "message": ...}}`` — a malformed line gets an
+``id: null`` error response rather than killing the session.
+
+Requests are handled concurrently (each line spawns a task; responses
+are interleaved in completion order, which is why every request carries
+an ``id``).  EOF on stdin or a ``shutdown`` request drains in-flight
+work and exits — same semantics as the HTTP front end's ``/shutdown``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional, TextIO
+
+from .service import ReproService, ServiceError
+
+
+class ReproStdioServer:
+    """One JSONL session over a pair of text streams."""
+
+    def __init__(
+        self,
+        service: ReproService,
+        stdin: Optional[TextIO] = None,
+        stdout: Optional[TextIO] = None,
+    ) -> None:
+        self.service = service
+        self.stdin = stdin if stdin is not None else sys.stdin
+        self.stdout = stdout if stdout is not None else sys.stdout
+        workers = service.pool.workers if service.pool is not None else 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, workers * 2), thread_name_prefix="repro-stdio"
+        )
+        self._write_lock = asyncio.Lock()
+        self._inflight: set[asyncio.Task] = set()
+        self._closing = False
+
+    async def run(self) -> None:
+        """Serve until EOF or a ``shutdown`` request, then drain."""
+        loop = asyncio.get_running_loop()
+        while not self._closing:
+            line = await loop.run_in_executor(None, self.stdin.readline)
+            if not line:
+                break  # EOF: client closed the pipe
+            line = line.strip()
+            if not line:
+                continue
+            task = loop.create_task(self._serve_line(line))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+        if self._inflight:
+            await asyncio.wait(set(self._inflight))
+        self._executor.shutdown(wait=True)
+        self.service.close()
+
+    async def _serve_line(self, line: str) -> None:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            await self._write(
+                {
+                    "id": None,
+                    "ok": False,
+                    "error": {"code": "bad_request", "message": f"invalid JSON: {exc}"},
+                }
+            )
+            return
+        if not isinstance(request, dict):
+            await self._write(
+                {
+                    "id": None,
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": "each line must be a JSON object",
+                    },
+                }
+            )
+            return
+        rid = request.get("id")
+        op = request.get("op")
+        if op == "shutdown":
+            self._closing = True
+            await self._write({"id": rid, "ok": True, "result": {"draining": True}})
+            return
+        params = {k: v for k, v in request.items() if k not in ("id", "op")}
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._executor, self.service.handle, str(op), params
+            )
+        except ServiceError as exc:
+            await self._write({"id": rid, "ok": False, "error": exc.as_dict()})
+            return
+        await self._write({"id": rid, "ok": True, "result": result})
+
+    async def _write(self, response: dict[str, Any]) -> None:
+        text = json.dumps(response, sort_keys=True) + "\n"
+        async with self._write_lock:
+            self.stdout.write(text)
+            self.stdout.flush()
+
+
+async def run_stdio_daemon(
+    service: ReproService,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+) -> None:
+    await ReproStdioServer(service, stdin, stdout).run()

@@ -1,0 +1,223 @@
+"""Content-addressed tree store: parse once, diff many times.
+
+The one-shot CLI re-parses both files on every ``repro diff`` — at the
+north-star scale (many diffs against few distinct documents) parsing
+dominates.  The store turns the parsed artifacts into shared immutable
+state: each uploaded source is parsed once, canonicalized
+(:meth:`~repro.core.tree.TNode.with_canonical_uris`), flattened into a
+:class:`~repro.core.arena.TreeArena`, and filed under the sha256
+**tree fingerprint** (:func:`repro.robustness.tree_fingerprint` over the
+canonical :class:`~repro.core.mtree.MTree` state).  Clients submit
+sources once and from then on address trees by fingerprint.
+
+Content addressing is by *tree* content, not source bytes: two sources
+that parse to the same canonical tree (formatting, comments) share one
+entry — uploading the reformatted file is a cache hit and diffing the
+two fingerprints is the identity.  The fingerprint is exactly what the
+fault-injection harness compares for byte-identical rollback, so "same
+fingerprint" means "indistinguishable to every observer of the standard
+semantics".
+
+Mutation semantics mirror ``robustness/``'s transactional patching: the
+store never mutates an entry in place.  :meth:`TreeStore.apply` patches
+a *fresh* ``MTree`` built from the stored tree with
+``patch(atomic=True, verify=True)`` — any failure rolls the scratch tree
+back and leaves the store untouched — and only a verified result is
+inserted, under its own (new) fingerprint.  Entries are immutable after
+insert; capacity is bounded by LRU eviction.
+
+All methods are thread-safe (the asyncio front ends call them from
+executor threads).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.core import TNode, tnode_to_mtree
+from repro.observability import OBS, metrics as _metrics
+
+
+class StoreError(Exception):
+    """A store-level request problem (unknown fingerprint, parse failure)."""
+
+
+class UnknownFingerprint(StoreError):
+    def __init__(self, fingerprint: str) -> None:
+        super().__init__(f"unknown tree fingerprint: {fingerprint}")
+        self.fingerprint = fingerprint
+
+
+class StoredTree:
+    """One immutable store entry: source text + parsed canonical tree.
+
+    ``tree`` has canonical pre-order URIs (1..size), so scripts produced
+    against it are meaningful to any process that re-parses the same
+    source — the same contract as the CLI's ``diff``/``apply``.  The
+    arena column form is materialized lazily on first use and cached.
+    """
+
+    __slots__ = ("fingerprint", "source", "filename", "tree", "nodes", "_arena", "_lock")
+
+    def __init__(
+        self, fingerprint: str, source: Optional[str], filename: str, tree: TNode
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.source = source
+        self.filename = filename
+        self.tree = tree
+        self.nodes = tree.size
+        self._arena = None
+        self._lock = threading.Lock()
+
+    def arena(self):
+        """The entry's :class:`~repro.core.arena.TreeArena` (lazy, cached)."""
+        with self._lock:
+            if self._arena is None:
+                from repro.core.arena import TreeArena
+
+                self._arena = TreeArena.from_tree(self.tree, strict=True)
+            return self._arena
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "filename": self.filename,
+            "nodes": self.nodes,
+        }
+
+
+def fingerprint_tree(tree: TNode) -> str:
+    """The store key of a canonical tree: sha256 over its MTree state."""
+    from repro.robustness import tree_fingerprint
+
+    return tree_fingerprint(tnode_to_mtree(tree))
+
+
+class TreeStore:
+    """Bounded, thread-safe, content-addressed map of parsed trees.
+
+    Counters (under ``repro.server.store.``): ``parses`` (sources parsed
+    — flat across repeated uploads and all fingerprint-addressed
+    requests, the "no re-parse" evidence the smoke gate scrapes),
+    ``puts`` (new entries), ``dups`` (uploads that were already
+    present), ``hits``/``misses`` (fingerprint lookups), ``evictions``,
+    and the ``trees`` gauge.
+    """
+
+    def __init__(self, max_trees: int = 1024) -> None:
+        if max_trees < 1:
+            raise ValueError(f"max_trees must be >= 1, got {max_trees}")
+        self.max_trees = max_trees
+        self._lock = threading.RLock()
+        #: insertion/touch order is LRU order (dicts preserve insertion).
+        self._trees: dict[str, StoredTree] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._trees)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._trees
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if OBS.enabled:
+            _metrics().counter(f"repro.server.store.{name}").inc(n)
+
+    def _gauge(self) -> None:
+        if OBS.enabled:
+            _metrics().gauge("repro.server.store.trees").set(len(self._trees))
+
+    def put_source(self, source: str, filename: str = "<uploaded>") -> tuple[StoredTree, bool]:
+        """Parse ``source`` and insert it; returns ``(entry, was_cached)``.
+
+        Raises :class:`StoreError` for unparseable input.  An upload
+        whose tree is already stored returns the existing entry
+        (``was_cached=True``) — the parse it paid is the price of
+        discovering the fingerprint; fingerprint-addressed requests
+        never parse.
+        """
+        from repro.adapters.pyast import parse_python
+
+        self._count("parses")
+        try:
+            tree = parse_python(source, filename).with_canonical_uris()
+        except SyntaxError as exc:
+            where = f" (line {exc.lineno})" if exc.lineno else ""
+            raise StoreError(
+                f"{filename}: {exc.msg or 'invalid syntax'}{where}"
+            ) from None
+        except ValueError as exc:  # e.g. null bytes in source
+            raise StoreError(f"{filename}: {exc}") from None
+        return self._insert(tree, source, filename)
+
+    def put_tree(
+        self, tree: TNode, source: Optional[str] = None, filename: str = "<patched>"
+    ) -> tuple[StoredTree, bool]:
+        """Insert an already-parsed canonical tree (e.g. an apply result)."""
+        return self._insert(tree, source, filename)
+
+    def _insert(
+        self, tree: TNode, source: Optional[str], filename: str
+    ) -> tuple[StoredTree, bool]:
+        fp = fingerprint_tree(tree)
+        with self._lock:
+            existing = self._trees.get(fp)
+            if existing is not None:
+                self._trees[fp] = self._trees.pop(fp)  # refresh LRU position
+                self._count("dups")
+                return existing, True
+            entry = StoredTree(fp, source, filename, tree)
+            self._trees[fp] = entry
+            while len(self._trees) > self.max_trees:
+                evicted = next(iter(self._trees))
+                del self._trees[evicted]
+                self._count("evictions")
+            self._count("puts")
+            self._gauge()
+            return entry, False
+
+    def get(self, fingerprint: str) -> StoredTree:
+        """Look an entry up by fingerprint; raises :class:`UnknownFingerprint`."""
+        with self._lock:
+            entry = self._trees.get(fingerprint)
+            if entry is None:
+                self._count("misses")
+                raise UnknownFingerprint(fingerprint)
+            self._trees[fingerprint] = self._trees.pop(fingerprint)
+            self._count("hits")
+            return entry
+
+    def list(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [entry.describe() for entry in self._trees.values()]
+
+    def apply(
+        self, fingerprint: str, script, commit: bool = True
+    ) -> tuple[StoredTree, bool, str]:
+        """Atomically patch a stored tree; returns ``(entry, was_cached, source)``.
+
+        The script is applied to a scratch ``MTree`` with the full
+        transactional machinery (pre-flight typecheck, undo journal,
+        post-verify); a rejected patch raises
+        :class:`~repro.core.PatchError` with the store unchanged.  On
+        success the patched tree is unparsed and — with ``commit`` —
+        inserted under its own fingerprint (the store being
+        content-addressed, a "mutation" is always a new entry).
+        """
+        base = self.get(fingerprint)
+        mtree = tnode_to_mtree(base.tree)
+        # PatchError propagates to the service layer; atomic => the
+        # scratch tree rolled back and the store was never touched.
+        mtree.patch(script, atomic=True, sigs=base.tree.sigs, verify=True)
+        from repro.adapters.pyast import python_grammar, unparse_python
+
+        g = python_grammar()
+        rebuilt = g.grammar.parse_tuple(mtree.to_tuple()).with_canonical_uris()
+        source = unparse_python(rebuilt)
+        if not commit:
+            return StoredTree(fingerprint_tree(rebuilt), source, base.filename, rebuilt), False, source
+        entry, was_cached = self.put_tree(rebuilt, source, base.filename)
+        return entry, was_cached, source

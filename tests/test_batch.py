@@ -448,3 +448,67 @@ class TestBatchCLI:
         snap = json.loads(payload)
         assert snap["counters"]["repro.batch.pairs"] == 4
         assert snap["counters"]["repro.batch.failures"] == 1
+
+
+# -- per-pair deadlines off the POSIX main thread -------------------------
+
+
+class TestOffMainThreadFence:
+    """The SIGALRM fence only works on the process's main thread; off it
+    (a server driving ``run_chunk`` from an executor thread) the budget
+    used to be silently skipped, letting a pathological pair run
+    unbounded.  Those callers now get the wall-clock thread guard."""
+
+    def test_fence_selection(self):
+        import threading
+
+        from repro.batch import worker as w
+
+        assert w._pick_fence(None) is None
+        assert w._pick_fence(0) is None
+        assert w._pick_fence(-1) is None
+        # pytest runs tests on the POSIX main thread: the cheap alarm
+        assert w._pick_fence(1.0) == "alarm"
+        seen: dict = {}
+        t = threading.Thread(
+            target=lambda: seen.update(fence=w._pick_fence(1.0))
+        )
+        t.start()
+        t.join(10)
+        assert seen["fence"] == "thread"
+
+    def test_timeout_enforced_off_main_thread(self):
+        import threading
+
+        out: dict = {}
+
+        def run() -> None:
+            out["rows"] = run_chunk(
+                [("slow-before", "slow-after")], timeout_s=0.2, pair_fn=sleepy_fn
+            )
+
+        t = threading.Thread(target=run)
+        started = time.time()
+        t.start()
+        t.join(30)
+        assert not t.is_alive(), "off-main-thread chunk never returned"
+        # the budget was enforced, not skipped: the 10s sleeper was cut
+        # off at ~0.2s and reported as a structured timeout row
+        assert time.time() - started < 8
+        (row,) = out["rows"]
+        assert row["status"] == "error"
+        assert row["error_kind"] == "timeout"
+        assert "wall-clock guard" in row["error"]
+
+    def test_thread_guard_propagates_pair_errors(self):
+        import threading
+
+        from repro.batch.worker import _call_with_thread_guard
+
+        def boom(before: str, after: str) -> dict:
+            raise RuntimeError("pair exploded")
+
+        with pytest.raises(RuntimeError, match="pair exploded"):
+            _call_with_thread_guard(boom, "b", "a", 5.0)
+        # and a well-behaved pair's row comes back intact
+        assert _call_with_thread_guard(_ok_row, "b", "a", 5.0)["status"] == "ok"

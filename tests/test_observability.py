@@ -306,6 +306,38 @@ class TestDiffInstrumentation:
         # flat-engine sessions never touch the object path's id cache
         assert not c.get("repro.session.id_cache_misses")
 
+    def test_flat_session_rebuild_fallback_is_distinguishable(self, monkeypatch):
+        """Losing arena sync mid-roll falls back to a full rebuild; the
+        ``arena_rebuilds`` counter (vs ``arena_rolls``) is what makes the
+        degraded path visible, and the session must stay correct after."""
+        from repro.core import arena as arena_mod
+
+        e = EXP
+        session = DiffSession(e.Add(e.Num(1), e.Num(2)), urigen=URIGen(10**8))
+        obs.enable()
+        session.diff(e.Add(e.Num(5), e.Num(2)))  # healthy roll-forward
+
+        real_apply = arena_mod.TreeArena.apply_patch
+        calls = {"broken": 0}
+
+        def broken_apply(self, script, fresh):
+            calls["broken"] += 1
+            raise arena_mod.ArenaError("injected roll-forward desync")
+
+        monkeypatch.setattr(arena_mod.TreeArena, "apply_patch", broken_apply)
+        script, patched = session.diff(e.Add(e.Num(5), e.Num(9)))
+        assert script and patched.size == session.tree.size
+        monkeypatch.setattr(arena_mod.TreeArena, "apply_patch", real_apply)
+        # the rebuilt arena is consistent: the next diff rolls normally
+        session.diff(e.Add(e.Num(7), e.Num(9)))
+        obs.disable()
+        c = obs.snapshot()["counters"]
+        assert calls["broken"] == 1
+        assert c["repro.session.diffs"] == 3
+        # exactly one rebuild, and rolls/rebuilds partition the diffs
+        assert c["repro.session.arena_rebuilds"] == 1
+        assert c["repro.session.arena_rolls"] == 2
+
 
 class TestIncrementalInstrumentation:
     def test_driver_and_engine_metrics(self):

@@ -1,0 +1,520 @@
+"""Tests for the diff daemon (``repro.server``): the content-addressed
+tree store, the transport-independent service, the HTTP and stdio front
+ends, the CLI client mode, and — above all — the differential contract
+that a server diff is byte-identical to one-shot ``repro diff --json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import threading
+
+import pytest
+
+from repro import observability as obs
+from repro.__main__ import main
+from repro.observability import TelemetryCollector
+from repro.server import (
+    ClientError,
+    ReproHTTPServer,
+    ReproService,
+    ReproStdioServer,
+    ServerClient,
+    ServiceError,
+    StoreError,
+    TreeStore,
+    UnknownFingerprint,
+    diff_trees,
+    fingerprint_tree,
+)
+
+BEFORE = "def f(x):\n    return x + 1\n"
+AFTER = "def f(x, y=0):\n    return x + y\n"
+# same canonical tree as BEFORE (a trailing blank line is not an AST)
+BEFORE_REFORMATTED = "def f(x):\n    return x + 1\n\n"
+
+
+@pytest.fixture
+def files(tmp_path):
+    before = tmp_path / "before.py"
+    after = tmp_path / "after.py"
+    before.write_text(BEFORE)
+    after.write_text(AFTER)
+    return before, after
+
+
+def cli_diff_json(capsys, before, after) -> str:
+    """The one-shot CLI's stdout for a pair — the byte-identity oracle."""
+    assert main(["diff", str(before), str(after), "--json"]) == 0
+    return capsys.readouterr().out
+
+
+# -- content-addressed store ----------------------------------------------
+
+
+class TestTreeStore:
+    def test_put_get_roundtrip(self):
+        store = TreeStore()
+        entry, cached = store.put_source(BEFORE, "a.py")
+        assert not cached
+        assert entry.nodes == entry.tree.size > 0
+        assert store.get(entry.fingerprint) is entry
+        assert entry.fingerprint in store
+        assert len(store) == 1
+
+    def test_fingerprint_is_stable_and_content_addressed(self):
+        store = TreeStore()
+        entry, _ = store.put_source(BEFORE, "a.py")
+        # same source again: a dup, not a second entry
+        again, cached = store.put_source(BEFORE, "b.py")
+        assert cached and again is entry
+        # a reformatted source with the same canonical tree shares the entry
+        reform, cached = store.put_source(BEFORE_REFORMATTED, "c.py")
+        assert cached and reform is entry
+        assert len(store) == 1
+        assert entry.fingerprint == fingerprint_tree(entry.tree)
+
+    def test_unknown_fingerprint_raises(self):
+        store = TreeStore()
+        with pytest.raises(UnknownFingerprint):
+            store.get("0" * 64)
+
+    def test_unparseable_source_raises_store_error(self):
+        store = TreeStore()
+        with pytest.raises(StoreError) as exc:
+            store.put_source("def broken(:\n", "bad.py")
+        assert "bad.py" in str(exc.value)
+        assert len(store) == 0
+
+    def test_lru_eviction_is_bounded_and_ordered(self):
+        store = TreeStore(max_trees=2)
+        a, _ = store.put_source("a = 1\n")
+        b, _ = store.put_source("b = 2\n")
+        store.get(a.fingerprint)  # touch a: b becomes the LRU victim
+        c, _ = store.put_source("c = 3\n")
+        assert len(store) == 2
+        assert a.fingerprint in store and c.fingerprint in store
+        assert b.fingerprint not in store
+
+    def test_apply_inserts_under_new_fingerprint(self):
+        from repro.core.serialize import script_from_json
+
+        store = TreeStore()
+        src, _ = store.put_source(BEFORE, "a.py")
+        dst, _ = store.put_source(AFTER, "a.py")
+        script = script_from_json(
+            diff_trees(src.tree, dst.tree)["script_json"]
+        )
+        entry, was_cached, source = store.apply(src.fingerprint, script)
+        # content addressing closes the loop: patching before with the
+        # diff yields exactly the after entry
+        assert entry.fingerprint == dst.fingerprint
+        assert was_cached  # dst was already stored
+        assert "y=0" in source or "y = 0" in source
+
+    def test_apply_is_atomic_on_rejected_script(self):
+        from repro.core import PatchError
+        from repro.core.serialize import script_from_json
+
+        store = TreeStore()
+        src, _ = store.put_source(BEFORE, "a.py")
+        other = TreeStore()
+        a, _ = other.put_source("x = 1\n")
+        b, _ = other.put_source("x = 2\n")
+        # a script minted against unrelated trees: its URIs don't exist
+        # in src, so the patch must be rejected...
+        alien = script_from_json(diff_trees(a.tree, b.tree)["script_json"])
+        fps = set(e["fingerprint"] for e in store.list())
+        with pytest.raises(PatchError):
+            store.apply(src.fingerprint, alien)
+        # ...and the store is untouched: same entries, same fingerprints
+        assert set(e["fingerprint"] for e in store.list()) == fps
+        assert store.get(src.fingerprint) is src
+
+
+# -- transport-independent service ----------------------------------------
+
+
+class TestReproService:
+    def test_diff_matches_cli_byte_for_byte(self, files, capsys):
+        before, after = files
+        cli_out = cli_diff_json(capsys, before, after)
+        service = ReproService()
+        result = service.handle(
+            "diff",
+            {
+                "before": {"source": BEFORE, "filename": str(before)},
+                "after": {"source": AFTER, "filename": str(after)},
+            },
+        )
+        assert result["script_json"] + "\n" == cli_out
+        assert result["edits"] == len(result["script"]["edits"])
+
+    def test_diff_by_fingerprint_and_cached_flags(self):
+        service = ReproService()
+        fp_b = service.handle("put_tree", {"source": BEFORE})["fingerprint"]
+        fp_a = service.handle("put_tree", {"source": AFTER})["fingerprint"]
+        result = service.handle("diff", {"before": fp_b, "after": fp_a})
+        assert result["before"] == fp_b and result["after"] == fp_a
+        assert result["cached"] == {"before": True, "after": True}
+
+    def test_put_tree_dedups(self):
+        service = ReproService()
+        first = service.handle("put_tree", {"source": BEFORE})
+        again = service.handle("put_tree", {"source": BEFORE_REFORMATTED})
+        assert not first["cached"] and again["cached"]
+        assert first["fingerprint"] == again["fingerprint"]
+        trees = service.handle("list_trees", {})["trees"]
+        assert [t["fingerprint"] for t in trees] == [first["fingerprint"]]
+
+    def test_apply_round_trips_to_after_fingerprint(self):
+        service = ReproService()
+        fp_b = service.handle("put_tree", {"source": BEFORE})["fingerprint"]
+        fp_a = service.handle("put_tree", {"source": AFTER})["fingerprint"]
+        script = service.handle("diff", {"before": fp_b, "after": fp_a})[
+            "script_json"
+        ]
+        applied = service.handle("apply", {"tree": fp_b, "script": script})
+        assert applied["fingerprint"] == fp_a
+
+    def test_errors_carry_stable_codes(self):
+        service = ReproService()
+        with pytest.raises(ServiceError) as exc:
+            service.handle("nonsense", {})
+        assert exc.value.code == "bad_request" and exc.value.status == 400
+        with pytest.raises(ServiceError) as exc:
+            service.handle("diff", {"before": "f" * 64, "after": "f" * 64})
+        assert exc.value.code == "not_found" and exc.value.status == 404
+        with pytest.raises(ServiceError) as exc:
+            service.handle(
+                "put_tree", {"source": "def broken(:\n", "filename": "x.py"}
+            )
+        assert exc.value.code == "bad_request"
+
+    def test_rejected_patch_is_conflict_and_store_unchanged(self):
+        service = ReproService()
+        fp = service.handle("put_tree", {"source": BEFORE})["fingerprint"]
+        alien = diff_trees(
+            service.store.put_source("x = 1\n")[0].tree,
+            service.store.put_source("x = 2\n")[0].tree,
+        )["script_json"]
+        stored = len(service.store)
+        with pytest.raises(ServiceError) as exc:
+            service.handle("apply", {"tree": fp, "script": alien})
+        assert exc.value.code == "conflict" and exc.value.status == 409
+        assert len(service.store) == stored
+
+    def test_merge_and_verify_and_health(self):
+        service = ReproService()
+        fp_b = service.handle("put_tree", {"source": BEFORE})["fingerprint"]
+        fp_a = service.handle("put_tree", {"source": AFTER})["fingerprint"]
+        script = service.handle("diff", {"before": fp_b, "after": fp_a})[
+            "script_json"
+        ]
+        empty = service.handle("diff", {"before": fp_b, "after": fp_b})[
+            "script_json"
+        ]
+        merged = service.handle("merge", {"left": script, "right": empty})
+        assert merged["ok"] and merged["conflicts"] == []
+        assert merged["edits"] >= 1
+        # two copies of the same change do collide: a structured conflict
+        collided = service.handle("merge", {"left": script, "right": script})
+        assert not collided["ok"] and collided["conflicts"]
+        verified = service.handle("verify", {"tree": fp_b})
+        assert verified["ok"] and verified["violations"] == []
+        health = service.handle("health", {})
+        assert health["status"] == "ok" and health["trees"] == 2
+
+    def test_pool_diff_matches_inline(self):
+        """A pool-backed daemon returns the same bytes the inline path
+        computes — the cross-process half of the differential contract."""
+        inline = ReproService()
+        expected = inline.handle(
+            "diff",
+            {"before": {"source": BEFORE}, "after": {"source": AFTER}},
+        )["script_json"]
+        pooled = ReproService(workers=1, collector=TelemetryCollector())
+        try:
+            result = pooled.handle(
+                "diff",
+                {"before": {"source": BEFORE}, "after": {"source": AFTER}},
+            )
+            assert result["script_json"] == expected
+        finally:
+            pooled.close()
+
+
+# -- HTTP front end --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """An in-process HTTP daemon on an ephemeral port, obs enabled."""
+    obs.reset()
+    obs.reset_tracing()
+    obs.enable()
+    obs.enable_tracing()
+    service = ReproService(
+        TreeStore(max_trees=64), workers=0, collector=TelemetryCollector(trace=True)
+    )
+    box: dict = {}
+    ready = threading.Event()
+
+    def run() -> None:
+        async def go() -> None:
+            server = ReproHTTPServer(service, "127.0.0.1", 0)
+            await server.start()
+            box["port"] = server.port
+            ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(go())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(30), "daemon never came up"
+    client = ServerClient(f"http://127.0.0.1:{box['port']}")
+    yield client, service
+    try:
+        client.shutdown()
+    except ClientError:
+        pass
+    thread.join(30)
+    obs.disable_tracing()
+    obs.reset_tracing()
+    obs.disable()
+    obs.reset()
+
+
+class TestHTTPDaemon:
+    def test_diff_raw_is_byte_identical_to_cli(self, daemon, files, capsys):
+        client, _ = daemon
+        before, after = files
+        cli_out = cli_diff_json(capsys, before, after)
+        fp_b = client.put_tree(BEFORE, str(before))["fingerprint"]
+        fp_a = client.put_tree(AFTER, str(after))["fingerprint"]
+        raw = client.diff_raw(fp_b, fp_a)
+        assert raw.decode("utf8") == cli_out
+
+    def test_structured_diff_and_health(self, daemon):
+        client, _ = daemon
+        fp_b = client.put_tree(BEFORE)["fingerprint"]
+        fp_a = client.put_tree(AFTER)["fingerprint"]
+        result = client.diff(fp_b, fp_a)
+        assert result["edits"] >= 1
+        assert json.dumps(result["script"])  # JSON-clean
+        health = client.health()
+        assert health["status"] == "ok" and health["trees"] >= 2
+
+    def test_error_statuses(self, daemon):
+        client, _ = daemon
+        with pytest.raises(ClientError) as exc:
+            client.diff("e" * 64, "e" * 64)
+        assert exc.value.status == 404 and exc.value.code == "not_found"
+        with pytest.raises(ClientError) as exc:
+            client.put_tree("def broken(:\n", "bad.py")
+        assert exc.value.status == 400 and exc.value.code == "bad_request"
+
+    def test_metrics_exposition_is_scrapeable(self, daemon):
+        client, _ = daemon
+        client.health()  # at least one counted request
+        text = client.metrics()
+        assert "repro_server_requests_total" in text
+        assert "repro_server_store_trees" in text
+        # the store gauge is authoritative at scrape time
+        for line in text.splitlines():
+            if line.startswith("repro_server_store_trees "):
+                _, service = daemon
+                assert float(line.split()[1]) == len(service.store)
+                break
+        else:
+            pytest.fail("store gauge missing from exposition")
+
+    def test_trace_has_one_trace_per_request(self, daemon):
+        client, _ = daemon
+        client.health()
+        client.health()
+        doc = client.trace()
+        events = [
+            e
+            for e in doc.get("traceEvents", [])
+            if e.get("ph") == "X" and e.get("name") == "repro.server.request"
+        ]
+        assert len(events) >= 2
+
+    def test_concurrent_diffs_are_identical(self, daemon):
+        client, _ = daemon
+        fp_b = client.put_tree(BEFORE)["fingerprint"]
+        fp_a = client.put_tree(AFTER)["fingerprint"]
+        expected = client.diff_raw(fp_b, fp_a)
+        n = 32
+        results: list = [None] * n
+
+        def one(i: int) -> None:
+            try:
+                results[i] = client.diff_raw(fp_b, fp_a)
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                results[i] = exc
+
+        threads = [threading.Thread(target=one, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        assert all(r == expected for r in results)
+
+    def test_repeat_requests_do_not_reparse(self, daemon):
+        client, _ = daemon
+        fp_b = client.put_tree(BEFORE)["fingerprint"]
+        fp_a = client.put_tree(AFTER)["fingerprint"]
+
+        def parses() -> float:
+            for line in client.metrics().splitlines():
+                if line.startswith("repro_server_store_parses_total "):
+                    return float(line.split()[1])
+            return 0.0
+
+        baseline = parses()
+        client.diff_raw(fp_b, fp_a)
+        client.diff_raw(fp_b, fp_a)
+        assert parses() == baseline
+
+
+def test_graceful_shutdown_drains() -> None:
+    service = ReproService()
+    box: dict = {}
+    ready = threading.Event()
+
+    def run() -> None:
+        async def go() -> None:
+            server = ReproHTTPServer(service, "127.0.0.1", 0)
+            await server.start()
+            box["port"] = server.port
+            ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(go())
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    assert ready.wait(30)
+    client = ServerClient(f"http://127.0.0.1:{box['port']}")
+    assert client.put_tree(BEFORE)["fingerprint"]
+    client.shutdown()
+    thread.join(30)
+    assert not thread.is_alive()
+    # the listener is gone: new requests are refused, not hung
+    with pytest.raises(ClientError):
+        ServerClient(client.base_url, timeout_s=5).health()
+
+
+# -- stdio front end -------------------------------------------------------
+
+
+class TestStdioDaemon:
+    def run_session(self, lines: list[dict]) -> list[dict]:
+        stdin = io.StringIO("".join(json.dumps(line) + "\n" for line in lines))
+        stdout = io.StringIO()
+        asyncio.run(ReproStdioServer(ReproService(), stdin, stdout).run())
+        return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+    def test_protocol_round_trip(self):
+        responses = self.run_session(
+            [
+                {"id": 1, "op": "put_tree", "source": BEFORE},
+                {"id": 2, "op": "put_tree", "source": AFTER},
+                {"id": 3, "op": "health"},
+            ]
+        )
+        by_id = {r["id"]: r for r in responses}
+        assert by_id[1]["ok"] and by_id[2]["ok"]
+        assert by_id[1]["result"]["fingerprint"] != by_id[2]["result"]["fingerprint"]
+        assert by_id[3]["result"]["trees"] == 2
+
+    def test_errors_are_in_band(self):
+        responses = self.run_session(
+            [
+                {"id": 7, "op": "diff", "before": "a" * 64, "after": "a" * 64},
+                {"id": 8, "op": "wat"},
+            ]
+        )
+        by_id = {r["id"]: r for r in responses}
+        assert not by_id[7]["ok"] and by_id[7]["error"]["code"] == "not_found"
+        assert not by_id[8]["ok"] and by_id[8]["error"]["code"] == "bad_request"
+
+    def test_malformed_line_does_not_kill_session(self):
+        stdin = io.StringIO(
+            "this is not json\n"
+            + json.dumps({"id": 1, "op": "health"})
+            + "\n"
+        )
+        stdout = io.StringIO()
+        asyncio.run(ReproStdioServer(ReproService(), stdin, stdout).run())
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert any(r["id"] is None and not r["ok"] for r in responses)
+        assert any(r["id"] == 1 and r["ok"] for r in responses)
+
+    def test_shutdown_request_ends_session(self):
+        responses = self.run_session([{"id": 1, "op": "shutdown"}])
+        assert responses == [
+            {"id": 1, "ok": True, "result": {"draining": True}}
+        ]
+
+
+# -- CLI client mode -------------------------------------------------------
+
+
+class TestClientMode:
+    def test_server_diff_json_matches_local(self, daemon, files, capsys):
+        client, _ = daemon
+        before, after = files
+        local = cli_diff_json(capsys, before, after)
+        assert (
+            main(
+                ["diff", str(before), str(after), "--json", "--server", client.base_url]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == local
+
+    def test_server_diff_prints_edits(self, daemon, files, capsys):
+        client, _ = daemon
+        before, after = files
+        assert main(["diff", str(before), str(after)]) == 0
+        local = capsys.readouterr().out
+        assert (
+            main(["diff", str(before), str(after), "--server", client.base_url])
+            == 0
+        )
+        assert capsys.readouterr().out == local
+
+    def test_server_diff_stats_reports_cache(self, daemon, files, capsys):
+        client, _ = daemon
+        before, after = files
+        assert (
+            main(
+                ["diff", str(before), str(after), "--stats", "--server", client.base_url]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "server diff" in err and "cached" in err
+
+    def test_client_mode_rejects_local_only_flags(self, daemon, files, capsys):
+        client, _ = daemon
+        before, after = files
+        rc = main(
+            ["diff", str(before), str(after), "--explain", "--server", client.base_url]
+        )
+        assert rc == 2
+        assert "client mode" in capsys.readouterr().err
+
+    def test_unreachable_server_is_a_cli_error(self, files, capsys):
+        before, after = files
+        rc = main(
+            ["diff", str(before), str(after), "--server", "http://127.0.0.1:9"]
+        )
+        assert rc == 2
+        assert "repro:" in capsys.readouterr().err

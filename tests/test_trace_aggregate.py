@@ -372,3 +372,60 @@ class TestTraceCLI:
         bad.write_text("hello\n")
         assert main(["trace", str(bad)]) == 2
         assert main(["trace", str(tmp_path / "missing.json")]) == 2
+
+
+# -- spill recovery: a worker killed mid-write ----------------------------
+
+
+class TestTruncatedSpill:
+    GOOD = {
+        "pid": 41,
+        "seq": 1,
+        "spans": [],
+        "metrics": {"counters": {"repro.test.spilled": 2}, "gauges": {}, "histograms": {}},
+        "dropped_spans": 0,
+    }
+
+    def _spill_with_torn_tail(self, tmp_path):
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        line = json.dumps(self.GOOD)
+        # a complete envelope, a non-envelope JSON value (a torn write
+        # that still happens to parse), and a half-written final line
+        (spill / "worker-41.jsonl").write_text(
+            line + "\n" + "42\n" + line[: len(line) // 2], encoding="utf8"
+        )
+        return spill
+
+    def test_read_skips_and_counts_bad_lines(self, tmp_path):
+        spill = self._spill_with_torn_tail(tmp_path)
+        stats: dict = {}
+        envelopes = read_spill_dir(str(spill), stats)
+        assert len(envelopes) == 1
+        assert envelopes[0]["pid"] == 41
+        assert stats["skipped_lines"] == 2
+        assert stats["skipped_files"] == 0
+
+    def test_absorb_spills_merges_survivors_and_counts_losses(self, tmp_path):
+        spill = self._spill_with_torn_tail(tmp_path)
+        obs.enable()
+        collector = TelemetryCollector(spill_dir=str(spill))
+        assert collector.absorb_spills() == 1
+        assert collector.spill_skipped == 2
+        assert collector.summary()["spill_skipped"] == 2
+        # the intact envelope really merged, torn tail notwithstanding
+        assert obs.snapshot()["counters"]["repro.test.spilled"] == 2
+        assert 41 in collector.per_worker
+        # idempotent: a second pass reads nothing and counts nothing new
+        assert collector.absorb_spills() == 0
+        assert collector.spill_skipped == 2
+
+    def test_clean_spill_counts_zero_skips(self, tmp_path):
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        (spill / "worker-41.jsonl").write_text(
+            json.dumps(self.GOOD) + "\n", encoding="utf8"
+        )
+        collector = TelemetryCollector(spill_dir=str(spill))
+        assert collector.absorb_spills() == 1
+        assert collector.summary()["spill_skipped"] == 0

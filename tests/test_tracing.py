@@ -4,6 +4,7 @@ records, timeline exporters, and the hardened sink formats."""
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -54,6 +55,86 @@ class TestParseSample:
     def test_rejects_zero(self):
         with pytest.raises(ValueError):
             obs.parse_sample(0)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "1/0",
+            "0",
+            "-3",
+            "1/-2",
+            "abc",
+            "1/abc",
+            "2/8",
+            "1/",
+            "0.5",
+            "1/2/3",
+            0,
+            -1,
+            1.5,
+            True,
+            [8],
+        ],
+    )
+    def test_malformed_specs_are_rejected(self, spec):
+        with pytest.raises(ValueError):
+            obs.parse_sample(spec)
+
+    def test_error_names_the_offending_value(self):
+        with pytest.raises(ValueError) as exc:
+            obs.parse_sample("1/0")
+        msg = str(exc.value)
+        assert "'1/0'" in msg
+        assert "expected a positive integer N or '1/N'" in msg
+        assert "\n" not in msg  # one-line CLI diagnostic
+
+    def test_env_sourced_error_names_obs_sample(self, monkeypatch):
+        monkeypatch.setenv("OBS_SAMPLE", "garbage")
+        with pytest.raises(ValueError) as exc:
+            obs.parse_sample(None)
+        msg = str(exc.value)
+        assert "OBS_SAMPLE" in msg and "'garbage'" in msg
+
+    def test_explicit_spec_does_not_blame_the_env(self, monkeypatch):
+        monkeypatch.setenv("OBS_SAMPLE", "1/4")
+        with pytest.raises(ValueError) as exc:
+            obs.parse_sample("bogus")
+        assert "OBS_SAMPLE" not in str(exc.value)
+
+    def test_whitespace_tolerated_in_valid_specs(self):
+        assert obs.parse_sample(" 1/8 ") == 8
+        assert obs.parse_sample("1 / 8") == 8
+
+    def test_cli_serve_rejects_bad_sample_with_exit_2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["serve", "--stdio", "--sample", "1/0"]) == 2
+        err = capsys.readouterr().err
+        assert "repro:" in err and "invalid sampling spec" in err
+
+    def test_cli_batch_trace_rejects_env_garbage_with_exit_2(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("OBS_SAMPLE", "1/zero")
+        from repro.__main__ import main
+
+        fixtures = Path(__file__).parent / "fixtures" / "batch"
+        rc = main(
+            [
+                "batch",
+                str(fixtures / "before"),
+                str(fixtures / "after"),
+                "--workers",
+                "1",
+                "--out",
+                str(tmp_path / "rows.jsonl"),
+                "--trace",
+                str(tmp_path / "trace.json"),
+            ]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "OBS_SAMPLE" in err and "'1/zero'" in err
 
 
 # -- span records and causality -------------------------------------------
