@@ -528,10 +528,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
         collector = obs.TelemetryCollector(trace=True, sample=args.sample)
     except ValueError as exc:
         raise CLIError("--sample", str(exc)) from None
+    if args.data_dir:
+        from repro.server.durable import DataDirLocked, DurableTreeStore
+
+        try:
+            store = DurableTreeStore(args.data_dir, max_trees=args.store_max)
+        except DataDirLocked as exc:
+            raise CLIError(args.data_dir, str(exc)) from None
+        except OSError as exc:
+            raise CLIError(args.data_dir, f"cannot open data dir: {exc}") from None
+        r = store.recovery
+        print(
+            f"repro: serve: recovered {r.snapshots_loaded} tree(s) and "
+            f"{r.applies_replayed} journaled apply(s) from {args.data_dir}"
+            + (f" ({len(r.problems)} damaged record(s) skipped)" if r.problems else ""),
+            file=sys.stderr,
+            flush=True,
+        )
+    else:
+        store = TreeStore(max_trees=args.store_max)
     service = ReproService(
-        TreeStore(max_trees=args.store_max),
+        store,
         workers=args.workers,
         collector=collector,
+        op_timeout_s=args.request_timeout or None,
     )
     try:
         if args.stdio:
@@ -547,7 +567,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     flush=True,
                 )
 
-            asyncio.run(run_http_daemon(service, args.host, args.port, ready))
+            asyncio.run(
+                run_http_daemon(
+                    service,
+                    args.host,
+                    args.port,
+                    ready,
+                    max_inflight=args.max_inflight,
+                    request_timeout_s=args.request_timeout or None,
+                    header_timeout_s=args.header_timeout,
+                )
+            )
     except KeyboardInterrupt:
         pass  # drain already handled by the signal path where available
     finally:
@@ -834,6 +864,37 @@ def main(argv: list[str] | None = None) -> int:
         metavar="1/N",
         help="head-sampling rate for per-request traces (default: OBS_SAMPLE "
         "from the environment, else record everything)",
+    )
+    p_serve.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="durable store directory: snapshots + write-ahead journal; "
+        "the daemon recovers its trees from DIR on startup",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shed POST operations beyond N concurrently executing "
+        "(503 + Retry-After; default 0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-operation deadline; a wedged diff worker is killed and "
+        "the request answered 503 (default 0 = no deadline)",
+    )
+    p_serve.add_argument(
+        "--header-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long a client may take to send its request head/body "
+        "before a 408 (default 30)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

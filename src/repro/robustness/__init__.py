@@ -25,7 +25,9 @@ from .faults import (
     Corruption,
     InjectedFault,
     corrupt_script,
+    flip_byte,
     inject_fault_at,
+    truncate_tail,
 )
 # NOTE: .harness is intentionally not imported here — it is the
 # ``python -m repro.robustness.harness`` entry point, and importing it from
@@ -57,7 +59,9 @@ __all__ = [
     "RollbackError",
     "check_tree",
     "corrupt_script",
+    "flip_byte",
     "inject_fault_at",
+    "truncate_tail",
     "linear_state_of",
     "patch_atomic",
     "preflight_check",

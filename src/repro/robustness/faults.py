@@ -21,6 +21,12 @@ Two orthogonal fault models:
 
 Both are pure and deterministic: the same seed produces the same faults,
 so every campaign scenario is replayable.
+
+A third, byte-level model serves the durable-server chaos campaign
+(:mod:`repro.server.chaos`): :func:`flip_byte` and :func:`truncate_tail`
+damage an opaque byte payload — a write-ahead journal segment, a
+snapshot file — the way a crashed disk or a torn write would, again
+seeded and replayable.
 """
 
 from __future__ import annotations
@@ -163,3 +169,30 @@ def corrupt_script(
     # kind == "truncate"
     cut = rng.randrange(len(edits))
     return Corruption(kind, f"truncated to first {cut} edit(s)", EditScript(edits[:cut]))
+
+
+def flip_byte(data: bytes, rng: random.Random) -> tuple[bytes, int]:
+    """Flip one seeded byte of ``data`` (XOR with a non-zero mask).
+
+    Returns ``(damaged, offset)``; empty input comes back unchanged with
+    offset ``-1``.  Models silent on-disk corruption of a journal
+    segment or snapshot file.
+    """
+    if not data:
+        return data, -1
+    offset = rng.randrange(len(data))
+    mask = rng.randrange(1, 256)
+    damaged = bytearray(data)
+    damaged[offset] ^= mask
+    return bytes(damaged), offset
+
+
+def truncate_tail(data: bytes, rng: random.Random, max_cut: int = 64) -> tuple[bytes, int]:
+    """Cut a seeded number of bytes (1..``max_cut``) off the tail of
+    ``data`` — a torn write from a crash mid-append.  Returns
+    ``(truncated, bytes_cut)``; empty input is unchanged with cut ``0``.
+    """
+    if not data:
+        return data, 0
+    cut = rng.randint(1, min(max_cut, len(data)))
+    return data[:-cut], cut

@@ -17,15 +17,31 @@ submit sources once, then address them by fingerprint.
   JSONL-over-stdio front ends, both with graceful drain-on-shutdown;
 * :mod:`repro.server.client` — a stdlib blocking client (the CLI's
   ``--server`` mode and the CI smoke gate);
+* :mod:`repro.server.durable` — the crash-safe store behind
+  ``--data-dir``: content-addressed snapshots plus a CRC-framed,
+  fsync'd write-ahead journal of applied scripts, with verified
+  replay-based recovery on startup;
 * :mod:`repro.server.smoke` — the end-to-end differential gate
   (``python -m repro.server.smoke``): server output byte-identical to
   the one-shot CLI, cache hits visible in ``/metrics``, ≥ 32 concurrent
-  requests, graceful shutdown drain.
+  requests, graceful shutdown drain;
+* :mod:`repro.server.chaos` — the seeded daemon chaos campaign
+  (``python -m repro.server.chaos``): kill -9 mid-apply, torn/flipped
+  journal bytes, wedged workers, slow-loris clients, overload — each
+  scenario asserting recovery to a verified store and byte-identical
+  diff answers.
 
 Start one with ``python -m repro serve`` (see the CLI docs).
 """
 
 from .client import ClientError, ServerClient
+from .durable import (
+    DataDirLocked,
+    DurableTreeStore,
+    RecoveryStats,
+    frame_record,
+    read_segment,
+)
 from .httpd import ReproHTTPServer, run_http_daemon
 from .pool import DiffPool, diff_trees, pool_diff_task
 from .service import ERROR_STATUS, ReproService, ServiceError
@@ -40,8 +56,11 @@ from .store import (
 
 __all__ = [
     "ClientError",
+    "DataDirLocked",
     "DiffPool",
+    "DurableTreeStore",
     "ERROR_STATUS",
+    "RecoveryStats",
     "ReproHTTPServer",
     "ReproService",
     "ReproStdioServer",
@@ -53,7 +72,9 @@ __all__ = [
     "UnknownFingerprint",
     "diff_trees",
     "fingerprint_tree",
+    "frame_record",
     "pool_diff_task",
+    "read_segment",
     "run_http_daemon",
     "run_stdio_daemon",
 ]

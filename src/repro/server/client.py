@@ -1,70 +1,178 @@
-"""A minimal blocking client for the HTTP daemon (stdlib urllib).
+"""A minimal blocking client for the HTTP daemon (stdlib http.client).
 
-Used by the CLI's client mode (``repro diff --server URL``) and the CI
-smoke gate; small enough that third parties can treat it as protocol
-documentation.  Raises :class:`ClientError` carrying the server's
-structured error payload for non-2xx responses.
+Used by the CLI's client mode (``repro diff --server URL``), the CI
+smoke gate, and the chaos campaign; small enough that third parties can
+treat it as protocol documentation.  Raises :class:`ClientError`
+carrying the server's structured error payload for non-2xx responses.
+
+Resilience: the client separates *connect* from *read* timeouts (a
+stuck daemon fails the request in bounded time instead of hanging the
+caller forever) and retries **idempotent** operations — diff, lint,
+verify, merge, health, uploads (content-addressed: re-sending a source
+is a no-op), reads — with capped exponential backoff plus jitter when
+the daemon sheds load (503) or the connection drops.  ``apply`` and
+``shutdown`` are never retried: a response lost after the server acted
+would make a blind resend a double-submission.  A 503's ``Retry-After``
+header, when present, sets the floor for the next delay.  Retries are
+counted under ``repro.server.client.retries``.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import random
+import socket
+import time
 from typing import Any, Optional
+from urllib.parse import urlsplit
+
+from repro.observability import OBS, metrics as _metrics
 
 
 class ClientError(Exception):
-    """A failed request: HTTP status plus the server's error payload."""
+    """A failed request: HTTP status plus the server's error payload.
 
-    def __init__(self, status: int, message: str, code: Optional[str] = None) -> None:
-        super().__init__(f"server returned {status}: {message}")
+    ``status == 0`` means the request never got an HTTP answer at all
+    (connection refused/reset, timeout).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        code: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        label = f"server returned {status}" if status else "request failed"
+        super().__init__(f"{label}: {message}")
         self.status = status
         self.message = message
         self.code = code
+        self.retry_after = retry_after
 
 
 class ServerClient:
-    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 60.0,
+        connect_timeout_s: Optional[float] = None,
+        retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.connect_timeout_s = (
+            connect_timeout_s if connect_timeout_s is not None else min(timeout_s, 10.0)
+        )
+        self.retries = max(0, retries)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self._rng = rng if rng is not None else random.Random()
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parts.scheme!r} (http only)")
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or 80
+        self._prefix = parts.path.rstrip("/")
 
     # ------------------------------------------------------------------
     # transport
 
+    def _once(
+        self, method: str, path: str, body: Optional[bytes], headers: dict[str, str]
+    ) -> tuple[int, bytes, Optional[str]]:
+        """One HTTP exchange: ``(status, body, Retry-After header)``."""
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.connect_timeout_s
+        )
+        try:
+            conn.connect()
+            if conn.sock is not None:
+                # connect bounded separately from the (longer) read wait
+                conn.sock.settimeout(self.timeout_s)
+            conn.request(method, self._prefix + path, body=body, headers=headers)
+            resp = conn.getresponse()
+            return resp.status, resp.read(), resp.getheader("Retry-After")
+        finally:
+            conn.close()
+
     def _request(
-        self, method: str, path: str, payload: Optional[dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict[str, Any]] = None,
+        idempotent: bool = True,
     ) -> bytes:
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             body = json.dumps(payload).encode("utf8")
             headers["Content-Type"] = "application/json"
-        req = urllib.request.Request(
-            self.base_url + path, data=body, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                return resp.read()
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+        err: ClientError
+        for attempt in range(self.retries + 1):
             try:
-                error = json.loads(raw.decode("utf8"))["error"]
-                message = error.get("message", raw.decode("utf8", "replace"))
-                code = error.get("code")
-            except Exception:
-                message, code = raw.decode("utf8", "replace").strip(), None
-            raise ClientError(exc.code, message, code) from None
-        except urllib.error.URLError as exc:
-            raise ClientError(0, f"cannot reach {self.base_url}: {exc.reason}") from None
+                status, data, retry_after = self._once(method, path, body, headers)
+            except (ConnectionError, socket.timeout, http.client.HTTPException, OSError) as exc:
+                reason = " ".join((str(exc) or type(exc).__name__).split())
+                err = ClientError(0, f"cannot reach {self.base_url}: {reason}")
+            else:
+                if status < 300:
+                    return data
+                err = self._error_from(status, data, retry_after)
+            retryable = idempotent and (err.status == 0 or err.status == 503)
+            if not retryable or attempt >= self.retries:
+                raise err
+            if OBS.enabled:
+                _metrics().counter("repro.server.client.retries").inc()
+            time.sleep(self._delay(attempt, err.retry_after))
+        raise err  # unreachable; loop always returns or raises
 
-    def _json(self, method: str, path: str, payload: Optional[dict] = None) -> Any:
-        return json.loads(self._request(method, path, payload).decode("utf8"))
+    def _error_from(
+        self, status: int, raw: bytes, retry_after_header: Optional[str]
+    ) -> ClientError:
+        try:
+            error = json.loads(raw.decode("utf8"))["error"]
+            message = error.get("message", raw.decode("utf8", "replace"))
+            code = error.get("code")
+        except Exception:
+            message, code = raw.decode("utf8", "replace").strip(), None
+        retry_after = None
+        if retry_after_header is not None:
+            try:
+                retry_after = float(retry_after_header)
+            except ValueError:
+                pass
+        return ClientError(status, message, code, retry_after)
+
+    def _delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        """Capped exponential backoff, floored by the server's
+        ``Retry-After`` (itself capped), then jittered to half-full."""
+        delay = min(self.backoff_max_s, self.backoff_base_s * (2**attempt))
+        if retry_after is not None and retry_after > 0:
+            delay = max(delay, min(retry_after, self.backoff_max_s))
+        return delay * (0.5 + 0.5 * self._rng.random())
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        idempotent: bool = True,
+    ) -> Any:
+        return json.loads(
+            self._request(method, path, payload, idempotent).decode("utf8")
+        )
 
     # ------------------------------------------------------------------
     # operations
 
     def put_tree(self, source: str, filename: str = "<uploaded>") -> dict[str, Any]:
+        # content-addressed: re-uploading the same source is a no-op,
+        # so the retry loop is safe here
         return self._json("POST", "/trees", {"source": source, "filename": filename})
 
     def list_trees(self) -> list[dict[str, Any]]:
@@ -81,8 +189,13 @@ class ServerClient:
         )
 
     def apply(self, tree: str, script: Any, commit: bool = True) -> dict[str, Any]:
+        # never retried: a lost response after a server-side commit
+        # would make a resend a double-submission
         return self._json(
-            "POST", "/apply", {"tree": tree, "script": script, "commit": commit}
+            "POST",
+            "/apply",
+            {"tree": tree, "script": script, "commit": commit},
+            idempotent=False,
         )
 
     def lint(self, script: Any) -> dict[str, Any]:
@@ -104,4 +217,4 @@ class ServerClient:
         return self._json("GET", f"/trace?format={fmt}")
 
     def shutdown(self) -> dict[str, Any]:
-        return self._json("POST", "/shutdown")
+        return self._json("POST", "/shutdown", idempotent=False)

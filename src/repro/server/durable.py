@@ -1,0 +1,571 @@
+"""Crash-safe durable tree store: snapshots + a write-ahead journal.
+
+The in-memory :class:`~repro.server.store.TreeStore` dies with the
+daemon: a crash, OOM-kill, or deploy restart loses every parsed tree
+and every applied patch.  :class:`DurableTreeStore` keeps the same
+content-addressed semantics but backs them with an on-disk layout under
+``--data-dir``::
+
+    data-dir/
+      LOCK                  # pidfile, flock'd by the live daemon
+      trees/<fp>.json       # content-addressed source snapshots
+      journal/wal-NNNNNN.log  # append-only CRC-framed apply records
+
+**Snapshots.**  Every *uploaded* source is written to
+``trees/<fingerprint>.json`` (tmp-file + ``os.replace`` + fsync) the
+first time its tree enters the store.  Snapshots are the ground truth
+for uploads: recovery re-parses each one and cross-checks the parsed
+tree's :func:`~repro.robustness.tree_fingerprint` against the filed
+fingerprint — a mismatch (bit rot, a hand-edited file) is
+skipped-and-counted, never fatal.
+
+**Journal.**  Every *applied* edit script is appended to the active
+journal segment as one CRC-framed record — ``<u32 length><u32 crc32>``
+header followed by a JSON payload carrying the base fingerprint, the
+truechange script, and the **expected** result fingerprint — and
+fsync'd *before* the patched tree is published to the in-memory store
+(write-ahead: an acknowledged apply is on disk).  Segments rotate at
+``segment_max_bytes``; when the sealed backlog exceeds
+``compact_total_bytes``, compaction snapshots every journal-derived
+tree and deletes the now-redundant segments.
+
+**Recovery** (on open) replays the layout in order: snapshots first,
+then every journal record through the full transactional machinery —
+``patch(atomic=True, verify=True)`` via :meth:`TreeStore.apply` — and
+cross-checks the recovered tree's fingerprint against the journaled
+expectation.  A torn tail record, a CRC mismatch, an unknown base, a
+rejected patch, or a fingerprint mismatch is skipped-and-counted
+(:class:`RecoveryStats`), never fatal; the active segment is truncated
+back to its last whole record so post-recovery appends stay readable.
+This is the paper's type-safety story doing operational work: replay is
+*verifiable* (every replayed script re-runs the linear typecheck and
+the integrity verifier) rather than hopeful.
+
+**Locking.**  One live daemon per data dir: the ``LOCK`` pidfile is
+held under ``fcntl.flock`` for the store's lifetime; a second open
+raises :class:`DataDirLocked` naming the owning pid (the CLI renders it
+as a one-line exit-2 diagnostic).
+
+Counters live under ``repro.server.durable.``; recovery runs under a
+``repro.server.durable.recovery`` span.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.core import PatchError, TNode
+from repro.core.serialize import SerializationError, script_from_json, script_to_json
+from repro.observability import OBS, metrics as _metrics, span as _span
+
+from .store import StoredTree, StoreError, TreeStore, UnknownFingerprint, fingerprint_tree
+
+
+class DataDirLocked(StoreError):
+    """The data dir is already owned by a live daemon."""
+
+    def __init__(self, path: Path, pid: str) -> None:
+        owner = f" (held by pid {pid})" if pid else ""
+        super().__init__(f"data dir already locked by a running daemon{owner}: {path.parent}")
+        self.path = path
+        self.pid = pid
+
+
+# -- journal framing --------------------------------------------------------
+
+#: Record header: little-endian payload length + crc32(payload).
+RECORD_HEADER = struct.Struct("<II")
+#: Sanity cap on one record; a larger claimed length means lost framing.
+MAX_RECORD = 256 * 1024 * 1024
+
+
+def frame_record(payload: bytes) -> bytes:
+    """One CRC-framed journal record for ``payload``."""
+    return RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def read_segment(data: bytes) -> tuple[list[dict[str, Any]], list[str], int]:
+    """Decode one journal segment tolerantly.
+
+    Returns ``(records, problems, consumed)`` where ``consumed`` is the
+    byte offset of the last cleanly framed record boundary.  A CRC or
+    JSON failure inside a well-framed record skips that record and
+    resyncs on the length field; a torn or implausible header stops the
+    scan (everything after a torn write is unreachable by construction).
+    """
+    records: list[dict[str, Any]] = []
+    problems: list[str] = []
+    off = 0
+    consumed = 0
+    while off < len(data):
+        if off + RECORD_HEADER.size > len(data):
+            problems.append(f"torn header at byte {off} ({len(data) - off} trailing byte(s))")
+            break
+        length, crc = RECORD_HEADER.unpack_from(data, off)
+        end = off + RECORD_HEADER.size + length
+        if length > MAX_RECORD or end > len(data):
+            problems.append(f"torn record at byte {off} (claimed {length} byte(s))")
+            break
+        payload = data[off + RECORD_HEADER.size : end]
+        off = consumed = end
+        if zlib.crc32(payload) != crc:
+            problems.append(f"crc mismatch for record ending at byte {end}")
+            continue
+        try:
+            record = json.loads(payload.decode("utf8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            problems.append(f"undecodable record ending at byte {end}: {exc}")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"non-object record ending at byte {end}")
+            continue
+        records.append(record)
+    return records, problems, consumed
+
+
+# -- recovery bookkeeping ---------------------------------------------------
+
+
+@dataclass
+class RecoveryStats:
+    """What recovery found, replayed, and refused."""
+
+    snapshots_loaded: int = 0
+    snapshots_skipped: int = 0
+    applies_replayed: int = 0
+    records_skipped: int = 0
+    torn_records: int = 0
+    fingerprint_mismatches: int = 0
+    truncated_bytes: int = 0
+    elapsed_s: float = 0.0
+    problems: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.problems
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "snapshots_loaded": self.snapshots_loaded,
+            "snapshots_skipped": self.snapshots_skipped,
+            "applies_replayed": self.applies_replayed,
+            "records_skipped": self.records_skipped,
+            "torn_records": self.torn_records,
+            "fingerprint_mismatches": self.fingerprint_mismatches,
+            "truncated_bytes": self.truncated_bytes,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "clean": self.clean,
+            "problems": list(self.problems[:20]),
+        }
+
+
+# -- the store --------------------------------------------------------------
+
+
+class DurableTreeStore(TreeStore):
+    """A :class:`TreeStore` whose contents survive crashes and restarts.
+
+    Same public surface and content-addressed semantics as the base
+    store (the service layer is oblivious), plus:
+
+    * uploads persist as snapshot files, applies as journal records —
+      an acknowledged operation is fsync'd before the caller sees it;
+    * :meth:`get` falls back to disk for LRU-evicted fingerprints
+      (``repro.server.durable.disk_hits``), so eviction bounds memory,
+      not durability;
+    * :meth:`compact` folds the journal into snapshots and resets it;
+    * ``recovery`` carries the :class:`RecoveryStats` of the open.
+    """
+
+    def __init__(
+        self,
+        data_dir,
+        max_trees: int = 1024,
+        *,
+        fsync: bool = True,
+        segment_max_bytes: int = 1024 * 1024,
+        compact_total_bytes: int = 4 * 1024 * 1024,
+        lock: bool = True,
+    ) -> None:
+        super().__init__(max_trees)
+        self.data_dir = Path(data_dir)
+        self.trees_dir = self.data_dir / "trees"
+        self.journal_dir = self.data_dir / "journal"
+        self.trees_dir.mkdir(parents=True, exist_ok=True)
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.segment_max_bytes = max(4096, segment_max_bytes)
+        self.compact_total_bytes = max(self.segment_max_bytes, compact_total_bytes)
+        self._io_lock = threading.RLock()
+        self._local = threading.local()
+        self._lockfile = None
+        if lock:
+            self._acquire_lock()
+        #: fingerprints with an on-disk snapshot (journal records for
+        #: these are redundant and skipped at append time)
+        self._snapshots: set[str] = {p.stem for p in self.trees_dir.glob("*.json")}
+        self._active_fh = None
+        self._persist = False
+        try:
+            self.recovery = self._recover()
+            self._open_active_segment()
+            self._persist = True
+        except BaseException:
+            self.close()
+            raise
+
+    # -- locking ------------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        path = self.data_dir / "LOCK"
+        fh = open(path, "a+", encoding="utf8")
+        try:
+            import fcntl
+
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                fh.seek(0)
+                pid = fh.read().strip()
+                fh.close()
+                raise DataDirLocked(path, pid) from None
+        except ImportError:  # non-POSIX: best-effort live-pid check
+            fh.seek(0)
+            pid = fh.read().strip()
+            if pid.isdigit() and _pid_alive(int(pid)):
+                fh.close()
+                raise DataDirLocked(path, pid) from None
+        fh.seek(0)
+        fh.truncate()
+        fh.write(str(os.getpid()))
+        fh.flush()
+        self._lockfile = fh
+
+    # -- observability helpers ----------------------------------------
+
+    def _dcount(self, name: str, n: int = 1) -> None:
+        if OBS.enabled:
+            _metrics().counter(f"repro.server.durable.{name}").inc(n)
+
+    # -- snapshot persistence -----------------------------------------
+
+    def _snapshot_path(self, fingerprint: str) -> Path:
+        return self.trees_dir / f"{fingerprint}.json"
+
+    def _write_snapshot(self, entry: StoredTree) -> None:
+        if entry.source is None or entry.fingerprint in self._snapshots:
+            return
+        doc = {
+            "fingerprint": entry.fingerprint,
+            "filename": entry.filename,
+            "source": entry.source,
+        }
+        data = (json.dumps(doc, sort_keys=True) + "\n").encode("utf8")
+        path = self._snapshot_path(entry.fingerprint)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with self._io_lock:
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            self._fsync_dir(self.trees_dir)
+            self._snapshots.add(entry.fingerprint)
+        self._dcount("snapshots")
+
+    def _fsync_dir(self, path: Path) -> None:
+        if not self.fsync:
+            return
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return  # e.g. platforms that cannot open directories
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    # -- journal ------------------------------------------------------
+
+    def _segments(self) -> list[Path]:
+        return sorted(self.journal_dir.glob("wal-*.log"))
+
+    def _open_active_segment(self) -> None:
+        segments = self._segments()
+        if segments:
+            path = segments[-1]
+        else:
+            path = self.journal_dir / "wal-000001.log"
+        self._active_fh = open(path, "ab")
+
+    def _append(self, record: dict[str, Any]) -> None:
+        payload = json.dumps(record, sort_keys=True).encode("utf8")
+        framed = frame_record(payload)
+        with self._io_lock:
+            fh = self._active_fh
+            fh.write(framed)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+            self._dcount("journal_appends")
+            if fh.tell() >= self.segment_max_bytes:
+                self._rotate()
+
+    def _rotate(self) -> None:
+        """Seal the active segment and start the next one; compact when
+        the sealed backlog is large enough to be worth folding."""
+        self._active_fh.close()
+        segments = self._segments()
+        last = int(segments[-1].stem.split("-")[1]) if segments else 0
+        self._active_fh = open(self.journal_dir / f"wal-{last + 1:06d}.log", "ab")
+        self._dcount("rotations")
+        sealed = sum(p.stat().st_size for p in segments)
+        if sealed >= self.compact_total_bytes:
+            self.compact()
+
+    def compact(self) -> int:
+        """Snapshot every journal-derived tree, then drop the journal.
+
+        Returns the number of segment files deleted.  Safe at any
+        point: a snapshot is written (and fsync'd) for every in-memory
+        entry that lacks one *before* any segment is removed, so the
+        snapshot set alone reproduces the store.
+        """
+        with self._io_lock:
+            with self._lock:
+                entries = list(self._trees.values())
+            for entry in entries:
+                self._write_snapshot(entry)
+            if self._active_fh is not None:
+                self._active_fh.close()
+            removed = 0
+            for seg in self._segments():
+                try:
+                    seg.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            self._fsync_dir(self.journal_dir)
+            self._active_fh = open(self.journal_dir / "wal-000001.log", "ab")
+        self._dcount("compactions")
+        return removed
+
+    # -- store overrides ----------------------------------------------
+
+    def _insert(
+        self,
+        tree: TNode,
+        source: Optional[str],
+        filename: str,
+        fingerprint: Optional[str] = None,
+    ) -> tuple[StoredTree, bool]:
+        with self._lock:
+            if self._persist and len(self._trees) >= self.max_trees:
+                # pre-snapshot prospective LRU victims: eviction bounds
+                # memory, never durability (journal-derived entries would
+                # otherwise vanish when their segments compact away)
+                excess = len(self._trees) - self.max_trees + 1
+                for victim in list(self._trees.values())[:excess]:
+                    self._write_snapshot(victim)
+            entry, cached = super()._insert(tree, source, filename, fingerprint)
+            if (
+                self._persist
+                and not cached
+                and not getattr(self._local, "in_apply", False)
+            ):
+                self._write_snapshot(entry)
+            return entry, cached
+
+    def get(self, fingerprint: str) -> StoredTree:
+        try:
+            return super().get(fingerprint)
+        except UnknownFingerprint:
+            path = self._snapshot_path(fingerprint)
+            if not path.exists():
+                raise
+            entry = self._load_snapshot(path, fingerprint)
+            if entry is None:
+                raise
+            self._dcount("disk_hits")
+            return entry
+
+    def apply(
+        self, fingerprint: str, script, commit: bool = True
+    ) -> tuple[StoredTree, bool, str]:
+        if not commit or not self._persist:
+            return super().apply(fingerprint, script, commit)
+        # stage the patch (full transactional machinery, store untouched),
+        # journal it write-ahead, then publish the result
+        staged, _, source = super().apply(fingerprint, script, commit=False)
+        if staged.fingerprint not in self._snapshots:
+            self._append(
+                {
+                    "v": 1,
+                    "op": "apply",
+                    "base": fingerprint,
+                    "expect": staged.fingerprint,
+                    "filename": staged.filename,
+                    "script": script_to_json(script),
+                }
+            )
+        self._local.in_apply = True
+        try:
+            # staging already fingerprinted the rebuilt tree: reuse it
+            entry, cached = self._insert(
+                staged.tree, source, staged.filename, staged.fingerprint
+            )
+        finally:
+            self._local.in_apply = False
+        return entry, cached, source
+
+    # -- recovery -----------------------------------------------------
+
+    def _load_snapshot(
+        self, path: Path, expect_fp: Optional[str] = None
+    ) -> Optional[StoredTree]:
+        """Parse one snapshot file and insert it — iff the parsed tree's
+        fingerprint matches both the filed document and the filename."""
+        from repro.adapters.pyast import parse_python
+
+        try:
+            doc = json.loads(path.read_text("utf8"))
+            source = doc["source"]
+            filename = doc.get("filename") or "<recovered>"
+            tree = parse_python(source, filename).with_canonical_uris()
+        except Exception as exc:  # noqa: BLE001 - any damage is skip-and-count
+            self.recovery_problem(f"{path.name}: unreadable snapshot: {exc}")
+            return None
+        fp = fingerprint_tree(tree)
+        if fp != doc.get("fingerprint") or fp != path.stem or (
+            expect_fp is not None and fp != expect_fp
+        ):
+            self._dcount("fingerprint_mismatches")
+            self.recovery_problem(
+                f"{path.name}: snapshot fingerprint mismatch (parsed {fp[:12]}...)"
+            )
+            return None
+        # no _persist dance needed: the fingerprint is in self._snapshots,
+        # so the insert-side snapshot write is a no-op
+        entry, _ = self._insert(tree, source, filename, fp)
+        return entry
+
+    def recovery_problem(self, message: str) -> None:
+        stats = getattr(self, "recovery", None)
+        if stats is not None:
+            stats.problems.append(message)
+
+    def _recover(self) -> RecoveryStats:
+        stats = RecoveryStats()
+        self.recovery = stats
+        t0 = time.perf_counter()
+        with _span("repro.server.durable.recovery"):
+            # 1. snapshots: the durable upload set
+            for path in sorted(self.trees_dir.glob("*.json")):
+                if self._load_snapshot(path) is not None:
+                    stats.snapshots_loaded += 1
+                else:
+                    stats.snapshots_skipped += 1
+            # 2. journal: verified replay of every applied script
+            segments = self._segments()
+            for i, seg in enumerate(segments):
+                try:
+                    data = seg.read_bytes()
+                except OSError as exc:
+                    stats.torn_records += 1
+                    stats.problems.append(f"{seg.name}: unreadable segment: {exc}")
+                    continue
+                records, problems, consumed = read_segment(data)
+                stats.torn_records += len(problems)
+                stats.problems.extend(f"{seg.name}: {p}" for p in problems)
+                for record in records:
+                    self._replay(record, stats)
+                if i == len(segments) - 1 and consumed < len(data):
+                    # truncate the active segment back to its last whole
+                    # record so post-recovery appends stay reachable
+                    stats.truncated_bytes = len(data) - consumed
+                    with open(seg, "ab") as fh:
+                        fh.truncate(consumed)
+                    self._fsync_dir(self.journal_dir)
+        stats.elapsed_s = time.perf_counter() - t0
+        self._dcount("recovered_trees", stats.snapshots_loaded)
+        self._dcount("recovered_applies", stats.applies_replayed)
+        self._dcount("skipped_records", stats.records_skipped + stats.snapshots_skipped)
+        if stats.torn_records:
+            self._dcount("torn_records", stats.torn_records)
+        return stats
+
+    def _replay(self, record: dict[str, Any], stats: RecoveryStats) -> None:
+        if record.get("op") != "apply" or record.get("v") != 1:
+            stats.records_skipped += 1
+            stats.problems.append(f"unknown journal record {record.get('op')!r}")
+            return
+        expect = record.get("expect")
+        try:
+            script = script_from_json(record["script"])
+            # the full transactional path: pre-flight typecheck, undo
+            # journal, post-verify — replay is verified, not hopeful
+            staged, _, source = TreeStore.apply(self, record["base"], script, commit=False)
+        except (KeyError, TypeError, SerializationError) as exc:
+            stats.records_skipped += 1
+            stats.problems.append(f"malformed apply record: {exc}")
+            return
+        except UnknownFingerprint:
+            stats.records_skipped += 1
+            stats.problems.append(
+                f"apply record targets unknown base {str(record.get('base'))[:12]}..."
+            )
+            return
+        except (PatchError, StoreError) as exc:
+            stats.records_skipped += 1
+            stats.problems.append(f"journaled script no longer applies: {exc}")
+            return
+        if staged.fingerprint != expect:
+            stats.fingerprint_mismatches += 1
+            self._dcount("fingerprint_mismatches")
+            stats.problems.append(
+                f"replayed apply produced {staged.fingerprint[:12]}..., "
+                f"journal expected {str(expect)[:12]}..."
+            )
+            return
+        self._insert(staged.tree, source, staged.filename, staged.fingerprint)
+        stats.applies_replayed += 1
+
+    def describe_recovery(self) -> dict[str, Any]:
+        return self.recovery.as_dict()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        """Release the journal handle and the data-dir lock."""
+        with self._io_lock:
+            if self._active_fh is not None:
+                try:
+                    self._active_fh.close()
+                except OSError:
+                    pass
+                self._active_fh = None
+            if self._lockfile is not None:
+                try:
+                    self._lockfile.close()  # releases the flock
+                except OSError:
+                    pass
+                self._lockfile = None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True

@@ -53,18 +53,35 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
 
+#: Transport-level statuses -> the same stable string codes
+#: :data:`~repro.server.service.ERROR_STATUS` uses, so every error body —
+#: service-level or transport-level — is one envelope:
+#: ``{"error": {"code": "<string>", "message": "..."}}``.
+_ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    408: "timeout",
+    409: "conflict",
+    413: "payload_too_large",
+    500: "internal",
+    503: "unavailable",
+}
+
 
 class _HTTPError(Exception):
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, retry_after: Optional[int] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 class ReproHTTPServer:
@@ -76,11 +93,25 @@ class ReproHTTPServer:
         host: str = "127.0.0.1",
         port: int = 8337,
         drain_timeout_s: float = 30.0,
+        max_inflight: int = 0,
+        request_timeout_s: Optional[float] = None,
+        header_timeout_s: float = 30.0,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.drain_timeout_s = drain_timeout_s
+        #: admission bound on concurrently *executing* POST operations
+        #: (0 = unbounded); excess requests are shed with 503 +
+        #: ``Retry-After`` instead of queueing on the executor.
+        self.max_inflight = max_inflight
+        #: deadline for one operation's execution (None = no deadline)
+        self.request_timeout_s = (
+            request_timeout_s if request_timeout_s and request_timeout_s > 0 else None
+        )
+        #: how long a client may dawdle sending head + body (slow-loris cap)
+        self.header_timeout_s = header_timeout_s
+        self._active = 0
         self._server: Optional[asyncio.AbstractServer] = None
         #: request handlers run on this executor; sized for pool-backed
         #: daemons whose handler threads mostly block on worker futures.
@@ -164,11 +195,16 @@ class ReproHTTPServer:
         try:
             status, payload, raw = await self._route(method, target, body)
         except _HTTPError as exc:
-            await self._respond_error(writer, exc.status, exc.message)
+            await self._respond_error(
+                writer, exc.status, exc.message, retry_after=exc.retry_after
+            )
             return
         except ServiceError as exc:
             await self._respond(
-                writer, exc.status, json.dumps({"error": exc.as_dict()}) + "\n"
+                writer,
+                exc.status,
+                json.dumps({"error": exc.as_dict()}) + "\n",
+                retry_after=1 if exc.status == 503 else None,
             )
             return
         body_text = raw if raw is not None else json.dumps(payload, sort_keys=True) + "\n"
@@ -181,7 +217,15 @@ class ReproHTTPServer:
         self, reader: asyncio.StreamReader
     ) -> tuple[str, str, bytes]:
         try:
-            head = await reader.readuntil(b"\r\n\r\n")
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), self.header_timeout_s
+            )
+        except asyncio.TimeoutError:
+            if OBS.enabled:
+                _metrics().counter("repro.server.http.slow_clients").inc()
+            raise _HTTPError(
+                408, f"request head not received within {self.header_timeout_s:g}s"
+            ) from None
         except asyncio.LimitOverrunError:
             raise _HTTPError(413, "request head too large") from None
         if len(head) > MAX_HEAD:
@@ -205,7 +249,20 @@ class ReproHTTPServer:
                 raise _HTTPError(400, "malformed Content-Length") from None
         if length < 0 or length > MAX_BODY:
             raise _HTTPError(413, f"request body too large ({length} bytes)")
-        body = await reader.readexactly(length) if length else b""
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), self.header_timeout_s
+                )
+            except asyncio.TimeoutError:
+                if OBS.enabled:
+                    _metrics().counter("repro.server.http.slow_clients").inc()
+                raise _HTTPError(
+                    408,
+                    f"request body not received within {self.header_timeout_s:g}s",
+                ) from None
+        else:
+            body = b""
         return method.upper(), target, body
 
     # ------------------------------------------------------------------
@@ -262,16 +319,51 @@ class ReproHTTPServer:
             raise _HTTPError(400, f"request body is not valid JSON: {exc}") from None
         if not isinstance(params, dict):
             raise _HTTPError(400, "request body must be a JSON object")
-        result = await self._dispatch(op, params)
+        # bounded admission: shed instead of queueing unboundedly (POSTs
+        # only — GETs are cheap reads and must stay observable under load)
+        if self.max_inflight > 0 and self._active >= self.max_inflight:
+            if OBS.enabled:
+                _metrics().counter("repro.server.http.shed").inc()
+            raise _HTTPError(
+                503,
+                f"server at capacity ({self._active} operations in flight)",
+                retry_after=1,
+            )
+        result = await self._dispatch(op, params, counted=True)
         if op == "diff" and (params.get("raw") or query.get("raw")):
             return 200, result, result["script_json"] + "\n"
         return 200, result, None
 
-    async def _dispatch(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
+    async def _dispatch(
+        self, op: str, params: dict[str, Any], counted: bool = False
+    ) -> dict[str, Any]:
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self._executor, self.service.handle, op, params
-        )
+        fut = loop.run_in_executor(self._executor, self.service.handle, op, params)
+        if not counted:
+            return await fut
+        # the admission slot is held until the executor thread actually
+        # finishes (a deadline-exceeded handler cannot be cancelled, and
+        # pretending its slot is free would defeat the shed bound)
+        self._active += 1
+
+        def _release(f: asyncio.Future) -> None:
+            self._active -= 1
+            if not f.cancelled():
+                f.exception()  # consume: nobody awaits an abandoned future
+
+        fut.add_done_callback(_release)
+        if self.request_timeout_s is None:
+            return await fut
+        try:
+            return await asyncio.wait_for(asyncio.shield(fut), self.request_timeout_s)
+        except asyncio.TimeoutError:
+            if OBS.enabled:
+                _metrics().counter("repro.server.http.deadline_exceeded").inc()
+            raise _HTTPError(
+                503,
+                f"request exceeded its {self.request_timeout_s:g}s deadline",
+                retry_after=1,
+            ) from None
 
     # ------------------------------------------------------------------
     # responses
@@ -282,23 +374,34 @@ class ReproHTTPServer:
         status: int,
         body: str,
         content_type: str = "application/json",
+        retry_after: Optional[int] = None,
     ) -> None:
         data = body.encode("utf8")
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
-            "Connection: close\r\n"
-            "\r\n"
         )
+        if retry_after is not None:
+            head += f"Retry-After: {retry_after}\r\n"
+        head += "Connection: close\r\n\r\n"
         writer.write(head.encode("latin-1") + data)
         await writer.drain()
 
     async def _respond_error(
-        self, writer: asyncio.StreamWriter, status: int, message: str
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        message: str,
+        retry_after: Optional[int] = None,
     ) -> None:
-        body = json.dumps({"error": {"code": status, "message": message}}) + "\n"
-        await self._respond(writer, status, body)
+        body = (
+            json.dumps(
+                {"error": {"code": _ERROR_CODES.get(status, "internal"), "message": message}}
+            )
+            + "\n"
+        )
+        await self._respond(writer, status, body, retry_after=retry_after)
 
 
 async def run_http_daemon(
@@ -307,13 +410,23 @@ async def run_http_daemon(
     port: int = 8337,
     ready=None,
     install_signal_handlers: bool = True,
+    max_inflight: int = 0,
+    request_timeout_s: Optional[float] = None,
+    header_timeout_s: float = 30.0,
 ) -> ReproHTTPServer:
     """Start the HTTP daemon and block until it has fully drained.
 
     ``ready(server)`` is called once the listener is bound (the CLI
     prints the resolved address; tests capture the ephemeral port).
     """
-    server = ReproHTTPServer(service, host, port)
+    server = ReproHTTPServer(
+        service,
+        host,
+        port,
+        max_inflight=max_inflight,
+        request_timeout_s=request_timeout_s,
+        header_timeout_s=header_timeout_s,
+    )
     await server.start()
     if ready is not None:
         ready(server)

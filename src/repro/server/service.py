@@ -96,8 +96,11 @@ class ReproService:
         store: Optional[TreeStore] = None,
         workers: int = 0,
         collector: Optional[TelemetryCollector] = None,
+        op_timeout_s: Optional[float] = None,
     ) -> None:
         self.store = store if store is not None else TreeStore()
+        #: per-operation deadline for pooled diffs (None = no deadline)
+        self.op_timeout_s = op_timeout_s if op_timeout_s and op_timeout_s > 0 else None
         self.collector = (
             collector if collector is not None else TelemetryCollector()
         )
@@ -240,11 +243,11 @@ class ReproService:
                 "filename": after.filename,
             },
         }
-        result = self.pool.finish(self.pool.submit(payload))
+        result = self.pool.finish(self.pool.submit(payload), self.op_timeout_s)
         if not result.get("ok"):
             code = (
                 "unavailable"
-                if result.get("error_type") == "BrokenProcessPool"
+                if result.get("error_type") in ("BrokenProcessPool", "Timeout")
                 else "internal"
             )
             raise ServiceError(code, result.get("error") or "diff failed")
@@ -318,7 +321,7 @@ class ReproService:
         }
 
     def _op_health(self, params: dict[str, Any]) -> dict[str, Any]:
-        return {
+        out = {
             "status": "ok",
             "uptime_s": round(time.time() - self._started, 3),
             "trees": len(self.store),
@@ -326,6 +329,10 @@ class ReproService:
             "errors": self._errors,
             "workers": self.pool.workers if self.pool is not None else 0,
         }
+        describe = getattr(self.store, "describe_recovery", None)
+        if describe is not None:  # durable store: surface what the open found
+            out["recovery"] = describe()
+        return out
 
     # ------------------------------------------------------------------
     # observability surfaces
@@ -352,3 +359,6 @@ class ReproService:
     def close(self) -> None:
         if self.pool is not None:
             self.pool.shutdown(wait=True)
+        close_store = getattr(self.store, "close", None)
+        if close_store is not None:  # durable store: journal fh + dir lock
+            close_store()

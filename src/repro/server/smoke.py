@@ -75,6 +75,12 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--startup-timeout", type=float, default=30.0, help="seconds to wait for the daemon"
     )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="run the daemon on a durable store rooted here (exercises the "
+        "WAL write path under every gate)",
+    )
     args = parser.parse_args(argv)
 
     corpus = Path(args.corpus)
@@ -86,20 +92,19 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"smoke: no pairs under {corpus}", file=sys.stderr)
         return 2
 
-    daemon = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "serve",
-            "--port",
-            "0",
-            "--workers",
-            str(args.workers),
-        ],
-        stderr=subprocess.PIPE,
-        text=True,
-    )
+    argv_daemon = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--port",
+        "0",
+        "--workers",
+        str(args.workers),
+    ]
+    if args.data_dir:
+        argv_daemon += ["--data-dir", args.data_dir]
+    daemon = subprocess.Popen(argv_daemon, stderr=subprocess.PIPE, text=True)
     failures: list[str] = []
 
     def fail(msg: str) -> None:

@@ -24,10 +24,13 @@ work and exits — same semantics as the HTTP front end's ``/shutdown``.
 from __future__ import annotations
 
 import asyncio
+import errno
 import json
 import sys
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Optional, TextIO
+
+from repro.observability import OBS, metrics as _metrics
 
 from .service import ReproService, ServiceError
 
@@ -51,6 +54,8 @@ class ReproStdioServer:
         self._write_lock = asyncio.Lock()
         self._inflight: set[asyncio.Task] = set()
         self._closing = False
+        #: responses dropped because the peer closed its read end
+        self.broken_pipes = 0
 
     async def run(self) -> None:
         """Serve until EOF or a ``shutdown`` request, then drain."""
@@ -114,8 +119,27 @@ class ReproStdioServer:
     async def _write(self, response: dict[str, Any]) -> None:
         text = json.dumps(response, sort_keys=True) + "\n"
         async with self._write_lock:
-            self.stdout.write(text)
-            self.stdout.flush()
+            try:
+                self.stdout.write(text)
+                self.stdout.flush()
+            except (BrokenPipeError, ConnectionResetError) as exc:
+                self._note_broken_pipe(response, exc)
+            except OSError as exc:
+                if exc.errno != errno.EPIPE:
+                    raise
+                self._note_broken_pipe(response, exc)
+
+    def _note_broken_pipe(self, response: dict[str, Any], exc: OSError) -> None:
+        """The peer closed its read end mid-response: drop this response,
+        count it, and keep serving other in-flight ids — one impatient
+        client must not take down the daemon loop."""
+        self.broken_pipes += 1
+        if OBS.enabled:
+            _metrics().counter("repro.server.stdio.broken_pipe").inc()
+        print(
+            f"repro serve: dropped response id={response.get('id')!r}: {exc}",
+            file=sys.stderr,
+        )
 
 
 async def run_stdio_daemon(

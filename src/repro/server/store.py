@@ -160,9 +160,16 @@ class TreeStore:
         return self._insert(tree, source, filename)
 
     def _insert(
-        self, tree: TNode, source: Optional[str], filename: str
+        self,
+        tree: TNode,
+        source: Optional[str],
+        filename: str,
+        fingerprint: Optional[str] = None,
     ) -> tuple[StoredTree, bool]:
-        fp = fingerprint_tree(tree)
+        # callers that already fingerprinted the tree (apply staging,
+        # snapshot recovery) pass it in; hashing a large tree twice is
+        # the dominant avoidable cost on the write path
+        fp = fingerprint if fingerprint is not None else fingerprint_tree(tree)
         with self._lock:
             existing = self._trees.get(fp)
             if existing is not None:
@@ -219,5 +226,5 @@ class TreeStore:
         source = unparse_python(rebuilt)
         if not commit:
             return StoredTree(fingerprint_tree(rebuilt), source, base.filename, rebuilt), False, source
-        entry, was_cached = self.put_tree(rebuilt, source, base.filename)
+        entry, was_cached = self._insert(rebuilt, source, base.filename)
         return entry, was_cached, source

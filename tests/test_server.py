@@ -518,3 +518,298 @@ class TestClientMode:
         )
         assert rc == 2
         assert "repro:" in capsys.readouterr().err
+
+
+# -- transport robustness --------------------------------------------------
+
+
+def _raw_http(base_url: str, request: bytes, timeout: float = 10.0) -> bytes:
+    """One raw request/response exchange against a live daemon."""
+    import socket
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(base_url)
+    with socket.create_connection(
+        (parts.hostname, parts.port), timeout=timeout
+    ) as sock:
+        sock.sendall(request)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+class TestHTTPRobustness:
+    def test_oversized_body_is_413_with_standard_envelope(self, daemon):
+        """A declared body over MAX_BODY is refused up front — status 413
+        and the same ``{"error": {"code", "message"}}`` envelope every
+        other error uses, without reading the body."""
+        client, _ = daemon
+        claimed = 65 * 1024 * 1024  # one MiB over the cap
+        response = _raw_http(
+            client.base_url,
+            (
+                f"POST /diff HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {claimed}\r\n\r\n"
+            ).encode("latin-1"),
+        )
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 413 ")
+        envelope = json.loads(body.decode("utf8"))
+        assert envelope["error"]["code"] == "payload_too_large"
+        assert str(claimed) in envelope["error"]["message"]
+        # the daemon is unharmed
+        assert client.health()["status"] == "ok"
+
+    def test_oversized_head_is_413(self, daemon):
+        client, _ = daemon
+        padding = "X-Pad: " + "a" * (70 * 1024)
+        response = _raw_http(
+            client.base_url,
+            f"GET /healthz HTTP/1.1\r\nHost: x\r\n{padding}\r\n\r\n".encode("latin-1"),
+        )
+        assert response.startswith(b"HTTP/1.1 413 ")
+        assert b'"payload_too_large"' in response
+
+
+def _synthetic_pair(n_functions: int = 40) -> tuple[str, str]:
+    """A moderately large before/after pair so pooled diffs take real
+    work (a worker kill has something to land on)."""
+    before = "".join(
+        f"def fn_{i}(x):\n    y = x + {i}\n    return y * {i + 1}\n\n"
+        for i in range(n_functions)
+    )
+    after = before.replace("def fn_7(", "def fn_7_renamed(").replace(
+        "return y * 3\n", "return y * 3 + 1\n"
+    )
+    return before, after
+
+
+def test_broken_pool_under_concurrent_requests_never_hangs_or_mixes():
+    """Kill the pool's worker processes while >= 8 concurrent diffs are
+    in flight: every request must come back either with the correct
+    bytes *for its own pair* or as a structured unavailable error —
+    never a hang, never another request's answer."""
+    import os
+    import signal
+
+    big_b, big_a = _synthetic_pair()
+    pairs = [
+        (BEFORE, AFTER),
+        (big_b, big_a),
+        ("a = 1\n", "a = 2\n"),
+        (big_a, big_b),
+    ]
+    inline = ReproService()
+    expected = [
+        inline.handle(
+            "diff", {"before": {"source": b}, "after": {"source": a}}
+        )["script_json"]
+        for b, a in pairs
+    ]
+    inline.close()
+
+    service = ReproService(workers=2, collector=TelemetryCollector())
+    try:
+        n = 12
+        results: list = [None] * n
+
+        def one(i: int) -> None:
+            b, a = pairs[i % len(pairs)]
+            try:
+                results[i] = service.handle(
+                    "diff", {"before": {"source": b}, "after": {"source": a}}
+                )["script_json"]
+            except ServiceError as exc:
+                results[i] = exc
+
+        threads = [threading.Thread(target=one, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        # kill every live worker out from under the in-flight requests
+        for proc in list(
+            getattr(service.pool._executor, "_processes", {}).values()
+        ):
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except OSError:
+                pass
+        for t in threads:
+            t.join(120)
+        assert not any(t.is_alive() for t in threads), "requests hung"
+        ok = unavailable = 0
+        for i, r in enumerate(results):
+            if isinstance(r, str):
+                assert r == expected[i % len(pairs)], f"request {i} got mixed-up bytes"
+                ok += 1
+            else:
+                assert isinstance(r, ServiceError)
+                assert r.status == 503 and r.code == "unavailable"
+                unavailable += 1
+        assert ok + unavailable == n
+        # the rebuilt pool serves correct answers again
+        after_kill = service.handle(
+            "diff", {"before": {"source": BEFORE}, "after": {"source": AFTER}}
+        )["script_json"]
+        assert after_kill == expected[0]
+    finally:
+        service.close()
+
+
+# -- client retry semantics -------------------------------------------------
+
+
+@pytest.fixture
+def scripted_server():
+    """A tiny HTTP server answering from a scripted list of
+    ``(status, body, retry_after)`` tuples, recording every request."""
+    import http.server
+    import random
+
+    script: list = []
+    seen: list = []
+
+    class Handler(http.server.BaseHTTPRequestHandler):
+        def _serve(self) -> None:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length:
+                self.rfile.read(length)
+            seen.append((self.command, self.path))
+            status, body, retry_after = (
+                script.pop(0) if script else (200, b"{}", None)
+            )
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                self.send_header("Retry-After", str(retry_after))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+
+        do_GET = do_POST = _serve
+
+        def log_message(self, *args) -> None:  # keep pytest output clean
+            pass
+
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def client(**kwargs) -> ServerClient:
+        kwargs.setdefault("backoff_base_s", 0.001)
+        kwargs.setdefault("rng", random.Random(0))
+        return ServerClient(f"http://127.0.0.1:{server.server_port}", **kwargs)
+
+    yield client, script, seen
+    server.shutdown()
+    server.server_close()
+    thread.join(10)
+
+
+UNAVAILABLE = (
+    503,
+    b'{"error": {"code": "unavailable", "message": "try later"}}',
+    "0.001",
+)
+
+
+class TestClientRetries:
+    def test_idempotent_request_retries_through_503(self, scripted_server):
+        client, script, seen = scripted_server
+        script += [UNAVAILABLE, UNAVAILABLE, (200, b'{"status": "ok"}', None)]
+        out = client(retries=3).health()
+        assert out == {"status": "ok"}
+        assert len(seen) == 3  # two retried 503s, then success
+
+    def test_retries_exhausted_raise_the_last_error(self, scripted_server):
+        client, script, seen = scripted_server
+        script += [UNAVAILABLE] * 3
+        with pytest.raises(ClientError) as exc:
+            client(retries=2).health()
+        assert exc.value.status == 503 and exc.value.code == "unavailable"
+        assert len(seen) == 3  # initial attempt + 2 retries
+
+    def test_apply_is_never_retried(self, scripted_server):
+        """Apply mutates the store: a 503 might have landed after the
+        commit, so re-sending it is not safe. One request, period."""
+        client, script, seen = scripted_server
+        script += [UNAVAILABLE, (200, b'{"fingerprint": "x"}', None)]
+        with pytest.raises(ClientError) as exc:
+            client(retries=3).apply("f" * 64, "[]")
+        assert exc.value.status == 503
+        assert seen == [("POST", "/apply")]
+
+    def test_non_retryable_status_fails_fast(self, scripted_server):
+        client, script, seen = scripted_server
+        script += [
+            (404, b'{"error": {"code": "not_found", "message": "no"}}', None)
+        ]
+        with pytest.raises(ClientError) as exc:
+            client(retries=3).health()
+        assert exc.value.status == 404
+        assert len(seen) == 1
+
+    def test_connection_refused_is_status_zero(self):
+        client = ServerClient(
+            "http://127.0.0.1:9", retries=1, backoff_base_s=0.001, timeout_s=2
+        )
+        with pytest.raises(ClientError) as exc:
+            client.health()
+        assert exc.value.status == 0
+
+    def test_backoff_is_capped_and_jittered(self):
+        import random
+
+        client = ServerClient(
+            "http://127.0.0.1:9",
+            backoff_base_s=0.1,
+            backoff_max_s=0.4,
+            rng=random.Random(7),
+        )
+        delays = [client._delay(attempt, None) for attempt in range(6)]
+        # jitter keeps every delay within (0.5, 1.0] x the capped base
+        assert all(d <= 0.4 for d in delays)
+        assert all(d > 0.04 for d in delays)
+        # Retry-After floors the delay but is itself capped
+        assert client._delay(0, 30.0) <= 0.4
+
+
+# -- stdio broken-pipe tolerance --------------------------------------------
+
+
+class _FlakyStdout:
+    """A stdout whose reader closed after the first response."""
+
+    def __init__(self, fail_times: int = 1) -> None:
+        self.fail_times = fail_times
+        self.lines: list[str] = []
+
+    def write(self, text: str) -> None:
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise BrokenPipeError(32, "Broken pipe")
+        self.lines.append(text)
+
+    def flush(self) -> None:
+        pass
+
+
+def test_stdio_broken_pipe_does_not_kill_the_session(capsys):
+    stdin = io.StringIO(
+        json.dumps({"id": 1, "op": "health"})
+        + "\n"
+        + json.dumps({"id": 2, "op": "health"})
+        + "\n"
+    )
+    stdout = _FlakyStdout(fail_times=1)
+    server = ReproStdioServer(ReproService(), stdin, stdout)
+    asyncio.run(server.run())
+    # one response was dropped and counted; the session kept serving
+    assert server.broken_pipes == 1
+    delivered = [json.loads(line) for line in stdout.lines]
+    assert len(delivered) == 1 and delivered[0]["ok"]
+    assert "dropped response" in capsys.readouterr().err
