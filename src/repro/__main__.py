@@ -893,8 +893,9 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=30.0,
         metavar="SECONDS",
-        help="how long a client may take to send its request head/body "
-        "before a 408 (default 30)",
+        help="how long a client may take to send its request head, and "
+        "how long its body may stall without progress, before a 408 "
+        "(default 30)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -46,6 +46,17 @@ held under ``fcntl.flock`` for the store's lifetime; a second open
 raises :class:`DataDirLocked` naming the owning pid (the CLI renders it
 as a one-line exit-2 diagnostic).
 
+Internally two locks protect the store, with a fixed order: the
+in-memory ``_lock`` (inherited from :class:`TreeStore`) may be held
+while acquiring the on-disk ``_io_lock`` (snapshot writes during
+eviction do exactly that), but ``_io_lock`` must NEVER be held while
+acquiring ``_lock`` — request handlers run on a multi-thread executor,
+so the reverse order is an ABBA deadlock waiting for an upload
+concurrent with a compaction.  This is why segment rotation only
+*requests* compaction (:meth:`compact` runs after ``_append`` has
+released the journal handle) and why :meth:`compact` is phased so the
+sweep over the in-memory table happens with ``_io_lock`` free.
+
 Counters live under ``repro.server.durable.``; recovery runs under a
 ``repro.server.durable.recovery`` span.
 """
@@ -206,6 +217,15 @@ class DurableTreeStore(TreeStore):
         self.compact_total_bytes = max(self.segment_max_bytes, compact_total_bytes)
         self._io_lock = threading.RLock()
         self._local = threading.local()
+        #: serializes whole compactions; _compact_pending is the
+        #: rotation->compaction handoff (see _rotate / apply)
+        self._compact_lock = threading.Lock()
+        self._compact_pending = False
+        #: applies between journal-append and in-memory publish; compact
+        #: waits these out before deleting sealed segments, so every
+        #: record in a sealed segment has its entry swept into a snapshot
+        self._publish_cv = threading.Condition()
+        self._publishing = 0
         self._lockfile = None
         if lock:
             self._acquire_lock()
@@ -323,8 +343,11 @@ class DurableTreeStore(TreeStore):
                 self._rotate()
 
     def _rotate(self) -> None:
-        """Seal the active segment and start the next one; compact when
-        the sealed backlog is large enough to be worth folding."""
+        """Seal the active segment and start the next one.  Runs under
+        ``_io_lock``, so it must not compact inline (compaction sweeps
+        the in-memory table, and ``_lock`` is forbidden under
+        ``_io_lock``); it flags the backlog instead and the journaling
+        caller compacts once the handle is released."""
         self._active_fh.close()
         segments = self._segments()
         last = int(segments[-1].stem.split("-")[1]) if segments else 0
@@ -332,32 +355,66 @@ class DurableTreeStore(TreeStore):
         self._dcount("rotations")
         sealed = sum(p.stat().st_size for p in segments)
         if sealed >= self.compact_total_bytes:
-            self.compact()
+            self._compact_pending = True
 
     def compact(self) -> int:
-        """Snapshot every journal-derived tree, then drop the journal.
+        """Snapshot every journal-derived tree, then drop the sealed journal.
 
         Returns the number of segment files deleted.  Safe at any
         point: a snapshot is written (and fsync'd) for every in-memory
         entry that lacks one *before* any segment is removed, so the
         snapshot set alone reproduces the store.
+
+        Phased to respect the lock order (never ``_lock`` under
+        ``_io_lock``): (1) seal the active segment under ``_io_lock`` —
+        records appended from here on land in the fresh segment and are
+        never deleted; (2) with both locks free, wait out in-flight
+        apply publications (every record already in a sealed segment
+        then has its entry in the table) and snapshot every entry;
+        (3) delete only the segments sealed at phase one.
         """
-        with self._io_lock:
+        with self._compact_lock:
+            self._compact_pending = False
+            with self._io_lock:
+                if self._active_fh is not None:
+                    self._active_fh.close()
+                sealed = self._segments()
+                last = int(sealed[-1].stem.split("-")[1]) if sealed else 0
+                self._active_fh = open(
+                    self.journal_dir / f"wal-{last + 1:06d}.log", "ab"
+                )
+            with self._publish_cv:
+                if not self._publish_cv.wait_for(
+                    lambda: self._publishing == 0, timeout=30.0
+                ):
+                    # an apply has sat between journal-append and publish
+                    # for 30s; keep the sealed segments rather than risk
+                    # deleting its record out from under it
+                    self._dcount("compaction_stalls")
+                    return 0
             with self._lock:
                 entries = list(self._trees.values())
             for entry in entries:
                 self._write_snapshot(entry)
-            if self._active_fh is not None:
-                self._active_fh.close()
             removed = 0
-            for seg in self._segments():
-                try:
-                    seg.unlink()
-                    removed += 1
-                except OSError:
-                    pass
-            self._fsync_dir(self.journal_dir)
-            self._active_fh = open(self.journal_dir / "wal-000001.log", "ab")
+            with self._io_lock:
+                for seg in sealed:
+                    try:
+                        seg.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+                # nothing appended since the seal: drop the empty active
+                # segment too so numbering restarts from wal-000001
+                if self._active_fh.tell() == 0:
+                    path = Path(self._active_fh.name)
+                    self._active_fh.close()
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                    self._active_fh = open(self.journal_dir / "wal-000001.log", "ab")
+                self._fsync_dir(self.journal_dir)
         self._dcount("compactions")
         return removed
 
@@ -371,10 +428,13 @@ class DurableTreeStore(TreeStore):
         fingerprint: Optional[str] = None,
     ) -> tuple[StoredTree, bool]:
         with self._lock:
-            if self._persist and len(self._trees) >= self.max_trees:
+            if len(self._trees) >= self.max_trees:
                 # pre-snapshot prospective LRU victims: eviction bounds
                 # memory, never durability (journal-derived entries would
-                # otherwise vanish when their segments compact away)
+                # otherwise vanish when their segments compact away).
+                # Active during recovery too — replay may insert more
+                # than max_trees entries, and a later journal record
+                # must still find its evicted base via the disk fallback.
                 excess = len(self._trees) - self.max_trees + 1
                 for victim in list(self._trees.values())[:excess]:
                     self._write_snapshot(victim)
@@ -406,27 +466,40 @@ class DurableTreeStore(TreeStore):
         if not commit or not self._persist:
             return super().apply(fingerprint, script, commit)
         # stage the patch (full transactional machinery, store untouched),
-        # journal it write-ahead, then publish the result
+        # journal it write-ahead, then publish the result; the publish
+        # gate keeps compact() from deleting a sealed segment while one
+        # of its records is still between append and publish
         staged, _, source = super().apply(fingerprint, script, commit=False)
-        if staged.fingerprint not in self._snapshots:
-            self._append(
-                {
-                    "v": 1,
-                    "op": "apply",
-                    "base": fingerprint,
-                    "expect": staged.fingerprint,
-                    "filename": staged.filename,
-                    "script": script_to_json(script),
-                }
-            )
-        self._local.in_apply = True
+        with self._publish_cv:
+            self._publishing += 1
         try:
-            # staging already fingerprinted the rebuilt tree: reuse it
-            entry, cached = self._insert(
-                staged.tree, source, staged.filename, staged.fingerprint
-            )
+            if staged.fingerprint not in self._snapshots:
+                self._append(
+                    {
+                        "v": 1,
+                        "op": "apply",
+                        "base": fingerprint,
+                        "expect": staged.fingerprint,
+                        "filename": staged.filename,
+                        "script": script_to_json(script),
+                    }
+                )
+            self._local.in_apply = True
+            try:
+                # staging already fingerprinted the rebuilt tree: reuse it
+                entry, cached = self._insert(
+                    staged.tree, source, staged.filename, staged.fingerprint
+                )
+            finally:
+                self._local.in_apply = False
         finally:
-            self._local.in_apply = False
+            with self._publish_cv:
+                self._publishing -= 1
+                self._publish_cv.notify_all()
+        # rotation flagged a large sealed backlog: fold it now, with the
+        # journal handle free and this apply's publish slot released
+        if self._compact_pending:
+            self.compact()
         return entry, cached, source
 
     # -- recovery -----------------------------------------------------
@@ -461,9 +534,16 @@ class DurableTreeStore(TreeStore):
         return entry
 
     def recovery_problem(self, message: str) -> None:
+        """Record a damaged-artifact note — into :class:`RecoveryStats`
+        during startup recovery, as a counter afterwards (a
+        repeatedly-requested corrupt snapshot on the ``get`` disk
+        fallback must not grow the in-memory list for the daemon's
+        whole lifetime)."""
         stats = getattr(self, "recovery", None)
-        if stats is not None:
+        if stats is not None and not self._persist:
             stats.problems.append(message)
+        else:
+            self._dcount("snapshot_errors")
 
     def _recover(self) -> RecoveryStats:
         stats = RecoveryStats()

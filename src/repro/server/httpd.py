@@ -109,7 +109,9 @@ class ReproHTTPServer:
         self.request_timeout_s = (
             request_timeout_s if request_timeout_s and request_timeout_s > 0 else None
         )
-        #: how long a client may dawdle sending head + body (slow-loris cap)
+        #: slow-loris cap: one fixed window for the request head, and an
+        #: *idle* bound on the body (each arriving chunk resets the
+        #: clock, so a large upload on a slow-but-moving link survives)
         self.header_timeout_s = header_timeout_s
         self._active = 0
         self._server: Optional[asyncio.AbstractServer] = None
@@ -250,17 +252,27 @@ class ReproHTTPServer:
         if length < 0 or length > MAX_BODY:
             raise _HTTPError(413, f"request body too large ({length} bytes)")
         if length:
+            # progress-based deadline: each chunk restarts the clock, so
+            # only a *stalled* body is shed — a legitimate large upload
+            # on a slow link keeps its 200 as long as bytes arrive
+            buf = bytearray()
             try:
-                body = await asyncio.wait_for(
-                    reader.readexactly(length), self.header_timeout_s
-                )
+                while len(buf) < length:
+                    chunk = await asyncio.wait_for(
+                        reader.read(min(65536, length - len(buf))),
+                        self.header_timeout_s,
+                    )
+                    if not chunk:
+                        raise _HTTPError(400, "request body truncated by peer")
+                    buf.extend(chunk)
             except asyncio.TimeoutError:
                 if OBS.enabled:
                     _metrics().counter("repro.server.http.slow_clients").inc()
                 raise _HTTPError(
                     408,
-                    f"request body not received within {self.header_timeout_s:g}s",
+                    f"request body stalled (no data for {self.header_timeout_s:g}s)",
                 ) from None
+            body = bytes(buf)
         else:
             body = b""
         return method.upper(), target, body

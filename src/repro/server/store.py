@@ -143,7 +143,17 @@ class TreeStore:
 
         self._count("parses")
         try:
-            tree = parse_python(source, filename).with_canonical_uris()
+            try:
+                tree = parse_python(source, filename).with_canonical_uris()
+            except SystemError:
+                # CPython's C AST constructor keeps recursion-depth
+                # bookkeeping that can transiently desync when many
+                # executor threads parse at once ("AST constructor
+                # recursion depth mismatch").  The parse itself is
+                # deterministic, so one retry settles it instead of
+                # surfacing a spurious 500 to the client.
+                self._count("parse_retries")
+                tree = parse_python(source, filename).with_canonical_uris()
         except SyntaxError as exc:
             where = f" (line {exc.lineno})" if exc.lineno else ""
             raise StoreError(

@@ -574,6 +574,75 @@ class TestHTTPRobustness:
         assert response.startswith(b"HTTP/1.1 413 ")
         assert b'"payload_too_large"' in response
 
+    def test_slow_but_progressing_body_is_not_shed(self):
+        """Regression: the whole body read shared the head's fixed
+        timeout window, so a large upload on a slow link got a 408 even
+        while making progress.  The body deadline is now an *idle*
+        bound: each chunk resets the clock.  Send a body over several
+        windows' worth of wall clock with every inter-chunk gap under
+        the window, and a stalled request to prove the bound still bites."""
+        import socket
+        import time
+
+        service = ReproService()
+        box: dict = {}
+        ready = threading.Event()
+
+        def run() -> None:
+            async def go() -> None:
+                server = ReproHTTPServer(
+                    service, "127.0.0.1", 0, header_timeout_s=0.5
+                )
+                await server.start()
+                box["port"] = server.port
+                ready.set()
+                await server.serve_until_shutdown()
+
+            asyncio.run(go())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(30)
+        client = ServerClient(f"http://127.0.0.1:{box['port']}")
+        try:
+            body = json.dumps({"source": BEFORE, "filename": "a.py"}).encode("utf8")
+            head = (
+                f"POST /trees HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode("latin-1")
+            with socket.create_connection(
+                ("127.0.0.1", box["port"]), timeout=10
+            ) as sock:
+                sock.sendall(head)
+                # 6 chunks x 0.3s idle = 1.8s of body > the 0.5s window,
+                # but no single gap exceeds it
+                step = max(1, len(body) // 6)
+                for off in range(0, len(body), step):
+                    sock.sendall(body[off : off + step])
+                    time.sleep(0.3)
+                response = b""
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    response += chunk
+            assert response.startswith(b"HTTP/1.1 200 "), response[:200]
+
+            # a body that truly stalls still gets the 408
+            with socket.create_connection(
+                ("127.0.0.1", box["port"]), timeout=10
+            ) as sock:
+                sock.sendall(head + body[: len(body) // 2])  # ...and stall
+                stalled = sock.recv(65536)
+            assert stalled.startswith(b"HTTP/1.1 408 "), stalled[:200]
+            assert b'"timeout"' in stalled
+        finally:
+            try:
+                client.shutdown()
+            except ClientError:
+                pass
+            thread.join(30)
+
 
 def _synthetic_pair(n_functions: int = 40) -> tuple[str, str]:
     """A moderately large before/after pair so pooled diffs take real

@@ -337,6 +337,146 @@ class TestDurableTreeStore:
         finally:
             store.close()
 
+    def test_concurrent_uploads_and_rotating_applies_do_not_deadlock(self, tmp_path):
+        """Regression: rotation-triggered compaction used to take the
+        in-memory lock while holding the journal handle, while uploads
+        take them in the opposite order — an ABBA deadlock under a
+        multi-thread front end.  Hammer both paths concurrently with
+        limits small enough to force rotations and compactions."""
+        import threading
+
+        store = DurableTreeStore(
+            tmp_path, fsync=False, segment_max_bytes=4096, compact_total_bytes=4096
+        )
+        script, _ = make_script(BEFORE, AFTER)
+        base, _ = store.put_source(BEFORE, "a.py")
+        errors: list[BaseException] = []
+
+        def applier() -> None:
+            try:
+                for _ in range(12):
+                    store.apply(base.fingerprint, script)
+                    store.compact()
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        def uploader(k: int) -> None:
+            try:
+                for i in range(12):
+                    store.put_source(f"u{k}_{i} = {i}\n", f"u{k}_{i}.py")
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=applier) for _ in range(2)] + [
+            threading.Thread(target=uploader, args=(k,)) for k in range(2)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            stuck = [t for t in threads if t.is_alive()]
+            assert not stuck, "store deadlocked: worker threads never finished"
+            assert errors == []
+        finally:
+            store.close()
+
+    def test_compaction_never_loses_a_concurrent_apply(self, tmp_path):
+        """Every apply acknowledged while compactions race it must be
+        recoverable after reopen — either from a snapshot or a journal
+        record that survived compaction."""
+        import threading
+
+        store = DurableTreeStore(tmp_path, fsync=False)
+        base, _ = store.put_source(BEFORE, "a.py")
+        sources = [BEFORE + f"v_{i} = {i}\n" for i in range(10)]
+        scripts = [make_script(BEFORE, src) for src in sources]
+        acked: list[str] = []
+        errors: list[BaseException] = []
+
+        def applier() -> None:
+            try:
+                for script, expect in scripts:
+                    applied, _, _ = store.apply(base.fingerprint, script)
+                    assert applied.fingerprint == expect
+                    acked.append(expect)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        def compactor() -> None:
+            try:
+                for _ in range(20):
+                    store.compact()
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        t1 = threading.Thread(target=applier)
+        t2 = threading.Thread(target=compactor)
+        t1.start()
+        t2.start()
+        t1.join(60)
+        t2.join(60)
+        assert not t1.is_alive() and not t2.is_alive()
+        assert errors == []
+        assert len(acked) == len(scripts)
+        store.close()
+
+        reopened = DurableTreeStore(tmp_path)
+        try:
+            for fp in acked:
+                assert reopened.get(fp).fingerprint == fp
+        finally:
+            reopened.close()
+
+    def test_recovery_eviction_does_not_lose_dependent_records(self, tmp_path):
+        """Regression: during replay the pre-eviction snapshot guard was
+        disabled, so a journal-derived base evicted mid-recovery made
+        every later record depending on it an 'unknown base' skip — an
+        acknowledged, fsync'd apply silently lost on restart."""
+        s1, s2, s3 = (BEFORE + f"x_{i} = {i}\n" for i in range(3))
+        s4 = s1 + "tail = True\n"
+        store = DurableTreeStore(tmp_path)
+        base, _ = store.put_source(BEFORE, "a.py")
+        fp1 = None
+        for src in (s1, s2, s3):  # three applies all based on the upload
+            script, expect = make_script(BEFORE, src)
+            applied, _, _ = store.apply(base.fingerprint, script)
+            if fp1 is None:
+                fp1 = applied.fingerprint
+        # the fourth record's base is the *journal-derived* first result
+        script, fp4 = make_script(s1, s4)
+        applied, _, _ = store.apply(fp1, script)
+        assert applied.fingerprint == fp4
+        store.close()
+
+        # replay with room for only 2 trees: fp1 is evicted mid-replay
+        # before its dependent record arrives
+        reopened = DurableTreeStore(tmp_path, max_trees=2)
+        try:
+            stats = reopened.recovery
+            assert stats.applies_replayed == 4
+            assert stats.records_skipped == 0
+            assert not any("unknown base" in p for p in stats.problems)
+            assert reopened.get(fp4).fingerprint == fp4
+        finally:
+            reopened.close()
+
+    def test_post_startup_disk_misses_do_not_grow_recovery_problems(self, tmp_path):
+        """Regression: a repeatedly-requested corrupt snapshot used to
+        append to ``recovery.problems`` on every ``get`` for the
+        daemon's whole lifetime."""
+        store = DurableTreeStore(tmp_path)
+        try:
+            assert store.recovery.problems == []
+            bogus = "9" * 64
+            (tmp_path / "trees" / f"{bogus}.json").write_text("not json", "utf8")
+            for _ in range(5):
+                with pytest.raises(UnknownFingerprint):
+                    store.get(bogus)
+            assert store.recovery.problems == []
+        finally:
+            store.close()
+
 
 # -- locking ----------------------------------------------------------------
 
