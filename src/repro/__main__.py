@@ -12,6 +12,8 @@ Usage::
     python -m repro lint script.json                   # static analysis, no tree
     python -m repro lint script.json --format sarif --out lint.sarif
     python -m repro lint script.json --fix             # minimize in place
+    python -m repro race a.json b.json c.json          # interference + schedule
+    python -m repro race a.json b.json --format sarif --out race.sarif
     python -m repro verify file.py                     # tree integrity check
     python -m repro verify file.py --script script.json
     python -m repro compare before.py after.py         # all tools side by side
@@ -336,6 +338,55 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(rendered)
     return 0 if report.ok else 1
+
+
+def cmd_race(args: argparse.Namespace) -> int:
+    """Statically analyze a set of truechange scripts for interference.
+
+    Runs the truerace effect system over every script, builds the
+    pairwise interference graph (stable ``TR0xx`` codes), and prints the
+    conflict report plus the greedy-colored wave schedule.  By default
+    the scripts are modeled as raw concurrent applications, where
+    colliding fresh URIs are real conflicts; ``--assume-renamed`` asks
+    the question under a renaming discipline instead (the contract the
+    server's ``/apply-batch`` establishes before scheduling).
+
+    Exit status: 0 if every pair is independent (the whole set is one
+    wave), 1 if any interference was found, 2 for unusable inputs.
+    """
+    from repro.analysis.race import (
+        RaceReport,
+        render_race_json,
+        render_race_sarif,
+        render_race_text,
+        schedule,
+    )
+
+    scripts = []
+    for path in args.scripts:
+        try:
+            scripts.append(script_from_json(_read(path)))
+        except SerializationError as exc:
+            raise CLIError(path, str(exc)) from None
+    sch = schedule(scripts, assume_renamed=args.assume_renamed)
+    report = RaceReport(
+        sch,
+        labels=list(args.scripts),
+        assume_renamed=args.assume_renamed,
+        uri=args.uri,
+    )
+    rendered = {
+        "text": lambda: render_race_text(report),
+        "json": lambda: render_race_json(report),
+        "sarif": lambda: render_race_sarif([report]),
+    }[args.format]()
+    if args.out:
+        with open(args.out, "w", encoding="utf8") as fh:
+            fh.write(rendered)
+            fh.write("\n")
+    else:
+        print(rendered)
+    return 0 if report.independent else 1
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -742,6 +793,39 @@ def main(argv: list[str] | None = None) -> int:
         help="write the report to PATH instead of stdout",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_race = sub.add_parser(
+        "race",
+        help="statically analyze truechange scripts for interference "
+        "(conflict report + wave schedule)",
+    )
+    p_race.add_argument(
+        "scripts", nargs="+", metavar="SCRIPT",
+        help="truechange JSON scripts, in batch order",
+    )
+    p_race.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json", "sarif"],
+        help="report format (default text)",
+    )
+    p_race.add_argument(
+        "--assume-renamed",
+        action="store_true",
+        help="suppress the fresh-URI rules (TR005/TR006): analyze under "
+        "a renaming discipline, as the merge driver and /apply-batch do",
+    )
+    p_race.add_argument(
+        "--uri",
+        default="<scripts>",
+        metavar="LABEL",
+        help="artifact label used in the report (default '<scripts>')",
+    )
+    p_race.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    p_race.set_defaults(func=cmd_race)
 
     p_verify = sub.add_parser(
         "verify", help="check the structural integrity of a parsed tree"

@@ -23,7 +23,11 @@ Layers, bottom up:
 * :mod:`~repro.analysis.linter` — :func:`lint_script`, the orchestrating
   entry point behind ``repro lint``;
 * :mod:`~repro.analysis.campaign` — the CI campaign linting corrupted
-  scripts and gating on per-corruption-class detection.
+  scripts and gating on per-corruption-class detection;
+* :mod:`~repro.analysis.race` — truerace: the read/write effect system,
+  pairwise interference analysis (stable ``TR0xx`` codes), wave
+  scheduling for concurrent application, and its own differential CI
+  campaign (:mod:`~repro.analysis.race.campaign`).
 """
 
 from .abstract import AbstractResult, interpret
@@ -45,6 +49,21 @@ from .diagnostics import (
     render_text,
 )
 from .linter import lint_script
+from .race import (
+    EffectSet,
+    RACE_CODES,
+    RaceConflict,
+    RaceReport,
+    Schedule,
+    independent,
+    interference,
+    rename_fresh,
+    render_race_json,
+    render_race_sarif,
+    render_race_text,
+    schedule,
+    script_effects,
+)
 from .minimize import (
     FIXABLE_CODES,
     MinimizeResult,
@@ -57,9 +76,14 @@ __all__ = [
     "AbstractResult",
     "CODES",
     "Diagnostic",
+    "EffectSet",
     "FIXABLE_CODES",
     "Fix",
     "Footprint",
+    "RACE_CODES",
+    "RaceConflict",
+    "RaceReport",
+    "Schedule",
     "LINT_DEAD_LOAD_UNLOAD",
     "LINT_REDUNDANT_DETACH_ATTACH",
     "LINT_SHADOWED_UPDATE",
@@ -71,13 +95,21 @@ __all__ = [
     "SEVERITIES",
     "commute_conflicts",
     "commutes",
+    "independent",
+    "interference",
     "interpret",
     "lint_script",
     "minimize",
     "patch_equivalent",
+    "rename_fresh",
     "render_json",
+    "render_race_json",
+    "render_race_sarif",
+    "render_race_text",
     "render_sarif",
     "render_text",
     "run_rules",
+    "schedule",
+    "script_effects",
     "script_footprint",
 ]

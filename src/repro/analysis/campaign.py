@@ -33,7 +33,7 @@ import json
 import random
 import sys
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core import diff, tnode_to_mtree
 from repro.robustness.faults import CORRUPTION_KINDS, corrupt_script
@@ -57,15 +57,15 @@ class LintCampaignSummary:
     scripts: int = 0
     corrupted: int = 0
     #: corrupted scripts with at least one finding, per corruption kind
-    flagged_by_kind: dict = field(default_factory=dict)
+    flagged_by_kind: dict[str, int] = field(default_factory=dict)
     #: corrupted scripts with no findings, per kind (statically invisible)
-    missed_by_kind: dict = field(default_factory=dict)
+    missed_by_kind: dict[str, int] = field(default_factory=dict)
     #: findings on *valid* scripts — must stay empty
-    false_positives: list = field(default_factory=list)
+    false_positives: list[str] = field(default_factory=list)
     #: minimality oracle divergences — must stay empty
-    oracle_failures: list = field(default_factory=list)
+    oracle_failures: list[str] = field(default_factory=list)
     #: corruption kinds never flagged across all samples — must stay empty
-    unflagged_kinds: list = field(default_factory=list)
+    unflagged_kinds: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -73,7 +73,7 @@ class LintCampaignSummary:
             self.false_positives or self.oracle_failures or self.unflagged_kinds
         )
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "scripts": self.scripts,
             "corrupted": self.corrupted,

@@ -4,13 +4,14 @@ Two scripts derived from the same ancestor tree can be merged by
 concatenation exactly when they *commute* — applying them in either order
 yields the same tree.  Because truechange scripts are linearly typed,
 commutation is decidable from the scripts alone: each script's effect on
-the ancestor is summarized by a :class:`Footprint` of the linear
-resources it consumes, and two scripts commute iff their footprints are
-disjoint in the precise sense of :func:`commute_conflicts`.
+the ancestor is summarized by its read/write effect set
+(:mod:`repro.analysis.race.effects` — the truerace effect system this
+module is now a thin view over), and two scripts commute iff the effects
+are disjoint in the precise sense of :func:`commute_conflicts`.
 
-The footprint distinguishes *how* a resource is used, which is what makes
-this strictly more permissive than the historical URI-overlap check in
-:mod:`repro.core.merge`:
+The :class:`Footprint` projection distinguishes *how* a resource is used,
+which is what makes this strictly more permissive than the historical
+URI-overlap check in :mod:`repro.core.merge`:
 
 * ``slots`` — ``(parent_uri, link)`` slots the script detaches or fills
   on ancestor nodes.  Two scripts rewiring the same slot race on it.
@@ -21,12 +22,20 @@ this strictly more permissive than the historical URI-overlap check in
   Content edits commute with position edits of the same node: moving a
   node does not observe its literals, and updating them does not observe
   its position.
-* ``destroyed`` — ancestor nodes the script unloads.  Destruction
-  conflicts with *any* use by the other script (position, content,
-  destruction, or a slot under the destroyed node).
-* ``loaded`` — fresh URIs the script creates.  Fresh nodes are invisible
-  to the other script (merging renames them), so edits that only touch a
-  script's own loads contribute nothing to its footprint.
+* ``destroyed`` — ancestor nodes the script unloads, **transitively**: a
+  composite ``Remove`` whose nested kids are themselves removed
+  contributes every destroyed descendant, not just the top node.
+  Destruction conflicts with *any* use by the other script.
+* ``loaded`` — fresh URIs the script creates, transitively: a composite
+  ``Insert`` of a deep subtree contributes every nested load.  Under the
+  *merge* contract fresh nodes are invisible to the other script
+  (:func:`repro.core.merge_scripts` renames them), so loads contribute
+  nothing to commutation — but they are real allocations, and any
+  consumer that applies scripts **without** a renaming step must treat
+  colliding or ancestor-aliasing fresh URIs as interference.  That
+  stricter judgment is :func:`repro.analysis.race.interference` with
+  ``assume_renamed=False``; this module *is* the ``assume_renamed=True``
+  case.
 
 Soundness argument, rule by rule: disjoint slots means neither script
 fills or empties a slot the other relies on; disjoint positions means the
@@ -48,32 +57,46 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.edits import (
-    Attach,
-    Detach,
-    EditScript,
-    Load,
-    Unload,
-    Update,
-)
+from repro.core.edits import EditScript
 from repro.core.merge import MergeConflict
-from repro.core.node import Link
 from repro.core.uris import URI
 
-from .minimize import minimize
+from .race.effects import EffectSet, Slot, script_effects
+from .race.interference import (
+    RACE_CONTENT,
+    RACE_POSITION,
+    RACE_SLOT,
+    interference,
+)
 
-Slot = tuple[URI, Link]
+#: truerace code -> the merge-conflict kind this module has always reported.
+_MERGE_KINDS = {
+    RACE_SLOT: "slot",
+    RACE_POSITION: "position",
+    RACE_CONTENT: "content",
+}
 
 
 @dataclass(frozen=True)
 class Footprint:
-    """The ancestor-tree resources one script consumes."""
+    """The ancestor-tree resources one script consumes — the merge-facing
+    projection of the truerace :class:`~repro.analysis.race.EffectSet`."""
 
     slots: frozenset[Slot]
     positions: frozenset[URI]
     contents: frozenset[URI]
     destroyed: frozenset[URI]
     loaded: frozenset[URI]
+
+    @classmethod
+    def from_effects(cls, effects: EffectSet) -> "Footprint":
+        return cls(
+            slots=effects.slot_writes,
+            positions=effects.moves,
+            contents=effects.lit_writes,
+            destroyed=effects.destroys,
+            loaded=effects.fresh,
+        )
 
     @property
     def touched(self) -> frozenset[URI]:
@@ -93,52 +116,9 @@ def script_footprint(script: EditScript, *, canonicalize: bool = True) -> Footpr
     lint normal form, so self-cancelling noise (a detach undone by an
     attach, a dead load/unload) does not count as resource use.
     """
-    if canonicalize:
-        script = minimize(script).script
-    slots: set[Slot] = set()
-    positions: set[URI] = set()
-    contents: set[URI] = set()
-    destroyed: set[URI] = set()
-    loaded: set[URI] = set()
-    for edit in script.primitives():
-        if isinstance(edit, Detach):
-            if edit.parent.uri not in loaded:
-                slots.add((edit.parent.uri, edit.link))
-            if edit.node.uri not in loaded:
-                positions.add(edit.node.uri)
-        elif isinstance(edit, Attach):
-            if edit.parent.uri not in loaded:
-                slots.add((edit.parent.uri, edit.link))
-            if edit.node.uri not in loaded:
-                positions.add(edit.node.uri)
-        elif isinstance(edit, Load):
-            loaded.add(edit.node.uri)
-            for _, kid in edit.kids:
-                if kid not in loaded:
-                    positions.add(kid)
-        elif isinstance(edit, Unload):
-            if edit.node.uri not in loaded:
-                destroyed.add(edit.node.uri)
-            for _, kid in edit.kids:
-                if kid not in loaded:
-                    positions.add(kid)
-        elif isinstance(edit, Update):
-            if edit.node.uri not in loaded:
-                contents.add(edit.node.uri)
-    return Footprint(
-        slots=frozenset(slots),
-        positions=frozenset(positions),
-        contents=frozenset(contents),
-        destroyed=frozenset(destroyed),
-        loaded=frozenset(loaded),
+    return Footprint.from_effects(
+        script_effects(script, canonicalize=canonicalize)
     )
-
-
-def _destruction_conflicts(
-    destroyer: Footprint, other: Footprint
-) -> frozenset[URI]:
-    """Nodes ``destroyer`` unloads that ``other`` uses in any way."""
-    return destroyer.destroyed & other.touched
 
 
 def commute_conflicts(a: EditScript, b: EditScript) -> list[MergeConflict]:
@@ -149,18 +129,18 @@ def commute_conflicts(a: EditScript, b: EditScript) -> list[MergeConflict]:
     * ``position`` — both scripts move the same node;
     * ``content`` — both scripts update the same node's literals;
     * ``node`` — one script destroys a node the other uses.
+
+    This is the *merge* judgment: fresh URIs are assumed renamed away
+    from each other (``merge_scripts`` does exactly that), so
+    ``TR005``/``TR006`` never contribute.  Consumers applying scripts
+    without renaming want :func:`repro.analysis.race.interference`.
     """
-    fa, fb = script_footprint(a), script_footprint(b)
+    ea = script_effects(a)
+    eb = script_effects(b)
     conflicts: list[MergeConflict] = []
-    for slot in sorted(fa.slots & fb.slots, key=repr):
-        conflicts.append(MergeConflict("slot", slot))
-    for uri in sorted(fa.positions & fb.positions, key=repr):
-        conflicts.append(MergeConflict("position", (uri,)))
-    for uri in sorted(fa.contents & fb.contents, key=repr):
-        conflicts.append(MergeConflict("content", (uri,)))
-    destroyed = _destruction_conflicts(fa, fb) | _destruction_conflicts(fb, fa)
-    for uri in sorted(destroyed, key=repr):
-        conflicts.append(MergeConflict("node", (uri,)))
+    for race in interference(ea, eb, assume_renamed=True):
+        kind = _MERGE_KINDS.get(race.code, "node")
+        conflicts.append(MergeConflict(kind, race.resource))
     return conflicts
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.edits import PrimitiveEdit
 from repro.core.typecheck import TC_CODES
@@ -124,8 +124,8 @@ class Diagnostic:
             where += f" (uri {self.uri})"
         return where
 
-    def as_dict(self) -> dict:
-        out = {
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
             "code": self.code,
             "severity": self.severity,
             "message": self.message,
@@ -181,7 +181,7 @@ class LintReport:
             counts[d.code] = counts.get(d.code, 0) + 1
         return dict(sorted(counts.items()))
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "uri": self.uri,
             "edits": self.edits,
@@ -232,11 +232,11 @@ def render_sarif(reports: list[LintReport], indent: int | None = 2) -> str:
         }
         for code in used
     ]
-    results = []
+    results: list[dict[str, Any]] = []
     for report in reports:
         for d in report.diagnostics:
             region = {"startLine": (d.edit_index or 0) + 1}
-            result = {
+            result: dict[str, Any] = {
                 "ruleId": d.code,
                 "level": _SARIF_LEVELS.get(d.severity, "warning"),
                 "message": {"text": d.message},

@@ -27,7 +27,7 @@ from .diagnostics import Diagnostic, LintReport
 from .rules import run_rules
 
 
-def _order(d: Diagnostic) -> tuple:
+def _order(d: Diagnostic) -> tuple[bool, int, str]:
     # whole-script findings (no edit index) sort after positioned ones
     return (d.edit_index is None, d.edit_index or 0, d.code)
 

@@ -29,9 +29,10 @@ the number of updates; ``max_rounds`` is a belt-and-braces bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.core.edits import EditScript, PrimitiveEdit
+from repro.core.signature import SignatureRegistry
 
 from .diagnostics import (
     Diagnostic,
@@ -126,8 +127,8 @@ def minimize(script: EditScript, *, max_rounds: int = 100) -> MinimizeResult:
 def patch_equivalent(
     a: EditScript,
     b: EditScript,
-    trees: Sequence,
-    sigs=None,
+    trees: Sequence[Any],
+    sigs: Optional[SignatureRegistry] = None,
 ) -> Optional[str]:
     """Differential oracle: do ``a`` and ``b`` patch every tree in
     ``trees`` to the same result?

@@ -1,0 +1,154 @@
+"""Deterministic conflict reports for the truerace analysis.
+
+Mirrors truelint's renderer contract (:mod:`repro.analysis.diagnostics`):
+one text renderer for humans, one JSON renderer for machines, one SARIF
+2.1.0 renderer for code-scanning UIs.  Reports are pure functions of the
+analyzed script set — same scripts, same bytes — which is what lets CI
+diff them and lets the campaign upload them as stable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .interference import RACE_CODES, RaceConflict, Schedule
+
+
+@dataclass
+class RaceReport:
+    """The result of analyzing one set of scripts for interference."""
+
+    schedule: Schedule
+    #: display labels of the analyzed scripts, in input order
+    labels: list[str] = field(default_factory=list)
+    #: whether the fresh-URI rules were suppressed (renaming assumed)
+    assume_renamed: bool = False
+    uri: str = "<scripts>"
+
+    @property
+    def conflicts(self) -> list[RaceConflict]:
+        return self.schedule.conflicts
+
+    @property
+    def independent(self) -> bool:
+        return self.schedule.independent
+
+    def label(self, index: int) -> str:
+        if 0 <= index < len(self.labels):
+            return self.labels[index]
+        return f"script #{index}"
+
+    def counts_by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for c in self.conflicts:
+            counts[c.code] = counts.get(c.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "uri": self.uri,
+            "scripts": len(self.schedule.effects),
+            "labels": list(self.labels),
+            "assume_renamed": self.assume_renamed,
+            "independent": self.independent,
+            "counts": self.counts_by_code(),
+            "conflicts": [c.as_dict() for c in self.conflicts],
+            "schedule": self.schedule.as_dict(),
+        }
+
+
+def render_race_text(report: RaceReport) -> str:
+    """Compiler-style report: one conflict per line, then the schedule."""
+    lines: list[str] = []
+    for c in report.conflicts:
+        lines.append(
+            f"{report.uri}: {report.label(c.left)} vs {report.label(c.right)}: "
+            f"{c.message} [{c.code}]"
+        )
+    n = len(report.schedule.effects)
+    lines.append(
+        f"{report.uri}: {len(report.conflicts)} conflict(s) across {n} "
+        f"script(s); schedule: {len(report.schedule.waves)} wave(s), "
+        f"parallelism {report.schedule.parallelism:.2f}"
+    )
+    for w, members in enumerate(report.schedule.waves):
+        names = ", ".join(report.label(i) for i in members)
+        lines.append(f"{report.uri}:   wave {w}: {names}")
+    return "\n".join(lines)
+
+
+def render_race_json(report: RaceReport, indent: "int | None" = 2) -> str:
+    return json.dumps(report.as_dict(), indent=indent, sort_keys=True)
+
+
+def render_race_sarif(
+    reports: Sequence[RaceReport], indent: "int | None" = 2
+) -> str:
+    """Render race reports as a SARIF 2.1.0 log (driver ``truerace``).
+
+    Each conflict becomes one ``result`` located at both scripts of the
+    pair; the region's ``startLine`` is the 1-based index of the *later*
+    script in the analyzed sequence (script sets have no source text, so
+    the sequence position plays the line's role — same convention as
+    truelint's edit-index regions).
+    """
+    used = sorted({c.code for r in reports for c in r.conflicts})
+    rules = [
+        {
+            "id": code,
+            "name": RACE_CODES.get(code, code).split(":", 1)[0],
+            "shortDescription": {"text": RACE_CODES.get(code, code)},
+        }
+        for code in used
+    ]
+    results: list[dict[str, Any]] = []
+    for report in reports:
+        for c in report.conflicts:
+            results.append(
+                {
+                    "ruleId": c.code,
+                    "level": "error",
+                    "message": {
+                        "text": (
+                            f"{report.label(c.left)} vs "
+                            f"{report.label(c.right)}: {c.message}"
+                        )
+                    },
+                    "locations": [
+                        {
+                            "physicalLocation": {
+                                "artifactLocation": {"uri": report.uri},
+                                "region": {"startLine": c.right + 1},
+                            }
+                        }
+                    ],
+                    "properties": {
+                        "left": c.left,
+                        "right": c.right,
+                        "resource": list(c.resource),
+                    },
+                }
+            )
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "truerace",
+                        "informationUri": "https://example.invalid/truerace",
+                        "version": "1.0.0",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=indent, sort_keys=True)

@@ -96,7 +96,10 @@ def _min_defined(*candidates: Optional[int]) -> Optional[int]:
 
 
 def _round_trip_pair(
-    index: _Index, i: int, first_kind: type, second_kind: type
+    index: _Index,
+    i: int,
+    first_kind: type[PrimitiveEdit],
+    second_kind: type[PrimitiveEdit],
 ) -> Optional[int]:
     """For a Detach/Attach (or Attach/Detach) at ``i``, the index ``j`` of
     the matching inverse on the same node and slot, provided nothing in

@@ -81,6 +81,16 @@ regression gate additionally requires that sampled tracing costs at most
 tracing in production batch runs is the design goal, so the bench
 document proves it stays cheap.
 
+Since PR 10 (schema v7) the document also records an **apply-batch
+section**: the daemon's ``/apply-batch`` operation — N independent edit
+scripts over one large stored base, statically scheduled by the
+truerace interference analysis into a single wave and fanned out across
+the worker pool — measured at 1 and 2 workers with the host CPU count
+recorded alongside.  The regression gate requires the 2-worker speedup
+to reach :data:`MIN_SPEEDUP_AT_2` whenever the measuring host had a
+second CPU; on single-CPU hosts the curve is recorded (it honestly
+measures pool overhead) and the gate is skipped.
+
 Run ``python -m repro.bench.baseline --out BENCH_truediff.json`` to
 regenerate, or ``--check BENCH_truediff.json`` in CI to fail on a >30%
 warm-diff regression against the checked-in numbers (same-machine
@@ -112,7 +122,7 @@ from repro.corpus.generator import GeneratorConfig
 
 # -- the frozen corpus recipe (do not change; see module docstring) ----------
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 N_MODULES = 4
 N_VERSIONS = 4
 N_EDITS = 3
@@ -420,6 +430,94 @@ def _measure_batch(sources: list[list[str]]) -> dict:
     }
 
 
+#: Scripts per measured ``/apply-batch`` request (one wave of this width).
+APPLY_BATCH_SCRIPTS = 8
+
+#: Worker counts of the frozen apply-batch scaling pair.
+APPLY_BATCH_WORKERS = (1, 2)
+
+
+def _measure_apply_batch(sources: list[list[str]]) -> dict:
+    """Service-level ``/apply-batch`` throughput across the worker pool.
+
+    The workload: the first frozen corpus module (≈14k nodes) extended
+    with one marker function per batch script, stored in a
+    :class:`~repro.server.service.ReproService`, and a batch of
+    :data:`APPLY_BATCH_SCRIPTS` scripts each rewriting a distinct
+    marker's constant.  The edits touch disjoint subtrees, so the
+    truerace schedule puts the whole batch in a single wave and the
+    service fans the per-script transactional validation (parse, linear
+    pre-flight, atomic patch, post-verify) out across the pool.  The 1-
+    vs 2-worker pair runs the *same* parallel code path, so the ratio
+    isolates what a second worker buys (and on a single-CPU host,
+    honestly records that it buys nothing — the gate in
+    :func:`check_regression` reads ``cpus`` and skips).
+    """
+    import os
+
+    from repro.server.service import ReproService
+
+    markers = "\n\n".join(
+        f"def bench_slot_{i}():\n    return {1000 + i}"
+        for i in range(APPLY_BATCH_SCRIPTS)
+    )
+    base_source = sources[0][0] + "\n\n" + markers + "\n"
+    variants = [
+        base_source.replace(f"return {1000 + i}", f"return {2000 + i}")
+        for i in range(APPLY_BATCH_SCRIPTS)
+    ]
+    base_nodes = 0
+
+    def _run(workers: int) -> dict:
+        nonlocal base_nodes
+        service = ReproService(workers=workers)
+        try:
+            fp = service.handle("put_tree", {"source": base_source})[
+                "fingerprint"
+            ]
+            scripts = [
+                service.handle("diff", {"before": fp, "after": {"source": v}})[
+                    "script"
+                ]
+                for v in variants
+            ]
+            params = {"tree": fp, "scripts": scripts, "commit": False}
+            # warm pass: fork the pool, fill the worker tree caches, and
+            # pin down the contract outside the timed region
+            out = service.handle("apply_batch", dict(params))
+            assert out["mode"] == "parallel", out["mode"]
+            assert out["schedule"]["waves"] == [
+                list(range(APPLY_BATCH_SCRIPTS))
+            ], "bench scripts must schedule into one wave"
+            assert out["applied"] == APPLY_BATCH_SCRIPTS
+            base_nodes = out["nodes"]
+            best: Optional[float] = None
+            for _ in range(BEST_OF):
+                t0 = time.perf_counter()
+                out = service.handle("apply_batch", dict(params))
+                elapsed = time.perf_counter() - t0
+                assert out["applied"] == APPLY_BATCH_SCRIPTS
+                if best is None or elapsed < best:
+                    best = elapsed
+            return {
+                "workers": workers,
+                "scripts_per_sec": round(APPLY_BATCH_SCRIPTS / best, 2),
+                "ms_per_batch": round(best * 1000, 2),
+            }
+        finally:
+            service.close()
+
+    curve = {str(w): _run(w) for w in APPLY_BATCH_WORKERS}
+    rate = lambda w: curve[str(w)]["scripts_per_sec"]  # noqa: E731
+    return {
+        "scripts": APPLY_BATCH_SCRIPTS,
+        "base_nodes": base_nodes,
+        "cpus": os.cpu_count() or 1,
+        "curve": curve,
+        "speedup_at_2": round(rate(2) / rate(1), 2),
+    }
+
+
 #: Head-sampling rate the tracing overhead is measured (and gated) at —
 #: the rate a production batch run would use for always-on tracing.
 TRACING_SAMPLE = "1/8"
@@ -598,6 +696,7 @@ def measure(scheme: str = "blake2b") -> dict:
                 "batch.parallel must be measured and non-null (schema v5+)"
             )
         tracing = _measure_tracing(sources)
+        apply_batch = _measure_apply_batch(sources)
         robustness = _measure_robustness(modules)
     return {
         "schema_version": SCHEMA_VERSION,
@@ -615,6 +714,7 @@ def measure(scheme: str = "blake2b") -> dict:
         "observability": observability,
         "batch": batch,
         "tracing": tracing,
+        "apply_batch": apply_batch,
         "robustness": robustness,
         "seed_reference": SEED_REFERENCE,
         "pr1_reference": PR1_REFERENCE,
@@ -646,7 +746,10 @@ def check_regression(
       :data:`MIN_SPEEDUP_AT_2` whenever the host that *measured* it had
       a second CPU to use;
     * a tracing section (schema v6) whose sampled-tracing batch overhead
-      stays within :data:`MAX_TRACING_OVERHEAD_PCT`.
+      stays within :data:`MAX_TRACING_OVERHEAD_PCT`;
+    * an apply-batch section (schema v7) whose 2-worker speedup reaches
+      :data:`MIN_SPEEDUP_AT_2` whenever the measuring host had a second
+      CPU (single-CPU hosts record the curve, gate skipped).
     """
     with open(baseline_path, "r", encoding="utf8") as f:
         baseline = json.load(f)
@@ -709,6 +812,24 @@ def check_regression(
             f"sampled tracing overhead {overhead}% "
             f"(<= {MAX_TRACING_OVERHEAD_PCT}%, sample {tracing.get('sample')})",
         )
+
+    apply_batch = results.get("apply_batch")
+    if not apply_batch or apply_batch.get("speedup_at_2") is None:
+        gate(False, "apply_batch scaling section present (schema v7)")
+    else:
+        cpus = apply_batch.get("cpus", 1)
+        at2 = apply_batch.get("speedup_at_2")
+        if cpus >= 2:
+            gate(
+                at2 >= MIN_SPEEDUP_AT_2,
+                f"apply-batch 2-worker speedup {at2} "
+                f"(>= {MIN_SPEEDUP_AT_2}, {cpus} cpus)",
+            )
+        else:
+            lines.append(
+                f"apply-batch 2-worker speedup {at2} recorded on {cpus} cpu "
+                "(gate skipped: no second CPU)"
+            )
     return ok, "\n".join(lines)
 
 

@@ -1,0 +1,189 @@
+"""Lock-order sanitizer: runtime acquisition-graph cycle detection.
+
+PR 9's ABBA deadlock (journal compaction holding the on-disk
+``_io_lock`` while an upload held the in-memory ``_lock`` and each
+waited on the other) was found by a chaos run wedging; the fix froze a
+lock *order* — ``_lock`` may be held while taking ``_io_lock``, never
+the reverse — but the discipline lived in prose.  This module enforces
+it the way kernel lockdep does: every instrumented acquisition records
+an edge ``H -> L`` for each lock class ``H`` the thread already holds,
+and an acquisition that would close a cycle in that graph raises
+:class:`LockOrderError` *at the acquisition site*, on the first
+wrong-ordered run — no unlucky interleaving required.  A single-threaded
+test that takes ``_io_lock`` then ``_lock`` after any normal store
+operation has recorded ``_lock -> _io_lock`` is enough to convict.
+
+Ordering is tracked per lock **class** (the name given at creation),
+not per instance — two stores' ``_lock``\\ s are the same class, which
+is exactly the granularity the discipline is stated at.  Re-acquiring a
+lock class the thread already holds (RLock reentrancy) records nothing;
+nesting two *distinct instances* of one class is likewise not ordered
+(no store codepath does this; flagging it would make the sanitizer cry
+wolf on hypothetical patterns the discipline does not govern).
+
+Zero-cost when off: :func:`rlock`/:func:`lock` return plain
+``threading`` primitives unless the sanitizer is enabled (via
+:func:`enable` or the ``REPRO_LOCKSAN`` environment variable) *at
+creation time*, so production stores pay nothing.  Tests and CI enable
+it before constructing the store; the server/durable suites run clean
+under it, and the seeded ABBA reintroduction test proves it bites.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional, Union
+
+__all__ = [
+    "LockOrderError",
+    "acquisition_graph",
+    "disable",
+    "enable",
+    "is_enabled",
+    "lock",
+    "reset",
+    "rlock",
+]
+
+
+class LockOrderError(RuntimeError):
+    """An instrumented acquisition closed a cycle in the lock-order graph."""
+
+    def __init__(self, cycle: list[str], acquiring: str, holding: str) -> None:
+        chain = " -> ".join(cycle)
+        super().__init__(
+            f"lock order inversion: acquiring {acquiring!r} while holding "
+            f"{holding!r}, but the recorded order already requires "
+            f"{chain} (ABBA deadlock candidate)"
+        )
+        self.cycle = cycle
+        self.acquiring = acquiring
+        self.holding = holding
+
+
+_enabled = False
+#: lock-class order graph: edges[h] = classes acquired while holding h
+_edges: dict[str, set[str]] = {}
+_graph_lock = threading.Lock()
+_held = threading.local()
+
+
+def enable() -> None:
+    """Instrument locks created from now on (and arm existing ones)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    """True when newly created locks will be instrumented."""
+    return _enabled or os.environ.get("REPRO_LOCKSAN", "") not in ("", "0")
+
+
+def reset() -> None:
+    """Forget every recorded acquisition edge (between tests)."""
+    with _graph_lock:
+        _edges.clear()
+
+
+def acquisition_graph() -> dict[str, list[str]]:
+    """A snapshot of the recorded order graph (class -> later classes)."""
+    with _graph_lock:
+        return {h: sorted(ls) for h, ls in _edges.items() if ls}
+
+
+def _find_path(src: str, dst: str) -> Optional[list[str]]:
+    """A path ``src -> ... -> dst`` in the edge graph, if one exists.
+    Caller holds ``_graph_lock``."""
+    stack = [(src, [src])]
+    seen = {src}
+    while stack:
+        node, path = stack.pop()
+        if node == dst:
+            return path
+        for nxt in _edges.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, path + [nxt]))
+    return None
+
+
+def _held_stack() -> list["_SanLock"]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = []
+        _held.stack = stack
+    return stack
+
+
+class _SanLock:
+    """An instrumented lock: the underlying primitive plus order checks.
+
+    Context-manager and ``acquire``/``release`` compatible with
+    ``threading.Lock``/``RLock`` (the subset the stores use).
+    """
+
+    __slots__ = ("name", "_inner")
+
+    def __init__(self, name: str, inner: Union[threading.Lock, "threading.RLock"]) -> None:
+        self.name = name
+        self._inner = inner
+
+    def _check_order(self) -> None:
+        stack = _held_stack()
+        if any(l is self for l in stack):
+            return  # RLock reentrancy: no new ordering information
+        holding = [l.name for l in stack if l.name != self.name]
+        if not holding:
+            return
+        with _graph_lock:
+            for h in holding:
+                # would h -> self close a cycle self ->* h ?
+                path = _find_path(self.name, h)
+                if path is not None:
+                    raise LockOrderError(
+                        path + [self.name], acquiring=self.name, holding=h
+                    )
+            for h in holding:
+                _edges.setdefault(h, set()).add(self.name)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._check_order()
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            _held_stack().append(self)
+        return got
+
+    def release(self) -> None:
+        stack = _held_stack()
+        # drop the most recent frame for this lock (RLock nesting pops
+        # inner frames first)
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                del stack[i]
+                break
+        self._inner.release()
+
+    def __enter__(self) -> "_SanLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.release()
+
+
+def rlock(name: str) -> Union[threading.RLock, _SanLock]:
+    """A (possibly instrumented) re-entrant lock of class ``name``."""
+    inner = threading.RLock()
+    return _SanLock(name, inner) if is_enabled() else inner
+
+
+def lock(name: str) -> Union[threading.Lock, _SanLock]:
+    """A (possibly instrumented) non-reentrant lock of class ``name``."""
+    inner = threading.Lock()
+    return _SanLock(name, inner) if is_enabled() else inner

@@ -198,6 +198,29 @@ class ServerClient:
             idempotent=False,
         )
 
+    def apply_batch(
+        self,
+        tree: str,
+        scripts: list[Any],
+        commit: bool = True,
+        parallel: bool = True,
+        oracle: bool = False,
+    ) -> dict[str, Any]:
+        # like apply: never retried (a lost response after a server-side
+        # commit would make a resend a double-submission)
+        return self._json(
+            "POST",
+            "/apply-batch",
+            {
+                "tree": tree,
+                "scripts": scripts,
+                "commit": commit,
+                "parallel": parallel,
+                "oracle": oracle,
+            },
+            idempotent=False,
+        )
+
     def lint(self, script: Any) -> dict[str, Any]:
         return self._json("POST", "/lint", {"script": script})
 

@@ -215,7 +215,12 @@ class DurableTreeStore(TreeStore):
         self.fsync = fsync
         self.segment_max_bytes = max(4096, segment_max_bytes)
         self.compact_total_bytes = max(self.segment_max_bytes, compact_total_bytes)
-        self._io_lock = threading.RLock()
+        # lock-order class "store._io_lock": always ordered *after* the
+        # in-memory "store._lock" (see the module docstring); instrumented
+        # by the lock sanitizer when REPRO_LOCKSAN is enabled
+        from repro.robustness import locksan
+
+        self._io_lock = locksan.rlock("store._io_lock")
         self._local = threading.local()
         #: serializes whole compactions; _compact_pending is the
         #: rotation->compaction handoff (see _rotate / apply)

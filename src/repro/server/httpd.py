@@ -15,6 +15,8 @@ Routes::
     POST /trees              {"source", "filename"?}        -> fingerprint
     POST /diff               {"before", "after", "raw"?}    -> script
     POST /apply              {"tree", "script", "commit"?}  -> new fingerprint
+    POST /apply-batch        {"tree", "scripts", "commit"?, "parallel"?,
+                              "oracle"?}  -> fingerprint + schedule + verdicts
     POST /lint               {"script"}                     -> lint report
     POST /verify             {"tree"}                       -> violations
     POST /merge              {"left", "right"}              -> merged script
@@ -318,6 +320,7 @@ class ReproHTTPServer:
             "/trees": "put_tree",
             "/diff": "diff",
             "/apply": "apply",
+            "/apply-batch": "apply_batch",
             "/lint": "lint",
             "/verify": "verify",
             "/merge": "merge",

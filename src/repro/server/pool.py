@@ -174,6 +174,75 @@ def pool_diff_task(
     return {"result": result, "telemetry": worker_telemetry(obs_env)}
 
 
+def pool_apply_task(
+    payload: dict[str, Any], obs_env: Optional[dict[str, Any]]
+) -> dict[str, Any]:
+    """Top-level (picklable) pool task: validate one edit script of an
+    ``/apply-batch`` request against its base tree, in a worker.
+
+    The worker runs the script's **full transactional validation** —
+    parse, pre-flight linear typecheck, atomic patch, post-patch
+    integrity verify — against a scratch ``MTree`` of the base (resolved
+    through the same fingerprint-keyed worker cache the diff task uses,
+    so a hot base parses once per worker).  This is the per-script O(n)
+    work ``/apply-batch`` fans out; the daemon only *composes* scripts
+    the workers have already validated.
+
+    ``result["ok"]`` reports whether the task ran; the script's verdict
+    is ``result["applied"]`` — a rejected patch (``PatchError``) is an
+    expected outcome, not a worker failure, so it can never poison the
+    pool.
+    """
+    from repro.core import PatchError, tnode_to_mtree
+    from repro.core.serialize import script_from_json
+    from repro.observability import remote_context
+    from repro.observability.aggregate import worker_setup, worker_telemetry
+
+    worker_setup(obs_env)
+    ctx = obs_env.get("trace_ctx") if obs_env else None
+    with remote_context(ctx, resample=True):
+        with _span("repro.server.pool.apply") as sp:
+            index = payload.get("index")
+            try:
+                base = _worker_tree(payload["base"])
+                script = script_from_json(payload["script_json"])
+                t0 = time.perf_counter()
+                mtree = tnode_to_mtree(base)
+                try:
+                    mtree.patch(
+                        script, atomic=True, sigs=base.sigs, verify=True
+                    )
+                except PatchError as exc:
+                    result = {
+                        "ok": True,
+                        "applied": False,
+                        "index": index,
+                        "error": " ".join(str(exc).split()),
+                        "error_type": type(exc).__name__,
+                    }
+                    sp.set_status("error", type(exc).__name__)
+                else:
+                    result = {
+                        "ok": True,
+                        "applied": True,
+                        "index": index,
+                        "edits": len(script),
+                        "apply_ms": round((time.perf_counter() - t0) * 1000, 3),
+                    }
+                sp.set_attrs(
+                    base=payload["base"]["fingerprint"], index=index
+                )
+            except Exception as exc:
+                result = {
+                    "ok": False,
+                    "index": index,
+                    "error": " ".join((str(exc) or type(exc).__name__).split()),
+                    "error_type": type(exc).__name__,
+                }
+                sp.set_status("error", type(exc).__name__)
+    return {"result": result, "telemetry": worker_telemetry(obs_env)}
+
+
 class DiffPool:
     """A ``ProcessPoolExecutor`` carrying the obs envelope on every task.
 
@@ -199,15 +268,18 @@ class DiffPool:
         self._rebuild_lock = threading.Lock()
         self._closed = False
 
-    def submit(self, payload: dict[str, Any]):
+    def submit(self, payload: dict[str, Any], task=None):
+        """Submit ``payload`` to a worker; ``task`` picks the (picklable)
+        task function, defaulting to :func:`pool_diff_task`."""
         from concurrent.futures import Future
         from concurrent.futures.process import BrokenProcessPool
 
+        task_fn = task if task is not None else pool_diff_task
         obs_env = self.collector.envelope() if self.collector is not None else None
         for _attempt in range(2):
             executor = self._executor
             try:
-                future = executor.submit(pool_diff_task, payload, obs_env)
+                future = executor.submit(task_fn, payload, obs_env)
             except (BrokenProcessPool, RuntimeError):
                 # the pool broke (or closed) before this request entered
                 # it; rebuild once and retry on the fresh executor

@@ -43,6 +43,9 @@ from repro.observability import (
 from .pool import DiffPool, diff_trees
 from .store import StoredTree, StoreError, TreeStore, UnknownFingerprint
 
+#: Upper bound on scripts per ``/apply-batch`` request.
+MAX_BATCH_SCRIPTS = 64
+
 #: ServiceError codes -> HTTP status (the stdio front end ships the code).
 ERROR_STATUS = {
     "bad_request": 400,
@@ -115,6 +118,7 @@ class ReproService:
             "list_trees": self._op_list_trees,
             "diff": self._op_diff,
             "apply": self._op_apply,
+            "apply_batch": self._op_apply_batch,
             "lint": self._op_lint,
             "verify": self._op_verify,
             "merge": self._op_merge,
@@ -276,6 +280,267 @@ class ReproService:
             "committed": commit,
             "source": source,
         }
+
+    # ------------------------------------------------------------------
+    # batch apply: truerace-scheduled concurrent application
+
+    def _op_apply_batch(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Apply N scripts to one stored tree under the truerace schedule.
+
+        The pipeline: canonically rename colliding fresh URIs
+        (:func:`~repro.analysis.race.rename_fresh` — after which the
+        fresh-URI interference rules are discharged), build the wave
+        schedule with ``assume_renamed=True``, then execute it.  Wave 0
+        (scripts independent of everything before them) fans its
+        per-script transactional validation out across the worker pool;
+        the daemon composes the accepted scripts — provably conflict-free
+        — onto one scratch tree without re-verifying each.  Later waves
+        interfere with something earlier, so they are applied
+        sequentially in input order with full verification, which is
+        exactly what the sequential fold would do with them.
+
+        The result is defined to be the **sequential fold in input
+        order** (each script applied transactionally; rejected scripts
+        skipped).  The parallel path is an implementation of that spec:
+        any pool failure or composition surprise falls back to the
+        literal fold, and ``oracle=true`` re-runs the fold and asserts
+        the fingerprints and per-script verdicts are identical —
+        the zero-false-independence gate, servable on demand.
+        """
+        from repro.analysis.race import rename_fresh, schedule, script_effects
+
+        fingerprint = params.get("tree")
+        if not isinstance(fingerprint, str):
+            raise ServiceError("bad_request", "'tree' must be a fingerprint string")
+        raw = params.get("scripts")
+        if not isinstance(raw, list) or not raw:
+            raise ServiceError("bad_request", "'scripts' must be a non-empty array")
+        if len(raw) > MAX_BATCH_SCRIPTS:
+            raise ServiceError(
+                "bad_request",
+                f"at most {MAX_BATCH_SCRIPTS} scripts per batch, got {len(raw)}",
+            )
+        scripts = [_parse_script(v, f"scripts[{i}]") for i, v in enumerate(raw)]
+        commit = bool(params.get("commit", True))
+        oracle = bool(params.get("oracle", False))
+        want_parallel = bool(params.get("parallel", True))
+        try:
+            base = self.store.get(fingerprint)
+        except UnknownFingerprint as exc:
+            raise ServiceError("not_found", str(exc)) from None
+
+        renamed, renames = rename_fresh(
+            scripts, set(range(1, base.nodes + 1)), start=base.nodes + 1
+        )
+        effects = [script_effects(s) for s in renamed]
+        sch = schedule(renamed, assume_renamed=True, effects=effects)
+        self._batch_count("requests")
+        self._batch_count("scripts", len(scripts))
+        self._batch_count("conflicts", len(sch.conflicts))
+        self._batch_count("waves", len(sch.waves))
+        self._batch_count("renamed_loads", renames)
+
+        use_parallel = (
+            want_parallel
+            and self.pool is not None
+            and base.source is not None
+            and len(sch.waves[0]) > 1
+        )
+        with self._compute_lock:
+            mode = "sequential"
+            statuses: Optional[list[dict[str, Any]]] = None
+            mtree = None
+            if use_parallel:
+                parallel_run = self._batch_parallel(base, renamed, sch)
+                if parallel_run is None:
+                    self._batch_count("fallbacks")
+                else:
+                    mode = "parallel"
+                    mtree, statuses = parallel_run
+            if statuses is None:
+                mtree, statuses = self._batch_sequential(base, renamed)
+            rebuilt, source, out_fp = self._batch_finish(mtree)
+
+            oracle_out: Optional[dict[str, Any]] = None
+            if oracle:
+                self._batch_count("oracle_checks")
+                if mode == "parallel":
+                    seq_mtree, seq_statuses = self._batch_sequential(base, renamed)
+                    _, _, seq_fp = self._batch_finish(seq_mtree)
+                else:
+                    seq_statuses, seq_fp = statuses, out_fp
+                verdicts = [(s["index"], s["status"]) for s in statuses]
+                seq_verdicts = [(s["index"], s["status"]) for s in seq_statuses]
+                if out_fp != seq_fp or verdicts != seq_verdicts:
+                    self._batch_count("oracle_failures")
+                    raise ServiceError(
+                        "internal",
+                        "apply-batch differential oracle failed: parallel "
+                        f"result {out_fp[:12]} (verdicts {verdicts}) != "
+                        f"sequential {seq_fp[:12]} (verdicts {seq_verdicts})",
+                    )
+                oracle_out = {"ok": True, "fingerprint": seq_fp, "compared": mode}
+
+            cached = False
+            if commit:
+                entry, cached = self.store.put_tree(
+                    rebuilt, source, base.filename, fingerprint=out_fp
+                )
+                out_fp = entry.fingerprint
+
+        applied = sum(1 for s in statuses if s["status"] == "applied")
+        self._batch_count("applied", applied)
+        self._batch_count("rejected", len(statuses) - applied)
+        if mode == "parallel":
+            self._batch_count("parallel_scripts", len(sch.waves[0]))
+            self._batch_count(
+                "serialized_scripts", len(statuses) - len(sch.waves[0])
+            )
+        out = {
+            "tree": fingerprint,
+            "fingerprint": out_fp,
+            "nodes": rebuilt.size,
+            "cached": cached,
+            "committed": commit,
+            "source": source,
+            "mode": mode,
+            "applied": applied,
+            "rejected": len(statuses) - applied,
+            "renamed_loads": renames,
+            "scripts": statuses,
+            "schedule": sch.as_dict(),
+        }
+        if oracle_out is not None:
+            out["oracle"] = oracle_out
+        return out
+
+    def _batch_count(self, name: str, n: int = 1) -> None:
+        if OBS.enabled and n:
+            _metrics().counter(f"repro.server.batch_apply.{name}").inc(n)
+
+    @staticmethod
+    def _status_applied(index: int, script) -> dict[str, Any]:
+        return {"index": index, "status": "applied", "edits": len(script)}
+
+    @staticmethod
+    def _status_rejected(index: int, error_type: str, error: str) -> dict[str, Any]:
+        return {
+            "index": index,
+            "status": "rejected",
+            "error": f"{error_type}: {error}",
+        }
+
+    def _batch_sequential(self, base: StoredTree, renamed) -> tuple[Any, list[dict[str, Any]]]:
+        """The spec: fold the scripts over the base in input order, each
+        with the full transactional machinery; rejections skip."""
+        mtree = tnode_to_mtree(base.tree)
+        sigs = base.tree.sigs
+        statuses: list[dict[str, Any]] = []
+        for i, script in enumerate(renamed):
+            try:
+                mtree.patch(script, atomic=True, sigs=sigs, verify=True)
+            except PatchError as exc:
+                statuses.append(
+                    self._status_rejected(
+                        i, type(exc).__name__, " ".join(str(exc).split())
+                    )
+                )
+            else:
+                statuses.append(self._status_applied(i, script))
+        return mtree, statuses
+
+    def _batch_parallel(
+        self, base: StoredTree, renamed, sch
+    ) -> Optional[tuple[Any, list[dict[str, Any]]]]:
+        """Wave-0 fan-out plus driver composition; later waves inline.
+
+        Returns ``None`` when the pool failed mid-batch or the
+        composition contradicted the analysis — the caller re-runs the
+        sequential fold, so clients always get the spec's answer.
+        """
+        from repro.core.serialize import script_to_json
+
+        from .pool import pool_apply_task
+
+        wave0 = sch.waves[0]
+        base_spec = {
+            "fingerprint": base.fingerprint,
+            "source": base.source,
+            "filename": base.filename,
+        }
+        futures = [
+            (
+                i,
+                self.pool.submit(
+                    {
+                        "base": base_spec,
+                        "script_json": script_to_json(renamed[i]),
+                        "index": i,
+                    },
+                    task=pool_apply_task,
+                ),
+            )
+            for i in wave0
+        ]
+        verdicts: dict[int, dict[str, Any]] = {}
+        pool_ok = True
+        for i, fut in futures:
+            res = self.pool.finish(fut, self.op_timeout_s)
+            if not res.get("ok"):
+                pool_ok = False  # keep draining; finish() already rebuilt
+            else:
+                verdicts[i] = res
+        if not pool_ok:
+            return None
+
+        # every index sits in exactly one wave, so every slot is filled
+        statuses: list[dict[str, Any]] = [{} for _ in renamed]
+        mtree = tnode_to_mtree(base.tree)
+        sigs = base.tree.sigs
+        for i in wave0:
+            res = verdicts[i]
+            if not res.get("applied"):
+                statuses[i] = self._status_rejected(
+                    i, res.get("error_type", "PatchError"), res.get("error", "")
+                )
+                continue
+            try:
+                # the worker verified this script against the base, and
+                # wave-0 scripts are pairwise independent: composing the
+                # accepted ones cannot interfere, so the driver skips the
+                # per-script O(n) verify — that's the parallelism win
+                mtree.patch(renamed[i], atomic=True, sigs=sigs, verify=False)
+            except PatchError:
+                # the analysis called these independent and the composition
+                # still failed — a conservatism bug must degrade to the
+                # sequential fold, never to a wrong answer
+                return None
+            statuses[i] = self._status_applied(i, renamed[i])
+        for wave in sch.waves[1:]:
+            for i in wave:
+                try:
+                    mtree.patch(renamed[i], atomic=True, sigs=sigs, verify=True)
+                except PatchError as exc:
+                    statuses[i] = self._status_rejected(
+                        i, type(exc).__name__, " ".join(str(exc).split())
+                    )
+                else:
+                    statuses[i] = self._status_applied(i, renamed[i])
+        return mtree, statuses
+
+    @staticmethod
+    def _batch_finish(mtree) -> tuple[Any, str, str]:
+        """Rebuild the canonical tree from the patched scratch ``MTree``
+        exactly as :meth:`TreeStore.apply` does; returns
+        ``(tree, source, fingerprint)``."""
+        from repro.adapters.pyast import python_grammar, unparse_python
+
+        from .store import fingerprint_tree
+
+        g = python_grammar()
+        rebuilt = g.grammar.parse_tuple(mtree.to_tuple()).with_canonical_uris()
+        source = unparse_python(rebuilt)
+        return rebuilt, source, fingerprint_tree(rebuilt)
 
     def _op_lint(self, params: dict[str, Any]) -> dict[str, Any]:
         from repro.analysis import lint_script, render_json

@@ -16,7 +16,12 @@ What it enforces, against a real ``python -m repro serve`` subprocess:
 4. **Observability surfaces** — ``/metrics`` is scrapeable Prometheus
    text carrying the request counters, ``/trace`` yields a Chrome trace
    document with ``repro.server.request`` spans;
-5. **Graceful shutdown** — ``POST /shutdown`` drains and the daemon
+5. **Batch apply** — ``/apply-batch`` schedules three independent
+   scripts into one wave, applies them (in parallel when the daemon has
+   workers) with the in-request differential oracle on, lands on the
+   same fingerprint as uploading the combined source, and is
+   deterministic across repeats;
+6. **Graceful shutdown** — ``POST /shutdown`` drains and the daemon
    exits 0.
 
 Exit status: 0 all gates pass, 1 any gate fails, 2 setup problems.
@@ -226,7 +231,41 @@ def main(argv: "list[str] | None" = None) -> int:
         else:
             print(f"smoke: observability: /metrics scrapeable, /trace has {len(names)} span name(s)")
 
-        # -- gate 5: graceful shutdown --------------------------------
+        # -- gate 5: batch apply under the truerace schedule ----------
+        batch_src = (
+            "def f(x):\n    return x + 1\n\n"
+            "def g(y):\n    return y * 2\n\n"
+            "def h(z):\n    return z - 3\n"
+        )
+        edits = [("x + 1", "x + 100"), ("y * 2", "y * 200"), ("z - 3", "z - 300")]
+        combined = batch_src
+        for old, new in edits:
+            combined = combined.replace(old, new)
+        base_fp = client.put_tree(batch_src, "batch.py")["fingerprint"]
+        scripts = [
+            client.diff(base_fp, {"source": batch_src.replace(old, new)})["script"]
+            for old, new in edits
+        ]
+        out = client.apply_batch(base_fp, scripts, oracle=True)
+        if out["applied"] != 3 or out["rejected"] != 0:
+            fail(f"apply-batch verdicts: {out['applied']} applied, {out['rejected']} rejected")
+        if out["schedule"]["waves"] != [[0, 1, 2]]:
+            fail(f"independent scripts did not schedule into one wave: {out['schedule']['waves']}")
+        if not out.get("oracle", {}).get("ok"):
+            fail(f"apply-batch differential oracle: {out.get('oracle')}")
+        want = client.put_tree(combined, "batch.py")
+        if not want["cached"] or want["fingerprint"] != out["fingerprint"]:
+            fail("apply-batch result is not the combined-source tree")
+        again = client.apply_batch(base_fp, scripts, commit=False, oracle=True)
+        if again["fingerprint"] != out["fingerprint"]:
+            fail("apply-batch is not deterministic across repeats")
+        if not failures:
+            print(
+                f"smoke: apply-batch: 3 scripts, 1 wave, mode {out['mode']}, "
+                f"oracle ok, fingerprint matches combined source"
+            )
+
+        # -- gate 6: graceful shutdown --------------------------------
         client.shutdown()
         rc = daemon.wait(timeout=60)
         if rc != 0:

@@ -110,7 +110,13 @@ class TreeStore:
         if max_trees < 1:
             raise ValueError(f"max_trees must be >= 1, got {max_trees}")
         self.max_trees = max_trees
-        self._lock = threading.RLock()
+        # lock-order class "store._lock": may be held while taking the
+        # durable store's "store._io_lock", never acquired under it —
+        # the sanitizer (repro.robustness.locksan) enforces the order
+        # when enabled and hands back a plain RLock otherwise
+        from repro.robustness import locksan
+
+        self._lock = locksan.rlock("store._lock")
         #: insertion/touch order is LRU order (dicts preserve insertion).
         self._trees: dict[str, StoredTree] = {}
 
@@ -164,10 +170,18 @@ class TreeStore:
         return self._insert(tree, source, filename)
 
     def put_tree(
-        self, tree: TNode, source: Optional[str] = None, filename: str = "<patched>"
+        self,
+        tree: TNode,
+        source: Optional[str] = None,
+        filename: str = "<patched>",
+        fingerprint: Optional[str] = None,
     ) -> tuple[StoredTree, bool]:
-        """Insert an already-parsed canonical tree (e.g. an apply result)."""
-        return self._insert(tree, source, filename)
+        """Insert an already-parsed canonical tree (e.g. an apply result).
+
+        Callers that already fingerprinted the tree (batch apply compares
+        fingerprints before committing) pass it through to skip the
+        second hash."""
+        return self._insert(tree, source, filename, fingerprint=fingerprint)
 
     def _insert(
         self,

@@ -338,6 +338,22 @@ class TestLintCLI:
         fixed = script_from_json(script_file.read_text())
         assert sum(1 for _ in fixed.primitives()) == len(prims)
 
+    def test_fix_on_clean_script_is_a_noop_roundtrip(self, script_file, capsys):
+        """``lint --fix`` on an already-minimal script must exit 0 and
+        leave the file byte-identical — no rewrite, no mtime churn, no
+        'applied N fixes' chatter."""
+        import os
+
+        from repro.__main__ import main
+
+        original = script_file.read_bytes()
+        stat_before = os.stat(script_file)
+        assert main(["lint", str(script_file), "--fix"]) == 0
+        captured = capsys.readouterr()
+        assert "applied" not in captured.err
+        assert script_file.read_bytes() == original
+        assert os.stat(script_file).st_mtime_ns == stat_before.st_mtime_ns
+
     def test_missing_script_exits_two(self, tmp_path):
         from repro.__main__ import main
 

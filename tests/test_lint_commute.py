@@ -160,3 +160,76 @@ class TestMergePrecheck:
         left, _ = diff(base, swapped)
         result = merge_scripts(left, left)
         assert not result.ok and result.conflicts
+
+
+class TestCommuteEdgeCases:
+    """Edge cases at the seam between the merge contract (fresh URIs are
+    renamed) and the race contract (they are not) — the split that
+    re-pointing ``commute_conflicts`` at the effect system must preserve."""
+
+    def test_fresh_uri_collisions_commute_under_merge_semantics(self):
+        """Two independently-generated scripts both draw their loads from
+        ``URIGen(start=size+1)``, so their fresh ranges collide byte for
+        byte.  The merge precheck must NOT call that a conflict — the
+        merger renames one side — and the merge must in fact succeed."""
+        from repro.core import DiffOptions, URIGen
+
+        base = EXP.Add(EXP.Num(1), EXP.Num(2))
+        kid1, kid2 = base.kids
+        v1 = base.with_kids([EXP.Neg(kid1), kid2])
+        v2 = base.with_kids([kid1, EXP.Neg(kid2)])
+        size = base.size
+        left, _ = diff(base, v1, DiffOptions(typecheck="none"), urigen=URIGen(start=size + 1))
+        right, _ = diff(base, v2, DiffOptions(typecheck="none"), urigen=URIGen(start=size + 1))
+        # colliding allocations, by construction
+        from repro.analysis.race.effects import loaded_uris
+
+        assert set(loaded_uris(left)) & set(loaded_uris(right))
+        assert commutes(left, right), [
+            str(c) for c in commute_conflicts(left, right)
+        ]
+        result = merge_scripts(left, right)
+        assert result.ok, [str(c) for c in result.conflicts]
+        # ...while the race analysis, which models raw application,
+        # correctly refuses the same pair
+        from repro.analysis.race import interference, script_effects
+
+        races = interference(script_effects(left), script_effects(right))
+        assert any(c.code == "TR005" for c in races)
+
+    def test_single_script_self_interference(self):
+        """A script conflicts with itself whenever it writes anything —
+        the degenerate pair the schedule uses to serialize duplicates."""
+        _, kid1, _ = make_base()
+        s = EditScript([Update(kid1.node, (("n", 1),), (("n", 5),))])
+        conflicts = commute_conflicts(s, s)
+        assert conflicts and all(c.kind == "content" for c in conflicts)
+
+    def test_empty_script_commutes_with_everything(self):
+        base, kid1, kid2 = make_base()
+        empty = EditScript([])
+        busy = EditScript(
+            [
+                Detach(kid1.node, "e1", base.node),
+                Unload(kid1.node, (), (("n", 1),)),
+                Attach(Node("Num", kid2.uri), "e1", base.node),
+                Detach(kid2.node, "e2", base.node),
+                Update(kid2.node, (("n", 2),), (("n", 9),)),
+            ]
+        )
+        assert commutes(empty, empty)
+        assert commutes(empty, busy) and commutes(busy, empty)
+        assert commute_conflicts(empty, busy) == []
+
+    def test_noop_script_commutes_like_empty(self):
+        """Self-cancelling noise minimizes away: a detach/attach pair has
+        no effects and commutes even with a script using those very nodes."""
+        base, kid1, _ = make_base()
+        noise = EditScript(
+            [
+                Detach(kid1.node, "e1", base.node),
+                Attach(kid1.node, "e1", base.node),
+            ]
+        )
+        touch = EditScript([Update(kid1.node, (("n", 1),), (("n", 3),))])
+        assert commutes(noise, touch) and commutes(touch, noise)

@@ -246,6 +246,187 @@ class TestReproService:
             pooled.close()
 
 
+MODULE = (
+    "def f(x):\n    return x + 1\n\n"
+    "def g(y):\n    return y * 2\n\n"
+    "def h(z):\n    return z - 3\n"
+)
+
+
+class TestApplyBatch:
+    """The truerace-scheduled ``apply_batch`` operation."""
+
+    def _scripts(self, service, fp, variants):
+        return [
+            service.handle(
+                "diff", {"before": fp, "after": {"source": v}}
+            )["script"]
+            for v in variants
+        ]
+
+    def test_independent_scripts_compose_to_combined_source(self):
+        service = ReproService()
+        fp = service.handle("put_tree", {"source": MODULE})["fingerprint"]
+        edits = [("x + 1", "x + 100"), ("y * 2", "y * 200"), ("z - 3", "z - 300")]
+        scripts = self._scripts(
+            service, fp, [MODULE.replace(old, new) for old, new in edits]
+        )
+        out = service.handle(
+            "apply_batch", {"tree": fp, "scripts": scripts, "oracle": True}
+        )
+        assert out["mode"] == "sequential"  # no pool configured
+        assert out["schedule"]["waves"] == [[0, 1, 2]]
+        assert out["applied"] == 3 and out["rejected"] == 0
+        assert out["oracle"]["ok"]
+        combined = MODULE
+        for old, new in edits:
+            combined = combined.replace(old, new)
+        want = service.handle("put_tree", {"source": combined})
+        assert out["fingerprint"] == want["fingerprint"]
+        assert want["cached"]  # the batch committed it first
+
+    def test_single_script_batch_matches_apply(self):
+        service = ReproService()
+        fp = service.handle("put_tree", {"source": MODULE})["fingerprint"]
+        (script,) = self._scripts(
+            service, fp, [MODULE.replace("x + 1", "x + 9")]
+        )
+        batch = service.handle(
+            "apply_batch", {"tree": fp, "scripts": [script], "commit": False}
+        )
+        solo = service.handle(
+            "apply", {"tree": fp, "script": script, "commit": False}
+        )
+        assert batch["fingerprint"] == solo["fingerprint"]
+        assert batch["source"] == solo["source"]
+
+    def test_interfering_scripts_serialize_deterministically(self):
+        service = ReproService()
+        fp = service.handle("put_tree", {"source": MODULE})["fingerprint"]
+        (script,) = self._scripts(
+            service, fp, [MODULE.replace("x + 1", "x + 9")]
+        )
+        out = service.handle(
+            "apply_batch",
+            {"tree": fp, "scripts": [script, script], "oracle": True},
+        )
+        assert out["schedule"]["waves"] == [[0], [1]]
+        assert out["schedule"]["conflicts"]
+        # determinism: same batch, same verdicts and fingerprint
+        again = service.handle(
+            "apply_batch",
+            {"tree": fp, "scripts": [script, script], "oracle": True},
+        )
+        assert [s["status"] for s in again["scripts"]] == [
+            s["status"] for s in out["scripts"]
+        ]
+        assert again["fingerprint"] == out["fingerprint"]
+
+    def test_colliding_fresh_uris_are_renamed_and_both_land(self):
+        """Two adds diffed independently draw the same fresh URIs; raw
+        concatenation would URI-conflict, the batch renames and applies
+        both (the satellite's nested-insert collision shape, end to end)."""
+        service = ReproService()
+        fp = service.handle("put_tree", {"source": MODULE})["fingerprint"]
+        scripts = self._scripts(
+            service,
+            fp,
+            [
+                MODULE + "\ndef added_a(q):\n    return q + 7\n",
+                MODULE.replace(
+                    "def f(x):\n    return x + 1\n",
+                    "def f(x):\n    return x + 1 + (2 * 3)\n",
+                ),
+            ],
+        )
+        out = service.handle(
+            "apply_batch", {"tree": fp, "scripts": scripts, "oracle": True}
+        )
+        assert out["renamed_loads"] > 0
+        assert out["applied"] == 2
+        assert out["oracle"]["ok"]
+
+    def test_rejected_script_does_not_poison_the_batch(self):
+        service = ReproService()
+        fp = service.handle("put_tree", {"source": MODULE})["fingerprint"]
+        (good,) = self._scripts(
+            service, fp, [MODULE.replace("x + 1", "x + 9")]
+        )
+        alien = diff_trees(
+            service.store.put_source("class Q:\n    pass\n")[0].tree,
+            service.store.put_source("class Q:\n    q = 1\n")[0].tree,
+        )["script_json"]
+        out = service.handle(
+            "apply_batch",
+            {"tree": fp, "scripts": [good, alien], "oracle": True},
+        )
+        statuses = [s["status"] for s in out["scripts"]]
+        assert statuses == ["applied", "rejected"]
+        assert "error" in out["scripts"][1]
+        solo = service.handle(
+            "apply_batch", {"tree": fp, "scripts": [good], "commit": False}
+        )
+        assert out["fingerprint"] == solo["fingerprint"]
+
+    def test_error_statuses(self):
+        service = ReproService()
+        fp = service.handle("put_tree", {"source": MODULE})["fingerprint"]
+        (script,) = self._scripts(
+            service, fp, [MODULE.replace("x + 1", "x + 9")]
+        )
+        with pytest.raises(ServiceError) as exc:
+            service.handle("apply_batch", {"tree": "f" * 64, "scripts": [script]})
+        assert exc.value.code == "not_found"
+        with pytest.raises(ServiceError) as exc:
+            service.handle("apply_batch", {"tree": fp, "scripts": []})
+        assert exc.value.code == "bad_request"
+        with pytest.raises(ServiceError) as exc:
+            service.handle("apply_batch", {"tree": fp, "scripts": "nope"})
+        assert exc.value.code == "bad_request"
+        with pytest.raises(ServiceError) as exc:
+            service.handle(
+                "apply_batch", {"tree": fp, "scripts": [{"bogus": True}]}
+            )
+        assert exc.value.code == "bad_request"
+
+    def test_parallel_path_matches_sequential_fold(self):
+        """The differential contract with a real pool: the parallel wave
+        execution produces byte-identical fingerprints to the sequential
+        fold (asserted in-request by ``oracle=True``) and the batch runs
+        in parallel mode."""
+        service = ReproService(workers=2, collector=TelemetryCollector())
+        try:
+            fp = service.handle("put_tree", {"source": MODULE})["fingerprint"]
+            scripts = self._scripts(
+                service,
+                fp,
+                [
+                    MODULE.replace("x + 1", "x + 100"),
+                    MODULE.replace("y * 2", "y * 200"),
+                    MODULE.replace("z - 3", "z - 300"),
+                ],
+            )
+            out = service.handle(
+                "apply_batch", {"tree": fp, "scripts": scripts, "oracle": True}
+            )
+            assert out["mode"] == "parallel"
+            assert out["oracle"]["ok"]
+            assert out["applied"] == 3
+            seq = service.handle(
+                "apply_batch",
+                {
+                    "tree": fp,
+                    "scripts": scripts,
+                    "parallel": False,
+                    "commit": False,
+                },
+            )
+            assert seq["mode"] == "sequential"
+            assert seq["fingerprint"] == out["fingerprint"]
+        finally:
+            service.close()
+
+
 # -- HTTP front end --------------------------------------------------------
 
 
@@ -307,6 +488,21 @@ class TestHTTPDaemon:
         assert json.dumps(result["script"])  # JSON-clean
         health = client.health()
         assert health["status"] == "ok" and health["trees"] >= 2
+
+    def test_apply_batch_over_http(self, daemon):
+        client, _ = daemon
+        fp = client.put_tree(MODULE, "m.py")["fingerprint"]
+        scripts = [
+            client.diff(fp, {"source": MODULE.replace("x + 1", "x + 42")})["script"],
+            client.diff(fp, {"source": MODULE.replace("y * 2", "y * 42")})["script"],
+        ]
+        out = client.apply_batch(fp, scripts, oracle=True)
+        assert out["applied"] == 2 and out["rejected"] == 0
+        assert out["schedule"]["waves"] == [[0, 1]]
+        assert out["oracle"]["ok"]
+        with pytest.raises(ClientError) as exc:
+            client.apply_batch("e" * 64, scripts)
+        assert exc.value.status == 404
 
     def test_error_statuses(self, daemon):
         client, _ = daemon
